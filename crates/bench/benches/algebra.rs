@@ -1,0 +1,51 @@
+//! A5 — substrate ablation: hash join vs sort-merge join in the relational
+//! algebra every engine is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_data::{tuple, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rel(n: usize, vals: i64, attrs: [&str; 2], seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::with_tuples(
+        attrs,
+        (0..n).map(|_| tuple![rng.gen_range(0..vals), rng.gen_range(0..vals)]),
+    )
+    .unwrap()
+}
+
+fn join_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/join_hash_vs_sortmerge");
+    group.sample_size(10);
+    for n in [1000usize, 4000] {
+        let r = rel(n, (n as i64) / 2, ["a", "b"], 1);
+        let s = rel(n, (n as i64) / 2, ["b", "c"], 2);
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |b, _| {
+            b.iter(|| r.natural_join(&s).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |b, _| {
+            b.iter(|| r.natural_join_sort_merge(&s).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn semijoin_and_project(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra/semijoin_project");
+    group.sample_size(10);
+    for n in [1000usize, 4000] {
+        let r = rel(n, (n as i64) / 2, ["a", "b"], 3);
+        let s = rel(n, (n as i64) / 2, ["b", "c"], 4);
+        group.bench_with_input(BenchmarkId::new("semijoin", n), &n, |b, _| {
+            b.iter(|| r.semijoin(&s).len())
+        });
+        group.bench_with_input(BenchmarkId::new("project", n), &n, |b, _| {
+            b.iter(|| r.project(&["a"]).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_implementations, semijoin_and_project);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E8 — Section 4's recursive languages: bottom-up Datalog, naive vs
+//! semi-naive (ablation A4), on transitive closure over random DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::workloads::{dag_database, tc_program};
+use pq_engine::datalog_eval::{self, Strategy};
+
+fn transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog/tc");
+    group.sample_size(10);
+    let p = tc_program();
+    for n in [40usize, 80, 160] {
+        let db = dag_database(n, 2.5, 19);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| datalog_eval::evaluate(&p, &db, Strategy::Naive).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| datalog_eval::evaluate(&p, &db, Strategy::SemiNaive).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transitive_closure);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E4 — Theorem 1, row "First-order": the R7 θ-tower queries evaluated over
+//! wiring databases of alternating monotone circuits, swept over circuit
+//! size (more gates → larger active domain `n`) and weight `k` (more
+//! variables → larger `v` exponent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_engine::fo_eval;
+use pq_wtheory::circuit::{Circuit, Gate};
+use pq_wtheory::reductions::circuit_to_fo;
+
+/// A layered monotone circuit with `width` AND/OR pairs per layer.
+fn layered_circuit(width: usize, layers: usize) -> Circuit {
+    let inputs = width + 1;
+    let mut gates: Vec<Gate> = (0..inputs).map(Gate::Input).collect();
+    let mut prev: Vec<usize> = (0..inputs).collect();
+    for l in 0..layers {
+        let mut next = Vec::new();
+        for w in 0..width {
+            let a = prev[w % prev.len()];
+            let b = prev[(w + 1) % prev.len()];
+            let idx = gates.len();
+            if l % 2 == 0 {
+                gates.push(Gate::And(vec![a, b]));
+            } else {
+                gates.push(Gate::Or(vec![a, b]));
+            }
+            next.push(idx);
+        }
+        prev = next;
+    }
+    let out = gates.len();
+    gates.push(Gate::Or(prev));
+    Circuit::new(inputs, gates, out)
+}
+
+fn fo_theta_tower_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1/fo_theta_tower");
+    group.sample_size(10);
+    for width in [3usize, 5] {
+        for k in [1usize, 2] {
+            let circuit = layered_circuit(width, 3);
+            let inst = circuit_to_fo::reduce(&circuit, k).expect("monotone, k ≤ inputs");
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), width),
+                &width,
+                |b, _| {
+                    b.iter(|| fo_eval::query_holds(&inst.query, &inst.database).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn alternating_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1/circuit_alternation");
+    group.sample_size(20);
+    for layers in [2usize, 4, 6] {
+        let circuit = layered_circuit(4, layers);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            b.iter(|| circuit.to_alternating().unwrap().circuit.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fo_theta_tower_eval, alternating_normalization);
+criterion_main!(benches);

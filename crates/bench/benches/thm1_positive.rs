@@ -1,0 +1,50 @@
+//! E3 — Theorem 1, row "Positive": the R5 instances (weighted formula sat
+//! as a positive query over the EQ/NEQ database) evaluated via the paper's
+//! union-of-CQs route, swept over domain size `n` and weight `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_engine::positive_eval;
+use pq_wtheory::formula::BoolFormula;
+use pq_wtheory::reductions::wformula_positive::wformula_to_positive;
+
+/// A CNF-ish formula: (x0 ∨ x1) ∧ (x1 ∨ x2) ∧ … over `n` variables.
+fn band_formula(n: usize) -> BoolFormula {
+    BoolFormula::And(
+        (0..n - 1)
+            .map(|i| BoolFormula::Or(vec![BoolFormula::var(i), BoolFormula::var(i + 1)]))
+            .collect(),
+    )
+}
+
+fn positive_query_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1/positive_r5_eval");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let phi = band_formula(n);
+        for k in [2usize, 3] {
+            let inst = wformula_to_positive(&phi, n, k);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &n,
+                |b, _| b.iter(|| positive_eval::query_holds(&inst.query, &inst.database).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn union_of_cqs_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1/positive_dnf_expansion");
+    group.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let phi = band_formula(n);
+        let inst = wformula_to_positive(&phi, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| inst.query.to_union_of_cqs().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, positive_query_evaluation, union_of_cqs_expansion);
+criterion_main!(benches);

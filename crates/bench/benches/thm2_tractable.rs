@@ -1,0 +1,112 @@
+//! E5 — Theorem 2: the color-coding engine for acyclic CQs with `≠`.
+//!
+//! Four series:
+//! * `n_sweep`  — fixed `k`, growing database: near-linear (the paper's
+//!   `g(v)·q·n·log n`);
+//! * `k_sweep`  — fixed database, growing number of `I1` inequalities:
+//!   exponential in `k`, but only in the constant factor, never in the
+//!   `n`-exponent;
+//! * `crossover` — color coding vs the naive `n^q` evaluator on the
+//!   university workload (E9's query);
+//! * ablations — A1 (minimized `W_j` attribute sets vs wide) and A2
+//!   (randomized vs deterministic k-perfect family).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::workloads::{
+    chain_database, chain_neq_query, outside_department_query, university_database,
+};
+use pq_engine::colorcoding::{self, ColorCodingOptions, HashFamily};
+use pq_engine::naive;
+
+fn n_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2/n_sweep_k2");
+    group.sample_size(10);
+    let q = chain_neq_query(3, 1); // one I1 pair → k = 2
+    for n in [500usize, 1000, 2000, 4000] {
+        let db = chain_database(3, n, (n as i64) / 4, 5);
+        let opts = ColorCodingOptions::randomized_trials(12, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| colorcoding::is_nonempty(&q, &db, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2/k_sweep_fixed_n");
+    group.sample_size(10);
+    let len = 6;
+    let db = chain_database(len, 600, 40, 9);
+    for span in [1usize, 2, 3, 4] {
+        let q = chain_neq_query(len, span);
+        let hg = q.hypergraph();
+        let k = pq_engine::colorcoding::NeqPartition::build(&q, &hg).k();
+        // Paper-faithful randomized trial count ⌈3·e^k⌉.
+        let opts = ColorCodingOptions::randomized(k, 3.0, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| colorcoding::is_nonempty(&q, &db, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn crossover_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2/crossover_university");
+    group.sample_size(10);
+    let q = outside_department_query();
+    for n in [200usize, 800] {
+        let db = university_database(n, 40, 3);
+        group.bench_with_input(BenchmarkId::new("colorcoding", n), &n, |b, _| {
+            b.iter(|| {
+                colorcoding::evaluate(&q, &db, &ColorCodingOptions::default()).unwrap().len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive::evaluate(&q, &db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_a1_attribute_minimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2/ablation_a1_wj");
+    group.sample_size(10);
+    let q = chain_neq_query(6, 3);
+    let db = chain_database(6, 800, 50, 4);
+    for (label, minimize) in [("minimized", true), ("wide", false)] {
+        let opts = ColorCodingOptions {
+            family: HashFamily::Random { trials: 20, seed: 8 },
+            minimize_hashed_attrs: minimize,
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| colorcoding::is_nonempty(&q, &db, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_a2_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2/ablation_a2_family");
+    group.sample_size(10);
+    let q = chain_neq_query(3, 1); // k = 2: deterministic family is feasible
+    let db = chain_database(3, 300, 30, 6);
+    group.bench_function("randomized_c3", |b| {
+        let opts = ColorCodingOptions::randomized(2, 3.0, 7);
+        b.iter(|| colorcoding::is_nonempty(&q, &db, &opts).unwrap())
+    });
+    group.bench_function("deterministic_perfect", |b| {
+        let opts = ColorCodingOptions::default();
+        b.iter(|| colorcoding::is_nonempty(&q, &db, &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    n_sweep,
+    k_sweep,
+    crossover_vs_naive,
+    ablation_a1_attribute_minimization,
+    ablation_a2_family
+);
+criterion_main!(benches);

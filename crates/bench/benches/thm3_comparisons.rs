@@ -1,0 +1,51 @@
+//! E7 — Theorem 3: acyclic conjunctive queries with `<` comparisons are
+//! W[1]-complete, so the best general engine is the `n^q` naive evaluator.
+//! Series: the R9 clique-encoding instances swept over graph size, plus the
+//! consistency-collapse preprocessing itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::workloads::comparison_instance;
+use pq_engine::{comparisons, naive};
+use pq_query::parse_cq;
+
+fn theorem3_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3/r9_naive_eval");
+    group.sample_size(10);
+    for n in [6usize, 9, 12] {
+        let (db, q) = comparison_instance(n, 0.4, 2, 17);
+        group.bench_with_input(BenchmarkId::new("k2", n), &n, |b, _| {
+            b.iter(|| naive::is_nonempty(&q, &db).unwrap())
+        });
+    }
+    for n in [5usize, 6] {
+        let (db, q) = comparison_instance(n, 0.6, 3, 18);
+        group.bench_with_input(BenchmarkId::new("k3", n), &n, |b, _| {
+            b.iter(|| naive::is_nonempty(&q, &db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn consistency_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3/collapse_preprocessing");
+    group.sample_size(30);
+    // A long weak-equality chain: collapse merges everything.
+    let mut body = String::from("R(s0, s1)");
+    let mut comps = Vec::new();
+    for i in 0..20 {
+        comps.push(format!("s{i} <= s{}", i + 1));
+        comps.push(format!("s{} <= s{i}", i + 1));
+        if i > 0 {
+            body.push_str(&format!(", R(s{i}, s{})", i + 1));
+        }
+    }
+    let src = format!("G :- {body}, {}.", comps.join(", "));
+    let q = parse_cq(&src).unwrap();
+    group.bench_function("chain20", |b| {
+        b.iter(|| comparisons::collapse_query(&q).unwrap().is_some())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, theorem3_instances, consistency_preprocessing);
+criterion_main!(benches);

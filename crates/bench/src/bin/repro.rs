@@ -1,0 +1,569 @@
+//! `repro` — regenerate every table and figure of Papadimitriou &
+//! Yannakakis, *On the Complexity of Database Queries* (PODS 1997).
+//!
+//! ```text
+//! repro fig1         Fig. 1: the four parameterizations and Proposition 1
+//! repro thm1         Theorem 1: the classification table, each cell verified
+//! repro thm2         Theorem 2: f.p. tractability of acyclic CQs with ≠
+//! repro thm3         Theorem 3: W[1]-completeness with < comparisons
+//! repro yannakakis   The acyclic baseline [18] that Theorem 2 extends
+//! repro datalog      Section 4: fixed-arity Datalog / bottom-up evaluation
+//! repro extensions   The closing remarks: formula-≠, AW[P], AW[SAT], Datalog/W[1]
+//! repro all          Everything above, in order
+//! ```
+//!
+//! Absolute numbers are machine-dependent; the *shapes* (who wins, fitted
+//! exponents, where crossovers fall) are the reproduction targets recorded
+//! in EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use pq_bench::measure::{fit_log_log_slope, fmt_duration, time_min, time_once};
+use pq_bench::workloads;
+use pq_data::Database;
+use pq_engine::colorcoding::{self, ColorCodingOptions};
+use pq_engine::datalog_eval::{self, Strategy};
+use pq_engine::{fo_eval, naive, positive_eval, yannakakis};
+use pq_query::QueryMetrics;
+use pq_wtheory::formula::BoolFormula;
+use pq_wtheory::graphs::random_graph;
+use pq_wtheory::parametric::{theorem1_table, ParamVariant};
+use pq_wtheory::reductions::{
+    circuit_to_fo, clique_to_comparisons, clique_to_cq, cq_to_w2cnf, hampath_to_neq,
+    wformula_positive,
+};
+use pq_wtheory::weighted_sat::{has_weighted_cnf_sat, weighted_formula_sat_n};
+use pq_wtheory::{Circuit, Gate};
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
+        "fig1" => fig1(),
+        "thm1" => thm1(),
+        "thm2" => thm2(),
+        "thm3" => thm3(),
+        "yannakakis" => yannakakis_exp(),
+        "datalog" => datalog_exp(),
+        "extensions" => extensions(),
+        "all" => {
+            fig1();
+            thm1();
+            thm2();
+            thm3();
+            yannakakis_exp();
+            datalog_exp();
+            extensions();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}
+
+// ------------------------------------------------------------------ fig1 --
+
+fn fig1() {
+    header("Fig. 1 — the four parameterized query-evaluation problems (E1)");
+    println!(
+        r#"
+              (v, variable schema)          <- most general
+               /                \
+   (q, variable schema)   (v, fixed schema)
+               \                /
+              (q, fixed schema)             <- hardness proved here suffices
+"#
+    );
+    println!("Proposition 1: the identity map is a parametric reduction along every");
+    println!("upward arc (v(Q) <= q(Q); a fixed-schema instance is a variable-schema");
+    println!("instance). Checking upward closure of hardness over all 16 ordered");
+    println!("pairs with the Theorem 1 hardness predicate (all four variants W[1]-");
+    println!("hard for conjunctive queries):");
+    let violations = ParamVariant::proposition1_violations(|_| true);
+    println!("  violations found: {}  (expected 0)", violations.len());
+
+    // Demonstrate the identity reduction concretely: one hard instance
+    // replayed across the variants, parameters reported.
+    let g = random_graph(12, 0.4, 1);
+    let (db, q) = clique_to_cq::reduce(&g, 3);
+    let ans = naive::is_nonempty(&q, &db).unwrap();
+    println!("\nSample instance: clique-3 query on G(12, .4); answer {ans}.");
+    println!("  as (q, .): parameter q = {}", q.size());
+    println!("  as (v, .): parameter v = {}  (v <= q ok)", q.num_variables());
+    println!("  schema: 1 binary relation — already fixed-schema");
+}
+
+// ------------------------------------------------------------------ thm1 --
+
+fn thm1() {
+    header("Theorem 1 — the classification table (E2, E3, E4)");
+    println!("\nPaper's table:");
+    println!("{:>14} | {:^22} | {:^22}", "language", "parameter q", "parameter v");
+    println!("{:-<14}-+-{:-<22}-+-{:-<22}", "", "", "");
+    for row in theorem1_table() {
+        println!("{:>14} | {:^22} | {:^22}", row.language, row.param_q, row.param_v);
+    }
+
+    // --- Row 1: conjunctive (E2) -----------------------------------------
+    // R1 is cheap to verify at k = 4; the R2 ground truth enumerates
+    // C(vars, k) weight-k assignments, so its battery stays at k ≤ 3 on
+    // 6-vertex graphs (the exhaustive solver *is* the n^k phenomenon).
+    println!("\n[Conjunctive] R1 (clique -> CQ) on G(8, .45), k = 2..4, and");
+    println!("R2 (CQ -> weighted 2-CNF) on G(6, .45), k = 2..3:");
+    let mut r1_ok = 0;
+    let mut r1_total = 0;
+    for seed in 0..20u64 {
+        let g = random_graph(8, 0.45, seed);
+        for k in 2..=4 {
+            r1_total += 1;
+            let (db, q) = clique_to_cq::reduce(&g, k);
+            if naive::is_nonempty(&q, &db).unwrap() == g.has_clique(k) {
+                r1_ok += 1;
+            }
+        }
+    }
+    let mut r2_ok = 0;
+    let mut r2_total = 0;
+    for seed in 0..20u64 {
+        let g = random_graph(6, 0.45, seed);
+        for k in 2..=3 {
+            r2_total += 1;
+            let (db, q) = clique_to_cq::reduce(&g, k);
+            let inst = cq_to_w2cnf::reduce(&q, &db).unwrap();
+            if has_weighted_cnf_sat(&inst.cnf, inst.k) == g.has_clique(k) {
+                r2_ok += 1;
+            }
+        }
+    }
+    println!("  R1 agreement: {r1_ok}/{r1_total}   R2 agreement: {r2_ok}/{r2_total}");
+
+    println!("\n  n^k scaling of the generic evaluator on the clique query");
+    println!("  (full enumeration — every satisfying instantiation is found;");
+    println!("  fitted log-log slope of time vs n should grow with k):");
+    for k in [2usize, 3] {
+        let mut pts = Vec::new();
+        let sizes: &[usize] = if k == 2 { &[24, 48, 96, 192] } else { &[24, 48, 96] };
+        for &n in sizes {
+            let (db, q) = workloads::clique_instance(n, 0.3, k, 5);
+            let d = time_min(2, || naive::evaluate(&q, &db).unwrap().len());
+            pts.push((n as f64, d.as_secs_f64()));
+        }
+        println!(
+            "    k = {k}: slope = {:+.2}   ({})",
+            fit_log_log_slope(&pts),
+            pts.iter()
+                .map(|(n, t)| format!("n={n}: {}", fmt_duration(Duration::from_secs_f64(*t))))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // --- Row 2: positive (E3) --------------------------------------------
+    println!("\n[Positive] R5 (weighted formula sat -> positive query) on random");
+    println!("NNF formulas, and R6 (prenex positive -> weighted formula sat):");
+    let mut r5_ok = 0;
+    let mut r6_ok = 0;
+    let mut total = 0;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..12 {
+        let n = rng.gen_range(2..5usize);
+        let phi = random_nnf(n, 2, &mut rng);
+        for k in 1..=2.min(n) {
+            total += 1;
+            let truth = weighted_formula_sat_n(&phi, n, k).is_some();
+            let inst = wformula_positive::wformula_to_positive(&phi, n, k);
+            let via_query = positive_eval::query_holds(&inst.query, &inst.database).unwrap();
+            if via_query == truth {
+                r5_ok += 1;
+            }
+            let back = wformula_positive::prenex_positive_to_wformula(&inst.query, &inst.database)
+                .unwrap();
+            if weighted_formula_sat_n(&back.formula, back.num_vars, back.k).is_some() == truth {
+                r6_ok += 1;
+            }
+        }
+    }
+    println!("  R5 agreement: {r5_ok}/{total}   R6 agreement: {r6_ok}/{total}");
+
+    // --- Row 3: first-order (E4) ------------------------------------------
+    println!("\n[First-order] R7 (monotone circuit sat -> FO theta-tower query):");
+    let mut r7_ok = 0;
+    let mut total = 0;
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..8 {
+        let n = rng.gen_range(2..4usize);
+        let c = random_monotone_circuit(n, &mut rng);
+        for k in 1..=n {
+            total += 1;
+            let inst = circuit_to_fo::reduce(&c, k).expect("monotone");
+            let lhs = pq_wtheory::weighted_sat::has_weighted_circuit_sat(&c, k);
+            let rhs = fo_eval::query_holds(&inst.query, &inst.database).unwrap();
+            if lhs == rhs {
+                r7_ok += 1;
+            }
+        }
+    }
+    println!("  R7 agreement: {r7_ok}/{total}");
+    let c = deep_circuit(6);
+    for k in [1usize, 2] {
+        let inst = circuit_to_fo::reduce(&c, k).unwrap();
+        println!(
+            "  depth-{} circuit, k = {k}: query size {} (grows with t), variables {} (= k + 2)",
+            c.depth(),
+            inst.query.size(),
+            inst.query.num_variables()
+        );
+    }
+}
+
+fn random_nnf(n: usize, depth: usize, rng: &mut rand::rngs::StdRng) -> BoolFormula {
+    use rand::Rng;
+    if depth == 0 || rng.gen_bool(0.3) {
+        return BoolFormula::Lit(rng.gen_range(0..n), rng.gen_bool(0.6));
+    }
+    let kids: Vec<BoolFormula> =
+        (0..rng.gen_range(2..4)).map(|_| random_nnf(n, depth - 1, rng)).collect();
+    if rng.gen_bool(0.5) {
+        BoolFormula::And(kids)
+    } else {
+        BoolFormula::Or(kids)
+    }
+}
+
+fn random_monotone_circuit(n: usize, rng: &mut rand::rngs::StdRng) -> Circuit {
+    use rand::Rng;
+    let mut gates: Vec<Gate> = (0..n).map(Gate::Input).collect();
+    for _ in 0..rng.gen_range(2..5) {
+        let width = rng.gen_range(2..4).min(gates.len());
+        let mut ops = Vec::new();
+        while ops.len() < width {
+            let o = rng.gen_range(0..gates.len());
+            if !ops.contains(&o) {
+                ops.push(o);
+            }
+        }
+        if rng.gen_bool(0.5) {
+            gates.push(Gate::And(ops));
+        } else {
+            gates.push(Gate::Or(ops));
+        }
+    }
+    let out = gates.len() - 1;
+    Circuit::new(n, gates, out)
+}
+
+fn deep_circuit(layers: usize) -> Circuit {
+    let mut gates: Vec<Gate> = vec![Gate::Input(0), Gate::Input(1)];
+    let mut prev = 0;
+    for i in 0..layers {
+        let next = gates.len();
+        if i % 2 == 0 {
+            gates.push(Gate::And(vec![prev, 1]));
+        } else {
+            gates.push(Gate::Or(vec![prev, 1]));
+        }
+        prev = next;
+    }
+    let out = gates.len();
+    gates.push(Gate::Or(vec![prev]));
+    Circuit::new(2, gates, out)
+}
+
+// ------------------------------------------------------------------ thm2 --
+
+fn thm2() {
+    header("Theorem 2 — acyclic CQs with != are f.p. tractable (E5)");
+
+    // (a) correctness spot check against the oracle.
+    let q = workloads::outside_department_query();
+    let db = workloads::university_database(300, 40, 2);
+    let fast = colorcoding::evaluate(&q, &db, &ColorCodingOptions::default()).unwrap();
+    let slow = naive::evaluate(&q, &db).unwrap();
+    println!("\nSection 5 query: {q}");
+    println!(
+        "correctness vs naive oracle on 300-student university: {} ({} answers)",
+        if fast == slow { "agree" } else { "DISAGREE" },
+        fast.len()
+    );
+
+    // (b) n-sweep at fixed k = 2: near-linear (slope ~ 1).
+    println!("\nn-sweep (k = 2, deterministic log-size 2-perfect family):");
+    println!("{:>10} {:>12} {:>12} {:>8}", "students", "colorcoding", "naive", "answers");
+    let mut pts_cc = Vec::new();
+    let mut pts_nv = Vec::new();
+    for n in [400usize, 800, 1600, 3200] {
+        let db = workloads::university_database(n, 40, 42);
+        let (out, d_cc) =
+            time_once(|| colorcoding::evaluate(&q, &db, &ColorCodingOptions::default()).unwrap());
+        let d_nv = time_min(1, || naive::evaluate(&q, &db).unwrap());
+        pts_cc.push((n as f64, d_cc.as_secs_f64()));
+        pts_nv.push((n as f64, d_nv.as_secs_f64()));
+        println!(
+            "{:>10} {:>12} {:>12} {:>8}",
+            n,
+            fmt_duration(d_cc),
+            fmt_duration(d_nv),
+            out.len()
+        );
+    }
+    println!(
+        "fitted n-exponent: colorcoding = {:+.2}, naive = {:+.2}",
+        fit_log_log_slope(&pts_cc),
+        fit_log_log_slope(&pts_nv)
+    );
+
+    // (c) k-sweep at fixed n: exponential in k, flat in the n-exponent.
+    println!("\nk-sweep (chain of 6 relations, 600 tuples each, randomized ceil(3e^k) trials):");
+    println!("{:>4} {:>8} {:>14}", "k", "trials", "emptiness time");
+    for span in [1usize, 2, 3, 4] {
+        let q = workloads::chain_neq_query(6, span);
+        let hg = q.hypergraph();
+        let k = pq_engine::colorcoding::NeqPartition::build(&q, &hg).k();
+        let trials = pq_engine::colorcoding::HashFamily::suggested_trials(k, 3.0);
+        let db = workloads::chain_database(6, 600, 40, 9);
+        let opts = ColorCodingOptions::randomized(k, 3.0, 2);
+        let d = time_min(2, || colorcoding::is_nonempty(&q, &db, &opts).unwrap());
+        println!("{:>4} {:>8} {:>14}", k, trials, fmt_duration(d));
+    }
+
+    // (d) the combined-complexity context: Hamiltonian path (R8).
+    println!("\nCombined-complexity context (R8): Hamiltonian path as an acyclic !=");
+    println!("query — the query grows with the graph, so NP-hardness is expected:");
+    let mut agree = 0;
+    for seed in 0..6u64 {
+        let g = random_graph(6, 0.4, seed + 50);
+        let (db, q) = hampath_to_neq::reduce(&g);
+        if naive::is_nonempty(&q, &db).unwrap() == g.has_hamiltonian_path() {
+            agree += 1;
+        }
+    }
+    println!("  R8 agreement on G(6, .4) battery: {agree}/6");
+}
+
+// ------------------------------------------------------------------ thm3 --
+
+fn thm3() {
+    header("Theorem 3 — acyclic CQs with < comparisons are W[1]-complete (E7)");
+    println!("\nR9 (clique -> acyclic comparison query) verification:");
+    let mut agree = 0;
+    let mut total = 0;
+    for seed in 0..6u64 {
+        let g = random_graph(5, 0.4, seed + 7);
+        for k in 2..=3 {
+            total += 1;
+            let (db, q) = clique_to_comparisons::reduce(&g, k);
+            debug_assert!(q.is_acyclic());
+            if naive::is_nonempty(&q, &db).unwrap() == g.has_clique(k) {
+                agree += 1;
+            }
+        }
+    }
+    println!("  agreement: {agree}/{total}  (queries acyclic, comparisons strict-only)");
+
+    println!("\nn^k-shaped scaling of the best general algorithm (naive) on R9");
+    println!("instances at k = 2:");
+    let mut pts = Vec::new();
+    for n in [6usize, 9, 12, 18] {
+        let (db, q) = workloads::comparison_instance(n, 0.4, 2, 17);
+        let d = time_min(2, || naive::is_nonempty(&q, &db).unwrap());
+        pts.push((n as f64, d.as_secs_f64()));
+        println!("  n = {n:>3}: {}", fmt_duration(d));
+    }
+    println!("  fitted n-exponent = {:+.2} (super-linear, grows with k)", fit_log_log_slope(&pts));
+    println!("\nConclusion matches the paper: the != tractability of Theorem 2 does");
+    println!("not extend to order comparisons.");
+}
+
+// ------------------------------------------------------------ yannakakis --
+
+fn yannakakis_exp() {
+    header("Yannakakis baseline [18] — acyclic pure CQs in poly(input+output) (E6)");
+    let q = workloads::chain_query(4);
+    println!("\nchain query: {q}");
+    println!("{:>8} {:>12} {:>12} {:>10}", "tuples", "yannakakis", "naive", "answers");
+    let mut pts = Vec::new();
+    for n in [300usize, 600, 1200, 2400] {
+        let db = workloads::chain_database(4, n, (n as i64) / 4, 21);
+        let (out, d_y) = time_once(|| yannakakis::evaluate(&q, &db).unwrap());
+        let d_n = time_min(1, || naive::evaluate(&q, &db).unwrap());
+        pts.push((n as f64, d_y.as_secs_f64()));
+        println!("{:>8} {:>12} {:>12} {:>10}", n, fmt_duration(d_y), fmt_duration(d_n), out.len());
+    }
+    println!("fitted n-exponent (yannakakis) = {:+.2}", fit_log_log_slope(&pts));
+    println!("(output size grows with n here, so the poly(input+output) bound");
+    println!(" allows a slope above 1; emptiness alone stays near-linear)");
+}
+
+// --------------------------------------------------------------- datalog --
+
+fn datalog_exp() {
+    header("Section 4 — Datalog: bottom-up fixpoint, fixed arity => W[1] (E8)");
+    let p = workloads::tc_program();
+    println!("\nprogram:\n{p}\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>11} {:>7} {:>7}",
+        "nodes", "edges", "naive", "semi-naive", "rounds", "|T|"
+    );
+    for n in [50usize, 100, 200] {
+        let db: Database = workloads::dag_database(n, 2.5, 11);
+        let edges = db.relation("E").unwrap().len();
+        let (out_n, d_naive) =
+            time_once(|| datalog_eval::evaluate(&p, &db, Strategy::Naive).unwrap());
+        let ((out_s, stats), d_semi) =
+            time_once(|| datalog_eval::evaluate_with_stats(&p, &db, Strategy::SemiNaive).unwrap());
+        assert_eq!(out_n.canonical_rows(), out_s.canonical_rows());
+        println!(
+            "{:>6} {:>8} {:>10} {:>11} {:>7} {:>7}",
+            n,
+            edges,
+            fmt_duration(d_naive),
+            fmt_duration(d_semi),
+            stats.rounds,
+            out_s.len()
+        );
+    }
+    println!("\nEvery stage evaluates bounded-variable CQs (v = 3 for TC); the");
+    println!("fixpoint arrives within n^r rounds — the Section 4 W[1] membership");
+    println!("argument, executed literally. Vardi's lower bound says unrestricted");
+    println!("arity provably forces the query size into the exponent.");
+}
+
+// ------------------------------------------------------------ extensions --
+
+/// The paper's closing remarks (Sections 4–5), reproduced: the formula-of-
+/// inequalities extension of Theorem 2, the AW[P]/AW[SAT] alternating
+/// classifications, and fixed-arity Datalog evaluated through W[1] oracles.
+fn extensions() {
+    header("Extensions — the paper's closing remarks (X1–X4 of DESIGN.md)");
+
+    // X1: monotone ∨/∧ formulas of ≠ atoms.
+    use pq_engine::colorcoding::{formula_neq, HashFamily, NeqFormula};
+    use pq_query::{parse_cq, Term};
+    let mut db = Database::new();
+    {
+        use pq_data::tuple;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows1: Vec<_> =
+            (0..60).map(|_| tuple![rng.gen_range(0..10i64), rng.gen_range(0..10i64)]).collect();
+        let rows2: Vec<_> =
+            (0..60).map(|_| tuple![rng.gen_range(0..10i64), rng.gen_range(0..10i64)]).collect();
+        db.add_table("R", ["a", "b"], rows1).unwrap();
+        db.add_table("S", ["b", "c"], rows2).unwrap();
+    }
+    let q = parse_cq("G(a, c) :- R(a, b), S(b, c).").unwrap();
+    let phi = NeqFormula::Or(vec![
+        NeqFormula::And(vec![
+            NeqFormula::neq(Term::var("a"), Term::var("c")),
+            NeqFormula::neq(Term::var("b"), Term::var("c")),
+        ]),
+        NeqFormula::neq(Term::var("a"), Term::cons(3)),
+    ]);
+    let fast = formula_neq::evaluate(&q, &phi, &db, &HashFamily::Perfect).unwrap();
+    let slow = formula_neq::evaluate_naive(&q, &phi, &db).unwrap();
+    println!("\n[X1] acyclic CQ + monotone formula of != atoms (param q):");
+    println!("  phi = {phi}");
+    println!(
+        "  color-coding answers = {}, ground truth = {}: {}",
+        fast.len(),
+        slow.len(),
+        if fast == slow { "agree" } else { "DISAGREE" }
+    );
+
+    // X2: AW[P] alternating circuits.
+    use pq_wtheory::reductions::alternating::{self, Block, Quant};
+    use pq_wtheory::{Circuit, Gate};
+    let c = Circuit::new(
+        4,
+        vec![
+            Gate::Input(0),
+            Gate::Input(1),
+            Gate::Input(2),
+            Gate::Input(3),
+            Gate::And(vec![0, 2]),
+            Gate::And(vec![1, 3]),
+            Gate::Or(vec![4, 5]),
+        ],
+        6,
+    );
+    println!("\n[X2] AW[P]: exists-block {{x0,x1}} / forall-block {{x2,x3}} over (x0&x2)|(x1&x3):");
+    let mut ok = 0;
+    let mut total = 0;
+    for k1 in 1..=2usize {
+        for k2 in 1..=2usize {
+            total += 1;
+            let blocks = vec![
+                Block { quant: Quant::Exists, vars: vec![0, 1], k: k1 },
+                Block { quant: Quant::Forall, vars: vec![2, 3], k: k2 },
+            ];
+            let inst = alternating::reduce(&c, &blocks).unwrap();
+            let lhs = alternating::alternating_circuit_sat(&c, &blocks);
+            let rhs = fo_eval::query_holds(&inst.query, &inst.database).unwrap();
+            if lhs == rhs {
+                ok += 1;
+            }
+        }
+    }
+    println!("  FO-query reduction vs alternating solver: {ok}/{total} agree");
+
+    // X3: prenex FO <-> AW[SAT].
+    use pq_wtheory::reductions::prenex_fo_awsat;
+    let mut db2 = Database::new();
+    {
+        use pq_data::tuple;
+        db2.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        db2.add_table("L", ["a"], [tuple![1], tuple![2]]).unwrap();
+    }
+    println!("\n[X3] prenex FO (param v) <-> alternating weighted formula sat:");
+    let mut ok = 0;
+    let specs = [
+        "Q := forall x. exists y. E(x, y)",
+        "Q := exists x. forall y. E(x, y)",
+        "Q := forall x. exists y. (E(x, y) & !L(y) | L(x))",
+    ];
+    for src in specs {
+        let fq = pq_query::parse_fo(src).unwrap();
+        let inst = prenex_fo_awsat::reduce(&fq, &db2).unwrap();
+        let lhs = fo_eval::query_holds(&fq, &db2).unwrap();
+        let rhs = prenex_fo_awsat::alternating_weighted_formula_sat(
+            &inst.formula,
+            &inst.blocks,
+            inst.num_vars,
+        );
+        if lhs == rhs {
+            ok += 1;
+        }
+    }
+    println!("  {ok}/{} prenex specs agree across the reduction", specs.len());
+
+    // X4: Datalog through W[1] oracles.
+    use pq_wtheory::reductions::datalog_w1;
+    let mut db3 = Database::new();
+    {
+        use pq_data::tuple;
+        db3.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 3]]).unwrap();
+    }
+    let p = workloads::tc_program();
+    let (via_w1, transcript) = datalog_w1::evaluate_via_w1(&p, &db3).unwrap();
+    let direct = datalog_eval::evaluate(&p, &db3, Strategy::Naive).unwrap();
+    println!("\n[X4] fixed-arity Datalog run entirely through W[1] oracles:");
+    println!(
+        "  {} weighted-2CNF instances decided over {} rounds (max parameter k = {});",
+        transcript.num_instances(),
+        transcript.rounds,
+        transcript.max_parameter()
+    );
+    println!(
+        "  fixpoint matches direct evaluation: {}",
+        via_w1.canonical_rows() == direct.canonical_rows()
+    );
+}

@@ -1,0 +1,8 @@
+//! Shared workload generators and measurement helpers for the experiment
+//! harness (DESIGN.md S21): every bench target and the `repro` binary draw
+//! their instances from here so that numbers are comparable across runs.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod workloads;

@@ -1,0 +1,79 @@
+//! Timing and scaling-fit helpers for the `repro` binary.
+
+use std::time::{Duration, Instant};
+
+/// Time one invocation.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Time the minimum over `reps` invocations (robust against scheduler
+/// noise for fast operations).
+pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let _ = f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)`: the fitted polynomial
+/// exponent of a scaling series. This is how the `repro` binary reports
+/// "naive evaluation of the clique-k query grows like n^{slope}".
+pub fn fit_log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let logs: Vec<(f64, f64)> =
+        points.iter().map(|&(x, y)| (x.ln(), y.max(1e-12).ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Format a duration compactly for tables.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_recovers_known_exponents() {
+        let quad: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2))).collect();
+        assert!((fit_log_log_slope(&quad) - 2.0).abs() < 1e-9);
+        let lin: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64 * 100.0, 7.0 * i as f64 * 100.0)).collect();
+        assert!((fit_log_log_slope(&lin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert!(fmt_duration(Duration::from_micros(3)).ends_with("µs"));
+    }
+
+    #[test]
+    fn time_helpers_run() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+        let m = time_min(3, || std::hint::black_box(1 + 1));
+        assert!(m.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,187 @@
+//! Parameterized workload families, one per experiment (DESIGN.md §3).
+
+use pq_data::{tuple, Database};
+use pq_query::{parse_cq, ConjunctiveQuery, DatalogProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// E2: a clique instance `(d, Q_k)` over a `G(n, p)` random graph.
+pub fn clique_instance(n: usize, p: f64, k: usize, seed: u64) -> (Database, ConjunctiveQuery) {
+    let g = pq_wtheory::graphs::random_graph(n, p, seed);
+    pq_wtheory::reductions::clique_to_cq::reduce(&g, k)
+}
+
+/// E5/E6: a chain database `R1(x0,x1), R2(x1,x2), …` with `n_tuples` rows
+/// per relation over a value domain of size `n_vals`.
+pub fn chain_database(len: usize, n_tuples: usize, n_vals: i64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 0..len {
+        let rows =
+            (0..n_tuples).map(|_| tuple![rng.gen_range(0..n_vals), rng.gen_range(0..n_vals)]);
+        db.add_table(format!("R{i}"), [format!("a{i}"), format!("a{}", i + 1)], rows).unwrap();
+    }
+    db
+}
+
+/// E6: the pure acyclic chain query of length `len` returning the
+/// endpoints.
+pub fn chain_query(len: usize) -> ConjunctiveQuery {
+    let mut body = String::new();
+    for i in 0..len {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("R{i}(x{i}, x{})", i + 1));
+    }
+    parse_cq(&format!("G(x0, x{len}) :- {body}.")).unwrap()
+}
+
+/// E5: the chain query with *endpoint inequalities* — every prefix variable
+/// `x0..xj` (j = `neq_span`) pairwise-distinct from the final variable,
+/// giving `k = |V1|` that grows with `neq_span` while the hypergraph stays
+/// an acyclic chain.
+pub fn chain_neq_query(len: usize, neq_span: usize) -> ConjunctiveQuery {
+    assert!(neq_span < len, "span must leave non-co-occurring pairs");
+    let mut body = String::new();
+    for i in 0..len {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("R{i}(x{i}, x{})", i + 1));
+    }
+    // x_i ≠ x_{i + 2 + j} pairs: never co-occurring → all in I1.
+    let mut neqs = Vec::new();
+    for i in 0..neq_span {
+        neqs.push(format!("x{i} != x{}", i + 2));
+    }
+    let q = format!("G(x0, x{len}) :- {body}, {}.", neqs.join(", "));
+    parse_cq(&q).unwrap()
+}
+
+/// E5/E9: the university database of the students-outside-department
+/// example, sized by student count.
+pub fn university_database(n_students: usize, n_courses: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let depts = ["cs", "math", "bio", "chem", "phys"];
+    let mut db = Database::new();
+    db.add_table(
+        "CD",
+        ["course", "dept"],
+        (0..n_courses).map(|c| tuple![format!("c{c}"), depts[rng.gen_range(0..depts.len())]]),
+    )
+    .unwrap();
+    let mut sd = Vec::new();
+    let mut sc = Vec::new();
+    for s in 0..n_students {
+        sd.push(tuple![format!("s{s}"), depts[rng.gen_range(0..depts.len())]]);
+        for _ in 0..rng.gen_range(1..=4) {
+            sc.push(tuple![format!("s{s}"), format!("c{}", rng.gen_range(0..n_courses))]);
+        }
+    }
+    db.add_table("SD", ["student", "dept"], sd).unwrap();
+    db.add_table("SC", ["student", "course"], sc).unwrap();
+    db
+}
+
+/// E9: the students-outside-department query (Section 5).
+pub fn outside_department_query() -> ConjunctiveQuery {
+    parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap()
+}
+
+/// E8: a random DAG edge relation for transitive closure.
+pub fn dag_database(n: usize, avg_out: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool((avg_out / n as f64).min(1.0)) {
+                rows.push(tuple![a, b]);
+            }
+        }
+    }
+    let mut db = Database::new();
+    db.add_table("E", ["a", "b"], rows).unwrap();
+    db
+}
+
+/// E8: the transitive-closure program.
+pub fn tc_program() -> DatalogProgram {
+    pq_query::parse_datalog(
+        "T(x, y) :- E(x, y).\n\
+         T(x, z) :- E(x, y), T(y, z).\n\
+         ?- T",
+    )
+    .unwrap()
+}
+
+/// E7: a Theorem 3 comparison instance over a `G(n, p)` random graph.
+pub fn comparison_instance(n: usize, p: f64, k: usize, seed: u64) -> (Database, ConjunctiveQuery) {
+    let g = pq_wtheory::graphs::random_graph(n, p, seed);
+    pq_wtheory::reductions::clique_to_comparisons::reduce(&g, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_neq_query_has_only_i1_inequalities() {
+        let q = chain_neq_query(5, 3);
+        assert!(q.is_acyclic());
+        let hg = q.hypergraph();
+        let part = pq_engine::colorcoding::NeqPartition::build(&q, &hg);
+        assert_eq!(part.i1.len(), 3);
+        assert!(part.i2_var_var.is_empty());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(chain_database(2, 10, 5, 1), chain_database(2, 10, 5, 1));
+        assert_eq!(
+            university_database(10, 8, 2).size(),
+            university_database(10, 8, 2).size()
+        );
+    }
+
+    #[test]
+    fn vardi_family_materializes_n_to_the_k() {
+        for k in 1..=3usize {
+            let p = vardi_program(k);
+            assert!(p.validate().is_ok());
+            let db = vardi_database(4);
+            let out = pq_engine::datalog_eval::evaluate(
+                &p, &db, pq_engine::datalog_eval::Strategy::SemiNaive).unwrap();
+            assert_eq!(out.len(), 4usize.pow(k as u32));
+        }
+    }
+
+    #[test]
+    fn chain_query_matches_database_schema() {
+        let db = chain_database(3, 10, 4, 7);
+        let q = chain_query(3);
+        assert!(pq_engine::naive::evaluate(&q, &db).is_ok());
+    }
+}
+
+/// E8 (Vardi [16]): a Datalog family whose IDB arity grows with `k`. The
+/// program derives every `k`-tuple over the active domain reachable through
+/// `D`, so the fixpoint materializes `n^k` tuples — the query size is
+/// polynomial in `k` but the evaluation provably needs `n^k` work, which is
+/// Section 4's point that for recursive languages the parameter is
+/// *provably* in the exponent.
+pub fn vardi_program(k: usize) -> DatalogProgram {
+    assert!(k >= 1);
+    let vars: Vec<String> = (0..k).map(|i| format!("x{i}")).collect();
+    let head = format!("W({})", vars.join(", "));
+    let body: Vec<String> = vars.iter().map(|v| format!("D({v})")).collect();
+    let src = format!("{head} :- {body}.\n?- W", body = body.join(", "));
+    pq_query::parse_datalog(&src).unwrap()
+}
+
+/// The unary domain relation for [`vardi_program`].
+pub fn vardi_database(n: i64) -> Database {
+    let mut db = Database::new();
+    db.add_table("D", ["v"], (0..n).map(|i| tuple![i])).unwrap();
+    db
+}

@@ -1,0 +1,169 @@
+//! Classifying a conjunctive query into the paper's complexity landscape.
+//!
+//! The paper's message, as a decision procedure: given an (extended)
+//! conjunctive query, where does it sit?
+//!
+//! | shape | classification | engine |
+//! |-------|----------------|--------|
+//! | acyclic, no constraints | combined-complexity polynomial [18] | Yannakakis |
+//! | acyclic + `≠` | **f.p. tractable** (Theorem 2) | color coding |
+//! | acyclic + `<`/`≤` | W[1]-complete (Theorem 3) | naive (`n^q`) |
+//! | cyclic | W[1]-complete already for pure CQs (Theorem 1) | naive (`n^q`) |
+
+use pq_engine::comparisons;
+use pq_query::{ConjunctiveQuery, QueryMetrics};
+use pq_wtheory::WClass;
+
+/// The complexity class a conjunctive query falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CqClass {
+    /// Acyclic, no `≠`, no comparisons: polynomial combined complexity.
+    AcyclicPure,
+    /// Acyclic with `≠` atoms only: fixed-parameter tractable (Theorem 2).
+    AcyclicNeq,
+    /// Acyclic (after comparison collapse) with `<`/`≤`: W[1]-complete
+    /// (Theorem 3).
+    AcyclicComparisons,
+    /// The comparison system is inconsistent: the answer is empty for every
+    /// database.
+    InconsistentComparisons,
+    /// Cyclic relational hypergraph: W[1]-complete already without
+    /// constraints (Theorem 1).
+    Cyclic,
+}
+
+/// A classification report for a conjunctive query.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The class.
+    pub class: CqClass,
+    /// The query-size parameter `q`.
+    pub q: usize,
+    /// The variable-count parameter `v`.
+    pub v: usize,
+    /// For Theorem 2 queries: `k = |V1|`, the color count the engine needs
+    /// (present also for other classes when `≠` atoms exist).
+    pub color_parameter: Option<usize>,
+    /// The known parametric lower bound for the class's evaluation problem
+    /// (`None` when the problem is f.p. tractable).
+    pub hardness: Option<WClass>,
+    /// One-line summary quoting the relevant result.
+    pub summary: &'static str,
+}
+
+/// Classify a conjunctive query per Theorems 1–3.
+pub fn classify(q: &ConjunctiveQuery) -> Classification {
+    let (class, hardness, summary) = decide_class(q);
+    let color_parameter = if q.neqs.is_empty() {
+        None
+    } else {
+        let hg = q.hypergraph();
+        Some(pq_engine::colorcoding::NeqPartition::build(q, &hg).k())
+    };
+    Classification {
+        class,
+        q: q.size(),
+        v: q.num_variables(),
+        color_parameter,
+        hardness,
+        summary,
+    }
+}
+
+fn decide_class(q: &ConjunctiveQuery) -> (CqClass, Option<WClass>, &'static str) {
+    let has_neq = !q.neqs.is_empty();
+    let has_cmp = !q.comparisons.is_empty();
+    if has_cmp && !has_neq {
+        return match comparisons::collapse_query(q) {
+            Ok(None) => (
+                CqClass::InconsistentComparisons,
+                None,
+                "comparison system inconsistent: Q(d) = ∅ for every d",
+            ),
+            Ok(Some(collapsed)) if collapsed.is_acyclic() => (
+                CqClass::AcyclicComparisons,
+                Some(WClass::W(1)),
+                "acyclic with comparisons: W[1]-complete (Theorem 3); expect q in the exponent",
+            ),
+            _ => (
+                CqClass::Cyclic,
+                Some(WClass::W(1)),
+                "cyclic conjunctive query: W[1]-complete (Theorem 1)",
+            ),
+        };
+    }
+    if has_cmp && has_neq {
+        // Mixed constraints: at least as hard as Theorem 3.
+        return (
+            CqClass::AcyclicComparisons,
+            Some(WClass::W(1)),
+            "≠ and < mixed: at least W[1]-hard (Theorem 3 applies to the < part)",
+        );
+    }
+    if !q.is_acyclic() {
+        return (
+            CqClass::Cyclic,
+            Some(WClass::W(1)),
+            "cyclic conjunctive query: W[1]-complete (Theorem 1)",
+        );
+    }
+    if has_neq {
+        (
+            CqClass::AcyclicNeq,
+            None,
+            "acyclic with ≠: fixed-parameter tractable by color coding (Theorem 2)",
+        )
+    } else {
+        (
+            CqClass::AcyclicPure,
+            None,
+            "acyclic conjunctive query: polynomial combined complexity (Yannakakis [18])",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::parse_cq;
+
+    #[test]
+    fn classes_cover_the_paper_landscape() {
+        let acyclic = parse_cq("G(x, z) :- R(x, y), S(y, z).").unwrap();
+        assert_eq!(classify(&acyclic).class, CqClass::AcyclicPure);
+
+        let neq = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let c = classify(&neq);
+        assert_eq!(c.class, CqClass::AcyclicNeq);
+        assert_eq!(c.color_parameter, Some(2));
+        assert_eq!(c.hardness, None);
+
+        let cmp = parse_cq("G(e) :- EM(e, m), ES(e, s), ES(m, s2), s2 < s.").unwrap();
+        let c = classify(&cmp);
+        assert_eq!(c.class, CqClass::AcyclicComparisons);
+        assert_eq!(c.hardness, Some(WClass::W(1)));
+
+        let cyclic = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        assert_eq!(classify(&cyclic).class, CqClass::Cyclic);
+
+        let incons = parse_cq("G :- R(x, y), x < y, y < x.").unwrap();
+        assert_eq!(classify(&incons).class, CqClass::InconsistentComparisons);
+    }
+
+    #[test]
+    fn parameters_are_reported() {
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let c = classify(&q);
+        assert_eq!(c.v, 3);
+        assert!(c.q > 0);
+    }
+
+    #[test]
+    fn collapse_can_restore_acyclicity() {
+        // s ≤ t ∧ t ≤ s merges s and t; R(s,t), S(t,s) then has a two-edge
+        // hypergraph on one variable — acyclic after collapse.
+        let q = parse_cq("G :- R(s, t), S(t, s), s <= t, t <= s.").unwrap();
+        let c = classify(&q);
+        assert_eq!(c.class, CqClass::AcyclicComparisons);
+    }
+}

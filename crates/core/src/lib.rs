@@ -1,0 +1,47 @@
+//! `pq-core` — the reproduction of Papadimitriou & Yannakakis, *On the
+//! Complexity of Database Queries* (PODS 1997 / JCSS 1999), as a usable
+//! library.
+//!
+//! The paper's two messages become two entry points:
+//!
+//! * [`classify`] places an extended conjunctive query in the paper's
+//!   complexity landscape: acyclic (polynomial, Yannakakis [18]); acyclic
+//!   with `≠` (**fixed-parameter tractable** — Theorem 2, the paper's
+//!   algorithmic contribution); acyclic with `<` (W[1]-complete — Theorem
+//!   3); cyclic (W[1]-complete — Theorem 1).
+//! * [`evaluate`] / [`is_nonempty`] / [`decide`] run the query with the
+//!   engine that classification recommends.
+//!
+//! The substrate crates are re-exported: [`data`] (relations and algebra),
+//! [`hypergraph`] (GYO, join trees), [`query`] (ASTs and parser),
+//! [`engine`] (all evaluators), [`wtheory`] (W hierarchy, reductions).
+//!
+//! ```
+//! use pq_core::{classify, evaluate, PlannerOptions};
+//! use pq_query::parse_cq;
+//! use pq_data::{tuple, Database};
+//!
+//! let mut db = Database::new();
+//! db.add_table("EP", ["e", "p"],
+//!     [tuple!["ann", "p1"], tuple!["ann", "p2"], tuple!["bob", "p1"]]).unwrap();
+//! // The paper's Section 5 example: employees on more than one project.
+//! let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+//! assert_eq!(classify(&q).summary,
+//!     "acyclic with ≠: fixed-parameter tractable by color coding (Theorem 2)");
+//! let answer = evaluate(&q, &db, &PlannerOptions::default()).unwrap();
+//! assert_eq!(answer.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod planner;
+
+pub use classify::{classify, Classification, CqClass};
+pub use planner::{decide, evaluate, is_nonempty, plan, Plan, PlannerOptions};
+
+pub use pq_data as data;
+pub use pq_engine as engine;
+pub use pq_hypergraph as hypergraph;
+pub use pq_query as query;
+pub use pq_wtheory as wtheory;

@@ -1,0 +1,193 @@
+//! The planner: dispatch a conjunctive query to the engine the paper's
+//! classification recommends.
+
+use pq_data::{Database, Relation, Tuple};
+use pq_engine::colorcoding::{ColorCodingOptions, HashFamily};
+use pq_engine::{colorcoding, naive, yannakakis, EngineError, Result};
+use pq_query::ConjunctiveQuery;
+
+use crate::classify::{classify, Classification, CqClass};
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Above this color parameter `k`, the Theorem 2 engine switches from
+    /// the deterministic k-perfect family to randomized trials (the
+    /// deterministic family has `2^{O(k log k)}` members). Emptiness answers
+    /// then acquire the paper's one-sided error `e^{-c}`.
+    pub deterministic_k_limit: usize,
+    /// The `c` of the randomized driver's `⌈c·e^k⌉` trials.
+    pub randomized_confidence: f64,
+    /// Seed for randomized trials.
+    pub seed: u64,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions { deterministic_k_limit: 4, randomized_confidence: 5.0, seed: 0x9e3779b9 }
+    }
+}
+
+/// The outcome of planning: which engine will run and why.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The classification that drove the choice.
+    pub classification: Classification,
+    /// Human-readable engine name.
+    pub engine: &'static str,
+}
+
+/// Choose an engine for the query.
+pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
+    let classification = classify(q);
+    let engine = match classification.class {
+        CqClass::AcyclicPure => "yannakakis",
+        CqClass::AcyclicNeq => {
+            let k = classification.color_parameter.unwrap_or(0);
+            if k <= opts.deterministic_k_limit {
+                "colorcoding (deterministic k-perfect family)"
+            } else {
+                "colorcoding (randomized)"
+            }
+        }
+        CqClass::InconsistentComparisons => "constant (empty answer)",
+        CqClass::AcyclicComparisons | CqClass::Cyclic => "naive backtracking",
+    };
+    Plan { classification, engine }
+}
+
+fn cc_options(k: usize, opts: &PlannerOptions) -> ColorCodingOptions {
+    if k <= opts.deterministic_k_limit {
+        ColorCodingOptions { family: HashFamily::Perfect, minimize_hashed_attrs: true }
+    } else {
+        ColorCodingOptions::randomized(k, opts.randomized_confidence, opts.seed)
+    }
+}
+
+/// Evaluate `Q(d)` with the engine the classification recommends.
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database, opts: &PlannerOptions) -> Result<Relation> {
+    let p = plan(q, opts);
+    match p.classification.class {
+        CqClass::AcyclicPure => yannakakis::evaluate(q, db),
+        CqClass::AcyclicNeq => {
+            let k = p.classification.color_parameter.unwrap_or(0);
+            colorcoding::evaluate(q, db, &cc_options(k, opts))
+        }
+        CqClass::InconsistentComparisons => {
+            Ok(Relation::new(pq_engine::binding::head_attrs(&q.head_terms))
+                .map_err(EngineError::Data)?)
+        }
+        CqClass::AcyclicComparisons | CqClass::Cyclic => naive::evaluate(q, db),
+    }
+}
+
+/// Emptiness with the recommended engine.
+pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database, opts: &PlannerOptions) -> Result<bool> {
+    let p = plan(q, opts);
+    match p.classification.class {
+        CqClass::AcyclicPure => yannakakis::is_nonempty(q, db),
+        CqClass::AcyclicNeq => {
+            let k = p.classification.color_parameter.unwrap_or(0);
+            colorcoding::is_nonempty(q, db, &cc_options(k, opts))
+        }
+        CqClass::InconsistentComparisons => Ok(false),
+        CqClass::AcyclicComparisons | CqClass::Cyclic => naive::is_nonempty(q, db),
+    }
+}
+
+/// The decision problem `t ∈ Q(d)` with the recommended engine.
+pub fn decide(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    t: &Tuple,
+    opts: &PlannerOptions,
+) -> Result<bool> {
+    match q.bind_head(t).map_err(EngineError::Query)? {
+        None => Ok(false),
+        Some(bq) => is_nonempty(&bq, db, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_query::parse_cq;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.add_table(
+            "EP",
+            ["e", "p"],
+            [tuple!["ann", "p1"], tuple!["ann", "p2"], tuple!["bob", "p1"]],
+        )
+        .unwrap();
+        d.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d.add_table("S", ["b", "c"], [tuple![2, 9]]).unwrap();
+        d
+    }
+
+    #[test]
+    fn plans_name_their_engines() {
+        let opts = PlannerOptions::default();
+        let p = plan(&parse_cq("G(x) :- R(x, y), S(y, z).").unwrap(), &opts);
+        assert_eq!(p.engine, "yannakakis");
+        let p = plan(&parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap(), &opts);
+        assert!(p.engine.starts_with("colorcoding"));
+        let p = plan(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
+        assert_eq!(p.engine, "naive backtracking");
+    }
+
+    #[test]
+    fn planner_results_agree_with_naive_oracle() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        for src in [
+            "G(x, c) :- R(x, y), S(y, c).",
+            "G(e) :- EP(e, p), EP(e, p2), p != p2.",
+            "G :- R(x, y), R(y, z), R(z, x).",
+            "G(x) :- R(x, y), x < y.",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let fast = evaluate(&q, &d, &opts).unwrap();
+            let slow = naive::evaluate(&q, &d).unwrap();
+            assert_eq!(fast, slow, "{src}");
+            assert_eq!(
+                is_nonempty(&q, &d, &opts).unwrap(),
+                naive::is_nonempty(&q, &d).unwrap(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_comparisons_evaluate_empty() {
+        let opts = PlannerOptions::default();
+        let q = parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap();
+        let out = evaluate(&q, &db(), &opts).unwrap();
+        assert!(out.is_empty());
+        assert!(!is_nonempty(&q, &db(), &opts).unwrap());
+    }
+
+    #[test]
+    fn decide_routes_through_planner() {
+        let opts = PlannerOptions::default();
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        assert!(decide(&q, &db(), &tuple!["ann"], &opts).unwrap());
+        assert!(!decide(&q, &db(), &tuple!["bob"], &opts).unwrap());
+    }
+
+    #[test]
+    fn large_k_switches_to_randomized() {
+        let opts = PlannerOptions { deterministic_k_limit: 2, ..Default::default() };
+        // chain with three pairwise-distant inequalities → k = 4 > 2
+        let q = parse_cq("G :- R(x, y), S(y, z), x != z.").unwrap();
+        let p = plan(&q, &opts);
+        assert_eq!(p.classification.color_parameter, Some(2));
+        let q2 =
+            parse_cq("G :- R(a, b), R(b, c), R(c, d), a != c, a != d, b != d.").unwrap();
+        let p2 = plan(&q2, &opts);
+        assert_eq!(p2.classification.color_parameter, Some(4));
+        assert_eq!(p2.engine, "colorcoding (randomized)");
+    }
+}

@@ -1,0 +1,156 @@
+//! Databases: named catalogs of relations, plus the active domain.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::error::{DataError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A database instance `d = [D; R1, …, Rm]` (Section 3 of the paper).
+///
+/// The domain `D` is implicit: we expose the *active domain* (every constant
+/// appearing in some relation), which is what all the paper's algorithms
+/// range over.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register a relation under `name`.
+    ///
+    /// # Errors
+    /// [`DataError::DuplicateRelation`] when the name is taken.
+    pub fn add_relation(&mut self, name: impl Into<String>, rel: Relation) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(DataError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, rel);
+        Ok(())
+    }
+
+    /// Replace (or insert) a relation unconditionally.
+    pub fn set_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations.get(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up a relation mutably.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations.get_mut(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+    }
+
+    /// True when `name` is registered.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate over (name, relation) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> impl Iterator<Item = &String> {
+        self.relations.keys()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The database *size* `n`: total number of value occurrences across all
+    /// relations (the standard-encoding size the paper's `O(n log n)` bounds
+    /// refer to, up to constant factors).
+    pub fn size(&self) -> usize {
+        self.relations.values().map(|r| r.len() * r.arity()).sum()
+    }
+
+    /// Total tuple count across relations.
+    pub fn num_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The active domain: every constant appearing in some tuple.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for r in self.relations.values() {
+            for v in r.values() {
+                dom.insert(v.clone());
+            }
+        }
+        dom
+    }
+
+    /// Convenience: register a fresh relation from raw rows.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<()> {
+        self.add_relation(name, Relation::with_tuples(attrs, rows)?)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            write!(f, "{name}{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.add_table("E", ["x", "y"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d.add_table("L", ["v"], [tuple!["a"]]).unwrap();
+        d
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let d = db();
+        assert!(d.has_relation("E"));
+        assert_eq!(d.relation("E").unwrap().len(), 2);
+        assert!(matches!(d.relation("Z"), Err(DataError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected_but_set_overwrites() {
+        let mut d = db();
+        assert!(d.add_table("E", ["x"], []).is_err());
+        d.set_relation("E", Relation::new(["x"]).unwrap());
+        assert_eq!(d.relation("E").unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn size_and_active_domain() {
+        let d = db();
+        assert_eq!(d.size(), 2 * 2 + 1);
+        assert_eq!(d.num_tuples(), 3);
+        let dom = d.active_domain();
+        assert_eq!(dom.len(), 4); // 1, 2, 3, "a"
+        assert!(dom.contains(&Value::int(3)));
+        assert!(dom.contains(&Value::str("a")));
+    }
+}

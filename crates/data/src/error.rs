@@ -1,0 +1,60 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by relation and database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was referenced that the relation header lacks.
+    UnknownAttribute {
+        /// The missing attribute.
+        attr: String,
+        /// The header it was looked up in.
+        header: Vec<String>,
+    },
+    /// A tuple of the wrong arity was inserted into a relation.
+    ArityMismatch {
+        /// Arity the relation expects.
+        expected: usize,
+        /// Arity of the offending tuple.
+        found: usize,
+    },
+    /// A header contained the same attribute name twice.
+    DuplicateAttribute(String),
+    /// A set operation (union/intersection/difference) was applied to
+    /// relations with different headers.
+    HeaderMismatch {
+        /// Left header.
+        left: Vec<String>,
+        /// Right header.
+        right: Vec<String>,
+    },
+    /// A relation name was not found in the database catalog.
+    UnknownRelation(String),
+    /// A relation name was inserted twice into a database catalog.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute { attr, header } => {
+                write!(f, "unknown attribute `{attr}` (header: {header:?})")
+            }
+            DataError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            DataError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}` in header"),
+            DataError::HeaderMismatch { left, right } => {
+                write!(f, "header mismatch: {left:?} vs {right:?}")
+            }
+            DataError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            DataError::DuplicateRelation(r) => write!(f, "duplicate relation `{r}`"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenient result alias for this crate.
+pub type Result<T, E = DataError> = std::result::Result<T, E>;

@@ -1,0 +1,28 @@
+//! `pq-data` — the relational substrate for the reproduction of
+//! Papadimitriou & Yannakakis, *On the Complexity of Database Queries*
+//! (PODS 1997 / JCSS 1999).
+//!
+//! This crate implements the data model the paper's Section 3 assumes:
+//! domains of constants ([`Value`]), tuples ([`Tuple`]), named-attribute
+//! relations ([`Relation`]) with the relational-algebra operators σ, π, ⋈,
+//! ⋉, ∪, ∩, −, ρ, ×, and database instances ([`Database`]) with their active
+//! domain. Everything downstream — the Yannakakis algorithm, the Theorem 2
+//! color-coding engine, all the W-hierarchy reductions — is written against
+//! these types.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod database;
+pub mod error;
+pub mod loader;
+pub mod relation;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use error::{DataError, Result};
+pub use loader::{parse_database, render_database};
+pub use relation::Relation;
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,207 @@
+//! A small text format for loading databases, so examples and experiments
+//! can ship datasets as plain strings/files.
+//!
+//! ```text
+//! % comments start with '%'
+//! EP(emp, proj):          # relation header: name + attribute list
+//!   ann, db
+//!   ann, web
+//!   bob, db
+//!
+//! ES(emp, sal):
+//!   ann, 120
+//!   bob, 100
+//! ```
+//!
+//! Field conventions match the query parser: an integer literal is an
+//! integer value; everything else (optionally double-quoted) is a string
+//! value. Blank lines separate nothing in particular; a new header starts
+//! the next relation.
+
+use crate::database::Database;
+use crate::error::{DataError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parse the text format into a [`Database`].
+///
+/// # Errors
+/// Propagates [`DataError`] for malformed headers, arity mismatches, or
+/// duplicate relation names; the error message carries the line number.
+pub fn parse_database(src: &str) -> Result<Database> {
+    let mut db = Database::new();
+    let mut current: Option<(String, Relation)> = None;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = parse_header(line) {
+            let (name, attrs) = header.map_err(|m| line_err(lineno, &m))?;
+            if let Some((n, r)) = current.take() {
+                db.add_relation(n, r)?;
+            }
+            let rel = Relation::new(attrs)?;
+            current = Some((name, rel));
+        } else {
+            let Some((_, rel)) = current.as_mut() else {
+                return Err(line_err(lineno, "data row before any relation header"));
+            };
+            let tuple = parse_row(line);
+            if tuple.arity() != rel.arity() {
+                return Err(DataError::ArityMismatch {
+                    expected: rel.arity(),
+                    found: tuple.arity(),
+                });
+            }
+            rel.insert(tuple)?;
+        }
+    }
+    if let Some((n, r)) = current.take() {
+        db.add_relation(n, r)?;
+    }
+    Ok(db)
+}
+
+fn line_err(lineno: usize, message: &str) -> DataError {
+    DataError::UnknownRelation(format!("line {}: {message}", lineno + 1))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('%') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// `Name(attr, attr, …):` → Some((name, attrs)); data rows → None.
+#[allow(clippy::type_complexity)]
+fn parse_header(line: &str) -> Option<std::result::Result<(String, Vec<String>), String>> {
+    let line = line.strip_suffix(':')?;
+    let open = line.find('(')?;
+    if !line.ends_with(')') {
+        return Some(Err("header missing `)`".into()));
+    }
+    let name = line[..open].trim();
+    if name.is_empty() {
+        return Some(Err("empty relation name".into()));
+    }
+    let attrs: Vec<String> = line[open + 1..line.len() - 1]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    Some(Ok((name.to_string(), attrs)))
+}
+
+fn parse_row(line: &str) -> Tuple {
+    Tuple::new(line.split(',').map(|field| {
+        let f = field.trim();
+        if let Some(stripped) = f.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+            return Value::str(stripped);
+        }
+        match f.parse::<i64>() {
+            Ok(n) => Value::Int(n),
+            Err(_) => Value::str(f),
+        }
+    }))
+}
+
+/// Render a database back into the text format (inverse of
+/// [`parse_database`] up to whitespace).
+pub fn render_database(db: &Database) -> String {
+    let mut out = String::new();
+    for (name, rel) in db.iter() {
+        out.push_str(&format!("{name}({}):\n", rel.attrs().join(", ")));
+        for t in rel.iter() {
+            let fields: Vec<String> = t
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => i.to_string(),
+                    Value::Str(s) => {
+                        if s.parse::<i64>().is_ok() || s.contains(',') || s.contains('%') {
+                            format!("\"{s}\"")
+                        } else {
+                            s.to_string()
+                        }
+                    }
+                })
+                .collect();
+            out.push_str(&format!("  {}\n", fields.join(", ")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    const SAMPLE: &str = r#"
+% a sample company database
+EP(emp, proj):
+  ann, db
+  ann, web
+  bob, db
+
+ES(emp, sal):
+  ann, 120
+  bob, 100       % trailing comment
+  "99", 42
+"#;
+
+    #[test]
+    fn parses_relations_and_values() {
+        let db = parse_database(SAMPLE).unwrap();
+        assert_eq!(db.num_relations(), 2);
+        let ep = db.relation("EP").unwrap();
+        assert_eq!(ep.attrs(), ["emp", "proj"]);
+        assert_eq!(ep.len(), 3);
+        assert!(ep.contains(&tuple!["ann", "web"]));
+        let es = db.relation("ES").unwrap();
+        assert!(es.contains(&tuple!["ann", 120]));
+        // quoted "99" stays a string
+        assert!(es.contains(&tuple!["99", 42]));
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = parse_database(SAMPLE).unwrap();
+        let text = render_database(&db);
+        let db2 = parse_database(&text).unwrap();
+        assert_eq!(db, db2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let bad = "R(a, b):\n  1\n";
+        assert!(matches!(parse_database(bad), Err(DataError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn row_before_header_rejected() {
+        assert!(parse_database("1, 2\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let bad = "R(a):\n 1\nR(a):\n 2\n";
+        assert!(matches!(parse_database(bad), Err(DataError::DuplicateRelation(_))));
+    }
+
+    #[test]
+    fn empty_relation_allowed() {
+        let db = parse_database("R(a, b):\n").unwrap();
+        assert!(db.relation("R").unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_ary_relation() {
+        let db = parse_database("P():\n").unwrap();
+        assert_eq!(db.relation("P").unwrap().arity(), 0);
+    }
+}

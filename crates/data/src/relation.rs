@@ -1,0 +1,240 @@
+//! Named-attribute relations (sets of tuples).
+//!
+//! A [`Relation`] is a *set*: inserting a duplicate tuple is a no-op. Tuples
+//! are kept in insertion order so evaluation results are deterministic, with
+//! a hash index for O(1) membership.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::{DataError, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A relation: a header of distinct attribute names plus a set of tuples of
+/// matching arity.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    attrs: Vec<String>,
+    rows: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over the given attribute names.
+    ///
+    /// # Errors
+    /// [`DataError::DuplicateAttribute`] when a name repeats.
+    pub fn new(attrs: impl IntoIterator<Item = impl Into<String>>) -> Result<Self> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let mut set = HashSet::with_capacity(attrs.len());
+        for a in &attrs {
+            if !set.insert(a.clone()) {
+                return Err(DataError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Relation { attrs, rows: Vec::new(), seen: HashSet::new() })
+    }
+
+    /// Build a relation and populate it in one call.
+    pub fn with_tuples(
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
+        let mut r = Relation::new(attrs)?;
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The header (attribute names, in column order).
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column position of attribute `name`.
+    pub fn attr_pos(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Column position of attribute `name`, as an error-carrying lookup.
+    pub fn attr_pos_checked(&self, name: &str) -> Result<usize> {
+        self.attr_pos(name).ok_or_else(|| DataError::UnknownAttribute {
+            attr: name.to_string(),
+            header: self.attrs.clone(),
+        })
+    }
+
+    /// Insert a tuple. Returns `true` if it was new.
+    ///
+    /// # Errors
+    /// [`DataError::ArityMismatch`] when the tuple arity differs from the
+    /// header arity.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.attrs.len() {
+            return Err(DataError::ArityMismatch { expected: self.attrs.len(), found: t.arity() });
+        }
+        if self.seen.insert(t.clone()) {
+            self.rows.push(t);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Iterate over tuples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// The tuples as a slice (insertion order).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// All values appearing anywhere in the relation.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.rows.iter().flat_map(|t| t.iter())
+    }
+
+    /// Keep only tuples satisfying `pred`, in place.
+    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        let seen = &mut self.seen;
+        self.rows.retain(|t| {
+            let keep = pred(t);
+            if !keep {
+                seen.remove(t);
+            }
+            keep
+        });
+    }
+
+    /// A canonical, order-independent fingerprint: the sorted tuple list.
+    /// Two relations with the same header are equal as sets iff their
+    /// canonical rows agree.
+    pub fn canonical_rows(&self) -> Vec<Tuple> {
+        let mut v = self.rows.clone();
+        v.sort();
+        v
+    }
+
+    /// Set equality (ignores insertion order), requiring identical headers.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.attrs == other.attrs
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|t| other.seen.contains(t))
+    }
+}
+
+impl PartialEq for Relation {
+    /// Equality is *set* equality over identical headers.
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "({})", self.attrs.join(", "))?;
+        for t in &self.rows {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn r2() -> Relation {
+        Relation::with_tuples(["a", "b"], [tuple![1, 2], tuple![3, 4]]).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_duplicate_attrs() {
+        assert_eq!(
+            Relation::new(["x", "x"]).unwrap_err(),
+            DataError::DuplicateAttribute("x".into())
+        );
+    }
+
+    #[test]
+    fn insert_dedups_and_checks_arity() {
+        let mut r = r2();
+        assert!(!r.insert(tuple![1, 2]).unwrap());
+        assert!(r.insert(tuple![5, 6]).unwrap());
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.insert(tuple![1]).unwrap_err(),
+            DataError::ArityMismatch { expected: 2, found: 1 }
+        );
+    }
+
+    #[test]
+    fn membership_and_iteration_order() {
+        let r = r2();
+        assert!(r.contains(&tuple![1, 2]));
+        assert!(!r.contains(&tuple![2, 1]));
+        let rows: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(rows, vec![tuple![1, 2], tuple![3, 4]]);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let r = r2();
+        assert_eq!(r.attr_pos("b"), Some(1));
+        assert!(r.attr_pos_checked("z").is_err());
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let a = Relation::with_tuples(["a", "b"], [tuple![1, 2], tuple![3, 4]]).unwrap();
+        let b = Relation::with_tuples(["a", "b"], [tuple![3, 4], tuple![1, 2]]).unwrap();
+        assert_eq!(a, b);
+        let c = Relation::with_tuples(["a", "c"], [tuple![1, 2], tuple![3, 4]]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn retain_keeps_index_consistent() {
+        let mut r = r2();
+        r.retain(|t| t[0] == Value::int(1));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![1, 2]));
+        assert!(!r.contains(&tuple![3, 4]));
+        // reinsert previously removed tuple must succeed as new
+        assert!(r.insert(tuple![3, 4]).unwrap());
+    }
+}

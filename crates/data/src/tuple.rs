@@ -1,0 +1,144 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// A database tuple.
+///
+/// Tuples are positional; the association of positions with attribute names
+/// lives in the owning [`crate::relation::Relation`]'s header.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from any iterable of values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple(values.into_iter().collect())
+    }
+
+    /// The tuple's arity (number of components).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Component at `i`, or `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Iterate over the components in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// The components as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// A new tuple keeping only the components at `positions`, in the given
+    /// order (positions may repeat).
+    ///
+    /// # Panics
+    /// Panics if any position is out of range; callers validate positions
+    /// against the relation header.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+
+    /// A new tuple equal to `self` with `extra` appended.
+    pub fn extend_with(&self, extra: impl IntoIterator<Item = Value>) -> Tuple {
+        Tuple(self.0.iter().cloned().chain(extra).collect())
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro: `tuple![1, "a", 3]` builds a [`Tuple`] from
+/// heterogeneous literals convertible [`Into<Value>`].
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_get_index() {
+        let t = tuple![1, "x", 3];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), Some(&Value::str("x")));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t[2], Value::int(3));
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.project(&[2, 0, 0]), tuple![30, 10, 10]);
+        assert_eq!(t.project(&[]), Tuple::default());
+    }
+
+    #[test]
+    fn concat_and_extend() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        assert_eq!(a.concat(&b), tuple![1, 2, "x"]);
+        assert_eq!(a.extend_with([Value::int(9)]), tuple![1, 2, 9]);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, a)");
+        assert_eq!(Tuple::default().to_string(), "()");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(tuple![1, 2] < tuple![1, 3]);
+        assert!(tuple![1] < tuple![1, 0]);
+    }
+}

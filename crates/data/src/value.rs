@@ -1,0 +1,135 @@
+//! Domain values.
+//!
+//! A database domain `D` (Section 3 of the paper) is a set of constants. We
+//! support integer and string constants with a total order so that the
+//! comparison constraints of Theorem 3 (`<`, `≤` over a dense order) are
+//! well-defined. Integers compare numerically, strings lexicographically, and
+//! every integer is ordered before every string; this gives one global dense
+//! enough order for the paper's purposes (the consistency procedure of
+//! Section 5 only needs *some* fixed total order on constants).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single constant of the database domain.
+///
+/// `Value` is cheap to clone: strings are reference-counted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_str_constructors_round_trip() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("abc").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_is_total_ints_before_strings() {
+        assert!(Value::int(-3) < Value::int(5));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::int(i64::MAX) < Value::str(""));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from(3i32), Value::int(3));
+        assert_eq!(Value::from(3usize), Value::int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("alice").to_string(), "alice");
+    }
+
+    #[test]
+    fn equality_and_hash_agree_across_clones() {
+        use std::collections::HashSet;
+        let v = Value::str("long-ish shared string");
+        let w = v.clone();
+        let mut s = HashSet::new();
+        s.insert(v);
+        assert!(s.contains(&w));
+    }
+}

@@ -1,0 +1,92 @@
+//! Variable bindings (instantiations `τ` in the paper's notation) and the
+//! conventions for turning a set of bindings into an output relation.
+
+use std::collections::BTreeMap;
+
+use pq_data::{Relation, Result as DataResult, Tuple, Value};
+use pq_query::{ConjunctiveQuery, Term};
+
+/// An instantiation of query variables by domain constants.
+pub type Binding = BTreeMap<String, Value>;
+
+/// Instantiate a term under a binding; `None` if it is an unbound variable.
+pub fn apply_term(t: &Term, b: &Binding) -> Option<Value> {
+    match t {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => b.get(v).cloned(),
+    }
+}
+
+/// The output header for a query head: variable names when the head terms
+/// are distinct variables, positional `$i` names otherwise (repeated
+/// variables or constants in the head make names ambiguous).
+pub fn head_attrs(head_terms: &[Term]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::with_capacity(head_terms.len());
+    let mut ok = true;
+    for t in head_terms {
+        match t.as_var() {
+            Some(v) if !names.iter().any(|n| n == v) => names.push(v.to_string()),
+            _ => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        names
+    } else {
+        (0..head_terms.len()).map(|i| format!("${i}")).collect()
+    }
+}
+
+/// Build the output relation `Q(d) = { τ(t0) | τ satisfying }` from a list of
+/// satisfying bindings.
+pub fn bindings_to_output(
+    q: &ConjunctiveQuery,
+    bindings: impl IntoIterator<Item = Binding>,
+) -> DataResult<Relation> {
+    let mut out = Relation::new(head_attrs(&q.head_terms))?;
+    for b in bindings {
+        let vals: Option<Vec<Value>> = q.head_terms.iter().map(|t| apply_term(t, &b)).collect();
+        let vals = vals.expect("safe query: head variables bound by body");
+        out.insert(Tuple::new(vals))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::atom;
+
+    #[test]
+    fn head_attr_naming_rules() {
+        assert_eq!(head_attrs(&[Term::var("x"), Term::var("y")]), vec!["x", "y"]);
+        // repeated variable → positional
+        assert_eq!(head_attrs(&[Term::var("x"), Term::var("x")]), vec!["$0", "$1"]);
+        // constants → positional
+        assert_eq!(head_attrs(&[Term::cons(1)]), vec!["$0"]);
+        assert!(head_attrs(&[]).is_empty());
+    }
+
+    #[test]
+    fn output_materializes_head_terms() {
+        let q = ConjunctiveQuery::new(
+            "G",
+            [Term::var("x"), Term::cons(9)],
+            [atom!("R"; var "x")],
+        );
+        let b: Binding = BTreeMap::from([("x".into(), Value::int(4))]);
+        let out = bindings_to_output(&q, [b]).unwrap();
+        assert_eq!(out.attrs(), ["$0", "$1"]);
+        assert!(out.contains(&pq_data::tuple![4, 9]));
+    }
+
+    #[test]
+    fn boolean_query_output_is_zero_ary() {
+        let q = ConjunctiveQuery::boolean("G", [atom!("R"; var "x")]);
+        let out = bindings_to_output(&q, [Binding::new()]).unwrap();
+        assert_eq!(out.arity(), 0);
+        assert_eq!(out.len(), 1); // the empty tuple: "true"
+    }
+}

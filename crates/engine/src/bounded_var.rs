@@ -1,0 +1,172 @@
+//! The parameter-`v` → parameter-`q` transformation of Theorem 1(1).
+//!
+//! "In general, the size of Q, as well as the database schema, may not be
+//! bounded by a function of v. We will transform the query and the database,
+//! so that the query is bounded by such a function": for every subset `S` of
+//! variables such that some atom has exactly variable set `S`, the new query
+//! `Q'` gets one atom `R_S(x_{i1}, …, x_{ir})`, and the new database `d'`
+//! defines `R_S` as the intersection over the atoms `a ∈ A_S` of the
+//! relations `P_a` (the instantiations of `S` that map `a` into the
+//! database). `Q'` has at most `2^v` atoms, and an instantiation satisfies
+//! `Q` on `d` iff it satisfies `Q'` on `d'`.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use pq_data::Database;
+use pq_query::{Atom, ConjunctiveQuery, Term};
+
+use crate::error::{EngineError, Result};
+use crate::yannakakis::atom_relation;
+
+/// The output of the transformation: the bounded-size query `Q'` and the
+/// transformed database `d'`.
+#[derive(Debug, Clone)]
+pub struct BoundedVarInstance {
+    /// The new query, with one atom per distinct variable set; its size is
+    /// at most `2^v · (v + 1)` symbols.
+    pub query: ConjunctiveQuery,
+    /// The new database over the `R_S` relations.
+    pub database: Database,
+}
+
+/// Name of the relation `R_S` for variable set `S` (sorted variable names).
+fn rs_name(vars: &BTreeSet<String>) -> String {
+    let mut n = String::from("RS");
+    for v in vars {
+        n.push('_');
+        n.push_str(v);
+    }
+    n
+}
+
+/// Apply the transformation to a *pure* conjunctive query (Theorem 1 treats
+/// plain CQs; `≠`/`<` atoms are not part of this reduction).
+pub fn transform(q: &ConjunctiveQuery, db: &Database) -> Result<BoundedVarInstance> {
+    if !q.is_pure() {
+        return Err(EngineError::Unsupported(
+            "bounded-variable transformation is defined for pure conjunctive queries".into(),
+        ));
+    }
+
+    // Group atoms by their (exact) variable set S.
+    let mut groups: BTreeMap<BTreeSet<String>, Vec<&Atom>> = BTreeMap::new();
+    for a in &q.atoms {
+        let s: BTreeSet<String> = a.variables().into_iter().map(str::to_string).collect();
+        groups.entry(s).or_default().push(a);
+    }
+
+    let mut new_db = Database::new();
+    let mut new_atoms = Vec::new();
+    for (s, atoms) in &groups {
+        let ordered: Vec<String> = s.iter().cloned().collect();
+        // P_a for each atom: its variable instantiations, projected to the
+        // canonical attribute order; R_S is their intersection.
+        let mut rs: Option<pq_data::Relation> = None;
+        for a in atoms {
+            let pa = atom_relation(a, db)?;
+            let cols: Vec<&str> = ordered.iter().map(String::as_str).collect();
+            let pa = pa.project(&cols)?;
+            rs = Some(match rs {
+                None => pa,
+                Some(acc) => acc.intersect(&pa)?,
+            });
+        }
+        let rs = rs.expect("group is nonempty");
+        let name = rs_name(s);
+        new_db.set_relation(name.clone(), rs);
+        new_atoms.push(Atom::new(name, ordered.iter().map(Term::var)));
+    }
+
+    let query =
+        ConjunctiveQuery::new(q.head_name.clone(), q.head_terms.iter().cloned(), new_atoms);
+    Ok(BoundedVarInstance { query, database: new_db })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use pq_data::tuple;
+    use pq_query::parse_cq;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            "E",
+            ["a", "b"],
+            [tuple![1, 2], tuple![2, 3], tuple![3, 1], tuple![1, 3]],
+        )
+        .unwrap();
+        db.add_table("L", ["a"], [tuple![1], tuple![2]]).unwrap();
+        db
+    }
+
+    #[test]
+    fn atoms_with_same_variable_set_merge() {
+        // E(x,y) and E(y,x) share the set {x,y} → one RS atom whose relation
+        // is the intersection (bidirectional edges).
+        let q = parse_cq("G(x, y) :- E(x, y), E(y, x).").unwrap();
+        let inst = transform(&q, &db()).unwrap();
+        assert_eq!(inst.query.atoms.len(), 1);
+        let out_t = naive::evaluate(&inst.query, &inst.database).unwrap();
+        let out_o = naive::evaluate(&q, &db()).unwrap();
+        assert_eq!(out_t.canonical_rows(), out_o.canonical_rows());
+        // only 1↔3 is bidirectional
+        assert_eq!(out_t.len(), 2);
+    }
+
+    #[test]
+    fn transformation_preserves_answers_on_paths() {
+        let q = parse_cq("G(x, z) :- E(x, y), E(y, z), L(x).").unwrap();
+        let inst = transform(&q, &db()).unwrap();
+        // Groups: {x,y}, {y,z}, {x} → 3 atoms.
+        assert_eq!(inst.query.atoms.len(), 3);
+        let a = naive::evaluate(&inst.query, &inst.database).unwrap();
+        let b = naive::evaluate(&q, &db()).unwrap();
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn query_size_bounded_by_variable_count() {
+        use pq_query::QueryMetrics;
+        // Many atoms over few variables: transformed size depends on v only.
+        let q = parse_cq(
+            "G :- E(x, y), E(y, x), E(x, y), E(y, x), E(x, x), E(y, y), L(x), L(y).",
+        )
+        .unwrap();
+        let inst = transform(&q, &db()).unwrap();
+        // Variable sets: {x,y} (merged), {x}, {y} → 3 atoms ≤ 2^v = 4.
+        assert_eq!(inst.query.atoms.len(), 3);
+        assert!(inst.query.size() <= (1 << q.num_variables()) * (q.num_variables() + 1) + 1);
+        assert_eq!(
+            naive::is_nonempty(&inst.query, &inst.database).unwrap(),
+            naive::is_nonempty(&q, &db()).unwrap()
+        );
+    }
+
+    #[test]
+    fn constants_are_folded_into_rs() {
+        let q = parse_cq("G(y) :- E(1, y), E(y, 3).").unwrap();
+        let inst = transform(&q, &db()).unwrap();
+        assert_eq!(inst.query.atoms.len(), 1); // both atoms have var set {y}
+        let a = naive::evaluate(&inst.query, &inst.database).unwrap();
+        let b = naive::evaluate(&q, &db()).unwrap();
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+    }
+
+    #[test]
+    fn impure_queries_rejected() {
+        let q = parse_cq("G :- E(x, y), x != y.").unwrap();
+        assert!(matches!(transform(&q, &db()), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn unsatisfiable_constant_atom_empties_rs() {
+        let mut d = db();
+        d.add_table("C", ["a", "b"], [tuple![9, 9]]).unwrap();
+        let q = parse_cq("G :- E(x, y), C(1, 2).").unwrap();
+        let inst = transform(&q, &d).unwrap();
+        assert!(!naive::is_nonempty(&inst.query, &inst.database).unwrap());
+    }
+}

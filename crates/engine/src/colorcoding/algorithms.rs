@@ -1,0 +1,385 @@
+//! Algorithms 1 and 2 of Section 5, for a fixed hash function `h`.
+//!
+//! Given an acyclic conjunctive query with `≠` atoms, a database, and a
+//! coloring `h : D → {1, …, k}`, [`algorithm1`] decides whether some
+//! *consistent satisfying instantiation* exists (one that satisfies all
+//! relational and inequality atoms and whose `V1`-values get distinct colors
+//! pairwise across each `I1` inequality), and [`algorithm2`] computes
+//! `Q_h(d) = { τ(t0) | τ ∈ Θ_h }`. The driver in [`super::driver`] then
+//! ranges `h` over a random or k-perfect family.
+
+use std::collections::BTreeSet;
+
+use pq_data::{Database, Relation, Tuple, Value};
+use pq_hypergraph::{join_tree, Hypergraph, JoinTree};
+use pq_query::ConjunctiveQuery;
+
+use super::hashing::{Coloring, DomainIndex};
+use super::partition::NeqPartition;
+use crate::error::{EngineError, Result};
+use crate::yannakakis::atom_relation;
+
+/// The hashed-attribute name for variable `x` (the paper's `x'`). The `#`
+/// cannot appear in parsed variable names, so no collision is possible.
+pub fn hashed_attr(x: &str) -> String {
+    format!("{x}#h")
+}
+
+/// Everything about the query that does not depend on the hash function —
+/// computed once, reused for every `h` in the family.
+pub struct Prepared {
+    /// The query hypergraph (relational atoms only).
+    pub hg: Hypergraph,
+    /// A join tree for it.
+    pub tree: JoinTree,
+    /// The `I1`/`I2` partition of the inequalities.
+    pub partition: NeqPartition,
+    /// `S_j` per atom: constants/equalities of the atom plus all applicable
+    /// `I2` inequality selections, projected onto the atom's variables.
+    pub s: Vec<Relation>,
+    /// `U_j`: the variable set of atom `j`.
+    pub u_vars: Vec<BTreeSet<String>>,
+    /// `W_j`: the V1-variables from strictly below `j` whose hashed copies
+    /// must be carried through node `j` (see Section 5's definition).
+    pub w_vars: Vec<BTreeSet<String>>,
+    /// `Y_j = U_j ∪ U'_j ∪ W'_j` as attribute names.
+    pub y_attrs: Vec<Vec<String>>,
+    /// `at(T[j])`: variables appearing in the subtree rooted at `j`.
+    pub subtree_vars: Vec<BTreeSet<String>>,
+}
+
+impl Prepared {
+    /// Build the `h`-independent structure. Fails when the query is cyclic,
+    /// has comparison atoms, or references unknown relations.
+    ///
+    /// `minimize_hashed_attrs` selects the paper's `W_j` definition (true)
+    /// or the widened variant carrying *every* subtree `V1`-variable
+    /// (false) — ablation A1 of DESIGN.md.
+    pub fn build(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        minimize_hashed_attrs: bool,
+    ) -> Result<Prepared> {
+        if !q.comparisons.is_empty() {
+            return Err(EngineError::Unsupported(
+                "color-coding engine handles ≠ only; < comparisons are W[1]-hard (Theorem 3)"
+                    .into(),
+            ));
+        }
+        let hg = q.hypergraph();
+        let tree = join_tree(&hg)
+            .ok_or_else(|| EngineError::Unsupported(format!("query is not acyclic: {q}")))?;
+        let partition = NeqPartition::build(q, &hg);
+
+        // S_j: per-atom relations with I2 constraints pushed in.
+        let mut s: Vec<Relation> = Vec::with_capacity(q.atoms.len());
+        for atom in &q.atoms {
+            let mut rel = atom_relation(atom, db)?;
+            for (v, c) in &partition.i2_var_const {
+                if rel.attr_pos(v).is_some() {
+                    rel = rel.select_ne_const(v, c)?;
+                }
+            }
+            for (a, b) in &partition.i2_var_var {
+                if rel.attr_pos(a).is_some() && rel.attr_pos(b).is_some() {
+                    rel = rel.select_ne_attrs(a, b)?;
+                }
+            }
+            s.push(rel);
+        }
+
+        let u_vars: Vec<BTreeSet<String>> = q
+            .atoms
+            .iter()
+            .map(|a| a.variables().into_iter().map(str::to_string).collect())
+            .collect();
+
+        let subtree_vars: Vec<BTreeSet<String>> = (0..q.atoms.len())
+            .map(|j| {
+                tree.subtree_vertices(&hg, j).iter().map(|&v| hg.label(v).to_string()).collect()
+            })
+            .collect();
+
+        // W_j: V1-variables below j that still have an unresolved I1 partner.
+        let mut w_vars: Vec<BTreeSet<String>> = vec![BTreeSet::new(); q.atoms.len()];
+        for j in 0..q.atoms.len() {
+            for x in &partition.v1 {
+                if u_vars[j].contains(x) || !subtree_vars[j].contains(x) {
+                    continue;
+                }
+                // x appears strictly below j, in a unique child subtree.
+                let child = tree
+                    .children(j)
+                    .iter()
+                    .copied()
+                    .find(|&c| subtree_vars[c].contains(x))
+                    .expect("join-tree property: x lives in exactly one child subtree");
+                let needed = if minimize_hashed_attrs {
+                    partition.i1.iter().any(|(a, b)| {
+                        (a == x && !subtree_vars[child].contains(b))
+                            || (b == x && !subtree_vars[child].contains(a))
+                    })
+                } else {
+                    true
+                };
+                if needed {
+                    w_vars[j].insert(x.clone());
+                }
+            }
+        }
+
+        let y_attrs: Vec<Vec<String>> = (0..q.atoms.len())
+            .map(|j| {
+                let mut attrs: Vec<String> = u_vars[j].iter().cloned().collect();
+                for x in &u_vars[j] {
+                    if partition.in_v1(x) {
+                        attrs.push(hashed_attr(x));
+                    }
+                }
+                for x in &w_vars[j] {
+                    attrs.push(hashed_attr(x));
+                }
+                attrs
+            })
+            .collect();
+
+        Ok(Prepared { hg, tree, partition, s, u_vars, w_vars, y_attrs, subtree_vars })
+    }
+
+    /// `S'_j`: extend `S_j` with one hashed column per `V1`-variable of the
+    /// atom, holding `h(value)` as an integer.
+    fn extend_with_hashes(&self, j: usize, dom: &DomainIndex, h: &Coloring) -> Relation {
+        let base = &self.s[j];
+        let hashed_vars: Vec<&String> =
+            self.u_vars[j].iter().filter(|x| self.partition.in_v1(x)).collect();
+        if hashed_vars.is_empty() {
+            return base.clone();
+        }
+        let mut attrs: Vec<String> = base.attrs().to_vec();
+        attrs.extend(hashed_vars.iter().map(|x| hashed_attr(x)));
+        let positions: Vec<usize> = hashed_vars
+            .iter()
+            .map(|x| base.attr_pos(x).expect("hashed var is a column of S_j"))
+            .collect();
+        let mut out = Relation::new(attrs).expect("distinct attrs by construction");
+        for t in base.iter() {
+            let extra =
+                positions.iter().map(|&p| Value::Int(i64::from(h.color_of(dom, &t[p]))));
+            out.insert(t.extend_with(extra)).expect("arity matches");
+        }
+        out
+    }
+}
+
+/// Apply the `I1` inequality selections that have *become checkable*: both
+/// hashed attributes present in `rel`, and not both already present before
+/// the last join (those were filtered earlier).
+fn filter_new_i1_pairs(
+    rel: Relation,
+    partition: &NeqPartition,
+    before: &BTreeSet<String>,
+) -> Relation {
+    let mut out = rel;
+    for (a, b) in &partition.i1 {
+        let (ha, hb) = (hashed_attr(a), hashed_attr(b));
+        let both_now = out.attr_pos(&ha).is_some() && out.attr_pos(&hb).is_some();
+        let both_before = before.contains(&ha) && before.contains(&hb);
+        if both_now && !both_before {
+            out = out.select_ne_attrs(&ha, &hb).expect("attrs present");
+        }
+    }
+    out
+}
+
+/// **Algorithm 1 (emptiness test).** Returns the final node relations
+/// (`P_u` of the paper) when some consistent satisfying instantiation
+/// exists, or `None` when `Q_h(d) = ∅`.
+pub fn algorithm1(
+    prep: &Prepared,
+    dom: &DomainIndex,
+    h: &Coloring,
+) -> Option<Vec<Relation>> {
+    let n = prep.s.len();
+    let mut p: Vec<Relation> = (0..n).map(|j| prep.extend_with_hashes(j, dom, h)).collect();
+    if p.iter().any(Relation::is_empty) {
+        return None;
+    }
+    for j in prep.tree.bottom_up() {
+        let Some(u) = prep.tree.parent(j) else { continue };
+        let keep: Vec<String> = prep.y_attrs[j]
+            .iter()
+            .filter(|a| prep.y_attrs[u].contains(a))
+            .cloned()
+            .collect();
+        let proj = p[j].project_onto(&keep);
+        let before: BTreeSet<String> = p[u].attrs().iter().cloned().collect();
+        let joined = p[u].natural_join(&proj).expect("attr sets are consistent");
+        let filtered = filter_new_i1_pairs(joined, &prep.partition, &before);
+        if filtered.is_empty() {
+            return None;
+        }
+        p[u] = filtered;
+    }
+    Some(p)
+}
+
+/// **Algorithm 2 (evaluation of `Q_h(d)`).** Takes the relations produced by
+/// a successful Algorithm 1 run and returns the projection `P* = π_Z(P_1 ⋈ …
+/// ⋈ P_s)` over the head variables `Z`, computed without materializing the
+/// full join: a top-down dangling-tuple (semijoin) pass, then a bottom-up
+/// join+project pass.
+pub fn algorithm2(
+    prep: &Prepared,
+    mut p: Vec<Relation>,
+    head_vars: &[String],
+) -> Result<Relation> {
+    // Step 1: top-down semijoins — make the relations globally consistent.
+    for j in prep.tree.top_down() {
+        if let Some(u) = prep.tree.parent(j) {
+            p[j] = p[j].semijoin(&p[u]);
+        }
+    }
+
+    // Step 2: bottom-up joins, projecting each child onto
+    // Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])).
+    for j in prep.tree.bottom_up() {
+        let Some(u) = prep.tree.parent(j) else { continue };
+        let mut zj: Vec<String> = prep.y_attrs[j]
+            .iter()
+            .filter(|a| prep.y_attrs[u].contains(a))
+            .cloned()
+            .collect();
+        for z in head_vars {
+            if prep.subtree_vars[j].contains(z) && !zj.contains(z) {
+                zj.push(z.clone());
+            }
+        }
+        let proj = p[j].project_onto(&zj);
+        p[u] = p[u].natural_join(&proj)?;
+    }
+
+    // Step 3: project the root onto Z.
+    let z_refs: Vec<&str> = head_vars.iter().map(String::as_str).collect();
+    Ok(p[prep.tree.root()].project(&z_refs)?)
+}
+
+/// Build the final output relation from `P*` by instantiating the head
+/// terms (shared with the Yannakakis engine's convention).
+pub fn materialize_head(q: &ConjunctiveQuery, star: &Relation) -> Result<Relation> {
+    let mut out = Relation::new(crate::binding::head_attrs(&q.head_terms))?;
+    for t in star.iter() {
+        let vals = q.head_terms.iter().map(|term| match term {
+            pq_query::Term::Const(c) => c.clone(),
+            pq_query::Term::Var(v) => {
+                let pos = star.attr_pos(v).expect("head var is a column of P*");
+                t[pos].clone()
+            }
+        });
+        out.insert(Tuple::new(vals))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_query::parse_cq;
+
+    fn prep_for(src: &str, db: &Database) -> Prepared {
+        let q = parse_cq(src).unwrap();
+        Prepared::build(&q, db, true).unwrap()
+    }
+
+    fn ep_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            "EP",
+            ["e", "p"],
+            [tuple!["ann", "p1"], tuple!["ann", "p2"], tuple!["bob", "p1"]],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn prepared_structure_for_paper_example() {
+        let db = ep_db();
+        let prep = prep_for("G(e) :- EP(e, p), EP(e, p2), p != p2.", &db);
+        assert_eq!(prep.partition.k(), 2);
+        assert_eq!(prep.u_vars[0], BTreeSet::from(["e".to_string(), "p".to_string()]));
+        // Y of each node includes its own hashed attr.
+        assert!(prep.y_attrs[0].contains(&hashed_attr("p")));
+        assert!(prep.y_attrs[1].contains(&hashed_attr("p2")));
+    }
+
+    #[test]
+    fn algorithm1_distinguishes_colorings() {
+        let db = ep_db();
+        let prep = prep_for("G(e) :- EP(e, p), EP(e, p2), p != p2.", &db);
+        let dom = DomainIndex::from_database(&db);
+        // Domain (sorted): ann, bob, p1, p2. A coloring separating p1 and p2
+        // must find ann; a constant coloring must fail.
+        let idx_p1 = dom.index_of(&Value::str("p1")).unwrap();
+        let mut colors = vec![0u32; dom.len()];
+        colors[idx_p1] = 1;
+        let good = Coloring::new(colors);
+        assert!(algorithm1(&prep, &dom, &good).is_some());
+        let bad = Coloring::new(vec![0; dom.len()]);
+        assert!(algorithm1(&prep, &dom, &bad).is_none());
+    }
+
+    #[test]
+    fn algorithm2_projects_onto_head() {
+        let db = ep_db();
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let prep = Prepared::build(&q, &db, true).unwrap();
+        let dom = DomainIndex::from_database(&db);
+        let idx_p1 = dom.index_of(&Value::str("p1")).unwrap();
+        let mut colors = vec![0u32; dom.len()];
+        colors[idx_p1] = 1;
+        let p = algorithm1(&prep, &dom, &Coloring::new(colors)).expect("nonempty");
+        let star = algorithm2(&prep, p, &["e".to_string()]).unwrap();
+        assert_eq!(star.len(), 1);
+        assert!(star.contains(&tuple!["ann"]));
+    }
+
+    #[test]
+    fn i2_constraints_are_enforced_in_s() {
+        let mut db = Database::new();
+        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]]).unwrap();
+        let q = parse_cq("G :- R(x, y), x != y.").unwrap();
+        let prep = Prepared::build(&q, &db, true).unwrap();
+        assert_eq!(prep.partition.k(), 0);
+        assert_eq!(prep.s[0].len(), 1); // only (1,2) survives
+    }
+
+    #[test]
+    fn comparisons_are_rejected() {
+        let db = ep_db();
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p < p2.").unwrap();
+        assert!(matches!(Prepared::build(&q, &db, true), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn cyclic_query_rejected() {
+        let mut db = Database::new();
+        db.add_table("E", ["a", "b"], [tuple![1, 2]]).unwrap();
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x), x != z.").unwrap();
+        assert!(matches!(Prepared::build(&q, &db, true), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn wide_attribute_mode_agrees_on_emptiness() {
+        let db = ep_db();
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let dom = DomainIndex::from_database(&db);
+        let narrow = Prepared::build(&q, &db, true).unwrap();
+        let wide = Prepared::build(&q, &db, false).unwrap();
+        let idx_p1 = dom.index_of(&Value::str("p1")).unwrap();
+        let mut colors = vec![0u32; dom.len()];
+        colors[idx_p1] = 1;
+        let h = Coloring::new(colors);
+        assert_eq!(algorithm1(&narrow, &dom, &h).is_some(), algorithm1(&wide, &dom, &h).is_some());
+    }
+}

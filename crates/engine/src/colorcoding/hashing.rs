@@ -1,0 +1,352 @@
+//! Hash functions `h : D → {1, …, k}` and families thereof.
+//!
+//! Section 5 drives Algorithms 1–2 either with `O(e^k)` *random* functions
+//! (success probability ≥ 1 − e⁻ᶜ after `c·eᵏ` trials, since a satisfying
+//! instantiation with `l ≤ k` distinct `V1`-values is consistent with at
+//! least a fraction `l!/l^k > e^{−k}` of all functions) or with a
+//! *deterministic k-perfect family* `F`: for every `≤ k`-element subset `S`
+//! of the domain some `h ∈ F` is injective on `S`, and then
+//! `Q(d) = ⋃_{h∈F} Q_h(d)` exactly.
+//!
+//! The deterministic family here is a two-level explicit construction
+//! (DESIGN.md, "Substitutions"):
+//!
+//! * outer level: FKS-style `x ↦ (a·x mod p) mod k²` for every
+//!   `a ∈ {1, …, p−1}`, `p` the smallest prime ≥ |D|. For each fixed k-set,
+//!   the expected number of colliding pairs at range `k²` is < 1, so some
+//!   `a` is injective on it.
+//! * inner level: for every k-subset `T` of `{0, …, k²−1}` one canonical
+//!   function `g_T : [k²] → [k]` injective on `T`. There are `C(k², k) =
+//!   2^{O(k log k)}` of them — matching the paper's `g(v) = 2^{O(v log v)}`
+//!   bound.
+//!
+//! Total family size `O(|D| · 2^{O(k log k)})` — a factor `|D|/log|D|` larger
+//! than the Schmidt–Siegel families the paper cites, but still fixed-
+//! parameter polynomial, genuinely deterministic, and k-perfect.
+
+use std::collections::{BTreeSet, HashMap};
+
+use pq_data::{Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bijection between the active domain and `0..N`, fixing the universe the
+/// hash functions act on.
+#[derive(Debug, Clone)]
+pub struct DomainIndex {
+    values: Vec<Value>,
+    index: HashMap<Value, usize>,
+}
+
+impl DomainIndex {
+    /// Index the active domain of `db` (sorted order, so deterministic).
+    pub fn from_database(db: &Database) -> DomainIndex {
+        let dom: BTreeSet<Value> = db.active_domain();
+        let values: Vec<Value> = dom.into_iter().collect();
+        let index = values.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+        DomainIndex { values, index }
+    }
+
+    /// Number of domain elements `N = |D|`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the active domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index of a value (present for every active-domain value).
+    pub fn index_of(&self, v: &Value) -> Option<usize> {
+        self.index.get(v).copied()
+    }
+}
+
+/// One hash function, materialized as a color per domain index. Colors are
+/// in `0..k` (the paper's `{1, …, k}`, shifted).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Coloring {
+    colors: Vec<u32>,
+}
+
+impl Coloring {
+    /// Build from an explicit color vector.
+    pub fn new(colors: Vec<u32>) -> Coloring {
+        Coloring { colors }
+    }
+
+    /// Color of domain index `i`.
+    pub fn color(&self, i: usize) -> u32 {
+        self.colors[i]
+    }
+
+    /// Color of a value under a domain index.
+    pub fn color_of(&self, dom: &DomainIndex, v: &Value) -> u32 {
+        dom.index_of(v).map(|i| self.colors[i]).unwrap_or(0)
+    }
+}
+
+/// A source of hash functions to drive the per-`h` algorithms with.
+pub enum HashFamily {
+    /// `trials` independent uniformly random functions (seeded).
+    Random {
+        /// Number of functions to draw.
+        trials: usize,
+        /// RNG seed (reproducibility).
+        seed: u64,
+    },
+    /// The explicit two-level k-perfect family described in the module docs.
+    Perfect,
+    /// A single function (used when `k = 0`: no `I1` inequalities, so any
+    /// function — even a constant one — is vacuously consistent).
+    Trivial,
+}
+
+impl HashFamily {
+    /// The number of trials the paper's randomized analysis suggests for
+    /// error probability `e^{-c}`: `⌈c · e^k⌉`.
+    pub fn suggested_trials(k: usize, c: f64) -> usize {
+        (c * (k as f64).exp()).ceil().max(1.0) as usize
+    }
+
+    /// Enumerate the family as an iterator of colorings over `dom` with `k`
+    /// colors. `k = 0` or `k = 1` yields the single constant coloring.
+    pub fn colorings<'a>(
+        &'a self,
+        dom: &'a DomainIndex,
+        k: usize,
+    ) -> Box<dyn Iterator<Item = Coloring> + 'a> {
+        let n = dom.len();
+        if k <= 1 || n <= 1 {
+            return Box::new(std::iter::once(Coloring::new(vec![0; n])));
+        }
+        match self {
+            HashFamily::Trivial => Box::new(std::iter::once(Coloring::new(vec![0; n]))),
+            HashFamily::Random { trials, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let trials = *trials;
+                Box::new((0..trials).map(move |_| {
+                    Coloring::new((0..n).map(|_| rng.gen_range(0..k as u32)).collect())
+                }))
+            }
+            HashFamily::Perfect => Box::new(perfect_family(n, k)),
+        }
+    }
+
+    /// The size of the family (number of functions enumerated).
+    pub fn family_size(&self, dom_len: usize, k: usize) -> usize {
+        if k <= 1 || dom_len <= 1 {
+            return 1;
+        }
+        match self {
+            HashFamily::Trivial => 1,
+            HashFamily::Random { trials, .. } => *trials,
+            HashFamily::Perfect => {
+                if dom_len <= k {
+                    1
+                } else if k == 2 {
+                    (usize::BITS - (dom_len - 1).leading_zeros()) as usize
+                } else {
+                    (smallest_prime_at_least(dom_len) - 1) * binomial(k * k, k)
+                }
+            }
+        }
+    }
+}
+
+/// The k-perfect family as an iterator.
+///
+/// When `N ≤ k` a single injective coloring suffices (every subset is hashed
+/// injectively by the identity). For `k = 2` the *bit family* is used: the
+/// `⌈log₂ N⌉` functions `h_i(x) = bit i of x` — any two distinct indices
+/// differ in some bit, so the family is 2-perfect with only `log N` members
+/// (this keeps deterministic evaluation of the paper's `k = 2` examples at
+/// `O(n log² n)` instead of `O(n²)`). For `k ≥ 3` the two-level FKS
+/// construction described in the module docs applies.
+fn perfect_family(n: usize, k: usize) -> Box<dyn Iterator<Item = Coloring>> {
+    if n <= k {
+        return Box::new(std::iter::once(Coloring::new((0..n).map(|i| i as u32).collect())));
+    }
+    if k == 2 {
+        let bits = usize::BITS - (n - 1).leading_zeros();
+        return Box::new((0..bits).map(move |i| {
+            Coloring::new((0..n).map(|x| (x >> i & 1) as u32).collect())
+        }));
+    }
+    let p = smallest_prime_at_least(n);
+    let m = k * k;
+    let subsets = k_subsets(m, k);
+    Box::new((1..p).flat_map(move |a| {
+        let outer: Vec<usize> = (0..n).map(|x| (a * x) % p % m).collect();
+        subsets.clone().into_iter().map(move |t| {
+            // g_T: elements of T (sorted) → 0..k, everything else → y mod k.
+            let mut g = vec![0u32; m];
+            for (y, slot) in g.iter_mut().enumerate() {
+                *slot = (y % k) as u32;
+            }
+            for (rank, &y) in t.iter().enumerate() {
+                g[y] = rank as u32;
+            }
+            Coloring::new(outer.iter().map(|&y| g[y]).collect())
+        })
+    }))
+}
+
+/// All k-subsets of `0..m`, each sorted ascending.
+fn k_subsets(m: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, m: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        let need = k - cur.len();
+        for x in start..=m.saturating_sub(need) {
+            cur.push(x);
+            rec(x + 1, m, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, m, k, &mut cur, &mut out);
+    out
+}
+
+/// Smallest prime `≥ n` (trial division; domains are laptop-scale).
+pub fn smallest_prime_at_least(n: usize) -> usize {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+
+    fn db_with_values(n: i64) -> Database {
+        let mut db = Database::new();
+        db.add_table("R", ["x"], (0..n).map(|i| tuple![i])).unwrap();
+        db
+    }
+
+    #[test]
+    fn domain_index_is_sorted_and_total() {
+        let dom = DomainIndex::from_database(&db_with_values(5));
+        assert_eq!(dom.len(), 5);
+        assert_eq!(dom.index_of(&Value::int(0)), Some(0));
+        assert_eq!(dom.index_of(&Value::int(4)), Some(4));
+        assert_eq!(dom.index_of(&Value::int(99)), None);
+    }
+
+    #[test]
+    fn suggested_trials_grows_exponentially() {
+        assert_eq!(HashFamily::suggested_trials(0, 1.0), 1);
+        let t2 = HashFamily::suggested_trials(2, 3.0);
+        let t4 = HashFamily::suggested_trials(4, 3.0);
+        assert!(t4 > t2 * 5, "e^k growth expected: {t2} vs {t4}");
+    }
+
+    #[test]
+    fn random_family_respects_trials_and_range() {
+        let dom = DomainIndex::from_database(&db_with_values(10));
+        let fam = HashFamily::Random { trials: 7, seed: 42 };
+        let cs: Vec<Coloring> = fam.colorings(&dom, 3).collect();
+        assert_eq!(cs.len(), 7);
+        for c in &cs {
+            for i in 0..dom.len() {
+                assert!(c.color(i) < 3);
+            }
+        }
+        // seeded → reproducible
+        let cs2: Vec<Coloring> = fam.colorings(&dom, 3).collect();
+        assert_eq!(cs, cs2);
+    }
+
+    #[test]
+    fn k_subsets_count() {
+        assert_eq!(k_subsets(4, 2).len(), 6);
+        assert_eq!(k_subsets(9, 3).len(), 84);
+        assert_eq!(k_subsets(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn primes() {
+        assert_eq!(smallest_prime_at_least(1), 2);
+        assert_eq!(smallest_prime_at_least(10), 11);
+        assert_eq!(smallest_prime_at_least(11), 11);
+        assert_eq!(smallest_prime_at_least(90), 97);
+    }
+
+    #[test]
+    fn perfect_family_is_k_perfect_exhaustively() {
+        // For every 2-subset and 3-subset of a 7-element domain, some member
+        // of the family must be injective on it.
+        for k in [2usize, 3] {
+            let n = 7usize;
+            let family: Vec<Coloring> = perfect_family(n, k).collect();
+            for subset in k_subsets(n, k) {
+                let covered = family.iter().any(|c| {
+                    let colors: BTreeSet<u32> = subset.iter().map(|&i| c.color(i)).collect();
+                    colors.len() == k
+                });
+                assert!(covered, "k={k}, subset {subset:?} not perfectly hashed");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_family_small_domain_shortcut() {
+        let family: Vec<Coloring> = perfect_family(3, 4).collect();
+        assert_eq!(family.len(), 1);
+        let c = &family[0];
+        let distinct: BTreeSet<u32> = (0..3).map(|i| c.color(i)).collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn trivial_family_for_k_zero() {
+        let dom = DomainIndex::from_database(&db_with_values(4));
+        let fam = HashFamily::Perfect;
+        let cs: Vec<Coloring> = fam.colorings(&dom, 0).collect();
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(9, 3), 84);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

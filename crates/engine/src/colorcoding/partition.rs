@@ -1,0 +1,170 @@
+//! Partitioning the inequality atoms into the paper's classes `I1` and `I2`.
+//!
+//! Section 5: "Partition the inequality atoms of Q into the set I1 of atoms
+//! `xi ≠ xj` such that the variables xi, xj do not occur together in any
+//! hyperedge (relational atom), and the set I2 of the remaining atoms
+//! (`xi ≠ c`, and `xi ≠ xj` such that xi, xj are in a common hyperedge)."
+//!
+//! Only the `I1` inequalities need the color-coding machinery; `I2`
+//! inequalities are enforced locally, inside the per-atom relations `S_j`.
+
+use std::collections::BTreeSet;
+
+use pq_data::Value;
+use pq_hypergraph::Hypergraph;
+use pq_query::{ConjunctiveQuery, Term};
+
+/// The `I1`/`I2` split of a query's inequality atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeqPartition {
+    /// `I1`: variable-variable inequalities whose endpoints never co-occur
+    /// in a relational atom. Pairs are stored with the lexicographically
+    /// smaller variable first; duplicates are removed.
+    pub i1: Vec<(String, String)>,
+    /// `I2` variable-variable inequalities (endpoints co-occur in some atom).
+    pub i2_var_var: Vec<(String, String)>,
+    /// `I2` variable-constant inequalities.
+    pub i2_var_const: Vec<(String, Value)>,
+    /// `V1`: the distinct variables appearing in `I1`, sorted. Its size is
+    /// the color-count parameter `k` of the hash functions.
+    pub v1: Vec<String>,
+    /// The query is unsatisfiable outright (an atom `x ≠ x`, or `c ≠ c`).
+    pub trivially_false: bool,
+}
+
+impl NeqPartition {
+    /// Split the inequality atoms of `q` against its relational hypergraph.
+    pub fn build(q: &ConjunctiveQuery, hg: &Hypergraph) -> NeqPartition {
+        let mut i1: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut i2_var_var: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut i2_var_const: BTreeSet<(String, Value)> = BTreeSet::new();
+        let mut trivially_false = false;
+
+        for n in &q.neqs {
+            match (&n.left, &n.right) {
+                (Term::Var(a), Term::Var(b)) => {
+                    if a == b {
+                        trivially_false = true;
+                        continue;
+                    }
+                    let (lo, hi) =
+                        if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+                    let co = match (hg.vertex(&lo), hg.vertex(&hi)) {
+                        (Some(va), Some(vb)) => hg.co_occur(va, vb),
+                        // A variable missing from every atom is unsafe; the
+                        // driver rejects such queries before reaching here.
+                        _ => false,
+                    };
+                    if co {
+                        i2_var_var.insert((lo, hi));
+                    } else {
+                        i1.insert((lo, hi));
+                    }
+                }
+                (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                    i2_var_const.insert((v.clone(), c.clone()));
+                }
+                (Term::Const(a), Term::Const(b)) => {
+                    if a == b {
+                        trivially_false = true;
+                    }
+                    // Distinct constants: the atom is vacuously true — drop.
+                }
+            }
+        }
+
+        let v1: Vec<String> = i1
+            .iter()
+            .flat_map(|(a, b)| [a.clone(), b.clone()])
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+
+        NeqPartition {
+            i1: i1.into_iter().collect(),
+            i2_var_var: i2_var_var.into_iter().collect(),
+            i2_var_const: i2_var_const.into_iter().collect(),
+            v1,
+            trivially_false,
+        }
+    }
+
+    /// `k = |V1|`: the number of colors the hash functions need.
+    pub fn k(&self) -> usize {
+        self.v1.len()
+    }
+
+    /// Is `x` a `V1` variable?
+    pub fn in_v1(&self, x: &str) -> bool {
+        self.v1.iter().any(|v| v == x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::{parse_cq, Neq};
+
+    #[test]
+    fn paper_example_splits_into_i1() {
+        // EP(e,p), EP(e,p2), p != p2: p and p2 never co-occur → I1.
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let part = NeqPartition::build(&q, &q.hypergraph());
+        assert_eq!(part.i1, vec![("p".to_string(), "p2".to_string())]);
+        assert!(part.i2_var_var.is_empty());
+        assert_eq!(part.v1, vec!["p", "p2"]);
+        assert_eq!(part.k(), 2);
+    }
+
+    #[test]
+    fn co_occurring_pair_goes_to_i2() {
+        let q = parse_cq("G :- R(x, y), x != y.").unwrap();
+        let part = NeqPartition::build(&q, &q.hypergraph());
+        assert!(part.i1.is_empty());
+        assert_eq!(part.i2_var_var, vec![("x".to_string(), "y".to_string())]);
+        assert_eq!(part.k(), 0);
+    }
+
+    #[test]
+    fn var_const_always_i2() {
+        let q = parse_cq("G :- R(x, y), x != 3.").unwrap();
+        let part = NeqPartition::build(&q, &q.hypergraph());
+        assert_eq!(part.i2_var_const.len(), 1);
+        assert_eq!(part.k(), 0);
+    }
+
+    #[test]
+    fn degenerate_atoms_detected() {
+        let q = parse_cq("G :- R(x, y).").unwrap();
+        let q = q.with_neqs([Neq::new(Term::var("x"), Term::var("x"))]);
+        let part = NeqPartition::build(&q, &q.hypergraph());
+        assert!(part.trivially_false);
+
+        let q2 = parse_cq("G :- R(x, y), 3 != 3.").unwrap();
+        let part2 = NeqPartition::build(&q2, &q2.hypergraph());
+        assert!(part2.trivially_false);
+
+        // distinct constants: vacuous, not falsifying
+        let q3 = parse_cq("G :- R(x, y), 3 != 4.").unwrap();
+        let part3 = NeqPartition::build(&q3, &q3.hypergraph());
+        assert!(!part3.trivially_false);
+        assert!(part3.i1.is_empty() && part3.i2_var_const.is_empty());
+    }
+
+    #[test]
+    fn duplicates_and_orientation_normalize() {
+        let q = parse_cq("G :- R(x), S(y), x != y, y != x.").unwrap();
+        let part = NeqPartition::build(&q, &q.hypergraph());
+        assert_eq!(part.i1.len(), 1);
+    }
+
+    #[test]
+    fn mixed_query_partitions_fully() {
+        // d, d2 co-occur nowhere; c is compared to a constant.
+        let q = parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2, c != \"X\".").unwrap();
+        let part = NeqPartition::build(&q, &q.hypergraph());
+        assert_eq!(part.i1.len(), 1);
+        assert_eq!(part.i2_var_const.len(), 1);
+        assert_eq!(part.v1, vec!["d", "d2"]);
+    }
+}

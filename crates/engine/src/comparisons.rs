@@ -1,0 +1,353 @@
+//! Consistency and implied-equality analysis for comparison constraints
+//! (`<`, `≤`) — the preprocessing Theorem 3 prescribes before even defining
+//! acyclicity for queries with comparisons.
+//!
+//! "This can be done (for dense orders) by forming a graph whose nodes are
+//! the variables and constants in C, with a directed arc u → w … labeled
+//! < or ≤ … The system is consistent iff there is no strongly connected
+//! component that contains a < arc, and the implied equalities are that all
+//! nodes of the same strong component are equal" (citing Klug [10]).
+//!
+//! We treat the order as dense, exactly as the paper does; over the integer
+//! constants this is a (documented) relaxation — `x < y ∧ y < x+1` is
+//! reported consistent.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pq_data::Value;
+use pq_query::{CmpOp, Comparison, ConjunctiveQuery, Term};
+
+use crate::error::{EngineError, Result};
+
+/// Result of analysing a comparison system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonAnalysis {
+    /// Whether the system admits a solution over a dense order.
+    pub consistent: bool,
+    /// For each term mentioned in the system, its representative after
+    /// collapsing implied equalities. Constants represent their component
+    /// whenever present.
+    pub representative: BTreeMap<Term, Term>,
+    /// The implied equalities (pairs of distinct terms forced equal).
+    pub equalities: Vec<(Term, Term)>,
+}
+
+/// Build the constraint graph and analyse it.
+pub fn analyze(comps: &[Comparison]) -> ComparisonAnalysis {
+    // Intern the terms appearing in the constraints.
+    let mut terms: Vec<Term> = Vec::new();
+    let mut index: HashMap<Term, usize> = HashMap::new();
+    let intern = |t: &Term, terms: &mut Vec<Term>, index: &mut HashMap<Term, usize>| {
+        if let Some(&i) = index.get(t) {
+            return i;
+        }
+        let i = terms.len();
+        terms.push(t.clone());
+        index.insert(t.clone(), i);
+        i
+    };
+    let mut edges: Vec<(usize, usize, bool)> = Vec::new(); // (from, to, strict)
+    for c in comps {
+        let a = intern(&c.left, &mut terms, &mut index);
+        let b = intern(&c.right, &mut terms, &mut index);
+        edges.push((a, b, c.op == CmpOp::Lt));
+    }
+    // Arcs between constants by their actual order.
+    let consts: Vec<(usize, Value)> = terms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.as_const().map(|c| (i, c.clone())))
+        .collect();
+    for (i, (ia, ca)) in consts.iter().enumerate() {
+        for (ib, cb) in consts.iter().skip(i + 1) {
+            match ca.cmp(cb) {
+                std::cmp::Ordering::Less => edges.push((*ia, *ib, true)),
+                std::cmp::Ordering::Greater => edges.push((*ib, *ia, true)),
+                std::cmp::Ordering::Equal => unreachable!("terms are interned uniquely"),
+            }
+        }
+    }
+
+    let n = terms.len();
+    let comp_of = scc(n, &edges);
+
+    // Inconsistent iff a strict arc stays within one component.
+    let consistent = edges.iter().all(|&(a, b, strict)| !(strict && comp_of[a] == comp_of[b]));
+
+    // Representatives: constant if the component has one, else the smallest
+    // variable. Two distinct constants in a component ⇒ inconsistent — but
+    // that already shows as a strict arc inside the component (we added
+    // c → c' arcs for c < c').
+    let mut rep_of_comp: BTreeMap<usize, Term> = BTreeMap::new();
+    for (i, t) in terms.iter().enumerate() {
+        let c = comp_of[i];
+        match rep_of_comp.get(&c) {
+            None => {
+                rep_of_comp.insert(c, t.clone());
+            }
+            Some(existing) => {
+                let better = match (existing.as_const().is_some(), t.as_const().is_some()) {
+                    (false, true) => true,               // constants win
+                    (true, false) | (true, true) => false,
+                    (false, false) => t < existing,      // smaller variable name
+                };
+                if better {
+                    rep_of_comp.insert(c, t.clone());
+                }
+            }
+        }
+    }
+
+    let mut representative = BTreeMap::new();
+    let mut equalities = Vec::new();
+    for (i, t) in terms.iter().enumerate() {
+        let rep = rep_of_comp[&comp_of[i]].clone();
+        if &rep != t {
+            equalities.push((t.clone(), rep.clone()));
+        }
+        representative.insert(t.clone(), rep);
+    }
+
+    ComparisonAnalysis { consistent, representative, equalities }
+}
+
+/// Iterative Kosaraju strongly-connected components; returns a component id
+/// per node.
+fn scc(n: usize, edges: &[(usize, usize, bool)]) -> Vec<usize> {
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b, _) in edges {
+        fwd[a].push(b);
+        bwd[b].push(a);
+    }
+    // Pass 1: order by DFS finish time on the forward graph.
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for s in 0..n {
+        if visited[s] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+        visited[s] = true;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < fwd[v].len() {
+                let w = fwd[v][*next];
+                *next += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: sweep the transpose in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut c = 0;
+    for &s in order.iter().rev() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = c;
+        while let Some(v) = stack.pop() {
+            for &w in &bwd[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = c;
+                    stack.push(w);
+                }
+            }
+        }
+        c += 1;
+    }
+    comp
+}
+
+/// Collapse a conjunctive query's comparison system: check consistency,
+/// identify equal terms, rewrite the query over representatives, and drop
+/// the comparisons that became internal to a component.
+///
+/// Returns `Ok(None)` when the system is inconsistent (the query answer is
+/// empty); otherwise the rewritten query `Q'` whose comparison graph is
+/// acyclic. Theorem 3's notion of acyclicity applies to `Q'`.
+pub fn collapse_query(q: &ConjunctiveQuery) -> Result<Option<ConjunctiveQuery>> {
+    if !q.neqs.is_empty() {
+        return Err(EngineError::Unsupported(
+            "collapse_query handles comparison atoms; mix with ≠ is out of the paper's scope"
+                .into(),
+        ));
+    }
+    let analysis = analyze(&q.comparisons);
+    if !analysis.consistent {
+        return Ok(None);
+    }
+
+    let rep = |t: &Term| analysis.representative.get(t).cloned().unwrap_or_else(|| t.clone());
+
+    // Rewrite terms everywhere.
+    let map_term = |t: &Term| rep(t);
+    let map_atom = |a: &pq_query::Atom| {
+        pq_query::Atom::new(a.relation.clone(), a.terms.iter().map(map_term))
+    };
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for c in &q.comparisons {
+        let l = rep(&c.left);
+        let r = rep(&c.right);
+        if l == r {
+            continue; // internal to a component: an implied equality
+        }
+        if let (Term::Const(a), Term::Const(b)) = (&l, &r) {
+            // Between distinct constants: true by consistency; drop.
+            debug_assert!(c.op.eval(a, b));
+            continue;
+        }
+        let rewritten = Comparison::new(l, c.op, r);
+        if !comparisons.contains(&rewritten) {
+            comparisons.push(rewritten);
+        }
+    }
+
+    Ok(Some(ConjunctiveQuery {
+        head_name: q.head_name.clone(),
+        head_terms: q.head_terms.iter().map(map_term).collect(),
+        atoms: q.atoms.iter().map(map_atom).collect(),
+        neqs: Vec::new(),
+        comparisons,
+    }))
+}
+
+/// Theorem 3's acyclicity test for conjunctive queries with comparisons:
+/// collapse first, then test the relational hypergraph of the collapsed
+/// query. Inconsistent systems are vacuously acyclic (empty answer).
+pub fn is_acyclic_with_comparisons(q: &ConjunctiveQuery) -> Result<bool> {
+    match collapse_query(q)? {
+        None => Ok(true),
+        Some(q2) => Ok(q2.is_acyclic()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::parse_cq;
+
+    fn cmp(l: Term, op: CmpOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+
+    #[test]
+    fn empty_system_is_consistent() {
+        let a = analyze(&[]);
+        assert!(a.consistent);
+        assert!(a.equalities.is_empty());
+    }
+
+    #[test]
+    fn weak_cycle_implies_equality() {
+        // x ≤ y ∧ y ≤ x ⇒ x = y, consistent.
+        let a = analyze(&[
+            cmp(Term::var("x"), CmpOp::Le, Term::var("y")),
+            cmp(Term::var("y"), CmpOp::Le, Term::var("x")),
+        ]);
+        assert!(a.consistent);
+        assert_eq!(a.equalities.len(), 1);
+        assert_eq!(a.representative[&Term::var("y")], Term::var("x"));
+    }
+
+    #[test]
+    fn strict_cycle_is_inconsistent() {
+        let a = analyze(&[
+            cmp(Term::var("x"), CmpOp::Lt, Term::var("y")),
+            cmp(Term::var("y"), CmpOp::Le, Term::var("x")),
+        ]);
+        assert!(!a.consistent);
+    }
+
+    #[test]
+    fn constants_order_themselves() {
+        // x ≤ 3 ∧ 5 ≤ x forces 5 ≤ x ≤ 3, and 3 < 5 → inconsistent.
+        let a = analyze(&[
+            cmp(Term::var("x"), CmpOp::Le, Term::cons(3)),
+            cmp(Term::cons(5), CmpOp::Le, Term::var("x")),
+        ]);
+        assert!(!a.consistent);
+        // x ≤ 5 ∧ 3 ≤ x is fine.
+        let b = analyze(&[
+            cmp(Term::var("x"), CmpOp::Le, Term::cons(5)),
+            cmp(Term::cons(3), CmpOp::Le, Term::var("x")),
+        ]);
+        assert!(b.consistent);
+    }
+
+    #[test]
+    fn variable_pinned_to_constant() {
+        // x ≤ 3 ∧ 3 ≤ x ⇒ x = 3; the constant represents.
+        let a = analyze(&[
+            cmp(Term::var("x"), CmpOp::Le, Term::cons(3)),
+            cmp(Term::cons(3), CmpOp::Le, Term::var("x")),
+        ]);
+        assert!(a.consistent);
+        assert_eq!(a.representative[&Term::var("x")], Term::cons(3));
+    }
+
+    #[test]
+    fn chain_of_weak_equalities_collapses_transitively() {
+        let a = analyze(&[
+            cmp(Term::var("a"), CmpOp::Le, Term::var("b")),
+            cmp(Term::var("b"), CmpOp::Le, Term::var("c")),
+            cmp(Term::var("c"), CmpOp::Le, Term::var("a")),
+        ]);
+        assert!(a.consistent);
+        assert_eq!(a.representative[&Term::var("c")], Term::var("a"));
+        assert_eq!(a.representative[&Term::var("b")], Term::var("a"));
+    }
+
+    #[test]
+    fn collapse_rewrites_query() {
+        // s ≤ t, t ≤ s: collapse merges them; atom R(s,t) becomes R(s,s).
+        let q = parse_cq("G(s) :- R(s, t), s <= t, t <= s.").unwrap();
+        let q2 = collapse_query(&q).unwrap().expect("consistent");
+        assert_eq!(q2.atoms[0].terms[0], q2.atoms[0].terms[1]);
+        assert!(q2.comparisons.is_empty());
+    }
+
+    #[test]
+    fn collapse_detects_inconsistency() {
+        let q = parse_cq("G :- R(x, y), x < y, y < x.").unwrap();
+        assert_eq!(collapse_query(&q).unwrap(), None);
+    }
+
+    #[test]
+    fn paper_salary_example_is_acyclic() {
+        let q = parse_cq("G(e) :- EM(e, m), ES(e, s), ES(m, s2), s2 < s.").unwrap();
+        assert!(is_acyclic_with_comparisons(&q).unwrap());
+    }
+
+    #[test]
+    fn dense_order_relaxation_documented_behavior() {
+        // Over integers x < y < x+1 is impossible, but dense-order analysis
+        // accepts it — exactly as the paper (and Klug) define consistency.
+        let a = analyze(&[
+            cmp(Term::var("x"), CmpOp::Lt, Term::var("y")),
+            cmp(Term::var("y"), CmpOp::Lt, Term::cons(1)),
+            cmp(Term::cons(0), CmpOp::Lt, Term::var("x")),
+        ]);
+        assert!(a.consistent);
+    }
+
+    #[test]
+    fn mixed_neq_rejected() {
+        let q = parse_cq("G :- R(x, y), x != y, x < y.").unwrap();
+        assert!(collapse_query(&q).is_err());
+    }
+
+    #[test]
+    fn scc_on_disjoint_graphs() {
+        let comp = scc(4, &[(0, 1, false), (1, 0, false), (2, 3, true)]);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+}

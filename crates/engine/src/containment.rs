@@ -1,0 +1,237 @@
+//! Chandra–Merlin containment and minimization for pure conjunctive
+//! queries — the paper's reference [5], where the complexity of conjunctive
+//! queries (and hence this whole line of work) began.
+//!
+//! `Q1 ⊆ Q2` iff there is a homomorphism from `Q2` to `Q1`, iff the
+//! canonical (frozen) database of `Q1` makes `Q2` return `Q1`'s frozen head
+//! — so containment *is* query evaluation, which is exactly why the
+//! parametric hardness of evaluation (Theorem 1) matters for optimization
+//! too.
+
+use pq_data::{Database, Tuple, Value};
+use pq_query::{Atom, ConjunctiveQuery, Term};
+
+use crate::error::{EngineError, Result};
+use crate::naive;
+
+/// Freeze a variable name into a domain constant that cannot collide with
+/// real constants (real string values never start with `⟂`).
+fn freeze(v: &str) -> Value {
+    Value::str(format!("⟂{v}"))
+}
+
+/// The canonical database of a pure CQ: each atom becomes one tuple with
+/// variables frozen into constants. Returns the database and the frozen
+/// head tuple.
+pub fn canonical_database(q: &ConjunctiveQuery) -> Result<(Database, Tuple)> {
+    if !q.is_pure() {
+        return Err(EngineError::Unsupported(
+            "canonical databases are defined for pure conjunctive queries".into(),
+        ));
+    }
+    let mut db = Database::new();
+    for atom in &q.atoms {
+        let row = Tuple::new(atom.terms.iter().map(|t| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => freeze(v),
+        }));
+        if !db.has_relation(&atom.relation) {
+            let attrs: Vec<String> = (0..atom.arity()).map(|i| format!("c{i}")).collect();
+            db.set_relation(atom.relation.clone(), pq_data::Relation::new(attrs)?);
+        }
+        db.relation_mut(&atom.relation)?.insert(row)?;
+    }
+    let head = Tuple::new(q.head_terms.iter().map(|t| match t {
+        Term::Const(c) => c.clone(),
+        Term::Var(v) => freeze(v),
+    }));
+    Ok((db, head))
+}
+
+/// Is `Q1 ⊆ Q2` (for every database, `Q1(d) ⊆ Q2(d)`)? Both queries must be
+/// pure, with heads of equal arity.
+///
+/// ```
+/// use pq_engine::containment::contained_in;
+/// use pq_query::parse_cq;
+///
+/// let two_path = parse_cq("G(x) :- E(x, y), E(y, z).").unwrap();
+/// let three_path = parse_cq("G(x) :- E(x, y), E(y, z), E(z, w).").unwrap();
+/// assert!(contained_in(&three_path, &two_path).unwrap());
+/// assert!(!contained_in(&two_path, &three_path).unwrap());
+/// ```
+pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool> {
+    if q1.head_terms.len() != q2.head_terms.len() {
+        return Ok(false);
+    }
+    if !q2.is_pure() {
+        return Err(EngineError::Unsupported(
+            "containment test requires pure conjunctive queries".into(),
+        ));
+    }
+    let (db, head) = canonical_database(q1)?;
+    naive::decide(q2, &db, &head)
+}
+
+/// Are the two queries equivalent?
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool> {
+    Ok(contained_in(q1, q2)? && contained_in(q2, q1)?)
+}
+
+/// Minimize a pure CQ: greedily drop body atoms while the query stays
+/// equivalent. The result is a *core* — Chandra–Merlin guarantees it is
+/// unique up to renaming.
+pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery> {
+    if !q.is_pure() {
+        return Err(EngineError::Unsupported("minimization handles pure CQs".into()));
+    }
+    let mut current = q.clone();
+    loop {
+        let mut shrunk = false;
+        for i in 0..current.atoms.len() {
+            if current.atoms.len() == 1 {
+                break;
+            }
+            let mut candidate = current.clone();
+            candidate.atoms.remove(i);
+            // The candidate must stay safe (head variables covered).
+            let body: std::collections::BTreeSet<&str> =
+                candidate.atom_variables().into_iter().collect();
+            if !candidate.head_variables().iter().all(|v| body.contains(v)) {
+                continue;
+            }
+            if equivalent(&current, &candidate)? {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return Ok(current);
+        }
+    }
+}
+
+/// Find a homomorphism from `q2` to `q1` (witnessing `q1 ⊆ q2`): a mapping
+/// of `q2`'s variables to `q1`'s frozen terms. Returned as pairs
+/// `(q2-variable, image term of q1)`.
+pub fn homomorphism(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<Option<Vec<(String, Term)>>> {
+    if !contained_in(q1, q2)? {
+        return Ok(None);
+    }
+    let (db, head) = canonical_database(q1)?;
+    let bound = q2.bind_head(&head).map_err(EngineError::Query)?;
+    let Some(bq) = bound else { return Ok(None) };
+    // Re-run the search, capturing one satisfying binding.
+    let all_vars: Vec<String> = bq.atom_variables().iter().map(|v| v.to_string()).collect();
+    let probe = ConjunctiveQuery::new(
+        "H",
+        all_vars.iter().map(Term::var),
+        bq.atoms.iter().cloned(),
+    );
+    let sols = naive::evaluate(&probe, &db)?;
+    let Some(t) = sols.iter().next() else { return Ok(None) };
+    let mut out = Vec::new();
+    for (i, v) in all_vars.iter().enumerate() {
+        // Unfreeze images back into q1 terms.
+        let img = &t[i];
+        let term = match img.as_str() {
+            Some(s) if s.starts_with('⟂') => Term::var(&s['⟂'.len_utf8()..]),
+            _ => Term::Const(img.clone()),
+        };
+        out.push((v.clone(), term));
+    }
+    Ok(Some(out))
+}
+
+/// One atom of `q`, with a homomorphism applied (test helper exposed for
+/// reuse).
+pub fn apply_hom(atom: &Atom, hom: &[(String, Term)]) -> Atom {
+    Atom::new(
+        atom.relation.clone(),
+        atom.terms.iter().map(|t| match t {
+            Term::Const(c) => Term::Const(c.clone()),
+            Term::Var(v) => hom
+                .iter()
+                .find(|(w, _)| w == v)
+                .map(|(_, img)| img.clone())
+                .unwrap_or_else(|| Term::var(v)),
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::parse_cq;
+
+    #[test]
+    fn shorter_paths_contain_longer() {
+        // A 3-path implies a 2-path (drop an atom): Q3 ⊆ Q2.
+        let q2 = parse_cq("G(x) :- E(x, y), E(y, z).").unwrap();
+        let q3 = parse_cq("G(x) :- E(x, y), E(y, z), E(z, w).").unwrap();
+        assert!(contained_in(&q3, &q2).unwrap());
+        assert!(!contained_in(&q2, &q3).unwrap());
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_respects_equivalence() {
+        let a = parse_cq("G(x, y) :- E(x, y).").unwrap();
+        let b = parse_cq("G(u, v) :- E(u, v).").unwrap();
+        assert!(equivalent(&a, &b).unwrap());
+        let c = parse_cq("G(x, y) :- E(x, y), E(x, z).").unwrap();
+        assert!(equivalent(&a, &c).unwrap()); // z folds onto y
+    }
+
+    #[test]
+    fn minimization_removes_redundant_atoms() {
+        let q = parse_cq("G(x, y) :- E(x, y), E(x, z), E(x, w).").unwrap();
+        let m = minimize(&q).unwrap();
+        assert_eq!(m.atoms.len(), 1);
+        assert!(equivalent(&q, &m).unwrap());
+    }
+
+    #[test]
+    fn minimization_keeps_core_triangle() {
+        // The triangle query is its own core.
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let m = minimize(&q).unwrap();
+        assert_eq!(m.atoms.len(), 3);
+    }
+
+    #[test]
+    fn constants_block_folding() {
+        let a = parse_cq("G(x) :- E(x, 1).").unwrap();
+        let b = parse_cq("G(x) :- E(x, y).").unwrap();
+        assert!(contained_in(&a, &b).unwrap());
+        assert!(!contained_in(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn homomorphism_witnesses_containment() {
+        let q1 = parse_cq("G(x) :- E(x, y), E(y, z), E(z, w).").unwrap();
+        let q2 = parse_cq("G(a) :- E(a, b), E(b, c).").unwrap();
+        let hom = homomorphism(&q1, &q2).unwrap().expect("q1 ⊆ q2");
+        // Verify: every q2 atom maps (under the hom + head binding) into q1's atoms.
+        // a ↦ x is forced by the head.
+        let a_img = hom.iter().find(|(v, _)| v == "b").map(|(_, t)| t.clone());
+        assert!(a_img.is_some());
+    }
+
+    #[test]
+    fn impure_queries_rejected() {
+        let q = parse_cq("G(x) :- E(x, y), x != y.").unwrap();
+        assert!(canonical_database(&q).is_err());
+        assert!(minimize(&q).is_err());
+    }
+
+    #[test]
+    fn different_head_arities_are_incomparable() {
+        let a = parse_cq("G(x) :- E(x, y).").unwrap();
+        let b = parse_cq("G(x, y) :- E(x, y).").unwrap();
+        assert!(!contained_in(&a, &b).unwrap());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the evaluation engines.
+
+use std::fmt;
+
+use pq_data::DataError;
+use pq_query::QueryError;
+
+/// Errors raised during query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A substrate (relation/database) error.
+    Data(DataError),
+    /// A query-validation error.
+    Query(QueryError),
+    /// The engine was handed a query outside its supported class (e.g. a
+    /// cyclic query given to the Yannakakis engine).
+    Unsupported(String),
+    /// The comparison constraints of the query are inconsistent (no
+    /// instantiation can satisfy them); callers usually treat this as an
+    /// empty answer, but the consistency checker reports it explicitly.
+    InconsistentComparisons,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Data(e) => write!(f, "data error: {e}"),
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            EngineError::InconsistentComparisons => {
+                write!(f, "comparison constraints are inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Data(e) => Some(e),
+            EngineError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = EngineError> = std::result::Result<T, E>;

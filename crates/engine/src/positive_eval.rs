@@ -1,0 +1,168 @@
+//! Positive-query evaluation.
+//!
+//! Two routes, which must agree (and are tested against each other):
+//!
+//! 1. **Union of conjunctive queries** — the paper's own parametric
+//!    reduction (Theorem 1(2) upper bound): expand the positive query into
+//!    exponentially many CQs and union their answers. Each CQ goes through
+//!    the naive engine (or any CQ engine).
+//! 2. **Direct first-order evaluation** — positive formulas are first-order
+//!    formulas, so the recursive evaluator applies unchanged.
+
+use pq_data::{Database, Relation};
+use pq_query::{FoFormula, FoQuery, PosFormula, PositiveQuery};
+
+use crate::error::Result;
+use crate::{fo_eval, naive};
+
+/// Translate a positive formula into the equivalent first-order formula.
+pub fn to_fo(f: &PosFormula) -> FoFormula {
+    match f {
+        PosFormula::Atom(a) => FoFormula::Atom(a.clone()),
+        PosFormula::And(fs) => FoFormula::And(fs.iter().map(to_fo).collect()),
+        PosFormula::Or(fs) => FoFormula::Or(fs.iter().map(to_fo).collect()),
+        PosFormula::Exists(vs, b) => {
+            let body = to_fo(b);
+            vs.iter().rev().fold(body, |acc, v| FoFormula::Exists(v.clone(), Box::new(acc)))
+        }
+    }
+}
+
+/// Evaluate via the union-of-CQs expansion. Disjuncts in which some head
+/// variable does not occur (unsafe disjuncts) contribute nothing over a
+/// finite domain restriction and are skipped with the same semantics as the
+/// direct evaluator restricted to the active domain… except they are *not*
+/// skipped: to keep the two routes in exact agreement we evaluate them over
+/// the active domain by falling back to the direct route for such disjuncts.
+pub fn evaluate_via_cqs(q: &PositiveQuery, db: &Database) -> Result<Relation> {
+    let cqs = q.to_union_of_cqs();
+    let mut out = Relation::new(crate::binding::head_attrs(&q.head_terms))?;
+    for cq in cqs {
+        let body_vars: std::collections::BTreeSet<&str> =
+            cq.atom_variables().into_iter().collect();
+        let all_safe = cq.head_variables().iter().all(|v| body_vars.contains(v));
+        let part = if all_safe {
+            naive::evaluate(&cq, db)?
+        } else {
+            // Head variable missing from this disjunct: range it over the
+            // active domain via the direct evaluator, existentially closing
+            // the non-head body variables.
+            let head: std::collections::BTreeSet<&str> =
+                cq.head_variables().into_iter().collect();
+            let exist_vars: Vec<String> = cq
+                .atom_variables()
+                .into_iter()
+                .filter(|v| !head.contains(v))
+                .map(str::to_string)
+                .collect();
+            let body =
+                to_fo(&PosFormula::And(cq.atoms.iter().cloned().map(PosFormula::Atom).collect()));
+            let fo = FoQuery::new(
+                cq.head_name.clone(),
+                cq.head_terms.clone(),
+                FoFormula::exists_block(exist_vars, body),
+            );
+            fo_eval::evaluate_active_domain(&fo, db)?
+        };
+        // Headers agree (same head terms) up to naming convention.
+        for t in part.iter() {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate directly as a first-order query.
+pub fn evaluate_direct(q: &PositiveQuery, db: &Database) -> Result<Relation> {
+    let fo = FoQuery::new(q.head_name.clone(), q.head_terms.clone(), to_fo(&q.formula));
+    fo_eval::evaluate(&fo, db)
+}
+
+/// Default evaluation (union-of-CQs route — the paper's reduction).
+pub fn evaluate(q: &PositiveQuery, db: &Database) -> Result<Relation> {
+    evaluate_via_cqs(q, db)
+}
+
+/// Is a closed (Boolean) positive query true?
+pub fn query_holds(q: &PositiveQuery, db: &Database) -> Result<bool> {
+    let cqs = q.to_union_of_cqs();
+    for cq in cqs {
+        if naive::is_nonempty(&cq, db)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_query::parse_positive;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.add_table("R", ["a"], [tuple![1], tuple![2]]).unwrap();
+        d.add_table("S", ["a"], [tuple![2], tuple![3]]).unwrap();
+        d.add_table("T", ["a"], [tuple![4]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d
+    }
+
+    #[test]
+    fn union_distributes_over_disjunction() {
+        let q = parse_positive("G(x) := R(x) | S(x)").unwrap();
+        let out = evaluate(&q, &db()).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn two_routes_agree() {
+        for src in [
+            "G(x) := R(x) | S(x)",
+            "G(x) := R(x) & (S(x) | T(x))",
+            "G(x) := exists y. (E(x, y) & (R(y) | S(y)))",
+            "G := exists x. (R(x) & S(x))",
+            "G(x, y) := E(x, y) & (R(x) | S(y))",
+        ] {
+            let q = parse_positive(src).unwrap();
+            let a = evaluate_via_cqs(&q, &db()).unwrap();
+            let b = evaluate_direct(&q, &db()).unwrap();
+            assert_eq!(a.canonical_rows(), b.canonical_rows(), "{src}");
+        }
+    }
+
+    #[test]
+    fn boolean_positive_queries() {
+        let q = parse_positive("G := exists x. (R(x) & S(x))").unwrap();
+        assert!(query_holds(&q, &db()).unwrap()); // 2 ∈ R∩S
+        let q2 = parse_positive("G := exists x. (R(x) & T(x))").unwrap();
+        assert!(!query_holds(&q2, &db()).unwrap());
+    }
+
+    #[test]
+    fn nested_quantifier_scopes() {
+        // (∃y E(x,y)) ∨ (∃y E(y,x)): x with any incident edge.
+        let q = parse_positive("G(x) := exists y. E(x, y) | exists y. E(y, x)").unwrap();
+        let out = evaluate(&q, &db()).unwrap();
+        assert_eq!(out.len(), 3); // 1, 2, 3
+    }
+
+    #[test]
+    fn unsafe_disjunct_ranges_over_active_domain() {
+        // G(x) := R(x) | S(y): when ∃y S(y) holds, every active-domain
+        // element qualifies. Both routes must agree on this semantics.
+        let q = parse_positive("G(x) := R(x) | exists y. S(y)").unwrap();
+        let a = evaluate_via_cqs(&q, &db()).unwrap();
+        let b = evaluate_direct(&q, &db()).unwrap();
+        assert_eq!(a.canonical_rows(), b.canonical_rows());
+        assert_eq!(a.len(), db().active_domain().len());
+    }
+
+    #[test]
+    fn to_fo_preserves_shape() {
+        let q = parse_positive("G := exists x, y. (R(x) & S(y))").unwrap();
+        let f = to_fo(&q.formula);
+        assert_eq!(f.to_string(), "exists x. exists y. (R(x) & S(y))");
+    }
+}

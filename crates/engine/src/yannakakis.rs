@@ -1,0 +1,368 @@
+//! The Yannakakis algorithm for *pure* acyclic conjunctive queries [18] —
+//! the classical tractability result that Theorem 2 generalizes.
+//!
+//! Evaluation runs in time polynomial in the input database *and the output*
+//! (Section 5: "If Q is acyclic, this evaluation can be done in time
+//! polynomial in the size of the input database d and the output Q(d)").
+//! Emptiness and decision need only the bottom-up semijoin pass and are
+//! polynomial in the input alone.
+
+use std::collections::BTreeSet;
+
+use pq_data::{Database, Relation, Tuple};
+use pq_hypergraph::{join_tree, Hypergraph, JoinTree};
+use pq_query::{Atom, ConjunctiveQuery, Term};
+
+use crate::binding::head_attrs;
+use crate::error::{EngineError, Result};
+
+/// Options for [`evaluate_with_options`]; the default runs the full
+/// Yannakakis pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Run the top-down semijoin pass that removes dangling tuples before
+    /// the output join phase. Disabling it is still *correct* (the upward
+    /// joins re-filter), but intermediate results can exceed the
+    /// input+output bound — this is ablation A3 of DESIGN.md.
+    pub downward_pass: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { downward_pass: true }
+    }
+}
+
+/// Per-atom relation `S_j = π_{U_j} σ_{F_j}(R_{i_j})` of Section 5: the
+/// instantiations of the atom's variables that map it into the database.
+/// The selection enforces (i) the atom's constants and (ii) equalities
+/// between positions holding the same variable; the projection keeps one
+/// column per variable, named by the variable.
+pub fn atom_relation(atom: &Atom, db: &Database) -> Result<Relation> {
+    let r = db.relation(&atom.relation)?;
+    if r.arity() != atom.arity() {
+        return Err(EngineError::Unsupported(format!(
+            "atom {atom} has arity {} but relation `{}` has arity {}",
+            atom.arity(),
+            atom.relation,
+            r.arity()
+        )));
+    }
+    let vars = atom.variables();
+    let mut out = Relation::new(vars.iter().map(|v| v.to_string()))?;
+    'tuples: for t in r.iter() {
+        let mut vals: Vec<Option<&pq_data::Value>> = vec![None; vars.len()];
+        for (pos, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if c != &t[pos] {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    let vi = vars.iter().position(|w| w == v).expect("var interned");
+                    match vals[vi] {
+                        None => vals[vi] = Some(&t[pos]),
+                        Some(prev) => {
+                            if prev != &t[pos] {
+                                continue 'tuples;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let tup = Tuple::new(vals.into_iter().map(|v| v.expect("every var filled").clone()));
+        out.insert(tup)?;
+    }
+    Ok(out)
+}
+
+/// Precondition checks shared by the entry points; returns the join tree.
+fn prepare(q: &ConjunctiveQuery) -> Result<(Hypergraph, JoinTree)> {
+    if !q.is_pure() {
+        return Err(EngineError::Unsupported(
+            "Yannakakis engine handles pure acyclic CQs; use the color-coding engine for ≠".into(),
+        ));
+    }
+    let hg = q.hypergraph();
+    let tree = join_tree(&hg).ok_or_else(|| {
+        EngineError::Unsupported(format!("query is not acyclic: {q}"))
+    })?;
+    Ok((hg, tree))
+}
+
+/// Emptiness: one bottom-up semijoin pass. `O(n log n)` per join level;
+/// polynomial in the input alone.
+pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+    if q.atoms.is_empty() {
+        return Ok(true); // vacuous body
+    }
+    let (_hg, tree) = prepare(q)?;
+    let mut rels: Vec<Relation> =
+        q.atoms.iter().map(|a| atom_relation(a, db)).collect::<Result<_>>()?;
+    for j in tree.bottom_up() {
+        if rels[j].is_empty() {
+            return Ok(false);
+        }
+        if let Some(u) = tree.parent(j) {
+            rels[u] = rels[u].semijoin(&rels[j]);
+        }
+    }
+    Ok(!rels[tree.root()].is_empty())
+}
+
+/// The decision problem: `t ∈ Q(d)`?
+pub fn decide(q: &ConjunctiveQuery, db: &Database, t: &Tuple) -> Result<bool> {
+    match q.bind_head(t)? {
+        None => Ok(false),
+        Some(bq) => is_nonempty(&bq, db),
+    }
+}
+
+/// Full evaluation with default options.
+///
+/// ```
+/// use pq_data::{tuple, Database};
+/// use pq_query::parse_cq;
+///
+/// let mut db = Database::new();
+/// db.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+/// db.add_table("S", ["b", "c"], [tuple![2, 9]]).unwrap();
+/// let q = parse_cq("G(x, c) :- R(x, y), S(y, c).").unwrap();
+/// let out = pq_engine::yannakakis::evaluate(&q, &db).unwrap();
+/// assert!(out.contains(&tuple![1, 9]));
+/// ```
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
+    evaluate_with_options(q, db, EvalOptions::default())
+}
+
+/// Full evaluation of an acyclic pure CQ, time polynomial in input + output.
+pub fn evaluate_with_options(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: EvalOptions,
+) -> Result<Relation> {
+    // Safety: head variables must occur in the body.
+    let body_vars: BTreeSet<&str> = q.atom_variables().into_iter().collect();
+    for v in q.head_variables() {
+        if !body_vars.contains(v) {
+            return Err(EngineError::Query(pq_query::QueryError::UnsafeHeadVariable(
+                v.to_string(),
+            )));
+        }
+    }
+    if q.atoms.is_empty() {
+        // Vacuously true Boolean query (head vars would be unsafe above).
+        let mut out = Relation::new(head_attrs(&q.head_terms))?;
+        out.insert(Tuple::default())?;
+        return Ok(out);
+    }
+
+    let (hg, tree) = prepare(q)?;
+    let mut rels: Vec<Relation> =
+        q.atoms.iter().map(|a| atom_relation(a, db)).collect::<Result<_>>()?;
+
+    // Upward semijoin pass (full-reducer half 1).
+    for j in tree.bottom_up() {
+        if rels[j].is_empty() {
+            return Ok(Relation::new(head_attrs(&q.head_terms))?);
+        }
+        if let Some(u) = tree.parent(j) {
+            rels[u] = rels[u].semijoin(&rels[j]);
+        }
+    }
+
+    // Downward semijoin pass (full-reducer half 2) — removes dangling tuples.
+    if opts.downward_pass {
+        for j in tree.top_down() {
+            if let Some(u) = tree.parent(j) {
+                rels[j] = rels[j].semijoin(&rels[u]);
+            }
+        }
+    }
+
+    // Output variables Z.
+    let z: Vec<String> = q.head_variables().iter().map(|v| v.to_string()).collect();
+
+    // Bottom-up join + project: P_u := P_u ⋈ π_{Z_j}(P_j) with
+    // Z_j = (U_j ∩ U_u) ∪ (Z ∩ at(T[j])).
+    for j in tree.bottom_up() {
+        let Some(u) = tree.parent(j) else { continue };
+        let u_j: BTreeSet<&str> = hg.edge(j).iter().map(|&v| hg.label(v)).collect();
+        let u_u: BTreeSet<&str> = hg.edge(u).iter().map(|&v| hg.label(v)).collect();
+        let subtree: BTreeSet<&str> =
+            tree.subtree_vertices(&hg, j).iter().map(|&v| hg.label(v)).collect();
+        let mut zj: Vec<String> = Vec::new();
+        for v in u_j.intersection(&u_u) {
+            zj.push((*v).to_string());
+        }
+        for v in &z {
+            if subtree.contains(v.as_str()) && !zj.contains(v) {
+                zj.push(v.clone());
+            }
+        }
+        let projected = rels[j].project_onto(&zj);
+        rels[u] = rels[u].natural_join(&projected)?;
+        if rels[u].is_empty() {
+            return Ok(Relation::new(head_attrs(&q.head_terms))?);
+        }
+    }
+
+    // Project the root onto Z and materialize the head terms.
+    let z_refs: Vec<&str> = z.iter().map(String::as_str).collect();
+    let star = rels[tree.root()].project(&z_refs)?;
+    let mut out = Relation::new(head_attrs(&q.head_terms))?;
+    for t in star.iter() {
+        let vals = q.head_terms.iter().map(|term| match term {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => {
+                let pos = star.attr_pos(v).expect("head var in Z");
+                t[pos].clone()
+            }
+        });
+        out.insert(Tuple::new(vals))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use pq_data::tuple;
+    use pq_query::parse_cq;
+
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        db.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![4, 5]]).unwrap();
+        db.add_table("S", ["b", "c"], [tuple![2, 10], tuple![3, 20], tuple![5, 30]]).unwrap();
+        db.add_table("T", ["c", "d"], [tuple![10, 100], tuple![20, 200]]).unwrap();
+        db
+    }
+
+    #[test]
+    fn chain_query_agrees_with_naive() {
+        let q = parse_cq("G(x, w) :- R(x, y), S(y, z), T(z, w).").unwrap();
+        let db = chain_db();
+        let y = evaluate(&q, &db).unwrap();
+        let n = naive::evaluate(&q, &db).unwrap();
+        assert_eq!(y, n);
+        assert_eq!(y.len(), 2); // (1,100), (2,200)
+    }
+
+    #[test]
+    fn emptiness_detects_dangling_chains() {
+        let q = parse_cq("G :- R(x, y), S(y, z), T(z, w).").unwrap();
+        let db = chain_db();
+        assert!(is_nonempty(&q, &db).unwrap());
+        // Remove T tuples: chain cannot complete.
+        let mut db2 = db.clone();
+        db2.set_relation("T", Relation::new(["c", "d"]).unwrap());
+        assert!(!is_nonempty(&q, &db2).unwrap());
+    }
+
+    #[test]
+    fn star_query() {
+        let mut db = Database::new();
+        db.add_table("P", ["c", "x"], [tuple![1, 10], tuple![2, 20]]).unwrap();
+        db.add_table("Q", ["c", "y"], [tuple![1, 11], tuple![1, 12]]).unwrap();
+        db.add_table("W", ["c", "z"], [tuple![1, 13]]).unwrap();
+        let q = parse_cq("G(c) :- P(c, x), Q(c, y), W(c, z).").unwrap();
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn cyclic_query_rejected() {
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let mut db = Database::new();
+        db.add_table("E", ["a", "b"], [tuple![1, 2]]).unwrap();
+        assert!(matches!(evaluate(&q, &db), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn impure_query_rejected() {
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let mut db = Database::new();
+        db.add_table("EP", ["e", "p"], []).unwrap();
+        assert!(matches!(evaluate(&q, &db), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn constants_and_repeated_vars_in_atoms() {
+        let mut db = Database::new();
+        db.add_table("R", ["a", "b", "c"], [tuple![1, 1, 5], tuple![1, 2, 5], tuple![2, 2, 7]])
+            .unwrap();
+        let q = parse_cq("G(x) :- R(x, x, 5).").unwrap();
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn skipping_downward_pass_is_still_correct() {
+        let q = parse_cq("G(x, w) :- R(x, y), S(y, z), T(z, w).").unwrap();
+        let db = chain_db();
+        let with = evaluate_with_options(&q, &db, EvalOptions { downward_pass: true }).unwrap();
+        let without =
+            evaluate_with_options(&q, &db, EvalOptions { downward_pass: false }).unwrap();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn decision_problem() {
+        let q = parse_cq("G(x, w) :- R(x, y), S(y, z), T(z, w).").unwrap();
+        let db = chain_db();
+        assert!(decide(&q, &db, &tuple![1, 100]).unwrap());
+        assert!(!decide(&q, &db, &tuple![4, 100]).unwrap());
+    }
+
+    #[test]
+    fn boolean_head_constant_output() {
+        // Head with constants only.
+        let q = parse_cq("G(7) :- R(x, y).").unwrap();
+        let db = chain_db();
+        let out = evaluate(&q, &db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![7]));
+    }
+
+    #[test]
+    fn atom_relation_arity_mismatch_errors() {
+        let db = chain_db();
+        let a = pq_query::atom!("R"; var "x");
+        assert!(matches!(atom_relation(&a, &db), Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn random_acyclic_queries_agree_with_naive() {
+        // A few handcrafted acyclic shapes over a random-ish database.
+        let mut db = Database::new();
+        let mut rows_r = Vec::new();
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..20i64 {
+            rows_r.push(tuple![i % 5, (i * 3) % 7]);
+            rows_s.push(tuple![(i * 3) % 7, i % 4]);
+            rows_t.push(tuple![i % 4, i % 3, (i * 2) % 5]);
+        }
+        db.add_table("R", ["a", "b"], rows_r).unwrap();
+        db.add_table("S", ["b", "c"], rows_s).unwrap();
+        db.add_table("T", ["c", "d", "e"], rows_t).unwrap();
+        for src in [
+            "G(x) :- R(x, y).",
+            "G(x, z) :- R(x, y), S(y, z).",
+            "G(x, w) :- R(x, y), S(y, z), T(z, w, u).",
+            "G :- R(x, y), S(y, z), T(z, w, u), R(x, y2).",
+            "G(u) :- T(z, w, u), S(y, z).",
+        ] {
+            let q = parse_cq(src).unwrap();
+            assert!(q.is_acyclic(), "{src}");
+            let a = evaluate(&q, &db).unwrap();
+            let b = naive::evaluate(&q, &db).unwrap();
+            assert_eq!(a, b, "{src}");
+        }
+    }
+}

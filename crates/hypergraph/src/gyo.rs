@@ -1,0 +1,213 @@
+//! The GYO (Graham / Yu–Özsoyoğlu) reduction: acyclicity testing and join
+//! tree construction.
+//!
+//! A hypergraph is *acyclic* (in the α-acyclic sense the paper uses, citing
+//! Ullman [15]) iff the following reduction empties it:
+//!
+//! 1. delete any vertex that occurs in exactly one edge;
+//! 2. delete any edge contained in another edge, recording the container as
+//!    its *witness*.
+//!
+//! The witness links form a join forest; linking component roots arbitrarily
+//! (the paper: "we assume without loss of generality that T is a tree")
+//! yields a [`JoinTree`] whose validity we can independently check with
+//! [`JoinTree::verify`].
+
+use crate::hypergraph::Hypergraph;
+use crate::jointree::JoinTree;
+
+/// Outcome of the GYO reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GyoOutcome {
+    /// The hypergraph is acyclic; a join tree was produced.
+    Acyclic(JoinTree),
+    /// The hypergraph is cyclic; the indices of the irreducible core edges
+    /// are returned (useful for diagnostics).
+    Cyclic(Vec<usize>),
+}
+
+/// Run the GYO reduction on `hg`.
+///
+/// Returns [`GyoOutcome::Acyclic`] with a join tree over the *original* edge
+/// indices when `hg` is acyclic. A hypergraph with zero edges is trivially
+/// cyclic-free but has no join tree; we treat it as acyclic with a
+/// single-node tree only when it has at least one edge, and return
+/// `Cyclic(vec![])` for the degenerate empty case (callers with empty query
+/// bodies handle that separately).
+pub fn gyo(hg: &Hypergraph) -> GyoOutcome {
+    let n = hg.num_edges();
+    if n == 0 {
+        return GyoOutcome::Cyclic(Vec::new());
+    }
+    let mut work: Vec<std::collections::BTreeSet<usize>> = hg.edges().to_vec();
+    let mut alive = vec![true; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+
+    loop {
+        let mut changed = false;
+
+        // Step 1: strip vertices occurring in exactly one alive edge.
+        let mut occur = vec![0usize; hg.num_vertices()];
+        for (e, vs) in work.iter().enumerate() {
+            if alive[e] {
+                for &v in vs {
+                    occur[v] += 1;
+                }
+            }
+        }
+        for (e, vs) in work.iter_mut().enumerate() {
+            if alive[e] {
+                let before = vs.len();
+                vs.retain(|&v| occur[v] > 1);
+                changed |= vs.len() != before;
+            }
+        }
+
+        // Step 2: absorb edges contained in others. Scan deterministically;
+        // marking `e` dead immediately keeps equal-set pairs from absorbing
+        // each other.
+        for e in 0..n {
+            if !alive[e] {
+                continue;
+            }
+            let witness = (0..n).find(|&w| w != e && alive[w] && work[e].is_subset(&work[w]));
+            if let Some(w) = witness {
+                alive[e] = false;
+                parent[e] = Some(w);
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let survivors: Vec<usize> = (0..n).filter(|&e| alive[e]).collect();
+    match survivors.as_slice() {
+        [_root] => GyoOutcome::Acyclic(JoinTree::from_parents(parent)),
+        _ => GyoOutcome::Cyclic(survivors),
+    }
+}
+
+/// Is `hg` an acyclic hypergraph (with at least one edge)?
+///
+/// ```
+/// use pq_hypergraph::{is_acyclic, Hypergraph};
+///
+/// let chain = Hypergraph::from_edges([vec!["x", "y"], vec!["y", "z"]]);
+/// assert!(is_acyclic(&chain));
+/// let triangle = Hypergraph::from_edges([vec!["x", "y"], vec!["y", "z"], vec!["z", "x"]]);
+/// assert!(!is_acyclic(&triangle));
+/// ```
+pub fn is_acyclic(hg: &Hypergraph) -> bool {
+    matches!(gyo(hg), GyoOutcome::Acyclic(_))
+}
+
+/// Build a join tree for `hg`, or `None` when cyclic.
+pub fn join_tree(hg: &Hypergraph) -> Option<JoinTree> {
+    match gyo(hg) {
+        GyoOutcome::Acyclic(t) => Some(t),
+        GyoOutcome::Cyclic(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let hg = Hypergraph::from_edges([vec!["x", "y", "z"]]);
+        let t = join_tree(&hg).expect("acyclic");
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.verify(&hg));
+    }
+
+    #[test]
+    fn path_is_acyclic_with_valid_tree() {
+        let hg =
+            Hypergraph::from_edges([vec!["a", "b"], vec!["b", "c"], vec!["c", "d"], vec!["d", "e"]]);
+        let t = join_tree(&hg).expect("acyclic");
+        assert!(t.verify(&hg));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let hg = Hypergraph::from_edges([vec!["x", "y"], vec!["y", "z"], vec!["z", "x"]]);
+        match gyo(&hg) {
+            GyoOutcome::Cyclic(core) => assert_eq!(core.len(), 3),
+            GyoOutcome::Acyclic(_) => panic!("triangle must be cyclic"),
+        }
+    }
+
+    #[test]
+    fn covered_triangle_is_acyclic() {
+        // Adding the edge {x,y,z} makes the triangle α-acyclic.
+        let hg = Hypergraph::from_edges([
+            vec!["x", "y"],
+            vec!["y", "z"],
+            vec!["z", "x"],
+            vec!["x", "y", "z"],
+        ]);
+        let t = join_tree(&hg).expect("acyclic");
+        assert!(t.verify(&hg));
+        assert_eq!(t.root(), 3); // the big edge absorbs the others
+    }
+
+    #[test]
+    fn star_query_is_acyclic() {
+        let hg = Hypergraph::from_edges([
+            vec!["c", "a"],
+            vec!["c", "b"],
+            vec!["c", "d"],
+        ]);
+        let t = join_tree(&hg).expect("acyclic");
+        assert!(t.verify(&hg));
+    }
+
+    #[test]
+    fn duplicate_edges_absorb() {
+        let hg = Hypergraph::from_edges([vec!["x", "y"], vec!["x", "y"], vec!["y", "z"]]);
+        let t = join_tree(&hg).expect("acyclic");
+        assert!(t.verify(&hg));
+        assert_eq!(t.num_nodes(), 3);
+    }
+
+    #[test]
+    fn disconnected_components_link_into_one_tree() {
+        let hg = Hypergraph::from_edges([vec!["a", "b"], vec!["c", "d"]]);
+        let t = join_tree(&hg).expect("acyclic");
+        assert!(t.verify(&hg));
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn cycle_of_length_four_is_cyclic() {
+        let hg = Hypergraph::from_edges([
+            vec!["a", "b"],
+            vec!["b", "c"],
+            vec!["c", "d"],
+            vec!["d", "a"],
+        ]);
+        assert!(!is_acyclic(&hg));
+    }
+
+    #[test]
+    fn empty_hypergraph_has_no_tree() {
+        let hg = Hypergraph::new();
+        assert!(join_tree(&hg).is_none());
+    }
+
+    #[test]
+    fn hamiltonian_chain_query_is_acyclic_without_inequalities() {
+        // The Section 5 Hamiltonian-path reduction's *relational* part:
+        // E(x1,x2), E(x2,x3), ..., acyclic as a hypergraph.
+        let mut hg = Hypergraph::new();
+        for i in 0..6 {
+            hg.add_edge([format!("x{i}"), format!("x{}", i + 1)]);
+        }
+        let t = join_tree(&hg).expect("chain is acyclic");
+        assert!(t.verify(&hg));
+    }
+}

@@ -1,0 +1,179 @@
+//! Hypergraphs over named vertices.
+//!
+//! Section 5 of the paper associates with every conjunctive query `Q` a
+//! hypergraph `H`: one vertex per variable, one hyperedge per relational atom
+//! containing the variables that occur in it. Distinct atoms with the same
+//! variable set yield *distinct* hyperedges (the edge list is a `Vec`), so
+//! join-tree nodes correspond one-to-one with query atoms.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A hypergraph with string-labelled vertices and an ordered list of edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    labels: Vec<String>,
+    index: HashMap<String, usize>,
+    edges: Vec<BTreeSet<usize>>,
+}
+
+impl Hypergraph {
+    /// An empty hypergraph.
+    pub fn new() -> Self {
+        Hypergraph { labels: Vec::new(), index: HashMap::new(), edges: Vec::new() }
+    }
+
+    /// Build from an iterator of edges, each an iterator of vertex labels.
+    /// Vertices are created on first mention.
+    pub fn from_edges<E, V, S>(edges: E) -> Self
+    where
+        E: IntoIterator<Item = V>,
+        V: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut h = Hypergraph::new();
+        for e in edges {
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// Intern a vertex label, returning its index.
+    pub fn add_vertex(&mut self, label: impl Into<String>) -> usize {
+        let label = label.into();
+        if let Some(&i) = self.index.get(&label) {
+            return i;
+        }
+        let i = self.labels.len();
+        self.index.insert(label.clone(), i);
+        self.labels.push(label);
+        i
+    }
+
+    /// Append an edge (set of vertex labels); returns its index.
+    pub fn add_edge<S: Into<String>>(&mut self, verts: impl IntoIterator<Item = S>) -> usize {
+        let e: BTreeSet<usize> = verts.into_iter().map(|v| self.add_vertex(v)).collect();
+        self.edges.push(e);
+        self.edges.len() - 1
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex label at index `v`.
+    pub fn label(&self, v: usize) -> &str {
+        &self.labels[v]
+    }
+
+    /// Index of a vertex label, if interned.
+    pub fn vertex(&self, label: &str) -> Option<usize> {
+        self.index.get(label).copied()
+    }
+
+    /// The vertex set of edge `e`.
+    pub fn edge(&self, e: usize) -> &BTreeSet<usize> {
+        &self.edges[e]
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[BTreeSet<usize>] {
+        &self.edges
+    }
+
+    /// The labels of edge `e`, sorted.
+    pub fn edge_labels(&self, e: usize) -> Vec<&str> {
+        self.edges[e].iter().map(|&v| self.label(v)).collect()
+    }
+
+    /// Indices of edges containing vertex `v`.
+    pub fn edges_containing(&self, v: usize) -> Vec<usize> {
+        (0..self.edges.len()).filter(|&e| self.edges[e].contains(&v)).collect()
+    }
+
+    /// The *primal* (Gaifman) graph: vertex pairs co-occurring in an edge.
+    pub fn primal_edges(&self) -> BTreeSet<(usize, usize)> {
+        let mut out = BTreeSet::new();
+        for e in &self.edges {
+            let vs: Vec<usize> = e.iter().copied().collect();
+            for i in 0..vs.len() {
+                for j in i + 1..vs.len() {
+                    out.insert((vs[i], vs[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Do `a` and `b` co-occur in some edge? (Used to split `≠` atoms into
+    /// the paper's `I1`/`I2` classes.)
+    pub fn co_occur(&self, a: usize, b: usize) -> bool {
+        self.edges.iter().any(|e| e.contains(&a) && e.contains(&b))
+    }
+}
+
+impl Default for Hypergraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.edges.iter().enumerate() {
+            write!(f, "e{i} = {{")?;
+            for (k, &v) in e.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.label(v))?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertices_are_interned_once() {
+        let mut h = Hypergraph::new();
+        let a = h.add_vertex("x");
+        let b = h.add_vertex("x");
+        assert_eq!(a, b);
+        assert_eq!(h.num_vertices(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_kept_distinct() {
+        let h = Hypergraph::from_edges([["x", "y"], ["x", "y"]]);
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.edge(0), h.edge(1));
+    }
+
+    #[test]
+    fn edge_membership_queries() {
+        let h = Hypergraph::from_edges([vec!["x", "y"], vec!["y", "z"], vec!["w"]]);
+        let y = h.vertex("y").unwrap();
+        assert_eq!(h.edges_containing(y), vec![0, 1]);
+        let x = h.vertex("x").unwrap();
+        let z = h.vertex("z").unwrap();
+        assert!(h.co_occur(x, y));
+        assert!(!h.co_occur(x, z));
+    }
+
+    #[test]
+    fn primal_graph_of_triangle_edge() {
+        let h = Hypergraph::from_edges([vec!["a", "b", "c"]]);
+        assert_eq!(h.primal_edges().len(), 3);
+    }
+}

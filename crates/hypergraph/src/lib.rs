@@ -1,0 +1,18 @@
+//! `pq-hypergraph` — hypergraphs, GYO acyclicity, and join trees.
+//!
+//! Section 5 of Papadimitriou & Yannakakis associates a hypergraph with every
+//! conjunctive query (vertices = variables, hyperedges = atoms) and calls the
+//! query *acyclic* when that hypergraph is α-acyclic. This crate provides the
+//! hypergraph type, the GYO reduction deciding acyclicity, and join-tree
+//! construction — the combinatorial backbone of both the classical Yannakakis
+//! algorithm and the Theorem 2 color-coding engine.
+
+#![warn(missing_docs)]
+
+pub mod gyo;
+pub mod hypergraph;
+pub mod jointree;
+
+pub use gyo::{gyo, is_acyclic, join_tree, GyoOutcome};
+pub use hypergraph::Hypergraph;
+pub use jointree::JoinTree;

@@ -1,0 +1,489 @@
+//! Conjunctive queries, optionally extended with `≠` atoms (Section 5) and
+//! `<` / `≤` comparison atoms (Theorem 3).
+//!
+//! A conjunctive query in the paper's rule notation is
+//!
+//! ```text
+//! G(t0) :- R_{i1}(t1), …, R_{is}(ts) [, x ≠ y, x ≠ c, …] [, x < y, x ≤ c, …]
+//! ```
+//!
+//! with the variables not in the head implicitly existentially quantified.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pq_data::{Tuple, Value};
+use pq_hypergraph::Hypergraph;
+
+use crate::error::{QueryError, Result};
+use crate::term::{Atom, Term};
+
+/// An inequality atom `left ≠ right`; at least one side is a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Neq {
+    /// Left term.
+    pub left: Term,
+    /// Right term.
+    pub right: Term,
+}
+
+impl Neq {
+    /// Build an inequality atom.
+    pub fn new(left: Term, right: Term) -> Neq {
+        Neq { left, right }
+    }
+
+    /// Variable names occurring in the atom (0, 1, or 2).
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.left, &self.right].into_iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Is this a variable-variable inequality?
+    pub fn is_var_var(&self) -> bool {
+        self.left.is_var() && self.right.is_var()
+    }
+
+    /// Substitute a constant for a variable on both sides.
+    pub fn substitute(&self, name: &str, value: &Value) -> Neq {
+        Neq { left: self.left.substitute(name, value), right: self.right.substitute(name, value) }
+    }
+}
+
+impl fmt::Display for Neq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} != {}", self.left, self.right)
+    }
+}
+
+/// A comparison operator over the (dense) value order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Strict `<`.
+    Lt,
+    /// Weak `≤`.
+    Le,
+}
+
+impl CmpOp {
+    /// Evaluate the operator on two values.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Lt => write!(f, "<"),
+            CmpOp::Le => write!(f, "<="),
+        }
+    }
+}
+
+/// A comparison atom `left op right` (Theorem 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Comparison {
+    /// Left term.
+    pub left: Term,
+    /// The operator.
+    pub op: CmpOp,
+    /// Right term.
+    pub right: Term,
+}
+
+impl Comparison {
+    /// Build a comparison atom.
+    pub fn new(left: Term, op: CmpOp, right: Term) -> Comparison {
+        Comparison { left, op, right }
+    }
+
+    /// Variable names occurring in the atom.
+    pub fn variables(&self) -> Vec<&str> {
+        [&self.left, &self.right].into_iter().filter_map(Term::as_var).collect()
+    }
+
+    /// Substitute a constant for a variable on both sides.
+    pub fn substitute(&self, name: &str, value: &Value) -> Comparison {
+        Comparison {
+            left: self.left.substitute(name, value),
+            op: self.op,
+            right: self.right.substitute(name, value),
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A conjunctive query with optional `≠` and comparison atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Name of the defined (head) relation `G`.
+    pub head_name: String,
+    /// Head terms `t0` (constants and variables).
+    pub head_terms: Vec<Term>,
+    /// Relational atoms of the body.
+    pub atoms: Vec<Atom>,
+    /// Inequality atoms (`x ≠ y`, `x ≠ c`).
+    pub neqs: Vec<Neq>,
+    /// Comparison atoms (`x < y`, `x ≤ c`, …).
+    pub comparisons: Vec<Comparison>,
+}
+
+impl ConjunctiveQuery {
+    /// A pure conjunctive query (no `≠`, no comparisons).
+    pub fn new(
+        head_name: impl Into<String>,
+        head_terms: impl IntoIterator<Item = Term>,
+        atoms: impl IntoIterator<Item = Atom>,
+    ) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head_name: head_name.into(),
+            head_terms: head_terms.into_iter().collect(),
+            atoms: atoms.into_iter().collect(),
+            neqs: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// A Boolean (0-ary head) query.
+    pub fn boolean(
+        head_name: impl Into<String>,
+        atoms: impl IntoIterator<Item = Atom>,
+    ) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(head_name, [], atoms)
+    }
+
+    /// Add inequality atoms (builder style).
+    pub fn with_neqs(mut self, neqs: impl IntoIterator<Item = Neq>) -> Self {
+        self.neqs.extend(neqs);
+        self
+    }
+
+    /// Add comparison atoms (builder style).
+    pub fn with_comparisons(mut self, comps: impl IntoIterator<Item = Comparison>) -> Self {
+        self.comparisons.extend(comps);
+        self
+    }
+
+    /// Distinct head variable names, in first-occurrence order.
+    pub fn head_variables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.head_terms {
+            if let Some(v) = t.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct variable names occurring in relational atoms, in
+    /// first-occurrence order.
+    pub fn atom_variables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for a in &self.atoms {
+            for v in a.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct variable names (head, atoms, constraints), in
+    /// first-occurrence order scanning head then body.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.head_variables();
+        for v in self.atom_variables() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        for n in &self.neqs {
+            for v in n.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        for c in &self.comparisons {
+            for v in c.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is this a Boolean query (0-ary head)?
+    pub fn is_boolean(&self) -> bool {
+        self.head_terms.is_empty()
+    }
+
+    /// Is this a *pure* conjunctive query (no `≠`, no comparisons)?
+    pub fn is_pure(&self) -> bool {
+        self.neqs.is_empty() && self.comparisons.is_empty()
+    }
+
+    /// Validate safety: every head variable and every constraint variable
+    /// must occur in some relational atom, the body must be nonempty, and no
+    /// constraint may relate two constants.
+    pub fn validate(&self) -> Result<()> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        let body: BTreeSet<&str> = self.atom_variables().into_iter().collect();
+        for v in self.head_variables() {
+            if !body.contains(v) {
+                return Err(QueryError::UnsafeHeadVariable(v.to_string()));
+            }
+        }
+        for n in &self.neqs {
+            if n.variables().is_empty() {
+                return Err(QueryError::ConstantConstraint(n.to_string()));
+            }
+            for v in n.variables() {
+                if !body.contains(v) {
+                    return Err(QueryError::UnsafeConstraintVariable(v.to_string()));
+                }
+            }
+        }
+        for c in &self.comparisons {
+            if c.variables().is_empty() {
+                return Err(QueryError::ConstantConstraint(c.to_string()));
+            }
+            for v in c.variables() {
+                if !body.contains(v) {
+                    return Err(QueryError::UnsafeConstraintVariable(v.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The hypergraph of the *relational* atoms: one vertex per variable,
+    /// one edge per atom (Section 5). Inequality and comparison atoms are
+    /// deliberately excluded — including them "destroys acyclicity even in
+    /// very simple cases" (the paper's observation).
+    ///
+    /// Atoms with no variables contribute empty edges; variables are interned
+    /// in first-occurrence order so vertex indices align with
+    /// [`ConjunctiveQuery::atom_variables`].
+    pub fn hypergraph(&self) -> Hypergraph {
+        let mut hg = Hypergraph::new();
+        for v in self.atom_variables() {
+            hg.add_vertex(v);
+        }
+        for a in &self.atoms {
+            hg.add_edge(a.variables());
+        }
+        hg
+    }
+
+    /// Is the query acyclic (the hypergraph of its relational atoms is
+    /// α-acyclic)?
+    pub fn is_acyclic(&self) -> bool {
+        pq_hypergraph::is_acyclic(&self.hypergraph())
+    }
+
+    /// Substitute a constant for a variable everywhere (head, atoms,
+    /// constraints).
+    pub fn substitute(&self, name: &str, value: &Value) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head_name: self.head_name.clone(),
+            head_terms: self.head_terms.iter().map(|t| t.substitute(name, value)).collect(),
+            atoms: self.atoms.iter().map(|a| a.substitute(name, value)).collect(),
+            neqs: self.neqs.iter().map(|n| n.substitute(name, value)).collect(),
+            comparisons: self.comparisons.iter().map(|c| c.substitute(name, value)).collect(),
+        }
+    }
+
+    /// The decision-problem transformation of Section 3: substitute the
+    /// constants of a candidate answer tuple `t` for the head variables,
+    /// producing a Boolean query that is true iff `t ∈ Q(d)`.
+    ///
+    /// # Errors
+    /// Arity mismatch between `t` and the head, or a constant head term of
+    /// the query disagreeing with `t` (in which case the answer is trivially
+    /// false — reported as `Ok(None)`).
+    pub fn bind_head(&self, t: &Tuple) -> Result<Option<ConjunctiveQuery>> {
+        if t.arity() != self.head_terms.len() {
+            return Err(QueryError::BadProgram(format!(
+                "candidate tuple arity {} != head arity {}",
+                t.arity(),
+                self.head_terms.len()
+            )));
+        }
+        let mut q = self.clone();
+        for (i, ht) in self.head_terms.iter().enumerate() {
+            match ht {
+                Term::Const(c) => {
+                    if c != &t[i] {
+                        return Ok(None);
+                    }
+                }
+                Term::Var(v) => {
+                    // A repeated head variable must agree with itself.
+                    if let Some(prev) = q.head_terms[i].as_const() {
+                        if prev != &t[i] {
+                            return Ok(None);
+                        }
+                    }
+                    q = q.substitute(v, &t[i]);
+                }
+            }
+        }
+        q.head_terms.clear();
+        Ok(Some(q))
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head_name)?;
+        for (i, t) in self.head_terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        for n in &self.neqs {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        for c in &self.comparisons {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+    use pq_data::tuple;
+
+    /// The paper's Section 5 example: employees working on more than one
+    /// project — `G(e) :- EP(e,p), EP(e,p'), p != p'`.
+    fn more_than_one_project() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "G",
+            [Term::var("e")],
+            [atom!("EP"; var "e", var "p"), atom!("EP"; var "e", var "p2")],
+        )
+        .with_neqs([Neq::new(Term::var("p"), Term::var("p2"))])
+    }
+
+    #[test]
+    fn variable_collection_orders_head_first() {
+        let q = more_than_one_project();
+        assert_eq!(q.variables(), vec!["e", "p", "p2"]);
+        assert_eq!(q.head_variables(), vec!["e"]);
+        assert_eq!(q.atom_variables(), vec!["e", "p", "p2"]);
+    }
+
+    #[test]
+    fn validation_catches_unsafe_queries() {
+        let q = ConjunctiveQuery::new("G", [Term::var("z")], [atom!("R"; var "x")]);
+        assert_eq!(q.validate().unwrap_err(), QueryError::UnsafeHeadVariable("z".into()));
+
+        let q = ConjunctiveQuery::boolean("G", [atom!("R"; var "x")])
+            .with_neqs([Neq::new(Term::var("x"), Term::var("w"))]);
+        assert_eq!(q.validate().unwrap_err(), QueryError::UnsafeConstraintVariable("w".into()));
+
+        let q = ConjunctiveQuery::boolean("G", []);
+        assert_eq!(q.validate().unwrap_err(), QueryError::EmptyBody);
+
+        assert!(more_than_one_project().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_example_is_acyclic_despite_inequality() {
+        // The point of Section 5: with the ≠ edge the hypergraph would be a
+        // triangle; over relational atoms only, it is acyclic.
+        let q = more_than_one_project();
+        assert!(q.is_acyclic());
+        assert!(!q.is_pure());
+    }
+
+    #[test]
+    fn triangle_query_is_cyclic() {
+        let q = ConjunctiveQuery::boolean(
+            "P",
+            [
+                atom!("E"; var "x", var "y"),
+                atom!("E"; var "y", var "z"),
+                atom!("E"; var "z", var "x"),
+            ],
+        );
+        assert!(!q.is_acyclic());
+    }
+
+    #[test]
+    fn bind_head_substitutes_everywhere() {
+        let q = more_than_one_project();
+        let b = q.bind_head(&tuple!["alice"]).unwrap().expect("compatible");
+        assert!(b.is_boolean());
+        assert_eq!(b.atoms[0], atom!("EP"; val "alice", var "p"));
+        // arity mismatch
+        assert!(q.bind_head(&tuple![1, 2]).is_err());
+    }
+
+    #[test]
+    fn bind_head_rejects_conflicting_constant() {
+        let q = ConjunctiveQuery::new("G", [Term::cons(7)], [atom!("R"; var "x")]);
+        assert_eq!(q.bind_head(&tuple![8]).unwrap(), None);
+        assert!(q.bind_head(&tuple![7]).unwrap().is_some());
+    }
+
+    #[test]
+    fn bind_head_repeated_variable_must_agree() {
+        let q = ConjunctiveQuery::new(
+            "G",
+            [Term::var("x"), Term::var("x")],
+            [atom!("R"; var "x")],
+        );
+        assert_eq!(q.bind_head(&tuple![1, 2]).unwrap(), None);
+        assert!(q.bind_head(&tuple![1, 1]).unwrap().is_some());
+    }
+
+    #[test]
+    fn display_rule_notation() {
+        let q = more_than_one_project();
+        assert_eq!(q.to_string(), "G(e) :- EP(e, p), EP(e, p2), p != p2.");
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.eval(&Value::int(1), &Value::int(2)));
+        assert!(!CmpOp::Lt.eval(&Value::int(2), &Value::int(2)));
+        assert!(CmpOp::Le.eval(&Value::int(2), &Value::int(2)));
+    }
+}

@@ -1,0 +1,217 @@
+//! Datalog programs: positive queries plus recursion (Section 3).
+//!
+//! A Datalog query is a set of rules over the database (EDB) relations and
+//! new (IDB) relations, one of which is the distinguished *goal*. Section 4
+//! of the paper shows that with all relations restricted to fixed arity,
+//! Datalog evaluation is W[1]-complete, and that without the restriction the
+//! query size is *provably* in the exponent (Vardi [16]).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{QueryError, Result};
+use crate::term::Atom;
+
+/// A single Datalog rule `H(t0) :- B1(t1), …, Bs(ts)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(head: Atom, body: impl IntoIterator<Item = Atom>) -> Rule {
+        Rule { head, body: body.into_iter().collect() }
+    }
+
+    /// Safety: every head variable occurs in the body.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: BTreeSet<&str> =
+            self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().iter().all(|v| body_vars.contains(v))
+    }
+
+    /// Distinct variable names of the rule.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        let mut s: BTreeSet<&str> = self.head.variables().into_iter().collect();
+        s.extend(self.body.iter().flat_map(|a| a.variables()));
+        s
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program with a distinguished goal relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogProgram {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// Name of the goal (output) IDB relation.
+    pub goal: String,
+}
+
+impl DatalogProgram {
+    /// Build a program.
+    pub fn new(rules: impl IntoIterator<Item = Rule>, goal: impl Into<String>) -> DatalogProgram {
+        DatalogProgram { rules: rules.into_iter().collect(), goal: goal.into() }
+    }
+
+    /// The IDB relations: those defined by some rule head.
+    pub fn idb_relations(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.relation.as_str()).collect()
+    }
+
+    /// The EDB relations: those used in bodies but never defined.
+    pub fn edb_relations(&self) -> BTreeSet<&str> {
+        let idb = self.idb_relations();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .map(|a| a.relation.as_str())
+            .filter(|r| !idb.contains(r))
+            .collect()
+    }
+
+    /// Maximum arity over all atoms (head or body). Section 4's W[1]
+    /// membership argument applies when this is bounded independent of the
+    /// parameter.
+    pub fn max_arity(&self) -> usize {
+        self.rules
+            .iter()
+            .flat_map(|r| std::iter::once(&r.head).chain(r.body.iter()))
+            .map(Atom::arity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum number of distinct variables in a single rule (the per-stage
+    /// conjunctive-query parameter of Section 4's bottom-up argument).
+    pub fn max_rule_variables(&self) -> usize {
+        self.rules.iter().map(|r| r.variables().len()).max().unwrap_or(0)
+    }
+
+    /// Validate: all rules safe, goal defined, arities consistent per
+    /// relation name.
+    pub fn validate(&self) -> Result<()> {
+        if self.rules.is_empty() {
+            return Err(QueryError::BadProgram("no rules".into()));
+        }
+        for r in &self.rules {
+            if !r.is_safe() {
+                return Err(QueryError::BadProgram(format!("unsafe rule: {r}")));
+            }
+        }
+        if !self.idb_relations().contains(self.goal.as_str()) {
+            return Err(QueryError::BadProgram(format!("goal `{}` has no defining rule", self.goal)));
+        }
+        let mut arity: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for r in &self.rules {
+            for a in std::iter::once(&r.head).chain(r.body.iter()) {
+                match arity.get(a.relation.as_str()) {
+                    Some(&k) if k != a.arity() => {
+                        return Err(QueryError::BadProgram(format!(
+                            "relation `{}` used with arities {k} and {}",
+                            a.relation,
+                            a.arity()
+                        )))
+                    }
+                    Some(_) => {}
+                    None => {
+                        arity.insert(a.relation.as_str(), a.arity());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DatalogProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "?- {}", self.goal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+
+    /// Transitive closure of E — the canonical Datalog program.
+    pub(crate) fn tc() -> DatalogProgram {
+        DatalogProgram::new(
+            [
+                Rule::new(atom!("T"; var "x", var "y"), [atom!("E"; var "x", var "y")]),
+                Rule::new(
+                    atom!("T"; var "x", var "z"),
+                    [atom!("E"; var "x", var "y"), atom!("T"; var "y", var "z")],
+                ),
+            ],
+            "T",
+        )
+    }
+
+    #[test]
+    fn edb_idb_split() {
+        let p = tc();
+        assert_eq!(p.idb_relations(), BTreeSet::from(["T"]));
+        assert_eq!(p.edb_relations(), BTreeSet::from(["E"]));
+        assert_eq!(p.max_arity(), 2);
+        assert_eq!(p.max_rule_variables(), 3);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let p = DatalogProgram::new(
+            [Rule::new(atom!("G"; var "x"), [atom!("E"; var "y", var "y")])],
+            "G",
+        );
+        assert!(matches!(p.validate(), Err(QueryError::BadProgram(_))));
+    }
+
+    #[test]
+    fn missing_goal_rejected() {
+        let p = DatalogProgram::new(
+            [Rule::new(atom!("T"; var "x"), [atom!("E"; var "x")])],
+            "G",
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn inconsistent_arity_rejected() {
+        let p = DatalogProgram::new(
+            [
+                Rule::new(atom!("T"; var "x"), [atom!("E"; var "x")]),
+                Rule::new(atom!("T"; var "x", var "y"), [atom!("E"; var "x"), atom!("E"; var "y")]),
+            ],
+            "T",
+        );
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_shows_rules_and_goal() {
+        let s = tc().to_string();
+        assert!(s.contains("T(x, y) :- E(x, y)."));
+        assert!(s.ends_with("?- T"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for query construction, validation, and parsing.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or parsing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A head variable does not occur in any body atom (unsafe query).
+    UnsafeHeadVariable(String),
+    /// An inequality or comparison variable does not occur in any relational
+    /// atom (unsafe / non-range-restricted).
+    UnsafeConstraintVariable(String),
+    /// An inequality/comparison between two constants (degenerate; callers
+    /// should fold it away).
+    ConstantConstraint(String),
+    /// The query body has no relational atoms.
+    EmptyBody,
+    /// A parse error with position and message.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A Datalog program referred to no rules for its goal, or had other
+    /// structural problems.
+    BadProgram(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the body")
+            }
+            QueryError::UnsafeConstraintVariable(v) => {
+                write!(f, "constraint variable `{v}` does not occur in any relational atom")
+            }
+            QueryError::ConstantConstraint(c) => {
+                write!(f, "constraint `{c}` relates two constants")
+            }
+            QueryError::EmptyBody => write!(f, "query body has no relational atoms"),
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::BadProgram(m) => write!(f, "bad Datalog program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Result alias for this crate.
+pub type Result<T, E = QueryError> = std::result::Result<T, E>;

@@ -1,0 +1,362 @@
+//! First-order queries: the full relational calculus (Section 3).
+//!
+//! First-order queries add negation (set difference in algebra) to the
+//! positive queries; `φ` is an arbitrary first-order formula over the
+//! database relations. Theorem 1(3) shows their parametric evaluation problem
+//! is W[t]-hard for all `t` (parameter `q`) and W[P]-hard (parameter `v`) via
+//! the `θ_{2i}` formula towers that this module can represent and that
+//! `pq-wtheory::reductions::circuit_to_fo` constructs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pq_data::Value;
+
+use crate::error::{QueryError, Result};
+use crate::term::{Atom, Term};
+
+/// A first-order formula over relational atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoFormula {
+    /// A relational atom.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<FoFormula>),
+    /// Conjunction.
+    And(Vec<FoFormula>),
+    /// Disjunction.
+    Or(Vec<FoFormula>),
+    /// Existential quantification of one variable.
+    Exists(String, Box<FoFormula>),
+    /// Universal quantification of one variable.
+    Forall(String, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// Atom helper.
+    pub fn atom(a: Atom) -> FoFormula {
+        FoFormula::Atom(a)
+    }
+
+    /// Negation helper.
+    pub fn not(f: FoFormula) -> FoFormula {
+        FoFormula::Not(Box::new(f))
+    }
+
+    /// Conjunction helper.
+    pub fn and(fs: impl IntoIterator<Item = FoFormula>) -> FoFormula {
+        FoFormula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction helper.
+    pub fn or(fs: impl IntoIterator<Item = FoFormula>) -> FoFormula {
+        FoFormula::Or(fs.into_iter().collect())
+    }
+
+    /// Existential quantification helper.
+    pub fn exists(v: impl Into<String>, f: FoFormula) -> FoFormula {
+        FoFormula::Exists(v.into(), Box::new(f))
+    }
+
+    /// Universal quantification helper.
+    pub fn forall(v: impl Into<String>, f: FoFormula) -> FoFormula {
+        FoFormula::Forall(v.into(), Box::new(f))
+    }
+
+    /// Nested existential quantification of a block.
+    pub fn exists_block<S: Into<String>>(
+        vars: impl IntoIterator<Item = S>,
+        f: FoFormula,
+    ) -> FoFormula {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        vars.into_iter().rev().fold(f, |acc, v| FoFormula::Exists(v, Box::new(acc)))
+    }
+
+    /// Free variables.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        match self {
+            FoFormula::Atom(a) => a.variables().into_iter().map(str::to_string).collect(),
+            FoFormula::Not(f) => f.free_variables(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                fs.iter().flat_map(FoFormula::free_variables).collect()
+            }
+            FoFormula::Exists(v, f) | FoFormula::Forall(v, f) => {
+                let mut s = f.free_variables();
+                s.remove(v);
+                s
+            }
+        }
+    }
+
+    /// All distinct variable *names* (the paper's parameter `v`; names are
+    /// counted once even when reused across scopes, which is precisely how
+    /// the `θ_{2i}` towers of Theorem 1(3) keep `v = k + 2` while the formula
+    /// grows with the circuit depth).
+    pub fn all_variable_names(&self) -> BTreeSet<String> {
+        match self {
+            FoFormula::Atom(a) => a.variables().into_iter().map(str::to_string).collect(),
+            FoFormula::Not(f) => f.all_variable_names(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                fs.iter().flat_map(FoFormula::all_variable_names).collect()
+            }
+            FoFormula::Exists(v, f) | FoFormula::Forall(v, f) => {
+                let mut s = f.all_variable_names();
+                s.insert(v.clone());
+                s
+            }
+        }
+    }
+
+    /// Relation names mentioned anywhere.
+    pub fn relation_names(&self) -> BTreeSet<String> {
+        match self {
+            FoFormula::Atom(a) => BTreeSet::from([a.relation.clone()]),
+            FoFormula::Not(f) => f.relation_names(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                fs.iter().flat_map(FoFormula::relation_names).collect()
+            }
+            FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => f.relation_names(),
+        }
+    }
+
+    /// Substitute a constant for free occurrences of a variable.
+    pub fn substitute(&self, name: &str, value: &Value) -> FoFormula {
+        match self {
+            FoFormula::Atom(a) => FoFormula::Atom(a.substitute(name, value)),
+            FoFormula::Not(f) => FoFormula::not(f.substitute(name, value)),
+            FoFormula::And(fs) => {
+                FoFormula::And(fs.iter().map(|f| f.substitute(name, value)).collect())
+            }
+            FoFormula::Or(fs) => {
+                FoFormula::Or(fs.iter().map(|f| f.substitute(name, value)).collect())
+            }
+            FoFormula::Exists(v, f) if v != name => {
+                FoFormula::Exists(v.clone(), Box::new(f.substitute(name, value)))
+            }
+            FoFormula::Forall(v, f) if v != name => {
+                FoFormula::Forall(v.clone(), Box::new(f.substitute(name, value)))
+            }
+            shadowed => shadowed.clone(),
+        }
+    }
+
+    /// Number of syntactic nodes (the `q` metric).
+    pub fn node_count(&self) -> usize {
+        match self {
+            FoFormula::Atom(a) => 1 + a.arity(),
+            FoFormula::Not(f) => 1 + f.node_count(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                1 + fs.iter().map(FoFormula::node_count).sum::<usize>()
+            }
+            FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.node_count(),
+        }
+    }
+
+    /// Quantifier depth (longest chain of nested quantifiers).
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            FoFormula::Atom(_) => 0,
+            FoFormula::Not(f) => f.quantifier_depth(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                fs.iter().map(FoFormula::quantifier_depth).max().unwrap_or(0)
+            }
+            FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+}
+
+impl fmt::Display for FoFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoFormula::Atom(a) => write!(f, "{a}"),
+            FoFormula::Not(x) => write!(f, "!{x}"),
+            FoFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, c) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, c) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Exists(v, x) => write!(f, "exists {v}. {x}"),
+            FoFormula::Forall(v, x) => write!(f, "forall {v}. {x}"),
+        }
+    }
+}
+
+/// A quantifier kind, for prenex decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Existential.
+    Exists,
+    /// Universal.
+    Forall,
+}
+
+/// A first-order query `G(t0) = { t0 | φ }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoQuery {
+    /// Name of the defined relation.
+    pub head_name: String,
+    /// Head terms.
+    pub head_terms: Vec<Term>,
+    /// The body formula.
+    pub formula: FoFormula,
+}
+
+impl FoQuery {
+    /// Build a first-order query.
+    pub fn new(
+        head_name: impl Into<String>,
+        head_terms: impl IntoIterator<Item = Term>,
+        formula: FoFormula,
+    ) -> FoQuery {
+        FoQuery { head_name: head_name.into(), head_terms: head_terms.into_iter().collect(), formula }
+    }
+
+    /// A Boolean first-order query.
+    pub fn boolean(head_name: impl Into<String>, formula: FoFormula) -> FoQuery {
+        FoQuery::new(head_name, [], formula)
+    }
+
+    /// Head variables must be free in the formula.
+    pub fn validate(&self) -> Result<()> {
+        let free = self.formula.free_variables();
+        for t in &self.head_terms {
+            if let Some(v) = t.as_var() {
+                if !free.contains(v) {
+                    return Err(QueryError::UnsafeHeadVariable(v.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Prenex decomposition: the leading quantifier chain and the
+    /// quantifier-free matrix, or `None` when a quantifier occurs below a
+    /// connective. (The paper: prenex first-order queries under parameter
+    /// `v` are AW[SAT]-complete; non-prenex ones resist that classification
+    /// because prenexing does not preserve `v`.)
+    pub fn prenex_parts(&self) -> Option<(Vec<(Quantifier, String)>, &FoFormula)> {
+        let mut prefix = Vec::new();
+        let mut f = &self.formula;
+        loop {
+            match f {
+                FoFormula::Exists(v, b) => {
+                    prefix.push((Quantifier::Exists, v.clone()));
+                    f = b;
+                }
+                FoFormula::Forall(v, b) => {
+                    prefix.push((Quantifier::Forall, v.clone()));
+                    f = b;
+                }
+                _ => break,
+            }
+        }
+        fn qfree(f: &FoFormula) -> bool {
+            match f {
+                FoFormula::Atom(_) => true,
+                FoFormula::Not(g) => qfree(g),
+                FoFormula::And(fs) | FoFormula::Or(fs) => fs.iter().all(qfree),
+                FoFormula::Exists(..) | FoFormula::Forall(..) => false,
+            }
+        }
+        if qfree(f) {
+            Some((prefix, f))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head_name)?;
+        for (i, t) in self.head_terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") := {}", self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(rel: &str, vars: &[&str]) -> FoFormula {
+        FoFormula::Atom(Atom::new(rel, vars.iter().map(|v| Term::var(*v))))
+    }
+
+    #[test]
+    fn free_variables_respect_quantifiers() {
+        let f = FoFormula::exists(
+            "y",
+            FoFormula::and([a("R", &["x", "y"]), FoFormula::not(a("S", &["y"]))]),
+        );
+        assert_eq!(f.free_variables(), BTreeSet::from(["x".to_string()]));
+    }
+
+    #[test]
+    fn variable_reuse_counts_once() {
+        // ∃y (C(x,y) ∧ ∀x (¬C(y,x) ∨ …)): x is reused — exactly the paper's
+        // θ_{2i} pattern.
+        let f = FoFormula::exists(
+            "y",
+            FoFormula::and([
+                a("C", &["x", "y"]),
+                FoFormula::forall("x", FoFormula::or([FoFormula::not(a("C", &["y", "x"]))])),
+            ]),
+        );
+        assert_eq!(f.all_variable_names().len(), 2);
+        assert_eq!(f.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn exists_block_nests_left_to_right() {
+        let f = FoFormula::exists_block(["a", "b"], a("R", &["a", "b"]));
+        assert_eq!(f.to_string(), "exists a. exists b. R(a, b)");
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        let f = FoFormula::and([a("R", &["x"]), FoFormula::forall("x", a("S", &["x"]))]);
+        let g = f.substitute("x", &Value::int(5));
+        assert_eq!(
+            g,
+            FoFormula::and([
+                FoFormula::Atom(Atom::new("R", [Term::cons(5)])),
+                FoFormula::forall("x", a("S", &["x"])),
+            ])
+        );
+    }
+
+    #[test]
+    fn validate_head_freeness() {
+        let q = FoQuery::new("G", [Term::var("x")], FoFormula::exists("x", a("R", &["x"])));
+        assert!(q.validate().is_err());
+        let q = FoQuery::new("G", [Term::var("x")], a("R", &["x"]));
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn node_count_and_display() {
+        let f = FoFormula::not(FoFormula::or([a("R", &["x"]), a("S", &["y"])]));
+        assert_eq!(f.node_count(), 1 + 1 + 2 + 2);
+        assert_eq!(f.to_string(), "!(R(x) | S(y))");
+    }
+}

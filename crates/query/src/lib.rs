@@ -1,0 +1,30 @@
+//! `pq-query` — query ASTs for every language the paper classifies.
+//!
+//! Section 3 of Papadimitriou & Yannakakis studies four query languages:
+//! conjunctive queries ([`cq::ConjunctiveQuery`], optionally extended with
+//! the `≠` atoms of Section 5 and the `<`/`≤` comparisons of Theorem 3),
+//! positive queries ([`positive::PositiveQuery`]), first-order queries
+//! ([`fo::FoQuery`]), and Datalog ([`datalog::DatalogProgram`]). This crate
+//! defines those ASTs, a rule-notation/formula parser ([`parser`]), and the
+//! two parameters of Fig. 1 — query size `q` and variable count `v`
+//! ([`metrics::QueryMetrics`]).
+
+#![warn(missing_docs)]
+
+pub mod cq;
+pub mod datalog;
+pub mod error;
+pub mod fo;
+pub mod metrics;
+pub mod parser;
+pub mod positive;
+pub mod term;
+
+pub use cq::{CmpOp, Comparison, ConjunctiveQuery, Neq};
+pub use datalog::{DatalogProgram, Rule};
+pub use error::{QueryError, Result};
+pub use fo::{FoFormula, FoQuery, Quantifier};
+pub use metrics::QueryMetrics;
+pub use parser::{parse_cq, parse_datalog, parse_fo, parse_positive};
+pub use positive::{PosFormula, PositiveQuery};
+pub use term::{Atom, Term};

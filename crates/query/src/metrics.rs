@@ -1,0 +1,143 @@
+//! The paper's two parameters: query size `q` and variable count `v`.
+//!
+//! Section 3: "Two possible parameters come to mind: the query size q (the
+//! length of the string needed to express the query) and the number of
+//! variables v appearing in the query." Any size measure within a constant
+//! factor of the string length induces the same parametric complexity; we
+//! count syntactic symbols (relation names, terms, connectives, quantifiers).
+
+use std::collections::BTreeSet;
+
+use crate::cq::ConjunctiveQuery;
+use crate::datalog::DatalogProgram;
+use crate::fo::FoQuery;
+use crate::positive::PositiveQuery;
+use crate::term::Atom;
+
+/// Query-size and variable-count parameters (the `q` and `v` of Fig. 1).
+pub trait QueryMetrics {
+    /// The query size `q` (number of syntactic symbols).
+    fn size(&self) -> usize;
+    /// The number of distinct variable names `v`.
+    fn num_variables(&self) -> usize;
+}
+
+fn atom_size(a: &Atom) -> usize {
+    1 + a.arity()
+}
+
+impl QueryMetrics for ConjunctiveQuery {
+    fn size(&self) -> usize {
+        1 + self.head_terms.len()
+            + self.atoms.iter().map(atom_size).sum::<usize>()
+            + 3 * self.neqs.len()
+            + 3 * self.comparisons.len()
+    }
+
+    fn num_variables(&self) -> usize {
+        self.variables().len()
+    }
+}
+
+impl QueryMetrics for PositiveQuery {
+    fn size(&self) -> usize {
+        1 + self.head_terms.len() + self.formula.node_count()
+    }
+
+    fn num_variables(&self) -> usize {
+        let mut names = self.formula.all_variable_names();
+        names.extend(self.head_terms.iter().filter_map(|t| t.as_var()).map(str::to_string));
+        names.len()
+    }
+}
+
+impl QueryMetrics for FoQuery {
+    fn size(&self) -> usize {
+        1 + self.head_terms.len() + self.formula.node_count()
+    }
+
+    fn num_variables(&self) -> usize {
+        let mut names = self.formula.all_variable_names();
+        names.extend(self.head_terms.iter().filter_map(|t| t.as_var()).map(str::to_string));
+        names.len()
+    }
+}
+
+impl QueryMetrics for DatalogProgram {
+    fn size(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| atom_size(&r.head) + r.body.iter().map(atom_size).sum::<usize>())
+            .sum()
+    }
+
+    fn num_variables(&self) -> usize {
+        let names: BTreeSet<&str> = self.rules.iter().flat_map(|r| r.variables()).collect();
+        names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+    use crate::cq::Neq;
+    use crate::positive::PosFormula;
+    use crate::term::Term;
+
+    #[test]
+    fn cq_metrics_count_constraints() {
+        let q = ConjunctiveQuery::new(
+            "G",
+            [Term::var("x")],
+            [atom!("R"; var "x", var "y"), atom!("S"; var "y")],
+        )
+        .with_neqs([Neq::new(Term::var("x"), Term::var("y"))]);
+        assert_eq!(q.size(), (1 + 1) + (1 + 2) + (1 + 1) + 3);
+        assert_eq!(q.num_variables(), 2);
+    }
+
+    #[test]
+    fn clique_query_metrics_match_paper() {
+        // Theorem 1(1): the clique-k query has q = O(k²) and v = k.
+        let k = 5usize;
+        let mut atoms = Vec::new();
+        for i in 1..=k {
+            for j in i + 1..=k {
+                atoms.push(atom!("G"; var format!("x{i}"), var format!("x{j}")));
+            }
+        }
+        let q = ConjunctiveQuery::boolean("P", atoms);
+        assert_eq!(q.num_variables(), k);
+        assert_eq!(q.size(), 1 + 3 * (k * (k - 1) / 2));
+    }
+
+    #[test]
+    fn positive_metrics_count_bound_names_once() {
+        let f = PosFormula::exists(
+            ["y"],
+            PosFormula::or([
+                PosFormula::Atom(atom!("R"; var "x", var "y")),
+                PosFormula::Atom(atom!("S"; var "x", var "y")),
+            ]),
+        );
+        let q = PositiveQuery::new("G", [Term::var("x")], f);
+        assert_eq!(q.num_variables(), 2);
+    }
+
+    #[test]
+    fn datalog_metrics() {
+        let p = DatalogProgram::new(
+            [
+                crate::datalog::Rule::new(atom!("T"; var "x", var "y"), [atom!("E"; var "x", var "y")]),
+                crate::datalog::Rule::new(
+                    atom!("T"; var "x", var "z"),
+                    [atom!("E"; var "x", var "y"), atom!("T"; var "y", var "z")],
+                ),
+            ],
+            "T",
+        );
+        assert_eq!(p.num_variables(), 3);
+        assert_eq!(p.size(), (3 + 3) + (3 + 3 + 3));
+    }
+}

@@ -1,0 +1,636 @@
+//! A text syntax for every query language in the paper.
+//!
+//! Conventions (documented once, used everywhere):
+//!
+//! * **Relation names** are identifiers; by convention they start with an
+//!   uppercase letter (`EP`, `Edge`) but this is not enforced in atom
+//!   position.
+//! * In **term position**: a lowercase-initial identifier is a *variable*;
+//!   an integer literal is an integer *constant*; a double-quoted string or
+//!   an uppercase-initial identifier is a string *constant*.
+//! * Conjunctive queries use rule notation and end with a period:
+//!   `G(e) :- EP(e, p), EP(e, p2), p != p2.`
+//!   Comparisons `x < y`, `x <= 3` are allowed alongside `!=`.
+//! * Datalog programs are a sequence of rules followed by a goal marker:
+//!   `?- T`.
+//! * Positive and first-order queries use `:=` and formula syntax:
+//!   `G(x) := exists y. (R(x, y) & (S(y) | T(y)))`,
+//!   with `!` (negation) and `forall x.` additionally allowed in FO. A
+//!   quantifier's scope extends as far right as possible.
+
+use pq_data::Value;
+
+use crate::cq::{CmpOp, Comparison, ConjunctiveQuery, Neq};
+use crate::datalog::{DatalogProgram, Rule};
+use crate::error::{QueryError, Result};
+use crate::fo::{FoFormula, FoQuery};
+use crate::positive::{PosFormula, PositiveQuery};
+use crate::term::{Atom, Term};
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Period,
+    ColonDash,  // :-
+    ColonEq,    // :=
+    Bang,       // !
+    Amp,        // &
+    Pipe,       // |
+    Lt,         // <
+    Le,         // <=
+    Neq,        // !=
+    Goal,       // ?-
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    toks: Vec<(usize, Tok)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn lex(src: &'a str) -> Result<Vec<(usize, Tok)>> {
+        let mut l = Lexer { src: src.as_bytes(), pos: 0, toks: Vec::new() };
+        l.run()?;
+        Ok(l.toks)
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { offset: self.pos, message: message.into() }
+    }
+
+    fn run(&mut self) -> Result<()> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'%' => {
+                    // comment to end of line
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'(' => self.push1(start, Tok::LParen),
+                b')' => self.push1(start, Tok::RParen),
+                b',' => self.push1(start, Tok::Comma),
+                b'.' => self.push1(start, Tok::Period),
+                b'&' => self.push1(start, Tok::Amp),
+                b'|' => self.push1(start, Tok::Pipe),
+                b':' => {
+                    if self.peek(1) == Some(b'-') {
+                        self.pos += 2;
+                        self.toks.push((start, Tok::ColonDash));
+                    } else if self.peek(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.toks.push((start, Tok::ColonEq));
+                    } else {
+                        return Err(self.err("expected `:-` or `:=`"));
+                    }
+                }
+                b'?' => {
+                    if self.peek(1) == Some(b'-') {
+                        self.pos += 2;
+                        self.toks.push((start, Tok::Goal));
+                    } else {
+                        return Err(self.err("expected `?-`"));
+                    }
+                }
+                b'!' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.toks.push((start, Tok::Neq));
+                    } else {
+                        self.push1(start, Tok::Bang);
+                    }
+                }
+                b'<' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.toks.push((start, Tok::Le));
+                    } else {
+                        self.push1(start, Tok::Lt);
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let s0 = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    let s = String::from_utf8_lossy(&self.src[s0..self.pos]).into_owned();
+                    self.pos += 1;
+                    self.toks.push((start, Tok::Str(s)));
+                }
+                b'-' | b'0'..=b'9' => {
+                    let s0 = self.pos;
+                    if c == b'-' {
+                        self.pos += 1;
+                        if !self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                            return Err(self.err("`-` must start an integer literal"));
+                        }
+                    }
+                    while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("digits");
+                    let n: i64 =
+                        text.parse().map_err(|e| self.err(format!("bad integer: {e}")))?;
+                    self.toks.push((start, Tok::Int(n)));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let s0 = self.pos;
+                    while self
+                        .src
+                        .get(self.pos)
+                        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'\'')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = String::from_utf8_lossy(&self.src[s0..self.pos]).into_owned();
+                    self.toks.push((s0, Tok::Ident(text)));
+                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
+            }
+        }
+        Ok(())
+    }
+
+    fn push1(&mut self, start: usize, t: Tok) {
+        self.pos += 1;
+        self.toks.push((start, t));
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser> {
+        Ok(Parser { toks: Lexer::lex(src)?, i: 0 })
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map_or(usize::MAX, |(o, _)| *o)
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { offset: self.offset(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    /// Term-position token → variable or constant per the module conventions.
+    fn term(&mut self) -> Result<Term> {
+        match self.next() {
+            Some(Tok::Ident(s)) => {
+                if s.chars().next().is_some_and(char::is_uppercase) {
+                    Ok(Term::cons(Value::str(&s)))
+                } else {
+                    Ok(Term::Var(s))
+                }
+            }
+            Some(Tok::Int(n)) => Ok(Term::cons(n)),
+            Some(Tok::Str(s)) => Ok(Term::cons(Value::str(&s))),
+            _ => Err(self.err("expected a term (variable or constant)")),
+        }
+    }
+
+    /// `R(t1, …, tn)` or a bare `R` (0-ary).
+    fn atom_after_name(&mut self, name: String) -> Result<Atom> {
+        let mut terms = Vec::new();
+        if self.eat(&Tok::LParen) {
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    terms.push(self.term()?);
+                    if self.eat(&Tok::RParen) {
+                        break;
+                    }
+                    self.expect(&Tok::Comma, "`,` or `)` in atom")?;
+                }
+            }
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    /// One body item of a CQ rule: atom, `t != t`, `t < t`, or `t <= t`.
+    fn body_item(&mut self) -> Result<BodyItem> {
+        // Lookahead: Ident followed by `(` (or by a separator) is an atom
+        // only when no comparison operator follows the bare term.
+        let start = self.i;
+        let left = match self.next() {
+            Some(Tok::Ident(s)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    let a = self.atom_after_name(s)?;
+                    return Ok(BodyItem::Atom(a));
+                }
+                if s.chars().next().is_some_and(char::is_uppercase)
+                    && !matches!(self.peek(), Some(Tok::Neq | Tok::Lt | Tok::Le))
+                {
+                    // bare 0-ary atom
+                    return Ok(BodyItem::Atom(Atom::new(s, [])));
+                }
+                self.i = start;
+                self.term()?
+            }
+            Some(Tok::Int(_)) | Some(Tok::Str(_)) => {
+                self.i = start;
+                self.term()?
+            }
+            _ => return Err(self.err("expected an atom or a constraint")),
+        };
+        match self.next() {
+            Some(Tok::Neq) => Ok(BodyItem::Neq(Neq::new(left, self.term()?))),
+            Some(Tok::Lt) => Ok(BodyItem::Cmp(Comparison::new(left, CmpOp::Lt, self.term()?))),
+            Some(Tok::Le) => Ok(BodyItem::Cmp(Comparison::new(left, CmpOp::Le, self.term()?))),
+            _ => Err(self.err("expected `!=`, `<`, or `<=` after term")),
+        }
+    }
+
+    /// `Head(t0) :- items .`
+    fn rule_parts(&mut self) -> Result<(Atom, Vec<BodyItem>)> {
+        let name = self.ident("rule head relation name")?;
+        let head = self.atom_after_name(name)?;
+        self.expect(&Tok::ColonDash, "`:-`")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.body_item()?);
+            if self.eat(&Tok::Period) {
+                break;
+            }
+            self.expect(&Tok::Comma, "`,` or `.` after body item")?;
+        }
+        Ok((head, items))
+    }
+
+    // ---- formula parsing (shared by positive and FO) ----
+
+    fn fo_or(&mut self) -> Result<FoFormula> {
+        let mut parts = vec![self.fo_and()?];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.fo_and()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { FoFormula::Or(parts) })
+    }
+
+    fn fo_and(&mut self) -> Result<FoFormula> {
+        let mut parts = vec![self.fo_unary()?];
+        while self.eat(&Tok::Amp) {
+            parts.push(self.fo_unary()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { FoFormula::And(parts) })
+    }
+
+    fn fo_unary(&mut self) -> Result<FoFormula> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.i += 1;
+                Ok(FoFormula::not(self.fo_unary()?))
+            }
+            Some(Tok::LParen) => {
+                self.i += 1;
+                let f = self.fo_or()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(f)
+            }
+            Some(Tok::Ident(s)) if s == "exists" || s == "forall" => {
+                let kw = s.clone();
+                self.i += 1;
+                let mut vars = vec![self.ident("quantified variable")?];
+                while self.eat(&Tok::Comma) {
+                    vars.push(self.ident("quantified variable")?);
+                }
+                self.expect(&Tok::Period, "`.` after quantified variables")?;
+                // Scope extends as far right as possible.
+                let body = self.fo_or()?;
+                let mk = |v: String, b: FoFormula| {
+                    if kw == "exists" {
+                        FoFormula::Exists(v, Box::new(b))
+                    } else {
+                        FoFormula::Forall(v, Box::new(b))
+                    }
+                };
+                Ok(vars.into_iter().rev().fold(body, |acc, v| mk(v, acc)))
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident("relation name")?;
+                Ok(FoFormula::Atom(self.atom_after_name(name)?))
+            }
+            _ => Err(self.err("expected a formula")),
+        }
+    }
+}
+
+enum BodyItem {
+    Atom(Atom),
+    Neq(Neq),
+    Cmp(Comparison),
+}
+
+/// Convert an [`FoFormula`] without `¬`/`∀` into a [`PosFormula`].
+fn fo_to_positive(f: &FoFormula) -> Result<PosFormula> {
+    match f {
+        FoFormula::Atom(a) => Ok(PosFormula::Atom(a.clone())),
+        FoFormula::And(fs) => {
+            Ok(PosFormula::And(fs.iter().map(fo_to_positive).collect::<Result<_>>()?))
+        }
+        FoFormula::Or(fs) => {
+            Ok(PosFormula::Or(fs.iter().map(fo_to_positive).collect::<Result<_>>()?))
+        }
+        FoFormula::Exists(v, b) => {
+            Ok(PosFormula::Exists(vec![v.clone()], Box::new(fo_to_positive(b)?)))
+        }
+        FoFormula::Not(_) | FoFormula::Forall(_, _) => Err(QueryError::Parse {
+            offset: 0,
+            message: "negation/universal quantification not allowed in a positive query".into(),
+        }),
+    }
+}
+
+/// Parse a conjunctive query (with optional `!=` and `<`/`<=` atoms) in rule
+/// notation.
+///
+/// ```
+/// let q = pq_query::parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+/// assert_eq!(q.atoms.len(), 2);
+/// assert_eq!(q.neqs.len(), 1);
+/// assert!(q.is_acyclic());
+/// ```
+pub fn parse_cq(src: &str) -> Result<ConjunctiveQuery> {
+    let mut p = Parser::new(src)?;
+    let (head, items) = p.rule_parts()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    let mut q = ConjunctiveQuery::new(head.relation, head.terms, []);
+    for it in items {
+        match it {
+            BodyItem::Atom(a) => q.atoms.push(a),
+            BodyItem::Neq(n) => q.neqs.push(n),
+            BodyItem::Cmp(c) => q.comparisons.push(c),
+        }
+    }
+    Ok(q)
+}
+
+/// Parse a Datalog program: rules (plain atoms only in bodies) followed by
+/// `?- Goal`.
+pub fn parse_datalog(src: &str) -> Result<DatalogProgram> {
+    let mut p = Parser::new(src)?;
+    let mut rules = Vec::new();
+    loop {
+        if p.eat(&Tok::Goal) {
+            let goal = p.ident("goal relation name")?;
+            p.eat(&Tok::Period);
+            if !p.at_end() {
+                return Err(p.err("trailing input after goal"));
+            }
+            return Ok(DatalogProgram::new(rules, goal));
+        }
+        if p.at_end() {
+            return Err(p.err("missing `?- Goal` marker"));
+        }
+        let (head, items) = p.rule_parts()?;
+        let mut body = Vec::new();
+        for it in items {
+            match it {
+                BodyItem::Atom(a) => body.push(a),
+                BodyItem::Neq(_) | BodyItem::Cmp(_) => {
+                    return Err(p.err("constraints are not allowed in Datalog rules"))
+                }
+            }
+        }
+        rules.push(Rule::new(head, body));
+    }
+}
+
+/// Parse a positive query, e.g.
+/// `G(x) := exists y. (R(x, y) & (S(y) | T(y)))`.
+pub fn parse_positive(src: &str) -> Result<PositiveQuery> {
+    let mut p = Parser::new(src)?;
+    let name = p.ident("head relation name")?;
+    let head = p.atom_after_name(name)?;
+    p.expect(&Tok::ColonEq, "`:=`")?;
+    let f = p.fo_or()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after formula"));
+    }
+    Ok(PositiveQuery::new(head.relation, head.terms, fo_to_positive(&f)?))
+}
+
+/// Parse a first-order query, e.g.
+/// `G(x) := exists y. (C(x, y) & forall z. (!C(y, z) | D(z)))`.
+pub fn parse_fo(src: &str) -> Result<FoQuery> {
+    let mut p = Parser::new(src)?;
+    let name = p.ident("head relation name")?;
+    let head = p.atom_after_name(name)?;
+    p.expect(&Tok::ColonEq, "`:=`")?;
+    let f = p.fo_or()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after formula"));
+    }
+    Ok(FoQuery::new(head.relation, head.terms, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+
+    #[test]
+    fn parse_paper_example_more_than_one_project() {
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        assert_eq!(q.head_name, "G");
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.neqs.len(), 1);
+        assert_eq!(q.to_string(), "G(e) :- EP(e, p), EP(e, p2), p != p2.");
+    }
+
+    #[test]
+    fn parse_students_outside_department() {
+        // The paper's second Section 5 example.
+        let q =
+            parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap();
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.neqs.len(), 1);
+        assert!(q.is_acyclic());
+    }
+
+    #[test]
+    fn parse_salary_comparison_example() {
+        // Theorem 3 preamble: employees with higher salary than their manager.
+        let q = parse_cq("G(e) :- EM(e, m), ES(e, s), ES(m, s2), s2 < s.").unwrap();
+        assert_eq!(q.comparisons.len(), 1);
+        assert_eq!(q.comparisons[0].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn constants_by_convention() {
+        let q = parse_cq(r#"G(x) :- R(x, 3, "lit", Konst), x != 3, x <= 10."#).unwrap();
+        assert_eq!(
+            q.atoms[0].terms,
+            vec![
+                Term::var("x"),
+                Term::cons(3),
+                Term::cons("lit"),
+                Term::cons("Konst"),
+            ]
+        );
+        assert_eq!(q.neqs[0].right, Term::cons(3));
+        assert_eq!(q.comparisons[0].op, CmpOp::Le);
+    }
+
+    #[test]
+    fn zero_ary_heads_and_atoms() {
+        let q = parse_cq("P :- G(x1, x2), P2.").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms[1], atom!("P2"));
+        let q2 = parse_cq("P() :- G(x, y).").unwrap();
+        assert!(q2.is_boolean());
+    }
+
+    #[test]
+    fn parse_datalog_tc() {
+        let p = parse_datalog(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- E(x, y), T(y, z).\n\
+             ?- T",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.goal, "T");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn datalog_rejects_constraints() {
+        assert!(parse_datalog("T(x) :- E(x, y), x != y. ?- T").is_err());
+    }
+
+    #[test]
+    fn parse_positive_with_scoping() {
+        let q = parse_positive("G(x) := exists y. (R(x, y) & (S(y) | T(y)))").unwrap();
+        let cqs = q.to_union_of_cqs();
+        assert_eq!(cqs.len(), 2);
+    }
+
+    #[test]
+    fn positive_rejects_negation() {
+        assert!(parse_positive("G(x) := !R(x)").is_err());
+        assert!(parse_positive("G(x) := forall y. R(x, y)").is_err());
+    }
+
+    #[test]
+    fn parse_fo_with_alternation() {
+        let q = parse_fo(
+            "Q := exists y. (C(o, y) & forall x. (!C(y, x) | C(x, x)))",
+        )
+        .unwrap();
+        assert_eq!(q.formula.quantifier_depth(), 2);
+        // `o` is lowercase → variable; `C` atoms parsed.
+        assert!(q.formula.relation_names().contains("C"));
+    }
+
+    #[test]
+    fn quantifier_scope_extends_right() {
+        let q = parse_fo("Q := exists x. R(x) & S(x)").unwrap();
+        // exists binds the whole conjunction
+        match &q.formula {
+            FoFormula::Exists(v, body) => {
+                assert_eq!(v, "x");
+                assert!(matches!(**body, FoFormula::And(_)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_variable_quantifier_blocks() {
+        let q = parse_fo("Q := exists a, b. R(a, b)").unwrap();
+        assert_eq!(q.formula.to_string(), "exists a. exists b. R(a, b)");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_cq("G(x) :- ").unwrap_err();
+        assert!(matches!(e, QueryError::Parse { .. }));
+        let e = parse_cq("G(x) : R(x).").unwrap_err();
+        assert!(matches!(e, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_cq("% the paper's example\nG(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        assert_eq!(q.atoms.len(), 2);
+    }
+
+    #[test]
+    fn cq_display_parse_round_trip() {
+        let src = "G(e) :- EP(e, p), EP(e, p2), p != p2.";
+        let q = parse_cq(src).unwrap();
+        let q2 = parse_cq(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn negative_integers() {
+        let q = parse_cq("G(x) :- R(x, -5), x < -1.").unwrap();
+        assert_eq!(q.atoms[0].terms[1], Term::cons(-5));
+    }
+}

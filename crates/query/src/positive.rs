@@ -1,0 +1,510 @@
+//! Positive queries: conjunctive queries plus disjunction (Section 3).
+//!
+//! A positive query is `G = { t0 | φ }` where `φ` is built from relational
+//! atoms using `∃`, `∧`, `∨`. Two transformations from the paper live here:
+//!
+//! * **prenexing** (used in Theorem 1(2): "all queries can be put in prenex
+//!   normal form, but this involves renaming of the variables, which in
+//!   general increases their number") — [`PositiveQuery::to_prenex`];
+//! * **expansion into a union of conjunctive queries** (the parametric
+//!   reduction showing positive queries ∈ W[1] for parameter `q`) —
+//!   [`PositiveQuery::to_union_of_cqs`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::cq::ConjunctiveQuery;
+use crate::error::{QueryError, Result};
+use crate::term::{Atom, Term};
+
+/// A positive formula: atoms, conjunction, disjunction, existential
+/// quantification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosFormula {
+    /// A relational atom.
+    Atom(Atom),
+    /// Conjunction of subformulas.
+    And(Vec<PosFormula>),
+    /// Disjunction of subformulas.
+    Or(Vec<PosFormula>),
+    /// Existential quantification of a block of variables.
+    Exists(Vec<String>, Box<PosFormula>),
+}
+
+impl PosFormula {
+    /// Conjunction helper.
+    pub fn and(fs: impl IntoIterator<Item = PosFormula>) -> PosFormula {
+        PosFormula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction helper.
+    pub fn or(fs: impl IntoIterator<Item = PosFormula>) -> PosFormula {
+        PosFormula::Or(fs.into_iter().collect())
+    }
+
+    /// Existential quantification helper.
+    pub fn exists<S: Into<String>>(
+        vars: impl IntoIterator<Item = S>,
+        body: PosFormula,
+    ) -> PosFormula {
+        PosFormula::Exists(vars.into_iter().map(Into::into).collect(), Box::new(body))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        match self {
+            PosFormula::Atom(a) => a.variables().into_iter().map(str::to_string).collect(),
+            PosFormula::And(fs) | PosFormula::Or(fs) => {
+                fs.iter().flat_map(PosFormula::free_variables).collect()
+            }
+            PosFormula::Exists(vs, b) => {
+                let mut s = b.free_variables();
+                for v in vs {
+                    s.remove(v);
+                }
+                s
+            }
+        }
+    }
+
+    /// All variable *names* appearing in the formula (free or bound). This is
+    /// the paper's parameter `v`: reusing a name in different scopes counts
+    /// once — which is exactly why prenexing can increase `v`.
+    pub fn all_variable_names(&self) -> BTreeSet<String> {
+        match self {
+            PosFormula::Atom(a) => a.variables().into_iter().map(str::to_string).collect(),
+            PosFormula::And(fs) | PosFormula::Or(fs) => {
+                fs.iter().flat_map(PosFormula::all_variable_names).collect()
+            }
+            PosFormula::Exists(vs, b) => {
+                let mut s = b.all_variable_names();
+                s.extend(vs.iter().cloned());
+                s
+            }
+        }
+    }
+
+    /// All atoms of the formula.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        match self {
+            PosFormula::Atom(a) => vec![a],
+            PosFormula::And(fs) | PosFormula::Or(fs) => {
+                fs.iter().flat_map(PosFormula::atoms).collect()
+            }
+            PosFormula::Exists(_, b) => b.atoms(),
+        }
+    }
+
+    /// Rename free occurrences of variable `old` to `new`.
+    pub fn rename_free(&self, old: &str, new: &str) -> PosFormula {
+        match self {
+            PosFormula::Atom(a) => PosFormula::Atom(Atom::new(
+                a.relation.clone(),
+                a.terms.iter().map(|t| match t {
+                    Term::Var(v) if v == old => Term::var(new),
+                    other => other.clone(),
+                }),
+            )),
+            PosFormula::And(fs) => {
+                PosFormula::And(fs.iter().map(|f| f.rename_free(old, new)).collect())
+            }
+            PosFormula::Or(fs) => {
+                PosFormula::Or(fs.iter().map(|f| f.rename_free(old, new)).collect())
+            }
+            PosFormula::Exists(vs, b) => {
+                if vs.iter().any(|v| v == old) {
+                    // `old` is re-bound here; free occurrences below are shadowed.
+                    PosFormula::Exists(vs.clone(), b.clone())
+                } else {
+                    PosFormula::Exists(vs.clone(), Box::new(b.rename_free(old, new)))
+                }
+            }
+        }
+    }
+
+    /// Substitute a constant for free occurrences of a variable.
+    pub fn substitute(&self, name: &str, value: &pq_data::Value) -> PosFormula {
+        match self {
+            PosFormula::Atom(a) => PosFormula::Atom(a.substitute(name, value)),
+            PosFormula::And(fs) => {
+                PosFormula::And(fs.iter().map(|f| f.substitute(name, value)).collect())
+            }
+            PosFormula::Or(fs) => {
+                PosFormula::Or(fs.iter().map(|f| f.substitute(name, value)).collect())
+            }
+            PosFormula::Exists(vs, b) => {
+                if vs.iter().any(|v| v == name) {
+                    PosFormula::Exists(vs.clone(), b.clone())
+                } else {
+                    PosFormula::Exists(vs.clone(), Box::new(b.substitute(name, value)))
+                }
+            }
+        }
+    }
+
+    /// Number of syntactic nodes (used by the `q` metric).
+    pub fn node_count(&self) -> usize {
+        match self {
+            PosFormula::Atom(a) => 1 + a.arity(),
+            PosFormula::And(fs) | PosFormula::Or(fs) => {
+                1 + fs.iter().map(PosFormula::node_count).sum::<usize>()
+            }
+            PosFormula::Exists(vs, b) => vs.len() + b.node_count(),
+        }
+    }
+}
+
+impl fmt::Display for PosFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosFormula::Atom(a) => write!(f, "{a}"),
+            PosFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, c) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            PosFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, c) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            PosFormula::Exists(vs, b) => {
+                write!(f, "exists {}. {b}", vs.join(", "))
+            }
+        }
+    }
+}
+
+/// A positive query `G(t0) = { t0 | φ }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositiveQuery {
+    /// Name of the defined relation.
+    pub head_name: String,
+    /// Head terms.
+    pub head_terms: Vec<Term>,
+    /// The positive body formula.
+    pub formula: PosFormula,
+}
+
+impl PositiveQuery {
+    /// Build a positive query.
+    pub fn new(
+        head_name: impl Into<String>,
+        head_terms: impl IntoIterator<Item = Term>,
+        formula: PosFormula,
+    ) -> PositiveQuery {
+        PositiveQuery {
+            head_name: head_name.into(),
+            head_terms: head_terms.into_iter().collect(),
+            formula,
+        }
+    }
+
+    /// A Boolean positive query.
+    pub fn boolean(head_name: impl Into<String>, formula: PosFormula) -> PositiveQuery {
+        PositiveQuery::new(head_name, [], formula)
+    }
+
+    /// Head variables must be free in the formula.
+    pub fn validate(&self) -> Result<()> {
+        let free = self.formula.free_variables();
+        for t in &self.head_terms {
+            if let Some(v) = t.as_var() {
+                if !free.contains(v) {
+                    return Err(QueryError::UnsafeHeadVariable(v.to_string()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the query already in prenex form (a chain of leading `∃` blocks
+    /// over a quantifier-free matrix)?
+    pub fn is_prenex(&self) -> bool {
+        fn qfree(f: &PosFormula) -> bool {
+            match f {
+                PosFormula::Atom(_) => true,
+                PosFormula::And(fs) | PosFormula::Or(fs) => fs.iter().all(qfree),
+                PosFormula::Exists(..) => false,
+            }
+        }
+        let mut f = &self.formula;
+        while let PosFormula::Exists(_, b) = f {
+            f = b;
+        }
+        qfree(f)
+    }
+
+    /// For a prenex query: the leading quantifier block (flattened) and the
+    /// quantifier-free matrix. `None` when the query is not prenex.
+    pub fn prenex_parts(&self) -> Option<(Vec<String>, &PosFormula)> {
+        if !self.is_prenex() {
+            return None;
+        }
+        let mut vars = Vec::new();
+        let mut f = &self.formula;
+        while let PosFormula::Exists(vs, b) = f {
+            vars.extend(vs.iter().cloned());
+            f = b;
+        }
+        Some((vars, f))
+    }
+
+    /// Prenex normal form: returns the quantified variable block and the
+    /// quantifier-free matrix. Bound variables are renamed (`v_0`, `v_1`, …)
+    /// where needed to avoid capture — this can *increase* the number of
+    /// distinct variable names, which is the paper's caveat about parameter
+    /// `v` for non-prenex queries.
+    pub fn to_prenex(&self) -> (Vec<String>, PosFormula) {
+        // `taken`: names the hoisted quantifiers must avoid — the query's
+        // free variables, head variables, and previously hoisted names.
+        let mut taken: BTreeSet<String> = self.formula.free_variables();
+        taken.extend(self.head_terms.iter().filter_map(|t| t.as_var()).map(str::to_string));
+        // `used`: every name ever seen, for fresh-name generation.
+        let mut used: BTreeSet<String> = self.formula.all_variable_names();
+        used.extend(taken.iter().cloned());
+        let mut quants = Vec::new();
+        let mut counter = 0usize;
+        let matrix =
+            pull_quantifiers(&self.formula, &mut taken, &mut used, &mut quants, &mut counter);
+        (quants, matrix)
+    }
+
+    /// Expand into an equivalent union (finite set) of conjunctive queries —
+    /// the paper's W[1] upper-bound reduction for positive queries under
+    /// parameter `q`. The number of disjuncts can be exponential in `q`,
+    /// which is fine for a parametric reduction.
+    pub fn to_union_of_cqs(&self) -> Vec<ConjunctiveQuery> {
+        let (_, matrix) = self.to_prenex();
+        dnf(&matrix)
+            .into_iter()
+            .map(|atoms| {
+                ConjunctiveQuery::new(self.head_name.clone(), self.head_terms.clone(), atoms)
+            })
+            .collect()
+    }
+}
+
+/// Recursively hoist quantifiers, renaming on collision with any taken name
+/// (free variables, head variables, previously hoisted quantifiers).
+fn pull_quantifiers(
+    f: &PosFormula,
+    taken: &mut BTreeSet<String>,
+    used: &mut BTreeSet<String>,
+    quants: &mut Vec<String>,
+    counter: &mut usize,
+) -> PosFormula {
+    match f {
+        PosFormula::Atom(a) => PosFormula::Atom(a.clone()),
+        PosFormula::And(fs) => PosFormula::And(
+            fs.iter().map(|c| pull_quantifiers(c, taken, used, quants, counter)).collect(),
+        ),
+        PosFormula::Or(fs) => PosFormula::Or(
+            fs.iter().map(|c| pull_quantifiers(c, taken, used, quants, counter)).collect(),
+        ),
+        PosFormula::Exists(vs, b) => {
+            let mut body = (**b).clone();
+            for v in vs {
+                let fresh = if taken.contains(v) {
+                    loop {
+                        let cand = format!("{v}_{counter}");
+                        *counter += 1;
+                        if !used.contains(&cand) {
+                            break cand;
+                        }
+                    }
+                } else {
+                    v.clone()
+                };
+                if &fresh != v {
+                    body = body.rename_free(v, &fresh);
+                }
+                taken.insert(fresh.clone());
+                used.insert(fresh.clone());
+                quants.push(fresh);
+            }
+            pull_quantifiers(&body, taken, used, quants, counter)
+        }
+    }
+}
+
+/// Disjunctive normal form of a quantifier-free positive formula: a list of
+/// conjunctions of atoms.
+fn dnf(f: &PosFormula) -> Vec<Vec<Atom>> {
+    match f {
+        PosFormula::Atom(a) => vec![vec![a.clone()]],
+        PosFormula::Or(fs) => fs.iter().flat_map(dnf).collect(),
+        PosFormula::And(fs) => {
+            let mut acc: Vec<Vec<Atom>> = vec![Vec::new()];
+            for c in fs {
+                let child = dnf(c);
+                let mut next = Vec::with_capacity(acc.len() * child.len());
+                for a in &acc {
+                    for b in &child {
+                        let mut merged = a.clone();
+                        merged.extend(b.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        PosFormula::Exists(_, b) => dnf(b),
+    }
+}
+
+impl fmt::Display for PositiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.head_name)?;
+        for (i, t) in self.head_terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") := {}", self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+
+    fn f_atom(rel: &str, vars: &[&str]) -> PosFormula {
+        PosFormula::Atom(Atom::new(rel, vars.iter().map(|v| Term::var(*v))))
+    }
+
+    #[test]
+    fn free_and_all_variables() {
+        let f = PosFormula::exists(
+            ["y"],
+            PosFormula::and([f_atom("R", &["x", "y"]), f_atom("S", &["y"])]),
+        );
+        assert_eq!(f.free_variables(), BTreeSet::from(["x".to_string()]));
+        assert_eq!(
+            f.all_variable_names(),
+            BTreeSet::from(["x".to_string(), "y".to_string()])
+        );
+    }
+
+    #[test]
+    fn rename_respects_shadowing() {
+        // (R(x) ∧ ∃x S(x)): renaming free x must not touch the bound one.
+        let f = PosFormula::and([
+            f_atom("R", &["x"]),
+            PosFormula::exists(["x"], f_atom("S", &["x"])),
+        ]);
+        let g = f.rename_free("x", "z");
+        assert_eq!(
+            g,
+            PosFormula::and([
+                f_atom("R", &["z"]),
+                PosFormula::exists(["x"], f_atom("S", &["x"])),
+            ])
+        );
+    }
+
+    #[test]
+    fn prenex_renames_sibling_scopes() {
+        // (∃y R(x,y)) ∨ (∃y S(x,y)): second y must get a fresh name.
+        let q = PositiveQuery::new(
+            "G",
+            [Term::var("x")],
+            PosFormula::or([
+                PosFormula::exists(["y"], f_atom("R", &["x", "y"])),
+                PosFormula::exists(["y"], f_atom("S", &["x", "y"])),
+            ]),
+        );
+        assert!(!q.is_prenex());
+        let (quants, matrix) = q.to_prenex();
+        assert_eq!(quants.len(), 2);
+        assert_ne!(quants[0], quants[1]);
+        // matrix quantifier-free
+        assert!(matches!(matrix, PosFormula::Or(_)));
+        // original variable count is 2 names; prenexing grew it to 3 — the
+        // paper's point about parameter v.
+        let mut names = matrix.all_variable_names();
+        names.extend(quants.iter().cloned());
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn prenex_avoids_capturing_free_variables() {
+        // R(x) ∧ ∃x S(x): the bound x must be renamed, not merged with the
+        // free (head) x.
+        let q = PositiveQuery::new(
+            "G",
+            [Term::var("x")],
+            PosFormula::and([
+                f_atom("R", &["x"]),
+                PosFormula::exists(["x"], f_atom("S", &["x"])),
+            ]),
+        );
+        let (quants, matrix) = q.to_prenex();
+        assert_eq!(quants.len(), 1);
+        assert_ne!(quants[0], "x");
+        let PosFormula::And(parts) = matrix else { panic!("expected And") };
+        assert_eq!(parts[0], f_atom("R", &["x"]));
+        assert_eq!(parts[1], f_atom("S", &[quants[0].as_str()]));
+    }
+
+    #[test]
+    fn union_of_cqs_distributes() {
+        // R(x) ∧ (S(x) ∨ T(x)) → {R,S}, {R,T}
+        let q = PositiveQuery::new(
+            "G",
+            [Term::var("x")],
+            PosFormula::and([
+                f_atom("R", &["x"]),
+                PosFormula::or([f_atom("S", &["x"]), f_atom("T", &["x"])]),
+            ]),
+        );
+        let cqs = q.to_union_of_cqs();
+        assert_eq!(cqs.len(), 2);
+        assert_eq!(cqs[0].atoms, vec![atom!("R"; var "x"), atom!("S"; var "x")]);
+        assert_eq!(cqs[1].atoms, vec![atom!("R"; var "x"), atom!("T"; var "x")]);
+    }
+
+    #[test]
+    fn dnf_is_exponential_in_conjunction_of_disjunctions() {
+        // (A∨B) ∧ (C∨D) ∧ (E∨F) → 8 disjuncts
+        let pair = |a: &str, b: &str| PosFormula::or([f_atom(a, &["x"]), f_atom(b, &["x"])]);
+        let q = PositiveQuery::boolean(
+            "G",
+            PosFormula::and([pair("A", "B"), pair("C", "D"), pair("E", "F")]),
+        );
+        assert_eq!(q.to_union_of_cqs().len(), 8);
+    }
+
+    #[test]
+    fn validate_head_must_be_free() {
+        let q = PositiveQuery::new(
+            "G",
+            [Term::var("y")],
+            PosFormula::exists(["y"], f_atom("R", &["y"])),
+        );
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_shapes() {
+        let q = PositiveQuery::new(
+            "G",
+            [Term::var("x")],
+            PosFormula::exists(["y"], PosFormula::and([f_atom("R", &["x", "y"])])),
+        );
+        assert_eq!(q.to_string(), "G(x) := exists y. (R(x, y))");
+    }
+}

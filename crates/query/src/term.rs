@@ -1,0 +1,184 @@
+//! Terms and atoms: the shared building blocks of every query language in
+//! the paper.
+
+use std::fmt;
+
+use pq_data::Value;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(String),
+    /// A constant of the database domain.
+    Const(Value),
+}
+
+impl Term {
+    /// Build a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Build a constant term.
+    pub fn cons(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable name, when this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, when this is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Substitute: if this term is the variable `name`, replace it with the
+    /// constant `value`; otherwise keep it.
+    pub fn substitute(&self, name: &str, value: &Value) -> Term {
+        match self {
+            Term::Var(v) if v == name => Term::Const(value.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Int(i)) => write!(f, "{i}"),
+            Term::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// A relational atom `R(t1, …, tr)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: String,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: impl IntoIterator<Item = Term>) -> Atom {
+        Atom { relation: relation.into(), terms: terms.into_iter().collect() }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The distinct variables of the atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !seen.contains(&v.as_str()) {
+                    seen.push(v.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// The constants appearing in the atom.
+    pub fn constants(&self) -> Vec<&Value> {
+        self.terms.iter().filter_map(Term::as_const).collect()
+    }
+
+    /// Substitute a constant for a variable throughout the atom.
+    pub fn substitute(&self, name: &str, value: &Value) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            terms: self.terms.iter().map(|t| t.substitute(name, value)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for atoms: `atom!("R"; var "x", val 3)`.
+#[macro_export]
+macro_rules! atom {
+    ($rel:expr $(; $($kind:ident $arg:expr),*)?) => {
+        $crate::term::Atom::new(
+            $rel,
+            vec![$($($crate::atom!(@term $kind $arg)),*)?],
+        )
+    };
+    (@term var $v:expr) => { $crate::term::Term::var($v) };
+    (@term val $v:expr) => { $crate::term::Term::cons($v) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::var("x");
+        let c = Term::cons(5);
+        assert_eq!(v.as_var(), Some("x"));
+        assert!(v.is_var());
+        assert_eq!(c.as_const(), Some(&Value::int(5)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn substitution_targets_only_named_variable() {
+        let a = Atom::new("R", [Term::var("x"), Term::var("y"), Term::cons(1)]);
+        let b = a.substitute("x", &Value::int(9));
+        assert_eq!(b.terms, vec![Term::cons(9), Term::var("y"), Term::cons(1)]);
+    }
+
+    #[test]
+    fn atom_variables_dedup_in_order() {
+        let a = Atom::new("R", [Term::var("y"), Term::var("x"), Term::var("y")]);
+        assert_eq!(a.variables(), vec!["y", "x"]);
+        assert_eq!(a.arity(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Atom::new("Edge", [Term::var("x"), Term::cons("n1"), Term::cons(3)]);
+        assert_eq!(a.to_string(), "Edge(x, \"n1\", 3)");
+    }
+
+    #[test]
+    fn atom_macro() {
+        let a = atom!("R"; var "x", val 3);
+        assert_eq!(a.relation, "R");
+        assert_eq!(a.terms, vec![Term::var("x"), Term::cons(3)]);
+        let b = atom!("P");
+        assert_eq!(b.arity(), 0);
+    }
+}

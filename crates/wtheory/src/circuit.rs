@@ -1,0 +1,404 @@
+//! Boolean circuits with unbounded fan-in AND/OR and NOT gates (Section 2).
+//!
+//! These are the complete-problem substrate of the W hierarchy: `W[t]` is
+//! defined by *depth-t weighted satisfiability*, `W[P]` by unrestricted
+//! weighted circuit satisfiability. The Theorem 1(3) reduction additionally
+//! needs circuits in *alternating leveled form* (levels alternate OR/AND,
+//! output an OR gate at an even level, inputs at level 0) —
+//! [`Circuit::to_alternating`] normalizes any monotone circuit into that
+//! shape.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A gate of a [`Circuit`]. Gate operands refer to earlier gate indices
+/// (the circuit is a DAG in topological order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// The `i`-th input variable.
+    Input(usize),
+    /// Unbounded fan-in conjunction.
+    And(Vec<usize>),
+    /// Unbounded fan-in disjunction.
+    Or(Vec<usize>),
+    /// Negation.
+    Not(usize),
+}
+
+/// A Boolean circuit: gates in topological order plus a distinguished
+/// output gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    /// Number of input variables.
+    pub num_inputs: usize,
+    /// The gates; operand indices always point backwards.
+    pub gates: Vec<Gate>,
+    /// Index of the output gate.
+    pub output: usize,
+}
+
+impl Circuit {
+    /// Build a circuit, validating topological order and operand ranges.
+    ///
+    /// # Panics
+    /// Panics on forward references or an out-of-range output — circuits are
+    /// built programmatically and a malformed one is a programming error.
+    pub fn new(num_inputs: usize, gates: Vec<Gate>, output: usize) -> Circuit {
+        for (i, g) in gates.iter().enumerate() {
+            let ops: &[usize] = match g {
+                Gate::Input(v) => {
+                    assert!(*v < num_inputs, "input index out of range");
+                    &[]
+                }
+                Gate::And(os) | Gate::Or(os) => os,
+                Gate::Not(o) => std::slice::from_ref(o),
+            };
+            for &o in ops {
+                assert!(o < i, "gate {i} references non-earlier gate {o}");
+            }
+        }
+        assert!(output < gates.len(), "output out of range");
+        Circuit { num_inputs, gates, output }
+    }
+
+    /// Evaluate on an input assignment (`inputs[i]` = value of variable `i`).
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.num_inputs, "input width mismatch");
+        let mut val = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            val[i] = match g {
+                Gate::Input(v) => inputs[*v],
+                Gate::And(os) => os.iter().all(|&o| val[o]),
+                Gate::Or(os) => os.iter().any(|&o| val[o]),
+                Gate::Not(o) => !val[*o],
+            };
+        }
+        val[self.output]
+    }
+
+    /// Is the circuit monotone (no NOT gates)?
+    pub fn is_monotone(&self) -> bool {
+        !self.gates.iter().any(|g| matches!(g, Gate::Not(_)))
+    }
+
+    /// The depth: longest path from any input to the output, not counting
+    /// NOT gates applied to inputs (the Section 2 convention).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            d[i] = match g {
+                Gate::Input(_) => 0,
+                Gate::And(os) | Gate::Or(os) => {
+                    1 + os.iter().map(|&o| d[o]).max().unwrap_or(0)
+                }
+                Gate::Not(o) => {
+                    // NOT on an input is free; elsewhere it counts.
+                    if matches!(self.gates[*o], Gate::Input(_)) {
+                        0
+                    } else {
+                        1 + d[*o]
+                    }
+                }
+            };
+        }
+        d[self.output]
+    }
+
+    /// The *weft*-relevant large-gate depth is not modelled separately; the
+    /// W[t] experiments use [`Circuit::depth`] on alternating circuits,
+    /// where depth and weft coincide for unbounded fan-in gates.
+    ///
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True when the circuit has no gates (never constructible via `new`
+    /// with a valid output, so this is always false; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} inputs, output g{})", self.num_inputs, self.output)?;
+        for (i, g) in self.gates.iter().enumerate() {
+            match g {
+                Gate::Input(v) => writeln!(f, "  g{i} = x{v}")?,
+                Gate::And(os) => writeln!(
+                    f,
+                    "  g{i} = AND({})",
+                    os.iter().map(|o| format!("g{o}")).collect::<Vec<_>>().join(", ")
+                )?,
+                Gate::Or(os) => writeln!(
+                    f,
+                    "  g{i} = OR({})",
+                    os.iter().map(|o| format!("g{o}")).collect::<Vec<_>>().join(", ")
+                )?,
+                Gate::Not(o) => writeln!(f, "  g{i} = NOT(g{o})")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A monotone circuit in *alternating leveled* form: `levels[0]` are the
+/// input gates, odd levels are AND gates, even levels (> 0) are OR gates,
+/// every gate's operands sit exactly one level below, and the output is the
+/// single gate of the top (even) level `2t`.
+#[derive(Debug, Clone)]
+pub struct AlternatingCircuit {
+    /// The underlying leveled circuit.
+    pub circuit: Circuit,
+    /// Level of each gate.
+    pub level: Vec<usize>,
+    /// The top level `2t` (even; `t` is the paper's half-depth).
+    pub top_level: usize,
+}
+
+impl AlternatingCircuit {
+    /// Gates at a given level.
+    pub fn gates_at_level(&self, l: usize) -> Vec<usize> {
+        (0..self.circuit.gates.len()).filter(|&g| self.level[g] == l).collect()
+    }
+
+    /// The input gates (level 0), by gate index, with their variable number.
+    pub fn input_gates(&self) -> Vec<(usize, usize)> {
+        self.circuit
+            .gates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| match g {
+                Gate::Input(v) => Some((i, *v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The wiring pairs `(a, b)`: gate `a` has gate `b` as an input.
+    pub fn wires(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (a, g) in self.circuit.gates.iter().enumerate() {
+            match g {
+                Gate::And(os) | Gate::Or(os) => {
+                    for &b in os {
+                        out.push((a, b));
+                    }
+                }
+                Gate::Not(_) => unreachable!("alternating circuits are monotone"),
+                Gate::Input(_) => {}
+            }
+        }
+        out
+    }
+}
+
+impl Circuit {
+    /// Normalize a monotone circuit into alternating leveled form computing
+    /// the same function. Dummy single-operand gates fill parity and level
+    /// gaps.
+    ///
+    /// Returns `None` when the circuit contains NOT gates or an empty
+    /// AND/OR operand list (constant gates have no alternating form here).
+    pub fn to_alternating(&self) -> Option<AlternatingCircuit> {
+        if !self.is_monotone() {
+            return None;
+        }
+        if self.gates.iter().any(|g| matches!(g, Gate::And(os) | Gate::Or(os) if os.is_empty())) {
+            return None;
+        }
+
+        // Natural alternating level a(g): inputs at 0, AND gates odd, OR
+        // gates even; a child must sit exactly one level below its parent,
+        // so round each child's level up to the parity the parent needs.
+        let round_to_even = |x: usize| if x % 2 == 0 { x } else { x + 1 };
+        let round_to_odd = |x: usize| if x % 2 == 1 { x } else { x + 1 };
+        let mut a = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            a[i] = match g {
+                Gate::Input(_) => 0,
+                Gate::And(os) => {
+                    1 + os.iter().map(|&o| round_to_even(a[o])).max().expect("nonempty")
+                }
+                Gate::Or(os) => {
+                    1 + os.iter().map(|&o| round_to_odd(a[o])).max().expect("nonempty")
+                }
+                Gate::Not(_) => unreachable!("checked monotone"),
+            };
+        }
+        // Output must be an OR gate at an even level ≥ 2.
+        let top = round_to_even(a[self.output]).max(2);
+
+        struct Builder<'c> {
+            orig: &'c Circuit,
+            a: Vec<usize>,
+            gates: Vec<Gate>,
+            level: Vec<usize>,
+            memo: HashMap<(usize, usize), usize>,
+        }
+        impl Builder<'_> {
+            /// A new gate at level `lvl ≥ a(g)` computing original gate `g`.
+            fn lift(&mut self, g: usize, lvl: usize) -> usize {
+                if let Some(&idx) = self.memo.get(&(g, lvl)) {
+                    return idx;
+                }
+                let gate = if lvl > self.a[g] {
+                    // Dummy of this level's parity over the gate one lower.
+                    let inner = self.lift(g, lvl - 1);
+                    if lvl % 2 == 0 {
+                        Gate::Or(vec![inner])
+                    } else {
+                        Gate::And(vec![inner])
+                    }
+                } else {
+                    // lvl == a(g): structural case; parity matches by
+                    // construction of a().
+                    match self.orig.gates[g].clone() {
+                        Gate::Input(v) => Gate::Input(v),
+                        Gate::And(os) => {
+                            Gate::And(os.iter().map(|&o| self.lift(o, lvl - 1)).collect())
+                        }
+                        Gate::Or(os) => {
+                            Gate::Or(os.iter().map(|&o| self.lift(o, lvl - 1)).collect())
+                        }
+                        Gate::Not(_) => unreachable!("checked monotone"),
+                    }
+                };
+                let idx = self.gates.len();
+                self.gates.push(gate);
+                self.level.push(lvl);
+                self.memo.insert((g, lvl), idx);
+                idx
+            }
+        }
+
+        let mut b = Builder {
+            orig: self,
+            a,
+            gates: Vec::new(),
+            level: Vec::new(),
+            memo: HashMap::new(),
+        };
+        let out = b.lift(self.output, top);
+        let circuit = Circuit::new(self.num_inputs, b.gates, out);
+        Some(AlternatingCircuit { circuit, level: b.level, top_level: top })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (x0 ∧ x1) ∨ x2
+    fn small() -> Circuit {
+        Circuit::new(
+            3,
+            vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::And(vec![0, 1]),
+                Gate::Or(vec![3, 2]),
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn eval_truth_table() {
+        let c = small();
+        assert!(!c.eval(&[false, false, false]));
+        assert!(c.eval(&[true, true, false]));
+        assert!(c.eval(&[false, false, true]));
+        assert!(!c.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn monotonicity_and_depth() {
+        let c = small();
+        assert!(c.is_monotone());
+        assert_eq!(c.depth(), 2);
+        let with_not = Circuit::new(
+            1,
+            vec![Gate::Input(0), Gate::Not(0)],
+            1,
+        );
+        assert!(!with_not.is_monotone());
+        assert_eq!(with_not.depth(), 0); // NOT on input is free
+    }
+
+    #[test]
+    #[should_panic(expected = "non-earlier gate")]
+    fn forward_reference_panics() {
+        let _ = Circuit::new(1, vec![Gate::Or(vec![1]), Gate::Input(0)], 0);
+    }
+
+    #[test]
+    fn alternating_preserves_function() {
+        let c = small();
+        let alt = c.to_alternating().expect("monotone");
+        assert_eq!(alt.top_level % 2, 0);
+        for bits in 0..8u32 {
+            let inputs: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&inputs), alt.circuit.eval(&inputs), "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn alternating_levels_are_strict() {
+        let alt = small().to_alternating().unwrap();
+        for (a, b) in alt.wires() {
+            assert_eq!(alt.level[a], alt.level[b] + 1, "wire {a}→{b} skips levels");
+        }
+        for (g, gate) in alt.circuit.gates.iter().enumerate() {
+            match gate {
+                Gate::Input(_) => assert_eq!(alt.level[g], 0),
+                Gate::Or(_) => assert_eq!(alt.level[g] % 2, 0, "OR at odd level"),
+                Gate::And(_) => assert_eq!(alt.level[g] % 2, 1, "AND at even level"),
+                Gate::Not(_) => panic!("NOT in alternating circuit"),
+            }
+        }
+        assert_eq!(alt.level[alt.circuit.output], alt.top_level);
+    }
+
+    #[test]
+    fn alternating_rejects_negation() {
+        let c = Circuit::new(1, vec![Gate::Input(0), Gate::Not(0)], 1);
+        assert!(c.to_alternating().is_none());
+    }
+
+    #[test]
+    fn deep_alternation() {
+        // OR(AND(OR(AND(x0, x1), x2), x3), x4): depth 4.
+        let c = Circuit::new(
+            5,
+            vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::Input(3),
+                Gate::Input(4),
+                Gate::And(vec![0, 1]),
+                Gate::Or(vec![5, 2]),
+                Gate::And(vec![6, 3]),
+                Gate::Or(vec![7, 4]),
+            ],
+            8,
+        );
+        let alt = c.to_alternating().unwrap();
+        assert_eq!(alt.top_level, 4);
+        for bits in 0..32u32 {
+            let inputs: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(c.eval(&inputs), alt.circuit.eval(&inputs));
+        }
+    }
+
+    #[test]
+    fn input_gates_and_wires_reported() {
+        let alt = small().to_alternating().unwrap();
+        let inputs = alt.input_gates();
+        assert_eq!(inputs.len(), 3);
+        assert!(!alt.wires().is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! Boolean formulas (fan-out-1 circuits) and CNF — the complete problems of
+//! `W[SAT]` and `W[1]`/`W[2]` respectively (Section 2).
+
+use std::fmt;
+
+/// A Boolean formula over variables `0..n`, in negation normal form at the
+/// leaves optionally (negation is allowed anywhere; [`BoolFormula::to_nnf`]
+/// pushes it to literals, which the Theorem 1(2) reduction requires).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolFormula {
+    /// A literal: variable index and sign (`true` = positive occurrence).
+    Lit(usize, bool),
+    /// Negation of a subformula.
+    Not(Box<BoolFormula>),
+    /// Conjunction.
+    And(Vec<BoolFormula>),
+    /// Disjunction.
+    Or(Vec<BoolFormula>),
+}
+
+impl BoolFormula {
+    /// Positive literal.
+    pub fn var(i: usize) -> BoolFormula {
+        BoolFormula::Lit(i, true)
+    }
+
+    /// Negative literal.
+    pub fn neg(i: usize) -> BoolFormula {
+        BoolFormula::Lit(i, false)
+    }
+
+    /// Conjunction helper.
+    pub fn and(fs: impl IntoIterator<Item = BoolFormula>) -> BoolFormula {
+        BoolFormula::And(fs.into_iter().collect())
+    }
+
+    /// Disjunction helper.
+    pub fn or(fs: impl IntoIterator<Item = BoolFormula>) -> BoolFormula {
+        BoolFormula::Or(fs.into_iter().collect())
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            BoolFormula::Lit(v, sign) => assignment[*v] == *sign,
+            BoolFormula::Not(f) => !f.eval(assignment),
+            BoolFormula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            BoolFormula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+        }
+    }
+
+    /// Largest variable index + 1 (0 when there are no literals).
+    pub fn num_variables(&self) -> usize {
+        match self {
+            BoolFormula::Lit(v, _) => v + 1,
+            BoolFormula::Not(f) => f.num_variables(),
+            BoolFormula::And(fs) | BoolFormula::Or(fs) => {
+                fs.iter().map(BoolFormula::num_variables).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Negation normal form: `Not` nodes eliminated, signs pushed to
+    /// literals.
+    pub fn to_nnf(&self) -> BoolFormula {
+        fn go(f: &BoolFormula, neg: bool) -> BoolFormula {
+            match f {
+                BoolFormula::Lit(v, s) => BoolFormula::Lit(*v, *s != neg),
+                BoolFormula::Not(g) => go(g, !neg),
+                BoolFormula::And(fs) => {
+                    let kids = fs.iter().map(|g| go(g, neg)).collect();
+                    if neg {
+                        BoolFormula::Or(kids)
+                    } else {
+                        BoolFormula::And(kids)
+                    }
+                }
+                BoolFormula::Or(fs) => {
+                    let kids = fs.iter().map(|g| go(g, neg)).collect();
+                    if neg {
+                        BoolFormula::And(kids)
+                    } else {
+                        BoolFormula::Or(kids)
+                    }
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// Number of syntactic nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            BoolFormula::Lit(..) => 1,
+            BoolFormula::Not(f) => 1 + f.len(),
+            BoolFormula::And(fs) | BoolFormula::Or(fs) => {
+                1 + fs.iter().map(BoolFormula::len).sum::<usize>()
+            }
+        }
+    }
+
+    /// True only for the degenerate empty conjunction/disjunction.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, BoolFormula::And(fs) | BoolFormula::Or(fs) if fs.is_empty())
+    }
+}
+
+impl fmt::Display for BoolFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolFormula::Lit(v, true) => write!(f, "x{v}"),
+            BoolFormula::Lit(v, false) => write!(f, "!x{v}"),
+            BoolFormula::Not(g) => write!(f, "!({g})"),
+            BoolFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            BoolFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A literal of a CNF clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// Sign: `true` for the positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "!x{}", self.var)
+        }
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each a disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Build a CNF, checking literal ranges.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Cnf {
+        for cl in &clauses {
+            for l in cl {
+                assert!(l.var < num_vars, "literal variable out of range");
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|cl| cl.iter().any(|l| assignment[l.var] == l.positive))
+    }
+
+    /// Maximum clause width.
+    pub fn width(&self) -> usize {
+        self.clauses.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Is every clause of width ≤ 2?
+    pub fn is_2cnf(&self) -> bool {
+        self.width() <= 2
+    }
+
+    /// Is every clause of width ≤ 3 (the `W[1]` base problem's format)?
+    pub fn is_3cnf(&self) -> bool {
+        self.width() <= 3
+    }
+
+    /// View as a [`BoolFormula`].
+    pub fn to_formula(&self) -> BoolFormula {
+        BoolFormula::And(
+            self.clauses
+                .iter()
+                .map(|cl| {
+                    BoolFormula::Or(
+                        cl.iter().map(|l| BoolFormula::Lit(l.var, l.positive)).collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, cl) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in cl.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_eval() {
+        // (x0 ∧ ¬x1) ∨ x2
+        let f = BoolFormula::or([
+            BoolFormula::and([BoolFormula::var(0), BoolFormula::neg(1)]),
+            BoolFormula::var(2),
+        ]);
+        assert!(f.eval(&[true, false, false]));
+        assert!(!f.eval(&[true, true, false]));
+        assert!(f.eval(&[false, false, true]));
+        assert_eq!(f.num_variables(), 3);
+    }
+
+    #[test]
+    fn nnf_is_equivalent_and_negation_free() {
+        let f = BoolFormula::Not(Box::new(BoolFormula::and([
+            BoolFormula::var(0),
+            BoolFormula::Not(Box::new(BoolFormula::or([
+                BoolFormula::var(1),
+                BoolFormula::neg(2),
+            ]))),
+        ])));
+        let g = f.to_nnf();
+        fn no_not(f: &BoolFormula) -> bool {
+            match f {
+                BoolFormula::Lit(..) => true,
+                BoolFormula::Not(_) => false,
+                BoolFormula::And(fs) | BoolFormula::Or(fs) => fs.iter().all(no_not),
+            }
+        }
+        assert!(no_not(&g));
+        for bits in 0..8u32 {
+            let a: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(f.eval(&a), g.eval(&a));
+        }
+    }
+
+    #[test]
+    fn cnf_eval_and_width() {
+        let cnf = Cnf::new(
+            3,
+            vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(2)]],
+        );
+        assert!(cnf.eval(&[true, true, true]));
+        assert!(!cnf.eval(&[false, true, true]));
+        assert!(cnf.is_2cnf());
+        assert!(cnf.is_3cnf());
+        assert_eq!(cnf.width(), 2);
+    }
+
+    #[test]
+    fn cnf_to_formula_agrees() {
+        let cnf = Cnf::new(
+            2,
+            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0), Lit::neg(1)]],
+        );
+        let f = cnf.to_formula();
+        for bits in 0..4u32 {
+            let a: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(cnf.eval(&a), f.eval(&a), "{a:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cnf_range_check() {
+        let _ = Cnf::new(1, vec![vec![Lit::pos(1)]]);
+    }
+
+    #[test]
+    fn empty_clause_is_falsifying() {
+        let cnf = Cnf::new(1, vec![vec![]]);
+        assert!(!cnf.eval(&[true]));
+    }
+}

@@ -1,0 +1,326 @@
+//! Graphs and the ground-truth solvers for the paper's source problems:
+//! clique (the W[1] anchor of Theorems 1 and 3) and Hamiltonian path (the
+//! NP-hardness anchor of Section 5), plus seeded random instance
+//! generators for the experiment harness.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// The empty graph on `n` vertices.
+    pub fn new(n: usize) -> Graph {
+        Graph { n, adj: vec![BTreeSet::new(); n] }
+    }
+
+    /// Build from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Graph {
+        let mut g = Graph::new(n);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Add the undirected edge `{a, b}` (self-loops are ignored).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        if a == b {
+            return;
+        }
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+    }
+
+    /// Adjacency test.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &BTreeSet<usize> {
+        &self.adj[v]
+    }
+
+    /// All edges, each once with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Find a clique of size `k`, if one exists (backtracking over common
+    /// neighborhoods — exponential in `k`, the `n^k` shape the paper talks
+    /// about).
+    pub fn find_clique(&self, k: usize) -> Option<Vec<usize>> {
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        let mut current = Vec::with_capacity(k);
+        let candidates: BTreeSet<usize> = (0..self.n).collect();
+        self.clique_rec(k, &candidates, &mut current)
+    }
+
+    fn clique_rec(
+        &self,
+        k: usize,
+        candidates: &BTreeSet<usize>,
+        current: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        if current.len() == k {
+            return Some(current.clone());
+        }
+        if current.len() + candidates.len() < k {
+            return None;
+        }
+        for &v in candidates {
+            current.push(v);
+            let next: BTreeSet<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&u| u > v && self.adj[v].contains(&u))
+                .collect();
+            if let Some(sol) = self.clique_rec(k, &next, current) {
+                return Some(sol);
+            }
+            current.pop();
+        }
+        None
+    }
+
+    /// Decision version of [`Graph::find_clique`].
+    pub fn has_clique(&self, k: usize) -> bool {
+        self.find_clique(k).is_some()
+    }
+
+    /// Find a Hamiltonian path (visiting every vertex exactly once), if one
+    /// exists. Held–Karp bitmask DP, `O(2^n · n²)` time and `O(2^n · n)`
+    /// bytes — usable to `n ≤ 20`.
+    pub fn find_hamiltonian_path(&self) -> Option<Vec<usize>> {
+        let n = self.n;
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        assert!(n <= 20, "Hamiltonian DP is bounded to n ≤ 20");
+        let full: usize = (1usize << n) - 1;
+        // reach[mask * n + v]: 0 = unreachable, 255 = path start, else
+        // predecessor vertex + 1.
+        const UNREACHED: u8 = 0;
+        const START: u8 = 255;
+        let mut reach = vec![UNREACHED; (full + 1) * n];
+        for v in 0..n {
+            reach[(1 << v) * n + v] = START;
+        }
+        for mask in 1..=full {
+            for v in 0..n {
+                if mask >> v & 1 == 0 || reach[mask * n + v] == UNREACHED {
+                    continue;
+                }
+                for &w in &self.adj[v] {
+                    if mask >> w & 1 == 1 {
+                        continue;
+                    }
+                    let slot = &mut reach[(mask | 1 << w) * n + w];
+                    if *slot == UNREACHED {
+                        *slot = (v + 1) as u8;
+                    }
+                }
+            }
+        }
+        for end in 0..n {
+            if reach[full * n + end] != UNREACHED {
+                // Reconstruct the path backwards.
+                let mut path = vec![end];
+                let mut mask = full;
+                let mut v = end;
+                loop {
+                    let p = reach[mask * n + v];
+                    if p == START {
+                        break;
+                    }
+                    mask &= !(1 << v);
+                    v = (p - 1) as usize;
+                    path.push(v);
+                }
+                path.reverse();
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    /// Decision version of [`Graph::find_hamiltonian_path`].
+    pub fn has_hamiltonian_path(&self) -> bool {
+        self.find_hamiltonian_path().is_some()
+    }
+}
+
+/// An Erdős–Rényi `G(n, p)` sample (seeded).
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(p) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// A random graph with a planted clique of size `k` on random vertices.
+pub fn random_graph_with_clique(n: usize, p: f64, k: usize, seed: u64) -> (Graph, Vec<usize>) {
+    assert!(k <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = random_graph(n, p, seed.wrapping_add(1));
+    // Choose k distinct vertices.
+    let mut verts: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        verts.swap(i, j);
+    }
+    let clique: Vec<usize> = verts[..k].to_vec();
+    for i in 0..k {
+        for j in i + 1..k {
+            g.add_edge(clique[i], clique[j]);
+        }
+    }
+    (g, clique)
+}
+
+/// A random Hamiltonian graph: a random permutation path plus `extra`
+/// random edges (so a Hamiltonian path is guaranteed).
+pub fn random_hamiltonian_graph(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut g = Graph::new(n);
+    for w in perm.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4_minus_edge() -> Graph {
+        let mut g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
+        assert!(!g.has_edge(2, 3));
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn clique_detection() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        assert!(g.has_clique(3));
+        assert!(!g.has_clique(4));
+        assert!(g.has_clique(0));
+        assert_eq!(g.find_clique(3), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn complete_graph_has_max_clique() {
+        let g = k4_minus_edge();
+        let c = g.find_clique(4).expect("K4");
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn clique_witness_is_a_clique() {
+        let (g, _) = random_graph_with_clique(12, 0.3, 4, 7);
+        let c = g.find_clique(4).expect("planted");
+        for i in 0..c.len() {
+            for j in i + 1..c.len() {
+                assert!(g.has_edge(c[i], c[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn hamiltonian_path_on_path_graph() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = g.find_hamiltonian_path().expect("the path itself");
+        assert_eq!(p.len(), 5);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn star_has_no_hamiltonian_path_beyond_three() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!(!g.has_hamiltonian_path());
+    }
+
+    #[test]
+    fn random_hamiltonian_graphs_have_paths() {
+        for seed in 0..5 {
+            let g = random_hamiltonian_graph(8, 3, seed);
+            assert!(g.has_hamiltonian_path(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_graph_is_seed_deterministic() {
+        let a = random_graph(10, 0.4, 3);
+        let b = random_graph(10, 0.4, 3);
+        assert_eq!(a, b);
+        assert!(a.num_edges() > 0);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn planted_clique_vertices_form_a_clique() {
+        let (g, clique) = random_graph_with_clique(10, 0.2, 4, 99);
+        for i in 0..clique.len() {
+            for j in i + 1..clique.len() {
+                assert!(g.has_edge(clique[i], clique[j]));
+            }
+        }
+        assert!(g.has_clique(4));
+    }
+}

@@ -1,0 +1,21 @@
+//! `pq-wtheory` — the parametric-complexity side of Papadimitriou &
+//! Yannakakis, *On the Complexity of Database Queries*: Boolean circuits and
+//! formulas, the weighted-satisfiability base problems of the W hierarchy,
+//! ground-truth graph solvers (clique, Hamiltonian path), the Fig. 1 lattice
+//! of parameterizations, and every reduction from Theorems 1 and 3 as
+//! executable, verifiable code.
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod formula;
+pub mod graphs;
+pub mod parametric;
+pub mod reductions;
+pub mod weighted_sat;
+pub mod weighted_sat_bb;
+
+pub use circuit::{AlternatingCircuit, Circuit, Gate};
+pub use formula::{BoolFormula, Cnf, Lit};
+pub use graphs::Graph;
+pub use parametric::{ParamVariant, QueryParameter, SchemaMode, WClass};

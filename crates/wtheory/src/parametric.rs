@@ -1,0 +1,270 @@
+//! The parametric-complexity vocabulary of Sections 2–3: the W hierarchy,
+//! the four parameterizations of the query evaluation problem, and the
+//! Fig. 1 partial order with Proposition 1.
+
+use std::fmt;
+
+/// A class of the W hierarchy (plus the alternating extensions Section 4
+/// mentions for first-order queries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WClass {
+    /// `W[t]` for a concrete `t ≥ 1`.
+    W(usize),
+    /// The limiting class `W[SAT]` (weighted formula satisfiability).
+    WSat,
+    /// The limiting class `W[P]` (weighted circuit satisfiability).
+    WP,
+    /// `AW[*]` — the alternating extension of the `W[t]` hierarchy
+    /// (Downey–Fellows–Taylor's home for first-order queries, param `q`).
+    AWStar,
+    /// `AW[SAT]` — alternating weighted formula satisfiability (prenex
+    /// first-order queries, parameter `v`).
+    AWSat,
+    /// `AW[P]` — alternating weighted circuit satisfiability.
+    AWP,
+}
+
+impl WClass {
+    /// Containment-order comparison where it is known: `W[1] ⊆ W[2] ⊆ … ⊆
+    /// W[SAT] ⊆ W[P]`, and each `AW` class sits above its `W` counterpart.
+    /// Returns `true` when `self ⊆ other` is known to hold.
+    pub fn contained_in(self, other: WClass) -> bool {
+        fn rank(c: WClass) -> (usize, usize) {
+            // (alternation, level): containment holds when both components
+            // are ≤, with W[t] levels t, WSAT = ∞₁, WP = ∞₂.
+            match c {
+                WClass::W(t) => (0, t),
+                WClass::WSat => (0, usize::MAX - 1),
+                WClass::WP => (0, usize::MAX),
+                WClass::AWStar => (1, usize::MAX - 2),
+                WClass::AWSat => (1, usize::MAX - 1),
+                WClass::AWP => (1, usize::MAX),
+            }
+        }
+        let (a1, l1) = rank(self);
+        let (a2, l2) = rank(other);
+        a1 <= a2 && l1 <= l2
+    }
+
+    /// Hardness for `self` implies hardness for which classes? (Everything
+    /// containing it: hardness travels *up* the hierarchy only in the sense
+    /// that the statement gets *weaker*; the strength order is the reverse.)
+    pub fn hardness_implied_by(self, lower: WClass) -> bool {
+        self.contained_in(lower) || self == lower
+    }
+}
+
+impl fmt::Display for WClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WClass::W(t) => write!(f, "W[{t}]"),
+            WClass::WSat => write!(f, "W[SAT]"),
+            WClass::WP => write!(f, "W[P]"),
+            WClass::AWStar => write!(f, "AW[*]"),
+            WClass::AWSat => write!(f, "AW[SAT]"),
+            WClass::AWP => write!(f, "AW[P]"),
+        }
+    }
+}
+
+/// The two parameters of Section 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryParameter {
+    /// The query size `q`.
+    QuerySize,
+    /// The number of variables `v`.
+    NumVariables,
+}
+
+impl fmt::Display for QueryParameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryParameter::QuerySize => write!(f, "q"),
+            QueryParameter::NumVariables => write!(f, "v"),
+        }
+    }
+}
+
+/// Whether the database schema is fixed or part of the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaMode {
+    /// Fixed schema (lower bounds in the paper hold already here).
+    Fixed,
+    /// Variable schema (upper bounds in the paper hold even here).
+    Variable,
+}
+
+impl fmt::Display for SchemaMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaMode::Fixed => write!(f, "fixed schema"),
+            SchemaMode::Variable => write!(f, "variable schema"),
+        }
+    }
+}
+
+/// One of the four parameterized query-evaluation problems of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamVariant {
+    /// Which parameter.
+    pub parameter: QueryParameter,
+    /// Which schema regime.
+    pub schema: SchemaMode,
+}
+
+impl ParamVariant {
+    /// All four variants, in a fixed display order.
+    pub fn all() -> [ParamVariant; 4] {
+        [
+            ParamVariant { parameter: QueryParameter::QuerySize, schema: SchemaMode::Fixed },
+            ParamVariant { parameter: QueryParameter::QuerySize, schema: SchemaMode::Variable },
+            ParamVariant { parameter: QueryParameter::NumVariables, schema: SchemaMode::Fixed },
+            ParamVariant { parameter: QueryParameter::NumVariables, schema: SchemaMode::Variable },
+        ]
+    }
+
+    /// The Fig. 1 partial order: `self ⟶ other` means the identity map is a
+    /// parametric reduction from `self` to `other` (Proposition 1), i.e.
+    /// hardness of `self` implies hardness of `other`, and membership of
+    /// `other` implies membership of `self`.
+    ///
+    /// Two facts make the identity map valid:
+    /// * `v(Q) ≤ q(Q)`, so the parameter-`q` problem reduces to the
+    ///   parameter-`v` problem (the new parameter is bounded by the old);
+    /// * a fixed-schema instance *is* a variable-schema instance.
+    pub fn reduces_to(self, other: ParamVariant) -> bool {
+        let param_ok = match (self.parameter, other.parameter) {
+            (a, b) if a == b => true,
+            (QueryParameter::QuerySize, QueryParameter::NumVariables) => true,
+            _ => false,
+        };
+        let schema_ok = match (self.schema, other.schema) {
+            (a, b) if a == b => true,
+            (SchemaMode::Fixed, SchemaMode::Variable) => true,
+            _ => false,
+        };
+        param_ok && schema_ok
+    }
+
+    /// Proposition 1, checked as an order-theoretic statement: given a
+    /// hardness predicate on variants, hardness must be upward closed along
+    /// [`ParamVariant::reduces_to`]. Returns the list of violations.
+    pub fn proposition1_violations(
+        hard: impl Fn(ParamVariant) -> bool,
+    ) -> Vec<(ParamVariant, ParamVariant)> {
+        let mut out = Vec::new();
+        for a in ParamVariant::all() {
+            for b in ParamVariant::all() {
+                if a.reduces_to(b) && hard(a) && !hard(b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParamVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(parameter {}, {})", self.parameter, self.schema)
+    }
+}
+
+/// A row of the Theorem 1 classification table.
+#[derive(Debug, Clone)]
+pub struct Theorem1Row {
+    /// The query language.
+    pub language: &'static str,
+    /// Classification under parameter `q` (as printed in the paper).
+    pub param_q: &'static str,
+    /// Classification under parameter `v`.
+    pub param_v: &'static str,
+}
+
+/// The Theorem 1 table, verbatim.
+pub fn theorem1_table() -> Vec<Theorem1Row> {
+    vec![
+        Theorem1Row {
+            language: "Conjunctive",
+            param_q: "W[1]-complete",
+            param_v: "W[1]-complete",
+        },
+        Theorem1Row {
+            language: "Positive",
+            param_q: "W[1]-complete",
+            param_v: "W[SAT]-hard",
+        },
+        Theorem1Row {
+            language: "First-order",
+            param_q: "W[t]-hard, all t",
+            param_v: "W[P]-hard",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_hierarchy_containments() {
+        assert!(WClass::W(1).contained_in(WClass::W(2)));
+        assert!(WClass::W(7).contained_in(WClass::WSat));
+        assert!(WClass::WSat.contained_in(WClass::WP));
+        assert!(!WClass::WP.contained_in(WClass::WSat));
+        assert!(WClass::WSat.contained_in(WClass::AWSat));
+        assert!(WClass::WP.contained_in(WClass::AWP));
+        assert!(WClass::AWStar.contained_in(WClass::AWSat));
+        assert!(!WClass::AWSat.contained_in(WClass::WP));
+    }
+
+    #[test]
+    fn fig1_is_the_expected_diamond() {
+        let [qf, qv, vf, vv] = ParamVariant::all();
+        // Bottom: (q, fixed); top: (v, variable).
+        assert!(qf.reduces_to(qv));
+        assert!(qf.reduces_to(vf));
+        assert!(qf.reduces_to(vv));
+        assert!(qv.reduces_to(vv));
+        assert!(vf.reduces_to(vv));
+        // No downward or cross arrows.
+        assert!(!qv.reduces_to(qf));
+        assert!(!vf.reduces_to(qv));
+        assert!(!qv.reduces_to(vf));
+        assert!(!vv.reduces_to(qf));
+        // Reflexive.
+        for x in ParamVariant::all() {
+            assert!(x.reduces_to(x));
+        }
+    }
+
+    #[test]
+    fn proposition1_detects_violations() {
+        let [qf, _qv, _vf, vv] = ParamVariant::all();
+        // Hardness only at the bottom, not at the top: violation.
+        let bad = ParamVariant::proposition1_violations(|x| x == qf);
+        assert!(bad.iter().any(|&(a, b)| a == qf && b == vv));
+        // Upward-closed hardness: no violations.
+        let good = ParamVariant::proposition1_violations(|x| {
+            qf.reduces_to(x) // everything above the bottom
+        });
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn table_matches_paper() {
+        let t = theorem1_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].param_q, "W[1]-complete");
+        assert_eq!(t[1].param_v, "W[SAT]-hard");
+        assert_eq!(t[2].param_q, "W[t]-hard, all t");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WClass::W(2).to_string(), "W[2]");
+        assert_eq!(WClass::AWStar.to_string(), "AW[*]");
+        let v = ParamVariant { parameter: QueryParameter::QuerySize, schema: SchemaMode::Fixed };
+        assert_eq!(v.to_string(), "(parameter q, fixed schema)");
+    }
+}

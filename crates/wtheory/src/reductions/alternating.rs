@@ -1,0 +1,364 @@
+//! The AW[P] extension (end of Section 4): first-order queries under
+//! parameter `v` are AW[P]-hard.
+//!
+//! The base problem: a monotone circuit `C` whose input variables are
+//! partitioned into blocks `V_1, …, V_r`, each with an alternating
+//! quantifier (`∃` for odd `i`, `∀` for even `i`) and a size `k_i`; decide
+//!
+//! ```text
+//! ∃ S₁ ⊆ V₁, |S₁| = k₁  ∀ S₂ ⊆ V₂, |S₂| = k₂  …  C(S₁ ∪ … ∪ S_r) = 1.
+//! ```
+//!
+//! The paper's reduction indexes the query variables `x_ij` by block, gives
+//! the query the alternating prefix `Q₁x₁₁…Q_r x_{r k_r}`, and takes as body
+//!
+//! ```text
+//! [ θ_{2t}(o) ∧ ⋀_{i : Q_i = ∃} ψ_i ]  ∨  ¬[ ⋀_{i : Q_i = ∀} ψ_i ]
+//! ```
+//!
+//! where `ψ_i = ⋀_j [P(x_ij, c*_i) ∧ ⋀_{l ≠ j} ¬C(x_ij, x_il)]` states that
+//! block `i`'s variables are *distinct input gates of `V_i`* (the partition
+//! is stored in a relation `P = {(a, c*_i) : a ∈ V_i}` with an arbitrary
+//! representative `c*_i` per block, and distinctness of input gates is
+//! `¬C(·,·)` thanks to the self-loops).
+
+use pq_data::{tuple, Database};
+use pq_query::{Atom, FoFormula, FoQuery, Term};
+
+use crate::circuit::Circuit;
+use crate::reductions::circuit_to_fo;
+
+/// A quantifier for a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// Existential.
+    Exists,
+    /// Universal.
+    Forall,
+}
+
+/// One input block of the alternating problem.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The quantifier (the paper alternates starting with `∃`; we accept
+    /// any pattern — the solver and reduction agree on whatever is given).
+    pub quant: Quant,
+    /// The input-variable indices of this block (disjoint across blocks).
+    pub vars: Vec<usize>,
+    /// The subset size `k_i`.
+    pub k: usize,
+}
+
+/// Ground truth: decide the alternating weighted circuit problem by
+/// recursive subset enumeration (exponential; test-scale only).
+pub fn alternating_circuit_sat(c: &Circuit, blocks: &[Block]) -> bool {
+    fn subsets(pool: &[usize], k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut cur = Vec::new();
+        fn rec(pool: &[usize], start: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if cur.len() == k {
+                out.push(cur.clone());
+                return;
+            }
+            for i in start..pool.len() {
+                cur.push(pool[i]);
+                rec(pool, i + 1, k, cur, out);
+                cur.pop();
+            }
+        }
+        rec(pool, 0, k, &mut cur, &mut out);
+        out
+    }
+
+    fn go(c: &Circuit, blocks: &[Block], idx: usize, chosen: &mut Vec<usize>) -> bool {
+        if idx == blocks.len() {
+            let mut input = vec![false; c.num_inputs];
+            for &v in chosen.iter() {
+                input[v] = true;
+            }
+            return c.eval(&input);
+        }
+        let b = &blocks[idx];
+        let options = subsets(&b.vars, b.k);
+        match b.quant {
+            Quant::Exists => options.into_iter().any(|s| {
+                let len = chosen.len();
+                chosen.extend(&s);
+                let r = go(c, blocks, idx + 1, chosen);
+                chosen.truncate(len);
+                r
+            }),
+            Quant::Forall => options.into_iter().all(|s| {
+                let len = chosen.len();
+                chosen.extend(&s);
+                let r = go(c, blocks, idx + 1, chosen);
+                chosen.truncate(len);
+                r
+            }),
+        }
+    }
+    let mut chosen = Vec::new();
+    go(c, blocks, 0, &mut chosen)
+}
+
+/// Output of the AW[P] reduction.
+#[derive(Debug, Clone)]
+pub struct AwFoInstance {
+    /// Database: the wiring relation `C` plus the block relation `P`.
+    pub database: Database,
+    /// The first-order query with an alternating quantifier prefix.
+    pub query: FoQuery,
+}
+
+/// The reduction `(C, blocks) ↦ (d, Q)`. Requires a monotone circuit; every
+/// block must be nonempty with `k_i ≤ |V_i|`.
+pub fn reduce(c: &Circuit, blocks: &[Block]) -> Option<AwFoInstance> {
+    if blocks.iter().any(|b| b.k > b.vars.len() || b.vars.is_empty()) {
+        return None;
+    }
+    let alt = c.to_alternating()?;
+    let mut db = circuit_to_fo::wiring_database(&alt);
+
+    // Map input-variable index → level-0 gate index in the alternating
+    // circuit.
+    let mut gate_of_var = vec![usize::MAX; c.num_inputs];
+    for (gate, var) in alt.input_gates() {
+        gate_of_var[var] = gate;
+    }
+
+    // P(a, c*_i) for every input gate a of block i.
+    let mut p_rows = Vec::new();
+    let mut reps = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        let rep = gate_of_var[b.vars[0]] as i64;
+        reps.push(rep);
+        for &v in &b.vars {
+            p_rows.push(tuple![gate_of_var[v] as i64, rep]);
+        }
+    }
+    db.add_table("P", ["gate", "rep"], p_rows).expect("fresh relation");
+
+    let xname = |i: usize, j: usize| format!("x{}_{}", i + 1, j + 1);
+
+    // θ_{2t}(o) over all x_ij, constructed like circuit_to_fo::reduce but
+    // with block-indexed variable names.
+    let all_vars: Vec<String> = blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(i, b)| (0..b.k).map(move |j| xname(i, j)))
+        .collect();
+    let t = alt.top_level / 2;
+    let theta = theta_tower(t, &all_vars)
+        .substitute("x", &pq_data::Value::Int(alt.circuit.output as i64));
+
+    // ψ_i per block.
+    let psi = |i: usize, b: &Block| -> FoFormula {
+        FoFormula::and((0..b.k).map(|j| {
+            let membership = FoFormula::Atom(Atom::new(
+                "P",
+                [Term::var(xname(i, j)), Term::cons(reps[i])],
+            ));
+            let distinct = (0..b.k).filter(|&l| l != j).map(|l| {
+                FoFormula::not(FoFormula::Atom(Atom::new(
+                    "C",
+                    [Term::var(xname(i, j)), Term::var(xname(i, l))],
+                )))
+            });
+            FoFormula::and(std::iter::once(membership).chain(distinct))
+        }))
+    };
+
+    let exists_psis: Vec<FoFormula> = blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.quant == Quant::Exists)
+        .map(|(i, b)| psi(i, b))
+        .collect();
+    let forall_psis: Vec<FoFormula> = blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.quant == Quant::Forall)
+        .map(|(i, b)| psi(i, b))
+        .collect();
+
+    let mut body = FoFormula::and(std::iter::once(theta).chain(exists_psis));
+    if !forall_psis.is_empty() {
+        body = FoFormula::or([body, FoFormula::not(FoFormula::and(forall_psis))]);
+    }
+
+    // The alternating prefix, outermost block first.
+    let mut query_formula = body;
+    for (i, b) in blocks.iter().enumerate().rev() {
+        for j in (0..b.k).rev() {
+            let v = xname(i, j);
+            query_formula = match b.quant {
+                Quant::Exists => FoFormula::Exists(v, Box::new(query_formula)),
+                Quant::Forall => FoFormula::Forall(v, Box::new(query_formula)),
+            };
+        }
+    }
+
+    Some(AwFoInstance { database: db, query: FoQuery::boolean("Q", query_formula) })
+}
+
+/// `θ_{2i}` tower over an explicit list of level-0 target variables (the
+/// `circuit_to_fo` tower generalized to block-indexed names).
+fn theta_tower(i: usize, targets: &[String]) -> FoFormula {
+    if i == 0 {
+        return FoFormula::Or(
+            targets
+                .iter()
+                .map(|v| FoFormula::Atom(Atom::new("C", [Term::var("x"), Term::var(v)])))
+                .collect(),
+        );
+    }
+    let inner = theta_tower(i - 1, targets);
+    FoFormula::exists(
+        "y",
+        FoFormula::and([
+            FoFormula::Atom(Atom::new("C", [Term::var("x"), Term::var("y")])),
+            FoFormula::forall(
+                "x",
+                FoFormula::or([
+                    FoFormula::not(FoFormula::Atom(Atom::new(
+                        "C",
+                        [Term::var("y"), Term::var("x")],
+                    ))),
+                    inner,
+                ]),
+            ),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Gate;
+    use pq_engine::fo_eval;
+    use pq_query::QueryMetrics;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// (x0 ∧ x2) ∨ (x1 ∧ x3): inputs 0,1 in block 1; 2,3 in block 2.
+    fn cross_circuit() -> Circuit {
+        Circuit::new(
+            4,
+            vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::Input(3),
+                Gate::And(vec![0, 2]),
+                Gate::And(vec![1, 3]),
+                Gate::Or(vec![4, 5]),
+            ],
+            6,
+        )
+    }
+
+    #[test]
+    fn solver_handles_alternation() {
+        let c = cross_circuit();
+        // ∃ one of {0,1} ∀ one of {2,3}: need an x ∈ {0,1} such that both
+        // (x,2) and (x,3) branches fire — impossible (x0 pairs only with x2).
+        let blocks = vec![
+            Block { quant: Quant::Exists, vars: vec![0, 1], k: 1 },
+            Block { quant: Quant::Forall, vars: vec![2, 3], k: 1 },
+        ];
+        assert!(!alternating_circuit_sat(&c, &blocks));
+        // ∃ both of {0,1} ∀ one of {2,3}: x0∧x2 or x1∧x3 always fires.
+        let blocks2 = vec![
+            Block { quant: Quant::Exists, vars: vec![0, 1], k: 2 },
+            Block { quant: Quant::Forall, vars: vec![2, 3], k: 1 },
+        ];
+        assert!(alternating_circuit_sat(&c, &blocks2));
+    }
+
+    #[test]
+    fn reduction_matches_solver_on_cross_circuit() {
+        let c = cross_circuit();
+        for (k1, k2) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2)] {
+            let blocks = vec![
+                Block { quant: Quant::Exists, vars: vec![0, 1], k: k1 },
+                Block { quant: Quant::Forall, vars: vec![2, 3], k: k2 },
+            ];
+            let inst = reduce(&c, &blocks).unwrap();
+            assert_eq!(
+                fo_eval::query_holds(&inst.query, &inst.database).unwrap(),
+                alternating_circuit_sat(&c, &blocks),
+                "k1={k1} k2={k2}"
+            );
+        }
+    }
+
+    #[test]
+    fn purely_existential_blocks_match_wp_case() {
+        // With a single ∃ block this degenerates to weighted circuit sat.
+        let c = cross_circuit();
+        for k in 1..=3 {
+            let blocks =
+                vec![Block { quant: Quant::Exists, vars: vec![0, 1, 2, 3], k }];
+            let inst = reduce(&c, &blocks).unwrap();
+            assert_eq!(
+                fo_eval::query_holds(&inst.query, &inst.database).unwrap(),
+                crate::weighted_sat::has_weighted_circuit_sat(&c, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_equivalence() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..6 {
+            // Random monotone circuit over 4 inputs, two blocks of two.
+            let mut gates: Vec<Gate> = (0..4).map(Gate::Input).collect();
+            for _ in 0..rng.gen_range(2..4) {
+                let w = rng.gen_range(2..4).min(gates.len());
+                let mut ops = Vec::new();
+                while ops.len() < w {
+                    let o = rng.gen_range(0..gates.len());
+                    if !ops.contains(&o) {
+                        ops.push(o);
+                    }
+                }
+                if rng.gen_bool(0.5) {
+                    gates.push(Gate::And(ops));
+                } else {
+                    gates.push(Gate::Or(ops));
+                }
+            }
+            let out = gates.len() - 1;
+            let c = Circuit::new(4, gates, out);
+            let blocks = vec![
+                Block { quant: Quant::Exists, vars: vec![0, 1], k: 1 },
+                Block { quant: Quant::Forall, vars: vec![2, 3], k: 1 },
+            ];
+            let inst = reduce(&c, &blocks).unwrap();
+            assert_eq!(
+                fo_eval::query_holds(&inst.query, &inst.database).unwrap(),
+                alternating_circuit_sat(&c, &blocks),
+                "trial {trial}\n{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn variable_count_is_sum_of_ks_plus_two() {
+        let c = cross_circuit();
+        let blocks = vec![
+            Block { quant: Quant::Exists, vars: vec![0, 1], k: 2 },
+            Block { quant: Quant::Forall, vars: vec![2, 3], k: 2 },
+        ];
+        let inst = reduce(&c, &blocks).unwrap();
+        assert_eq!(inst.query.num_variables(), 4 + 2);
+    }
+
+    #[test]
+    fn invalid_blocks_rejected() {
+        let c = cross_circuit();
+        assert!(reduce(&c, &[Block { quant: Quant::Exists, vars: vec![0], k: 2 }]).is_none());
+        assert!(reduce(&c, &[Block { quant: Quant::Exists, vars: vec![], k: 0 }]).is_none());
+    }
+}

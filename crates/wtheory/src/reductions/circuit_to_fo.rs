@@ -1,0 +1,233 @@
+//! R7 — monotone weighted circuit satisfiability → first-order query
+//! evaluation (Theorem 1(3): W[P]-hardness under parameter `v`,
+//! W[t]-hardness for all `t` under parameter `q`).
+//!
+//! The database describes the wiring DAG of an alternating monotone circuit
+//! as one binary relation `C`: the pairs `(a, b)` such that gate `a` has
+//! gate `b` as an input, plus `(c, c)` for every level-0 gate (input
+//! variable). The query is `∃x_1 … ∃x_k θ_{2t}(o)` with
+//!
+//! ```text
+//! θ_0(x)    = C(x, x_1) ∨ … ∨ C(x, x_k)
+//! θ_{2i}(x) = ∃y [ C(x, y) ∧ ∀x (¬C(y, x) ∨ θ_{2i−2}(x)) ]
+//! ```
+//!
+//! The formula has size `O(t + k)` and uses `k + 2` variables — the
+//! variable `x` is deliberately *reused* across quantifier scopes, which is
+//! why the parameter `v` stays small while the tower grows with the depth.
+//! Note the fixed schema: a single binary relation.
+
+use pq_data::{tuple, Database};
+use pq_query::{Atom, FoFormula, FoQuery, Term};
+
+use crate::circuit::{AlternatingCircuit, Circuit};
+
+/// Output of R7.
+#[derive(Debug, Clone)]
+pub struct FoInstance {
+    /// The wiring database (one binary relation `C`).
+    pub database: Database,
+    /// The first-order query `∃x_1…∃x_k θ_{2t}(o)`.
+    pub query: FoQuery,
+    /// The alternating circuit the instance was built from.
+    pub alternating: AlternatingCircuit,
+}
+
+/// The wiring database of an alternating circuit.
+pub fn wiring_database(alt: &AlternatingCircuit) -> Database {
+    let mut rows = Vec::new();
+    for (a, b) in alt.wires() {
+        rows.push(tuple![a as i64, b as i64]);
+    }
+    for (gate, _var) in alt.input_gates() {
+        rows.push(tuple![gate as i64, gate as i64]);
+    }
+    let mut db = Database::new();
+    db.add_table("C", ["a", "b"], rows).expect("fresh db");
+    db
+}
+
+/// Build `θ_{2i}` as a formula with one free variable `x`, for the tower of
+/// height `t` (so `2i = 2t` at the top). Uses exactly the two names
+/// `x` and `y` plus the `x_j`'s of `θ_0`.
+fn theta(i: usize, k: usize) -> FoFormula {
+    if i == 0 {
+        // θ_0(x) = C(x, x1) ∨ … ∨ C(x, xk)
+        return FoFormula::Or(
+            (1..=k)
+                .map(|j| {
+                    FoFormula::Atom(Atom::new(
+                        "C",
+                        [Term::var("x"), Term::var(format!("x{j}"))],
+                    ))
+                })
+                .collect(),
+        );
+    }
+    // θ_{2i}(x) = ∃y [C(x,y) ∧ ∀x (¬C(y,x) ∨ θ_{2i−2}(x))]
+    let inner = theta(i - 1, k);
+    FoFormula::exists(
+        "y",
+        FoFormula::and([
+            FoFormula::Atom(Atom::new("C", [Term::var("x"), Term::var("y")])),
+            FoFormula::forall(
+                "x",
+                FoFormula::or([
+                    FoFormula::not(FoFormula::Atom(Atom::new(
+                        "C",
+                        [Term::var("y"), Term::var("x")],
+                    ))),
+                    inner,
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// R7: `(C, k) ↦ (d, Q)`. The circuit must be monotone; it is normalized to
+/// alternating form internally. Correctness requires `k ≤ num_inputs` (the
+/// paper's monotone-padding argument needs k inputs to exist).
+pub fn reduce(c: &Circuit, k: usize) -> Option<FoInstance> {
+    if k > c.num_inputs {
+        return None;
+    }
+    let alt = c.to_alternating()?;
+    let database = wiring_database(&alt);
+    let t = alt.top_level / 2;
+    // θ_{2t}(o): substitute the output-gate constant for the free x.
+    let body = theta(t, k)
+        .substitute("x", &pq_data::Value::Int(alt.circuit.output as i64));
+    let xs: Vec<String> = (1..=k).map(|j| format!("x{j}")).collect();
+    let query = FoQuery::boolean("Q", FoFormula::exists_block(xs, body));
+    Some(FoInstance { database, query, alternating: alt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Gate;
+    use crate::weighted_sat::has_weighted_circuit_sat;
+    use pq_engine::fo_eval;
+    use pq_query::QueryMetrics;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// (x0 ∧ x1) ∨ (x1 ∧ x2)
+    fn two_ands() -> Circuit {
+        Circuit::new(
+            3,
+            vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::And(vec![0, 1]),
+                Gate::And(vec![1, 2]),
+                Gate::Or(vec![3, 4]),
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn variable_count_is_k_plus_two() {
+        let inst = reduce(&two_ands(), 2).unwrap();
+        assert_eq!(inst.query.num_variables(), 2 + 2);
+    }
+
+    #[test]
+    fn iff_on_handcrafted_circuit() {
+        let c = two_ands();
+        for k in 0..=3 {
+            let Some(inst) = reduce(&c, k) else {
+                assert!(k > c.num_inputs);
+                continue;
+            };
+            assert_eq!(
+                has_weighted_circuit_sat(&c, k),
+                fo_eval::query_holds(&inst.query, &inst.database).unwrap(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_inputs_is_rejected() {
+        assert!(reduce(&two_ands(), 4).is_none());
+    }
+
+    /// Random monotone circuit over `n` inputs.
+    fn random_monotone(n: usize, rng: &mut StdRng) -> Circuit {
+        let mut gates: Vec<Gate> = (0..n).map(Gate::Input).collect();
+        let extra = rng.gen_range(2..5);
+        for _ in 0..extra {
+            let width = rng.gen_range(2..4).min(gates.len());
+            let mut ops: Vec<usize> = Vec::new();
+            while ops.len() < width {
+                let o = rng.gen_range(0..gates.len());
+                if !ops.contains(&o) {
+                    ops.push(o);
+                }
+            }
+            if rng.gen_bool(0.5) {
+                gates.push(Gate::And(ops));
+            } else {
+                gates.push(Gate::Or(ops));
+            }
+        }
+        let out = gates.len() - 1;
+        Circuit::new(n, gates, out)
+    }
+
+    #[test]
+    fn iff_on_random_monotone_circuits() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..8 {
+            let n = rng.gen_range(2..4);
+            let c = random_monotone(n, &mut rng);
+            for k in 1..=n {
+                let inst = reduce(&c, k).unwrap();
+                let lhs = has_weighted_circuit_sat(&c, k);
+                let rhs = fo_eval::query_holds(&inst.query, &inst.database).unwrap();
+                assert_eq!(lhs, rhs, "trial {trial}, k {k}\n{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn formula_size_grows_with_depth_not_variables() {
+        // Deep circuit: the θ tower grows, the variable count does not.
+        let mut gates: Vec<Gate> = vec![Gate::Input(0), Gate::Input(1)];
+        let mut prev = 0;
+        for i in 0..6 {
+            let next = gates.len();
+            if i % 2 == 0 {
+                gates.push(Gate::And(vec![prev, 1]));
+            } else {
+                gates.push(Gate::Or(vec![prev, 1]));
+            }
+            prev = next;
+        }
+        // ensure OR output
+        let next = gates.len();
+        gates.push(Gate::Or(vec![prev]));
+        let c = Circuit::new(2, gates, next);
+        let shallow = reduce(&two_ands(), 1).unwrap();
+        let deep = reduce(&c, 1).unwrap();
+        assert!(deep.query.size() > shallow.query.size());
+        assert_eq!(deep.query.num_variables(), shallow.query.num_variables());
+    }
+
+    #[test]
+    fn wiring_database_has_self_loops_on_inputs_only() {
+        let inst = reduce(&two_ands(), 1).unwrap();
+        let c = inst.database.relation("C").unwrap();
+        let inputs: Vec<i64> =
+            inst.alternating.input_gates().iter().map(|&(g, _)| g as i64).collect();
+        for t in c.iter() {
+            if t[0] == t[1] {
+                let g = t[0].as_int().unwrap();
+                assert!(inputs.contains(&g), "self-loop on non-input gate {g}");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! R9 — clique → acyclic conjunctive query with `<` comparisons
+//! (Theorem 3: the class is W[1]-complete, so Theorem 2 cannot be extended
+//! from `≠` to order comparisons).
+//!
+//! Nodes are numbered `0..n`, every node has a self-loop. For an edge
+//! `(i, j)` and bit `b`, encode `[i, j, b] = (i+j)·n³ + |i−j|·n² + b·n + i`.
+//!
+//! * `P` holds `([i,j,0], [i,j,1])` for every edge `(i,j)` (incl. loops);
+//! * `R` holds `([i,j,1], [i,j',0])` for all `i, j, j'` with `(i,j)` and
+//!   `(i,j')` edges;
+//! * the query is `S ← ⋀_{i,j} P(x_ij, x'_ij), ⋀_{i,j<k} R(x'_ij, x_i(j+1)),
+//!   ⋀_{i<j} x_ij < x_ji < x'_ij`.
+//!
+//! The hypergraph is `k` disjoint paths (acyclic); the comparison graph is
+//! acyclic; and `S` is true iff `G` has a `k`-clique. The arithmetic of the
+//! `n³/n²/n` digits forces, for `i < j`, the images of `x_ij` and `x_ji` to
+//! describe the same edge `{v_i, v_j}` — see the paper's case analysis.
+
+use pq_data::{tuple, Database};
+use pq_query::{Atom, CmpOp, Comparison, ConjunctiveQuery, Term};
+
+use crate::graphs::Graph;
+
+/// The `[i, j, b]` encoding.
+pub fn encode(i: usize, j: usize, b: usize, n: usize) -> i64 {
+    let (i, j, b, n) = (i as i64, j as i64, b as i64, n as i64);
+    (i + j) * n * n * n + (i - j).abs() * n * n + b * n + i
+}
+
+/// Build `(d, Q_k)` from `(G, k)`.
+pub fn reduce(g: &Graph, k: usize) -> (Database, ConjunctiveQuery) {
+    let n = g.num_vertices();
+    // Edges including self-loops, as ordered pairs (i, j) both ways.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        pairs.push((i, i));
+    }
+    for (a, b) in g.edges() {
+        pairs.push((a, b));
+        pairs.push((b, a));
+    }
+
+    let mut p_rows = Vec::new();
+    for &(i, j) in &pairs {
+        p_rows.push(tuple![encode(i, j, 0, n), encode(i, j, 1, n)]);
+    }
+    // R: ([i,j,1], [i,j',0]) for all i and all j, j' adjacent to i.
+    let mut out_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(i, j) in &pairs {
+        out_of[i].push(j);
+    }
+    let mut r_rows = Vec::new();
+    for i in 0..n {
+        for &j in &out_of[i] {
+            for &j2 in &out_of[i] {
+                r_rows.push(tuple![encode(i, j, 1, n), encode(i, j2, 0, n)]);
+            }
+        }
+    }
+
+    let mut db = Database::new();
+    db.add_table("P", ["a", "b"], p_rows).expect("fresh db");
+    db.add_table("R", ["a", "b"], r_rows).expect("fresh db");
+
+    let x = |i: usize, j: usize| Term::var(format!("x_{i}_{j}"));
+    let xp = |i: usize, j: usize| Term::var(format!("xp_{i}_{j}"));
+
+    let mut atoms = Vec::new();
+    for i in 1..=k {
+        for j in 1..=k {
+            atoms.push(Atom::new("P", [x(i, j), xp(i, j)]));
+        }
+    }
+    for i in 1..=k {
+        for j in 1..k {
+            atoms.push(Atom::new("R", [xp(i, j), x(i, j + 1)]));
+        }
+    }
+    let mut comparisons = Vec::new();
+    for i in 1..=k {
+        for j in i + 1..=k {
+            comparisons.push(Comparison::new(x(i, j), CmpOp::Lt, x(j, i)));
+            comparisons.push(Comparison::new(x(j, i), CmpOp::Lt, xp(i, j)));
+        }
+    }
+    let q = ConjunctiveQuery::boolean("S", atoms).with_comparisons(comparisons);
+    (db, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::random_graph;
+    use pq_engine::{comparisons, naive};
+
+    #[test]
+    fn encoding_is_injective_on_small_ranges() {
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in 0..n {
+                for b in 0..2 {
+                    assert!(seen.insert(encode(i, j, b, n)), "collision at {i},{j},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_shape_matches_paper() {
+        let g = random_graph(5, 0.5, 1);
+        let (_, q) = reduce(&g, 3);
+        // k² P-atoms, k(k−1) R-atoms, 2·C(k,2) comparisons, 2k² variables.
+        assert_eq!(q.atoms.len(), 9 + 6);
+        assert_eq!(q.comparisons.len(), 2 * 3);
+        assert_eq!(q.variables().len(), 2 * 9);
+    }
+
+    #[test]
+    fn relational_hypergraph_is_acyclic_and_comparisons_consistent() {
+        let g = random_graph(5, 0.5, 2);
+        let (_, q) = reduce(&g, 3);
+        assert!(q.is_acyclic(), "k disjoint paths");
+        assert!(comparisons::is_acyclic_with_comparisons(&q).unwrap());
+    }
+
+    #[test]
+    fn iff_k2_on_random_graphs() {
+        for seed in 0..6 {
+            let g = random_graph(5, 0.35, seed + 7);
+            let (db, q) = reduce(&g, 2);
+            assert_eq!(
+                g.has_clique(2),
+                naive::is_nonempty(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn iff_k3_on_random_graphs() {
+        for seed in 0..4 {
+            let g = random_graph(5, 0.5, seed + 21);
+            let (db, q) = reduce(&g, 3);
+            assert_eq!(
+                g.has_clique(3),
+                naive::is_nonempty(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_present_and_absent() {
+        let tri = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+        let (db, q) = reduce(&tri, 3);
+        assert!(naive::is_nonempty(&q, &db).unwrap());
+
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let (db, q) = reduce(&path, 3);
+        assert!(!naive::is_nonempty(&q, &db).unwrap());
+    }
+}

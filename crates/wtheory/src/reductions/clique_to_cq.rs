@@ -1,0 +1,111 @@
+//! R1 — clique → conjunctive query (Theorem 1(1) lower bound).
+//!
+//! "For any instance (G, k) of clique we construct a database consisting of
+//! one binary relation G(·,·) (the graph). The query for parameter k is
+//! simply `P ← ⋀_{1≤i<j≤k} G(xi, xj)`. The goal proposition P is true iff G
+//! has a clique of size k. The query size is q = O(k²), while the number of
+//! variables is v = k." Note the fixed schema: a single binary relation.
+
+use pq_data::{tuple, Database};
+use pq_query::{Atom, ConjunctiveQuery, Term};
+
+use crate::graphs::Graph;
+
+/// The database of the reduction: one binary relation `G` holding every
+/// edge in both orientations (the clique query tests unordered adjacency).
+pub fn clique_database(g: &Graph) -> Database {
+    let mut db = Database::new();
+    let mut rows = Vec::with_capacity(2 * g.num_edges());
+    for (a, b) in g.edges() {
+        rows.push(tuple![a, b]);
+        rows.push(tuple![b, a]);
+    }
+    db.add_table("G", ["a", "b"], rows).expect("fresh database");
+    db
+}
+
+/// The clique-`k` query `P :- G(x1,x2), G(x1,x3), …, G(x_{k-1},x_k)`.
+pub fn clique_query(k: usize) -> ConjunctiveQuery {
+    let mut atoms = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 1..=k {
+        for j in i + 1..=k {
+            atoms.push(Atom::new("G", [Term::var(format!("x{i}")), Term::var(format!("x{j}"))]));
+        }
+    }
+    ConjunctiveQuery::boolean("P", atoms)
+}
+
+/// The full reduction: `(G, k) ↦ (d, Q_k)`.
+///
+/// ```
+/// use pq_wtheory::graphs::Graph;
+/// use pq_wtheory::reductions::clique_to_cq;
+///
+/// let triangle = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// let (db, q) = clique_to_cq::reduce(&triangle, 3);
+/// assert!(pq_engine::naive::is_nonempty(&q, &db).unwrap());
+/// assert_eq!(triangle.has_clique(3), true);
+/// ```
+pub fn reduce(g: &Graph, k: usize) -> (Database, ConjunctiveQuery) {
+    (clique_database(g), clique_query(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{random_graph, random_graph_with_clique};
+    use pq_engine::naive;
+    use pq_query::QueryMetrics;
+
+    #[test]
+    fn query_parameters_match_paper() {
+        for k in 2..=6 {
+            let q = clique_query(k);
+            assert_eq!(q.num_variables(), k, "v = k");
+            // q = O(k²): one atom per pair.
+            assert_eq!(q.atoms.len(), k * (k - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn forward_direction_planted_clique() {
+        for seed in 0..5 {
+            let (g, _) = random_graph_with_clique(9, 0.3, 4, seed);
+            let (db, q) = reduce(&g, 4);
+            assert!(naive::is_nonempty(&q, &db).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn equivalence_on_random_graphs() {
+        // The iff, both directions, on a battery of sparse random graphs.
+        for seed in 0..20 {
+            let g = random_graph(8, 0.45, seed);
+            for k in 2..=4 {
+                let (db, q) = reduce(&g, k);
+                assert_eq!(
+                    g.has_clique(k),
+                    naive::is_nonempty(&q, &db).unwrap(),
+                    "seed {seed}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops_means_distinct_vertices() {
+        // Two adjacent vertices but k = 3: x_i are forced distinct because
+        // G has no (v, v) tuples.
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let (db, q) = reduce(&g, 3);
+        assert!(!naive::is_nonempty(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = Graph::new(4);
+        let (db, q) = reduce(&g, 2);
+        assert!(!naive::is_nonempty(&q, &db).unwrap());
+        assert!(g.has_clique(1));
+    }
+}

@@ -1,0 +1,258 @@
+//! R2 — conjunctive-query decision → weighted 2-CNF satisfiability
+//! (Theorem 1(1) upper bound, parameter `q`), and R10 — the footnote-2
+//! continuation to clique, closing the W[1]-completeness circle.
+//!
+//! For every atom `a` of `Q` and database tuple `s` *consistent* with `a`
+//! (same constants, equal entries where `a` repeats a variable) there is a
+//! Boolean variable `z_{as}` ("atom a maps to tuple s"). Clauses:
+//!
+//! * for every atom `a` and pair `s ≠ s'`: `(¬z_{as} ∨ ¬z_{as'})` — at most
+//!   one image per atom;
+//! * for every pair of atoms `a, a'` with the same variable in columns
+//!   `j, j'` and tuples `s, s'` with `s[j] ≠ s'[j']`:
+//!   `(¬z_{as} ∨ ¬z_{a's'})` — images agree on shared variables.
+//!
+//! With `k` = number of atoms, `Q`'s body is satisfiable on `d` iff the
+//! 2-CNF has a weight-`k` satisfying assignment.
+
+use pq_data::{Database, Tuple};
+use pq_query::{ConjunctiveQuery, Term};
+
+use crate::formula::{Cnf, Lit};
+use crate::graphs::Graph;
+
+/// The reduction output: the 2-CNF, the weight `k`, and the meaning of each
+/// Boolean variable (atom index, tuple) for witness extraction.
+#[derive(Debug, Clone)]
+pub struct W2CnfInstance {
+    /// The 2-CNF formula.
+    pub cnf: Cnf,
+    /// The weight: the number of atoms of `Q`.
+    pub k: usize,
+    /// `vars[z] = (atom index, tuple)` mapped by Boolean variable `z`.
+    pub vars: Vec<(usize, Tuple)>,
+}
+
+/// Is tuple `s` consistent with atom `a` (constants and repeated
+/// variables)?
+fn consistent(a: &pq_query::Atom, s: &Tuple) -> bool {
+    if a.arity() != s.arity() {
+        return false;
+    }
+    for (j, term) in a.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => {
+                if c != &s[j] {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                for (j2, term2) in a.terms.iter().enumerate().skip(j + 1) {
+                    if let Term::Var(v2) = term2 {
+                        if v2 == v && s[j] != s[j2] {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Build the weighted 2-CNF instance for a Boolean conjunctive query.
+/// (For the decision problem `t ∈ Q(d)`, first `bind_head` the query.)
+pub fn reduce(q: &ConjunctiveQuery, db: &Database) -> pq_data::Result<W2CnfInstance> {
+    assert!(q.is_pure(), "R2 is defined for pure conjunctive queries");
+    let k = q.atoms.len();
+
+    // Enumerate the Boolean variables z_{as}.
+    let mut vars: Vec<(usize, Tuple)> = Vec::new();
+    let mut by_atom: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (ai, a) in q.atoms.iter().enumerate() {
+        let rel = db.relation(&a.relation)?;
+        for s in rel.iter() {
+            if consistent(a, s) {
+                by_atom[ai].push(vars.len());
+                vars.push((ai, s.clone()));
+            }
+        }
+    }
+
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+
+    // At most one tuple per atom.
+    for zs in &by_atom {
+        for (i, &z1) in zs.iter().enumerate() {
+            for &z2 in &zs[i + 1..] {
+                clauses.push(vec![Lit::neg(z1), Lit::neg(z2)]);
+            }
+        }
+    }
+
+    // Agreement on shared variables (including the case a = a', s = s' is
+    // excluded since that pair never disagrees with itself on one column
+    // pair j = j'; distinct column pairs within one atom were handled by
+    // the consistency filter).
+    for (a1, atom1) in q.atoms.iter().enumerate() {
+        for (a2, atom2) in q.atoms.iter().enumerate().skip(a1) {
+            for (j1, t1) in atom1.terms.iter().enumerate() {
+                let Term::Var(v1) = t1 else { continue };
+                for (j2, t2) in atom2.terms.iter().enumerate() {
+                    if a1 == a2 && j2 <= j1 {
+                        continue;
+                    }
+                    let Term::Var(v2) = t2 else { continue };
+                    if v1 != v2 {
+                        continue;
+                    }
+                    for &z1 in &by_atom[a1] {
+                        for &z2 in &by_atom[a2] {
+                            if z1 == z2 {
+                                continue;
+                            }
+                            let (_, s1) = &vars[z1];
+                            let (_, s2) = &vars[z2];
+                            if s1[j1] != s2[j2] {
+                                clauses.push(vec![Lit::neg(z1), Lit::neg(z2)]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    clauses.sort();
+    clauses.dedup();
+    let cnf = Cnf::new(vars.len(), clauses);
+    Ok(W2CnfInstance { cnf, k, vars })
+}
+
+/// R10 (footnote 2): the *conflict graph* of the 2-CNF — nodes are the
+/// `z_{as}` variables, edges connect pairs **not** excluded by a clause.
+/// `Q`'s body is satisfiable on `d` iff this graph has a clique of size `k`.
+pub fn conflict_graph(inst: &W2CnfInstance) -> Graph {
+    let n = inst.cnf.num_vars;
+    // Collect the forbidden pairs.
+    let mut forbidden = std::collections::HashSet::new();
+    for cl in &inst.cnf.clauses {
+        if let [l1, l2] = cl[..] {
+            debug_assert!(!l1.positive && !l2.positive);
+            let (a, b) = (l1.var.min(l2.var), l1.var.max(l2.var));
+            forbidden.insert((a, b));
+        }
+    }
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            if !forbidden.contains(&(a, b)) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted_sat::has_weighted_cnf_sat;
+    use pq_data::tuple;
+    use pq_engine::naive;
+    use pq_query::parse_cq;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        d.add_table("L", ["a"], [tuple![1], tuple![3]]).unwrap();
+        d
+    }
+
+    fn check_iff(src: &str, d: &Database) {
+        let q = parse_cq(src).unwrap();
+        let inst = reduce(&q, d).unwrap();
+        assert!(inst.cnf.is_2cnf());
+        assert_eq!(
+            naive::is_nonempty(&q, d).unwrap(),
+            has_weighted_cnf_sat(&inst.cnf, inst.k),
+            "{src}"
+        );
+    }
+
+    #[test]
+    fn iff_on_handcrafted_queries() {
+        let d = db();
+        check_iff("P :- E(x, y), E(y, z).", &d);
+        check_iff("P :- E(x, y), E(y, x).", &d); // no 2-cycle: unsat
+        check_iff("P :- E(x, y), L(x).", &d);
+        check_iff("P :- E(x, x).", &d); // no self-loop: unsat
+        check_iff("P :- E(1, y), E(y, 3).", &d);
+        check_iff("P :- E(x, y), E(y, z), E(z, x).", &d); // triangle: sat
+    }
+
+    #[test]
+    fn weight_is_number_of_atoms() {
+        let q = parse_cq("P :- E(x, y), E(y, z), L(x).").unwrap();
+        let inst = reduce(&q, &db()).unwrap();
+        assert_eq!(inst.k, 3);
+    }
+
+    #[test]
+    fn consistency_filter_prunes_variables() {
+        // E(x, x) is consistent with no tuple of our loop-free E.
+        let q = parse_cq("P :- E(x, x).").unwrap();
+        let inst = reduce(&q, &db()).unwrap();
+        assert_eq!(inst.cnf.num_vars, 0);
+        assert!(!has_weighted_cnf_sat(&inst.cnf, inst.k));
+    }
+
+    #[test]
+    fn witness_decodes_to_a_homomorphism() {
+        let q = parse_cq("P :- E(x, y), E(y, z).").unwrap();
+        let d = db();
+        let inst = reduce(&q, &d).unwrap();
+        let w = crate::weighted_sat::weighted_cnf_sat(&inst.cnf, inst.k).expect("sat");
+        // Each chosen variable names a distinct atom; shared variable y agrees.
+        let mut images: Vec<Option<&Tuple>> = vec![None; inst.k];
+        for z in w {
+            let (ai, s) = &inst.vars[z];
+            assert!(images[*ai].is_none(), "two tuples for one atom");
+            images[*ai] = Some(s);
+        }
+        let (s0, s1) = (images[0].unwrap(), images[1].unwrap());
+        assert_eq!(s0[1], s1[0], "y must agree across atoms");
+    }
+
+    #[test]
+    fn conflict_graph_clique_iff_query_nonempty() {
+        let d = db();
+        for src in [
+            "P :- E(x, y), E(y, z).",
+            "P :- E(x, y), E(y, x).",
+            "P :- E(x, y), L(y).",
+            "P :- E(x, y), E(y, z), E(z, x).",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let inst = reduce(&q, &d).unwrap();
+            let g = conflict_graph(&inst);
+            assert_eq!(
+                g.has_clique(inst.k),
+                naive::is_nonempty(&q, &d).unwrap(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_problem_via_bind_head() {
+        let q = parse_cq("G(x, z) :- E(x, y), E(y, z).").unwrap();
+        let d = db();
+        let bound = q.bind_head(&tuple![1, 3]).unwrap().unwrap();
+        let inst = reduce(&bound, &d).unwrap();
+        assert!(has_weighted_cnf_sat(&inst.cnf, inst.k));
+        let bound2 = q.bind_head(&tuple![1, 1]).unwrap().unwrap();
+        let inst2 = reduce(&bound2, &d).unwrap();
+        assert!(!has_weighted_cnf_sat(&inst2.cnf, inst2.k));
+    }
+}

@@ -1,0 +1,105 @@
+//! R8 — Hamiltonian path → acyclic conjunctive query with `≠`
+//! (Section 5's NP-completeness observation for *combined* complexity).
+//!
+//! "Given a graph (V, E), let Q be the query
+//! `G ← E(x1,x2), E(x2,x3), …, E(x_{n−1},x_n), x1≠x2, x1≠x3, …, x_{n−1}≠x_n`.
+//! The goal proposition G is true iff the graph is Hamiltonian. Here the
+//! query is as big as the database" — which is exactly why Theorem 2's
+//! *fixed-parameter* tractability (small query, big database) is the
+//! interesting regime.
+
+use pq_data::{tuple, Database};
+use pq_query::{Atom, ConjunctiveQuery, Neq, Term};
+
+use crate::graphs::Graph;
+
+/// Build `(d, Q)` from an undirected graph: the edge relation holds both
+/// orientations; the chain query has `n` variables, `n−1` atoms, and all
+/// `C(n,2)` pairwise inequalities.
+pub fn reduce(g: &Graph) -> (Database, ConjunctiveQuery) {
+    let n = g.num_vertices();
+    let mut rows = Vec::with_capacity(2 * g.num_edges());
+    for (a, b) in g.edges() {
+        rows.push(tuple![a, b]);
+        rows.push(tuple![b, a]);
+    }
+    let mut db = Database::new();
+    db.add_table("E", ["a", "b"], rows).expect("fresh db");
+
+    let var = |i: usize| Term::var(format!("x{i}"));
+    let mut atoms = Vec::new();
+    for i in 1..n {
+        atoms.push(Atom::new("E", [var(i), var(i + 1)]));
+    }
+    let mut neqs = Vec::new();
+    for i in 1..=n {
+        for j in i + 1..=n {
+            neqs.push(Neq::new(var(i), var(j)));
+        }
+    }
+    let q = ConjunctiveQuery::boolean("G", atoms).with_neqs(neqs);
+    (db, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::{random_graph, random_hamiltonian_graph};
+    use pq_engine::naive;
+
+    #[test]
+    fn query_is_acyclic_without_the_inequalities() {
+        let g = random_hamiltonian_graph(6, 2, 1);
+        let (_, q) = reduce(&g);
+        assert!(q.is_acyclic(), "the chain hypergraph is acyclic");
+        assert_eq!(q.atoms.len(), 5);
+        assert_eq!(q.neqs.len(), 15);
+    }
+
+    #[test]
+    fn iff_on_known_graphs() {
+        // A path graph is Hamiltonian.
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let (db, q) = reduce(&path);
+        assert!(naive::is_nonempty(&q, &db).unwrap());
+        // A star on 4 leaves is not.
+        let star = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (db, q) = reduce(&star);
+        assert!(!naive::is_nonempty(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn iff_on_random_graphs() {
+        for seed in 0..8 {
+            let g = random_graph(6, 0.4, seed + 100);
+            let (db, q) = reduce(&g);
+            assert_eq!(
+                g.has_hamiltonian_path(),
+                naive::is_nonempty(&q, &db).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn hamiltonian_graphs_always_satisfy() {
+        for seed in 0..5 {
+            let g = random_hamiltonian_graph(7, 2, seed);
+            let (db, q) = reduce(&g);
+            assert!(naive::is_nonempty(&q, &db).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn color_coding_agrees_on_tiny_instances() {
+        // Theorem 2's engine handles these queries too (k = n here, so the
+        // g(k) factor is the whole point — but tiny n is fine).
+        use pq_engine::colorcoding::{self, ColorCodingOptions};
+        for seed in 0..4 {
+            let g = random_graph(4, 0.5, seed + 40);
+            let (db, q) = reduce(&g);
+            let cc = colorcoding::is_nonempty(&q, &db, &ColorCodingOptions::default()).unwrap();
+            assert_eq!(cc, g.has_hamiltonian_path(), "seed {seed}");
+        }
+    }
+}

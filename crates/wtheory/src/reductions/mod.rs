@@ -1,0 +1,26 @@
+//! The paper's reductions, each as a typed, executable transformation with
+//! verifiers in its test module (see DESIGN.md §1, "Reductions implemented").
+//!
+//! | id | module | paper location |
+//! |----|--------|----------------|
+//! | R1 | [`clique_to_cq`] | Theorem 1(1) lower bound |
+//! | R2, R10 | [`cq_to_w2cnf`] | Theorem 1(1) upper bound (param `q`) + footnote 2 |
+//! | R3 | [`pq_engine::bounded_var`] | Theorem 1(1) upper bound (param `v`) |
+//! | R4 | [`positive_to_clique`] | Theorem 1(2) upper bound (param `q`) |
+//! | R5, R6 | [`wformula_positive`] | Theorem 1(2), parameter `v`, both directions |
+//! | R7 | [`circuit_to_fo`] | Theorem 1(3), both parameters |
+//! | R7b | [`alternating`] | Section 4's AW[P] extension |
+//! | R8 | [`hampath_to_neq`] | Section 5 NP-completeness remark |
+//! | — | [`prenex_fo_awsat`] | Section 4's AW[SAT] remark for prenex FO, parameter `v` |
+//! | R9 | [`clique_to_comparisons`] | Theorem 3 |
+
+pub mod alternating;
+pub mod circuit_to_fo;
+pub mod clique_to_comparisons;
+pub mod clique_to_cq;
+pub mod cq_to_w2cnf;
+pub mod datalog_w1;
+pub mod hampath_to_neq;
+pub mod positive_to_clique;
+pub mod prenex_fo_awsat;
+pub mod wformula_positive;

@@ -1,0 +1,132 @@
+//! R4 — positive query → union of conjunctive queries → a single clique
+//! instance (Theorem 1(2) upper bound for parameter `q`, including the
+//! footnote-2 parametric *transformation*).
+//!
+//! The union-of-CQs expansion itself lives in
+//! [`pq_query::PositiveQuery::to_union_of_cqs`]; this module adds the
+//! footnote-2 trick: turn each disjunct `Q_i` into a clique question
+//! `(G_i, k_i)` via the R2 conflict graph, pad every `G_i` with `k − k_i`
+//! universal vertices so all parameters equal `k = max k_i`, and take the
+//! disjoint union. The positive query is true on `d` iff the union graph
+//! has a `k`-clique.
+
+use pq_data::Database;
+use pq_query::PositiveQuery;
+
+use crate::graphs::Graph;
+use crate::reductions::cq_to_w2cnf;
+
+/// Output of the footnote-2 transformation.
+#[derive(Debug, Clone)]
+pub struct CliqueInstance {
+    /// The disjoint-union graph.
+    pub graph: Graph,
+    /// The common clique size `k`.
+    pub k: usize,
+    /// Number of disjuncts that contributed a component.
+    pub num_components: usize,
+}
+
+/// Disjoint union of graphs.
+fn disjoint_union(parts: &[Graph]) -> Graph {
+    let total: usize = parts.iter().map(Graph::num_vertices).sum();
+    let mut g = Graph::new(total);
+    let mut offset = 0;
+    for p in parts {
+        for (a, b) in p.edges() {
+            g.add_edge(offset + a, offset + b);
+        }
+        offset += p.num_vertices();
+    }
+    g
+}
+
+/// Pad `g` with `extra` universal vertices (adjacent to everything,
+/// including each other).
+fn pad_universal(g: &Graph, extra: usize) -> Graph {
+    let n = g.num_vertices();
+    let mut out = Graph::new(n + extra);
+    for (a, b) in g.edges() {
+        out.add_edge(a, b);
+    }
+    for u in n..n + extra {
+        for v in 0..n + extra {
+            if v != u {
+                out.add_edge(u, v);
+            }
+        }
+    }
+    out
+}
+
+/// The full transformation `(Q, d) ↦ (G, k)` for a Boolean positive query.
+pub fn reduce(q: &PositiveQuery, db: &Database) -> pq_data::Result<CliqueInstance> {
+    let cqs = q.to_union_of_cqs();
+    let k = cqs.iter().map(|c| c.atoms.len()).max().unwrap_or(0);
+    let mut parts = Vec::with_capacity(cqs.len());
+    for cq in &cqs {
+        let inst = cq_to_w2cnf::reduce(cq, db)?;
+        let g = cq_to_w2cnf::conflict_graph(&inst);
+        parts.push(pad_universal(&g, k - inst.k));
+    }
+    Ok(CliqueInstance { graph: disjoint_union(&parts), k, num_components: parts.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_engine::positive_eval;
+    use pq_query::parse_positive;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.add_table("R", ["a"], [tuple![1], tuple![2]]).unwrap();
+        d.add_table("S", ["a"], [tuple![2]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d
+    }
+
+    fn check(src: &str) {
+        let d = db();
+        let q = parse_positive(src).unwrap();
+        let inst = reduce(&q, &d).unwrap();
+        assert_eq!(
+            positive_eval::query_holds(&q, &d).unwrap(),
+            inst.graph.has_clique(inst.k),
+            "{src}"
+        );
+    }
+
+    #[test]
+    fn iff_on_boolean_positive_queries() {
+        check("Q := exists x. (R(x) & S(x))");
+        check("Q := exists x. (R(x) | S(x))");
+        check("Q := exists x, y. (E(x, y) & S(x))"); // S(1)? no: only 2 ∈ S; E(2,3) & S(2) yes
+        check("Q := exists x. (S(x) & E(x, x))"); // no self loops: false
+        check("Q := exists x, y. (E(x, y) & R(y) & S(y))");
+    }
+
+    #[test]
+    fn padding_aligns_parameters() {
+        // Disjuncts of different atom counts must still land on one k.
+        let d = db();
+        let q = parse_positive("Q := exists x, y. (E(x, y) & R(x) & S(y) | R(x))").unwrap();
+        let inst = reduce(&q, &d).unwrap();
+        assert_eq!(inst.k, 3);
+        assert_eq!(inst.num_components, 2);
+        assert_eq!(
+            positive_eval::query_holds(&q, &d).unwrap(),
+            inst.graph.has_clique(inst.k)
+        );
+    }
+
+    #[test]
+    fn empty_disjunction_is_false() {
+        // A query whose every disjunct is unsatisfiable.
+        let d = db();
+        let q = parse_positive("Q := exists x. (R(x) & E(x, x))").unwrap();
+        let inst = reduce(&q, &d).unwrap();
+        assert!(!inst.graph.has_clique(inst.k));
+    }
+}

@@ -1,0 +1,329 @@
+//! R5 / R6 — the two directions tying positive queries (parameter `v`) to
+//! weighted formula satisfiability, i.e. to `W[SAT]` (Theorem 1(2)).
+//!
+//! **R5 (hardness).** From a Boolean formula `φ` over `x_1..x_n` and weight
+//! `k`: the database holds `EQ = {(i,i)}` and `NEQ = {(i,j) : i ≠ j}` over
+//! `{1..n}`; the query is
+//! `∃y_1…∃y_k [⋀_{i<j} NEQ(y_i,y_j)] ∧ ψ`, where `ψ` replaces a positive
+//! occurrence of `x_i` by `⋁_j EQ(i, y_j)` and a negative one by
+//! `⋀_j NEQ(i, y_j)`. Then `φ` has a weight-`k` satisfying assignment iff
+//! the (prenex!) positive query is true on the database.
+//!
+//! **R6 (membership, prenex case).** From a closed prenex positive query
+//! `∃y_1…∃y_k ψ` and database `d`: Boolean variables `z_{ic}` ("`y_i` maps
+//! to constant `c`"); the formula conjoins at-most-one clauses
+//! `(¬z_{ic} ∨ ¬z_{ic'})` with `ψ̂`, where an atom `R(τ)` becomes
+//! `⋁_{s ∈ R, s ~ τ} ⋀_{j : τ[j] = y_i} z_{i,s[j]}`. Then the query is true
+//! on `d` iff the formula has a weight-`k` satisfying assignment.
+
+use pq_data::{tuple, Database, Value};
+use pq_query::{Atom, PosFormula, PositiveQuery, Term};
+
+use crate::formula::BoolFormula;
+
+// ------------------------------------------------------------------- R5 --
+
+/// Output of R5.
+#[derive(Debug, Clone)]
+pub struct PositiveInstance {
+    /// The EQ/NEQ database over `{1..n}`.
+    pub database: Database,
+    /// The prenex positive Boolean query.
+    pub query: PositiveQuery,
+}
+
+/// R5: `(φ, k) ↦ (d, Q)`. The formula is converted to negation normal form
+/// first (the reduction replaces *occurrences*, so NNF is the natural
+/// input; conversion is linear and preserves weighted satisfiability).
+pub fn wformula_to_positive(phi: &BoolFormula, n: usize, k: usize) -> PositiveInstance {
+    assert!(n >= phi.num_variables(), "n must cover all variables of φ");
+    let mut db = Database::new();
+    let eq_rows = (1..=n as i64).map(|i| tuple![i, i]);
+    db.add_table("EQ", ["a", "b"], eq_rows).expect("fresh db");
+    let mut neq_rows = Vec::new();
+    for i in 1..=n as i64 {
+        for j in 1..=n as i64 {
+            if i != j {
+                neq_rows.push(tuple![i, j]);
+            }
+        }
+    }
+    db.add_table("NEQ", ["a", "b"], neq_rows).expect("fresh db");
+
+    let ys: Vec<String> = (1..=k).map(|j| format!("y{j}")).collect();
+
+    // ⋀_{i<j} NEQ(y_i, y_j)
+    let mut distinct = Vec::new();
+    for i in 0..k {
+        for j in i + 1..k {
+            distinct.push(PosFormula::Atom(Atom::new(
+                "NEQ",
+                [Term::var(&ys[i]), Term::var(&ys[j])],
+            )));
+        }
+    }
+
+    // ψ: substitute literals.
+    fn psi(f: &BoolFormula, ys: &[String]) -> PosFormula {
+        match f {
+            BoolFormula::Lit(v, true) => PosFormula::Or(
+                ys.iter()
+                    .map(|y| {
+                        PosFormula::Atom(Atom::new(
+                            "EQ",
+                            [Term::cons((v + 1) as i64), Term::var(y)],
+                        ))
+                    })
+                    .collect(),
+            ),
+            BoolFormula::Lit(v, false) => PosFormula::And(
+                ys.iter()
+                    .map(|y| {
+                        PosFormula::Atom(Atom::new(
+                            "NEQ",
+                            [Term::cons((v + 1) as i64), Term::var(y)],
+                        ))
+                    })
+                    .collect(),
+            ),
+            BoolFormula::And(fs) => PosFormula::And(fs.iter().map(|g| psi(g, ys)).collect()),
+            BoolFormula::Or(fs) => PosFormula::Or(fs.iter().map(|g| psi(g, ys)).collect()),
+            BoolFormula::Not(_) => unreachable!("input is in NNF"),
+        }
+    }
+    let nnf = phi.to_nnf();
+    let mut body = distinct;
+    body.push(psi(&nnf, &ys));
+
+    let query = PositiveQuery::boolean(
+        "Q",
+        PosFormula::Exists(ys, Box::new(PosFormula::And(body))),
+    );
+    PositiveInstance { database: db, query }
+}
+
+// ------------------------------------------------------------------- R6 --
+
+/// Output of R6.
+#[derive(Debug, Clone)]
+pub struct WFormulaInstance {
+    /// The Boolean formula over the `z_{ic}` variables.
+    pub formula: BoolFormula,
+    /// Total number of Boolean variables (`k · |domain|`).
+    pub num_vars: usize,
+    /// The weight (`k`, the number of quantified variables).
+    pub k: usize,
+    /// Decoding: variable index ↦ (quantified-variable index, constant).
+    pub vars: Vec<(usize, Value)>,
+}
+
+/// R6: `(Q, d) ↦ (φ, k)` for a *closed prenex* positive query. Errors if the
+/// query is not prenex or not closed.
+pub fn prenex_positive_to_wformula(
+    q: &PositiveQuery,
+    db: &Database,
+) -> Result<WFormulaInstance, String> {
+    if !q.head_terms.is_empty() {
+        return Err("R6 requires a Boolean query (substitute the candidate tuple first)".into());
+    }
+    let Some((ys, matrix)) = q.prenex_parts() else {
+        return Err("R6 requires a prenex query".into());
+    };
+    let matrix = matrix.clone();
+    if !matrix.free_variables().iter().all(|v| ys.contains(v)) {
+        return Err("R6 requires a closed query".into());
+    }
+    let k = ys.len();
+    let dom: Vec<Value> = db.active_domain().into_iter().collect();
+
+    // z_{ic} numbering: i * |dom| + c_index.
+    let mut vars = Vec::with_capacity(k * dom.len());
+    for i in 0..k {
+        for c in &dom {
+            vars.push((i, c.clone()));
+        }
+    }
+    let z = |i: usize, ci: usize| i * dom.len() + ci;
+
+    // At-most-one constant per quantified variable.
+    let mut conj: Vec<BoolFormula> = Vec::new();
+    for i in 0..k {
+        for c1 in 0..dom.len() {
+            for c2 in c1 + 1..dom.len() {
+                conj.push(BoolFormula::or([
+                    BoolFormula::neg(z(i, c1)),
+                    BoolFormula::neg(z(i, c2)),
+                ]));
+            }
+        }
+    }
+
+    // ψ̂: replace each atom by θ_a.
+    fn hat(
+        f: &PosFormula,
+        db: &Database,
+        ys: &[String],
+        dom: &[Value],
+        z: &dyn Fn(usize, usize) -> usize,
+    ) -> Result<BoolFormula, String> {
+        match f {
+            PosFormula::And(fs) => Ok(BoolFormula::And(
+                fs.iter().map(|g| hat(g, db, ys, dom, z)).collect::<Result<_, _>>()?,
+            )),
+            PosFormula::Or(fs) => Ok(BoolFormula::Or(
+                fs.iter().map(|g| hat(g, db, ys, dom, z)).collect::<Result<_, _>>()?,
+            )),
+            PosFormula::Exists(..) => Err("matrix must be quantifier-free".into()),
+            PosFormula::Atom(a) => {
+                let rel = db.relation(&a.relation).map_err(|e| e.to_string())?;
+                let mut branches: Vec<BoolFormula> = Vec::new();
+                's: for s in rel.iter() {
+                    if s.arity() != a.arity() {
+                        continue;
+                    }
+                    let mut lits: Vec<BoolFormula> = Vec::new();
+                    for (j, t) in a.terms.iter().enumerate() {
+                        match t {
+                            Term::Const(c) => {
+                                if c != &s[j] {
+                                    continue 's;
+                                }
+                            }
+                            Term::Var(v) => {
+                                let i = ys
+                                    .iter()
+                                    .position(|y| y == v)
+                                    .ok_or_else(|| format!("unbound variable {v}"))?;
+                                let ci = dom
+                                    .iter()
+                                    .position(|c| c == &s[j])
+                                    .expect("tuple value in active domain");
+                                lits.push(BoolFormula::var(z(i, ci)));
+                            }
+                        }
+                    }
+                    branches.push(BoolFormula::And(lits));
+                }
+                Ok(BoolFormula::Or(branches))
+            }
+        }
+    }
+
+    conj.push(hat(&matrix, db, &ys, &dom, &z)?);
+    Ok(WFormulaInstance {
+        formula: BoolFormula::And(conj),
+        num_vars: k * dom.len(),
+        k,
+        vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted_sat::{has_weighted_formula_sat, weighted_formula_sat_n};
+    use pq_engine::positive_eval;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random NNF formula over n variables.
+    fn random_formula(n: usize, depth: usize, rng: &mut StdRng) -> BoolFormula {
+        if depth == 0 || rng.gen_bool(0.3) {
+            return BoolFormula::Lit(rng.gen_range(0..n), rng.gen_bool(0.6));
+        }
+        let width = rng.gen_range(2..4);
+        let kids: Vec<BoolFormula> =
+            (0..width).map(|_| random_formula(n, depth - 1, rng)).collect();
+        if rng.gen_bool(0.5) {
+            BoolFormula::And(kids)
+        } else {
+            BoolFormula::Or(kids)
+        }
+    }
+
+    #[test]
+    fn r5_iff_on_handcrafted_formulas() {
+        // φ = (x0 ∨ x1) ∧ (¬x0 ∨ x2): weight-2 solutions exist ({x1,x2}, {x0,x2}).
+        let phi = BoolFormula::and([
+            BoolFormula::or([BoolFormula::var(0), BoolFormula::var(1)]),
+            BoolFormula::or([BoolFormula::neg(0), BoolFormula::var(2)]),
+        ]);
+        for k in 0..=3 {
+            let inst = wformula_to_positive(&phi, 3, k);
+            assert_eq!(
+                has_weighted_formula_sat(&phi, k),
+                positive_eval::query_holds(&inst.query, &inst.database).unwrap(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn r5_query_is_prenex() {
+        let phi = BoolFormula::or([BoolFormula::var(0), BoolFormula::neg(1)]);
+        let inst = wformula_to_positive(&phi, 2, 1);
+        assert!(inst.query.is_prenex());
+    }
+
+    #[test]
+    fn r5_iff_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..5);
+            let phi = random_formula(n, 2, &mut rng);
+            for k in 1..=2.min(n) {
+                let inst = wformula_to_positive(&phi, n, k);
+                let lhs = weighted_formula_sat_n(&phi, n, k).is_some();
+                let rhs = positive_eval::query_holds(&inst.query, &inst.database).unwrap();
+                assert_eq!(lhs, rhs, "trial {trial}, k {k}, φ = {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn r6_iff_on_handcrafted_queries() {
+        use pq_query::parse_positive;
+        let mut db = Database::new();
+        db.add_table("R", ["a"], [tuple![1], tuple![2]]).unwrap();
+        db.add_table("S", ["a", "b"], [tuple![1, 2], tuple![2, 2]]).unwrap();
+        for src in [
+            "Q := exists x. (R(x) & S(x, x))",
+            "Q := exists x, y. (R(x) & S(x, y))",
+            "Q := exists x. (R(x) & S(x, 2))",
+            "Q := exists x, y. (S(x, y) & S(y, x))",
+        ] {
+            let q = parse_positive(src).unwrap();
+            let inst = prenex_positive_to_wformula(&q, &db).expect("prenex closed");
+            let lhs = positive_eval::query_holds(&q, &db).unwrap();
+            let rhs = weighted_formula_sat_n(&inst.formula, inst.num_vars, inst.k).is_some();
+            assert_eq!(lhs, rhs, "{src}");
+        }
+    }
+
+    #[test]
+    fn r6_rejects_non_prenex_and_open_queries() {
+        use pq_query::parse_positive;
+        let db = Database::new();
+        let q = parse_positive("Q := R(x) & exists y. S(y)").unwrap();
+        assert!(prenex_positive_to_wformula(&q, &db).is_err());
+        let q2 = parse_positive("Q(x) := exists y. S(x, y)").unwrap();
+        assert!(prenex_positive_to_wformula(&q2, &db).is_err());
+    }
+
+    #[test]
+    fn r5_r6_round_trip() {
+        // R5 produces a prenex query; feeding it to R6 must preserve the
+        // weighted-satisfiability answer.
+        let phi = BoolFormula::and([
+            BoolFormula::or([BoolFormula::var(0), BoolFormula::var(1)]),
+            BoolFormula::neg(2),
+        ]);
+        let k = 1;
+        let inst5 = wformula_to_positive(&phi, 3, k);
+        let inst6 = prenex_positive_to_wformula(&inst5.query, &inst5.database).unwrap();
+        assert_eq!(
+            weighted_formula_sat_n(&phi, 3, k).is_some(),
+            weighted_formula_sat_n(&inst6.formula, inst6.num_vars, inst6.k).is_some(),
+        );
+    }
+}

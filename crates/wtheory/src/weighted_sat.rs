@@ -1,0 +1,194 @@
+//! Weighted satisfiability — the defining problems of the W hierarchy
+//! (Section 2): "Given a circuit C and an integer k, is there a setting of
+//! the inputs of C with k inputs set to 1 so that the output of C is 1?"
+//!
+//! These exhaustive `C(n, k)`-subset solvers are the *ground truth* against
+//! which every reduction in [`crate::reductions`] is verified. Their
+//! exponential (in `k`, with `n^k`-ish enumeration) cost is the whole point:
+//! the W hierarchy conjectures nothing fundamentally better exists.
+
+use crate::circuit::Circuit;
+use crate::formula::{BoolFormula, Cnf};
+
+/// Enumerate all weight-`k` assignments of `n` variables, calling `test` on
+/// each; returns the first accepted assignment.
+fn first_weight_k(
+    n: usize,
+    k: usize,
+    mut test: impl FnMut(&[bool]) -> bool,
+) -> Option<Vec<usize>> {
+    if k > n {
+        return None;
+    }
+    let mut chosen: Vec<usize> = (0..k).collect();
+    let mut assignment = vec![false; n];
+    loop {
+        for a in assignment.iter_mut() {
+            *a = false;
+        }
+        for &i in &chosen {
+            assignment[i] = true;
+        }
+        if test(&assignment) {
+            return Some(chosen);
+        }
+        // Next k-combination in lexicographic order.
+        if k == 0 {
+            return None;
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            if chosen[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return None;
+            }
+        }
+        chosen[i] += 1;
+        for j in i + 1..k {
+            chosen[j] = chosen[j - 1] + 1;
+        }
+    }
+}
+
+/// Weighted circuit satisfiability: a weight-`k` satisfying input set, if
+/// any (the `W[P]` base problem; restricted to depth-`t` circuits it is the
+/// `W[t]` base problem).
+pub fn weighted_circuit_sat(c: &Circuit, k: usize) -> Option<Vec<usize>> {
+    first_weight_k(c.num_inputs, k, |a| c.eval(a))
+}
+
+/// Weighted formula satisfiability (the `W[SAT]` base problem).
+pub fn weighted_formula_sat(f: &BoolFormula, k: usize) -> Option<Vec<usize>> {
+    let n = f.num_variables();
+    first_weight_k(n, k, |a| f.eval(a))
+}
+
+/// Weighted formula satisfiability over an explicit variable count (for
+/// formulas whose highest variables appear only negatively or not at all).
+pub fn weighted_formula_sat_n(f: &BoolFormula, n: usize, k: usize) -> Option<Vec<usize>> {
+    first_weight_k(n.max(f.num_variables()), k, |a| f.eval(a))
+}
+
+/// Weighted CNF satisfiability (2-CNF is where the Theorem 1(1) upper-bound
+/// reduction lands; 3-CNF is the paper's `t = 1` base case).
+pub fn weighted_cnf_sat(cnf: &Cnf, k: usize) -> Option<Vec<usize>> {
+    first_weight_k(cnf.num_vars, k, |a| cnf.eval(a))
+}
+
+/// Decision versions.
+pub fn has_weighted_circuit_sat(c: &Circuit, k: usize) -> bool {
+    weighted_circuit_sat(c, k).is_some()
+}
+
+/// Decision version of [`weighted_formula_sat`].
+pub fn has_weighted_formula_sat(f: &BoolFormula, k: usize) -> bool {
+    weighted_formula_sat(f, k).is_some()
+}
+
+/// Decision version of [`weighted_cnf_sat`].
+pub fn has_weighted_cnf_sat(cnf: &Cnf, k: usize) -> bool {
+    weighted_cnf_sat(cnf, k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Gate;
+    use crate::formula::Lit;
+
+    #[test]
+    fn weight_k_enumeration_is_exhaustive() {
+        // Count the accepted assignments by always returning false but
+        // tallying calls.
+        let mut count = 0;
+        let _ = first_weight_k(5, 2, |a| {
+            assert_eq!(a.iter().filter(|&&b| b).count(), 2);
+            count += 1;
+            false
+        });
+        assert_eq!(count, 10); // C(5,2)
+    }
+
+    #[test]
+    fn weight_zero_and_overweight() {
+        let f = BoolFormula::and([]); // vacuously true
+        assert!(has_weighted_formula_sat(&f, 0));
+        let g = BoolFormula::var(0);
+        assert!(!has_weighted_formula_sat(&g, 2)); // k > n
+    }
+
+    #[test]
+    fn cnf_weighted_sat() {
+        // (x0 | x1) & (!x0 | x2): weight-2 solutions include {x1,x2}, {x0,x2}.
+        let cnf = Cnf::new(
+            3,
+            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0), Lit::pos(2)]],
+        );
+        let sol = weighted_cnf_sat(&cnf, 2).expect("satisfiable");
+        assert_eq!(sol.len(), 2);
+        assert!(!has_weighted_cnf_sat(&cnf, 0)); // x0|x1 needs a true var
+    }
+
+    #[test]
+    fn exactly_k_semantics() {
+        // x0 & !x1 with k = 2 over n = 2: the only weight-2 assignment sets
+        // both true, violating !x1.
+        let f = BoolFormula::and([BoolFormula::var(0), BoolFormula::neg(1)]);
+        assert!(!has_weighted_formula_sat(&f, 2));
+        assert!(has_weighted_formula_sat(&f, 1));
+    }
+
+    #[test]
+    fn circuit_weighted_sat_matches_formula() {
+        // (x0 ∧ x1) ∨ x2 as circuit and formula.
+        let c = Circuit::new(
+            3,
+            vec![
+                Gate::Input(0),
+                Gate::Input(1),
+                Gate::Input(2),
+                Gate::And(vec![0, 1]),
+                Gate::Or(vec![3, 2]),
+            ],
+            4,
+        );
+        let f = BoolFormula::or([
+            BoolFormula::and([BoolFormula::var(0), BoolFormula::var(1)]),
+            BoolFormula::var(2),
+        ]);
+        for k in 0..=3 {
+            assert_eq!(
+                has_weighted_circuit_sat(&c, k),
+                has_weighted_formula_sat(&f, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_returns_a_witness_that_checks_out() {
+        let cnf = Cnf::new(
+            4,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::pos(2), Lit::pos(3)],
+                vec![Lit::neg(0), Lit::neg(2)],
+            ],
+        );
+        if let Some(w) = weighted_cnf_sat(&cnf, 2) {
+            let mut a = vec![false; 4];
+            for i in w {
+                a[i] = true;
+            }
+            assert!(cnf.eval(&a));
+        } else {
+            panic!("expected satisfiable");
+        }
+    }
+}

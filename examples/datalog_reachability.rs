@@ -1,0 +1,71 @@
+//! Section 4's recursive languages: bottom-up Datalog evaluation, naive vs
+//! semi-naive, on transitive closure and same-generation workloads.
+//!
+//! Run with: `cargo run --release --example datalog_reachability`
+
+use std::time::Instant;
+
+use pq_data::{tuple, Database};
+use pq_engine::datalog_eval::{self, Strategy};
+use pq_query::parse_datalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dag(n: usize, avg_out: f64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool((avg_out / n as f64).min(1.0)) {
+                rows.push(tuple![a, b]);
+            }
+        }
+    }
+    let mut db = Database::new();
+    db.add_table("E", ["a", "b"], rows).unwrap();
+    db
+}
+
+fn main() {
+    let tc = parse_datalog(
+        "T(x, y) :- E(x, y).\n\
+         T(x, z) :- E(x, y), T(y, z).\n\
+         ?- T",
+    )
+    .unwrap();
+    println!("program:\n{tc}\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "nodes", "edges", "naive", "semi-naive", "rounds", "|T|"
+    );
+    for n in [50usize, 100, 200, 400] {
+        let db = random_dag(n, 3.0, 11);
+        let edges = db.relation("E").unwrap().len();
+
+        let t0 = Instant::now();
+        let (out_n, _) = datalog_eval::evaluate_with_stats(&tc, &db, Strategy::Naive).unwrap();
+        let t_naive = t0.elapsed();
+
+        let t0 = Instant::now();
+        let (out_s, stats) =
+            datalog_eval::evaluate_with_stats(&tc, &db, Strategy::SemiNaive).unwrap();
+        let t_semi = t0.elapsed();
+
+        assert_eq!(out_n.canonical_rows(), out_s.canonical_rows());
+        println!(
+            "{:>6} {:>8} {:>10.2?} {:>10.2?} {:>8} {:>8}",
+            n,
+            edges,
+            t_naive,
+            t_semi,
+            stats.rounds,
+            out_s.len()
+        );
+    }
+
+    println!();
+    println!("Fixed-arity Datalog is in W[1] (Section 4): every stage evaluates");
+    println!("bounded-variable conjunctive queries, and the fixpoint arrives in");
+    println!("at most n^r stages. Semi-naive evaluation only re-derives from the");
+    println!("delta, which is where its advantage over naive comes from.");
+}

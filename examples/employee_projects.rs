@@ -1,0 +1,88 @@
+//! The Section 5 motivating workloads, at scale: acyclic conjunctive
+//! queries with `≠` evaluated by the Theorem 2 color-coding engine, against
+//! the naive `n^q` evaluator — the paper's fixed-parameter tractability made
+//! visible.
+//!
+//! Run with: `cargo run --release --example employee_projects`
+
+use std::time::Instant;
+
+use pq_data::{tuple, Database};
+use pq_engine::colorcoding::{self, ColorCodingOptions};
+use pq_engine::naive;
+use pq_query::parse_cq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic university database: students, departments, courses.
+fn university(n_students: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let depts = ["cs", "math", "bio", "chem", "phys"];
+    let n_courses = 40;
+    let mut db = Database::new();
+
+    // Each course belongs to one department.
+    let course_dept: Vec<&str> =
+        (0..n_courses).map(|_| depts[rng.gen_range(0..depts.len())]).collect();
+    db.add_table(
+        "CD",
+        ["course", "dept"],
+        (0..n_courses).map(|c| tuple![format!("c{c}"), course_dept[c]]),
+    )
+    .unwrap();
+
+    // Students have a home department and 1–4 courses.
+    let mut sd = Vec::new();
+    let mut sc = Vec::new();
+    for s in 0..n_students {
+        let home = depts[rng.gen_range(0..depts.len())];
+        sd.push(tuple![format!("s{s}"), home]);
+        for _ in 0..rng.gen_range(1..=4) {
+            let c = rng.gen_range(0..n_courses);
+            sc.push(tuple![format!("s{s}"), format!("c{c}")]);
+        }
+    }
+    db.add_table("SD", ["student", "dept"], sd).unwrap();
+    db.add_table("SC", ["student", "course"], sc).unwrap();
+    db
+}
+
+fn main() {
+    // The paper's second Section 5 example: students taking courses outside
+    // their department — `G(s) :- SD(s,d), SC(s,c), CD(c,d'), d ≠ d'`.
+    let q = parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap();
+    println!("query: {q}");
+    println!("acyclic: {}   (the ≠ edge would make the hypergraph cyclic!)", q.is_acyclic());
+    println!();
+    println!(
+        "{:>9} {:>10} {:>14} {:>14} {:>8}",
+        "students", "db size", "colorcoding", "naive", "answers"
+    );
+
+    for n_students in [200usize, 400, 800, 1600, 3200] {
+        let db = university(n_students, 42);
+
+        let t0 = Instant::now();
+        let fast = colorcoding::evaluate(&q, &db, &ColorCodingOptions::default()).unwrap();
+        let t_cc = t0.elapsed();
+
+        let t0 = Instant::now();
+        let slow = naive::evaluate(&q, &db).unwrap();
+        let t_naive = t0.elapsed();
+
+        assert_eq!(fast, slow, "engines must agree");
+        println!(
+            "{:>9} {:>10} {:>12.2?} {:>12.2?} {:>8}",
+            n_students,
+            db.size(),
+            t_cc,
+            t_naive,
+            fast.len()
+        );
+    }
+
+    println!();
+    println!("Both engines agree on every size; the color-coding engine scales");
+    println!("near-linearly in the database (Theorem 2's g(v)·q·n·log n bound),");
+    println!("because the ≠ pair {{d, d2}} never co-occurs in an atom (k = 2).");
+}

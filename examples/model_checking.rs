@@ -1,0 +1,94 @@
+//! The paper's introduction motivates its question with model checking:
+//! "usually specifications are rather small (like queries) and programs are
+//! quite large (like databases)" — and LTL model checking is exponential in
+//! the spec but *linear in the program*. This example plays that analogy
+//! out inside the query world: a transition system is the database, small
+//! specs are queries, and the tractable engines keep evaluation polynomial
+//! in the model with the spec size only in the constant factor.
+//!
+//! Run with: `cargo run --release --example model_checking`
+
+use std::time::Instant;
+
+use pq_data::{tuple, Database};
+use pq_engine::datalog_eval::{self, Strategy};
+use pq_engine::fo_eval;
+use pq_query::{parse_datalog, parse_fo};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random transition system: states 0..n, ~2 successors each, a `Bad`
+/// label on a few states far from the initial state, `Init = {0}`.
+fn transition_system(n: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = n / 2;
+    let mut trans = Vec::new();
+    for s in 0..n {
+        if s < half {
+            // The reachable region: one guaranteed forward edge (staying in
+            // the region) plus one random edge within it.
+            let fwd = (s + rng.gen_range(1..4)).min(half - 1);
+            trans.push(tuple![s, fwd]);
+            trans.push(tuple![s, rng.gen_range(0..half)]);
+        } else {
+            // The unreachable region, where the Bad states live.
+            trans.push(tuple![s, rng.gen_range(half..n)]);
+        }
+    }
+    let mut db = Database::new();
+    db.add_table("Trans", ["s", "t"], trans).unwrap();
+    db.add_table("Init", ["s"], [tuple![0]]).unwrap();
+    db.add_table(
+        "Bad",
+        ["s"],
+        (0..3).map(|i| tuple![n - 1 - i * 7]),
+    )
+    .unwrap();
+    db
+}
+
+fn main() {
+    println!("spec 1 (safety, needs recursion): no reachable state is Bad");
+    println!("spec 2 (deadlock freedom, plain FO): every state has a successor\n");
+
+    let reach = parse_datalog(
+        "Reach(s) :- Init(s).\n\
+         Reach(t) :- Reach(s), Trans(s, t).\n\
+         ?- Reach",
+    )
+    .unwrap();
+    let violation = parse_fo("V := exists s. (Reach(s) & Bad(s))").unwrap();
+    let deadlock_free = parse_fo("D := forall s. (!Reach(s) | exists t. Trans(s, t))").unwrap();
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>10}",
+        "states", "reachable", "reach time", "safety", "no-deadlock"
+    );
+    for n in [100usize, 400, 1600, 6400] {
+        let db = transition_system(n, 9);
+        let t0 = Instant::now();
+        let reachable = datalog_eval::evaluate(&reach, &db, Strategy::SemiNaive).unwrap();
+        let d_reach = t0.elapsed();
+
+        // Extend the database with the computed Reach relation, then ask
+        // the FO specs — small specs, big model.
+        let mut db2 = db.clone();
+        db2.set_relation("Reach", reachable.clone());
+        let safe = !fo_eval::query_holds(&violation, &db2).unwrap();
+        let live = fo_eval::query_holds(&deadlock_free, &db2).unwrap();
+        println!(
+            "{:>8} {:>10} {:>12.2?} {:>10} {:>10}",
+            n,
+            reachable.len(),
+            d_reach,
+            safe,
+            live
+        );
+    }
+
+    println!("\nThe model grows 64×; the spec stays fixed. Bottom-up Datalog keeps");
+    println!("reachability polynomial in the model, and the FO specs evaluate in");
+    println!("O(q · n^v) with v = 2 — the shape the paper asks query evaluation");
+    println!("to have, and which Theorems 1–3 show is only available for special");
+    println!("query classes.");
+}

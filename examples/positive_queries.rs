@@ -1,0 +1,74 @@
+//! Theorem 1(2) live: positive queries, W[SAT], and the prenex caveat.
+//!
+//! Walks the two directions tying positive queries (parameter `v`) to
+//! weighted formula satisfiability, shows the union-of-CQs expansion
+//! exploding exponentially in `q` (while remaining a legal parametric
+//! reduction), and demonstrates why prenexing does not preserve `v`.
+//!
+//! Run with: `cargo run --release --example positive_queries`
+
+use pq_engine::positive_eval;
+use pq_query::{parse_positive, QueryMetrics};
+use pq_wtheory::formula::BoolFormula;
+use pq_wtheory::reductions::wformula_positive;
+use pq_wtheory::weighted_sat::weighted_formula_sat_n;
+
+fn main() {
+    // -- R5: a weighted-satisfiability question as a database query --------
+    // φ = (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (x2 ∨ ¬x3), k = 2.
+    let phi = BoolFormula::and([
+        BoolFormula::or([BoolFormula::var(0), BoolFormula::var(1)]),
+        BoolFormula::or([BoolFormula::neg(0), BoolFormula::var(2)]),
+        BoolFormula::or([BoolFormula::var(1), BoolFormula::neg(2)]),
+    ]);
+    let (n, k) = (3, 2);
+    println!("φ = {phi},  weight k = {k}");
+    let truth = weighted_formula_sat_n(&phi, n, k).is_some();
+    println!("weighted satisfiability (ground truth): {truth}");
+
+    let inst = wformula_positive::wformula_to_positive(&phi, n, k);
+    println!("\nR5 database: EQ with {} tuples, NEQ with {} tuples",
+        inst.database.relation("EQ").unwrap().len(),
+        inst.database.relation("NEQ").unwrap().len());
+    println!("R5 query (prenex, v = {}):", inst.query.num_variables());
+    println!("  {}", inst.query);
+    let via_query = positive_eval::query_holds(&inst.query, &inst.database).unwrap();
+    println!("query evaluates to: {via_query}   (must equal ground truth: {})",
+        via_query == truth);
+    assert_eq!(via_query, truth);
+
+    // -- R6: and back again -------------------------------------------------
+    let back = wformula_positive::prenex_positive_to_wformula(&inst.query, &inst.database)
+        .expect("R5 output is prenex and closed");
+    println!("\nR6 round trip: Boolean formula over {} z-variables, weight {}",
+        back.num_vars, back.k);
+    let round = weighted_formula_sat_n(&back.formula, back.num_vars, back.k).is_some();
+    assert_eq!(round, truth);
+    println!("round-trip answer preserved: {round}");
+
+    // -- The union-of-CQs expansion is exponential in q ----------------------
+    println!("\nunion-of-CQs expansion (the W[1] membership route, parameter q):");
+    for m in 1..=4usize {
+        // (A1 ∨ B1) ∧ … ∧ (Am ∨ Bm): 2^m disjuncts.
+        let mut src = String::from("Q(x) := ");
+        for i in 0..m {
+            if i > 0 {
+                src.push_str(" & ");
+            }
+            src.push_str(&format!("(A{i}(x) | B{i}(x))"));
+        }
+        let q = parse_positive(&src).unwrap();
+        println!("  {} conjuncts → {} CQ disjuncts (q = {})",
+            m, q.to_union_of_cqs().len(), q.size());
+    }
+
+    // -- The prenex caveat: prenexing grows v --------------------------------
+    let q = parse_positive("Q(x) := exists y. R(x, y) | exists y. S(x, y)").unwrap();
+    let (quants, _) = q.to_prenex();
+    println!("\nprenex caveat:");
+    println!("  original:  {q}    (v = {})", q.num_variables());
+    println!("  prenexing renames the sibling scopes: quantifier block {quants:?}");
+    println!("  → v grows from {} to {} — why the paper's W[SAT]-completeness",
+        q.num_variables(), quants.len() + 1);
+    println!("    under parameter v is stated for *prenex* positive queries only.");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate: re-exports the whole workspace for examples and integration tests.
+pub use pq_core as core;
+pub use pq_data as data;
+pub use pq_engine as engine;
+pub use pq_hypergraph as hypergraph;
+pub use pq_query as query;
+pub use pq_wtheory as wtheory;

@@ -1,0 +1,185 @@
+//! Integration tests for the reduction web of Theorems 1 and 3: every
+//! reduction chained with its converse and checked against ground truth.
+
+use pq_engine::{bounded_var, fo_eval, naive, positive_eval};
+use pq_query::{parse_cq, parse_positive, QueryMetrics};
+use pq_wtheory::formula::BoolFormula;
+use pq_wtheory::graphs::{random_graph, Graph};
+use pq_wtheory::reductions::{
+    circuit_to_fo, clique_to_comparisons, clique_to_cq, cq_to_w2cnf, hampath_to_neq,
+    positive_to_clique, wformula_positive,
+};
+use pq_wtheory::weighted_sat::{
+    has_weighted_circuit_sat, has_weighted_cnf_sat, weighted_formula_sat_n,
+};
+use pq_wtheory::{Circuit, Gate, ParamVariant};
+
+/// R1 ∘ R2 ∘ R10: clique → CQ → weighted 2-CNF → conflict-graph clique.
+/// The full circle must preserve the answer.
+#[test]
+fn w1_completeness_circle() {
+    for seed in 0..8 {
+        let g = random_graph(7, 0.5, seed);
+        for k in 2..=3 {
+            let truth = g.has_clique(k);
+            let (db, q) = clique_to_cq::reduce(&g, k);
+            assert_eq!(naive::is_nonempty(&q, &db).unwrap(), truth, "R1 seed {seed} k {k}");
+            let inst = cq_to_w2cnf::reduce(&q, &db).unwrap();
+            assert_eq!(has_weighted_cnf_sat(&inst.cnf, inst.k), truth, "R2 seed {seed} k {k}");
+            let back = cq_to_w2cnf::conflict_graph(&inst);
+            assert_eq!(back.has_clique(inst.k), truth, "R10 seed {seed} k {k}");
+        }
+    }
+}
+
+/// R3: the bounded-variable transformation preserves answers, and the new
+/// query size is bounded by a function of v alone.
+#[test]
+fn bounded_variable_transformation() {
+    let g = random_graph(8, 0.4, 3);
+    let (db, q) = clique_to_cq::reduce(&g, 3);
+    let inst = bounded_var::transform(&q, &db).unwrap();
+    assert!(inst.query.size() <= (1 << q.num_variables()) * (q.num_variables() + 2));
+    assert_eq!(
+        naive::is_nonempty(&q, &db).unwrap(),
+        naive::is_nonempty(&inst.query, &inst.database).unwrap()
+    );
+}
+
+/// R5 then R6: weighted formula sat → positive query → weighted formula
+/// sat. Answers preserved at every hop.
+#[test]
+fn wsat_positive_roundtrip() {
+    let phis = [
+        BoolFormula::and([
+            BoolFormula::or([BoolFormula::var(0), BoolFormula::var(1)]),
+            BoolFormula::or([BoolFormula::neg(0), BoolFormula::var(2)]),
+        ]),
+        BoolFormula::or([
+            BoolFormula::and([BoolFormula::var(0), BoolFormula::neg(1), BoolFormula::var(2)]),
+            BoolFormula::and([BoolFormula::neg(0), BoolFormula::var(1)]),
+        ]),
+    ];
+    for phi in &phis {
+        let n = 3;
+        for k in 1..=2 {
+            let truth = weighted_formula_sat_n(phi, n, k).is_some();
+            let inst5 = wformula_positive::wformula_to_positive(phi, n, k);
+            assert_eq!(
+                positive_eval::query_holds(&inst5.query, &inst5.database).unwrap(),
+                truth,
+                "R5 φ={phi} k={k}"
+            );
+            let inst6 =
+                wformula_positive::prenex_positive_to_wformula(&inst5.query, &inst5.database)
+                    .unwrap();
+            assert_eq!(
+                weighted_formula_sat_n(&inst6.formula, inst6.num_vars, inst6.k).is_some(),
+                truth,
+                "R6 φ={phi} k={k}"
+            );
+        }
+    }
+}
+
+/// R4/footnote 2: positive query → one clique instance.
+#[test]
+fn positive_query_to_single_clique_instance() {
+    let mut db = pq_data::Database::new();
+    db.add_table("R", ["a"], [pq_data::tuple![1], pq_data::tuple![2]]).unwrap();
+    db.add_table("E", ["a", "b"], [pq_data::tuple![1, 2], pq_data::tuple![2, 1]]).unwrap();
+    for src in [
+        "Q := exists x, y. (E(x, y) & E(y, x) & R(x))",
+        "Q := exists x. (R(x) & E(x, x)) | exists x, y. E(x, y)",
+        "Q := exists x. (R(x) & E(x, x))",
+    ] {
+        let q = parse_positive(src).unwrap();
+        let inst = positive_to_clique::reduce(&q, &db).unwrap();
+        assert_eq!(
+            positive_eval::query_holds(&q, &db).unwrap(),
+            inst.graph.has_clique(inst.k),
+            "{src}"
+        );
+    }
+}
+
+/// R7: monotone circuits, both the W[P] view (any depth) and the W[t] view
+/// (the alternating depth is recorded in the instance).
+#[test]
+fn circuit_to_fo_depth_bookkeeping() {
+    // Depth-4 alternating circuit: OR(AND(OR(AND(x0,x1), x2), x3), x4).
+    let c = Circuit::new(
+        5,
+        vec![
+            Gate::Input(0),
+            Gate::Input(1),
+            Gate::Input(2),
+            Gate::Input(3),
+            Gate::Input(4),
+            Gate::And(vec![0, 1]),
+            Gate::Or(vec![5, 2]),
+            Gate::And(vec![6, 3]),
+            Gate::Or(vec![7, 4]),
+        ],
+        8,
+    );
+    for k in 1..=3 {
+        let inst = circuit_to_fo::reduce(&c, k).unwrap();
+        assert_eq!(inst.alternating.top_level, 4, "t = 2");
+        assert_eq!(
+            fo_eval::query_holds(&inst.query, &inst.database).unwrap(),
+            has_weighted_circuit_sat(&c, k),
+            "k={k}"
+        );
+        // v = k + 2, the paper's count.
+        assert_eq!(inst.query.num_variables(), k + 2);
+    }
+}
+
+/// R8: Hamiltonian path ↔ acyclic ≠-query, against the DP solver.
+#[test]
+fn hamiltonian_reduction_battery() {
+    let cases: Vec<(Graph, bool)> = vec![
+        (Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]), true),
+        (Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]), false),
+        (Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]), true),
+        (Graph::new(3), false),
+    ];
+    for (g, expected) in cases {
+        assert_eq!(g.has_hamiltonian_path(), expected);
+        let (db, q) = hampath_to_neq::reduce(&g);
+        assert_eq!(naive::is_nonempty(&q, &db).unwrap(), expected);
+    }
+}
+
+/// R9: the Theorem 3 arithmetic on a graph where the k-clique exists and
+/// one where it does not, plus the acyclicity claims.
+#[test]
+fn comparison_reduction_structure() {
+    let yes = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+    let no = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+    for (g, expected) in [(yes, true), (no, false)] {
+        let (db, q) = clique_to_comparisons::reduce(&g, 3);
+        assert!(q.is_acyclic());
+        assert!(pq_engine::comparisons::is_acyclic_with_comparisons(&q).unwrap());
+        assert_eq!(naive::is_nonempty(&q, &db).unwrap(), expected);
+    }
+}
+
+/// Proposition 1 / Fig. 1: replay the R1 hardness instance across all four
+/// parameterizations — the identity map carries it everywhere, and the
+/// hardness predicate derived from Theorem 1 is upward closed.
+#[test]
+fn fig1_proposition1_holds_for_theorem1() {
+    // Theorem 1 proves W[1]-hardness at (q, fixed schema) — the bottom of
+    // the diamond — so hardness must hold at all four variants.
+    let hard = |_v: ParamVariant| true; // all four are W[1]-hard per Thm 1
+    assert!(ParamVariant::proposition1_violations(hard).is_empty());
+
+    // And a hypothetical result only at the top would violate nothing,
+    // while one only at the bottom implies the rest (checked in-unit in
+    // pq-wtheory; here we just confirm the lattice shape end-to-end).
+    let [qf, qv, vf, vv] = ParamVariant::all();
+    assert!(qf.reduces_to(vv));
+    assert!(qv.reduces_to(vv) && vf.reduces_to(vv));
+}
