@@ -12,10 +12,18 @@ fn transitive_closure(c: &mut Criterion) {
     for n in [40usize, 80, 160] {
         let db = dag_database(n, 2.5, 19);
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| datalog_eval::evaluate(&p, &db, Strategy::Naive).unwrap().len())
+            b.iter(|| {
+                datalog_eval::evaluate(&p, &db, Strategy::Naive)
+                    .unwrap()
+                    .len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
-            b.iter(|| datalog_eval::evaluate(&p, &db, Strategy::SemiNaive).unwrap().len())
+            b.iter(|| {
+                datalog_eval::evaluate(&p, &db, Strategy::SemiNaive)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

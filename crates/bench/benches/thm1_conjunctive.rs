@@ -13,11 +13,9 @@ fn clique_query_scaling(c: &mut Criterion) {
     for k in [2usize, 3] {
         for n in [24usize, 48, 96] {
             let (db, q) = clique_instance(n, 0.3, k, 42);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &n,
-                |b, _| b.iter(|| naive::is_nonempty(&q, &db).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+                b.iter(|| naive::is_nonempty(&q, &db).unwrap())
+            });
         }
     }
     group.finish();
@@ -32,11 +30,9 @@ fn clique_query_scaling_indexed(c: &mut Criterion) {
     for k in [2usize, 3] {
         for n in [24usize, 48, 96] {
             let (db, q) = clique_instance(n, 0.3, k, 5);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &n,
-                |b, _| b.iter(|| naive_indexed::evaluate(&q, &db).unwrap().len()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+                b.iter(|| naive_indexed::evaluate(&q, &db).unwrap().len())
+            });
         }
     }
     group.finish();

@@ -40,13 +40,9 @@ fn fo_theta_tower_eval(c: &mut Criterion) {
         for k in [1usize, 2] {
             let circuit = layered_circuit(width, 3);
             let inst = circuit_to_fo::reduce(&circuit, k).expect("monotone, k ≤ inputs");
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), width),
-                &width,
-                |b, _| {
-                    b.iter(|| fo_eval::query_holds(&inst.query, &inst.database).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), width), &width, |b, _| {
+                b.iter(|| fo_eval::query_holds(&inst.query, &inst.database).unwrap())
+            });
         }
     }
     group.finish();

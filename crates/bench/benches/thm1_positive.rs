@@ -23,11 +23,9 @@ fn positive_query_evaluation(c: &mut Criterion) {
         let phi = band_formula(n);
         for k in [2usize, 3] {
             let inst = wformula_to_positive(&phi, n, k);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &n,
-                |b, _| b.iter(|| positive_eval::query_holds(&inst.query, &inst.database).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+                b.iter(|| positive_eval::query_holds(&inst.query, &inst.database).unwrap())
+            });
         }
     }
     group.finish();

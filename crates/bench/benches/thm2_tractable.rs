@@ -58,7 +58,9 @@ fn crossover_vs_naive(c: &mut Criterion) {
         let db = university_database(n, 40, 3);
         group.bench_with_input(BenchmarkId::new("colorcoding", n), &n, |b, _| {
             b.iter(|| {
-                colorcoding::evaluate(&q, &db, &ColorCodingOptions::default()).unwrap().len()
+                colorcoding::evaluate(&q, &db, &ColorCodingOptions::default())
+                    .unwrap()
+                    .len()
             })
         });
         group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
@@ -75,7 +77,10 @@ fn ablation_a1_attribute_minimization(c: &mut Criterion) {
     let db = chain_database(6, 800, 50, 4);
     for (label, minimize) in [("minimized", true), ("wide", false)] {
         let opts = ColorCodingOptions {
-            family: HashFamily::Random { trials: 20, seed: 8 },
+            family: HashFamily::Random {
+                trials: 20,
+                seed: 8,
+            },
             minimize_hashed_attrs: minimize,
         };
         group.bench_function(label, |b| {

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pq_bench::workloads::{chain_database, chain_query};
-use pq_engine::yannakakis::{self, EvalOptions};
 use pq_engine::naive;
+use pq_engine::yannakakis::{self, EvalOptions};
 
 fn chain_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("yannakakis/chain_vs_naive");
@@ -43,13 +43,24 @@ fn ablation_a3_downward_pass(c: &mut Criterion) {
     let q = chain_query(5);
     let db = chain_database(5, 1500, 60, 31);
     for (label, downward) in [("with_downward", true), ("without_downward", false)] {
-        let opts = EvalOptions { downward_pass: downward };
+        let opts = EvalOptions {
+            downward_pass: downward,
+        };
         group.bench_function(label, |b| {
-            b.iter(|| yannakakis::evaluate_with_options(&q, &db, opts).unwrap().len())
+            b.iter(|| {
+                yannakakis::evaluate_with_options(&q, &db, opts)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, chain_queries, emptiness_is_cheaper, ablation_a3_downward_pass);
+criterion_group!(
+    benches,
+    chain_queries,
+    emptiness_is_cheaper,
+    ablation_a3_downward_pass
+);
 criterion_main!(benches);

@@ -95,7 +95,10 @@ fn fig1() {
     let ans = naive::is_nonempty(&q, &db).unwrap();
     println!("\nSample instance: clique-3 query on G(12, .4); answer {ans}.");
     println!("  as (q, .): parameter q = {}", q.size());
-    println!("  as (v, .): parameter v = {}  (v <= q ok)", q.num_variables());
+    println!(
+        "  as (v, .): parameter v = {}  (v <= q ok)",
+        q.num_variables()
+    );
     println!("  schema: 1 binary relation — already fixed-schema");
 }
 
@@ -104,10 +107,16 @@ fn fig1() {
 fn thm1() {
     header("Theorem 1 — the classification table (E2, E3, E4)");
     println!("\nPaper's table:");
-    println!("{:>14} | {:^22} | {:^22}", "language", "parameter q", "parameter v");
+    println!(
+        "{:>14} | {:^22} | {:^22}",
+        "language", "parameter q", "parameter v"
+    );
     println!("{:-<14}-+-{:-<22}-+-{:-<22}", "", "", "");
     for row in theorem1_table() {
-        println!("{:>14} | {:^22} | {:^22}", row.language, row.param_q, row.param_v);
+        println!(
+            "{:>14} | {:^22} | {:^22}",
+            row.language, row.param_q, row.param_v
+        );
     }
 
     // --- Row 1: conjunctive (E2) -----------------------------------------
@@ -148,7 +157,11 @@ fn thm1() {
     println!("  fitted log-log slope of time vs n should grow with k):");
     for k in [2usize, 3] {
         let mut pts = Vec::new();
-        let sizes: &[usize] = if k == 2 { &[24, 48, 96, 192] } else { &[24, 48, 96] };
+        let sizes: &[usize] = if k == 2 {
+            &[24, 48, 96, 192]
+        } else {
+            &[24, 48, 96]
+        };
         for &n in sizes {
             let (db, q) = workloads::clique_instance(n, 0.3, k, 5);
             let d = time_min(2, || naive::evaluate(&q, &db).unwrap().len());
@@ -229,8 +242,9 @@ fn random_nnf(n: usize, depth: usize, rng: &mut rand::rngs::StdRng) -> BoolFormu
     if depth == 0 || rng.gen_bool(0.3) {
         return BoolFormula::Lit(rng.gen_range(0..n), rng.gen_bool(0.6));
     }
-    let kids: Vec<BoolFormula> =
-        (0..rng.gen_range(2..4)).map(|_| random_nnf(n, depth - 1, rng)).collect();
+    let kids: Vec<BoolFormula> = (0..rng.gen_range(2..4))
+        .map(|_| random_nnf(n, depth - 1, rng))
+        .collect();
     if rng.gen_bool(0.5) {
         BoolFormula::And(kids)
     } else {
@@ -296,7 +310,10 @@ fn thm2() {
 
     // (b) n-sweep at fixed k = 2: near-linear (slope ~ 1).
     println!("\nn-sweep (k = 2, deterministic log-size 2-perfect family):");
-    println!("{:>10} {:>12} {:>12} {:>8}", "students", "colorcoding", "naive", "answers");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "students", "colorcoding", "naive", "answers"
+    );
     let mut pts_cc = Vec::new();
     let mut pts_nv = Vec::new();
     for n in [400usize, 800, 1600, 3200] {
@@ -377,7 +394,10 @@ fn thm3() {
         pts.push((n as f64, d.as_secs_f64()));
         println!("  n = {n:>3}: {}", fmt_duration(d));
     }
-    println!("  fitted n-exponent = {:+.2} (super-linear, grows with k)", fit_log_log_slope(&pts));
+    println!(
+        "  fitted n-exponent = {:+.2} (super-linear, grows with k)",
+        fit_log_log_slope(&pts)
+    );
     println!("\nConclusion matches the paper: the != tractability of Theorem 2 does");
     println!("not extend to order comparisons.");
 }
@@ -388,16 +408,28 @@ fn yannakakis_exp() {
     header("Yannakakis baseline [18] — acyclic pure CQs in poly(input+output) (E6)");
     let q = workloads::chain_query(4);
     println!("\nchain query: {q}");
-    println!("{:>8} {:>12} {:>12} {:>10}", "tuples", "yannakakis", "naive", "answers");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "tuples", "yannakakis", "naive", "answers"
+    );
     let mut pts = Vec::new();
     for n in [300usize, 600, 1200, 2400] {
         let db = workloads::chain_database(4, n, (n as i64) / 4, 21);
         let (out, d_y) = time_once(|| yannakakis::evaluate(&q, &db).unwrap());
         let d_n = time_min(1, || naive::evaluate(&q, &db).unwrap());
         pts.push((n as f64, d_y.as_secs_f64()));
-        println!("{:>8} {:>12} {:>12} {:>10}", n, fmt_duration(d_y), fmt_duration(d_n), out.len());
+        println!(
+            "{:>8} {:>12} {:>12} {:>10}",
+            n,
+            fmt_duration(d_y),
+            fmt_duration(d_n),
+            out.len()
+        );
     }
-    println!("fitted n-exponent (yannakakis) = {:+.2}", fit_log_log_slope(&pts));
+    println!(
+        "fitted n-exponent (yannakakis) = {:+.2}",
+        fit_log_log_slope(&pts)
+    );
     println!("(output size grows with n here, so the poly(input+output) bound");
     println!(" allows a slope above 1; emptiness alone stays near-linear)");
 }
@@ -453,10 +485,12 @@ fn extensions() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(4);
-        let rows1: Vec<_> =
-            (0..60).map(|_| tuple![rng.gen_range(0..10i64), rng.gen_range(0..10i64)]).collect();
-        let rows2: Vec<_> =
-            (0..60).map(|_| tuple![rng.gen_range(0..10i64), rng.gen_range(0..10i64)]).collect();
+        let rows1: Vec<_> = (0..60)
+            .map(|_| tuple![rng.gen_range(0..10i64), rng.gen_range(0..10i64)])
+            .collect();
+        let rows2: Vec<_> = (0..60)
+            .map(|_| tuple![rng.gen_range(0..10i64), rng.gen_range(0..10i64)])
+            .collect();
         db.add_table("R", ["a", "b"], rows1).unwrap();
         db.add_table("S", ["b", "c"], rows2).unwrap();
     }
@@ -502,8 +536,16 @@ fn extensions() {
         for k2 in 1..=2usize {
             total += 1;
             let blocks = vec![
-                Block { quant: Quant::Exists, vars: vec![0, 1], k: k1 },
-                Block { quant: Quant::Forall, vars: vec![2, 3], k: k2 },
+                Block {
+                    quant: Quant::Exists,
+                    vars: vec![0, 1],
+                    k: k1,
+                },
+                Block {
+                    quant: Quant::Forall,
+                    vars: vec![2, 3],
+                    k: k2,
+                },
             ];
             let inst = alternating::reduce(&c, &blocks).unwrap();
             let lhs = alternating::alternating_circuit_sat(&c, &blocks);
@@ -520,7 +562,8 @@ fn extensions() {
     let mut db2 = Database::new();
     {
         use pq_data::tuple;
-        db2.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        db2.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]])
+            .unwrap();
         db2.add_table("L", ["a"], [tuple![1], tuple![2]]).unwrap();
     }
     println!("\n[X3] prenex FO (param v) <-> alternating weighted formula sat:");
@@ -543,14 +586,18 @@ fn extensions() {
             ok += 1;
         }
     }
-    println!("  {ok}/{} prenex specs agree across the reduction", specs.len());
+    println!(
+        "  {ok}/{} prenex specs agree across the reduction",
+        specs.len()
+    );
 
     // X4: Datalog through W[1] oracles.
     use pq_wtheory::reductions::datalog_w1;
     let mut db3 = Database::new();
     {
         use pq_data::tuple;
-        db3.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 3]]).unwrap();
+        db3.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 3]])
+            .unwrap();
     }
     let p = workloads::tc_program();
     let (via_w1, transcript) = datalog_w1::evaluate_via_w1(&p, &db3).unwrap();

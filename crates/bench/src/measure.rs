@@ -26,8 +26,10 @@ pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
 /// "naive evaluation of the clique-k query grows like n^{slope}".
 pub fn fit_log_log_slope(points: &[(f64, f64)]) -> f64 {
     assert!(points.len() >= 2, "need at least two points to fit");
-    let logs: Vec<(f64, f64)> =
-        points.iter().map(|&(x, y)| (x.ln(), y.max(1e-12).ln())).collect();
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| (x.ln(), y.max(1e-12).ln()))
+        .collect();
     let n = logs.len() as f64;
     let sx: f64 = logs.iter().map(|p| p.0).sum();
     let sy: f64 = logs.iter().map(|p| p.1).sum();
@@ -53,11 +55,13 @@ mod tests {
 
     #[test]
     fn slope_recovers_known_exponents() {
-        let quad: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2))).collect();
+        let quad: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2)))
+            .collect();
         assert!((fit_log_log_slope(&quad) - 2.0).abs() < 1e-9);
-        let lin: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64 * 100.0, 7.0 * i as f64 * 100.0)).collect();
+        let lin: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 100.0, 7.0 * i as f64 * 100.0))
+            .collect();
         assert!((fit_log_log_slope(&lin) - 1.0).abs() < 1e-9);
     }
 

@@ -19,7 +19,12 @@ pub fn chain_database(len: usize, n_tuples: usize, n_vals: i64, seed: u64) -> Da
     for i in 0..len {
         let rows =
             (0..n_tuples).map(|_| tuple![rng.gen_range(0..n_vals), rng.gen_range(0..n_vals)]);
-        db.add_table(format!("R{i}"), [format!("a{i}"), format!("a{}", i + 1)], rows).unwrap();
+        db.add_table(
+            format!("R{i}"),
+            [format!("a{i}"), format!("a{}", i + 1)],
+            rows,
+        )
+        .unwrap();
     }
     db
 }
@@ -74,9 +79,15 @@ pub fn university_database(n_students: usize, n_courses: usize, seed: u64) -> Da
     let mut sd = Vec::new();
     let mut sc = Vec::new();
     for s in 0..n_students {
-        sd.push(tuple![format!("s{s}"), depts[rng.gen_range(0..depts.len())]]);
+        sd.push(tuple![
+            format!("s{s}"),
+            depts[rng.gen_range(0..depts.len())]
+        ]);
         for _ in 0..rng.gen_range(1..=4) {
-            sc.push(tuple![format!("s{s}"), format!("c{}", rng.gen_range(0..n_courses))]);
+            sc.push(tuple![
+                format!("s{s}"),
+                format!("c{}", rng.gen_range(0..n_courses))
+            ]);
         }
     }
     db.add_table("SD", ["student", "dept"], sd).unwrap();
@@ -121,6 +132,28 @@ pub fn comparison_instance(n: usize, p: f64, k: usize, seed: u64) -> (Database, 
     pq_wtheory::reductions::clique_to_comparisons::reduce(&g, k)
 }
 
+/// E8 (Vardi [16]): a Datalog family whose IDB arity grows with `k`. The
+/// program derives every `k`-tuple over the active domain reachable through
+/// `D`, so the fixpoint materializes `n^k` tuples — the query size is
+/// polynomial in `k` but the evaluation provably needs `n^k` work, which is
+/// Section 4's point that for recursive languages the parameter is
+/// *provably* in the exponent.
+pub fn vardi_program(k: usize) -> DatalogProgram {
+    assert!(k >= 1);
+    let vars: Vec<String> = (0..k).map(|i| format!("x{i}")).collect();
+    let head = format!("W({})", vars.join(", "));
+    let body: Vec<String> = vars.iter().map(|v| format!("D({v})")).collect();
+    let src = format!("{head} :- {body}.\n?- W", body = body.join(", "));
+    pq_query::parse_datalog(&src).unwrap()
+}
+
+/// The unary domain relation for [`vardi_program`].
+pub fn vardi_database(n: i64) -> Database {
+    let mut db = Database::new();
+    db.add_table("D", ["v"], (0..n).map(|i| tuple![i])).unwrap();
+    db
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,7 +184,11 @@ mod tests {
             assert!(p.validate().is_ok());
             let db = vardi_database(4);
             let out = pq_engine::datalog_eval::evaluate(
-                &p, &db, pq_engine::datalog_eval::Strategy::SemiNaive).unwrap();
+                &p,
+                &db,
+                pq_engine::datalog_eval::Strategy::SemiNaive,
+            )
+            .unwrap();
             assert_eq!(out.len(), 4usize.pow(k as u32));
         }
     }
@@ -162,26 +199,4 @@ mod tests {
         let q = chain_query(3);
         assert!(pq_engine::naive::evaluate(&q, &db).is_ok());
     }
-}
-
-/// E8 (Vardi [16]): a Datalog family whose IDB arity grows with `k`. The
-/// program derives every `k`-tuple over the active domain reachable through
-/// `D`, so the fixpoint materializes `n^k` tuples — the query size is
-/// polynomial in `k` but the evaluation provably needs `n^k` work, which is
-/// Section 4's point that for recursive languages the parameter is
-/// *provably* in the exponent.
-pub fn vardi_program(k: usize) -> DatalogProgram {
-    assert!(k >= 1);
-    let vars: Vec<String> = (0..k).map(|i| format!("x{i}")).collect();
-    let head = format!("W({})", vars.join(", "));
-    let body: Vec<String> = vars.iter().map(|v| format!("D({v})")).collect();
-    let src = format!("{head} :- {body}.\n?- W", body = body.join(", "));
-    pq_query::parse_datalog(&src).unwrap()
-}
-
-/// The unary domain relation for [`vardi_program`].
-pub fn vardi_database(n: i64) -> Database {
-    let mut db = Database::new();
-    db.add_table("D", ["v"], (0..n).map(|i| tuple![i])).unwrap();
-    db
 }

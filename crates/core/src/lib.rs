@@ -38,7 +38,10 @@ pub mod classify;
 pub mod planner;
 
 pub use classify::{classify, Classification, CqClass};
-pub use planner::{decide, evaluate, is_nonempty, plan, Plan, PlannerOptions};
+pub use planner::{
+    decide, evaluate, evaluate_with_fallback, is_nonempty, plan, FallbackAttempt, FallbackOutcome,
+    Plan, PlannerOptions,
+};
 
 pub use pq_data as data;
 pub use pq_engine as engine;

@@ -3,7 +3,8 @@
 
 use pq_data::{Database, Relation, Tuple};
 use pq_engine::colorcoding::{ColorCodingOptions, HashFamily};
-use pq_engine::{colorcoding, naive, yannakakis, EngineError, Result};
+use pq_engine::governor::{ExecutionContext, ResourceKind};
+use pq_engine::{colorcoding, naive, naive_indexed, yannakakis, EngineError, Result};
 use pq_query::ConjunctiveQuery;
 
 use crate::classify::{classify, Classification, CqClass};
@@ -24,7 +25,11 @@ pub struct PlannerOptions {
 
 impl Default for PlannerOptions {
     fn default() -> Self {
-        PlannerOptions { deterministic_k_limit: 4, randomized_confidence: 5.0, seed: 0x9e3779b9 }
+        PlannerOptions {
+            deterministic_k_limit: 4,
+            randomized_confidence: 5.0,
+            seed: 0x9e3779b9,
+        }
     }
 }
 
@@ -53,12 +58,18 @@ pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
         CqClass::InconsistentComparisons => "constant (empty answer)",
         CqClass::AcyclicComparisons | CqClass::Cyclic => "naive backtracking",
     };
-    Plan { classification, engine }
+    Plan {
+        classification,
+        engine,
+    }
 }
 
 fn cc_options(k: usize, opts: &PlannerOptions) -> ColorCodingOptions {
     if k <= opts.deterministic_k_limit {
-        ColorCodingOptions { family: HashFamily::Perfect, minimize_hashed_attrs: true }
+        ColorCodingOptions {
+            family: HashFamily::Perfect,
+            minimize_hashed_attrs: true,
+        }
     } else {
         ColorCodingOptions::randomized(k, opts.randomized_confidence, opts.seed)
     }
@@ -95,6 +106,124 @@ pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database, opts: &PlannerOptions) -
     }
 }
 
+/// One attempt in the graceful-degradation chain of
+/// [`evaluate_with_fallback`].
+#[derive(Debug, Clone)]
+pub struct FallbackAttempt {
+    /// The engine tried.
+    pub engine: &'static str,
+    /// `None` when the attempt succeeded; otherwise the error text that
+    /// moved the chain along.
+    pub error: Option<String>,
+}
+
+/// The outcome of a graceful-degradation evaluation: the answer plus the
+/// trail of engines tried to get it.
+#[derive(Debug)]
+pub struct FallbackOutcome {
+    /// The query answer.
+    pub result: Relation,
+    /// The classification that framed the chain.
+    pub classification: Classification,
+    /// Attempts in order; the last entry is the one that succeeded.
+    pub attempts: Vec<FallbackAttempt>,
+}
+
+/// May the chain recover from `e` by trying a different engine?
+///
+/// `Unsupported` always: the next engine may well handle the query. Budget
+/// and depth exhaustion: yes — the tuple budget is shared (a later engine
+/// gets whatever is left, which is zero after a genuine exhaustion but
+/// intact after an injected fault), and a depth-limited recursive engine can
+/// be rescued by an iterative one. Timeouts and cancellation are global
+/// conditions — no engine can outrun a passed deadline or a cancelled
+/// token — so they propagate immediately.
+fn retryable(e: &EngineError) -> bool {
+    match e {
+        EngineError::Unsupported(_) => true,
+        EngineError::ResourceExhausted { kind, .. } => {
+            matches!(kind, ResourceKind::TupleBudget | ResourceKind::DepthLimit)
+        }
+        _ => false,
+    }
+}
+
+/// Evaluate `Q(d)` with graceful degradation under the limits of `ctx`.
+///
+/// Tries the chain **color-coding → Yannakakis → indexed-naive → naive**,
+/// advancing past engines that reject the query (`Unsupported`) or give up
+/// on a recoverable limit (see [`FallbackAttempt`]). Every attempt shares
+/// `ctx`, so a fallback engine runs on exactly the budget its predecessors
+/// left. The chain never trades correctness for progress: the color-coding
+/// step always uses the deterministic k-perfect family, because the
+/// randomized family's one-sided error could silently drop answer tuples —
+/// the one failure mode this whole layer exists to rule out.
+pub fn evaluate_with_fallback(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<FallbackOutcome> {
+    let classification = classify(q);
+    if classification.class == CqClass::InconsistentComparisons {
+        let result = Relation::new(pq_engine::binding::head_attrs(&q.head_terms))
+            .map_err(EngineError::Data)?;
+        return Ok(FallbackOutcome {
+            result,
+            classification,
+            attempts: vec![FallbackAttempt {
+                engine: "constant (empty answer)",
+                error: None,
+            }],
+        });
+    }
+    let cc = ColorCodingOptions {
+        family: HashFamily::Perfect,
+        minimize_hashed_attrs: true,
+    };
+    type Step<'a> = (&'static str, Box<dyn Fn() -> Result<Relation> + 'a>);
+    let chain: [Step<'_>; 4] = [
+        (
+            "color-coding",
+            Box::new(|| colorcoding::evaluate_governed(q, db, &cc, ctx)),
+        ),
+        (
+            "yannakakis",
+            Box::new(|| yannakakis::evaluate_governed(q, db, ctx)),
+        ),
+        (
+            "naive-indexed",
+            Box::new(|| naive_indexed::evaluate_governed(q, db, ctx)),
+        ),
+        ("naive", Box::new(|| naive::evaluate_governed(q, db, ctx))),
+    ];
+    let mut attempts = Vec::new();
+    let mut last_err: Option<EngineError> = None;
+    for (engine, run) in chain {
+        match run() {
+            Ok(result) => {
+                attempts.push(FallbackAttempt {
+                    engine,
+                    error: None,
+                });
+                return Ok(FallbackOutcome {
+                    result,
+                    classification,
+                    attempts,
+                });
+            }
+            Err(e) if retryable(&e) => {
+                attempts.push(FallbackAttempt {
+                    engine,
+                    error: Some(e.to_string()),
+                });
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("chain is nonempty"))
+}
+
 /// The decision problem `t ∈ Q(d)` with the recommended engine.
 pub fn decide(
     q: &ConjunctiveQuery,
@@ -119,10 +248,15 @@ mod tests {
         d.add_table(
             "EP",
             ["e", "p"],
-            [tuple!["ann", "p1"], tuple!["ann", "p2"], tuple!["bob", "p1"]],
+            [
+                tuple!["ann", "p1"],
+                tuple!["ann", "p2"],
+                tuple!["bob", "p1"],
+            ],
         )
         .unwrap();
-        d.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3]])
+            .unwrap();
         d.add_table("S", ["b", "c"], [tuple![2, 9]]).unwrap();
         d
     }
@@ -132,7 +266,10 @@ mod tests {
         let opts = PlannerOptions::default();
         let p = plan(&parse_cq("G(x) :- R(x, y), S(y, z).").unwrap(), &opts);
         assert_eq!(p.engine, "yannakakis");
-        let p = plan(&parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap(), &opts);
+        let p = plan(
+            &parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap(),
+            &opts,
+        );
         assert!(p.engine.starts_with("colorcoding"));
         let p = plan(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
         assert_eq!(p.engine, "naive backtracking");
@@ -178,14 +315,84 @@ mod tests {
     }
 
     #[test]
+    fn fallback_chain_reaches_naive_indexed_for_cyclic_queries() {
+        let d = db();
+        let q = parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap();
+        let ctx = ExecutionContext::unlimited();
+        let out = evaluate_with_fallback(&q, &d, &ctx).unwrap();
+        assert_eq!(out.result, naive::evaluate(&q, &d).unwrap());
+        let engines: Vec<_> = out.attempts.iter().map(|a| a.engine).collect();
+        assert_eq!(engines, vec!["color-coding", "yannakakis", "naive-indexed"]);
+        assert!(out.attempts[0].error.is_some());
+        assert!(out.attempts[1].error.is_some());
+        assert!(out.attempts[2].error.is_none());
+    }
+
+    #[test]
+    fn fallback_agrees_with_naive_oracle_when_unlimited() {
+        let d = db();
+        for src in [
+            "G(x, c) :- R(x, y), S(y, c).",
+            "G(e) :- EP(e, p), EP(e, p2), p != p2.",
+            "G :- R(x, y), R(y, z), R(z, x).",
+            "G(x) :- R(x, y), x < y.",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let out = evaluate_with_fallback(&q, &d, &ExecutionContext::unlimited()).unwrap();
+            assert_eq!(out.result, naive::evaluate(&q, &d).unwrap(), "{src}");
+            assert!(out.attempts.last().unwrap().error.is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn fallback_returns_the_last_error_when_every_engine_gives_up() {
+        let d = db();
+        // The answer is nonempty, so a zero budget cannot be satisfied
+        // honestly by any engine in the chain.
+        let q = parse_cq("G(x, c) :- R(x, y), S(y, c).").unwrap();
+        let ctx = ExecutionContext::new().with_tuple_budget(0);
+        let err = evaluate_with_fallback(&q, &d, &ctx).unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err}");
+        // Wrong answers are never returned: exhaustion is an error, not an
+        // empty relation.
+    }
+
+    #[test]
+    fn fallback_depth_limit_exhausts_recursive_engines() {
+        let d = db();
+        // Cyclic: only the recursive backtrackers apply, and depth 1 is not
+        // enough for a three-atom search.
+        let q = parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap();
+        let ctx = ExecutionContext::new().with_max_depth(1);
+        let err = evaluate_with_fallback(&q, &d, &ctx).unwrap_err();
+        match err {
+            EngineError::ResourceExhausted { kind, .. } => {
+                assert_eq!(kind, ResourceKind::DepthLimit);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn fallback_inconsistent_comparisons_short_circuit() {
+        let q = parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap();
+        let out = evaluate_with_fallback(&q, &db(), &ExecutionContext::unlimited()).unwrap();
+        assert!(out.result.is_empty());
+        assert_eq!(out.attempts.len(), 1);
+        assert_eq!(out.attempts[0].engine, "constant (empty answer)");
+    }
+
+    #[test]
     fn large_k_switches_to_randomized() {
-        let opts = PlannerOptions { deterministic_k_limit: 2, ..Default::default() };
+        let opts = PlannerOptions {
+            deterministic_k_limit: 2,
+            ..Default::default()
+        };
         // chain with three pairwise-distant inequalities → k = 4 > 2
         let q = parse_cq("G :- R(x, y), S(y, z), x != z.").unwrap();
         let p = plan(&q, &opts);
         assert_eq!(p.classification.color_parameter, Some(2));
-        let q2 =
-            parse_cq("G :- R(a, b), R(b, c), R(c, d), a != c, a != d, b != d.").unwrap();
+        let q2 = parse_cq("G :- R(a, b), R(b, c), R(c, d), a != c, a != d, b != d.").unwrap();
         let p2 = plan(&q2, &opts);
         assert_eq!(p2.classification.color_parameter, Some(4));
         assert_eq!(p2.engine, "colorcoding (randomized)");

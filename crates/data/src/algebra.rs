@@ -34,10 +34,17 @@ fn join_plan(left: &Relation, right: &Relation) -> JoinPlan {
             right_key.push(j);
         }
     }
-    let right_rest: Vec<usize> = (0..right.arity()).filter(|j| !right_key.contains(j)).collect();
+    let right_rest: Vec<usize> = (0..right.arity())
+        .filter(|j| !right_key.contains(j))
+        .collect();
     let mut out_attrs: Vec<String> = left.attrs().to_vec();
     out_attrs.extend(right_rest.iter().map(|&j| right.attrs()[j].clone()));
-    JoinPlan { left_key, right_key, right_rest, out_attrs }
+    JoinPlan {
+        left_key,
+        right_key,
+        right_rest,
+        out_attrs,
+    }
 }
 
 impl Relation {
@@ -82,11 +89,14 @@ impl Relation {
     /// # Errors
     /// When an attribute is unknown or repeats in the request.
     pub fn project(&self, attrs: &[&str]) -> Result<Relation> {
-        let positions: Vec<usize> =
-            attrs.iter().map(|a| self.attr_pos_checked(a)).collect::<Result<_>>()?;
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.attr_pos_checked(a))
+            .collect::<Result<_>>()?;
         let mut out = Relation::new(attrs.iter().map(|s| s.to_string()))?;
         for t in self.iter() {
-            out.insert(t.project(&positions)).expect("projection arity matches");
+            out.insert(t.project(&positions))
+                .expect("projection arity matches");
         }
         Ok(out)
     }
@@ -147,7 +157,8 @@ impl Relation {
             if let Some(matches) = table.get(&key) {
                 for rt in matches {
                     let extra = plan.right_rest.iter().map(|&j| rt[j].clone());
-                    out.insert(lt.extend_with(extra)).expect("join arity matches");
+                    out.insert(lt.extend_with(extra))
+                        .expect("join arity matches");
                 }
             }
         }
@@ -159,10 +170,14 @@ impl Relation {
     pub fn natural_join_sort_merge(&self, right: &Relation) -> Result<Relation> {
         let plan = join_plan(self, right);
         let mut out = Relation::new(plan.out_attrs.iter().cloned())?;
-        let mut ls: Vec<(Tuple, &Tuple)> =
-            self.iter().map(|t| (t.project(&plan.left_key), t)).collect();
-        let mut rs: Vec<(Tuple, &Tuple)> =
-            right.iter().map(|t| (t.project(&plan.right_key), t)).collect();
+        let mut ls: Vec<(Tuple, &Tuple)> = self
+            .iter()
+            .map(|t| (t.project(&plan.left_key), t))
+            .collect();
+        let mut rs: Vec<(Tuple, &Tuple)> = right
+            .iter()
+            .map(|t| (t.project(&plan.right_key), t))
+            .collect();
         ls.sort_by(|a, b| a.0.cmp(&b.0));
         rs.sort_by(|a, b| a.0.cmp(&b.0));
         let (mut i, mut j) = (0, 0);
@@ -177,7 +192,8 @@ impl Relation {
                     for (_, lt) in &ls[i..i_end] {
                         for (_, rt) in &rs[j..j_end] {
                             let extra = plan.right_rest.iter().map(|&c| rt[c].clone());
-                            out.insert(lt.extend_with(extra)).expect("join arity matches");
+                            out.insert(lt.extend_with(extra))
+                                .expect("join arity matches");
                         }
                     }
                     i = i_end;
@@ -292,7 +308,10 @@ mod tests {
         // E(x,y) ⋈ E(y,z): paths of length 2
         let e = edges();
         let e2 = e
-            .rename(&HashMap::from([("x".into(), "y".into()), ("y".into(), "z".into())]))
+            .rename(&HashMap::from([
+                ("x".into(), "y".into()),
+                ("y".into(), "z".into()),
+            ]))
             .unwrap();
         let j = e.natural_join(&e2).unwrap();
         assert_eq!(j.attrs(), ["x", "y", "z"]);
@@ -304,9 +323,15 @@ mod tests {
     fn sort_merge_agrees_with_hash_join() {
         let e = edges();
         let e2 = e
-            .rename(&HashMap::from([("x".into(), "y".into()), ("y".into(), "z".into())]))
+            .rename(&HashMap::from([
+                ("x".into(), "y".into()),
+                ("y".into(), "z".into()),
+            ]))
             .unwrap();
-        assert_eq!(e.natural_join(&e2).unwrap(), e.natural_join_sort_merge(&e2).unwrap());
+        assert_eq!(
+            e.natural_join(&e2).unwrap(),
+            e.natural_join_sort_merge(&e2).unwrap()
+        );
     }
 
     #[test]

@@ -44,12 +44,16 @@ impl Database {
 
     /// Look up a relation.
     pub fn relation(&self, name: &str) -> Result<&Relation> {
-        self.relations.get(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+        self.relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
     /// Look up a relation mutably.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.relations.get_mut(name).ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
     /// True when `name` is registered.
@@ -122,7 +126,8 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.add_table("E", ["x", "y"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d.add_table("E", ["x", "y"], [tuple![1, 2], tuple![2, 3]])
+            .unwrap();
         d.add_table("L", ["v"], [tuple!["a"]]).unwrap();
         d
     }
@@ -132,7 +137,10 @@ mod tests {
         let d = db();
         assert!(d.has_relation("E"));
         assert_eq!(d.relation("E").unwrap().len(), 2);
-        assert!(matches!(d.relation("Z"), Err(DataError::UnknownRelation(_))));
+        assert!(matches!(
+            d.relation("Z"),
+            Err(DataError::UnknownRelation(_))
+        ));
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors raised by relation and database operations.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DataError {
     /// An attribute name was referenced that the relation header lacks.
     UnknownAttribute {

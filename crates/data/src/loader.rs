@@ -179,7 +179,10 @@ ES(emp, sal):
     #[test]
     fn arity_mismatch_rejected() {
         let bad = "R(a, b):\n  1\n";
-        assert!(matches!(parse_database(bad), Err(DataError::ArityMismatch { .. })));
+        assert!(matches!(
+            parse_database(bad),
+            Err(DataError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -190,7 +193,10 @@ ES(emp, sal):
     #[test]
     fn duplicate_relation_rejected() {
         let bad = "R(a):\n 1\nR(a):\n 2\n";
-        assert!(matches!(parse_database(bad), Err(DataError::DuplicateRelation(_))));
+        assert!(matches!(
+            parse_database(bad),
+            Err(DataError::DuplicateRelation(_))
+        ));
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl Relation {
                 return Err(DataError::DuplicateAttribute(a.clone()));
             }
         }
-        Ok(Relation { attrs, rows: Vec::new(), seen: HashSet::new() })
+        Ok(Relation {
+            attrs,
+            rows: Vec::new(),
+            seen: HashSet::new(),
+        })
     }
 
     /// Build a relation and populate it in one call.
@@ -75,10 +79,11 @@ impl Relation {
 
     /// Column position of attribute `name`, as an error-carrying lookup.
     pub fn attr_pos_checked(&self, name: &str) -> Result<usize> {
-        self.attr_pos(name).ok_or_else(|| DataError::UnknownAttribute {
-            attr: name.to_string(),
-            header: self.attrs.clone(),
-        })
+        self.attr_pos(name)
+            .ok_or_else(|| DataError::UnknownAttribute {
+                attr: name.to_string(),
+                header: self.attrs.clone(),
+            })
     }
 
     /// Insert a tuple. Returns `true` if it was new.
@@ -88,7 +93,10 @@ impl Relation {
     /// header arity.
     pub fn insert(&mut self, t: Tuple) -> Result<bool> {
         if t.arity() != self.attrs.len() {
-            return Err(DataError::ArityMismatch { expected: self.attrs.len(), found: t.arity() });
+            return Err(DataError::ArityMismatch {
+                expected: self.attrs.len(),
+                found: t.arity(),
+            });
         }
         if self.seen.insert(t.clone()) {
             self.rows.push(t);
@@ -198,7 +206,10 @@ mod tests {
         assert_eq!(r.len(), 3);
         assert_eq!(
             r.insert(tuple![1]).unwrap_err(),
-            DataError::ArityMismatch { expected: 2, found: 1 }
+            DataError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
         );
     }
 

@@ -22,6 +22,10 @@ use pq_query::{FoFormula, FoQuery, Term};
 use crate::binding::head_attrs;
 use crate::error::{EngineError, Result};
 use crate::fo_eval::evaluation_domain;
+use crate::governor::ExecutionContext;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "algebra";
 
 /// A relational algebra plan (exposed so callers can inspect / display it).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,9 +165,10 @@ impl std::fmt::Display for Plan {
 /// formula's free variables (order unspecified; empty for sentences).
 pub fn compile(f: &FoFormula) -> Plan {
     match f {
-        FoFormula::Atom(a) => {
-            Plan::AtomScan { relation: a.relation.clone(), terms: a.terms.clone() }
-        }
+        FoFormula::Atom(a) => Plan::AtomScan {
+            relation: a.relation.clone(),
+            terms: a.terms.clone(),
+        },
         FoFormula::And(fs) => Plan::Join(fs.iter().map(compile).collect()),
         FoFormula::Or(fs) => {
             // Pad each disjunct to the union of free variables.
@@ -175,23 +180,28 @@ pub fn compile(f: &FoFormula) -> Plan {
                     }
                 }
             }
-            Plan::Union(
-                fs.iter()
-                    .map(|g| pad_to(compile(g), &cols))
-                    .collect(),
-            )
+            Plan::Union(fs.iter().map(|g| pad_to(compile(g), &cols)).collect())
         }
         FoFormula::Not(g) => {
             let cols: Vec<String> = g.free_variables().into_iter().collect();
-            Plan::Complement { columns: cols, inner: Box::new(compile(g)) }
+            Plan::Complement {
+                columns: cols,
+                inner: Box::new(compile(g)),
+            }
         }
         FoFormula::Exists(v, g) => {
             let inner = ensure_column(compile(g), v);
-            Plan::ProjectOut { var: v.clone(), inner: Box::new(inner) }
+            Plan::ProjectOut {
+                var: v.clone(),
+                inner: Box::new(inner),
+            }
         }
         FoFormula::Forall(v, g) => {
             let inner = ensure_column(compile(g), v);
-            Plan::ForAll { var: v.clone(), inner: Box::new(inner) }
+            Plan::ForAll {
+                var: v.clone(),
+                inner: Box::new(inner),
+            }
         }
     }
 }
@@ -219,58 +229,95 @@ fn ensure_column(p: Plan, v: &str) -> Plan {
 
 /// Execute a plan over a database and an explicit active domain.
 pub fn execute(plan: &Plan, db: &Database, dom: &[Value]) -> Result<Relation> {
+    execute_governed(plan, db, dom, &ExecutionContext::unlimited())
+}
+
+/// [`execute`] under the resource limits of `ctx`: each operator node ticks
+/// the clock, counts against the recursion-depth guard, and charges its
+/// materialized output to the tuple budget.
+pub fn execute_governed(
+    plan: &Plan,
+    db: &Database,
+    dom: &[Value],
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
+    let _depth = ctx.recurse(ENGINE)?;
+    ctx.tick(ENGINE)?;
     match plan {
         Plan::AtomScan { relation, terms } => {
             let atom = pq_query::Atom::new(relation.clone(), terms.iter().cloned());
-            crate::yannakakis::atom_relation(&atom, db)
+            crate::yannakakis::atom_relation_governed(&atom, db, ctx)
         }
         Plan::Join(ps) => {
-            let mut parts = ps.iter().map(|p| execute(p, db, dom));
+            let mut parts = ps.iter().map(|p| execute_governed(p, db, dom, ctx));
             let first = parts.next().ok_or_else(|| {
                 EngineError::Unsupported("empty conjunction has no free columns".into())
             })??;
-            parts.try_fold(first, |acc, r| Ok(acc.natural_join(&r?)?))
+            parts.try_fold(first, |acc, r| {
+                let joined = acc.natural_join(&r?)?;
+                ctx.charge_tuples(ENGINE, joined.len() as u64)?;
+                Ok(joined)
+            })
         }
         Plan::Union(ps) => {
             let mut out: Option<Relation> = None;
             for p in ps {
-                let r = execute(p, db, dom)?;
+                let r = execute_governed(p, db, dom, ctx)?;
                 out = Some(match out {
                     None => r,
                     Some(acc) => {
                         // Align column order before union.
-                        let cols: Vec<&str> =
-                            acc.attrs().iter().map(String::as_str).collect();
-                        acc.union(&r.project(&cols)?)?
+                        let cols: Vec<&str> = acc.attrs().iter().map(String::as_str).collect();
+                        let unioned = acc.union(&r.project(&cols)?)?;
+                        ctx.charge_tuples(ENGINE, unioned.len() as u64)?;
+                        unioned
                     }
                 });
             }
             out.ok_or_else(|| EngineError::Unsupported("empty disjunction".into()))
         }
         Plan::Complement { columns, inner } => {
-            let r = execute(inner, db, dom)?;
-            let full = execute(&Plan::DomainProduct(columns.clone()), db, dom)?;
+            let r = execute_governed(inner, db, dom, ctx)?;
+            let full = execute_governed(&Plan::DomainProduct(columns.clone()), db, dom, ctx)?;
             let cols: Vec<&str> = full.attrs().iter().map(String::as_str).collect();
-            Ok(full.difference(&r.project(&cols)?)?)
+            let diff = full.difference(&r.project(&cols)?)?;
+            ctx.charge_tuples(ENGINE, diff.len() as u64)?;
+            Ok(diff)
         }
         Plan::ProjectOut { var, inner } => {
-            let r = execute(inner, db, dom)?;
-            let cols: Vec<&str> =
-                r.attrs().iter().filter(|a| *a != var).map(String::as_str).collect();
-            Ok(r.project(&cols)?)
+            let r = execute_governed(inner, db, dom, ctx)?;
+            let cols: Vec<&str> = r
+                .attrs()
+                .iter()
+                .filter(|a| *a != var)
+                .map(String::as_str)
+                .collect();
+            let projected = r.project(&cols)?;
+            ctx.charge_tuples(ENGINE, projected.len() as u64)?;
+            Ok(projected)
         }
         Plan::ForAll { var, inner } => {
-            let r = execute(inner, db, dom)?;
+            let r = execute_governed(inner, db, dom, ctx)?;
             // Division: group by the other columns; keep groups covering dom.
-            let keep: Vec<&str> =
-                r.attrs().iter().filter(|a| *a != var).map(String::as_str).collect();
+            let keep: Vec<&str> = r
+                .attrs()
+                .iter()
+                .filter(|a| *a != var)
+                .map(String::as_str)
+                .collect();
             let var_pos = r.attr_pos_checked(var)?;
-            let keep_pos: Vec<usize> =
-                keep.iter().map(|c| r.attr_pos(c).expect("own column")).collect();
+            let keep_pos: Vec<usize> = keep
+                .iter()
+                .map(|c| r.attr_pos(c).expect("own column"))
+                .collect();
             let mut counts: std::collections::HashMap<Tuple, std::collections::BTreeSet<Value>> =
                 std::collections::HashMap::new();
             for t in r.iter() {
-                counts.entry(t.project(&keep_pos)).or_default().insert(t[var_pos].clone());
+                ctx.tick(ENGINE)?;
+                counts
+                    .entry(t.project(&keep_pos))
+                    .or_default()
+                    .insert(t[var_pos].clone());
             }
             let mut out = Relation::new(keep.iter().map(|s| s.to_string()))?;
             for (group, vals) in counts {
@@ -293,11 +340,13 @@ pub fn execute(plan: &Plan, db: &Database, dom: &[Value]) -> Result<Relation> {
                 let mut next = Vec::new();
                 for partial in &stack {
                     for v in dom {
+                        ctx.tick(ENGINE)?;
                         let mut p = partial.clone();
                         p.push(v.clone());
                         next.push(p);
                     }
                 }
+                ctx.charge_tuples(ENGINE, next.len() as u64)?;
                 stack = next;
             }
             for row in stack {
@@ -311,10 +360,15 @@ pub fn execute(plan: &Plan, db: &Database, dom: &[Value]) -> Result<Relation> {
 /// Evaluate a first-order query by compiling to algebra and executing.
 /// Agrees with [`crate::fo_eval::evaluate`] on every query (tested).
 pub fn evaluate(q: &FoQuery, db: &Database) -> Result<Relation> {
+    evaluate_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(q: &FoQuery, db: &Database, ctx: &ExecutionContext) -> Result<Relation> {
     q.validate().map_err(EngineError::Query)?;
     let dom: Vec<Value> = evaluation_domain(&q.formula, db);
     let plan = compile(&q.formula);
-    let rel = execute(&plan, db, &dom)?;
+    let rel = execute_governed(&plan, db, &dom, ctx)?;
     // Materialize the head terms.
     let mut out = Relation::new(head_attrs(&q.head_terms))?;
     if q.head_terms.is_empty() {
@@ -324,6 +378,7 @@ pub fn evaluate(q: &FoQuery, db: &Database) -> Result<Relation> {
         return Ok(out);
     }
     for t in rel.iter() {
+        ctx.tick(ENGINE)?;
         let vals = q.head_terms.iter().map(|term| match term {
             Term::Const(c) => c.clone(),
             Term::Var(v) => {
@@ -331,6 +386,7 @@ pub fn evaluate(q: &FoQuery, db: &Database) -> Result<Relation> {
                 t[pos].clone()
             }
         });
+        ctx.charge_tuples(ENGINE, 1)?;
         out.insert(Tuple::new(vals))?;
     }
     Ok(out)
@@ -345,7 +401,8 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]])
+            .unwrap();
         d.add_table("L", ["a"], [tuple![1], tuple![2]]).unwrap();
         d
     }
@@ -426,7 +483,16 @@ mod tests {
         d.add_table(
             "C",
             ["a", "b"],
-            [tuple![6, 4], tuple![6, 5], tuple![4, 0], tuple![4, 1], tuple![5, 2], tuple![0, 0], tuple![1, 1], tuple![2, 2]],
+            [
+                tuple![6, 4],
+                tuple![6, 5],
+                tuple![4, 0],
+                tuple![4, 1],
+                tuple![5, 2],
+                tuple![0, 0],
+                tuple![1, 1],
+                tuple![2, 2],
+            ],
         )
         .unwrap();
         let q = parse_fo(theta_query()).unwrap();

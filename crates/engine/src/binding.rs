@@ -3,8 +3,10 @@
 
 use std::collections::BTreeMap;
 
-use pq_data::{Relation, Result as DataResult, Tuple, Value};
-use pq_query::{ConjunctiveQuery, Term};
+use pq_data::{Relation, Tuple, Value};
+use pq_query::{ConjunctiveQuery, QueryError, Term};
+
+use crate::error::Result;
 
 /// An instantiation of query variables by domain constants.
 pub type Binding = BTreeMap<String, Value>;
@@ -41,14 +43,26 @@ pub fn head_attrs(head_terms: &[Term]) -> Vec<String> {
 
 /// Build the output relation `Q(d) = { τ(t0) | τ satisfying }` from a list of
 /// satisfying bindings.
+///
+/// Fails with [`QueryError::UnsafeHeadVariable`] when a binding leaves a head
+/// variable unbound — the caller handed us an unsafe query whose body does
+/// not cover its head.
 pub fn bindings_to_output(
     q: &ConjunctiveQuery,
     bindings: impl IntoIterator<Item = Binding>,
-) -> DataResult<Relation> {
+) -> Result<Relation> {
     let mut out = Relation::new(head_attrs(&q.head_terms))?;
     for b in bindings {
-        let vals: Option<Vec<Value>> = q.head_terms.iter().map(|t| apply_term(t, &b)).collect();
-        let vals = vals.expect("safe query: head variables bound by body");
+        let mut vals = Vec::with_capacity(q.head_terms.len());
+        for t in &q.head_terms {
+            match apply_term(t, &b) {
+                Some(v) => vals.push(v),
+                None => {
+                    let var = t.as_var().unwrap_or("?").to_string();
+                    return Err(QueryError::UnsafeHeadVariable(var).into());
+                }
+            }
+        }
         out.insert(Tuple::new(vals))?;
     }
     Ok(out)
@@ -61,9 +75,15 @@ mod tests {
 
     #[test]
     fn head_attr_naming_rules() {
-        assert_eq!(head_attrs(&[Term::var("x"), Term::var("y")]), vec!["x", "y"]);
+        assert_eq!(
+            head_attrs(&[Term::var("x"), Term::var("y")]),
+            vec!["x", "y"]
+        );
         // repeated variable → positional
-        assert_eq!(head_attrs(&[Term::var("x"), Term::var("x")]), vec!["$0", "$1"]);
+        assert_eq!(
+            head_attrs(&[Term::var("x"), Term::var("x")]),
+            vec!["$0", "$1"]
+        );
         // constants → positional
         assert_eq!(head_attrs(&[Term::cons(1)]), vec!["$0"]);
         assert!(head_attrs(&[]).is_empty());
@@ -71,15 +91,23 @@ mod tests {
 
     #[test]
     fn output_materializes_head_terms() {
-        let q = ConjunctiveQuery::new(
-            "G",
-            [Term::var("x"), Term::cons(9)],
-            [atom!("R"; var "x")],
-        );
+        let q = ConjunctiveQuery::new("G", [Term::var("x"), Term::cons(9)], [atom!("R"; var "x")]);
         let b: Binding = BTreeMap::from([("x".into(), Value::int(4))]);
         let out = bindings_to_output(&q, [b]).unwrap();
         assert_eq!(out.attrs(), ["$0", "$1"]);
         assert!(out.contains(&pq_data::tuple![4, 9]));
+    }
+
+    #[test]
+    fn unbound_head_variable_is_an_error_not_a_panic() {
+        let q = ConjunctiveQuery::new(
+            "G",
+            [Term::var("x"), Term::var("missing")],
+            [atom!("R"; var "x")],
+        );
+        let b: Binding = BTreeMap::from([("x".into(), Value::int(4))]);
+        let err = bindings_to_output(&q, [b]).unwrap_err();
+        assert!(err.to_string().contains("missing"), "got: {err}");
     }
 
     #[test]

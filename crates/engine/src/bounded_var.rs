@@ -78,9 +78,11 @@ pub fn transform(q: &ConjunctiveQuery, db: &Database) -> Result<BoundedVarInstan
         new_atoms.push(Atom::new(name, ordered.iter().map(Term::var)));
     }
 
-    let query =
-        ConjunctiveQuery::new(q.head_name.clone(), q.head_terms.iter().cloned(), new_atoms);
-    Ok(BoundedVarInstance { query, database: new_db })
+    let query = ConjunctiveQuery::new(q.head_name.clone(), q.head_terms.iter().cloned(), new_atoms);
+    Ok(BoundedVarInstance {
+        query,
+        database: new_db,
+    })
 }
 
 #[cfg(test)]
@@ -131,10 +133,8 @@ mod tests {
     fn query_size_bounded_by_variable_count() {
         use pq_query::QueryMetrics;
         // Many atoms over few variables: transformed size depends on v only.
-        let q = parse_cq(
-            "G :- E(x, y), E(y, x), E(x, y), E(y, x), E(x, x), E(y, y), L(x), L(y).",
-        )
-        .unwrap();
+        let q = parse_cq("G :- E(x, y), E(y, x), E(x, y), E(y, x), E(x, x), E(y, y), L(x), L(y).")
+            .unwrap();
         let inst = transform(&q, &db()).unwrap();
         // Variable sets: {x,y} (merged), {x}, {y} → 3 atoms ≤ 2^v = 4.
         assert_eq!(inst.query.atoms.len(), 3);
@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn impure_queries_rejected() {
         let q = parse_cq("G :- E(x, y), x != y.").unwrap();
-        assert!(matches!(transform(&q, &db()), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            transform(&q, &db()),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]

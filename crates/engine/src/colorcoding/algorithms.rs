@@ -17,7 +17,11 @@ use pq_query::ConjunctiveQuery;
 use super::hashing::{Coloring, DomainIndex};
 use super::partition::NeqPartition;
 use crate::error::{EngineError, Result};
-use crate::yannakakis::atom_relation;
+use crate::governor::ExecutionContext;
+use crate::yannakakis::atom_relation_governed;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "color-coding";
 
 /// The hashed-attribute name for variable `x` (the paper's `x'`). The `#`
 /// cannot appear in parsed variable names, so no collision is possible.
@@ -60,6 +64,16 @@ impl Prepared {
         db: &Database,
         minimize_hashed_attrs: bool,
     ) -> Result<Prepared> {
+        Prepared::build_governed(q, db, minimize_hashed_attrs, &ExecutionContext::unlimited())
+    }
+
+    /// [`Prepared::build`] under the resource limits of `ctx`.
+    pub fn build_governed(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        minimize_hashed_attrs: bool,
+        ctx: &ExecutionContext,
+    ) -> Result<Prepared> {
         if !q.comparisons.is_empty() {
             return Err(EngineError::Unsupported(
                 "color-coding engine handles ≠ only; < comparisons are W[1]-hard (Theorem 3)"
@@ -74,7 +88,7 @@ impl Prepared {
         // S_j: per-atom relations with I2 constraints pushed in.
         let mut s: Vec<Relation> = Vec::with_capacity(q.atoms.len());
         for atom in &q.atoms {
-            let mut rel = atom_relation(atom, db)?;
+            let mut rel = atom_relation_governed(atom, db, ctx)?;
             for (v, c) in &partition.i2_var_const {
                 if rel.attr_pos(v).is_some() {
                     rel = rel.select_ne_const(v, c)?;
@@ -96,7 +110,10 @@ impl Prepared {
 
         let subtree_vars: Vec<BTreeSet<String>> = (0..q.atoms.len())
             .map(|j| {
-                tree.subtree_vertices(&hg, j).iter().map(|&v| hg.label(v).to_string()).collect()
+                tree.subtree_vertices(&hg, j)
+                    .iter()
+                    .map(|&v| hg.label(v).to_string())
+                    .collect()
             })
             .collect();
 
@@ -143,15 +160,26 @@ impl Prepared {
             })
             .collect();
 
-        Ok(Prepared { hg, tree, partition, s, u_vars, w_vars, y_attrs, subtree_vars })
+        Ok(Prepared {
+            hg,
+            tree,
+            partition,
+            s,
+            u_vars,
+            w_vars,
+            y_attrs,
+            subtree_vars,
+        })
     }
 
     /// `S'_j`: extend `S_j` with one hashed column per `V1`-variable of the
     /// atom, holding `h(value)` as an integer.
     fn extend_with_hashes(&self, j: usize, dom: &DomainIndex, h: &Coloring) -> Relation {
         let base = &self.s[j];
-        let hashed_vars: Vec<&String> =
-            self.u_vars[j].iter().filter(|x| self.partition.in_v1(x)).collect();
+        let hashed_vars: Vec<&String> = self.u_vars[j]
+            .iter()
+            .filter(|x| self.partition.in_v1(x))
+            .collect();
         if hashed_vars.is_empty() {
             return base.clone();
         }
@@ -163,8 +191,9 @@ impl Prepared {
             .collect();
         let mut out = Relation::new(attrs).expect("distinct attrs by construction");
         for t in base.iter() {
-            let extra =
-                positions.iter().map(|&p| Value::Int(i64::from(h.color_of(dom, &t[p]))));
+            let extra = positions
+                .iter()
+                .map(|&p| Value::Int(i64::from(h.color_of(dom, &t[p]))));
             out.insert(t.extend_with(extra)).expect("arity matches");
         }
         out
@@ -194,18 +223,35 @@ fn filter_new_i1_pairs(
 /// **Algorithm 1 (emptiness test).** Returns the final node relations
 /// (`P_u` of the paper) when some consistent satisfying instantiation
 /// exists, or `None` when `Q_h(d) = ∅`.
-pub fn algorithm1(
+pub fn algorithm1(prep: &Prepared, dom: &DomainIndex, h: &Coloring) -> Option<Vec<Relation>> {
+    algorithm1_governed(prep, dom, h, &ExecutionContext::unlimited())
+        .expect("unlimited governor cannot trip")
+}
+
+/// [`algorithm1`] under the resource limits of `ctx`: every hash-extended
+/// node relation and every join result is charged against the tuple budget.
+pub fn algorithm1_governed(
     prep: &Prepared,
     dom: &DomainIndex,
     h: &Coloring,
-) -> Option<Vec<Relation>> {
+    ctx: &ExecutionContext,
+) -> Result<Option<Vec<Relation>>> {
     let n = prep.s.len();
-    let mut p: Vec<Relation> = (0..n).map(|j| prep.extend_with_hashes(j, dom, h)).collect();
+    let mut p: Vec<Relation> = Vec::with_capacity(n);
+    for j in 0..n {
+        ctx.tick(ENGINE)?;
+        let ext = prep.extend_with_hashes(j, dom, h);
+        ctx.charge_tuples(ENGINE, ext.len() as u64)?;
+        p.push(ext);
+    }
     if p.iter().any(Relation::is_empty) {
-        return None;
+        return Ok(None);
     }
     for j in prep.tree.bottom_up() {
-        let Some(u) = prep.tree.parent(j) else { continue };
+        ctx.tick(ENGINE)?;
+        let Some(u) = prep.tree.parent(j) else {
+            continue;
+        };
         let keep: Vec<String> = prep.y_attrs[j]
             .iter()
             .filter(|a| prep.y_attrs[u].contains(a))
@@ -215,12 +261,13 @@ pub fn algorithm1(
         let before: BTreeSet<String> = p[u].attrs().iter().cloned().collect();
         let joined = p[u].natural_join(&proj).expect("attr sets are consistent");
         let filtered = filter_new_i1_pairs(joined, &prep.partition, &before);
+        ctx.charge_tuples(ENGINE, filtered.len() as u64)?;
         if filtered.is_empty() {
-            return None;
+            return Ok(None);
         }
         p[u] = filtered;
     }
-    Some(p)
+    Ok(Some(p))
 }
 
 /// **Algorithm 2 (evaluation of `Q_h(d)`).** Takes the relations produced by
@@ -228,22 +275,33 @@ pub fn algorithm1(
 /// ⋈ P_s)` over the head variables `Z`, computed without materializing the
 /// full join: a top-down dangling-tuple (semijoin) pass, then a bottom-up
 /// join+project pass.
-pub fn algorithm2(
+pub fn algorithm2(prep: &Prepared, p: Vec<Relation>, head_vars: &[String]) -> Result<Relation> {
+    algorithm2_governed(prep, p, head_vars, &ExecutionContext::unlimited())
+}
+
+/// [`algorithm2`] under the resource limits of `ctx`.
+pub fn algorithm2_governed(
     prep: &Prepared,
     mut p: Vec<Relation>,
     head_vars: &[String],
+    ctx: &ExecutionContext,
 ) -> Result<Relation> {
     // Step 1: top-down semijoins — make the relations globally consistent.
     for j in prep.tree.top_down() {
+        ctx.tick(ENGINE)?;
         if let Some(u) = prep.tree.parent(j) {
             p[j] = p[j].semijoin(&p[u]);
+            ctx.charge_tuples(ENGINE, p[j].len() as u64)?;
         }
     }
 
     // Step 2: bottom-up joins, projecting each child onto
     // Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])).
     for j in prep.tree.bottom_up() {
-        let Some(u) = prep.tree.parent(j) else { continue };
+        ctx.tick(ENGINE)?;
+        let Some(u) = prep.tree.parent(j) else {
+            continue;
+        };
         let mut zj: Vec<String> = prep.y_attrs[j]
             .iter()
             .filter(|a| prep.y_attrs[u].contains(a))
@@ -256,18 +314,32 @@ pub fn algorithm2(
         }
         let proj = p[j].project_onto(&zj);
         p[u] = p[u].natural_join(&proj)?;
+        ctx.charge_tuples(ENGINE, p[u].len() as u64)?;
     }
 
     // Step 3: project the root onto Z.
     let z_refs: Vec<&str> = head_vars.iter().map(String::as_str).collect();
-    Ok(p[prep.tree.root()].project(&z_refs)?)
+    let star = p[prep.tree.root()].project(&z_refs)?;
+    ctx.charge_tuples(ENGINE, star.len() as u64)?;
+    Ok(star)
 }
 
 /// Build the final output relation from `P*` by instantiating the head
 /// terms (shared with the Yannakakis engine's convention).
 pub fn materialize_head(q: &ConjunctiveQuery, star: &Relation) -> Result<Relation> {
+    materialize_head_governed(q, star, &ExecutionContext::unlimited())
+}
+
+/// [`materialize_head`] under the resource limits of `ctx`.
+pub fn materialize_head_governed(
+    q: &ConjunctiveQuery,
+    star: &Relation,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     let mut out = Relation::new(crate::binding::head_attrs(&q.head_terms))?;
     for t in star.iter() {
+        ctx.tick(ENGINE)?;
+        ctx.charge_tuples(ENGINE, 1)?;
         let vals = q.head_terms.iter().map(|term| match term {
             pq_query::Term::Const(c) => c.clone(),
             pq_query::Term::Var(v) => {
@@ -296,7 +368,11 @@ mod tests {
         db.add_table(
             "EP",
             ["e", "p"],
-            [tuple!["ann", "p1"], tuple!["ann", "p2"], tuple!["bob", "p1"]],
+            [
+                tuple!["ann", "p1"],
+                tuple!["ann", "p2"],
+                tuple!["bob", "p1"],
+            ],
         )
         .unwrap();
         db
@@ -307,7 +383,10 @@ mod tests {
         let db = ep_db();
         let prep = prep_for("G(e) :- EP(e, p), EP(e, p2), p != p2.", &db);
         assert_eq!(prep.partition.k(), 2);
-        assert_eq!(prep.u_vars[0], BTreeSet::from(["e".to_string(), "p".to_string()]));
+        assert_eq!(
+            prep.u_vars[0],
+            BTreeSet::from(["e".to_string(), "p".to_string()])
+        );
         // Y of each node includes its own hashed attr.
         assert!(prep.y_attrs[0].contains(&hashed_attr("p")));
         assert!(prep.y_attrs[1].contains(&hashed_attr("p2")));
@@ -347,7 +426,8 @@ mod tests {
     #[test]
     fn i2_constraints_are_enforced_in_s() {
         let mut db = Database::new();
-        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]]).unwrap();
+        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]])
+            .unwrap();
         let q = parse_cq("G :- R(x, y), x != y.").unwrap();
         let prep = Prepared::build(&q, &db, true).unwrap();
         assert_eq!(prep.partition.k(), 0);
@@ -358,7 +438,10 @@ mod tests {
     fn comparisons_are_rejected() {
         let db = ep_db();
         let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p < p2.").unwrap();
-        assert!(matches!(Prepared::build(&q, &db, true), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            Prepared::build(&q, &db, true),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -366,7 +449,10 @@ mod tests {
         let mut db = Database::new();
         db.add_table("E", ["a", "b"], [tuple![1, 2]]).unwrap();
         let q = parse_cq("G :- E(x, y), E(y, z), E(z, x), x != z.").unwrap();
-        assert!(matches!(Prepared::build(&q, &db, true), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            Prepared::build(&q, &db, true),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -380,6 +466,9 @@ mod tests {
         let mut colors = vec![0u32; dom.len()];
         colors[idx_p1] = 1;
         let h = Coloring::new(colors);
-        assert_eq!(algorithm1(&narrow, &dom, &h).is_some(), algorithm1(&wide, &dom, &h).is_some());
+        assert_eq!(
+            algorithm1(&narrow, &dom, &h).is_some(),
+            algorithm1(&wide, &dom, &h).is_some()
+        );
     }
 }

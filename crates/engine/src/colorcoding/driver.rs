@@ -14,10 +14,16 @@
 use pq_data::{Database, Relation, Tuple};
 use pq_query::ConjunctiveQuery;
 
-use super::algorithms::{algorithm1, algorithm2, materialize_head, Prepared};
+use super::algorithms::{
+    algorithm1_governed, algorithm2_governed, materialize_head_governed, Prepared,
+};
 use super::hashing::{DomainIndex, HashFamily};
 use crate::binding::head_attrs;
 use crate::error::{EngineError, Result};
+use crate::governor::ExecutionContext;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "color-coding";
 
 /// Options for the color-coding engine.
 pub struct ColorCodingOptions {
@@ -31,7 +37,10 @@ pub struct ColorCodingOptions {
 impl Default for ColorCodingOptions {
     /// Deterministic (k-perfect family), minimized attributes.
     fn default() -> Self {
-        ColorCodingOptions { family: HashFamily::Perfect, minimize_hashed_attrs: true }
+        ColorCodingOptions {
+            family: HashFamily::Perfect,
+            minimize_hashed_attrs: true,
+        }
     }
 }
 
@@ -39,7 +48,10 @@ impl ColorCodingOptions {
     /// Randomized mode with the paper's `⌈c·e^k⌉` trial count.
     pub fn randomized(k: usize, c: f64, seed: u64) -> Self {
         ColorCodingOptions {
-            family: HashFamily::Random { trials: HashFamily::suggested_trials(k, c), seed },
+            family: HashFamily::Random {
+                trials: HashFamily::suggested_trials(k, c),
+                seed,
+            },
             minimize_hashed_attrs: true,
         }
     }
@@ -57,16 +69,16 @@ fn check_head_safety(q: &ConjunctiveQuery) -> Result<()> {
     let body: std::collections::BTreeSet<&str> = q.atom_variables().into_iter().collect();
     for v in q.head_variables() {
         if !body.contains(v) {
-            return Err(EngineError::Query(pq_query::QueryError::UnsafeHeadVariable(
-                v.to_string(),
-            )));
+            return Err(EngineError::Query(
+                pq_query::QueryError::UnsafeHeadVariable(v.to_string()),
+            ));
         }
     }
     for v in q.neqs.iter().flat_map(|n| n.variables()) {
         if !body.contains(v) {
-            return Err(EngineError::Query(pq_query::QueryError::UnsafeConstraintVariable(
-                v.to_string(),
-            )));
+            return Err(EngineError::Query(
+                pq_query::QueryError::UnsafeConstraintVariable(v.to_string()),
+            ));
         }
     }
     Ok(())
@@ -75,6 +87,17 @@ fn check_head_safety(q: &ConjunctiveQuery) -> Result<()> {
 /// Is `Q(d)` nonempty? Exact with [`HashFamily::Perfect`]; one-sided error
 /// (false negatives only, probability ≤ `e^{-c}`) with the randomized family.
 pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database, opts: &ColorCodingOptions) -> Result<bool> {
+    is_nonempty_governed(q, db, opts, &ExecutionContext::unlimited())
+}
+
+/// [`is_nonempty`] under the resource limits of `ctx`: each trial coloring
+/// ticks the clock and the per-node relations are charged to the budget.
+pub fn is_nonempty_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ColorCodingOptions,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     if q.atoms.is_empty() {
         return Ok(q.neqs.iter().all(|n| match (&n.left, &n.right) {
             (pq_query::Term::Const(a), pq_query::Term::Const(b)) => a != b,
@@ -82,14 +105,15 @@ pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database, opts: &ColorCodingOption
         }));
     }
     check_head_safety(q)?;
-    let prep = Prepared::build(q, db, opts.minimize_hashed_attrs)?;
+    let prep = Prepared::build_governed(q, db, opts.minimize_hashed_attrs, ctx)?;
     if prep.partition.trivially_false {
         return Ok(false);
     }
     let dom = DomainIndex::from_database(db);
     let k = prep.partition.k();
     for h in opts.family.colorings(&dom, k) {
-        if algorithm1(&prep, &dom, &h).is_some() {
+        ctx.tick(ENGINE)?;
+        if algorithm1_governed(&prep, &dom, &h, ctx)?.is_some() {
             return Ok(true);
         }
     }
@@ -103,9 +127,20 @@ pub fn decide(
     t: &Tuple,
     opts: &ColorCodingOptions,
 ) -> Result<bool> {
+    decide_governed(q, db, t, opts, &ExecutionContext::unlimited())
+}
+
+/// [`decide`] under the resource limits of `ctx`.
+pub fn decide_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    t: &Tuple,
+    opts: &ColorCodingOptions,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     match q.bind_head(t)? {
         None => Ok(false),
-        Some(bq) => is_nonempty(&bq, db, opts),
+        Some(bq) => is_nonempty_governed(&bq, db, opts, ctx),
     }
 }
 
@@ -127,16 +162,30 @@ pub fn decide(
 /// assert_eq!(out.len(), 1);
 /// assert!(out.contains(&tuple!["ann"]));
 /// ```
-pub fn evaluate(q: &ConjunctiveQuery, db: &Database, opts: &ColorCodingOptions) -> Result<Relation> {
+pub fn evaluate(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ColorCodingOptions,
+) -> Result<Relation> {
+    evaluate_governed(q, db, opts, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ColorCodingOptions,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     check_head_safety(q)?;
     if q.atoms.is_empty() {
         let mut out = Relation::new(head_attrs(&q.head_terms))?;
-        if is_nonempty(q, db, opts)? {
+        if is_nonempty_governed(q, db, opts, ctx)? {
             out.insert(Tuple::default())?;
         }
         return Ok(out);
     }
-    let prep = Prepared::build(q, db, opts.minimize_hashed_attrs)?;
+    let prep = Prepared::build_governed(q, db, opts.minimize_hashed_attrs, ctx)?;
     let mut out = Relation::new(head_attrs(&q.head_terms))?;
     if prep.partition.trivially_false {
         return Ok(out);
@@ -145,9 +194,12 @@ pub fn evaluate(q: &ConjunctiveQuery, db: &Database, opts: &ColorCodingOptions) 
     let k = prep.partition.k();
     let head_vars: Vec<String> = q.head_variables().iter().map(|v| v.to_string()).collect();
     for h in opts.family.colorings(&dom, k) {
-        let Some(p) = algorithm1(&prep, &dom, &h) else { continue };
-        let star = algorithm2(&prep, p, &head_vars)?;
-        let part = materialize_head(q, &star)?;
+        ctx.tick(ENGINE)?;
+        let Some(p) = algorithm1_governed(&prep, &dom, &h, ctx)? else {
+            continue;
+        };
+        let star = algorithm2_governed(&prep, p, &head_vars, ctx)?;
+        let part = materialize_head_governed(q, &star, ctx)?;
         out = out.union(&part)?;
     }
     Ok(out)
@@ -203,7 +255,8 @@ mod tests {
     fn empty_answer_is_detected_exactly() {
         // A single employee on a single project: no one is on >1 project.
         let mut db = Database::new();
-        db.add_table("EP", ["e", "p"], [tuple!["ann", "p1"]]).unwrap();
+        db.add_table("EP", ["e", "p"], [tuple!["ann", "p1"]])
+            .unwrap();
         let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
         assert!(!is_nonempty(&q, &db, &ColorCodingOptions::default()).unwrap());
         // Randomized mode never reports a false positive.
@@ -215,14 +268,28 @@ mod tests {
     fn students_outside_department_example() {
         // Section 5's second example, three relations.
         let mut db = Database::new();
-        db.add_table("SD", ["s", "d"], [tuple!["sam", "cs"], tuple!["lea", "math"]]).unwrap();
+        db.add_table(
+            "SD",
+            ["s", "d"],
+            [tuple!["sam", "cs"], tuple!["lea", "math"]],
+        )
+        .unwrap();
         db.add_table(
             "SC",
             ["s", "c"],
-            [tuple!["sam", "algo"], tuple!["sam", "topo"], tuple!["lea", "topo"]],
+            [
+                tuple!["sam", "algo"],
+                tuple!["sam", "topo"],
+                tuple!["lea", "topo"],
+            ],
         )
         .unwrap();
-        db.add_table("CD", ["c", "d"], [tuple!["algo", "cs"], tuple!["topo", "math"]]).unwrap();
+        db.add_table(
+            "CD",
+            ["c", "d"],
+            [tuple!["algo", "cs"], tuple!["topo", "math"]],
+        )
+        .unwrap();
         let q = parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap();
         let out = evaluate(&q, &db, &ColorCodingOptions::default()).unwrap();
         let expected = naive::evaluate(&q, &db).unwrap();
@@ -243,7 +310,8 @@ mod tests {
     #[test]
     fn i2_only_query_needs_single_function() {
         let mut db = Database::new();
-        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]]).unwrap();
+        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]])
+            .unwrap();
         let q = parse_cq("G(x, y) :- R(x, y), x != y.").unwrap();
         let out = evaluate(&q, &db, &ColorCodingOptions::default()).unwrap();
         assert_eq!(out.len(), 1);
@@ -254,12 +322,8 @@ mod tests {
     fn chain_with_endpoint_inequality() {
         // x and z never co-occur: I1. Path of length 2 with distinct endpoints.
         let mut db = Database::new();
-        db.add_table(
-            "E",
-            ["a", "b"],
-            [tuple![1, 2], tuple![2, 1], tuple![2, 3]],
-        )
-        .unwrap();
+        db.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 1], tuple![2, 3]])
+            .unwrap();
         let q = parse_cq("G(x, z) :- E(x, y), E(y, z), x != z.").unwrap();
         let out = evaluate(&q, &db, &ColorCodingOptions::default()).unwrap();
         let expected = naive::evaluate(&q, &db).unwrap();
@@ -281,10 +345,7 @@ mod tests {
             }
         }
         db.add_table("E", ["a", "b"], rows).unwrap();
-        let q = parse_cq(
-            "G :- E(x, y), E(y, z), E(z, w), x != z, x != w, y != w.",
-        )
-        .unwrap();
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, w), x != z, x != w, y != w.").unwrap();
         let opts = ColorCodingOptions::default();
         assert!(is_nonempty(&q, &db, &opts).unwrap());
         // And the full evaluation agrees with naive on the Boolean level.
@@ -322,6 +383,8 @@ mod tests {
         let q = parse_cq("G :- EP(e, p), e != e.").unwrap();
         let db = ep_db();
         assert!(!is_nonempty(&q, &db, &ColorCodingOptions::default()).unwrap());
-        assert!(evaluate(&q, &db, &ColorCodingOptions::default()).unwrap().is_empty());
+        assert!(evaluate(&q, &db, &ColorCodingOptions::default())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -66,9 +66,11 @@ impl NeqFormula {
     /// The distinct constants of the formula.
     pub fn constants(&self) -> BTreeSet<Value> {
         match self {
-            NeqFormula::Atom(l, r) => {
-                [l, r].into_iter().filter_map(Term::as_const).cloned().collect()
-            }
+            NeqFormula::Atom(l, r) => [l, r]
+                .into_iter()
+                .filter_map(Term::as_const)
+                .cloned()
+                .collect(),
             NeqFormula::And(fs) | NeqFormula::Or(fs) => {
                 fs.iter().flat_map(NeqFormula::constants).collect()
             }
@@ -139,14 +141,16 @@ pub fn evaluate(
     let body: BTreeSet<&str> = q.atom_variables().into_iter().collect();
     for v in q.head_variables() {
         if !body.contains(v) {
-            return Err(EngineError::Query(pq_query::QueryError::UnsafeHeadVariable(
-                v.to_string(),
-            )));
+            return Err(EngineError::Query(
+                pq_query::QueryError::UnsafeHeadVariable(v.to_string()),
+            ));
         }
     }
     for v in phi.variables() {
         if !body.contains(v.as_str()) {
-            return Err(EngineError::Query(pq_query::QueryError::UnsafeConstraintVariable(v)));
+            return Err(EngineError::Query(
+                pq_query::QueryError::UnsafeConstraintVariable(v),
+            ));
         }
     }
     let hg = q.hypergraph();
@@ -160,8 +164,11 @@ pub fn evaluate(
 
     // Per-atom relations (constants/equalities only — φ is checked at the
     // root, per the paper's "may not push down" caveat).
-    let base: Vec<Relation> =
-        q.atoms.iter().map(|a| atom_relation(a, db)).collect::<Result<_>>()?;
+    let base: Vec<Relation> = q
+        .atoms
+        .iter()
+        .map(|a| atom_relation(a, db))
+        .collect::<Result<_>>()?;
 
     let dom = DomainIndex::from_database(db);
     let head_vars: Vec<String> = q.head_variables().iter().map(|v| v.to_string()).collect();
@@ -171,20 +178,25 @@ pub fn evaluate(
         // Extend every atom relation with hashed copies of its φ-variables.
         let mut rels: Vec<Relation> = Vec::with_capacity(base.len());
         for rel in &base {
-            let hv: Vec<&String> =
-                phi_vars.iter().filter(|v| rel.attr_pos(v).is_some()).collect();
+            let hv: Vec<&String> = phi_vars
+                .iter()
+                .filter(|v| rel.attr_pos(v).is_some())
+                .collect();
             if hv.is_empty() {
                 rels.push(rel.clone());
                 continue;
             }
             let mut attrs: Vec<String> = rel.attrs().to_vec();
             attrs.extend(hv.iter().map(|v| hashed_attr(v)));
-            let positions: Vec<usize> =
-                hv.iter().map(|v| rel.attr_pos(v).expect("checked")).collect();
+            let positions: Vec<usize> = hv
+                .iter()
+                .map(|v| rel.attr_pos(v).expect("checked"))
+                .collect();
             let mut ext = Relation::new(attrs)?;
             for t in rel.iter() {
-                let extra =
-                    positions.iter().map(|&p| Value::Int(i64::from(h.color_of(&dom, &t[p]))));
+                let extra = positions
+                    .iter()
+                    .map(|&p| Value::Int(i64::from(h.color_of(&dom, &t[p]))));
                 ext.insert(t.extend_with(extra))?;
             }
             rels.push(ext);
@@ -249,11 +261,7 @@ pub fn evaluate(
 }
 
 /// Ground-truth evaluation by backtracking (exponential), for testing.
-pub fn evaluate_naive(
-    q: &ConjunctiveQuery,
-    phi: &NeqFormula,
-    db: &Database,
-) -> Result<Relation> {
+pub fn evaluate_naive(q: &ConjunctiveQuery, phi: &NeqFormula, db: &Database) -> Result<Relation> {
     let all = crate::naive::evaluate(
         &ConjunctiveQuery::new(
             q.head_name.clone(),
@@ -298,7 +306,8 @@ mod tests {
             [tuple![1, 2], tuple![2, 2], tuple![2, 3], tuple![3, 1]],
         )
         .unwrap();
-        d.add_table("S", ["b", "c"], [tuple![2, 1], tuple![2, 4], tuple![3, 3]]).unwrap();
+        d.add_table("S", ["b", "c"], [tuple![2, 1], tuple![2, 4], tuple![3, 3]])
+            .unwrap();
         d
     }
 
@@ -351,7 +360,10 @@ mod tests {
     fn randomized_family_is_sound() {
         let q = parse_cq("G(a, c) :- R(a, b), S(b, c).").unwrap();
         let phi = NeqFormula::neq(var("a"), var("c"));
-        let fam = HashFamily::Random { trials: 40, seed: 5 };
+        let fam = HashFamily::Random {
+            trials: 40,
+            seed: 5,
+        };
         let subset = evaluate(&q, &phi, &db(), &fam).unwrap();
         let full = evaluate_naive(&q, &phi, &db()).unwrap();
         for t in subset.iter() {

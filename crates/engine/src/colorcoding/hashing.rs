@@ -43,7 +43,11 @@ impl DomainIndex {
     pub fn from_database(db: &Database) -> DomainIndex {
         let dom: BTreeSet<Value> = db.active_domain();
         let values: Vec<Value> = dom.into_iter().collect();
-        let index = values.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
+        let index = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i))
+            .collect();
         DomainIndex { values, index }
     }
 
@@ -166,13 +170,15 @@ impl HashFamily {
 /// construction described in the module docs applies.
 fn perfect_family(n: usize, k: usize) -> Box<dyn Iterator<Item = Coloring>> {
     if n <= k {
-        return Box::new(std::iter::once(Coloring::new((0..n).map(|i| i as u32).collect())));
+        return Box::new(std::iter::once(Coloring::new(
+            (0..n).map(|i| i as u32).collect(),
+        )));
     }
     if k == 2 {
         let bits = usize::BITS - (n - 1).leading_zeros();
-        return Box::new((0..bits).map(move |i| {
-            Coloring::new((0..n).map(|x| (x >> i & 1) as u32).collect())
-        }));
+        return Box::new(
+            (0..bits).map(move |i| Coloring::new((0..n).map(|x| (x >> i & 1) as u32).collect())),
+        );
     }
     let p = smallest_prime_at_least(n);
     let m = k * k;
@@ -230,7 +236,7 @@ fn is_prime(n: usize) -> bool {
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -281,7 +287,10 @@ mod tests {
     #[test]
     fn random_family_respects_trials_and_range() {
         let dom = DomainIndex::from_database(&db_with_values(10));
-        let fam = HashFamily::Random { trials: 7, seed: 42 };
+        let fam = HashFamily::Random {
+            trials: 7,
+            seed: 42,
+        };
         let cs: Vec<Coloring> = fam.colorings(&dom, 3).collect();
         assert_eq!(cs.len(), 7);
         for c in &cs {

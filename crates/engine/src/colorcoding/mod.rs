@@ -21,8 +21,13 @@ pub mod formula_neq;
 pub mod hashing;
 pub mod partition;
 
-pub use algorithms::{algorithm1, algorithm2, hashed_attr, Prepared};
-pub use driver::{decide, evaluate, is_nonempty, ColorCodingOptions};
+pub use algorithms::{
+    algorithm1, algorithm1_governed, algorithm2, algorithm2_governed, hashed_attr, Prepared,
+};
+pub use driver::{
+    decide, decide_governed, evaluate, evaluate_governed, is_nonempty, is_nonempty_governed,
+    ColorCodingOptions,
+};
 pub use formula_neq::NeqFormula;
 pub use hashing::{Coloring, DomainIndex, HashFamily};
 pub use partition::NeqPartition;

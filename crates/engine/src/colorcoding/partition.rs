@@ -47,8 +47,11 @@ impl NeqPartition {
                         trivially_false = true;
                         continue;
                     }
-                    let (lo, hi) =
-                        if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+                    let (lo, hi) = if a < b {
+                        (a.clone(), b.clone())
+                    } else {
+                        (b.clone(), a.clone())
+                    };
                     let co = match (hg.vertex(&lo), hg.vertex(&hi)) {
                         (Some(va), Some(vb)) => hg.co_occur(va, vb),
                         // A variable missing from every atom is unsafe; the

@@ -72,7 +72,9 @@ pub fn analyze(comps: &[Comparison]) -> ComparisonAnalysis {
     let comp_of = scc(n, &edges);
 
     // Inconsistent iff a strict arc stays within one component.
-    let consistent = edges.iter().all(|&(a, b, strict)| !(strict && comp_of[a] == comp_of[b]));
+    let consistent = edges
+        .iter()
+        .all(|&(a, b, strict)| !(strict && comp_of[a] == comp_of[b]));
 
     // Representatives: constant if the component has one, else the smallest
     // variable. Two distinct constants in a component ⇒ inconsistent — but
@@ -87,9 +89,9 @@ pub fn analyze(comps: &[Comparison]) -> ComparisonAnalysis {
             }
             Some(existing) => {
                 let better = match (existing.as_const().is_some(), t.as_const().is_some()) {
-                    (false, true) => true,               // constants win
+                    (false, true) => true, // constants win
                     (true, false) | (true, true) => false,
-                    (false, false) => t < existing,      // smaller variable name
+                    (false, false) => t < existing, // smaller variable name
                 };
                 if better {
                     rep_of_comp.insert(c, t.clone());
@@ -108,7 +110,11 @@ pub fn analyze(comps: &[Comparison]) -> ComparisonAnalysis {
         representative.insert(t.clone(), rep);
     }
 
-    ComparisonAnalysis { consistent, representative, equalities }
+    ComparisonAnalysis {
+        consistent,
+        representative,
+        equalities,
+    }
 }
 
 /// Iterative Kosaraju strongly-connected components; returns a component id
@@ -184,13 +190,18 @@ pub fn collapse_query(q: &ConjunctiveQuery) -> Result<Option<ConjunctiveQuery>> 
         return Ok(None);
     }
 
-    let rep = |t: &Term| analysis.representative.get(t).cloned().unwrap_or_else(|| t.clone());
+    let rep = |t: &Term| {
+        analysis
+            .representative
+            .get(t)
+            .cloned()
+            .unwrap_or_else(|| t.clone())
+    };
 
     // Rewrite terms everywhere.
     let map_term = |t: &Term| rep(t);
-    let map_atom = |a: &pq_query::Atom| {
-        pq_query::Atom::new(a.relation.clone(), a.terms.iter().map(map_term))
-    };
+    let map_atom =
+        |a: &pq_query::Atom| pq_query::Atom::new(a.relation.clone(), a.terms.iter().map(map_term));
     let mut comparisons: Vec<Comparison> = Vec::new();
     for c in &q.comparisons {
         let l = rep(&c.left);

@@ -83,7 +83,9 @@ pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool> 
 /// unique up to renaming.
 pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery> {
     if !q.is_pure() {
-        return Err(EngineError::Unsupported("minimization handles pure CQs".into()));
+        return Err(EngineError::Unsupported(
+            "minimization handles pure CQs".into(),
+        ));
     }
     let mut current = q.clone();
     loop {
@@ -133,7 +135,9 @@ pub fn homomorphism(
         bq.atoms.iter().cloned(),
     );
     let sols = naive::evaluate(&probe, &db)?;
-    let Some(t) = sols.iter().next() else { return Ok(None) };
+    let Some(t) = sols.iter().next() else {
+        return Ok(None);
+    };
     let mut out = Vec::new();
     for (i, v) in all_vars.iter().enumerate() {
         // Unfreeze images back into q1 terms.

@@ -14,7 +14,11 @@ use pq_data::{Database, Relation, Tuple};
 use pq_query::{ConjunctiveQuery, DatalogProgram, Rule};
 
 use crate::error::{EngineError, Result};
+use crate::governor::ExecutionContext;
 use crate::naive;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "datalog";
 
 /// Evaluation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,16 +81,42 @@ pub fn evaluate(p: &DatalogProgram, db: &Database, strategy: Strategy) -> Result
     Ok(evaluate_with_stats(p, db, strategy)?.0)
 }
 
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(
+    p: &DatalogProgram,
+    db: &Database,
+    strategy: Strategy,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
+    Ok(evaluate_with_stats_governed(p, db, strategy, ctx)?.0)
+}
+
 /// Evaluate and also report fixpoint statistics.
 pub fn evaluate_with_stats(
     p: &DatalogProgram,
     db: &Database,
     strategy: Strategy,
 ) -> Result<(Relation, FixpointStats)> {
+    evaluate_with_stats_governed(p, db, strategy, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate_with_stats`] under the resource limits of `ctx`.
+///
+/// The budget is shared with the per-rule conjunctive-query evaluations, so
+/// a fixpoint that derives too many tuples — or a single rule body that
+/// explodes — both surface as [`EngineError::ResourceExhausted`].
+pub fn evaluate_with_stats_governed(
+    p: &DatalogProgram,
+    db: &Database,
+    strategy: Strategy,
+    ctx: &ExecutionContext,
+) -> Result<(Relation, FixpointStats)> {
     p.validate()?;
     for e in p.edb_relations() {
         if !db.has_relation(e) {
-            return Err(EngineError::Data(pq_data::DataError::UnknownRelation(e.to_string())));
+            return Err(EngineError::Data(pq_data::DataError::UnknownRelation(
+                e.to_string(),
+            )));
         }
         if p.idb_relations().contains(e) {
             unreachable!("edb/idb are disjoint by construction");
@@ -107,10 +137,13 @@ pub fn evaluate_with_stats(
 
     let mut stats = FixpointStats::default();
     match strategy {
-        Strategy::Naive => naive_fixpoint(p, &mut work, &mut stats)?,
-        Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &arities, &mut stats)?,
+        Strategy::Naive => naive_fixpoint(p, &mut work, &mut stats, ctx)?,
+        Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &arities, &mut stats, ctx)?,
     }
-    stats.derived_tuples = arities.keys().map(|n| work.relation(n).map(Relation::len)).sum::<pq_data::Result<usize>>()?;
+    stats.derived_tuples = arities
+        .keys()
+        .map(|n| work.relation(n).map(Relation::len))
+        .sum::<pq_data::Result<usize>>()?;
     Ok((work.relation(&p.goal)?.clone(), stats))
 }
 
@@ -118,17 +151,22 @@ fn naive_fixpoint(
     p: &DatalogProgram,
     work: &mut Database,
     stats: &mut FixpointStats,
+    ctx: &ExecutionContext,
 ) -> Result<()> {
     loop {
         stats.rounds += 1;
         let mut changed = false;
         for rule in &p.rules {
+            ctx.tick(ENGINE)?;
             stats.rule_evaluations += 1;
             let cq = rule_to_cq(rule);
-            let derived = naive::evaluate(&cq, work)?;
+            let derived = naive::evaluate_governed(&cq, work, ctx)?;
             let target = work.relation_mut(&rule.head.relation)?;
             for t in derived.iter() {
-                changed |= target.insert(t.clone())?;
+                if target.insert(t.clone())? {
+                    ctx.charge_tuples(ENGINE, 1)?;
+                    changed = true;
+                }
             }
         }
         if !changed {
@@ -142,18 +180,24 @@ fn seminaive_fixpoint(
     work: &mut Database,
     arities: &BTreeMap<String, usize>,
     stats: &mut FixpointStats,
+    ctx: &ExecutionContext,
 ) -> Result<()> {
     // Round 0: evaluate every rule once (IDBs are empty, so only EDB-only
     // rules fire); collect deltas.
     let mut delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
     stats.rounds = 1;
     for rule in &p.rules {
+        ctx.tick(ENGINE)?;
         stats.rule_evaluations += 1;
-        let derived = naive::evaluate(&rule_to_cq(rule), work)?;
+        let derived = naive::evaluate_governed(&rule_to_cq(rule), work, ctx)?;
         let target = work.relation_mut(&rule.head.relation)?;
         for t in derived.iter() {
             if target.insert(t.clone())? {
-                delta.entry(rule.head.relation.clone()).or_default().push(t.clone());
+                ctx.charge_tuples(ENGINE, 1)?;
+                delta
+                    .entry(rule.head.relation.clone())
+                    .or_default()
+                    .push(t.clone());
             }
         }
     }
@@ -175,10 +219,13 @@ fn seminaive_fixpoint(
 
         for rule in &p.rules {
             for (i, batom) in rule.body.iter().enumerate() {
-                let Some(tuples) = delta.get(&batom.relation) else { continue };
+                let Some(tuples) = delta.get(&batom.relation) else {
+                    continue;
+                };
                 if tuples.is_empty() {
                     continue;
                 }
+                ctx.tick(ENGINE)?;
                 stats.rule_evaluations += 1;
                 // Rule with body atom i redirected at the delta.
                 let mut body = rule.body.clone();
@@ -191,11 +238,15 @@ fn seminaive_fixpoint(
                     rule.head.terms.iter().cloned(),
                     body,
                 );
-                let derived = naive::evaluate(&cq, work)?;
+                let derived = naive::evaluate_governed(&cq, work, ctx)?;
                 let target = work.relation_mut(&rule.head.relation)?;
                 for t in derived.iter() {
                     if target.insert(t.clone())? {
-                        next_delta.entry(rule.head.relation.clone()).or_default().push(t.clone());
+                        ctx.charge_tuples(ENGINE, 1)?;
+                        next_delta
+                            .entry(rule.head.relation.clone())
+                            .or_default()
+                            .push(t.clone());
                     }
                 }
             }
@@ -224,7 +275,8 @@ mod tests {
 
     fn path_db(n: i64) -> Database {
         let mut db = Database::new();
-        db.add_table("E", ["a", "b"], (0..n - 1).map(|i| tuple![i, i + 1])).unwrap();
+        db.add_table("E", ["a", "b"], (0..n - 1).map(|i| tuple![i, i + 1]))
+            .unwrap();
         db
     }
 
@@ -266,7 +318,8 @@ mod tests {
     fn cyclic_graph_terminates() {
         let p = tc_program();
         let mut db = Database::new();
-        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 0]]).unwrap();
+        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 0]])
+            .unwrap();
         let t = evaluate(&p, &db, Strategy::SemiNaive).unwrap();
         assert_eq!(t.len(), 9); // complete relation on 3 nodes
     }
@@ -281,7 +334,8 @@ mod tests {
         .unwrap();
         let mut db = Database::new();
         // Binary tree: 1 → {2,3}, 2 → {4,5}
-        db.add_table("N", ["n"], (1..=5i64).map(|i| tuple![i])).unwrap();
+        db.add_table("N", ["n"], (1..=5i64).map(|i| tuple![i]))
+            .unwrap();
         db.add_table(
             "P",
             ["c", "p"],

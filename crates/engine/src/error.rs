@@ -7,6 +7,7 @@ use pq_query::QueryError;
 
 /// Errors raised during query evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// A substrate (relation/database) error.
     Data(DataError),
@@ -19,6 +20,31 @@ pub enum EngineError {
     /// instantiation can satisfy them); callers usually treat this as an
     /// empty answer, but the consistency checker reports it explicitly.
     InconsistentComparisons,
+    /// A governed evaluation hit one of its resource limits and gave up.
+    ///
+    /// This is *not* an empty answer: the engine stopped before it could
+    /// know the answer. The counters report how far it got (see
+    /// [`crate::governor::ExecutionContext`]).
+    ResourceExhausted {
+        /// Which limit tripped.
+        kind: crate::governor::ResourceKind,
+        /// The engine that was running when it tripped.
+        engine: &'static str,
+        /// Atoms/operators/rules processed before giving up.
+        atoms_processed: u64,
+        /// Intermediate tuples materialized before giving up.
+        tuples_materialized: u64,
+    },
+}
+
+impl EngineError {
+    /// Is this a resource-exhaustion error (any [`ResourceKind`]) — i.e. the
+    /// engine *gave up* rather than determined an answer?
+    ///
+    /// [`ResourceKind`]: crate::governor::ResourceKind
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, EngineError::ResourceExhausted { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +56,17 @@ impl fmt::Display for EngineError {
             EngineError::InconsistentComparisons => {
                 write!(f, "comparison constraints are inconsistent")
             }
+            EngineError::ResourceExhausted {
+                kind,
+                engine,
+                atoms_processed,
+                tuples_materialized,
+            } => write!(
+                f,
+                "evaluation gave up ({kind}) in engine `{engine}` after \
+                 processing {atoms_processed} atoms and materializing \
+                 {tuples_materialized} intermediate tuples"
+            ),
         }
     }
 }

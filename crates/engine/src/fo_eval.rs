@@ -14,6 +14,10 @@ use pq_query::{FoFormula, FoQuery, Term};
 
 use crate::binding::{head_attrs, Binding};
 use crate::error::{EngineError, Result};
+use crate::governor::ExecutionContext;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "fo";
 
 /// The evaluation domain: active domain of `db` plus the constants of `f`.
 pub fn evaluation_domain(f: &FoFormula, db: &Database) -> Vec<Value> {
@@ -44,8 +48,19 @@ fn collect_constants(f: &FoFormula, out: &mut BTreeSet<Value>) {
 /// Does `f` hold in `db` under `binding`? Every free variable of `f` must be
 /// bound.
 pub fn holds(f: &FoFormula, db: &Database, binding: &Binding) -> Result<bool> {
+    holds_governed(f, db, binding, &ExecutionContext::unlimited())
+}
+
+/// [`holds`] under the resource limits of `ctx`. The recursion depth follows
+/// the formula's connective nesting, so the depth guard bounds it directly.
+pub fn holds_governed(
+    f: &FoFormula,
+    db: &Database,
+    binding: &Binding,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     let dom = evaluation_domain(f, db);
-    holds_in(f, db, &dom, &mut binding.clone())
+    holds_in(f, db, &dom, &mut binding.clone(), ctx)
 }
 
 fn holds_in(
@@ -53,9 +68,13 @@ fn holds_in(
     db: &Database,
     dom: &[Value],
     binding: &mut Binding,
+    ctx: &ExecutionContext,
 ) -> Result<bool> {
+    let _depth = ctx.recurse(ENGINE)?;
     match f {
         FoFormula::Atom(a) => {
+            ctx.note_atom();
+            ctx.tick(ENGINE)?;
             let rel = db.relation(&a.relation)?;
             if rel.arity() != a.arity() {
                 return Err(EngineError::Unsupported(format!(
@@ -79,10 +98,10 @@ fn holds_in(
             }
             Ok(rel.contains(&Tuple::new(vals)))
         }
-        FoFormula::Not(g) => Ok(!holds_in(g, db, dom, binding)?),
+        FoFormula::Not(g) => Ok(!holds_in(g, db, dom, binding, ctx)?),
         FoFormula::And(fs) => {
             for g in fs {
-                if !holds_in(g, db, dom, binding)? {
+                if !holds_in(g, db, dom, binding, ctx)? {
                     return Ok(false);
                 }
             }
@@ -90,7 +109,7 @@ fn holds_in(
         }
         FoFormula::Or(fs) => {
             for g in fs {
-                if holds_in(g, db, dom, binding)? {
+                if holds_in(g, db, dom, binding, ctx)? {
                     return Ok(true);
                 }
             }
@@ -99,8 +118,9 @@ fn holds_in(
         FoFormula::Exists(v, g) => {
             let saved = binding.get(v).cloned();
             for val in dom {
+                ctx.tick(ENGINE)?;
                 binding.insert(v.clone(), val.clone());
-                if holds_in(g, db, dom, binding)? {
+                if holds_in(g, db, dom, binding, ctx)? {
                     restore(binding, v, saved);
                     return Ok(true);
                 }
@@ -111,8 +131,9 @@ fn holds_in(
         FoFormula::Forall(v, g) => {
             let saved = binding.get(v).cloned();
             for val in dom {
+                ctx.tick(ENGINE)?;
                 binding.insert(v.clone(), val.clone());
-                if !holds_in(g, db, dom, binding)? {
+                if !holds_in(g, db, dom, binding, ctx)? {
                     restore(binding, v, saved);
                     return Ok(false);
                 }
@@ -136,20 +157,30 @@ fn restore(binding: &mut Binding, v: &str, saved: Option<Value>) {
 
 /// Is a closed (Boolean) first-order query true?
 pub fn query_holds(q: &FoQuery, db: &Database) -> Result<bool> {
+    query_holds_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`query_holds`] under the resource limits of `ctx`.
+pub fn query_holds_governed(q: &FoQuery, db: &Database, ctx: &ExecutionContext) -> Result<bool> {
     if !q.formula.free_variables().is_empty() {
         return Err(EngineError::Unsupported(
             "query_holds requires a closed formula; use evaluate for free variables".into(),
         ));
     }
-    holds(&q.formula, db, &Binding::new())
+    holds_governed(&q.formula, db, &Binding::new(), ctx)
 }
 
 /// Evaluate a first-order query: enumerate head-variable bindings over the
 /// evaluation domain and keep those satisfying the formula. `O(n^{|Z|})`
 /// head candidates, each checked in `O(q·n^v)`.
 pub fn evaluate(q: &FoQuery, db: &Database) -> Result<Relation> {
+    evaluate_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(q: &FoQuery, db: &Database, ctx: &ExecutionContext) -> Result<Relation> {
     q.validate()?;
-    evaluate_active_domain(q, db)
+    evaluate_active_domain_governed(q, db, ctx)
 }
 
 /// Like [`evaluate`] but without the head-freeness validation: head
@@ -157,6 +188,15 @@ pub fn evaluate(q: &FoQuery, db: &Database) -> Result<Relation> {
 /// domain (the usual active-domain semantics). Used for the unsafe disjuncts
 /// arising in the union-of-CQs expansion of positive queries.
 pub fn evaluate_active_domain(q: &FoQuery, db: &Database) -> Result<Relation> {
+    evaluate_active_domain_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate_active_domain`] under the resource limits of `ctx`.
+pub fn evaluate_active_domain_governed(
+    q: &FoQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     let dom = evaluation_domain(&q.formula, db);
     let head_vars: Vec<&str> = {
         let mut seen = Vec::new();
@@ -171,10 +211,11 @@ pub fn evaluate_active_domain(q: &FoQuery, db: &Database) -> Result<Relation> {
     };
     let mut out = Relation::new(head_attrs(&q.head_terms))?;
     let mut binding = Binding::new();
-    enumerate_heads(q, db, &dom, &head_vars, 0, &mut binding, &mut out)?;
+    enumerate_heads(q, db, &dom, &head_vars, 0, &mut binding, ctx, &mut out)?;
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enumerate_heads(
     q: &FoQuery,
     db: &Database,
@@ -182,21 +223,25 @@ fn enumerate_heads(
     head_vars: &[&str],
     i: usize,
     binding: &mut Binding,
+    ctx: &ExecutionContext,
     out: &mut Relation,
 ) -> Result<()> {
+    let _depth = ctx.recurse(ENGINE)?;
     if i == head_vars.len() {
-        if holds_in(&q.formula, db, dom, binding)? {
+        if holds_in(&q.formula, db, dom, binding, ctx)? {
             let vals = q.head_terms.iter().map(|t| match t {
                 Term::Const(c) => c.clone(),
                 Term::Var(v) => binding.get(v).expect("head var bound").clone(),
             });
+            ctx.charge_tuples(ENGINE, 1)?;
             out.insert(Tuple::new(vals))?;
         }
         return Ok(());
     }
     for val in dom {
+        ctx.tick(ENGINE)?;
         binding.insert(head_vars[i].to_string(), val.clone());
-        enumerate_heads(q, db, dom, head_vars, i + 1, binding, out)?;
+        enumerate_heads(q, db, dom, head_vars, i + 1, binding, ctx, out)?;
     }
     binding.remove(head_vars[i]);
     Ok(())
@@ -210,7 +255,8 @@ mod tests {
 
     fn edge_db() -> Database {
         let mut db = Database::new();
-        db.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        db.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]])
+            .unwrap();
         db
     }
 
@@ -240,7 +286,10 @@ mod tests {
         let q = parse_fo("Q := exists x. E(x, x)").unwrap();
         let nq = parse_fo("Q := !exists x. E(x, x)").unwrap();
         let db = edge_db();
-        assert_ne!(query_holds(&q, &db).unwrap(), query_holds(&nq, &db).unwrap());
+        assert_ne!(
+            query_holds(&q, &db).unwrap(),
+            query_holds(&nq, &db).unwrap()
+        );
     }
 
     #[test]
@@ -273,7 +322,10 @@ mod tests {
     #[test]
     fn free_variable_errors() {
         let q = parse_fo("Q := E(x, y)").unwrap();
-        assert!(matches!(query_holds(&q, &edge_db()), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            query_holds(&q, &edge_db()),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! The execution governor: resource limits for engines that are
+//! super-polynomial by nature.
+//!
+//! Every evaluator in this crate can blow up on adversarial inputs — that is
+//! the point of Theorems 1 and 3 (`n^q` time is "likely optimal"), and even
+//! the Theorem 2 color-coding algorithm carries its `g(v)` factor. A service
+//! embedding these engines therefore needs a way to say *stop*: after a
+//! wall-clock deadline, after materializing too many intermediate tuples,
+//! past a recursion depth, or when a caller cancels from another thread.
+//!
+//! [`ExecutionContext`] carries those four limits. Engines poll it at loop
+//! heads ([`ExecutionContext::tick`]), charge every materialized intermediate
+//! tuple against the budget ([`ExecutionContext::charge_tuples`]), and wrap
+//! recursive descents in an RAII depth guard ([`ExecutionContext::recurse`]).
+//! When a limit trips, the engine unwinds with
+//! [`EngineError::ResourceExhausted`] — a structured "gave up" distinct from
+//! an empty answer — and the context's counters report how far it got.
+//!
+//! Deadline checks are amortized: `tick` looks at the wall clock only once
+//! every [`TICKS_PER_CLOCK_CHECK`] calls, so governed hot loops do not pay a
+//! syscall per tuple.
+//!
+//! Fault injection (`cfg(any(test, feature = "fault-injection"))`): a
+//! [`FaultSpec`] arms the context to fail deterministically at the `n`-th
+//! tick with a chosen [`ResourceKind`], letting tests drive every
+//! resource-exhaustion path through every engine without real clocks or
+//! threads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{EngineError, Result};
+
+/// Which resource ran out. Carried by [`EngineError::ResourceExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ResourceKind {
+    /// The wall-clock deadline passed.
+    Timeout,
+    /// The intermediate-tuple budget was spent.
+    TupleBudget,
+    /// The recursion-depth limit was reached.
+    DepthLimit,
+    /// The cancellation token was triggered.
+    Cancelled,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResourceKind::Timeout => "deadline exceeded",
+            ResourceKind::TupleBudget => "tuple budget exhausted",
+            ResourceKind::DepthLimit => "recursion depth limit reached",
+            ResourceKind::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A shareable cancellation flag. Clone it into another thread and call
+/// [`CancellationToken::cancel`]; every governed engine polling the paired
+/// [`ExecutionContext`] unwinds with [`ResourceKind::Cancelled`] at its next
+/// loop head.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// How often `tick` consults the wall clock / cancellation flag: once per
+/// this many calls. Power of two so the check compiles to a mask.
+pub const TICKS_PER_CLOCK_CHECK: u64 = 256;
+
+/// Deterministic fault injection: fail as if `kind` had tripped once the
+/// context has seen `after_ticks` ticks.
+///
+/// The fault is **one-shot**: it fires at the first qualifying tick and then
+/// disarms, so a fallback engine retrying on the same context runs normally —
+/// exactly the scenario the planner's degradation chain needs to exercise.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Trip at the first tick whose ordinal is `>= after_ticks`.
+    pub after_ticks: u64,
+    /// The kind of exhaustion to report.
+    pub kind: ResourceKind,
+}
+
+/// Resource limits and live counters for one evaluation.
+///
+/// Interior mutability (`Cell`) lets engines share one `&ExecutionContext`
+/// down arbitrarily nested call chains; the context is intentionally not
+/// `Sync` — cross-thread signalling goes through [`CancellationToken`].
+///
+/// A context is reusable across engines: the budget and deadline are *spent*,
+/// not reset, so handing the same context to a fallback engine naturally
+/// gives it only the remaining allowance (what `pq-core`'s planner fallback
+/// chain does).
+///
+/// Deliberately not `Clone`: a copy would fork the budget counters, silently
+/// doubling the allowance.
+#[derive(Debug, Default)]
+pub struct ExecutionContext {
+    deadline: Option<Instant>,
+    tuples_remaining: Option<Cell<u64>>,
+    max_depth: Option<usize>,
+    cancel: Option<CancellationToken>,
+    ticks: Cell<u64>,
+    depth: Cell<usize>,
+    atoms_processed: Cell<u64>,
+    tuples_materialized: Cell<u64>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Cell<Option<FaultSpec>>,
+}
+
+impl ExecutionContext {
+    /// A context with no limits (what the ungoverned public entry points
+    /// use). All accounting still happens, so counters stay meaningful.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Start from no limits; chain `with_*` to add them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail with [`ResourceKind::Timeout`] once `budget` of wall-clock time
+    /// has elapsed (measured from this call).
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Fail with [`ResourceKind::TupleBudget`] once engines have materialized
+    /// more than `budget` intermediate tuples.
+    #[must_use]
+    pub fn with_tuple_budget(mut self, budget: u64) -> Self {
+        self.tuples_remaining = Some(Cell::new(budget));
+        self
+    }
+
+    /// Fail with [`ResourceKind::DepthLimit`] when governed recursion nests
+    /// deeper than `depth`.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Poll `token` at loop heads; fail with [`ResourceKind::Cancelled`] once
+    /// it trips.
+    #[must_use]
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Arm deterministic fault injection: the first tick at or past
+    /// `spec.after_ticks` fails with `spec.kind`, then the fault disarms.
+    #[cfg(any(test, feature = "fault-injection"))]
+    #[must_use]
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.fault = Cell::new(Some(spec));
+        self
+    }
+
+    // ---- accounting reads ----
+
+    /// Ticks seen so far (loop-head polls across all engines on this context).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.get()
+    }
+
+    /// Atoms (or operators/rules, per engine) processed so far.
+    pub fn atoms_processed(&self) -> u64 {
+        self.atoms_processed.get()
+    }
+
+    /// Intermediate tuples charged so far.
+    pub fn tuples_materialized(&self) -> u64 {
+        self.tuples_materialized.get()
+    }
+
+    /// Tuples still allowed, or `None` when unbudgeted.
+    pub fn tuples_remaining(&self) -> Option<u64> {
+        self.tuples_remaining.as_ref().map(Cell::get)
+    }
+
+    /// Is any limit or fault configured? (`false` for
+    /// [`ExecutionContext::unlimited`]; used by planners to skip
+    /// fallback machinery when nothing can trip.)
+    pub fn is_limited(&self) -> bool {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if self.fault.get().is_some() {
+            return true;
+        }
+        self.deadline.is_some()
+            || self.tuples_remaining.is_some()
+            || self.max_depth.is_some()
+            || self.cancel.is_some()
+    }
+
+    // ---- charging ----
+
+    /// Loop-head poll. Cheap (counter increment); consults the wall clock and
+    /// cancellation flag once every [`TICKS_PER_CLOCK_CHECK`] calls.
+    #[inline]
+    pub fn tick(&self, engine: &'static str) -> Result<()> {
+        let t = self.ticks.get() + 1;
+        self.ticks.set(t);
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(f) = self.fault.get() {
+            if t >= f.after_ticks {
+                self.fault.set(None); // one-shot: disarm so fallbacks proceed
+                return Err(self.exhausted(f.kind, engine));
+            }
+        }
+        if t.is_multiple_of(TICKS_PER_CLOCK_CHECK) {
+            self.check_clock_and_cancel(engine)?;
+        }
+        Ok(())
+    }
+
+    /// Count one processed atom/operator/rule (diagnostics only; never fails).
+    #[inline]
+    pub fn note_atom(&self) {
+        self.atoms_processed.set(self.atoms_processed.get() + 1);
+    }
+
+    /// Charge `n` materialized intermediate tuples against the budget.
+    #[inline]
+    pub fn charge_tuples(&self, engine: &'static str, n: u64) -> Result<()> {
+        self.tuples_materialized
+            .set(self.tuples_materialized.get() + n);
+        if let Some(rem) = &self.tuples_remaining {
+            let have = rem.get();
+            if n > have {
+                rem.set(0);
+                return Err(self.exhausted(ResourceKind::TupleBudget, engine));
+            }
+            rem.set(have - n);
+        }
+        Ok(())
+    }
+
+    /// Enter one level of governed recursion. The returned guard releases the
+    /// level when dropped; hold it for the duration of the recursive call:
+    ///
+    /// ```
+    /// # use pq_engine::governor::ExecutionContext;
+    /// # fn walk(ctx: &ExecutionContext, n: u32) -> pq_engine::Result<u32> {
+    /// let _depth = ctx.recurse("demo")?;
+    /// if n == 0 { return Ok(0); }
+    /// walk(ctx, n - 1)
+    /// # }
+    /// # let ctx = ExecutionContext::new().with_max_depth(8);
+    /// # assert!(walk(&ctx, 5).is_ok());
+    /// # assert!(walk(&ctx, 50).is_err());
+    /// ```
+    #[inline]
+    pub fn recurse(&self, engine: &'static str) -> Result<DepthGuard<'_>> {
+        let d = self.depth.get() + 1;
+        if let Some(max) = self.max_depth {
+            if d > max {
+                return Err(self.exhausted(ResourceKind::DepthLimit, engine));
+            }
+        }
+        self.depth.set(d);
+        Ok(DepthGuard { ctx: self })
+    }
+
+    /// Build the structured exhaustion error for this context's counters.
+    /// Public so engines can report engine-specific trip points (e.g. a
+    /// trial-loop bound) with consistent accounting.
+    pub fn exhausted(&self, kind: ResourceKind, engine: &'static str) -> EngineError {
+        EngineError::ResourceExhausted {
+            kind,
+            engine,
+            atoms_processed: self.atoms_processed.get(),
+            tuples_materialized: self.tuples_materialized.get(),
+        }
+    }
+
+    fn check_clock_and_cancel(&self, engine: &'static str) -> Result<()> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Err(self.exhausted(ResourceKind::Cancelled, engine));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(self.exhausted(ResourceKind::Timeout, engine));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// RAII guard for one governed recursion level (see
+/// [`ExecutionContext::recurse`]).
+#[derive(Debug)]
+pub struct DepthGuard<'a> {
+    ctx: &'a ExecutionContext,
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.depth.set(self.ctx.depth.get() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_context_never_trips() {
+        let ctx = ExecutionContext::unlimited();
+        for _ in 0..10_000 {
+            ctx.tick("t").unwrap();
+        }
+        ctx.charge_tuples("t", u64::MAX / 2).unwrap();
+        assert!(!ctx.is_limited());
+        assert_eq!(ctx.ticks(), 10_000);
+    }
+
+    #[test]
+    fn tuple_budget_trips_at_the_boundary() {
+        let ctx = ExecutionContext::new().with_tuple_budget(10);
+        ctx.charge_tuples("t", 10).unwrap();
+        let err = ctx.charge_tuples("t", 1).unwrap_err();
+        match err {
+            EngineError::ResourceExhausted {
+                kind,
+                engine,
+                tuples_materialized,
+                ..
+            } => {
+                assert_eq!(kind, ResourceKind::TupleBudget);
+                assert_eq!(engine, "t");
+                assert_eq!(tuples_materialized, 11);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_trips_only_on_clock_check_ticks() {
+        let ctx = ExecutionContext::new().with_deadline(Duration::ZERO);
+        // Below the check interval nothing trips (amortization)…
+        for _ in 0..TICKS_PER_CLOCK_CHECK - 1 {
+            ctx.tick("t").unwrap();
+        }
+        // …and the check-interval tick observes the expired deadline.
+        let err = ctx.tick("t").unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::ResourceExhausted {
+                kind: ResourceKind::Timeout,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cancellation_is_observed_from_the_token() {
+        let token = CancellationToken::new();
+        let ctx = ExecutionContext::new().with_cancellation(token.clone());
+        for _ in 0..TICKS_PER_CLOCK_CHECK {
+            ctx.tick("t").unwrap();
+        }
+        token.cancel();
+        let mut tripped = None;
+        for _ in 0..TICKS_PER_CLOCK_CHECK {
+            if let Err(e) = ctx.tick("t") {
+                tripped = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(
+            tripped,
+            Some(EngineError::ResourceExhausted {
+                kind: ResourceKind::Cancelled,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn depth_guard_releases_on_drop() {
+        let ctx = ExecutionContext::new().with_max_depth(2);
+        let g1 = ctx.recurse("t").unwrap();
+        let g2 = ctx.recurse("t").unwrap();
+        assert!(matches!(
+            ctx.recurse("t"),
+            Err(EngineError::ResourceExhausted {
+                kind: ResourceKind::DepthLimit,
+                ..
+            })
+        ));
+        drop(g2);
+        let g2b = ctx.recurse("t").unwrap();
+        drop(g2b);
+        drop(g1);
+        // Both levels free again.
+        let _a = ctx.recurse("t").unwrap();
+        let _b = ctx.recurse("t").unwrap();
+    }
+
+    #[test]
+    fn budget_is_shared_across_uses_for_fallback_semantics() {
+        let ctx = ExecutionContext::new().with_tuple_budget(100);
+        ctx.charge_tuples("first-engine", 70).unwrap();
+        assert_eq!(ctx.tuples_remaining(), Some(30));
+        // A second engine on the same context only gets what is left.
+        assert!(ctx.charge_tuples("second-engine", 40).is_err());
+    }
+
+    #[test]
+    fn fault_injection_trips_exactly_at_the_requested_tick() {
+        let ctx = ExecutionContext::new().with_fault(FaultSpec {
+            after_ticks: 5,
+            kind: ResourceKind::Timeout,
+        });
+        for _ in 0..4 {
+            ctx.tick("t").unwrap();
+        }
+        assert!(matches!(
+            ctx.tick("t"),
+            Err(EngineError::ResourceExhausted {
+                kind: ResourceKind::Timeout,
+                ..
+            })
+        ));
+        // One-shot: the fault disarms after firing, so a fallback engine
+        // reusing the context runs normally.
+        for _ in 0..100 {
+            ctx.tick("t").unwrap();
+        }
+        assert!(!ctx.is_limited());
+    }
+}

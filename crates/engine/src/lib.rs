@@ -24,9 +24,11 @@ pub mod containment;
 pub mod datalog_eval;
 pub mod error;
 pub mod fo_eval;
+pub mod governor;
 pub mod naive;
 pub mod naive_indexed;
 pub mod positive_eval;
 pub mod yannakakis;
 
 pub use error::{EngineError, Result};
+pub use governor::{CancellationToken, ExecutionContext, ResourceKind};

@@ -14,25 +14,47 @@ use pq_query::{CmpOp, ConjunctiveQuery, QueryError, Term};
 
 use crate::binding::{apply_term, bindings_to_output, Binding};
 use crate::error::{EngineError, Result};
+use crate::governor::ExecutionContext;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "naive";
 
 /// Evaluate `Q(d)` by backtracking search. Time `O(n^{|atoms|})` in the
 /// worst case — exactly the exponential dependence on the parameter that
 /// Theorems 1 and 3 say is (likely) unavoidable in general.
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
+    evaluate_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     check_safety(q)?;
     let mut bindings = Vec::new();
-    search(q, db, &mut |b| {
+    search(q, db, ctx, &mut |b| {
         bindings.push(b.clone());
         true // keep searching
     })?;
-    Ok(bindings_to_output(q, bindings)?)
+    bindings_to_output(q, bindings)
 }
 
 /// Is `Q(d)` nonempty? Stops at the first satisfying instantiation.
 pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+    is_nonempty_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`is_nonempty`] under the resource limits of `ctx`.
+pub fn is_nonempty_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     // Emptiness does not require head safety (the head plays no role).
     let mut found = false;
-    search(q, db, &mut |_| {
+    search(q, db, ctx, &mut |_| {
         found = true;
         false // stop
     })?;
@@ -43,9 +65,19 @@ pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
 /// the paper prescribes — substitute the constants of `t` into the query and
 /// test the resulting Boolean query.
 pub fn decide(q: &ConjunctiveQuery, db: &Database, t: &Tuple) -> Result<bool> {
+    decide_governed(q, db, t, &ExecutionContext::unlimited())
+}
+
+/// [`decide`] under the resource limits of `ctx`.
+pub fn decide_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    t: &Tuple,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     match q.bind_head(t)? {
         None => Ok(false),
-        Some(bq) => is_nonempty(&bq, db),
+        Some(bq) => is_nonempty_governed(&bq, db, ctx),
     }
 }
 
@@ -55,7 +87,9 @@ fn check_safety(q: &ConjunctiveQuery) -> Result<()> {
     let body: BTreeSet<&str> = q.atom_variables().into_iter().collect();
     for v in q.head_variables() {
         if !body.contains(v) {
-            return Err(EngineError::Query(QueryError::UnsafeHeadVariable(v.to_string())));
+            return Err(EngineError::Query(QueryError::UnsafeHeadVariable(
+                v.to_string(),
+            )));
         }
     }
     for v in q
@@ -65,7 +99,9 @@ fn check_safety(q: &ConjunctiveQuery) -> Result<()> {
         .chain(q.comparisons.iter().flat_map(|c| c.variables()))
     {
         if !body.contains(v) {
-            return Err(EngineError::Query(QueryError::UnsafeConstraintVariable(v.to_string())));
+            return Err(EngineError::Query(QueryError::UnsafeConstraintVariable(
+                v.to_string(),
+            )));
         }
     }
     Ok(())
@@ -98,14 +134,18 @@ fn constraints_hold(q: &ConjunctiveQuery, b: &Binding) -> bool {
 fn search(
     q: &ConjunctiveQuery,
     db: &Database,
+    ctx: &ExecutionContext,
     visit: &mut impl FnMut(&Binding) -> bool,
 ) -> Result<()> {
     // Resolve relations up front so missing tables error out deterministically.
-    let rels: Vec<&Relation> =
-        q.atoms.iter().map(|a| db.relation(&a.relation)).collect::<pq_data::Result<_>>()?;
+    let rels: Vec<&Relation> = q
+        .atoms
+        .iter()
+        .map(|a| db.relation(&a.relation))
+        .collect::<pq_data::Result<_>>()?;
     let mut binding = Binding::new();
     let mut used = vec![false; q.atoms.len()];
-    recurse(q, &rels, &mut used, &mut binding, visit)?;
+    recurse(q, &rels, &mut used, &mut binding, ctx, visit)?;
     Ok(())
 }
 
@@ -114,32 +154,35 @@ fn recurse(
     rels: &[&Relation],
     used: &mut [bool],
     binding: &mut Binding,
+    ctx: &ExecutionContext,
     visit: &mut impl FnMut(&Binding) -> bool,
 ) -> Result<bool> {
+    let _depth = ctx.recurse(ENGINE)?;
     // Pick the unused atom with the most bound variables (greedy join
     // order); ties broken by smaller relation.
-    let next = (0..q.atoms.len())
-        .filter(|&i| !used[i])
-        .max_by_key(|&i| {
-            let bound = q.atoms[i]
-                .terms
-                .iter()
-                .filter(|t| match t {
-                    Term::Var(v) => binding.contains_key(v),
-                    Term::Const(_) => true,
-                })
-                .count();
-            (bound, usize::MAX - rels[i].len())
-        });
+    let next = (0..q.atoms.len()).filter(|&i| !used[i]).max_by_key(|&i| {
+        let bound = q.atoms[i]
+            .terms
+            .iter()
+            .filter(|t| match t {
+                Term::Var(v) => binding.contains_key(v),
+                Term::Const(_) => true,
+            })
+            .count();
+        (bound, usize::MAX - rels[i].len())
+    });
 
     let Some(i) = next else {
         // All atoms matched; constraints are fully bound by safety.
+        ctx.charge_tuples(ENGINE, 1)?;
         return Ok(visit(binding));
     };
 
     used[i] = true;
+    ctx.note_atom();
     let atom = &q.atoms[i];
     'tuples: for t in rels[i].iter() {
+        ctx.tick(ENGINE)?;
         // Unify the atom against the tuple under the current binding.
         let mut newly_bound: Vec<&str> = Vec::new();
         for (pos, term) in atom.terms.iter().enumerate() {
@@ -165,7 +208,7 @@ fn recurse(
             }
         }
         let keep_going = if constraints_hold(q, binding) {
-            recurse(q, rels, used, binding, visit)?
+            recurse(q, rels, used, binding, ctx, visit)?
         } else {
             true
         };
@@ -214,7 +257,7 @@ mod tests {
         let out = evaluate(&q, &edge_db()).unwrap();
         // 1→2→3, 2→3→1, 3→1→2, 3→1→3, 1→3→1
         assert_eq!(out.len(), 5);
-        assert!(out.contains(&tuple![1, 2]) == false);
+        assert!(!out.contains(&tuple![1, 2]));
         assert!(out.contains(&tuple![1, 3]));
         assert!(out.contains(&tuple![3, 3]));
     }
@@ -232,7 +275,11 @@ mod tests {
         db.add_table(
             "EP",
             ["e", "p"],
-            [tuple!["ann", "p1"], tuple!["ann", "p2"], tuple!["bob", "p1"]],
+            [
+                tuple!["ann", "p1"],
+                tuple!["ann", "p2"],
+                tuple!["bob", "p1"],
+            ],
         )
         .unwrap();
         let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
@@ -244,7 +291,12 @@ mod tests {
     #[test]
     fn comparisons_filter_solutions() {
         let mut db = Database::new();
-        db.add_table("EM", ["e", "m"], [tuple!["ann", "bob"], tuple!["cid", "bob"]]).unwrap();
+        db.add_table(
+            "EM",
+            ["e", "m"],
+            [tuple!["ann", "bob"], tuple!["cid", "bob"]],
+        )
+        .unwrap();
         db.add_table(
             "ES",
             ["e", "s"],
@@ -268,7 +320,8 @@ mod tests {
     #[test]
     fn repeated_variables_in_atom_enforce_equality() {
         let mut db = Database::new();
-        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]]).unwrap();
+        db.add_table("R", ["a", "b"], [tuple![1, 1], tuple![1, 2]])
+            .unwrap();
         let q = parse_cq("G(x) :- R(x, x).").unwrap();
         let out = evaluate(&q, &db).unwrap();
         assert_eq!(out.len(), 1);
@@ -285,7 +338,10 @@ mod tests {
     #[test]
     fn unknown_relation_errors() {
         let q = parse_cq("G(x) :- Nope(x).").unwrap();
-        assert!(matches!(evaluate(&q, &edge_db()), Err(EngineError::Data(_))));
+        assert!(matches!(
+            evaluate(&q, &edge_db()),
+            Err(EngineError::Data(_))
+        ));
     }
 
     #[test]
@@ -317,8 +373,8 @@ mod tests {
         db.add_table("G", ["a", "b"], rows).unwrap();
         let q = parse_cq("P :- G(x1, x2), G(x1, x3), G(x2, x3).").unwrap();
         assert!(is_nonempty(&q, &db).unwrap());
-        let q4 = parse_cq("P :- G(x1,x2), G(x1,x3), G(x1,x4), G(x2,x3), G(x2,x4), G(x3,x4).")
-            .unwrap();
+        let q4 =
+            parse_cq("P :- G(x1,x2), G(x1,x3), G(x1,x4), G(x2,x3), G(x2,x4), G(x3,x4).").unwrap();
         assert!(!is_nonempty(&q4, &db).unwrap());
     }
 

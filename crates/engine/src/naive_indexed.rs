@@ -15,6 +15,10 @@ use pq_query::{ConjunctiveQuery, QueryError, Term};
 
 use crate::binding::{apply_term, bindings_to_output, Binding};
 use crate::error::{EngineError, Result};
+use crate::governor::ExecutionContext;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "naive-indexed";
 
 /// A relation wrapped with one hash index per column.
 struct Indexed<'a> {
@@ -41,19 +45,37 @@ impl<'a> Indexed<'a> {
 
 /// Evaluate with indexes; result identical to [`crate::naive::evaluate`].
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
+    evaluate_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     check_safety(q)?;
     let mut bindings = Vec::new();
-    search(q, db, &mut |b| {
+    search(q, db, ctx, &mut |b| {
         bindings.push(b.clone());
         true
     })?;
-    Ok(bindings_to_output(q, bindings)?)
+    bindings_to_output(q, bindings)
 }
 
 /// Emptiness with indexes.
 pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+    is_nonempty_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`is_nonempty`] under the resource limits of `ctx`.
+pub fn is_nonempty_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     let mut found = false;
-    search(q, db, &mut |_| {
+    search(q, db, ctx, &mut |_| {
         found = true;
         false
     })?;
@@ -64,7 +86,9 @@ fn check_safety(q: &ConjunctiveQuery) -> Result<()> {
     let body: BTreeSet<&str> = q.atom_variables().into_iter().collect();
     for v in q.head_variables() {
         if !body.contains(v) {
-            return Err(EngineError::Query(QueryError::UnsafeHeadVariable(v.to_string())));
+            return Err(EngineError::Query(QueryError::UnsafeHeadVariable(
+                v.to_string(),
+            )));
         }
     }
     for v in q
@@ -74,7 +98,9 @@ fn check_safety(q: &ConjunctiveQuery) -> Result<()> {
         .chain(q.comparisons.iter().flat_map(|c| c.variables()))
     {
         if !body.contains(v) {
-            return Err(EngineError::Query(QueryError::UnsafeConstraintVariable(v.to_string())));
+            return Err(EngineError::Query(QueryError::UnsafeConstraintVariable(
+                v.to_string(),
+            )));
         }
     }
     Ok(())
@@ -101,14 +127,18 @@ fn constraints_hold(q: &ConjunctiveQuery, b: &Binding) -> bool {
 fn search(
     q: &ConjunctiveQuery,
     db: &Database,
+    ctx: &ExecutionContext,
     visit: &mut impl FnMut(&Binding) -> bool,
 ) -> Result<()> {
-    let rels: Vec<&Relation> =
-        q.atoms.iter().map(|a| db.relation(&a.relation)).collect::<pq_data::Result<_>>()?;
+    let rels: Vec<&Relation> = q
+        .atoms
+        .iter()
+        .map(|a| db.relation(&a.relation))
+        .collect::<pq_data::Result<_>>()?;
     let indexed: Vec<Indexed> = rels.iter().map(|r| Indexed::build(r)).collect();
     let mut used = vec![false; q.atoms.len()];
     let mut binding = Binding::new();
-    recurse(q, &indexed, &mut used, &mut binding, visit)?;
+    recurse(q, &indexed, &mut used, &mut binding, ctx, visit)?;
     Ok(())
 }
 
@@ -125,19 +155,26 @@ fn recurse(
     rels: &[Indexed],
     used: &mut [bool],
     binding: &mut Binding,
+    ctx: &ExecutionContext,
     visit: &mut impl FnMut(&Binding) -> bool,
 ) -> Result<bool> {
+    let _depth = ctx.recurse(ENGINE)?;
     // Pick the unused atom with the most bound terms.
     let next = (0..q.atoms.len()).filter(|&i| !used[i]).max_by_key(|&i| {
-        let bound =
-            q.atoms[i].terms.iter().filter(|t| bound_value(t, binding).is_some()).count();
+        let bound = q.atoms[i]
+            .terms
+            .iter()
+            .filter(|t| bound_value(t, binding).is_some())
+            .count();
         (bound, usize::MAX - rels[i].rel.len())
     });
     let Some(i) = next else {
+        ctx.charge_tuples(ENGINE, 1)?;
         return Ok(visit(binding));
     };
 
     used[i] = true;
+    ctx.note_atom();
     let atom = &q.atoms[i];
 
     // Candidate rows: probe the index on the first bound position, falling
@@ -153,6 +190,7 @@ fn recurse(
     };
 
     'rows: for ri in candidate_rows {
+        ctx.tick(ENGINE)?;
         let t = &rels[i].rel.tuples()[ri];
         let mut newly_bound: Vec<&str> = Vec::new();
         for (pos, term) in atom.terms.iter().enumerate() {
@@ -178,7 +216,7 @@ fn recurse(
             }
         }
         let keep_going = if constraints_hold(q, binding) {
-            recurse(q, rels, used, binding, visit)?
+            recurse(q, rels, used, binding, ctx, visit)?
         } else {
             true
         };

@@ -13,7 +13,11 @@ use pq_data::{Database, Relation};
 use pq_query::{FoFormula, FoQuery, PosFormula, PositiveQuery};
 
 use crate::error::Result;
+use crate::governor::ExecutionContext;
 use crate::{fo_eval, naive};
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "positive";
 
 /// Translate a positive formula into the equivalent first-order formula.
 pub fn to_fo(f: &PosFormula) -> FoFormula {
@@ -23,7 +27,9 @@ pub fn to_fo(f: &PosFormula) -> FoFormula {
         PosFormula::Or(fs) => FoFormula::Or(fs.iter().map(to_fo).collect()),
         PosFormula::Exists(vs, b) => {
             let body = to_fo(b);
-            vs.iter().rev().fold(body, |acc, v| FoFormula::Exists(v.clone(), Box::new(acc)))
+            vs.iter()
+                .rev()
+                .fold(body, |acc, v| FoFormula::Exists(v.clone(), Box::new(acc)))
         }
     }
 }
@@ -35,37 +41,50 @@ pub fn to_fo(f: &PosFormula) -> FoFormula {
 /// skipped: to keep the two routes in exact agreement we evaluate them over
 /// the active domain by falling back to the direct route for such disjuncts.
 pub fn evaluate_via_cqs(q: &PositiveQuery, db: &Database) -> Result<Relation> {
+    evaluate_via_cqs_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate_via_cqs`] under the resource limits of `ctx`: the expansion
+/// ticks per disjunct and every unioned answer tuple is charged, so a query
+/// whose CQ expansion explodes surfaces as a structured error instead of an
+/// unbounded materialization.
+pub fn evaluate_via_cqs_governed(
+    q: &PositiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     let cqs = q.to_union_of_cqs();
     let mut out = Relation::new(crate::binding::head_attrs(&q.head_terms))?;
     for cq in cqs {
-        let body_vars: std::collections::BTreeSet<&str> =
-            cq.atom_variables().into_iter().collect();
+        ctx.tick(ENGINE)?;
+        let body_vars: std::collections::BTreeSet<&str> = cq.atom_variables().into_iter().collect();
         let all_safe = cq.head_variables().iter().all(|v| body_vars.contains(v));
         let part = if all_safe {
-            naive::evaluate(&cq, db)?
+            naive::evaluate_governed(&cq, db, ctx)?
         } else {
             // Head variable missing from this disjunct: range it over the
             // active domain via the direct evaluator, existentially closing
             // the non-head body variables.
-            let head: std::collections::BTreeSet<&str> =
-                cq.head_variables().into_iter().collect();
+            let head: std::collections::BTreeSet<&str> = cq.head_variables().into_iter().collect();
             let exist_vars: Vec<String> = cq
                 .atom_variables()
                 .into_iter()
                 .filter(|v| !head.contains(v))
                 .map(str::to_string)
                 .collect();
-            let body =
-                to_fo(&PosFormula::And(cq.atoms.iter().cloned().map(PosFormula::Atom).collect()));
+            let body = to_fo(&PosFormula::And(
+                cq.atoms.iter().cloned().map(PosFormula::Atom).collect(),
+            ));
             let fo = FoQuery::new(
                 cq.head_name.clone(),
                 cq.head_terms.clone(),
                 FoFormula::exists_block(exist_vars, body),
             );
-            fo_eval::evaluate_active_domain(&fo, db)?
+            fo_eval::evaluate_active_domain_governed(&fo, db, ctx)?
         };
         // Headers agree (same head terms) up to naming convention.
         for t in part.iter() {
+            ctx.charge_tuples(ENGINE, 1)?;
             out.insert(t.clone())?;
         }
     }
@@ -74,8 +93,17 @@ pub fn evaluate_via_cqs(q: &PositiveQuery, db: &Database) -> Result<Relation> {
 
 /// Evaluate directly as a first-order query.
 pub fn evaluate_direct(q: &PositiveQuery, db: &Database) -> Result<Relation> {
+    evaluate_direct_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate_direct`] under the resource limits of `ctx`.
+pub fn evaluate_direct_governed(
+    q: &PositiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     let fo = FoQuery::new(q.head_name.clone(), q.head_terms.clone(), to_fo(&q.formula));
-    fo_eval::evaluate(&fo, db)
+    fo_eval::evaluate_governed(&fo, db, ctx)
 }
 
 /// Default evaluation (union-of-CQs route — the paper's reduction).
@@ -83,11 +111,30 @@ pub fn evaluate(q: &PositiveQuery, db: &Database) -> Result<Relation> {
     evaluate_via_cqs(q, db)
 }
 
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(
+    q: &PositiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
+    evaluate_via_cqs_governed(q, db, ctx)
+}
+
 /// Is a closed (Boolean) positive query true?
 pub fn query_holds(q: &PositiveQuery, db: &Database) -> Result<bool> {
+    query_holds_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`query_holds`] under the resource limits of `ctx`.
+pub fn query_holds_governed(
+    q: &PositiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     let cqs = q.to_union_of_cqs();
     for cq in cqs {
-        if naive::is_nonempty(&cq, db)? {
+        ctx.tick(ENGINE)?;
+        if naive::is_nonempty_governed(&cq, db, ctx)? {
             return Ok(true);
         }
     }
@@ -105,7 +152,8 @@ mod tests {
         d.add_table("R", ["a"], [tuple![1], tuple![2]]).unwrap();
         d.add_table("S", ["a"], [tuple![2], tuple![3]]).unwrap();
         d.add_table("T", ["a"], [tuple![4]]).unwrap();
-        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3]])
+            .unwrap();
         d
     }
 

@@ -15,6 +15,10 @@ use pq_query::{Atom, ConjunctiveQuery, Term};
 
 use crate::binding::head_attrs;
 use crate::error::{EngineError, Result};
+use crate::governor::ExecutionContext;
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "yannakakis";
 
 /// Options for [`evaluate_with_options`]; the default runs the full
 /// Yannakakis pipeline.
@@ -29,7 +33,9 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { downward_pass: true }
+        EvalOptions {
+            downward_pass: true,
+        }
     }
 }
 
@@ -39,6 +45,16 @@ impl Default for EvalOptions {
 /// between positions holding the same variable; the projection keeps one
 /// column per variable, named by the variable.
 pub fn atom_relation(atom: &Atom, db: &Database) -> Result<Relation> {
+    atom_relation_governed(atom, db, &ExecutionContext::unlimited())
+}
+
+/// [`atom_relation`] under the resource limits of `ctx`: the scan ticks per
+/// source tuple and every kept instantiation is charged against the budget.
+pub fn atom_relation_governed(
+    atom: &Atom,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     let r = db.relation(&atom.relation)?;
     if r.arity() != atom.arity() {
         return Err(EngineError::Unsupported(format!(
@@ -49,8 +65,10 @@ pub fn atom_relation(atom: &Atom, db: &Database) -> Result<Relation> {
         )));
     }
     let vars = atom.variables();
+    ctx.note_atom();
     let mut out = Relation::new(vars.iter().map(|v| v.to_string()))?;
     'tuples: for t in r.iter() {
+        ctx.tick(ENGINE)?;
         let mut vals: Vec<Option<&pq_data::Value>> = vec![None; vars.len()];
         for (pos, term) in atom.terms.iter().enumerate() {
             match term {
@@ -72,7 +90,11 @@ pub fn atom_relation(atom: &Atom, db: &Database) -> Result<Relation> {
                 }
             }
         }
-        let tup = Tuple::new(vals.into_iter().map(|v| v.expect("every var filled").clone()));
+        let tup = Tuple::new(
+            vals.into_iter()
+                .map(|v| v.expect("every var filled").clone()),
+        );
+        ctx.charge_tuples(ENGINE, 1)?;
         out.insert(tup)?;
     }
     Ok(out)
@@ -86,27 +108,40 @@ fn prepare(q: &ConjunctiveQuery) -> Result<(Hypergraph, JoinTree)> {
         ));
     }
     let hg = q.hypergraph();
-    let tree = join_tree(&hg).ok_or_else(|| {
-        EngineError::Unsupported(format!("query is not acyclic: {q}"))
-    })?;
+    let tree = join_tree(&hg)
+        .ok_or_else(|| EngineError::Unsupported(format!("query is not acyclic: {q}")))?;
     Ok((hg, tree))
 }
 
 /// Emptiness: one bottom-up semijoin pass. `O(n log n)` per join level;
 /// polynomial in the input alone.
 pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+    is_nonempty_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// [`is_nonempty`] under the resource limits of `ctx`.
+pub fn is_nonempty_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     if q.atoms.is_empty() {
         return Ok(true); // vacuous body
     }
     let (_hg, tree) = prepare(q)?;
-    let mut rels: Vec<Relation> =
-        q.atoms.iter().map(|a| atom_relation(a, db)).collect::<Result<_>>()?;
+    let mut rels: Vec<Relation> = q
+        .atoms
+        .iter()
+        .map(|a| atom_relation_governed(a, db, ctx))
+        .collect::<Result<_>>()?;
     for j in tree.bottom_up() {
+        ctx.tick(ENGINE)?;
         if rels[j].is_empty() {
             return Ok(false);
         }
         if let Some(u) = tree.parent(j) {
             rels[u] = rels[u].semijoin(&rels[j]);
+            ctx.charge_tuples(ENGINE, rels[u].len() as u64)?;
         }
     }
     Ok(!rels[tree.root()].is_empty())
@@ -114,9 +149,19 @@ pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
 
 /// The decision problem: `t ∈ Q(d)`?
 pub fn decide(q: &ConjunctiveQuery, db: &Database, t: &Tuple) -> Result<bool> {
+    decide_governed(q, db, t, &ExecutionContext::unlimited())
+}
+
+/// [`decide`] under the resource limits of `ctx`.
+pub fn decide_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    t: &Tuple,
+    ctx: &ExecutionContext,
+) -> Result<bool> {
     match q.bind_head(t)? {
         None => Ok(false),
-        Some(bq) => is_nonempty(&bq, db),
+        Some(bq) => is_nonempty_governed(&bq, db, ctx),
     }
 }
 
@@ -137,19 +182,41 @@ pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
     evaluate_with_options(q, db, EvalOptions::default())
 }
 
+/// [`evaluate`] under the resource limits of `ctx`.
+pub fn evaluate_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
+    evaluate_with_options_governed(q, db, EvalOptions::default(), ctx)
+}
+
 /// Full evaluation of an acyclic pure CQ, time polynomial in input + output.
 pub fn evaluate_with_options(
     q: &ConjunctiveQuery,
     db: &Database,
     opts: EvalOptions,
 ) -> Result<Relation> {
+    evaluate_with_options_governed(q, db, opts, &ExecutionContext::unlimited())
+}
+
+/// [`evaluate_with_options`] under the resource limits of `ctx`: semijoin
+/// passes tick per tree node and charge every intermediate relation they
+/// rebuild, so runaway join phases stop at the budget instead of exhausting
+/// memory.
+pub fn evaluate_with_options_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: EvalOptions,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
     // Safety: head variables must occur in the body.
     let body_vars: BTreeSet<&str> = q.atom_variables().into_iter().collect();
     for v in q.head_variables() {
         if !body_vars.contains(v) {
-            return Err(EngineError::Query(pq_query::QueryError::UnsafeHeadVariable(
-                v.to_string(),
-            )));
+            return Err(EngineError::Query(
+                pq_query::QueryError::UnsafeHeadVariable(v.to_string()),
+            ));
         }
     }
     if q.atoms.is_empty() {
@@ -160,24 +227,31 @@ pub fn evaluate_with_options(
     }
 
     let (hg, tree) = prepare(q)?;
-    let mut rels: Vec<Relation> =
-        q.atoms.iter().map(|a| atom_relation(a, db)).collect::<Result<_>>()?;
+    let mut rels: Vec<Relation> = q
+        .atoms
+        .iter()
+        .map(|a| atom_relation_governed(a, db, ctx))
+        .collect::<Result<_>>()?;
 
     // Upward semijoin pass (full-reducer half 1).
     for j in tree.bottom_up() {
+        ctx.tick(ENGINE)?;
         if rels[j].is_empty() {
             return Ok(Relation::new(head_attrs(&q.head_terms))?);
         }
         if let Some(u) = tree.parent(j) {
             rels[u] = rels[u].semijoin(&rels[j]);
+            ctx.charge_tuples(ENGINE, rels[u].len() as u64)?;
         }
     }
 
     // Downward semijoin pass (full-reducer half 2) — removes dangling tuples.
     if opts.downward_pass {
         for j in tree.top_down() {
+            ctx.tick(ENGINE)?;
             if let Some(u) = tree.parent(j) {
                 rels[j] = rels[j].semijoin(&rels[u]);
+                ctx.charge_tuples(ENGINE, rels[j].len() as u64)?;
             }
         }
     }
@@ -188,11 +262,15 @@ pub fn evaluate_with_options(
     // Bottom-up join + project: P_u := P_u ⋈ π_{Z_j}(P_j) with
     // Z_j = (U_j ∩ U_u) ∪ (Z ∩ at(T[j])).
     for j in tree.bottom_up() {
+        ctx.tick(ENGINE)?;
         let Some(u) = tree.parent(j) else { continue };
         let u_j: BTreeSet<&str> = hg.edge(j).iter().map(|&v| hg.label(v)).collect();
         let u_u: BTreeSet<&str> = hg.edge(u).iter().map(|&v| hg.label(v)).collect();
-        let subtree: BTreeSet<&str> =
-            tree.subtree_vertices(&hg, j).iter().map(|&v| hg.label(v)).collect();
+        let subtree: BTreeSet<&str> = tree
+            .subtree_vertices(&hg, j)
+            .iter()
+            .map(|&v| hg.label(v))
+            .collect();
         let mut zj: Vec<String> = Vec::new();
         for v in u_j.intersection(&u_u) {
             zj.push((*v).to_string());
@@ -204,6 +282,7 @@ pub fn evaluate_with_options(
         }
         let projected = rels[j].project_onto(&zj);
         rels[u] = rels[u].natural_join(&projected)?;
+        ctx.charge_tuples(ENGINE, (projected.len() + rels[u].len()) as u64)?;
         if rels[u].is_empty() {
             return Ok(Relation::new(head_attrs(&q.head_terms))?);
         }
@@ -213,7 +292,9 @@ pub fn evaluate_with_options(
     let z_refs: Vec<&str> = z.iter().map(String::as_str).collect();
     let star = rels[tree.root()].project(&z_refs)?;
     let mut out = Relation::new(head_attrs(&q.head_terms))?;
+    ctx.charge_tuples(ENGINE, star.len() as u64)?;
     for t in star.iter() {
+        ctx.tick(ENGINE)?;
         let vals = q.head_terms.iter().map(|term| match term {
             Term::Const(c) => c.clone(),
             Term::Var(v) => {
@@ -235,9 +316,16 @@ mod tests {
 
     fn chain_db() -> Database {
         let mut db = Database::new();
-        db.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![4, 5]]).unwrap();
-        db.add_table("S", ["b", "c"], [tuple![2, 10], tuple![3, 20], tuple![5, 30]]).unwrap();
-        db.add_table("T", ["c", "d"], [tuple![10, 100], tuple![20, 200]]).unwrap();
+        db.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![4, 5]])
+            .unwrap();
+        db.add_table(
+            "S",
+            ["b", "c"],
+            [tuple![2, 10], tuple![3, 20], tuple![5, 30]],
+        )
+        .unwrap();
+        db.add_table("T", ["c", "d"], [tuple![10, 100], tuple![20, 200]])
+            .unwrap();
         db
     }
 
@@ -265,8 +353,10 @@ mod tests {
     #[test]
     fn star_query() {
         let mut db = Database::new();
-        db.add_table("P", ["c", "x"], [tuple![1, 10], tuple![2, 20]]).unwrap();
-        db.add_table("Q", ["c", "y"], [tuple![1, 11], tuple![1, 12]]).unwrap();
+        db.add_table("P", ["c", "x"], [tuple![1, 10], tuple![2, 20]])
+            .unwrap();
+        db.add_table("Q", ["c", "y"], [tuple![1, 11], tuple![1, 12]])
+            .unwrap();
         db.add_table("W", ["c", "z"], [tuple![1, 13]]).unwrap();
         let q = parse_cq("G(c) :- P(c, x), Q(c, y), W(c, z).").unwrap();
         let out = evaluate(&q, &db).unwrap();
@@ -279,7 +369,10 @@ mod tests {
         let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
         let mut db = Database::new();
         db.add_table("E", ["a", "b"], [tuple![1, 2]]).unwrap();
-        assert!(matches!(evaluate(&q, &db), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            evaluate(&q, &db),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -287,14 +380,21 @@ mod tests {
         let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
         let mut db = Database::new();
         db.add_table("EP", ["e", "p"], []).unwrap();
-        assert!(matches!(evaluate(&q, &db), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            evaluate(&q, &db),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]
     fn constants_and_repeated_vars_in_atoms() {
         let mut db = Database::new();
-        db.add_table("R", ["a", "b", "c"], [tuple![1, 1, 5], tuple![1, 2, 5], tuple![2, 2, 7]])
-            .unwrap();
+        db.add_table(
+            "R",
+            ["a", "b", "c"],
+            [tuple![1, 1, 5], tuple![1, 2, 5], tuple![2, 2, 7]],
+        )
+        .unwrap();
         let q = parse_cq("G(x) :- R(x, x, 5).").unwrap();
         let out = evaluate(&q, &db).unwrap();
         assert_eq!(out.len(), 1);
@@ -305,9 +405,22 @@ mod tests {
     fn skipping_downward_pass_is_still_correct() {
         let q = parse_cq("G(x, w) :- R(x, y), S(y, z), T(z, w).").unwrap();
         let db = chain_db();
-        let with = evaluate_with_options(&q, &db, EvalOptions { downward_pass: true }).unwrap();
-        let without =
-            evaluate_with_options(&q, &db, EvalOptions { downward_pass: false }).unwrap();
+        let with = evaluate_with_options(
+            &q,
+            &db,
+            EvalOptions {
+                downward_pass: true,
+            },
+        )
+        .unwrap();
+        let without = evaluate_with_options(
+            &q,
+            &db,
+            EvalOptions {
+                downward_pass: false,
+            },
+        )
+        .unwrap();
         assert_eq!(with, without);
     }
 
@@ -333,7 +446,10 @@ mod tests {
     fn atom_relation_arity_mismatch_errors() {
         let db = chain_db();
         let a = pq_query::atom!("R"; var "x");
-        assert!(matches!(atom_relation(&a, &db), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            atom_relation(&a, &db),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -126,8 +126,12 @@ mod tests {
 
     #[test]
     fn path_is_acyclic_with_valid_tree() {
-        let hg =
-            Hypergraph::from_edges([vec!["a", "b"], vec!["b", "c"], vec!["c", "d"], vec!["d", "e"]]);
+        let hg = Hypergraph::from_edges([
+            vec!["a", "b"],
+            vec!["b", "c"],
+            vec!["c", "d"],
+            vec!["d", "e"],
+        ]);
         let t = join_tree(&hg).expect("acyclic");
         assert!(t.verify(&hg));
     }
@@ -157,11 +161,7 @@ mod tests {
 
     #[test]
     fn star_query_is_acyclic() {
-        let hg = Hypergraph::from_edges([
-            vec!["c", "a"],
-            vec!["c", "b"],
-            vec!["c", "d"],
-        ]);
+        let hg = Hypergraph::from_edges([vec!["c", "a"], vec!["c", "b"], vec!["c", "d"]]);
         let t = join_tree(&hg).expect("acyclic");
         assert!(t.verify(&hg));
     }

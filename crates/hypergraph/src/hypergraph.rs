@@ -20,7 +20,11 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// An empty hypergraph.
     pub fn new() -> Self {
-        Hypergraph { labels: Vec::new(), index: HashMap::new(), edges: Vec::new() }
+        Hypergraph {
+            labels: Vec::new(),
+            index: HashMap::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Build from an iterator of edges, each an iterator of vertex labels.
@@ -94,7 +98,9 @@ impl Hypergraph {
 
     /// Indices of edges containing vertex `v`.
     pub fn edges_containing(&self, v: usize) -> Vec<usize> {
-        (0..self.edges.len()).filter(|&e| self.edges[e].contains(&v)).collect()
+        (0..self.edges.len())
+            .filter(|&e| self.edges[e].contains(&v))
+            .collect()
     }
 
     /// The *primal* (Gaifman) graph: vertex pairs co-occurring in an edge.

@@ -28,8 +28,7 @@ impl JoinTree {
     pub fn from_parents(parent: Vec<Option<usize>>) -> Self {
         let n = parent.len();
         assert!(n > 0, "join tree needs at least one node");
-        let roots: Vec<usize> =
-            (0..n).filter(|&i| parent[i].is_none()).collect();
+        let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
         assert_eq!(roots.len(), 1, "exactly one root expected, got {roots:?}");
         let root = roots[0];
         let mut children = vec![Vec::new(); n];
@@ -38,7 +37,11 @@ impl JoinTree {
                 children[*p].push(i);
             }
         }
-        let t = JoinTree { parent, children, root };
+        let t = JoinTree {
+            parent,
+            children,
+            root,
+        };
         // Reachability check: the parent pointers must form one tree.
         assert_eq!(t.bottom_up().len(), n, "parent pointers contain a cycle");
         t

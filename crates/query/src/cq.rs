@@ -35,7 +35,10 @@ impl Neq {
 
     /// Variable names occurring in the atom (0, 1, or 2).
     pub fn variables(&self) -> Vec<&str> {
-        [&self.left, &self.right].into_iter().filter_map(Term::as_var).collect()
+        [&self.left, &self.right]
+            .into_iter()
+            .filter_map(Term::as_var)
+            .collect()
     }
 
     /// Is this a variable-variable inequality?
@@ -45,7 +48,10 @@ impl Neq {
 
     /// Substitute a constant for a variable on both sides.
     pub fn substitute(&self, name: &str, value: &Value) -> Neq {
-        Neq { left: self.left.substitute(name, value), right: self.right.substitute(name, value) }
+        Neq {
+            left: self.left.substitute(name, value),
+            right: self.right.substitute(name, value),
+        }
     }
 }
 
@@ -102,7 +108,10 @@ impl Comparison {
 
     /// Variable names occurring in the atom.
     pub fn variables(&self) -> Vec<&str> {
-        [&self.left, &self.right].into_iter().filter_map(Term::as_var).collect()
+        [&self.left, &self.right]
+            .into_iter()
+            .filter_map(Term::as_var)
+            .collect()
     }
 
     /// Substitute a constant for a variable on both sides.
@@ -301,10 +310,26 @@ impl ConjunctiveQuery {
     pub fn substitute(&self, name: &str, value: &Value) -> ConjunctiveQuery {
         ConjunctiveQuery {
             head_name: self.head_name.clone(),
-            head_terms: self.head_terms.iter().map(|t| t.substitute(name, value)).collect(),
-            atoms: self.atoms.iter().map(|a| a.substitute(name, value)).collect(),
-            neqs: self.neqs.iter().map(|n| n.substitute(name, value)).collect(),
-            comparisons: self.comparisons.iter().map(|c| c.substitute(name, value)).collect(),
+            head_terms: self
+                .head_terms
+                .iter()
+                .map(|t| t.substitute(name, value))
+                .collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| a.substitute(name, value))
+                .collect(),
+            neqs: self
+                .neqs
+                .iter()
+                .map(|n| n.substitute(name, value))
+                .collect(),
+            comparisons: self
+                .comparisons
+                .iter()
+                .map(|c| c.substitute(name, value))
+                .collect(),
         }
     }
 
@@ -396,7 +421,10 @@ mod tests {
         ConjunctiveQuery::new(
             "G",
             [Term::var("e")],
-            [atom!("EP"; var "e", var "p"), atom!("EP"; var "e", var "p2")],
+            [
+                atom!("EP"; var "e", var "p"),
+                atom!("EP"; var "e", var "p2"),
+            ],
         )
         .with_neqs([Neq::new(Term::var("p"), Term::var("p2"))])
     }
@@ -412,11 +440,17 @@ mod tests {
     #[test]
     fn validation_catches_unsafe_queries() {
         let q = ConjunctiveQuery::new("G", [Term::var("z")], [atom!("R"; var "x")]);
-        assert_eq!(q.validate().unwrap_err(), QueryError::UnsafeHeadVariable("z".into()));
+        assert_eq!(
+            q.validate().unwrap_err(),
+            QueryError::UnsafeHeadVariable("z".into())
+        );
 
         let q = ConjunctiveQuery::boolean("G", [atom!("R"; var "x")])
             .with_neqs([Neq::new(Term::var("x"), Term::var("w"))]);
-        assert_eq!(q.validate().unwrap_err(), QueryError::UnsafeConstraintVariable("w".into()));
+        assert_eq!(
+            q.validate().unwrap_err(),
+            QueryError::UnsafeConstraintVariable("w".into())
+        );
 
         let q = ConjunctiveQuery::boolean("G", []);
         assert_eq!(q.validate().unwrap_err(), QueryError::EmptyBody);
@@ -465,11 +499,7 @@ mod tests {
 
     #[test]
     fn bind_head_repeated_variable_must_agree() {
-        let q = ConjunctiveQuery::new(
-            "G",
-            [Term::var("x"), Term::var("x")],
-            [atom!("R"; var "x")],
-        );
+        let q = ConjunctiveQuery::new("G", [Term::var("x"), Term::var("x")], [atom!("R"; var "x")]);
         assert_eq!(q.bind_head(&tuple![1, 2]).unwrap(), None);
         assert!(q.bind_head(&tuple![1, 1]).unwrap().is_some());
     }

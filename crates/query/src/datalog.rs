@@ -24,13 +24,15 @@ pub struct Rule {
 impl Rule {
     /// Build a rule.
     pub fn new(head: Atom, body: impl IntoIterator<Item = Atom>) -> Rule {
-        Rule { head, body: body.into_iter().collect() }
+        Rule {
+            head,
+            body: body.into_iter().collect(),
+        }
     }
 
     /// Safety: every head variable occurs in the body.
     pub fn is_safe(&self) -> bool {
-        let body_vars: BTreeSet<&str> =
-            self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<&str> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head.variables().iter().all(|v| body_vars.contains(v))
     }
 
@@ -67,12 +69,18 @@ pub struct DatalogProgram {
 impl DatalogProgram {
     /// Build a program.
     pub fn new(rules: impl IntoIterator<Item = Rule>, goal: impl Into<String>) -> DatalogProgram {
-        DatalogProgram { rules: rules.into_iter().collect(), goal: goal.into() }
+        DatalogProgram {
+            rules: rules.into_iter().collect(),
+            goal: goal.into(),
+        }
     }
 
     /// The IDB relations: those defined by some rule head.
     pub fn idb_relations(&self) -> BTreeSet<&str> {
-        self.rules.iter().map(|r| r.head.relation.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect()
     }
 
     /// The EDB relations: those used in bodies but never defined.
@@ -101,7 +109,11 @@ impl DatalogProgram {
     /// Maximum number of distinct variables in a single rule (the per-stage
     /// conjunctive-query parameter of Section 4's bottom-up argument).
     pub fn max_rule_variables(&self) -> usize {
-        self.rules.iter().map(|r| r.variables().len()).max().unwrap_or(0)
+        self.rules
+            .iter()
+            .map(|r| r.variables().len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Validate: all rules safe, goal defined, arities consistent per
@@ -116,7 +128,10 @@ impl DatalogProgram {
             }
         }
         if !self.idb_relations().contains(self.goal.as_str()) {
-            return Err(QueryError::BadProgram(format!("goal `{}` has no defining rule", self.goal)));
+            return Err(QueryError::BadProgram(format!(
+                "goal `{}` has no defining rule",
+                self.goal
+            )));
         }
         let mut arity: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
         for r in &self.rules {
@@ -181,7 +196,10 @@ mod tests {
     #[test]
     fn unsafe_rule_rejected() {
         let p = DatalogProgram::new(
-            [Rule::new(atom!("G"; var "x"), [atom!("E"; var "y", var "y")])],
+            [Rule::new(
+                atom!("G"; var "x"),
+                [atom!("E"; var "y", var "y")],
+            )],
             "G",
         );
         assert!(matches!(p.validate(), Err(QueryError::BadProgram(_))));
@@ -189,10 +207,7 @@ mod tests {
 
     #[test]
     fn missing_goal_rejected() {
-        let p = DatalogProgram::new(
-            [Rule::new(atom!("T"; var "x"), [atom!("E"; var "x")])],
-            "G",
-        );
+        let p = DatalogProgram::new([Rule::new(atom!("T"; var "x"), [atom!("E"; var "x")])], "G");
         assert!(p.validate().is_err());
     }
 
@@ -201,7 +216,10 @@ mod tests {
         let p = DatalogProgram::new(
             [
                 Rule::new(atom!("T"; var "x"), [atom!("E"; var "x")]),
-                Rule::new(atom!("T"; var "x", var "y"), [atom!("E"; var "x"), atom!("E"; var "y")]),
+                Rule::new(
+                    atom!("T"; var "x", var "y"),
+                    [atom!("E"; var "x"), atom!("E"; var "y")],
+                ),
             ],
             "T",
         );

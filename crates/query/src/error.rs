@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors raised while building, validating, or parsing queries.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure modes can be added without a breaking release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// A head variable does not occur in any body atom (unsafe query).
     UnsafeHeadVariable(String),
@@ -34,7 +38,10 @@ impl fmt::Display for QueryError {
                 write!(f, "head variable `{v}` does not occur in the body")
             }
             QueryError::UnsafeConstraintVariable(v) => {
-                write!(f, "constraint variable `{v}` does not occur in any relational atom")
+                write!(
+                    f,
+                    "constraint variable `{v}` does not occur in any relational atom"
+                )
             }
             QueryError::ConstantConstraint(c) => {
                 write!(f, "constraint `{c}` relates two constants")

@@ -39,6 +39,10 @@ impl FoFormula {
     }
 
     /// Negation helper.
+    ///
+    /// Not `std::ops::Not`: this is a by-value constructor alongside
+    /// [`FoFormula::and`] / [`FoFormula::or`], not an operator overload.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: FoFormula) -> FoFormula {
         FoFormula::Not(Box::new(f))
     }
@@ -69,7 +73,9 @@ impl FoFormula {
         f: FoFormula,
     ) -> FoFormula {
         let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
-        vars.into_iter().rev().fold(f, |acc, v| FoFormula::Exists(v, Box::new(acc)))
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| FoFormula::Exists(v, Box::new(acc)))
     }
 
     /// Free variables.
@@ -157,9 +163,11 @@ impl FoFormula {
         match self {
             FoFormula::Atom(_) => 0,
             FoFormula::Not(f) => f.quantifier_depth(),
-            FoFormula::And(fs) | FoFormula::Or(fs) => {
-                fs.iter().map(FoFormula::quantifier_depth).max().unwrap_or(0)
-            }
+            FoFormula::And(fs) | FoFormula::Or(fs) => fs
+                .iter()
+                .map(FoFormula::quantifier_depth)
+                .max()
+                .unwrap_or(0),
             FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.quantifier_depth(),
         }
     }
@@ -223,7 +231,11 @@ impl FoQuery {
         head_terms: impl IntoIterator<Item = Term>,
         formula: FoFormula,
     ) -> FoQuery {
-        FoQuery { head_name: head_name.into(), head_terms: head_terms.into_iter().collect(), formula }
+        FoQuery {
+            head_name: head_name.into(),
+            head_terms: head_terms.into_iter().collect(),
+            formula,
+        }
     }
 
     /// A Boolean first-order query.
@@ -347,7 +359,11 @@ mod tests {
 
     #[test]
     fn validate_head_freeness() {
-        let q = FoQuery::new("G", [Term::var("x")], FoFormula::exists("x", a("R", &["x"])));
+        let q = FoQuery::new(
+            "G",
+            [Term::var("x")],
+            FoFormula::exists("x", a("R", &["x"])),
+        );
         assert!(q.validate().is_err());
         let q = FoQuery::new("G", [Term::var("x")], a("R", &["x"]));
         assert!(q.validate().is_ok());

@@ -46,7 +46,12 @@ impl QueryMetrics for PositiveQuery {
 
     fn num_variables(&self) -> usize {
         let mut names = self.formula.all_variable_names();
-        names.extend(self.head_terms.iter().filter_map(|t| t.as_var()).map(str::to_string));
+        names.extend(
+            self.head_terms
+                .iter()
+                .filter_map(|t| t.as_var())
+                .map(str::to_string),
+        );
         names.len()
     }
 }
@@ -58,7 +63,12 @@ impl QueryMetrics for FoQuery {
 
     fn num_variables(&self) -> usize {
         let mut names = self.formula.all_variable_names();
-        names.extend(self.head_terms.iter().filter_map(|t| t.as_var()).map(str::to_string));
+        names.extend(
+            self.head_terms
+                .iter()
+                .filter_map(|t| t.as_var())
+                .map(str::to_string),
+        );
         names.len()
     }
 }
@@ -129,7 +139,10 @@ mod tests {
     fn datalog_metrics() {
         let p = DatalogProgram::new(
             [
-                crate::datalog::Rule::new(atom!("T"; var "x", var "y"), [atom!("E"; var "x", var "y")]),
+                crate::datalog::Rule::new(
+                    atom!("T"; var "x", var "y"),
+                    [atom!("E"; var "x", var "y")],
+                ),
                 crate::datalog::Rule::new(
                     atom!("T"; var "x", var "z"),
                     [atom!("E"; var "x", var "y"), atom!("T"; var "y", var "z")],

@@ -38,15 +38,15 @@ enum Tok {
     RParen,
     Comma,
     Period,
-    ColonDash,  // :-
-    ColonEq,    // :=
-    Bang,       // !
-    Amp,        // &
-    Pipe,       // |
-    Lt,         // <
-    Le,         // <=
-    Neq,        // !=
-    Goal,       // ?-
+    ColonDash, // :-
+    ColonEq,   // :=
+    Bang,      // !
+    Amp,       // &
+    Pipe,      // |
+    Lt,        // <
+    Le,        // <=
+    Neq,       // !=
+    Goal,      // ?-
 }
 
 struct Lexer<'a> {
@@ -57,13 +57,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn lex(src: &'a str) -> Result<Vec<(usize, Tok)>> {
-        let mut l = Lexer { src: src.as_bytes(), pos: 0, toks: Vec::new() };
+        let mut l = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            toks: Vec::new(),
+        };
         l.run()?;
         Ok(l.toks)
     }
 
     fn err(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset: self.pos, message: message.into() }
+        QueryError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn run(&mut self) -> Result<()> {
@@ -144,8 +151,9 @@ impl<'a> Lexer<'a> {
                         self.pos += 1;
                     }
                     let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("digits");
-                    let n: i64 =
-                        text.parse().map_err(|e| self.err(format!("bad integer: {e}")))?;
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|e| self.err(format!("bad integer: {e}")))?;
                     self.toks.push((start, Tok::Int(n)));
                 }
                 c if c.is_ascii_alphabetic() || c == b'_' => {
@@ -185,7 +193,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser> {
-        Ok(Parser { toks: Lexer::lex(src)?, i: 0 })
+        Ok(Parser {
+            toks: Lexer::lex(src)?,
+            i: 0,
+        })
     }
 
     fn offset(&self) -> usize {
@@ -193,7 +204,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset: self.offset(), message: message.into() }
+        QueryError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -255,15 +269,13 @@ impl Parser {
     /// `R(t1, …, tn)` or a bare `R` (0-ary).
     fn atom_after_name(&mut self, name: String) -> Result<Atom> {
         let mut terms = Vec::new();
-        if self.eat(&Tok::LParen) {
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    terms.push(self.term()?);
-                    if self.eat(&Tok::RParen) {
-                        break;
-                    }
-                    self.expect(&Tok::Comma, "`,` or `)` in atom")?;
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                terms.push(self.term()?);
+                if self.eat(&Tok::RParen) {
+                    break;
                 }
+                self.expect(&Tok::Comma, "`,` or `)` in atom")?;
             }
         }
         Ok(Atom::new(name, terms))
@@ -297,8 +309,16 @@ impl Parser {
         };
         match self.next() {
             Some(Tok::Neq) => Ok(BodyItem::Neq(Neq::new(left, self.term()?))),
-            Some(Tok::Lt) => Ok(BodyItem::Cmp(Comparison::new(left, CmpOp::Lt, self.term()?))),
-            Some(Tok::Le) => Ok(BodyItem::Cmp(Comparison::new(left, CmpOp::Le, self.term()?))),
+            Some(Tok::Lt) => Ok(BodyItem::Cmp(Comparison::new(
+                left,
+                CmpOp::Lt,
+                self.term()?,
+            ))),
+            Some(Tok::Le) => Ok(BodyItem::Cmp(Comparison::new(
+                left,
+                CmpOp::Le,
+                self.term()?,
+            ))),
             _ => Err(self.err("expected `!=`, `<`, or `<=` after term")),
         }
     }
@@ -326,7 +346,11 @@ impl Parser {
         while self.eat(&Tok::Pipe) {
             parts.push(self.fo_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { FoFormula::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            FoFormula::Or(parts)
+        })
     }
 
     fn fo_and(&mut self) -> Result<FoFormula> {
@@ -334,7 +358,11 @@ impl Parser {
         while self.eat(&Tok::Amp) {
             parts.push(self.fo_unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { FoFormula::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            FoFormula::And(parts)
+        })
     }
 
     fn fo_unary(&mut self) -> Result<FoFormula> {
@@ -387,15 +415,16 @@ enum BodyItem {
 fn fo_to_positive(f: &FoFormula) -> Result<PosFormula> {
     match f {
         FoFormula::Atom(a) => Ok(PosFormula::Atom(a.clone())),
-        FoFormula::And(fs) => {
-            Ok(PosFormula::And(fs.iter().map(fo_to_positive).collect::<Result<_>>()?))
-        }
-        FoFormula::Or(fs) => {
-            Ok(PosFormula::Or(fs.iter().map(fo_to_positive).collect::<Result<_>>()?))
-        }
-        FoFormula::Exists(v, b) => {
-            Ok(PosFormula::Exists(vec![v.clone()], Box::new(fo_to_positive(b)?)))
-        }
+        FoFormula::And(fs) => Ok(PosFormula::And(
+            fs.iter().map(fo_to_positive).collect::<Result<_>>()?,
+        )),
+        FoFormula::Or(fs) => Ok(PosFormula::Or(
+            fs.iter().map(fo_to_positive).collect::<Result<_>>()?,
+        )),
+        FoFormula::Exists(v, b) => Ok(PosFormula::Exists(
+            vec![v.clone()],
+            Box::new(fo_to_positive(b)?),
+        )),
         FoFormula::Not(_) | FoFormula::Forall(_, _) => Err(QueryError::Parse {
             offset: 0,
             message: "negation/universal quantification not allowed in a positive query".into(),
@@ -471,7 +500,11 @@ pub fn parse_positive(src: &str) -> Result<PositiveQuery> {
     if !p.at_end() {
         return Err(p.err("trailing input after formula"));
     }
-    Ok(PositiveQuery::new(head.relation, head.terms, fo_to_positive(&f)?))
+    Ok(PositiveQuery::new(
+        head.relation,
+        head.terms,
+        fo_to_positive(&f)?,
+    ))
 }
 
 /// Parse a first-order query, e.g.
@@ -505,8 +538,7 @@ mod tests {
     #[test]
     fn parse_students_outside_department() {
         // The paper's second Section 5 example.
-        let q =
-            parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap();
+        let q = parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap();
         assert_eq!(q.atoms.len(), 3);
         assert_eq!(q.neqs.len(), 1);
         assert!(q.is_acyclic());
@@ -578,10 +610,7 @@ mod tests {
 
     #[test]
     fn parse_fo_with_alternation() {
-        let q = parse_fo(
-            "Q := exists y. (C(o, y) & forall x. (!C(y, x) | C(x, x)))",
-        )
-        .unwrap();
+        let q = parse_fo("Q := exists y. (C(o, y) & forall x. (!C(y, x) | C(x, x)))").unwrap();
         assert_eq!(q.formula.quantifier_depth(), 2);
         // `o` is lowercase → variable; `C` atoms parsed.
         assert!(q.formula.relation_names().contains("C"));

@@ -269,14 +269,24 @@ impl PositiveQuery {
         // `taken`: names the hoisted quantifiers must avoid — the query's
         // free variables, head variables, and previously hoisted names.
         let mut taken: BTreeSet<String> = self.formula.free_variables();
-        taken.extend(self.head_terms.iter().filter_map(|t| t.as_var()).map(str::to_string));
+        taken.extend(
+            self.head_terms
+                .iter()
+                .filter_map(|t| t.as_var())
+                .map(str::to_string),
+        );
         // `used`: every name ever seen, for fresh-name generation.
         let mut used: BTreeSet<String> = self.formula.all_variable_names();
         used.extend(taken.iter().cloned());
         let mut quants = Vec::new();
         let mut counter = 0usize;
-        let matrix =
-            pull_quantifiers(&self.formula, &mut taken, &mut used, &mut quants, &mut counter);
+        let matrix = pull_quantifiers(
+            &self.formula,
+            &mut taken,
+            &mut used,
+            &mut quants,
+            &mut counter,
+        );
         (quants, matrix)
     }
 
@@ -307,10 +317,14 @@ fn pull_quantifiers(
     match f {
         PosFormula::Atom(a) => PosFormula::Atom(a.clone()),
         PosFormula::And(fs) => PosFormula::And(
-            fs.iter().map(|c| pull_quantifiers(c, taken, used, quants, counter)).collect(),
+            fs.iter()
+                .map(|c| pull_quantifiers(c, taken, used, quants, counter))
+                .collect(),
         ),
         PosFormula::Or(fs) => PosFormula::Or(
-            fs.iter().map(|c| pull_quantifiers(c, taken, used, quants, counter)).collect(),
+            fs.iter()
+                .map(|c| pull_quantifiers(c, taken, used, quants, counter))
+                .collect(),
         ),
         PosFormula::Exists(vs, b) => {
             let mut body = (**b).clone();
@@ -455,7 +469,9 @@ mod tests {
         let (quants, matrix) = q.to_prenex();
         assert_eq!(quants.len(), 1);
         assert_ne!(quants[0], "x");
-        let PosFormula::And(parts) = matrix else { panic!("expected And") };
+        let PosFormula::And(parts) = matrix else {
+            panic!("expected And")
+        };
         assert_eq!(parts[0], f_atom("R", &["x"]));
         assert_eq!(parts[1], f_atom("S", &[quants[0].as_str()]));
     }

@@ -78,7 +78,10 @@ pub struct Atom {
 impl Atom {
     /// Build an atom.
     pub fn new(relation: impl Into<String>, terms: impl IntoIterator<Item = Term>) -> Atom {
-        Atom { relation: relation.into(), terms: terms.into_iter().collect() }
+        Atom {
+            relation: relation.into(),
+            terms: terms.into_iter().collect(),
+        }
     }
 
     /// Arity of the atom.
@@ -108,7 +111,11 @@ impl Atom {
     pub fn substitute(&self, name: &str, value: &Value) -> Atom {
         Atom {
             relation: self.relation.clone(),
-            terms: self.terms.iter().map(|t| t.substitute(name, value)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|t| t.substitute(name, value))
+                .collect(),
         }
     }
 }

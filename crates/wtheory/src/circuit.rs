@@ -11,6 +11,34 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// Errors raised by circuit-structure operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An [`AlternatingCircuit`] contained a NOT gate. Alternating circuits
+    /// are monotone by definition; this can only happen when one is
+    /// assembled by hand with invalid contents (the fields are public).
+    NotGateInAlternating {
+        /// Index of the offending gate.
+        gate: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::NotGateInAlternating { gate } => {
+                write!(
+                    f,
+                    "alternating circuit contains NOT gate g{gate}; it must be monotone"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
 /// A gate of a [`Circuit`]. Gate operands refer to earlier gate indices
 /// (the circuit is a DAG in topological order).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,7 +86,11 @@ impl Circuit {
             }
         }
         assert!(output < gates.len(), "output out of range");
-        Circuit { num_inputs, gates, output }
+        Circuit {
+            num_inputs,
+            gates,
+            output,
+        }
     }
 
     /// Evaluate on an input assignment (`inputs[i]` = value of variable `i`).
@@ -88,9 +120,7 @@ impl Circuit {
         for (i, g) in self.gates.iter().enumerate() {
             d[i] = match g {
                 Gate::Input(_) => 0,
-                Gate::And(os) | Gate::Or(os) => {
-                    1 + os.iter().map(|&o| d[o]).max().unwrap_or(0)
-                }
+                Gate::And(os) | Gate::Or(os) => 1 + os.iter().map(|&o| d[o]).max().unwrap_or(0),
                 Gate::Not(o) => {
                     // NOT on an input is free; elsewhere it counts.
                     if matches!(self.gates[*o], Gate::Input(_)) {
@@ -122,19 +152,29 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} inputs, output g{})", self.num_inputs, self.output)?;
+        writeln!(
+            f,
+            "circuit({} inputs, output g{})",
+            self.num_inputs, self.output
+        )?;
         for (i, g) in self.gates.iter().enumerate() {
             match g {
                 Gate::Input(v) => writeln!(f, "  g{i} = x{v}")?,
                 Gate::And(os) => writeln!(
                     f,
                     "  g{i} = AND({})",
-                    os.iter().map(|o| format!("g{o}")).collect::<Vec<_>>().join(", ")
+                    os.iter()
+                        .map(|o| format!("g{o}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )?,
                 Gate::Or(os) => writeln!(
                     f,
                     "  g{i} = OR({})",
-                    os.iter().map(|o| format!("g{o}")).collect::<Vec<_>>().join(", ")
+                    os.iter()
+                        .map(|o| format!("g{o}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )?,
                 Gate::Not(o) => writeln!(f, "  g{i} = NOT(g{o})")?,
             }
@@ -160,7 +200,9 @@ pub struct AlternatingCircuit {
 impl AlternatingCircuit {
     /// Gates at a given level.
     pub fn gates_at_level(&self, l: usize) -> Vec<usize> {
-        (0..self.circuit.gates.len()).filter(|&g| self.level[g] == l).collect()
+        (0..self.circuit.gates.len())
+            .filter(|&g| self.level[g] == l)
+            .collect()
     }
 
     /// The input gates (level 0), by gate index, with their variable number.
@@ -177,7 +219,12 @@ impl AlternatingCircuit {
     }
 
     /// The wiring pairs `(a, b)`: gate `a` has gate `b` as an input.
-    pub fn wires(&self) -> Vec<(usize, usize)> {
+    ///
+    /// Fails with [`CircuitError::NotGateInAlternating`] on a hand-assembled
+    /// circuit that violates the monotonicity invariant (the struct fields
+    /// are public); circuits produced by [`Circuit::to_alternating`] never
+    /// trigger this.
+    pub fn wires(&self) -> Result<Vec<(usize, usize)>, CircuitError> {
         let mut out = Vec::new();
         for (a, g) in self.circuit.gates.iter().enumerate() {
             match g {
@@ -186,11 +233,11 @@ impl AlternatingCircuit {
                         out.push((a, b));
                     }
                 }
-                Gate::Not(_) => unreachable!("alternating circuits are monotone"),
+                Gate::Not(_) => return Err(CircuitError::NotGateInAlternating { gate: a }),
                 Gate::Input(_) => {}
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -205,24 +252,36 @@ impl Circuit {
         if !self.is_monotone() {
             return None;
         }
-        if self.gates.iter().any(|g| matches!(g, Gate::And(os) | Gate::Or(os) if os.is_empty())) {
+        if self
+            .gates
+            .iter()
+            .any(|g| matches!(g, Gate::And(os) | Gate::Or(os) if os.is_empty()))
+        {
             return None;
         }
 
         // Natural alternating level a(g): inputs at 0, AND gates odd, OR
         // gates even; a child must sit exactly one level below its parent,
         // so round each child's level up to the parity the parent needs.
-        let round_to_even = |x: usize| if x % 2 == 0 { x } else { x + 1 };
+        let round_to_even = |x: usize| if x.is_multiple_of(2) { x } else { x + 1 };
         let round_to_odd = |x: usize| if x % 2 == 1 { x } else { x + 1 };
         let mut a = vec![0usize; self.gates.len()];
         for (i, g) in self.gates.iter().enumerate() {
             a[i] = match g {
                 Gate::Input(_) => 0,
                 Gate::And(os) => {
-                    1 + os.iter().map(|&o| round_to_even(a[o])).max().expect("nonempty")
+                    1 + os
+                        .iter()
+                        .map(|&o| round_to_even(a[o]))
+                        .max()
+                        .expect("nonempty")
                 }
                 Gate::Or(os) => {
-                    1 + os.iter().map(|&o| round_to_odd(a[o])).max().expect("nonempty")
+                    1 + os
+                        .iter()
+                        .map(|&o| round_to_odd(a[o]))
+                        .max()
+                        .expect("nonempty")
                 }
                 Gate::Not(_) => unreachable!("checked monotone"),
             };
@@ -246,7 +305,7 @@ impl Circuit {
                 let gate = if lvl > self.a[g] {
                     // Dummy of this level's parity over the gate one lower.
                     let inner = self.lift(g, lvl - 1);
-                    if lvl % 2 == 0 {
+                    if lvl.is_multiple_of(2) {
                         Gate::Or(vec![inner])
                     } else {
                         Gate::And(vec![inner])
@@ -282,7 +341,11 @@ impl Circuit {
         };
         let out = b.lift(self.output, top);
         let circuit = Circuit::new(self.num_inputs, b.gates, out);
-        Some(AlternatingCircuit { circuit, level: b.level, top_level: top })
+        Some(AlternatingCircuit {
+            circuit,
+            level: b.level,
+            top_level: top,
+        })
     }
 }
 
@@ -319,11 +382,7 @@ mod tests {
         let c = small();
         assert!(c.is_monotone());
         assert_eq!(c.depth(), 2);
-        let with_not = Circuit::new(
-            1,
-            vec![Gate::Input(0), Gate::Not(0)],
-            1,
-        );
+        let with_not = Circuit::new(1, vec![Gate::Input(0), Gate::Not(0)], 1);
         assert!(!with_not.is_monotone());
         assert_eq!(with_not.depth(), 0); // NOT on input is free
     }
@@ -341,14 +400,18 @@ mod tests {
         assert_eq!(alt.top_level % 2, 0);
         for bits in 0..8u32 {
             let inputs: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
-            assert_eq!(c.eval(&inputs), alt.circuit.eval(&inputs), "bits={bits:03b}");
+            assert_eq!(
+                c.eval(&inputs),
+                alt.circuit.eval(&inputs),
+                "bits={bits:03b}"
+            );
         }
     }
 
     #[test]
     fn alternating_levels_are_strict() {
         let alt = small().to_alternating().unwrap();
-        for (a, b) in alt.wires() {
+        for (a, b) in alt.wires().unwrap() {
             assert_eq!(alt.level[a], alt.level[b] + 1, "wire {a}→{b} skips levels");
         }
         for (g, gate) in alt.circuit.gates.iter().enumerate() {
@@ -399,6 +462,21 @@ mod tests {
         let alt = small().to_alternating().unwrap();
         let inputs = alt.input_gates();
         assert_eq!(inputs.len(), 3);
-        assert!(!alt.wires().is_empty());
+        assert!(!alt.wires().unwrap().is_empty());
+    }
+
+    #[test]
+    fn wires_reject_hand_built_nonmonotone_circuits() {
+        // The fields of AlternatingCircuit are public, so nothing stops a
+        // caller from assembling an invalid one; wires() must refuse it
+        // instead of panicking.
+        let bogus = AlternatingCircuit {
+            circuit: Circuit::new(1, vec![Gate::Input(0), Gate::Not(0)], 1),
+            level: vec![0, 1],
+            top_level: 2,
+        };
+        let err = bogus.wires().unwrap_err();
+        assert_eq!(err, CircuitError::NotGateInAlternating { gate: 1 });
+        assert!(err.to_string().contains("g1"));
     }
 }

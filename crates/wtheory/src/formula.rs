@@ -147,12 +147,18 @@ pub struct Lit {
 impl Lit {
     /// Positive literal.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 }
 
@@ -215,7 +221,9 @@ impl Cnf {
                 .iter()
                 .map(|cl| {
                     BoolFormula::Or(
-                        cl.iter().map(|l| BoolFormula::Lit(l.var, l.positive)).collect(),
+                        cl.iter()
+                            .map(|l| BoolFormula::Lit(l.var, l.positive))
+                            .collect(),
                     )
                 })
                 .collect(),
@@ -285,10 +293,7 @@ mod tests {
 
     #[test]
     fn cnf_eval_and_width() {
-        let cnf = Cnf::new(
-            3,
-            vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(2)]],
-        );
+        let cnf = Cnf::new(3, vec![vec![Lit::pos(0), Lit::neg(1)], vec![Lit::pos(2)]]);
         assert!(cnf.eval(&[true, true, true]));
         assert!(!cnf.eval(&[false, true, true]));
         assert!(cnf.is_2cnf());
@@ -300,7 +305,10 @@ mod tests {
     fn cnf_to_formula_agrees() {
         let cnf = Cnf::new(
             2,
-            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0), Lit::neg(1)]],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
         );
         let f = cnf.to_formula();
         for bits in 0..4u32 {

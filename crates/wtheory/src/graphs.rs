@@ -18,7 +18,10 @@ pub struct Graph {
 impl Graph {
     /// The empty graph on `n` vertices.
     pub fn new(n: usize) -> Graph {
-        Graph { n, adj: vec![BTreeSet::new(); n] }
+        Graph {
+            n,
+            adj: vec![BTreeSet::new(); n],
+        }
     }
 
     /// Build from an edge list.

@@ -15,7 +15,7 @@ pub mod reductions;
 pub mod weighted_sat;
 pub mod weighted_sat_bb;
 
-pub use circuit::{AlternatingCircuit, Circuit, Gate};
+pub use circuit::{AlternatingCircuit, Circuit, CircuitError, Gate};
 pub use formula::{BoolFormula, Cnf, Lit};
 pub use graphs::Graph;
 pub use parametric::{ParamVariant, QueryParameter, SchemaMode, WClass};

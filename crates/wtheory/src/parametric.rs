@@ -116,10 +116,22 @@ impl ParamVariant {
     /// All four variants, in a fixed display order.
     pub fn all() -> [ParamVariant; 4] {
         [
-            ParamVariant { parameter: QueryParameter::QuerySize, schema: SchemaMode::Fixed },
-            ParamVariant { parameter: QueryParameter::QuerySize, schema: SchemaMode::Variable },
-            ParamVariant { parameter: QueryParameter::NumVariables, schema: SchemaMode::Fixed },
-            ParamVariant { parameter: QueryParameter::NumVariables, schema: SchemaMode::Variable },
+            ParamVariant {
+                parameter: QueryParameter::QuerySize,
+                schema: SchemaMode::Fixed,
+            },
+            ParamVariant {
+                parameter: QueryParameter::QuerySize,
+                schema: SchemaMode::Variable,
+            },
+            ParamVariant {
+                parameter: QueryParameter::NumVariables,
+                schema: SchemaMode::Fixed,
+            },
+            ParamVariant {
+                parameter: QueryParameter::NumVariables,
+                schema: SchemaMode::Variable,
+            },
         ]
     }
 
@@ -264,7 +276,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(WClass::W(2).to_string(), "W[2]");
         assert_eq!(WClass::AWStar.to_string(), "AW[*]");
-        let v = ParamVariant { parameter: QueryParameter::QuerySize, schema: SchemaMode::Fixed };
+        let v = ParamVariant {
+            parameter: QueryParameter::QuerySize,
+            schema: SchemaMode::Fixed,
+        };
         assert_eq!(v.to_string(), "(parameter q, fixed schema)");
     }
 }

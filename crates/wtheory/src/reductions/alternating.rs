@@ -55,7 +55,13 @@ pub fn alternating_circuit_sat(c: &Circuit, blocks: &[Block]) -> bool {
     fn subsets(pool: &[usize], k: usize) -> Vec<Vec<usize>> {
         let mut out = Vec::new();
         let mut cur = Vec::new();
-        fn rec(pool: &[usize], start: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        fn rec(
+            pool: &[usize],
+            start: usize,
+            k: usize,
+            cur: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
             if cur.len() == k {
                 out.push(cur.clone());
                 return;
@@ -113,11 +119,15 @@ pub struct AwFoInstance {
 /// The reduction `(C, blocks) ↦ (d, Q)`. Requires a monotone circuit; every
 /// block must be nonempty with `k_i ≤ |V_i|`.
 pub fn reduce(c: &Circuit, blocks: &[Block]) -> Option<AwFoInstance> {
-    if blocks.iter().any(|b| b.k > b.vars.len() || b.vars.is_empty()) {
+    if blocks
+        .iter()
+        .any(|b| b.k > b.vars.len() || b.vars.is_empty())
+    {
         return None;
     }
     let alt = c.to_alternating()?;
-    let mut db = circuit_to_fo::wiring_database(&alt);
+    // to_alternating produces monotone circuits, so this cannot fail.
+    let mut db = circuit_to_fo::wiring_database(&alt).ok()?;
 
     // Map input-variable index → level-0 gate index in the alternating
     // circuit.
@@ -136,7 +146,8 @@ pub fn reduce(c: &Circuit, blocks: &[Block]) -> Option<AwFoInstance> {
             p_rows.push(tuple![gate_of_var[v] as i64, rep]);
         }
     }
-    db.add_table("P", ["gate", "rep"], p_rows).expect("fresh relation");
+    db.add_table("P", ["gate", "rep"], p_rows)
+        .expect("fresh relation");
 
     let xname = |i: usize, j: usize| format!("x{}_{}", i + 1, j + 1);
 
@@ -148,8 +159,8 @@ pub fn reduce(c: &Circuit, blocks: &[Block]) -> Option<AwFoInstance> {
         .flat_map(|(i, b)| (0..b.k).map(move |j| xname(i, j)))
         .collect();
     let t = alt.top_level / 2;
-    let theta = theta_tower(t, &all_vars)
-        .substitute("x", &pq_data::Value::Int(alt.circuit.output as i64));
+    let theta =
+        theta_tower(t, &all_vars).substitute("x", &pq_data::Value::Int(alt.circuit.output as i64));
 
     // ψ_i per block.
     let psi = |i: usize, b: &Block| -> FoFormula {
@@ -198,7 +209,10 @@ pub fn reduce(c: &Circuit, blocks: &[Block]) -> Option<AwFoInstance> {
         }
     }
 
-    Some(AwFoInstance { database: db, query: FoQuery::boolean("Q", query_formula) })
+    Some(AwFoInstance {
+        database: db,
+        query: FoQuery::boolean("Q", query_formula),
+    })
 }
 
 /// `θ_{2i}` tower over an explicit list of level-0 target variables (the
@@ -263,14 +277,30 @@ mod tests {
         // ∃ one of {0,1} ∀ one of {2,3}: need an x ∈ {0,1} such that both
         // (x,2) and (x,3) branches fire — impossible (x0 pairs only with x2).
         let blocks = vec![
-            Block { quant: Quant::Exists, vars: vec![0, 1], k: 1 },
-            Block { quant: Quant::Forall, vars: vec![2, 3], k: 1 },
+            Block {
+                quant: Quant::Exists,
+                vars: vec![0, 1],
+                k: 1,
+            },
+            Block {
+                quant: Quant::Forall,
+                vars: vec![2, 3],
+                k: 1,
+            },
         ];
         assert!(!alternating_circuit_sat(&c, &blocks));
         // ∃ both of {0,1} ∀ one of {2,3}: x0∧x2 or x1∧x3 always fires.
         let blocks2 = vec![
-            Block { quant: Quant::Exists, vars: vec![0, 1], k: 2 },
-            Block { quant: Quant::Forall, vars: vec![2, 3], k: 1 },
+            Block {
+                quant: Quant::Exists,
+                vars: vec![0, 1],
+                k: 2,
+            },
+            Block {
+                quant: Quant::Forall,
+                vars: vec![2, 3],
+                k: 1,
+            },
         ];
         assert!(alternating_circuit_sat(&c, &blocks2));
     }
@@ -280,8 +310,16 @@ mod tests {
         let c = cross_circuit();
         for (k1, k2) in [(1usize, 1usize), (2, 1), (1, 2), (2, 2)] {
             let blocks = vec![
-                Block { quant: Quant::Exists, vars: vec![0, 1], k: k1 },
-                Block { quant: Quant::Forall, vars: vec![2, 3], k: k2 },
+                Block {
+                    quant: Quant::Exists,
+                    vars: vec![0, 1],
+                    k: k1,
+                },
+                Block {
+                    quant: Quant::Forall,
+                    vars: vec![2, 3],
+                    k: k2,
+                },
             ];
             let inst = reduce(&c, &blocks).unwrap();
             assert_eq!(
@@ -297,8 +335,11 @@ mod tests {
         // With a single ∃ block this degenerates to weighted circuit sat.
         let c = cross_circuit();
         for k in 1..=3 {
-            let blocks =
-                vec![Block { quant: Quant::Exists, vars: vec![0, 1, 2, 3], k }];
+            let blocks = vec![Block {
+                quant: Quant::Exists,
+                vars: vec![0, 1, 2, 3],
+                k,
+            }];
             let inst = reduce(&c, &blocks).unwrap();
             assert_eq!(
                 fo_eval::query_holds(&inst.query, &inst.database).unwrap(),
@@ -332,8 +373,16 @@ mod tests {
             let out = gates.len() - 1;
             let c = Circuit::new(4, gates, out);
             let blocks = vec![
-                Block { quant: Quant::Exists, vars: vec![0, 1], k: 1 },
-                Block { quant: Quant::Forall, vars: vec![2, 3], k: 1 },
+                Block {
+                    quant: Quant::Exists,
+                    vars: vec![0, 1],
+                    k: 1,
+                },
+                Block {
+                    quant: Quant::Forall,
+                    vars: vec![2, 3],
+                    k: 1,
+                },
             ];
             let inst = reduce(&c, &blocks).unwrap();
             assert_eq!(
@@ -348,8 +397,16 @@ mod tests {
     fn variable_count_is_sum_of_ks_plus_two() {
         let c = cross_circuit();
         let blocks = vec![
-            Block { quant: Quant::Exists, vars: vec![0, 1], k: 2 },
-            Block { quant: Quant::Forall, vars: vec![2, 3], k: 2 },
+            Block {
+                quant: Quant::Exists,
+                vars: vec![0, 1],
+                k: 2,
+            },
+            Block {
+                quant: Quant::Forall,
+                vars: vec![2, 3],
+                k: 2,
+            },
         ];
         let inst = reduce(&c, &blocks).unwrap();
         assert_eq!(inst.query.num_variables(), 4 + 2);
@@ -358,7 +415,23 @@ mod tests {
     #[test]
     fn invalid_blocks_rejected() {
         let c = cross_circuit();
-        assert!(reduce(&c, &[Block { quant: Quant::Exists, vars: vec![0], k: 2 }]).is_none());
-        assert!(reduce(&c, &[Block { quant: Quant::Exists, vars: vec![], k: 0 }]).is_none());
+        assert!(reduce(
+            &c,
+            &[Block {
+                quant: Quant::Exists,
+                vars: vec![0],
+                k: 2
+            }]
+        )
+        .is_none());
+        assert!(reduce(
+            &c,
+            &[Block {
+                quant: Quant::Exists,
+                vars: vec![],
+                k: 0
+            }]
+        )
+        .is_none());
     }
 }

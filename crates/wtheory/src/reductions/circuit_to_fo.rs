@@ -20,7 +20,7 @@
 use pq_data::{tuple, Database};
 use pq_query::{Atom, FoFormula, FoQuery, Term};
 
-use crate::circuit::{AlternatingCircuit, Circuit};
+use crate::circuit::{AlternatingCircuit, Circuit, CircuitError};
 
 /// Output of R7.
 #[derive(Debug, Clone)]
@@ -34,9 +34,12 @@ pub struct FoInstance {
 }
 
 /// The wiring database of an alternating circuit.
-pub fn wiring_database(alt: &AlternatingCircuit) -> Database {
+///
+/// Fails when the circuit violates the alternating invariant (contains a
+/// NOT gate); see [`CircuitError`].
+pub fn wiring_database(alt: &AlternatingCircuit) -> Result<Database, CircuitError> {
     let mut rows = Vec::new();
-    for (a, b) in alt.wires() {
+    for (a, b) in alt.wires()? {
         rows.push(tuple![a as i64, b as i64]);
     }
     for (gate, _var) in alt.input_gates() {
@@ -44,7 +47,7 @@ pub fn wiring_database(alt: &AlternatingCircuit) -> Database {
     }
     let mut db = Database::new();
     db.add_table("C", ["a", "b"], rows).expect("fresh db");
-    db
+    Ok(db)
 }
 
 /// Build `θ_{2i}` as a formula with one free variable `x`, for the tower of
@@ -56,10 +59,7 @@ fn theta(i: usize, k: usize) -> FoFormula {
         return FoFormula::Or(
             (1..=k)
                 .map(|j| {
-                    FoFormula::Atom(Atom::new(
-                        "C",
-                        [Term::var("x"), Term::var(format!("x{j}"))],
-                    ))
+                    FoFormula::Atom(Atom::new("C", [Term::var("x"), Term::var(format!("x{j}"))]))
                 })
                 .collect(),
         );
@@ -92,14 +92,18 @@ pub fn reduce(c: &Circuit, k: usize) -> Option<FoInstance> {
         return None;
     }
     let alt = c.to_alternating()?;
-    let database = wiring_database(&alt);
+    // to_alternating produces monotone circuits, so this cannot fail.
+    let database = wiring_database(&alt).ok()?;
     let t = alt.top_level / 2;
     // θ_{2t}(o): substitute the output-gate constant for the free x.
-    let body = theta(t, k)
-        .substitute("x", &pq_data::Value::Int(alt.circuit.output as i64));
+    let body = theta(t, k).substitute("x", &pq_data::Value::Int(alt.circuit.output as i64));
     let xs: Vec<String> = (1..=k).map(|j| format!("x{j}")).collect();
     let query = FoQuery::boolean("Q", FoFormula::exists_block(xs, body));
-    Some(FoInstance { database, query, alternating: alt })
+    Some(FoInstance {
+        database,
+        query,
+        alternating: alt,
+    })
 }
 
 #[cfg(test)]
@@ -221,8 +225,12 @@ mod tests {
     fn wiring_database_has_self_loops_on_inputs_only() {
         let inst = reduce(&two_ands(), 1).unwrap();
         let c = inst.database.relation("C").unwrap();
-        let inputs: Vec<i64> =
-            inst.alternating.input_gates().iter().map(|&(g, _)| g as i64).collect();
+        let inputs: Vec<i64> = inst
+            .alternating
+            .input_gates()
+            .iter()
+            .map(|&(g, _)| g as i64)
+            .collect();
         for t in c.iter() {
             if t[0] == t[1] {
                 let g = t[0].as_int().unwrap();

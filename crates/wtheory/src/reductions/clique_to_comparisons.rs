@@ -50,9 +50,9 @@ pub fn reduce(g: &Graph, k: usize) -> (Database, ConjunctiveQuery) {
         out_of[i].push(j);
     }
     let mut r_rows = Vec::new();
-    for i in 0..n {
-        for &j in &out_of[i] {
-            for &j2 in &out_of[i] {
+    for (i, neigh) in out_of.iter().enumerate() {
+        for &j in neigh {
+            for &j2 in neigh {
                 r_rows.push(tuple![encode(i, j, 1, n), encode(i, j2, 0, n)]);
             }
         }

@@ -29,7 +29,10 @@ pub fn clique_query(k: usize) -> ConjunctiveQuery {
     let mut atoms = Vec::with_capacity(k * (k - 1) / 2);
     for i in 1..=k {
         for j in i + 1..=k {
-            atoms.push(Atom::new("G", [Term::var(format!("x{i}")), Term::var(format!("x{j}"))]));
+            atoms.push(Atom::new(
+                "G",
+                [Term::var(format!("x{i}")), Term::var(format!("x{j}"))],
+            ));
         }
     }
     ConjunctiveQuery::boolean("P", atoms)

@@ -164,7 +164,8 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]])
+            .unwrap();
         d.add_table("L", ["a"], [tuple![1], tuple![3]]).unwrap();
         d
     }

@@ -35,7 +35,11 @@ impl W1Transcript {
     /// The largest parameter `k` over all instances (= max atoms per rule
     /// body; constant for a fixed program — which is the point).
     pub fn max_parameter(&self) -> usize {
-        self.decisions.iter().map(|(_, _, _, inst, _)| inst.k).max().unwrap_or(0)
+        self.decisions
+            .iter()
+            .map(|(_, _, _, inst, _)| inst.k)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -50,8 +54,11 @@ pub fn evaluate_via_w1(
     db: &Database,
 ) -> pq_data::Result<(Relation, W1Transcript)> {
     let mut work = db.clone();
-    let arities: std::collections::BTreeMap<String, usize> =
-        p.rules.iter().map(|r| (r.head.relation.clone(), r.head.arity())).collect();
+    let arities: std::collections::BTreeMap<String, usize> = p
+        .rules
+        .iter()
+        .map(|r| (r.head.relation.clone(), r.head.arity()))
+        .collect();
     for (name, &arity) in &arities {
         let attrs: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
         work.set_relation(name.clone(), Relation::new(attrs)?);
@@ -92,7 +99,9 @@ pub fn evaluate_via_w1(
                 };
                 let inst = cq_to_w2cnf::reduce(&bound, &work)?;
                 let ans = has_weighted_cnf_sat_bb(&inst.cnf, inst.k);
-                transcript.decisions.push((transcript.rounds, ri, t.clone(), inst, ans));
+                transcript
+                    .decisions
+                    .push((transcript.rounds, ri, t.clone(), inst, ans));
                 if ans {
                     work.relation_mut(&rule.head.relation)?.insert(t)?;
                     changed = true;
@@ -125,7 +134,8 @@ mod tests {
     #[test]
     fn w1_oracle_evaluation_matches_direct() {
         let mut db = Database::new();
-        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 3]]).unwrap();
+        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 3]])
+            .unwrap();
         let p = tc();
         let (via_w1, transcript) = evaluate_via_w1(&p, &db).unwrap();
         let direct = datalog_eval::evaluate(&p, &db, Strategy::Naive).unwrap();
@@ -138,19 +148,25 @@ mod tests {
     #[test]
     fn polynomially_many_instances() {
         let mut db = Database::new();
-        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 0]]).unwrap();
+        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 0]])
+            .unwrap();
         let p = tc();
         let (_, transcript) = evaluate_via_w1(&p, &db).unwrap();
         // rounds × rules × n^r bound: here n = 2, r = 2, rules = 2.
         let n = 2usize;
         let bound = transcript.rounds * p.rules.len() * n.pow(2);
-        assert!(transcript.num_instances() <= bound, "{} > {bound}", transcript.num_instances());
+        assert!(
+            transcript.num_instances() <= bound,
+            "{} > {bound}",
+            transcript.num_instances()
+        );
     }
 
     #[test]
     fn cyclic_graph_fixpoint_via_w1() {
         let mut db = Database::new();
-        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 0]]).unwrap();
+        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 0]])
+            .unwrap();
         let (t, _) = evaluate_via_w1(&tc(), &db).unwrap();
         assert_eq!(t.len(), 9);
     }

@@ -69,7 +69,11 @@ pub fn reduce(q: &PositiveQuery, db: &Database) -> pq_data::Result<CliqueInstanc
         let g = cq_to_w2cnf::conflict_graph(&inst);
         parts.push(pad_universal(&g, k - inst.k));
     }
-    Ok(CliqueInstance { graph: disjoint_union(&parts), k, num_components: parts.len() })
+    Ok(CliqueInstance {
+        graph: disjoint_union(&parts),
+        k,
+        num_components: parts.len(),
+    })
 }
 
 #[cfg(test)]
@@ -83,7 +87,8 @@ mod tests {
         let mut d = Database::new();
         d.add_table("R", ["a"], [tuple![1], tuple![2]]).unwrap();
         d.add_table("S", ["a"], [tuple![2]]).unwrap();
-        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3]])
+            .unwrap();
         d
     }
 

@@ -50,7 +50,12 @@ pub fn alternating_weighted_formula_sat(
     blocks: &[FormulaBlock],
     num_vars: usize,
 ) -> bool {
-    fn go(f: &BoolFormula, blocks: &[FormulaBlock], idx: usize, assignment: &mut Vec<bool>) -> bool {
+    fn go(
+        f: &BoolFormula,
+        blocks: &[FormulaBlock],
+        idx: usize,
+        assignment: &mut Vec<bool>,
+    ) -> bool {
         if idx == blocks.len() {
             return f.eval(assignment);
         }
@@ -125,14 +130,16 @@ pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
         z: &dyn Fn(usize, usize) -> usize,
     ) -> Result<BoolFormula, String> {
         match f {
-            FoFormula::Not(g) => {
-                Ok(BoolFormula::Not(Box::new(hat(g, db, prefix, dom, z)?)))
-            }
+            FoFormula::Not(g) => Ok(BoolFormula::Not(Box::new(hat(g, db, prefix, dom, z)?))),
             FoFormula::And(fs) => Ok(BoolFormula::And(
-                fs.iter().map(|g| hat(g, db, prefix, dom, z)).collect::<Result<_, _>>()?,
+                fs.iter()
+                    .map(|g| hat(g, db, prefix, dom, z))
+                    .collect::<Result<_, _>>()?,
             )),
             FoFormula::Or(fs) => Ok(BoolFormula::Or(
-                fs.iter().map(|g| hat(g, db, prefix, dom, z)).collect::<Result<_, _>>()?,
+                fs.iter()
+                    .map(|g| hat(g, db, prefix, dom, z))
+                    .collect::<Result<_, _>>()?,
             )),
             FoFormula::Exists(..) | FoFormula::Forall(..) => {
                 Err("matrix must be quantifier-free".into())
@@ -173,7 +180,12 @@ pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
     }
 
     let formula = hat(matrix, db, &prefix, &dom, &z)?;
-    Ok(AwSatInstance { formula, blocks, num_vars: k * dom.len(), vars })
+    Ok(AwSatInstance {
+        formula,
+        blocks,
+        num_vars: k * dom.len(),
+        vars,
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +197,8 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]]).unwrap();
+        d.add_table("E", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![3, 1]])
+            .unwrap();
         d.add_table("L", ["a"], [tuple![1], tuple![2]]).unwrap();
         d
     }

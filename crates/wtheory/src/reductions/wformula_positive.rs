@@ -95,11 +95,12 @@ pub fn wformula_to_positive(phi: &BoolFormula, n: usize, k: usize) -> PositiveIn
     let mut body = distinct;
     body.push(psi(&nnf, &ys));
 
-    let query = PositiveQuery::boolean(
-        "Q",
-        PosFormula::Exists(ys, Box::new(PosFormula::And(body))),
-    );
-    PositiveInstance { database: db, query }
+    let query =
+        PositiveQuery::boolean("Q", PosFormula::Exists(ys, Box::new(PosFormula::And(body))));
+    PositiveInstance {
+        database: db,
+        query,
+    }
 }
 
 // ------------------------------------------------------------------- R6 --
@@ -168,10 +169,14 @@ pub fn prenex_positive_to_wformula(
     ) -> Result<BoolFormula, String> {
         match f {
             PosFormula::And(fs) => Ok(BoolFormula::And(
-                fs.iter().map(|g| hat(g, db, ys, dom, z)).collect::<Result<_, _>>()?,
+                fs.iter()
+                    .map(|g| hat(g, db, ys, dom, z))
+                    .collect::<Result<_, _>>()?,
             )),
             PosFormula::Or(fs) => Ok(BoolFormula::Or(
-                fs.iter().map(|g| hat(g, db, ys, dom, z)).collect::<Result<_, _>>()?,
+                fs.iter()
+                    .map(|g| hat(g, db, ys, dom, z))
+                    .collect::<Result<_, _>>()?,
             )),
             PosFormula::Exists(..) => Err("matrix must be quantifier-free".into()),
             PosFormula::Atom(a) => {
@@ -232,8 +237,9 @@ mod tests {
             return BoolFormula::Lit(rng.gen_range(0..n), rng.gen_bool(0.6));
         }
         let width = rng.gen_range(2..4);
-        let kids: Vec<BoolFormula> =
-            (0..width).map(|_| random_formula(n, depth - 1, rng)).collect();
+        let kids: Vec<BoolFormula> = (0..width)
+            .map(|_| random_formula(n, depth - 1, rng))
+            .collect();
         if rng.gen_bool(0.5) {
             BoolFormula::And(kids)
         } else {
@@ -285,7 +291,8 @@ mod tests {
         use pq_query::parse_positive;
         let mut db = Database::new();
         db.add_table("R", ["a"], [tuple![1], tuple![2]]).unwrap();
-        db.add_table("S", ["a", "b"], [tuple![1, 2], tuple![2, 2]]).unwrap();
+        db.add_table("S", ["a", "b"], [tuple![1, 2], tuple![2, 2]])
+            .unwrap();
         for src in [
             "Q := exists x. (R(x) & S(x, x))",
             "Q := exists x, y. (R(x) & S(x, y))",

@@ -12,11 +12,7 @@ use crate::formula::{BoolFormula, Cnf};
 
 /// Enumerate all weight-`k` assignments of `n` variables, calling `test` on
 /// each; returns the first accepted assignment.
-fn first_weight_k(
-    n: usize,
-    k: usize,
-    mut test: impl FnMut(&[bool]) -> bool,
-) -> Option<Vec<usize>> {
+fn first_weight_k(n: usize, k: usize, mut test: impl FnMut(&[bool]) -> bool) -> Option<Vec<usize>> {
     if k > n {
         return None;
     }
@@ -128,7 +124,10 @@ mod tests {
         // (x0 | x1) & (!x0 | x2): weight-2 solutions include {x1,x2}, {x0,x2}.
         let cnf = Cnf::new(
             3,
-            vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0), Lit::pos(2)]],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(2)],
+            ],
         );
         let sol = weighted_cnf_sat(&cnf, 2).expect("satisfiable");
         assert_eq!(sol.len(), 2);

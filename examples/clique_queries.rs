@@ -17,7 +17,10 @@ use pq_wtheory::weighted_sat::has_weighted_cnf_sat;
 
 fn main() {
     println!("== R1: clique(G, k) as the query  P :- ⋀ G(xi, xj)  ==\n");
-    println!("{:>6} {:>4} {:>8} {:>8} {:>12} {:>8}", "n", "k", "q", "v", "naive time", "clique?");
+    println!(
+        "{:>6} {:>4} {:>8} {:>8} {:>12} {:>8}",
+        "n", "k", "q", "v", "naive time", "clique?"
+    );
     for k in [2usize, 3, 4] {
         for n in [16usize, 32, 64] {
             let g = random_graph(n, 0.25, (n * 31 + k) as u64);
@@ -42,7 +45,12 @@ fn main() {
     let g = random_graph(12, 0.4, 7);
     let (db, q) = clique_to_cq::reduce(&g, 3);
     let inst = cq_to_w2cnf::reduce(&q, &db).unwrap();
-    println!("2-CNF: {} variables, {} clauses, weight k = {}", inst.cnf.num_vars, inst.cnf.clauses.len(), inst.k);
+    println!(
+        "2-CNF: {} variables, {} clauses, weight k = {}",
+        inst.cnf.num_vars,
+        inst.cnf.clauses.len(),
+        inst.k
+    );
     let conflict = cq_to_w2cnf::conflict_graph(&inst);
     println!(
         "conflict graph: {} vertices, {} edges",

@@ -22,8 +22,9 @@ fn university(n_students: usize, seed: u64) -> Database {
     let mut db = Database::new();
 
     // Each course belongs to one department.
-    let course_dept: Vec<&str> =
-        (0..n_courses).map(|_| depts[rng.gen_range(0..depts.len())]).collect();
+    let course_dept: Vec<&str> = (0..n_courses)
+        .map(|_| depts[rng.gen_range(0..depts.len())])
+        .collect();
     db.add_table(
         "CD",
         ["course", "dept"],
@@ -52,7 +53,10 @@ fn main() {
     // their department — `G(s) :- SD(s,d), SC(s,c), CD(c,d'), d ≠ d'`.
     let q = parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap();
     println!("query: {q}");
-    println!("acyclic: {}   (the ≠ edge would make the hypergraph cyclic!)", q.is_acyclic());
+    println!(
+        "acyclic: {}   (the ≠ edge would make the hypergraph cyclic!)",
+        q.is_acyclic()
+    );
     println!();
     println!(
         "{:>9} {:>10} {:>14} {:>14} {:>8}",

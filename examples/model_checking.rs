@@ -38,12 +38,8 @@ fn transition_system(n: usize, seed: u64) -> Database {
     let mut db = Database::new();
     db.add_table("Trans", ["s", "t"], trans).unwrap();
     db.add_table("Init", ["s"], [tuple![0]]).unwrap();
-    db.add_table(
-        "Bad",
-        ["s"],
-        (0..3).map(|i| tuple![n - 1 - i * 7]),
-    )
-    .unwrap();
+    db.add_table("Bad", ["s"], (0..3).map(|i| tuple![n - 1 - i * 7]))
+        .unwrap();
     db
 }
 

@@ -27,21 +27,27 @@ fn main() {
     println!("weighted satisfiability (ground truth): {truth}");
 
     let inst = wformula_positive::wformula_to_positive(&phi, n, k);
-    println!("\nR5 database: EQ with {} tuples, NEQ with {} tuples",
+    println!(
+        "\nR5 database: EQ with {} tuples, NEQ with {} tuples",
         inst.database.relation("EQ").unwrap().len(),
-        inst.database.relation("NEQ").unwrap().len());
+        inst.database.relation("NEQ").unwrap().len()
+    );
     println!("R5 query (prenex, v = {}):", inst.query.num_variables());
     println!("  {}", inst.query);
     let via_query = positive_eval::query_holds(&inst.query, &inst.database).unwrap();
-    println!("query evaluates to: {via_query}   (must equal ground truth: {})",
-        via_query == truth);
+    println!(
+        "query evaluates to: {via_query}   (must equal ground truth: {})",
+        via_query == truth
+    );
     assert_eq!(via_query, truth);
 
     // -- R6: and back again -------------------------------------------------
     let back = wformula_positive::prenex_positive_to_wformula(&inst.query, &inst.database)
         .expect("R5 output is prenex and closed");
-    println!("\nR6 round trip: Boolean formula over {} z-variables, weight {}",
-        back.num_vars, back.k);
+    println!(
+        "\nR6 round trip: Boolean formula over {} z-variables, weight {}",
+        back.num_vars, back.k
+    );
     let round = weighted_formula_sat_n(&back.formula, back.num_vars, back.k).is_some();
     assert_eq!(round, truth);
     println!("round-trip answer preserved: {round}");
@@ -58,8 +64,12 @@ fn main() {
             src.push_str(&format!("(A{i}(x) | B{i}(x))"));
         }
         let q = parse_positive(&src).unwrap();
-        println!("  {} conjuncts → {} CQ disjuncts (q = {})",
-            m, q.to_union_of_cqs().len(), q.size());
+        println!(
+            "  {} conjuncts → {} CQ disjuncts (q = {})",
+            m,
+            q.to_union_of_cqs().len(),
+            q.size()
+        );
     }
 
     // -- The prenex caveat: prenexing grows v --------------------------------
@@ -68,7 +78,10 @@ fn main() {
     println!("\nprenex caveat:");
     println!("  original:  {q}    (v = {})", q.num_variables());
     println!("  prenexing renames the sibling scopes: quantifier block {quants:?}");
-    println!("  → v grows from {} to {} — why the paper's W[SAT]-completeness",
-        q.num_variables(), quants.len() + 1);
+    println!(
+        "  → v grows from {} to {} — why the paper's W[SAT]-completeness",
+        q.num_variables(),
+        quants.len() + 1
+    );
     println!("    under parameter v is stated for *prenex* positive queries only.");
 }

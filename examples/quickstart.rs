@@ -26,7 +26,11 @@ fn main() {
     db.add_table(
         "EM", // employee–manager
         ["emp", "mgr"],
-        [tuple!["ann", "bob"], tuple!["cid", "bob"], tuple!["dee", "ann"]],
+        [
+            tuple!["ann", "bob"],
+            tuple!["cid", "bob"],
+            tuple!["dee", "ann"],
+        ],
     )
     .unwrap();
 

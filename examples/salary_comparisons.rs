@@ -19,13 +19,22 @@ fn main() {
     db.add_table(
         "EM",
         ["emp", "mgr"],
-        [tuple!["ann", "bob"], tuple!["cid", "bob"], tuple!["dee", "ann"]],
+        [
+            tuple!["ann", "bob"],
+            tuple!["cid", "bob"],
+            tuple!["dee", "ann"],
+        ],
     )
     .unwrap();
     db.add_table(
         "ES",
         ["emp", "sal"],
-        [tuple!["ann", 120], tuple!["bob", 100], tuple!["cid", 90], tuple!["dee", 150]],
+        [
+            tuple!["ann", 120],
+            tuple!["bob", 100],
+            tuple!["cid", 90],
+            tuple!["dee", 150],
+        ],
     )
     .unwrap();
 
@@ -35,11 +44,19 @@ fn main() {
     println!("class : {:?}", c.class);
     println!("note  : {}", c.summary);
     let ans = evaluate(&q, &db, &PlannerOptions::default()).unwrap();
-    println!("answer: {:?}\n", ans.tuples().iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!(
+        "answer: {:?}\n",
+        ans.tuples()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // Consistency preprocessing in action: implied equalities collapse.
     let q2 = parse_cq("G(e) :- ES(e, s), ES(e, s2), s <= s2, s2 <= s, 100 <= s.").unwrap();
-    let collapsed = comparisons::collapse_query(&q2).unwrap().expect("consistent");
+    let collapsed = comparisons::collapse_query(&q2)
+        .unwrap()
+        .expect("consistent");
     println!("before collapse: {q2}");
     println!("after  collapse: {collapsed}\n");
 

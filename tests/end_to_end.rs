@@ -20,7 +20,10 @@ fn company_db(seed: u64, n_emp: usize) -> Database {
         for _ in 0..rng.gen_range(1..=3) {
             ep.push(tuple![format!("e{e}"), format!("p{}", rng.gen_range(0..8))]);
         }
-        em.push(tuple![format!("e{e}"), format!("e{}", rng.gen_range(0..n_emp))]);
+        em.push(tuple![
+            format!("e{e}"),
+            format!("e{}", rng.gen_range(0..n_emp))
+        ]);
         es.push(tuple![format!("e{e}"), rng.gen_range(50..150i64)]);
     }
     db.add_table("EP", ["e", "p"], ep).unwrap();
@@ -74,10 +77,7 @@ fn colorcoding_exactness_on_random_star_queries() {
         }
         db.add_table("R", ["c", "x"], rows).unwrap();
         // Star: center c with three leaves pairwise ≠ (k = 3).
-        let q = parse_cq(
-            "G(c) :- R(c, a), R(c, b), R(c, d), a != b, a != d, b != d.",
-        )
-        .unwrap();
+        let q = parse_cq("G(c) :- R(c, a), R(c, b), R(c, d), a != b, a != d, b != d.").unwrap();
         let exact = colorcoding::evaluate(&q, &db, &ColorCodingOptions::default()).unwrap();
         let oracle = naive::evaluate(&q, &db).unwrap();
         assert_eq!(exact, oracle, "trial {trial}");

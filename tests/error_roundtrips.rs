@@ -1,0 +1,171 @@
+//! `Display` / `Error::source` round-trips for every variant of the public
+//! error enums (`DataError`, `QueryError`, `EngineError`).
+//!
+//! All three are `#[non_exhaustive]`, so this suite is the within-workspace
+//! checklist that a newly added variant gets a human-readable message and a
+//! correct source chain: extend the `all_*_variants` lists when adding one.
+
+use std::error::Error as StdError;
+
+use pq_data::DataError;
+use pq_engine::governor::ResourceKind;
+use pq_engine::EngineError;
+use pq_query::QueryError;
+
+fn all_data_variants() -> Vec<DataError> {
+    vec![
+        DataError::UnknownAttribute {
+            attr: "x".into(),
+            header: vec!["a".into(), "b".into()],
+        },
+        DataError::ArityMismatch {
+            expected: 2,
+            found: 3,
+        },
+        DataError::DuplicateAttribute("a".into()),
+        DataError::HeaderMismatch {
+            left: vec!["a".into()],
+            right: vec!["b".into()],
+        },
+        DataError::UnknownRelation("R".into()),
+        DataError::DuplicateRelation("R".into()),
+    ]
+}
+
+fn all_query_variants() -> Vec<QueryError> {
+    vec![
+        QueryError::UnsafeHeadVariable("x".into()),
+        QueryError::UnsafeConstraintVariable("y".into()),
+        QueryError::ConstantConstraint("1 != 2".into()),
+        QueryError::EmptyBody,
+        QueryError::Parse {
+            offset: 7,
+            message: "expected `:-`".into(),
+        },
+        QueryError::BadProgram("goal has no rule".into()),
+    ]
+}
+
+fn all_engine_variants() -> Vec<EngineError> {
+    let mut out = vec![
+        EngineError::Data(DataError::UnknownRelation("R".into())),
+        EngineError::Query(QueryError::EmptyBody),
+        EngineError::Unsupported("cyclic query".into()),
+        EngineError::InconsistentComparisons,
+    ];
+    for kind in [
+        ResourceKind::Timeout,
+        ResourceKind::TupleBudget,
+        ResourceKind::DepthLimit,
+        ResourceKind::Cancelled,
+    ] {
+        out.push(EngineError::ResourceExhausted {
+            kind,
+            engine: "naive",
+            atoms_processed: 12,
+            tuples_materialized: 34,
+        });
+    }
+    out
+}
+
+/// Every variant renders a nonempty, non-Debug-shaped message that mentions
+/// its payload where there is one.
+#[test]
+fn every_variant_displays_a_message() {
+    for e in all_data_variants() {
+        let msg = e.to_string();
+        assert!(!msg.is_empty(), "{e:?} displayed nothing");
+        assert!(
+            !msg.starts_with("DataError"),
+            "{e:?} leaked Debug formatting: {msg}"
+        );
+    }
+    for e in all_query_variants() {
+        let msg = e.to_string();
+        assert!(!msg.is_empty(), "{e:?} displayed nothing");
+        assert!(
+            !msg.starts_with("QueryError"),
+            "{e:?} leaked Debug formatting: {msg}"
+        );
+    }
+    for e in all_engine_variants() {
+        let msg = e.to_string();
+        assert!(!msg.is_empty(), "{e:?} displayed nothing");
+        assert!(
+            !msg.starts_with("EngineError"),
+            "{e:?} leaked Debug formatting: {msg}"
+        );
+    }
+}
+
+#[test]
+fn display_messages_carry_their_payloads() {
+    assert!(DataError::UnknownRelation("Emp".into())
+        .to_string()
+        .contains("Emp"));
+    assert!(DataError::ArityMismatch {
+        expected: 2,
+        found: 5
+    }
+    .to_string()
+    .contains('5'));
+    assert!(QueryError::UnsafeHeadVariable("zz".into())
+        .to_string()
+        .contains("zz"));
+    assert!(QueryError::Parse {
+        offset: 41,
+        message: "oops".into()
+    }
+    .to_string()
+    .contains("41"));
+    let re = EngineError::ResourceExhausted {
+        kind: ResourceKind::TupleBudget,
+        engine: "yannakakis",
+        atoms_processed: 3,
+        tuples_materialized: 99,
+    }
+    .to_string();
+    assert!(re.contains("tuple budget"), "kind missing: {re}");
+    assert!(re.contains("yannakakis"), "engine missing: {re}");
+    assert!(re.contains("99"), "counter missing: {re}");
+}
+
+/// `EngineError` wrapping variants expose the inner error via `source()`;
+/// leaf variants (on all three enums) return `None`.
+#[test]
+fn source_chains_round_trip() {
+    for e in all_data_variants() {
+        assert!(e.source().is_none(), "DataError is a leaf: {e:?}");
+    }
+    for e in all_query_variants() {
+        assert!(e.source().is_none(), "QueryError is a leaf: {e:?}");
+    }
+    for e in all_engine_variants() {
+        match &e {
+            EngineError::Data(inner) => {
+                let src = e.source().expect("Data wraps a source");
+                assert_eq!(src.to_string(), inner.to_string());
+                assert!(src.downcast_ref::<DataError>().is_some());
+            }
+            EngineError::Query(inner) => {
+                let src = e.source().expect("Query wraps a source");
+                assert_eq!(src.to_string(), inner.to_string());
+                assert!(src.downcast_ref::<QueryError>().is_some());
+            }
+            _ => assert!(e.source().is_none(), "unexpected source on {e:?}"),
+        }
+    }
+}
+
+/// `From` conversions preserve the wrapped error through the source chain.
+#[test]
+fn from_impls_wrap_without_loss() {
+    let d = DataError::DuplicateRelation("R".into());
+    let e: EngineError = d.clone().into();
+    assert_eq!(e.source().unwrap().downcast_ref::<DataError>(), Some(&d));
+
+    let q = QueryError::EmptyBody;
+    let e: EngineError = q.clone().into();
+    assert_eq!(e.source().unwrap().downcast_ref::<QueryError>(), Some(&q));
+}

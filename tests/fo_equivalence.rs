@@ -18,9 +18,7 @@ fn arb_fo(depth: u32) -> BoxedStrategy<FoFormula> {
         (0..3usize, 0..3usize).prop_map(move |(a, b)| {
             FoFormula::Atom(Atom::new("E", [Term::var(vars[a]), Term::var(vars[b])]))
         }),
-        (0..3usize).prop_map(move |a| {
-            FoFormula::Atom(Atom::new("L", [Term::var(vars[a])]))
-        }),
+        (0..3usize).prop_map(move |a| { FoFormula::Atom(Atom::new("L", [Term::var(vars[a])])) }),
         (0..3usize, 0..4i64).prop_map(move |(a, c)| {
             FoFormula::Atom(Atom::new("E", [Term::var(vars[a]), Term::cons(c)]))
         }),
@@ -29,9 +27,8 @@ fn arb_fo(depth: u32) -> BoxedStrategy<FoFormula> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(FoFormula::And),
             prop::collection::vec(inner.clone(), 1..3).prop_map(FoFormula::Or),
-            inner.clone().prop_map(|f| FoFormula::not(f)),
-            (0..3usize, inner.clone())
-                .prop_map(move |(v, f)| FoFormula::exists(vars[v], f)),
+            inner.clone().prop_map(FoFormula::not),
+            (0..3usize, inner.clone()).prop_map(move |(v, f)| FoFormula::exists(vars[v], f)),
             (0..3usize, inner).prop_map(move |(v, f)| FoFormula::forall(vars[v], f)),
         ]
     })
@@ -40,8 +37,12 @@ fn arb_fo(depth: u32) -> BoxedStrategy<FoFormula> {
 
 fn small_db() -> Database {
     let mut d = Database::new();
-    d.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![2, 0], tuple![1, 1]])
-        .unwrap();
+    d.add_table(
+        "E",
+        ["a", "b"],
+        [tuple![0, 1], tuple![1, 2], tuple![2, 0], tuple![1, 1]],
+    )
+    .unwrap();
     d.add_table("L", ["a"], [tuple![0], tuple![2]]).unwrap();
     d
 }

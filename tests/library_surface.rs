@@ -68,7 +68,10 @@ fn containment_api_on_project_queries() {
     let weak = parse_cq("G(e) :- EP(e, p), EP(e2, p).").unwrap();
     let strong = parse_cq("G(e) :- EP(e, p), EP(e2, p), EP(e3, p).").unwrap();
     assert!(containment::contained_in(&strong, &weak).unwrap());
-    assert!(containment::equivalent(&weak, &strong).unwrap(), "both fold to one atom's shape");
+    assert!(
+        containment::equivalent(&weak, &strong).unwrap(),
+        "both fold to one atom's shape"
+    );
     // Minimization collapses the redundancy.
     let m = containment::minimize(&strong).unwrap();
     assert_eq!(m.atoms.len(), 1);

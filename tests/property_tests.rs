@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 
-use pq_data::{tuple, Database, Relation, Tuple, Value};
 use pq_core::{evaluate as planner_evaluate, PlannerOptions};
+use pq_data::{tuple, Database, Relation, Tuple, Value};
 use pq_engine::colorcoding::{self, ColorCodingOptions};
 use pq_engine::{naive, yannakakis};
 use pq_hypergraph::{join_tree, Hypergraph};
@@ -27,8 +27,9 @@ fn arb_relation2(attrs: [&'static str; 2], max_val: i64) -> impl Strategy<Value 
 }
 
 fn arb_graph(n: usize) -> impl Strategy<Value = Graph> {
-    let pairs: Vec<(usize, usize)> =
-        (0..n).flat_map(|a| (a + 1..n).map(move |b| (a, b))).collect();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .collect();
     prop::collection::vec(any::<bool>(), pairs.len()).prop_map(move |mask| {
         let mut g = Graph::new(n);
         for (on, &(a, b)) in mask.iter().zip(&pairs) {
@@ -281,9 +282,8 @@ fn build_tree_query(spec: &TreeQuerySpec) -> (pq_query::ConjunctiveQuery, Databa
         let rel = format!("T{i}");
         atoms.push(Atom::new(&rel, vars.iter().map(Term::var)));
         let arity = vars.len();
-        let rows = (0..spec.rows_per_relation).map(|_| {
-            Tuple::new((0..arity).map(|_| Value::int(rng.gen_range(0..spec.num_values))))
-        });
+        let rows = (0..spec.rows_per_relation)
+            .map(|_| Tuple::new((0..arity).map(|_| Value::int(rng.gen_range(0..spec.num_values)))));
         let attrs: Vec<String> = (0..arity).map(|c| format!("c{c}")).collect();
         db.set_relation(rel, Relation::with_tuples(attrs, rows).unwrap());
     }

@@ -2,7 +2,7 @@
 //! reduction chained with its converse and checked against ground truth.
 
 use pq_engine::{bounded_var, fo_eval, naive, positive_eval};
-use pq_query::{parse_cq, parse_positive, QueryMetrics};
+use pq_query::{parse_positive, QueryMetrics};
 use pq_wtheory::formula::BoolFormula;
 use pq_wtheory::graphs::{random_graph, Graph};
 use pq_wtheory::reductions::{
@@ -23,9 +23,17 @@ fn w1_completeness_circle() {
         for k in 2..=3 {
             let truth = g.has_clique(k);
             let (db, q) = clique_to_cq::reduce(&g, k);
-            assert_eq!(naive::is_nonempty(&q, &db).unwrap(), truth, "R1 seed {seed} k {k}");
+            assert_eq!(
+                naive::is_nonempty(&q, &db).unwrap(),
+                truth,
+                "R1 seed {seed} k {k}"
+            );
             let inst = cq_to_w2cnf::reduce(&q, &db).unwrap();
-            assert_eq!(has_weighted_cnf_sat(&inst.cnf, inst.k), truth, "R2 seed {seed} k {k}");
+            assert_eq!(
+                has_weighted_cnf_sat(&inst.cnf, inst.k),
+                truth,
+                "R2 seed {seed} k {k}"
+            );
             let back = cq_to_w2cnf::conflict_graph(&inst);
             assert_eq!(back.has_clique(inst.k), truth, "R10 seed {seed} k {k}");
         }
@@ -56,7 +64,11 @@ fn wsat_positive_roundtrip() {
             BoolFormula::or([BoolFormula::neg(0), BoolFormula::var(2)]),
         ]),
         BoolFormula::or([
-            BoolFormula::and([BoolFormula::var(0), BoolFormula::neg(1), BoolFormula::var(2)]),
+            BoolFormula::and([
+                BoolFormula::var(0),
+                BoolFormula::neg(1),
+                BoolFormula::var(2),
+            ]),
             BoolFormula::and([BoolFormula::neg(0), BoolFormula::var(1)]),
         ]),
     ];
@@ -86,8 +98,14 @@ fn wsat_positive_roundtrip() {
 #[test]
 fn positive_query_to_single_clique_instance() {
     let mut db = pq_data::Database::new();
-    db.add_table("R", ["a"], [pq_data::tuple![1], pq_data::tuple![2]]).unwrap();
-    db.add_table("E", ["a", "b"], [pq_data::tuple![1, 2], pq_data::tuple![2, 1]]).unwrap();
+    db.add_table("R", ["a"], [pq_data::tuple![1], pq_data::tuple![2]])
+        .unwrap();
+    db.add_table(
+        "E",
+        ["a", "b"],
+        [pq_data::tuple![1, 2], pq_data::tuple![2, 1]],
+    )
+    .unwrap();
     for src in [
         "Q := exists x, y. (E(x, y) & E(y, x) & R(x))",
         "Q := exists x. (R(x) & E(x, x)) | exists x, y. E(x, y)",
@@ -141,7 +159,10 @@ fn circuit_to_fo_depth_bookkeeping() {
 fn hamiltonian_reduction_battery() {
     let cases: Vec<(Graph, bool)> = vec![
         (Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]), true),
-        (Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]), false),
+        (
+            Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]),
+            false,
+        ),
         (Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]), true),
         (Graph::new(3), false),
     ];

@@ -1,0 +1,281 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by the
+//! workspace benches.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! resolved. This stub keeps the bench sources compiling unchanged and makes
+//! `cargo bench` print simple wall-clock statistics (min/mean over a small,
+//! time-capped number of iterations). There is no warm-up analysis, outlier
+//! detection, or HTML report.
+//!
+//! When invoked with `--test` (as `cargo test` does for bench targets) each
+//! benchmark body runs exactly once, so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line arguments (`--test`, `--bench`, and an optional
+    /// name filter; everything else is ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Default number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(&id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Print a closing line (kept for API compatibility).
+    pub fn final_summary(&self) {}
+
+    fn run_one<F>(&mut self, label: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { sample_size },
+            time_cap: Duration::from_millis(if self.test_mode { 0 } else { 500 }),
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {label} ... ok (bench ran once)");
+        } else if let Some(stats) = b.stats() {
+            println!("{label:<60} {stats}");
+        } else {
+            println!("{label:<60} (no measurement: b.iter never called)");
+        }
+    }
+}
+
+/// A named group sharing a sample-size configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&label, sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A function-name/parameter pair identifying one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify by function name and parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identify by parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.function {
+            Some(function) => write!(f, "{}/{}", function, self.parameter),
+            None => f.write_str(&self.parameter),
+        }
+    }
+}
+
+/// Measures one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    time_cap: Duration,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, repeating up to the configured sample count (capped by a
+    /// per-benchmark time budget so slow bodies don't stall the suite).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        self.durations.clear();
+        let budget_start = Instant::now();
+        for done in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            black_box(f());
+            self.durations.push(t0.elapsed());
+            if done + 1 < self.samples && budget_start.elapsed() > self.time_cap {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Option<String> {
+        let n = self.durations.len();
+        if n == 0 {
+            return None;
+        }
+        let total: Duration = self.durations.iter().sum();
+        let mean = total / n as u32;
+        let min = *self.durations.iter().min().expect("nonempty");
+        Some(format!(
+            "mean {mean:>12.2?}   min {min:>12.2?}   samples {n}"
+        ))
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("hash", 32).to_string(), "hash/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.benchmark_group("g")
+            .sample_size(3)
+            .bench_function("f", |b| {
+                b.iter(|| ran += 1);
+            });
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        let input = 21usize;
+        let mut seen = None;
+        group.bench_with_input(BenchmarkId::new("double", input), &input, |b, &i| {
+            b.iter(|| black_box(i * 2));
+            seen = Some(i * 2);
+        });
+        group.finish();
+        assert_eq!(seen, Some(42));
+    }
+}

@@ -1,0 +1,304 @@
+//! The `Strategy` trait and combinators.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is simply a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns for it.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves and `recurse`
+    /// wraps an inner strategy into one that generates one level deeper.
+    ///
+    /// `depth` bounds the nesting; `_desired_size` and `_expected_branch`
+    /// are accepted for API compatibility and ignored (no size tracking).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaves back in at every level so generated values span
+            // all depths up to the bound, not only maximal-depth ones.
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generate a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one option.
+    ///
+    /// # Panics
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// ---- ranges as strategies ----
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- homogeneous collections of strategies ----
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---- tuples of strategies ----
+
+macro_rules! impl_strategy_for_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A / 0);
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::__rt::rng_for;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = rng_for("strategy::compose");
+        let s = (0..5usize, 10..20i64).prop_map(|(a, b)| a as i64 + b);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((10..25).contains(&v), "got {v}");
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_the_outer_value() {
+        let mut rng = rng_for("strategy::flat_map");
+        let s = (1..4usize).prop_flat_map(|n| {
+            let per_item: Vec<core::ops::Range<usize>> = (0..n).map(|i| 0..i + 1).collect();
+            per_item.prop_map(move |vals| (n, vals))
+        });
+        for _ in 0..200 {
+            let (n, vals) = s.generate(&mut rng);
+            assert_eq!(vals.len(), n);
+            for (i, v) in vals.iter().enumerate() {
+                assert!(*v <= i);
+            }
+        }
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0..10i64)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut rng = rng_for("strategy::recursive");
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            let t = s.generate(&mut rng);
+            max_seen = max_seen.max(depth(&t));
+            assert!(depth(&t) <= 3);
+        }
+        assert!(max_seen >= 1, "recursion never fired");
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let s = Union::new(vec![Just(0u8).boxed(), Just(1u8).boxed()]);
+        let mut rng = rng_for("strategy::union");
+        let draws: Vec<u8> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.contains(&0) && draws.contains(&1));
+    }
+}

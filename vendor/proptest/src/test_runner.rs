@@ -1,0 +1,33 @@
+//! Test-runner configuration and case-level error signalling.
+
+/// The RNG threaded through strategies; seeded per test for reproducibility.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (does not count as a run).
+    Reject(&'static str),
+    /// The case failed an assertion; the whole test fails.
+    Fail(String),
+}
