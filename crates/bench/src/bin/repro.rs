@@ -9,6 +9,7 @@
 //! repro yannakakis   The acyclic baseline [18] that Theorem 2 extends
 //! repro datalog      Section 4: fixed-arity Datalog / bottom-up evaluation
 //! repro extensions   The closing remarks: formula-≠, AW[P], AW[SAT], Datalog/W[1]
+//! repro service      pq-service cache levels: cold vs plan-warm vs result-warm
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -45,6 +46,7 @@ fn main() {
         "yannakakis" => yannakakis_exp(),
         "datalog" => datalog_exp(),
         "extensions" => extensions(),
+        "service" => service_exp(),
         "all" => {
             fig1();
             thm1();
@@ -53,6 +55,7 @@ fn main() {
             yannakakis_exp();
             datalog_exp();
             extensions();
+            service_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -471,8 +474,8 @@ fn datalog_exp() {
 // ------------------------------------------------------------ extensions --
 
 /// The paper's closing remarks (Sections 4–5), reproduced: the formula-of-
-/// inequalities extension of Theorem 2, the AW[P]/AW[SAT] alternating
-/// classifications, and fixed-arity Datalog evaluated through W[1] oracles.
+/// inequalities extension of Theorem 2, the AW\[P\]/AW\[SAT\] alternating
+/// classifications, and fixed-arity Datalog evaluated through W\[1\] oracles.
 fn extensions() {
     header("Extensions — the paper's closing remarks (X1–X4 of DESIGN.md)");
 
@@ -612,5 +615,78 @@ fn extensions() {
     println!(
         "  fixpoint matches direct evaluation: {}",
         via_w1.canonical_rows() == direct.canonical_rows()
+    );
+}
+
+// --------------------------------------------------------------- service --
+
+/// E10: the service's two cache levels on the Theorem 2 acyclic chain
+/// workload, with the ISSUE 2 acceptance check (result-warm ≥ 10× below
+/// cold) verified programmatically rather than by eyeballing bench output.
+fn service_exp() {
+    use pq_service::{CacheOutcome, QueryService, RequestLimits, ServiceConfig};
+
+    header("pq-service — plan/result cache levels on the acyclic chain (E10)");
+
+    let len = 6;
+    let db = workloads::chain_database(len, 300, 50, 7);
+    let body: Vec<String> = (0..len)
+        .map(|i| format!("R{i}(x{i}, x{})", i + 1))
+        .collect();
+    let src = format!("G(x0, x{len}) :- {}.", body.join(", "));
+    let limits = RequestLimits::default();
+
+    let service = |plan: usize, result: usize| {
+        QueryService::new(ServiceConfig {
+            workers: 2,
+            plan_cache_capacity: plan,
+            result_cache_capacity: result,
+            ..ServiceConfig::default()
+        })
+    };
+
+    let cold_svc = service(0, 0);
+    cold_svc.load_database("d", db.clone()).unwrap();
+    let cold = time_min(3, || {
+        assert_eq!(
+            cold_svc.query("d", &src, limits).unwrap().cache,
+            CacheOutcome::Miss
+        );
+    });
+    cold_svc.shutdown();
+
+    let plan_svc = service(256, 0);
+    plan_svc.load_database("d", db.clone()).unwrap();
+    plan_svc.query("d", &src, limits).unwrap();
+    let plan_warm = time_min(3, || {
+        assert_eq!(
+            plan_svc.query("d", &src, limits).unwrap().cache,
+            CacheOutcome::PlanHit
+        );
+    });
+    plan_svc.shutdown();
+
+    let result_svc = service(256, 1024);
+    result_svc.load_database("d", db).unwrap();
+    result_svc.query("d", &src, limits).unwrap();
+    let result_warm = time_min(50, || {
+        assert_eq!(
+            result_svc.query("d", &src, limits).unwrap().cache,
+            CacheOutcome::ResultHit
+        );
+    });
+    result_svc.shutdown();
+
+    println!("\n  chain query, {len} atoms, 300 tuples/relation:");
+    println!("  cold        (no caches)      {}", fmt_duration(cold));
+    println!("  plan-warm   (plan cache)     {}", fmt_duration(plan_warm));
+    println!(
+        "  result-warm (both levels)    {}",
+        fmt_duration(result_warm)
+    );
+    let speedup = cold.as_secs_f64() / result_warm.as_secs_f64().max(1e-9);
+    println!(
+        "  result-warm speedup over cold: {speedup:.0}x  (acceptance bar: >= 10x: {})",
+        if speedup >= 10.0 { "PASS" } else { "FAIL" }
     );
 }

@@ -132,7 +132,7 @@ pub fn comparison_instance(n: usize, p: f64, k: usize, seed: u64) -> (Database, 
     pq_wtheory::reductions::clique_to_comparisons::reduce(&g, k)
 }
 
-/// E8 (Vardi [16]): a Datalog family whose IDB arity grows with `k`. The
+/// E8 (Vardi \[16\]): a Datalog family whose IDB arity grows with `k`. The
 /// program derives every `k`-tuple over the active domain reachable through
 /// `D`, so the fixpoint materializes `n^k` tuples — the query size is
 /// polynomial in `k` but the evaluation provably needs `n^k` work, which is

@@ -5,10 +5,10 @@
 //!
 //! | shape | classification | engine |
 //! |-------|----------------|--------|
-//! | acyclic, no constraints | combined-complexity polynomial [18] | Yannakakis |
+//! | acyclic, no constraints | combined-complexity polynomial \[18\] | Yannakakis |
 //! | acyclic + `≠` | **f.p. tractable** (Theorem 2) | color coding |
-//! | acyclic + `<`/`≤` | W[1]-complete (Theorem 3) | naive (`n^q`) |
-//! | cyclic | W[1]-complete already for pure CQs (Theorem 1) | naive (`n^q`) |
+//! | acyclic + `<`/`≤` | W\[1\]-complete (Theorem 3) | naive (`n^q`) |
+//! | cyclic | W\[1\]-complete already for pure CQs (Theorem 1) | naive (`n^q`) |
 
 use pq_engine::comparisons;
 use pq_query::{ConjunctiveQuery, QueryMetrics};
@@ -21,13 +21,13 @@ pub enum CqClass {
     AcyclicPure,
     /// Acyclic with `≠` atoms only: fixed-parameter tractable (Theorem 2).
     AcyclicNeq,
-    /// Acyclic (after comparison collapse) with `<`/`≤`: W[1]-complete
+    /// Acyclic (after comparison collapse) with `<`/`≤`: W\[1\]-complete
     /// (Theorem 3).
     AcyclicComparisons,
     /// The comparison system is inconsistent: the answer is empty for every
     /// database.
     InconsistentComparisons,
-    /// Cyclic relational hypergraph: W[1]-complete already without
+    /// Cyclic relational hypergraph: W\[1\]-complete already without
     /// constraints (Theorem 1).
     Cyclic,
 }

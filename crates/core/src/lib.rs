@@ -4,11 +4,11 @@
 //!
 //! The paper's two messages become two entry points:
 //!
-//! * [`classify`] places an extended conjunctive query in the paper's
-//!   complexity landscape: acyclic (polynomial, Yannakakis [18]); acyclic
+//! * [`classify`](fn@classify) places an extended conjunctive query in the paper's
+//!   complexity landscape: acyclic (polynomial, Yannakakis \[18\]); acyclic
 //!   with `≠` (**fixed-parameter tractable** — Theorem 2, the paper's
-//!   algorithmic contribution); acyclic with `<` (W[1]-complete — Theorem
-//!   3); cyclic (W[1]-complete — Theorem 1).
+//!   algorithmic contribution); acyclic with `<` (W\[1\]-complete — Theorem
+//!   3); cyclic (W\[1\]-complete — Theorem 1).
 //! * [`evaluate`] / [`is_nonempty`] / [`decide`] run the query with the
 //!   engine that classification recommends.
 //!
@@ -39,8 +39,8 @@ pub mod planner;
 
 pub use classify::{classify, Classification, CqClass};
 pub use planner::{
-    decide, evaluate, evaluate_with_fallback, is_nonempty, plan, FallbackAttempt, FallbackOutcome,
-    Plan, PlannerOptions,
+    decide, evaluate, evaluate_with_fallback, is_nonempty, plan, EngineChoice, FallbackAttempt,
+    FallbackOutcome, Plan, PlannerOptions,
 };
 
 pub use pq_data as data;

@@ -33,34 +33,67 @@ impl Default for PlannerOptions {
     }
 }
 
+/// The engine a [`Plan`] commits to, with all query-only preprocessing
+/// (classification, color-parameter inspection, hash-family choice) already
+/// baked in. Executing a stored plan therefore never reclassifies — the
+/// preprocessing/evaluation split a plan cache amortizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineChoice {
+    /// Yannakakis join-tree evaluation (acyclic, no constraints).
+    Yannakakis,
+    /// Theorem 2 color coding, with the options chosen at plan time.
+    ColorCoding(ColorCodingOptions),
+    /// The comparison system is inconsistent: the answer is empty for every
+    /// database.
+    ConstantEmpty,
+    /// Naive `n^q` backtracking (cyclic queries and comparisons).
+    Naive,
+}
+
 /// The outcome of planning: which engine will run and why.
+///
+/// A `Plan` is *reusable*: it captures everything derived from the query
+/// alone, so the same plan can be executed against many databases (or the
+/// same database many times) via [`Plan::execute`] without repeating
+/// classification or GYO work. [`evaluate`]/[`is_nonempty`] are thin
+/// plan-then-execute wrappers.
 #[derive(Debug, Clone)]
 pub struct Plan {
     /// The classification that drove the choice.
     pub classification: Classification,
     /// Human-readable engine name.
     pub engine: &'static str,
+    /// The committed engine plus its plan-time options.
+    pub choice: EngineChoice,
 }
 
 /// Choose an engine for the query.
 pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
     let classification = classify(q);
-    let engine = match classification.class {
-        CqClass::AcyclicPure => "yannakakis",
+    let (engine, choice) = match classification.class {
+        CqClass::AcyclicPure => ("yannakakis", EngineChoice::Yannakakis),
         CqClass::AcyclicNeq => {
             let k = classification.color_parameter.unwrap_or(0);
-            if k <= opts.deterministic_k_limit {
+            let cc = cc_options(k, opts);
+            let name = if k <= opts.deterministic_k_limit {
                 "colorcoding (deterministic k-perfect family)"
             } else {
                 "colorcoding (randomized)"
-            }
+            };
+            (name, EngineChoice::ColorCoding(cc))
         }
-        CqClass::InconsistentComparisons => "constant (empty answer)",
-        CqClass::AcyclicComparisons | CqClass::Cyclic => "naive backtracking",
+        CqClass::InconsistentComparisons => {
+            ("constant (empty answer)", EngineChoice::ConstantEmpty)
+        }
+        CqClass::AcyclicComparisons | CqClass::Cyclic => {
+            ("naive backtracking", EngineChoice::Naive)
+        }
     };
     Plan {
         classification,
         engine,
+        choice,
     }
 }
 
@@ -75,35 +108,60 @@ fn cc_options(k: usize, opts: &PlannerOptions) -> ColorCodingOptions {
     }
 }
 
+fn empty_head(q: &ConjunctiveQuery) -> Result<Relation> {
+    Relation::new(pq_engine::binding::head_attrs(&q.head_terms)).map_err(EngineError::Data)
+}
+
+impl Plan {
+    /// Execute this plan's committed engine on `(q, db)` without
+    /// reclassifying. `q` must be the query the plan was built from (or one
+    /// with the same structure — the plan stores no per-query data beyond
+    /// the choice, so handing it a structurally different query runs the
+    /// wrong engine, not a wrong answer).
+    pub fn execute(&self, q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
+        match &self.choice {
+            EngineChoice::Yannakakis => yannakakis::evaluate(q, db),
+            EngineChoice::ColorCoding(cc) => colorcoding::evaluate(q, db, cc),
+            EngineChoice::ConstantEmpty => empty_head(q),
+            EngineChoice::Naive => naive::evaluate(q, db),
+        }
+    }
+
+    /// [`Plan::execute`] under the limits of `ctx` (see
+    /// [`ExecutionContext`]).
+    pub fn execute_governed(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        ctx: &ExecutionContext,
+    ) -> Result<Relation> {
+        match &self.choice {
+            EngineChoice::Yannakakis => yannakakis::evaluate_governed(q, db, ctx),
+            EngineChoice::ColorCoding(cc) => colorcoding::evaluate_governed(q, db, cc, ctx),
+            EngineChoice::ConstantEmpty => empty_head(q),
+            EngineChoice::Naive => naive::evaluate_governed(q, db, ctx),
+        }
+    }
+
+    /// Emptiness of `Q(d)` with the committed engine, without reclassifying.
+    pub fn is_nonempty(&self, q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+        match &self.choice {
+            EngineChoice::Yannakakis => yannakakis::is_nonempty(q, db),
+            EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty(q, db, cc),
+            EngineChoice::ConstantEmpty => Ok(false),
+            EngineChoice::Naive => naive::is_nonempty(q, db),
+        }
+    }
+}
+
 /// Evaluate `Q(d)` with the engine the classification recommends.
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database, opts: &PlannerOptions) -> Result<Relation> {
-    let p = plan(q, opts);
-    match p.classification.class {
-        CqClass::AcyclicPure => yannakakis::evaluate(q, db),
-        CqClass::AcyclicNeq => {
-            let k = p.classification.color_parameter.unwrap_or(0);
-            colorcoding::evaluate(q, db, &cc_options(k, opts))
-        }
-        CqClass::InconsistentComparisons => {
-            Ok(Relation::new(pq_engine::binding::head_attrs(&q.head_terms))
-                .map_err(EngineError::Data)?)
-        }
-        CqClass::AcyclicComparisons | CqClass::Cyclic => naive::evaluate(q, db),
-    }
+    plan(q, opts).execute(q, db)
 }
 
 /// Emptiness with the recommended engine.
 pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database, opts: &PlannerOptions) -> Result<bool> {
-    let p = plan(q, opts);
-    match p.classification.class {
-        CqClass::AcyclicPure => yannakakis::is_nonempty(q, db),
-        CqClass::AcyclicNeq => {
-            let k = p.classification.color_parameter.unwrap_or(0);
-            colorcoding::is_nonempty(q, db, &cc_options(k, opts))
-        }
-        CqClass::InconsistentComparisons => Ok(false),
-        CqClass::AcyclicComparisons | CqClass::Cyclic => naive::is_nonempty(q, db),
-    }
+    plan(q, opts).is_nonempty(q, db)
 }
 
 /// One attempt in the graceful-degradation chain of
@@ -273,6 +331,51 @@ mod tests {
         assert!(p.engine.starts_with("colorcoding"));
         let p = plan(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
         assert_eq!(p.engine, "naive backtracking");
+    }
+
+    #[test]
+    fn stored_plans_execute_without_reclassifying() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        for src in [
+            "G(x, c) :- R(x, y), S(y, c).",
+            "G(e) :- EP(e, p), EP(e, p2), p != p2.",
+            "G :- R(x, y), R(y, z), R(z, x).",
+            "G(x) :- R(x, y), x < y.",
+            "G(x) :- R(x, y), x < y, y < x.",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let p = plan(&q, &opts);
+            // Repeated executions of the same stored plan agree with the
+            // one-shot entry point and with each other.
+            let one_shot = evaluate(&q, &d, &opts).unwrap();
+            assert_eq!(p.execute(&q, &d).unwrap(), one_shot, "{src}");
+            assert_eq!(p.execute(&q, &d).unwrap(), one_shot, "{src}");
+            assert_eq!(
+                p.is_nonempty(&q, &d).unwrap(),
+                is_nonempty(&q, &d, &opts).unwrap(),
+                "{src}"
+            );
+            // Governed execution with no limits matches too.
+            let ctx = ExecutionContext::unlimited();
+            assert_eq!(p.execute_governed(&q, &d, &ctx).unwrap(), one_shot, "{src}");
+        }
+    }
+
+    #[test]
+    fn plan_choice_matches_engine_label() {
+        let opts = PlannerOptions::default();
+        let p = plan(&parse_cq("G(x) :- R(x, y), S(y, z).").unwrap(), &opts);
+        assert_eq!(p.choice, EngineChoice::Yannakakis);
+        let p = plan(
+            &parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap(),
+            &opts,
+        );
+        assert!(matches!(p.choice, EngineChoice::ColorCoding(_)));
+        let p = plan(&parse_cq("G :- R(x, y), x < y, y < x.").unwrap(), &opts);
+        assert_eq!(p.choice, EngineChoice::ConstantEmpty);
+        let p = plan(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
+        assert_eq!(p.choice, EngineChoice::Naive);
     }
 
     #[test]

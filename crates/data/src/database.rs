@@ -13,15 +13,39 @@ use crate::value::Value;
 /// The domain `D` is implicit: we expose the *active domain* (every constant
 /// appearing in some relation), which is what all the paper's algorithms
 /// range over.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Every database carries a monotone **mutation epoch**
+/// ([`Database::epoch`]): a counter bumped by every mutating method,
+/// including [`Database::relation_mut`] (which is *assumed* to mutate —
+/// handing out `&mut Relation` makes the change invisible to the catalog).
+/// Caches keyed by `(query, database, epoch)` are therefore invalidated by
+/// construction when the data changes. The epoch is bookkeeping, not data:
+/// it does not participate in equality.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    epoch: u64,
+}
+
+impl PartialEq for Database {
+    /// Semantic equality: same relations, regardless of mutation history.
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The mutation epoch: how many mutating calls this instance has seen.
+    ///
+    /// Monotone within one instance (clones inherit the current value and
+    /// advance independently).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Register a relation under `name`.
@@ -34,12 +58,23 @@ impl Database {
             return Err(DataError::DuplicateRelation(name));
         }
         self.relations.insert(name, rel);
+        self.epoch += 1;
         Ok(())
     }
 
     /// Replace (or insert) a relation unconditionally.
     pub fn set_relation(&mut self, name: impl Into<String>, rel: Relation) {
         self.relations.insert(name.into(), rel);
+        self.epoch += 1;
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
+        let removed = self.relations.remove(name);
+        if removed.is_some() {
+            self.epoch += 1;
+        }
+        removed
     }
 
     /// Look up a relation.
@@ -49,11 +84,15 @@ impl Database {
             .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
     }
 
-    /// Look up a relation mutably.
+    /// Look up a relation mutably. Bumps the epoch (the borrow is assumed to
+    /// mutate; a conservative bump only costs a spurious cache miss, while a
+    /// missed bump would serve stale answers).
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
-        self.relations
-            .get_mut(name)
-            .ok_or_else(|| DataError::UnknownRelation(name.to_string()))
+        if !self.relations.contains_key(name) {
+            return Err(DataError::UnknownRelation(name.to_string()));
+        }
+        self.epoch += 1;
+        Ok(self.relations.get_mut(name).expect("checked above"))
     }
 
     /// True when `name` is registered.
@@ -149,6 +188,42 @@ mod tests {
         assert!(d.add_table("E", ["x"], []).is_err());
         d.set_relation("E", Relation::new(["x"]).unwrap());
         assert_eq!(d.relation("E").unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut d = Database::new();
+        assert_eq!(d.epoch(), 0);
+        d.add_table("E", ["x", "y"], [tuple![1, 2]]).unwrap();
+        assert_eq!(d.epoch(), 1);
+        // A failed add does not bump.
+        assert!(d.add_table("E", ["x"], []).is_err());
+        assert_eq!(d.epoch(), 1);
+        d.set_relation("F", Relation::new(["v"]).unwrap());
+        assert_eq!(d.epoch(), 2);
+        d.relation_mut("E").unwrap().insert(tuple![3, 4]).unwrap();
+        assert_eq!(d.epoch(), 3);
+        assert!(d.relation_mut("missing").is_err());
+        assert_eq!(d.epoch(), 3);
+        assert!(d.remove_relation("F").is_some());
+        assert_eq!(d.epoch(), 4);
+        assert!(d.remove_relation("F").is_none());
+        assert_eq!(d.epoch(), 4);
+        // Read-only accessors never bump.
+        let _ = d.relation("E").unwrap();
+        let _ = d.size();
+        let _ = d.active_domain();
+        assert_eq!(d.epoch(), 4);
+    }
+
+    #[test]
+    fn epoch_is_excluded_from_equality() {
+        let a = db();
+        let mut b = db();
+        // Touch b without changing its contents: epochs diverge.
+        b.relation_mut("E").unwrap();
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b);
     }
 
     #[test]

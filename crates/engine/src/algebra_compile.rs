@@ -14,7 +14,7 @@
 //! with quantifier-free negation handled by complementing against the
 //! product of active-domain columns. That costs `O(n^{free vars})` space in
 //! the worst case — the `n^v` shape of Vardi's bounded-variable analysis
-//! [17], visible here as plan width.
+//! \[17\], visible here as plan width.
 
 use pq_data::{Database, Relation, Tuple, Value};
 use pq_query::{FoFormula, FoQuery, Term};

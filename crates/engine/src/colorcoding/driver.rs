@@ -26,6 +26,7 @@ use crate::governor::ExecutionContext;
 const ENGINE: &str = "color-coding";
 
 /// Options for the color-coding engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ColorCodingOptions {
     /// The hash family to drive the algorithms with.
     pub family: HashFamily,

@@ -92,6 +92,7 @@ impl Coloring {
 }
 
 /// A source of hash functions to drive the per-`h` algorithms with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HashFamily {
     /// `trials` independent uniformly random functions (seeded).
     Random {

@@ -6,7 +6,7 @@
 //! the variables and constants in C, with a directed arc u → w … labeled
 //! < or ≤ … The system is consistent iff there is no strongly connected
 //! component that contains a < arc, and the implied equalities are that all
-//! nodes of the same strong component are equal" (citing Klug [10]).
+//! nodes of the same strong component are equal" (citing Klug \[10\]).
 //!
 //! We treat the order as dense, exactly as the paper does; over the integer
 //! constants this is a (documented) relaxation — `x < y ∧ y < x+1` is

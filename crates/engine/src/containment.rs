@@ -1,5 +1,5 @@
 //! Chandra–Merlin containment and minimization for pure conjunctive
-//! queries — the paper's reference [5], where the complexity of conjunctive
+//! queries — the paper's reference \[5\], where the complexity of conjunctive
 //! queries (and hence this whole line of work) began.
 //!
 //! `Q1 ⊆ Q2` iff there is a homomorphism from `Q2` to `Q1`, iff the

@@ -5,7 +5,7 @@
 //! reached. If the maximum arity is r, then every IDB relation has at most
 //! n^r tuples and a fixpoint is reached in n^r stages. In each stage we need
 //! to compute for each rule a conjunctive query with at most v variables" —
-//! which is how fixed-arity Datalog lands in W[1]. The per-stage CQs here
+//! which is how fixed-arity Datalog lands in W\[1\]. The per-stage CQs here
 //! are evaluated with the naive engine, making that structure literal.
 
 use std::collections::BTreeMap;

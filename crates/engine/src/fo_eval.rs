@@ -3,9 +3,9 @@
 //! The textbook recursive evaluator: quantifiers range over the active
 //! domain of the database plus the constants of the query. Its running time
 //! is `O(q · n^v)` — polynomial for fixed `v`, with `v` in the exponent,
-//! matching Vardi's bounded-variable analysis [17] that motivates the
+//! matching Vardi's bounded-variable analysis \[17\] that motivates the
 //! paper's parameter-`v` column. Theorem 1(3) says this exponent is likely
-//! unavoidable (W[P]-hardness).
+//! unavoidable (W\[P\]-hardness).
 
 use std::collections::BTreeSet;
 

@@ -21,7 +21,7 @@
 //! syscall per tuple.
 //!
 //! Fault injection (`cfg(any(test, feature = "fault-injection"))`): a
-//! [`FaultSpec`] arms the context to fail deterministically at the `n`-th
+//! `FaultSpec` arms the context to fail deterministically at the `n`-th
 //! tick with a chosen [`ResourceKind`], letting tests drive every
 //! resource-exhaustion path through every engine without real clocks or
 //! threads.

@@ -5,13 +5,13 @@
 //! |--------|----------------|--------------|
 //! | [`naive`] | the generic `n^q` algorithm Theorems 1/3 say is likely optimal | `O(n^{\|atoms\|})` |
 //! | [`bounded_var`] | Theorem 1(1), parameter-`v` upper bound | builds `Q'`, `d'` in poly time |
-//! | [`yannakakis`] | the acyclic-CQ algorithm of [18] that Theorem 2 extends | poly(input + output) |
+//! | [`yannakakis`] | the acyclic-CQ algorithm of \[18\] that Theorem 2 extends | poly(input + output) |
 //! | [`colorcoding`] | **Theorem 2**: acyclic CQ + `≠` by color coding | `O(g(v)·q·n·log n)` emptiness |
 //! | [`positive_eval`] | Theorem 1(2): positive queries via union-of-CQs | exp(q)·poly(n) |
 //! | [`fo_eval`] | Theorem 1(3) context: FO evaluation over the active domain | `O(q·n^v)` |
 //! | [`datalog_eval`] | Section 4: bottom-up Datalog, naive and semi-naive | poly for fixed arity |
 //! | [`comparisons`] | Theorem 3 preprocessing: consistency + equality collapse | poly |
-//! | [`containment`] | Chandra–Merlin [5]: containment, equivalence, minimization | NP-complete (via the naive engine) |
+//! | [`containment`] | Chandra–Merlin \[5\]: containment, equivalence, minimization | NP-complete (via the naive engine) |
 
 #![warn(missing_docs)]
 

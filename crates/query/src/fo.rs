@@ -3,7 +3,7 @@
 //! First-order queries add negation (set difference in algebra) to the
 //! positive queries; `φ` is an arbitrary first-order formula over the
 //! database relations. Theorem 1(3) shows their parametric evaluation problem
-//! is W[t]-hard for all `t` (parameter `q`) and W[P]-hard (parameter `v`) via
+//! is W\[t\]-hard for all `t` (parameter `q`) and W\[P\]-hard (parameter `v`) via
 //! the `θ_{2i}` formula towers that this module can represent and that
 //! `pq-wtheory::reductions::circuit_to_fo` constructs.
 
@@ -259,7 +259,7 @@ impl FoQuery {
     /// Prenex decomposition: the leading quantifier chain and the
     /// quantifier-free matrix, or `None` when a quantifier occurs below a
     /// connective. (The paper: prenex first-order queries under parameter
-    /// `v` are AW[SAT]-complete; non-prenex ones resist that classification
+    /// `v` are AW\[SAT\]-complete; non-prenex ones resist that classification
     /// because prenexing does not preserve `v`.)
     pub fn prenex_parts(&self) -> Option<(Vec<(Quantifier, String)>, &FoFormula)> {
         let mut prefix = Vec::new();

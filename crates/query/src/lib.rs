@@ -14,6 +14,7 @@
 pub mod cq;
 pub mod datalog;
 pub mod error;
+pub mod fingerprint;
 pub mod fo;
 pub mod metrics;
 pub mod parser;
@@ -23,6 +24,7 @@ pub mod term;
 pub use cq::{CmpOp, Comparison, ConjunctiveQuery, Neq};
 pub use datalog::{DatalogProgram, Rule};
 pub use error::{QueryError, Result};
+pub use fingerprint::{canonical_form, fingerprint};
 pub use fo::{FoFormula, FoQuery, Quantifier};
 pub use metrics::QueryMetrics;
 pub use parser::{parse_cq, parse_datalog, parse_fo, parse_positive};

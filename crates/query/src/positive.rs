@@ -7,7 +7,7 @@
 //!   normal form, but this involves renaming of the variables, which in
 //!   general increases their number") — [`PositiveQuery::to_prenex`];
 //! * **expansion into a union of conjunctive queries** (the parametric
-//!   reduction showing positive queries ∈ W[1] for parameter `q`) —
+//!   reduction showing positive queries ∈ W\[1\] for parameter `q`) —
 //!   [`PositiveQuery::to_union_of_cqs`].
 
 use std::collections::BTreeSet;
@@ -291,7 +291,7 @@ impl PositiveQuery {
     }
 
     /// Expand into an equivalent union (finite set) of conjunctive queries —
-    /// the paper's W[1] upper-bound reduction for positive queries under
+    /// the paper's W\[1\] upper-bound reduction for positive queries under
     /// parameter `q`. The number of disjuncts can be exponential in `q`,
     /// which is fine for a parametric reduction.
     pub fn to_union_of_cqs(&self) -> Vec<ConjunctiveQuery> {

@@ -1,0 +1,226 @@
+//! A sharded, bounded LRU map — the substrate of both cache levels.
+//!
+//! Sharding bounds lock contention: a key is routed to one of `shards`
+//! independent `Mutex`-protected maps by a stable hash, so concurrent
+//! lookups for different keys rarely collide on a lock. Each shard holds at
+//! most `⌈capacity / shards⌉` entries and evicts its least-recently-used
+//! entry on overflow (recency is a monotone stamp per shard; eviction scans
+//! the shard, which is `O(shard capacity)` — fine at cache sizes where the
+//! alternative is re-running a query engine).
+//!
+//! Values are handed out as `Arc<V>` so a hit never clones the payload and
+//! an entry can be evicted while readers still hold it.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::sync::{atomic::AtomicU64, atomic::Ordering, Arc};
+
+struct Shard<K, V> {
+    map: HashMap<K, (Arc<V>, u64)>,
+    clock: u64,
+}
+
+impl<K: Hash + Eq, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// A sharded bounded LRU cache (see the module docs).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
+    /// A cache holding about `capacity` entries across `shards` shards.
+    /// `capacity == 0` disables the cache (every lookup misses, inserts are
+    /// dropped); `shards` is clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Is the cache disabled (capacity 0)?
+    pub fn is_disabled(&self) -> bool {
+        self.per_shard_capacity == 0
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let i =
+            usize::try_from(h.finish() % self.shards.len() as u64).expect("index < shard count");
+        &self.shards[i]
+    }
+
+    /// Look up `key`, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        if self.is_disabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        let stamp = shard.touch();
+        if let Some((v, last)) = shard.map.get_mut(key) {
+            *last = stamp;
+            let v = Arc::clone(v);
+            drop(shard);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(v)
+        } else {
+            drop(shard);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Insert (or refresh) `key → value`, evicting the shard's
+    /// least-recently-used entry if it is full.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        let stamp = shard.touch();
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(key, (value, stamp));
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (hit/miss counters are preserved).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").map.clear();
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let c: ShardedCache<u64, String> = ShardedCache::new(8, 2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, Arc::new("one".into()));
+        assert_eq!(c.get(&1).as_deref(), Some(&"one".to_string()));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(0, 4);
+        c.insert(1, Arc::new(1));
+        assert!(c.get(&1).is_none());
+        assert!(c.is_empty());
+        assert!(c.is_disabled());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // One shard so the recency order is deterministic.
+        let c: ShardedCache<u64, u64> = ShardedCache::new(2, 1);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        assert!(c.get(&1).is_some()); // refresh 1 → 2 is now coldest
+        c.insert(3, Arc::new(30));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&2).is_none(), "cold entry should be evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place_without_eviction() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(2, 1);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        c.insert(1, Arc::new(11)); // refresh, not overflow
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1).as_deref(), Some(&11));
+        assert_eq!(c.get(&2).as_deref(), Some(&20));
+    }
+
+    #[test]
+    fn values_survive_eviction_while_held() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new(1, 1);
+        c.insert(1, Arc::new(10));
+        let held = c.get(&1).unwrap();
+        c.insert(2, Arc::new(20)); // evicts key 1
+        assert!(c.get(&1).is_none());
+        assert_eq!(*held, 10);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c: Arc<ShardedCache<u64, u64>> = Arc::new(ShardedCache::new(64, 8));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = (t * 31 + i) % 100;
+                        c.insert(k, Arc::new(k * 2));
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(*v, k * 2);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= 64 + 8, "capacity respected per shard");
+    }
+}

@@ -1,0 +1,202 @@
+//! The catalog: named databases behind a `RwLock`, with snapshot semantics.
+//!
+//! Databases are stored as `Arc<Database>`. A query takes a **snapshot** —
+//! an `Arc` clone plus the identity pair `(generation, epoch)` — and then
+//! evaluates entirely outside the catalog lock, so a long-running query
+//! never blocks loads or mutations. Mutations go through
+//! [`Catalog::update`], which clones-on-write (`Arc::make_mut`) only when a
+//! snapshot is still alive.
+//!
+//! Cache identity is the pair of counters:
+//!
+//! * the **generation** is catalog-global and monotone, assigned anew on
+//!   every load *and* every in-place update — it distinguishes two different
+//!   databases loaded under the same name (whose own epochs could
+//!   coincide);
+//! * the **epoch** is the database's own mutation counter
+//!   ([`pq_data::Database::epoch`]) — it distinguishes in-place states.
+//!
+//! A result cached under `(fingerprint, name, generation, epoch)` can
+//! therefore never be served for different data.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use pq_data::Database;
+
+use crate::error::{Result, ServiceError};
+
+/// An immutable snapshot of one catalog entry (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    /// The database name the snapshot was taken under.
+    pub name: String,
+    /// Shared, immutable view of the data.
+    pub db: Arc<Database>,
+    /// Catalog-global load/update counter at snapshot time.
+    pub generation: u64,
+    /// The database's own mutation epoch at snapshot time.
+    pub epoch: u64,
+}
+
+struct Entry {
+    db: Arc<Database>,
+    generation: u64,
+}
+
+/// A thread-safe catalog of named databases (see the module docs).
+#[derive(Default)]
+pub struct Catalog {
+    entries: RwLock<BTreeMap<String, Entry>>,
+    generations: AtomicU64,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn next_generation(&self) -> u64 {
+        self.generations.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Insert or replace the database under `name`. Returns the new
+    /// generation.
+    pub fn insert(&self, name: impl Into<String>, db: Database) -> u64 {
+        let generation = self.next_generation();
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        entries.insert(
+            name.into(),
+            Entry {
+                db: Arc::new(db),
+                generation,
+            },
+        );
+        generation
+    }
+
+    /// Remove the database under `name`; true when it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        entries.remove(name).is_some()
+    }
+
+    /// Take a snapshot of `name` for lock-free evaluation.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownDatabase`] when absent.
+    pub fn snapshot(&self, name: &str) -> Result<DbSnapshot> {
+        let entries = self.entries.read().expect("catalog poisoned");
+        let entry = entries
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))?;
+        Ok(DbSnapshot {
+            name: name.to_string(),
+            db: Arc::clone(&entry.db),
+            generation: entry.generation,
+            epoch: entry.db.epoch(),
+        })
+    }
+
+    /// Mutate the database under `name` in place, under the write lock.
+    /// Copies-on-write when snapshots are still alive, so readers keep their
+    /// consistent view. Assigns a fresh generation whatever `f` did (a
+    /// spurious bump costs one cache miss; a missed one would be unsound).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownDatabase`] when absent.
+    pub fn update<R>(&self, name: &str, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
+        let mut entries = self.entries.write().expect("catalog poisoned");
+        let entry = entries
+            .get_mut(name)
+            .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))?;
+        let out = f(Arc::make_mut(&mut entry.db));
+        entry.generation = self.next_generation();
+        Ok(out)
+    }
+
+    /// Names currently in the catalog, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let entries = self.entries.read().expect("catalog poisoned");
+        entries.keys().cloned().collect()
+    }
+
+    /// Number of databases.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("catalog poisoned").len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+
+    fn small_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.add_table("R", ["a"], (0..n).map(|i| tuple![i])).unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_updates() {
+        let cat = Catalog::new();
+        cat.insert("d", small_db(3));
+        let before = cat.snapshot("d").unwrap();
+        cat.update("d", |db| {
+            db.relation_mut("R").unwrap().insert(tuple![99]).unwrap();
+        })
+        .unwrap();
+        let after = cat.snapshot("d").unwrap();
+        // The old snapshot still sees the old data (copy-on-write).
+        assert_eq!(before.db.relation("R").unwrap().len(), 3);
+        assert_eq!(after.db.relation("R").unwrap().len(), 4);
+        assert!(after.generation > before.generation);
+        assert!(after.epoch > before.epoch);
+    }
+
+    #[test]
+    fn reload_under_the_same_name_changes_the_generation() {
+        let cat = Catalog::new();
+        cat.insert("d", small_db(3));
+        let a = cat.snapshot("d").unwrap();
+        // A different database whose own epoch happens to match.
+        cat.insert("d", small_db(5));
+        let b = cat.snapshot("d").unwrap();
+        assert_eq!(a.epoch, b.epoch, "epochs alone cannot distinguish these");
+        assert_ne!(a.generation, b.generation, "generations must");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let cat = Catalog::new();
+        assert!(matches!(
+            cat.snapshot("nope"),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(matches!(
+            cat.update("nope", |_| ()),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(!cat.remove("nope"));
+    }
+
+    #[test]
+    fn names_and_len() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.insert("b", small_db(1));
+        cat.insert("a", small_db(1));
+        assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cat.len(), 2);
+        assert!(cat.remove("a"));
+        assert_eq!(cat.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! The service's structured error type.
+
+use std::fmt;
+
+use pq_data::DataError;
+use pq_engine::EngineError;
+use pq_query::QueryError;
+
+/// Errors surfaced by [`crate::QueryService`] and the wire protocol.
+///
+/// `#[non_exhaustive]` for the same reason as the substrate errors:
+/// downstream matches must carry a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// Admission control rejected the request: the worker queue was full.
+    /// Structured, immediate backpressure — the service never queues
+    /// unboundedly.
+    Overloaded {
+        /// The bounded queue depth that was full.
+        queue_depth: usize,
+    },
+    /// The named database is not in the catalog.
+    UnknownDatabase(String),
+    /// The query (or database text) failed to parse or validate.
+    Parse(QueryError),
+    /// A data-layer failure (bad database text, arity mismatch, …).
+    Data(DataError),
+    /// Evaluation failed; includes resource exhaustion
+    /// ([`EngineError::ResourceExhausted`]) when a per-request limit
+    /// tripped.
+    Engine(EngineError),
+    /// The service is shutting down and no longer admits work.
+    ShuttingDown,
+    /// A malformed wire-protocol request.
+    Protocol(String),
+}
+
+impl ServiceError {
+    /// Short stable machine-readable code, used on the wire (`ERR <code> …`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::UnknownDatabase(_) => "unknown-db",
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Data(_) => "data",
+            ServiceError::Engine(EngineError::ResourceExhausted { .. }) => "resource-exhausted",
+            ServiceError::Engine(_) => "engine",
+            ServiceError::ShuttingDown => "shutting-down",
+            ServiceError::Protocol(_) => "proto",
+        }
+    }
+
+    /// Is this the admission-control rejection?
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServiceError::Overloaded { .. })
+    }
+
+    /// Did a per-request resource limit trip during evaluation?
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Engine(EngineError::ResourceExhausted { .. })
+        )
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: job queue full ({queue_depth} waiting)")
+            }
+            ServiceError::UnknownDatabase(n) => write!(f, "unknown database `{n}`"),
+            ServiceError::Parse(e) => write!(f, "parse error: {e}"),
+            ServiceError::Data(e) => write!(f, "data error: {e}"),
+            ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Parse(e) => Some(e),
+            ServiceError::Data(e) => Some(e),
+            ServiceError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> Self {
+        ServiceError::Parse(e)
+    }
+}
+
+impl From<DataError> for ServiceError {
+    fn from(e: DataError) -> Self {
+        ServiceError::Data(e)
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = ServiceError> = std::result::Result<T, E>;

@@ -1,0 +1,67 @@
+//! `pq-service` — an embeddable, thread-safe query service over the
+//! `pyq` engine stack, plus a line-based TCP front end.
+//!
+//! The service ties the workspace layers together for concurrent use:
+//!
+//! * a [`Catalog`] of named databases behind a `RwLock`, handing out
+//!   copy-on-write snapshots so long queries never block writers;
+//! * a sharded two-level cache — a **plan cache** (normalized query text →
+//!   parsed AST + classification + [`pq_core::Plan`]) and a bounded-LRU
+//!   **result cache** keyed by `(query fingerprint, db name, generation,
+//!   epoch)`, so results are invalidated by construction when data changes;
+//! * a fixed-size worker pool with a bounded job queue: when the queue is
+//!   full, requests are rejected *before* any work happens with a
+//!   structured [`ServiceError::Overloaded`] (admission control, not
+//!   unbounded queueing). Every admitted job runs under a
+//!   [`pq_engine::ExecutionContext`] deadline/budget derived from
+//!   per-request [`RequestLimits`], and is cooperatively cancelled on
+//!   shutdown;
+//! * [`ServiceMetrics`] — queries served, per-level cache hit/miss,
+//!   rejections, resource-exhausted counts, and a latency histogram —
+//!   snapshotable as a plain [`MetricsSnapshot`] and dumpable over the
+//!   wire;
+//! * a tiny [`protocol`] (`LOAD` / `QUERY` / `EXPLAIN` / `STATS` /
+//!   `SHUTDOWN`, newline-framed, `.`-terminated responses) and a
+//!   [`server`] built on `std::net` + `std::thread` only.
+//!
+//! # Quick start (embedded)
+//!
+//! ```
+//! use pq_service::{QueryService, RequestLimits};
+//!
+//! let svc = QueryService::with_defaults();
+//! svc.load_str("d", "R(a, b):\n  1, 2\n  2, 3\n").unwrap();
+//! let resp = svc
+//!     .query("d", "G(x, y) :- R(x, y).", RequestLimits::default())
+//!     .unwrap();
+//! assert_eq!(resp.rows.len(), 2);
+//! svc.shutdown();
+//! ```
+//!
+//! # Quick start (over TCP)
+//!
+//! See `examples/serve.rs` and `examples/repl.rs`, or the README's
+//! service section for the wire grammar.
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::must_use_candidate, clippy::missing_panics_doc)]
+
+pub mod cache;
+pub mod catalog;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::ShardedCache;
+pub use catalog::{Catalog, DbSnapshot};
+pub use error::{Result, ServiceError};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
+pub use protocol::{parse_request, Request, END};
+pub use server::{read_response, roundtrip, serve, ServerHandle};
+pub use service::{
+    CacheOutcome, Explanation, LoadSummary, QueryResponse, QueryService, RequestLimits,
+    ServiceConfig,
+};

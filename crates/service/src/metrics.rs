@@ -1,0 +1,245 @@
+//! Service metrics: lock-free counters plus a log-scale latency histogram,
+//! snapshotable as a plain struct and dumpable over the wire (`STATS`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts queries whose
+/// latency in microseconds satisfies `2^i ≤ µs+1 < 2^(i+1)` (bucket 0 is
+/// sub-microsecond). 40 buckets cover ~13 days.
+const BUCKETS: usize = 40;
+
+/// A histogram of query latencies with power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_for(latency: Duration) -> usize {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        ((64 - (micros + 1).leading_zeros() - 1) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        self.buckets[Self::bucket_for(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the bucket counts.
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The upper bound (in µs) of bucket `i`, used to report percentiles.
+fn bucket_upper_micros(i: usize) -> u64 {
+    (1u64 << (i + 1)).saturating_sub(1)
+}
+
+/// Percentile from a bucket snapshot: the upper bound of the bucket holding
+/// the `p`-quantile observation (0 when empty). Coarse by design — within a
+/// factor of 2, which is what a power-of-two histogram can promise.
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn percentile(buckets: &[u64; BUCKETS], p: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * p).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_micros(i);
+        }
+    }
+    bucket_upper_micros(BUCKETS - 1)
+}
+
+/// Live counters for one service (all relaxed atomics; approximate
+/// cross-counter consistency is fine for monitoring).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Queries answered successfully (from any cache level or evaluation).
+    pub queries_served: AtomicU64,
+    /// Jobs admitted to the worker queue.
+    pub jobs_admitted: AtomicU64,
+    /// Requests rejected by admission control (`Overloaded`).
+    pub rejected_overload: AtomicU64,
+    /// Evaluations that tripped a per-request resource limit.
+    pub resource_exhausted: AtomicU64,
+    /// Other evaluation/parse failures.
+    pub errors: AtomicU64,
+    /// Plan-cache hits / misses.
+    pub plan_hits: AtomicU64,
+    /// Plan-cache misses.
+    pub plan_misses: AtomicU64,
+    /// Result-cache hits.
+    pub result_hits: AtomicU64,
+    /// Result-cache misses.
+    pub result_misses: AtomicU64,
+    /// Databases loaded or reloaded.
+    pub loads: AtomicU64,
+    /// In-place database mutations.
+    pub mutations: AtomicU64,
+    /// End-to-end query latencies (successful queries only).
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a point-in-time snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let buckets = self.latency.snapshot();
+        MetricsSnapshot {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            resource_exhausted: self.resource_exhausted.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            latency_p50_micros: percentile(&buckets, 0.50),
+            latency_p99_micros: percentile(&buckets, 0.99),
+        }
+    }
+}
+
+/// A plain-struct snapshot of [`ServiceMetrics`] — what `STATS` dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MetricsSnapshot {
+    /// Queries answered successfully.
+    pub queries_served: u64,
+    /// Jobs admitted to the worker queue.
+    pub jobs_admitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected_overload: u64,
+    /// Evaluations that tripped a per-request resource limit.
+    pub resource_exhausted: u64,
+    /// Other evaluation/parse failures.
+    pub errors: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Result-cache misses.
+    pub result_misses: u64,
+    /// Databases loaded or reloaded.
+    pub loads: u64,
+    /// In-place database mutations.
+    pub mutations: u64,
+    /// Median successful-query latency (µs, upper bucket bound).
+    pub latency_p50_micros: u64,
+    /// 99th-percentile successful-query latency (µs, upper bucket bound).
+    pub latency_p99_micros: u64,
+}
+
+impl MetricsSnapshot {
+    /// `key value` lines in a stable order (the wire `STATS` body).
+    pub fn lines(&self) -> Vec<String> {
+        vec![
+            format!("queries_served {}", self.queries_served),
+            format!("jobs_admitted {}", self.jobs_admitted),
+            format!("rejected_overload {}", self.rejected_overload),
+            format!("resource_exhausted {}", self.resource_exhausted),
+            format!("errors {}", self.errors),
+            format!("plan_hits {}", self.plan_hits),
+            format!("plan_misses {}", self.plan_misses),
+            format!("result_hits {}", self.result_hits),
+            format!("result_misses {}", self.result_misses),
+            format!("loads {}", self.loads),
+            format!("mutations {}", self.mutations),
+            format!("latency_p50_micros {}", self.latency_p50_micros),
+            format!("latency_p99_micros {}", self.latency_p99_micros),
+        ]
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in self.lines() {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_micros() {
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(0)), 0);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(1)), 1);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(3)), 2);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(1022)), 9);
+        assert_eq!(
+            LatencyHistogram::bucket_for(Duration::from_micros(1023)),
+            10
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_for(Duration::from_secs(1_000_000)),
+            BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let h = LatencyHistogram::default();
+        // 99 fast observations, one slow outlier.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(100));
+        let b = h.snapshot();
+        let p50 = percentile(&b, 0.50);
+        let p99 = percentile(&b, 0.99);
+        assert!(p50 <= 15, "p50 {p50} should be in the fast bucket");
+        assert!(p50 >= 10, "upper bucket bound is at least the observation");
+        assert!(p99 <= 15, "99/100 observations are fast");
+        assert!(percentile(&b, 1.0) >= 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(percentile(&h.snapshot(), 0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_is_plain_and_printable() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::bump(&m.queries_served);
+        m.latency.record(Duration::from_micros(5));
+        let s = m.snapshot();
+        assert_eq!(s.queries_served, 1);
+        let text = s.to_string();
+        assert!(text.contains("queries_served 1"));
+        assert_eq!(s.lines().len(), text.lines().count());
+    }
+}

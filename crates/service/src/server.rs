@@ -1,0 +1,207 @@
+//! A line-based TCP front end over [`QueryService`] — `std::net` +
+//! `std::thread` only, honoring the workspace's no-runtime-deps rule.
+//!
+//! One thread accepts connections; each connection gets a handler thread
+//! that reads request lines and writes framed responses (see
+//! [`crate::protocol`]). Concurrency control lives in the *service* — a
+//! flood of connections contends on the bounded job queue and is shed with
+//! `ERR overloaded`, not on unbounded server-side buffers.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    parse_request, render_error, render_explain_response, render_load_response,
+    render_query_response, render_stats_response, Request, END,
+};
+use crate::service::QueryService;
+
+struct Shared {
+    service: Arc<QueryService>,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server; dropping it does **not** stop the service (call
+/// [`ServerHandle::stop`] or send `SHUTDOWN` over the wire).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The service behind the server.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.shared.service
+    }
+
+    /// Block until the accept loop exits (a `SHUTDOWN` request or
+    /// [`ServerHandle::stop`]).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop the service and the accept loop, then block until the latter
+    /// exits.
+    pub fn stop(self) {
+        self.shared.service.shutdown();
+        request_stop(&self.shared);
+        self.wait();
+    }
+}
+
+/// Ask the accept loop to exit: set the flag, then poke the listener with a
+/// throwaway connection so the blocking `accept` returns.
+fn request_stop(shared: &Shared) {
+    if !shared.stop.swap(true, Ordering::AcqRel) {
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+/// Bind `addr` and serve `service` until a `SHUTDOWN` request (or
+/// [`ServerHandle::stop`]).
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve(addr: impl ToSocketAddrs, service: Arc<QueryService>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let shared = Arc::new(Shared {
+        service,
+        stop: AtomicBool::new(false),
+        addr: listener.local_addr()?,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("pq-service-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                // Handlers are detached: they die with their connection
+                // (every post-shutdown request is answered with
+                // `ERR shutting-down`, so lingering clients drain cleanly).
+                let _ = std::thread::Builder::new()
+                    .name("pq-service-conn".into())
+                    .spawn(move || handle_connection(stream, &conn_shared));
+            }
+        })?;
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn write_lines(stream: &mut TcpStream, lines: &[String]) -> io::Result<()> {
+    let mut out = String::new();
+    for l in lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out.push_str(END);
+    out.push('\n');
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+fn respond(service: &QueryService, line: &str) -> (Vec<String>, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (vec![render_error(&e)], false),
+    };
+    match request {
+        Request::Load { name, path } => match std::fs::read_to_string(&path) {
+            Ok(text) => match service.load_str(&name, &text) {
+                Ok(s) => (render_load_response(&s), false),
+                Err(e) => (vec![render_error(&e)], false),
+            },
+            Err(e) => (
+                vec![render_error(&ServiceError::Protocol(format!(
+                    "cannot read `{path}`: {e}"
+                )))],
+                false,
+            ),
+        },
+        Request::Query { name, src, limits } => match service.query(&name, &src, limits) {
+            Ok(resp) => (render_query_response(&resp), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        Request::Explain { name, src } => match service.explain(&name, &src) {
+            Ok(e) => (render_explain_response(&e), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        Request::Stats => (render_stats_response(&service.stats()), false),
+        Request::Shutdown => (vec!["OK bye".to_string()], true),
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (lines, shutdown) = respond(&shared.service, &line);
+        if write_lines(&mut writer, &lines).is_err() {
+            break;
+        }
+        if shutdown {
+            shared.service.shutdown();
+            request_stop(shared);
+            break;
+        }
+    }
+}
+
+/// Client-side helper: send one request line and collect the response lines
+/// up to (excluding) the terminator. Shared by `examples/repl.rs` and the
+/// integration tests.
+///
+/// # Errors
+/// I/O failures, or an unterminated response (connection closed early).
+pub fn roundtrip(stream: &mut TcpStream, request: &str) -> io::Result<Vec<String>> {
+    stream.write_all(request.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream.try_clone()?))
+}
+
+/// Read one framed response from `reader` (lines up to the `.` terminator).
+///
+/// # Errors
+/// I/O failures, or EOF before the terminator.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<Vec<String>> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line == END {
+            return Ok(lines);
+        }
+        lines.push(line.to_string());
+    }
+}

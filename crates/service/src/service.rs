@@ -1,0 +1,759 @@
+//! The embeddable, thread-safe query service.
+//!
+//! One [`QueryService`] owns a [`Catalog`] of named databases, a two-level
+//! cache, and a fixed pool of worker threads behind a **bounded** job queue:
+//!
+//! * **Plan cache** (level 1): normalized query text → parsed AST +
+//!   classification + committed [`Plan`]. All the paper's query-only
+//!   preprocessing — classification per Theorem 1/Fig. 1, GYO/join-tree
+//!   work, color-coding hash-family choice (Theorem 2) — is paid once per
+//!   distinct query, not once per request. This is exactly the
+//!   preprocessing/evaluation cost split the hypertree literature treats as
+//!   decisive.
+//! * **Result cache** (level 2): `(query fingerprint, database name,
+//!   generation, epoch)` → answer relation. The key embeds the database
+//!   identity counters (see [`crate::catalog`]), so a mutation or reload
+//!   can never serve a stale answer — the stale key simply stops being
+//!   looked up and ages out of the LRU.
+//!
+//! **Admission control**: evaluation jobs go through a bounded queue to a
+//! fixed worker pool. When the queue is full the request is rejected
+//! *immediately* with [`ServiceError::Overloaded`] — structured
+//! backpressure instead of unbounded queueing. Result-cache hits are served
+//! on the caller's thread and bypass admission entirely (a lookup needs no
+//! worker). Every admitted job runs under an [`ExecutionContext`] whose
+//! deadline/budget come from per-request [`RequestLimits`] (falling back to
+//! service defaults) and whose cancellation token trips on
+//! [`QueryService::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pq_core::{plan, Plan, PlannerOptions};
+use pq_data::{loader, Database, Relation};
+use pq_engine::governor::{CancellationToken, ExecutionContext};
+use pq_query::{parse_cq, ConjunctiveQuery};
+
+use crate::cache::ShardedCache;
+use crate::catalog::{Catalog, DbSnapshot};
+use crate::error::{Result, ServiceError};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+
+/// Per-request resource limits. `None` fields fall back to the service's
+/// [`ServiceConfig::default_limits`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestLimits {
+    /// Wall-clock budget, measured from admission (so queue time counts).
+    pub deadline: Option<Duration>,
+    /// Intermediate-tuple budget.
+    pub tuple_budget: Option<u64>,
+    /// Recursion-depth limit.
+    pub max_depth: Option<usize>,
+}
+
+impl RequestLimits {
+    fn or(self, default: RequestLimits) -> RequestLimits {
+        RequestLimits {
+            deadline: self.deadline.or(default.deadline),
+            tuple_budget: self.tuple_budget.or(default.tuple_budget),
+            max_depth: self.max_depth.or(default.max_depth),
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads evaluating admitted jobs.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue rejects with
+    /// [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Plan-cache capacity in entries (0 disables).
+    pub plan_cache_capacity: usize,
+    /// Result-cache capacity in entries (0 disables).
+    pub result_cache_capacity: usize,
+    /// Shards per cache level (lock-contention bound).
+    pub cache_shards: usize,
+    /// Limits applied when a request leaves a field unset.
+    pub default_limits: RequestLimits,
+    /// Planner options used when building plans.
+    pub planner: PlannerOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_depth: 64,
+            plan_cache_capacity: 256,
+            result_cache_capacity: 1024,
+            cache_shards: 8,
+            default_limits: RequestLimits::default(),
+            planner: PlannerOptions::default(),
+        }
+    }
+}
+
+/// Which cache level (if any) answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Neither level hit: full parse + classify + plan + evaluate.
+    Miss,
+    /// The plan was cached; evaluation still ran.
+    PlanHit,
+    /// The full answer was cached; nothing ran.
+    ResultHit,
+}
+
+/// A successful query answer plus its provenance.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The answer relation (shared with the result cache).
+    pub rows: Arc<Relation>,
+    /// Human-readable engine name from the plan.
+    pub engine: &'static str,
+    /// Which cache level answered.
+    pub cache: CacheOutcome,
+    /// Catalog generation the answer was computed against.
+    pub generation: u64,
+    /// Database epoch the answer was computed against.
+    pub epoch: u64,
+    /// End-to-end latency observed by the service.
+    pub latency: Duration,
+}
+
+/// Summary returned by [`QueryService::load_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// The catalog name loaded under.
+    pub name: String,
+    /// Relations in the loaded database.
+    pub relations: usize,
+    /// Total tuples.
+    pub tuples: usize,
+    /// Catalog generation assigned to the load.
+    pub generation: u64,
+    /// The database's own epoch after loading.
+    pub epoch: u64,
+}
+
+/// What [`QueryService::explain`] reports (the wire `EXPLAIN` body).
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Structural fingerprint of the query.
+    pub fingerprint: u64,
+    /// Engine the plan commits to.
+    pub engine: &'static str,
+    /// Classification one-liner.
+    pub summary: &'static str,
+    /// Query-size parameter `q`.
+    pub q: usize,
+    /// Variable-count parameter `v`.
+    pub v: usize,
+    /// Color parameter `k` when `≠` atoms exist.
+    pub color_parameter: Option<usize>,
+    /// Was the plan already cached before this call?
+    pub plan_was_cached: bool,
+    /// Is the answer against the named database currently cached?
+    pub result_is_cached: bool,
+    /// Current catalog generation of the database.
+    pub generation: u64,
+    /// Current epoch of the database.
+    pub epoch: u64,
+}
+
+/// A parsed, classified, planned query — the plan-cache payload.
+#[derive(Debug)]
+pub struct PlannedQuery {
+    /// The parsed AST.
+    pub query: ConjunctiveQuery,
+    /// The committed plan.
+    pub plan: Plan,
+    /// Structural fingerprint (the result-cache key component).
+    pub fingerprint: u64,
+}
+
+type ResultKey = (u64, String, u64, u64);
+
+struct Job {
+    planned: Arc<PlannedQuery>,
+    snapshot: DbSnapshot,
+    ctx: ExecutionContext,
+    reply: SyncSender<Result<Arc<Relation>>>,
+}
+
+struct Inner {
+    catalog: Catalog,
+    plan_cache: ShardedCache<String, PlannedQuery>,
+    result_cache: ShardedCache<ResultKey, Relation>,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+    cancel: CancellationToken,
+}
+
+/// The concurrent query service (see the module docs).
+pub struct QueryService {
+    inner: Arc<Inner>,
+    job_tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Start a service: spawns the worker pool immediately.
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            catalog: Catalog::new(),
+            plan_cache: ShardedCache::new(config.plan_cache_capacity, config.cache_shards),
+            result_cache: ShardedCache::new(config.result_cache_capacity, config.cache_shards),
+            metrics: ServiceMetrics::default(),
+            config,
+            shutdown: AtomicBool::new(false),
+            cancel: CancellationToken::new(),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(inner.config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("pq-service-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        QueryService {
+            inner,
+            job_tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// A service with default configuration.
+    pub fn with_defaults() -> Self {
+        QueryService::new(ServiceConfig::default())
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Has [`QueryService::shutdown`] been called?
+    pub fn is_shutdown(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    fn check_admitting(&self) -> Result<()> {
+        if self.is_shutdown() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        Ok(())
+    }
+
+    // ---- catalog operations ----
+
+    /// Parse database text (the `pq-data` loader format) and install it
+    /// under `name`, replacing any previous database.
+    ///
+    /// # Errors
+    /// [`ServiceError::Data`] if the text does not parse;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn load_str(&self, name: &str, text: &str) -> Result<LoadSummary> {
+        self.check_admitting()?;
+        let db = loader::parse_database(text)?;
+        let (relations, tuples, epoch) = (db.num_relations(), db.num_tuples(), db.epoch());
+        let generation = self.inner.catalog.insert(name, db);
+        ServiceMetrics::bump(&self.inner.metrics.loads);
+        Ok(LoadSummary {
+            name: name.to_string(),
+            relations,
+            tuples,
+            generation,
+            epoch,
+        })
+    }
+
+    /// Install an already-built database under `name`.
+    ///
+    /// # Errors
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn load_database(&self, name: &str, db: Database) -> Result<LoadSummary> {
+        self.check_admitting()?;
+        let (relations, tuples, epoch) = (db.num_relations(), db.num_tuples(), db.epoch());
+        let generation = self.inner.catalog.insert(name, db);
+        ServiceMetrics::bump(&self.inner.metrics.loads);
+        Ok(LoadSummary {
+            name: name.to_string(),
+            relations,
+            tuples,
+            generation,
+            epoch,
+        })
+    }
+
+    /// Mutate the named database in place (epoch and generation advance, so
+    /// cached results for the old state stop being served).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownDatabase`] if `name` is not in the catalog;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn update_database<R>(&self, name: &str, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
+        self.check_admitting()?;
+        let out = self.inner.catalog.update(name, f)?;
+        ServiceMetrics::bump(&self.inner.metrics.mutations);
+        Ok(out)
+    }
+
+    /// Names in the catalog, sorted.
+    pub fn database_names(&self) -> Vec<String> {
+        self.inner.catalog.names()
+    }
+
+    /// Snapshot the named database (for oracles/tests that need the exact
+    /// data a concurrent query saw).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownDatabase`] if `name` is not in the catalog.
+    pub fn snapshot(&self, name: &str) -> Result<DbSnapshot> {
+        self.inner.catalog.snapshot(name)
+    }
+
+    // ---- planning ----
+
+    /// Plan-cache lookup/population. Returns the planned query and whether
+    /// it was already cached.
+    fn planned(&self, src: &str) -> Result<(Arc<PlannedQuery>, bool)> {
+        let key: String = src.split_whitespace().collect::<Vec<_>>().join(" ");
+        if let Some(hit) = self.inner.plan_cache.get(&key) {
+            ServiceMetrics::bump(&self.inner.metrics.plan_hits);
+            return Ok((hit, true));
+        }
+        ServiceMetrics::bump(&self.inner.metrics.plan_misses);
+        let query = parse_cq(src)?;
+        query.validate()?;
+        let plan = plan(&query, &self.inner.config.planner);
+        let planned = Arc::new(PlannedQuery {
+            fingerprint: query.fingerprint(),
+            plan,
+            query,
+        });
+        self.inner.plan_cache.insert(key, Arc::clone(&planned));
+        Ok((planned, false))
+    }
+
+    /// Classify/plan `src` (through the plan cache) and report where an
+    /// execution against `db_name` would land.
+    ///
+    /// # Errors
+    /// [`ServiceError::Parse`] if `src` is not a valid conjunctive query;
+    /// [`ServiceError::UnknownDatabase`] if `db_name` is not in the catalog;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn explain(&self, db_name: &str, src: &str) -> Result<Explanation> {
+        self.check_admitting()?;
+        let (planned, plan_was_cached) = self.planned(src)?;
+        let snap = self.inner.catalog.snapshot(db_name)?;
+        let key: ResultKey = (
+            planned.fingerprint,
+            snap.name.clone(),
+            snap.generation,
+            snap.epoch,
+        );
+        // Peek without polluting hit/miss statistics? The cache counts every
+        // probe; EXPLAIN is rare enough that honesty is fine.
+        let result_is_cached = self.inner.result_cache.get(&key).is_some();
+        let c = &planned.plan.classification;
+        Ok(Explanation {
+            fingerprint: planned.fingerprint,
+            engine: planned.plan.engine,
+            summary: c.summary,
+            q: c.q,
+            v: c.v,
+            color_parameter: c.color_parameter,
+            plan_was_cached,
+            result_is_cached,
+            generation: snap.generation,
+            epoch: snap.epoch,
+        })
+    }
+
+    // ---- the query path ----
+
+    /// Evaluate `src` against the named database under `limits`.
+    ///
+    /// Serves from the result cache when possible; otherwise admits a job to
+    /// the worker pool (rejecting with [`ServiceError::Overloaded`] when the
+    /// bounded queue is full) and blocks for the answer.
+    ///
+    /// # Errors
+    /// [`ServiceError::Overloaded`] when the queue is full;
+    /// [`ServiceError::Engine`] when a limit in `limits` trips (resource
+    /// exhaustion) or evaluation fails;
+    /// [`ServiceError::Parse`] for bad query text;
+    /// [`ServiceError::UnknownDatabase`] for an unknown `db_name`;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn query(&self, db_name: &str, src: &str, limits: RequestLimits) -> Result<QueryResponse> {
+        let start = Instant::now();
+        self.check_admitting()?;
+        let m = &self.inner.metrics;
+        let outcome = (|| {
+            let (planned, plan_hit) = self.planned(src)?;
+            let snap = self.inner.catalog.snapshot(db_name)?;
+            let key: ResultKey = (
+                planned.fingerprint,
+                snap.name.clone(),
+                snap.generation,
+                snap.epoch,
+            );
+            if let Some(rows) = self.inner.result_cache.get(&key) {
+                ServiceMetrics::bump(&m.result_hits);
+                return Ok(QueryResponse {
+                    rows,
+                    engine: planned.plan.engine,
+                    cache: CacheOutcome::ResultHit,
+                    generation: snap.generation,
+                    epoch: snap.epoch,
+                    latency: start.elapsed(),
+                });
+            }
+            ServiceMetrics::bump(&m.result_misses);
+            let rows = self.admit_and_run(Arc::clone(&planned), snap.clone(), limits)?;
+            Ok(QueryResponse {
+                rows,
+                engine: planned.plan.engine,
+                cache: if plan_hit {
+                    CacheOutcome::PlanHit
+                } else {
+                    CacheOutcome::Miss
+                },
+                generation: snap.generation,
+                epoch: snap.epoch,
+                latency: start.elapsed(),
+            })
+        })();
+        match &outcome {
+            Ok(resp) => {
+                ServiceMetrics::bump(&m.queries_served);
+                m.latency.record(resp.latency);
+            }
+            Err(ServiceError::Overloaded { .. }) => ServiceMetrics::bump(&m.rejected_overload),
+            Err(e) if e.is_resource_exhausted() => ServiceMetrics::bump(&m.resource_exhausted),
+            Err(ServiceError::ShuttingDown) => {}
+            Err(_) => ServiceMetrics::bump(&m.errors),
+        }
+        outcome
+    }
+
+    fn admit_and_run(
+        &self,
+        planned: Arc<PlannedQuery>,
+        snapshot: DbSnapshot,
+        limits: RequestLimits,
+    ) -> Result<Arc<Relation>> {
+        let limits = limits.or(self.inner.config.default_limits);
+        let mut ctx = ExecutionContext::new().with_cancellation(self.inner.cancel.clone());
+        if let Some(d) = limits.deadline {
+            ctx = ctx.with_deadline(d);
+        }
+        if let Some(b) = limits.tuple_budget {
+            ctx = ctx.with_tuple_budget(b);
+        }
+        if let Some(d) = limits.max_depth {
+            ctx = ctx.with_max_depth(d);
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<Result<Arc<Relation>>>(1);
+        let job = Job {
+            planned,
+            snapshot,
+            ctx,
+            reply: reply_tx,
+        };
+        {
+            let guard = self.job_tx.lock().expect("job_tx poisoned");
+            let Some(tx) = guard.as_ref() else {
+                return Err(ServiceError::ShuttingDown);
+            };
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    return Err(ServiceError::Overloaded {
+                        queue_depth: self.inner.config.queue_depth,
+                    });
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(ServiceError::ShuttingDown),
+            }
+        }
+        ServiceMetrics::bump(&self.inner.metrics.jobs_admitted);
+        reply_rx.recv().map_err(|_| ServiceError::ShuttingDown)?
+    }
+
+    // ---- observability & lifecycle ----
+
+    /// Point-in-time metrics snapshot (includes cache sizes indirectly via
+    /// the hit/miss counters; see [`MetricsSnapshot`]).
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Entries currently in (plan cache, result cache).
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (self.inner.plan_cache.len(), self.inner.result_cache.len())
+    }
+
+    /// Drop both cache levels (counters persist). Mainly for benchmarks
+    /// that want repeatable cold runs.
+    pub fn clear_caches(&self) {
+        self.inner.plan_cache.clear();
+        self.inner.result_cache.clear();
+    }
+
+    /// Stop the service: refuse new work, cancel in-flight governed
+    /// evaluations cooperatively, and join the worker pool. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.cancel.cancel();
+        // Dropping the sender disconnects the queue: workers drain what is
+        // already admitted (each job's context sees the cancelled token at
+        // its next clock check) and then exit.
+        self.job_tx.lock().expect("job_tx poisoned").take();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, inner: &Inner) {
+    loop {
+        // Hold the receiver lock only while blocked on recv; competing
+        // workers queue on the mutex, which is the standard shared-receiver
+        // pool shape for std mpsc.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let out = job
+            .planned
+            .plan
+            .execute_governed(&job.planned.query, &job.snapshot.db, &job.ctx)
+            .map(Arc::new)
+            .map_err(ServiceError::from);
+        if let Ok(rows) = &out {
+            let key: ResultKey = (
+                job.planned.fingerprint,
+                job.snapshot.name.clone(),
+                job.snapshot.generation,
+                job.snapshot.epoch,
+            );
+            inner.result_cache.insert(key, Arc::clone(rows));
+        }
+        // The requester may have vanished; nothing to do about it.
+        let _ = job.reply.send(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_engine::EngineError;
+
+    const DB_TEXT: &str = "R(a, b):\n  1, 2\n  2, 3\nS(b, c):\n  2, 9\n  3, 7\n";
+
+    fn service() -> QueryService {
+        let svc = QueryService::new(ServiceConfig {
+            workers: 2,
+            queue_depth: 8,
+            ..Default::default()
+        });
+        svc.load_str("d", DB_TEXT).unwrap();
+        svc
+    }
+
+    #[test]
+    fn cold_then_plan_then_result_cached() {
+        let svc = service();
+        let src = "G(x, c) :- R(x, y), S(y, c).";
+        let cold = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Miss);
+        assert_eq!(cold.rows.len(), 2);
+        let warm = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(warm.cache, CacheOutcome::ResultHit);
+        assert_eq!(warm.rows, cold.rows);
+        // Same plan, different database ⇒ plan hit but result miss.
+        svc.load_str("d2", DB_TEXT).unwrap();
+        let other = svc.query("d2", src, RequestLimits::default()).unwrap();
+        assert_eq!(other.cache, CacheOutcome::PlanHit);
+        let s = svc.stats();
+        assert_eq!(s.queries_served, 3);
+        assert_eq!(s.result_hits, 1);
+        assert_eq!(s.plan_hits, 2);
+    }
+
+    #[test]
+    fn whitespace_variants_share_the_plan_cache_entry() {
+        let svc = service();
+        svc.query("d", "G(x) :- R(x, y).", RequestLimits::default())
+            .unwrap();
+        let r = svc
+            .query("d", "G(x)   :-   R(x, y).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(r.cache, CacheOutcome::ResultHit);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_result_cache() {
+        let svc = service();
+        let src = "G(x) :- R(x, y).";
+        let before = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(before.rows.len(), 2);
+        svc.update_database("d", |db| {
+            db.relation_mut("R").unwrap().insert(tuple![7, 8]).unwrap();
+        })
+        .unwrap();
+        let after = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_ne!(after.cache, CacheOutcome::ResultHit, "stale epoch served");
+        assert_eq!(after.rows.len(), 3);
+        assert!(after.epoch > before.epoch);
+    }
+
+    #[test]
+    fn reload_invalidates_the_result_cache() {
+        let svc = service();
+        let src = "G(x) :- R(x, y).";
+        svc.query("d", src, RequestLimits::default()).unwrap();
+        svc.load_str("d", "R(a, b):\n  5, 6\n").unwrap();
+        let after = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_ne!(after.cache, CacheOutcome::ResultHit);
+        assert_eq!(after.rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_database_and_parse_errors_are_structured() {
+        let svc = service();
+        assert!(matches!(
+            svc.query("nope", "G(x) :- R(x, y).", RequestLimits::default()),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(matches!(
+            svc.query("d", "this is not a query", RequestLimits::default()),
+            Err(ServiceError::Parse(_))
+        ));
+        assert_eq!(svc.stats().errors, 2, "both failures count as errors");
+    }
+
+    #[test]
+    fn per_request_tuple_budget_trips() {
+        let svc = service();
+        let err = svc
+            .query(
+                "d",
+                "G(x, c) :- R(x, y), S(y, c).",
+                RequestLimits {
+                    tuple_budget: Some(0),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err}");
+        assert_eq!(svc.stats().resource_exhausted, 1);
+        // Failed evaluations are not cached.
+        let ok = svc
+            .query(
+                "d",
+                "G(x, c) :- R(x, y), S(y, c).",
+                RequestLimits::default(),
+            )
+            .unwrap();
+        assert_ne!(ok.cache, CacheOutcome::ResultHit);
+    }
+
+    #[test]
+    fn explain_reports_plan_and_cache_state() {
+        let svc = service();
+        let src = "G(e) :- R(e, p), R(e, p2), p != p2.";
+        let e1 = svc.explain("d", src).unwrap();
+        assert!(!e1.plan_was_cached);
+        assert!(!e1.result_is_cached);
+        assert!(e1.engine.starts_with("colorcoding"));
+        assert_eq!(e1.color_parameter, Some(2));
+        svc.query("d", src, RequestLimits::default()).unwrap();
+        let e2 = svc.explain("d", src).unwrap();
+        assert!(e2.plan_was_cached);
+        assert!(e2.result_is_cached);
+        assert_eq!(e1.fingerprint, e2.fingerprint);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_refuses_new_work() {
+        let svc = service();
+        svc.shutdown();
+        svc.shutdown();
+        assert!(matches!(
+            svc.query("d", "G(x) :- R(x, y).", RequestLimits::default()),
+            Err(ServiceError::ShuttingDown)
+        ));
+        assert!(matches!(
+            svc.load_str("x", "R(a):\n 1\n"),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn disabled_caches_still_answer_correctly() {
+        let svc = QueryService::new(ServiceConfig {
+            workers: 1,
+            plan_cache_capacity: 0,
+            result_cache_capacity: 0,
+            ..Default::default()
+        });
+        svc.load_str("d", DB_TEXT).unwrap();
+        let src = "G(x, c) :- R(x, y), S(y, c).";
+        let a = svc.query("d", src, RequestLimits::default()).unwrap();
+        let b = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(b.cache, CacheOutcome::Miss);
+        assert_eq!(svc.cache_sizes(), (0, 0));
+    }
+
+    #[test]
+    fn zero_deadline_reports_timeout_not_a_wrong_answer() {
+        let svc = service();
+        // Deadline checks are amortized, so a tiny query may still finish;
+        // the contract is that the outcome is either the full correct
+        // answer or a structured timeout — never a truncated relation.
+        match svc.query(
+            "d",
+            "G(x, c) :- R(x, y), S(y, c).",
+            RequestLimits {
+                deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        ) {
+            Ok(resp) => assert_eq!(resp.rows.len(), 2),
+            Err(e) => {
+                assert!(
+                    matches!(
+                        e,
+                        ServiceError::Engine(EngineError::ResourceExhausted { .. })
+                    ),
+                    "unexpected error: {e}"
+                );
+            }
+        }
+    }
+}

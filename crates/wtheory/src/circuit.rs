@@ -135,7 +135,7 @@ impl Circuit {
     }
 
     /// The *weft*-relevant large-gate depth is not modelled separately; the
-    /// W[t] experiments use [`Circuit::depth`] on alternating circuits,
+    /// W\[t\] experiments use [`Circuit::depth`] on alternating circuits,
     /// where depth and weft coincide for unbounded fan-in gates.
     ///
     /// Number of gates.

@@ -1,5 +1,5 @@
 //! Graphs and the ground-truth solvers for the paper's source problems:
-//! clique (the W[1] anchor of Theorems 1 and 3) and Hamiltonian path (the
+//! clique (the W\[1\] anchor of Theorems 1 and 3) and Hamiltonian path (the
 //! NP-hardness anchor of Section 5), plus seeded random instance
 //! generators for the experiment harness.
 

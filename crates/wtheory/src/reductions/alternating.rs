@@ -1,5 +1,5 @@
-//! The AW[P] extension (end of Section 4): first-order queries under
-//! parameter `v` are AW[P]-hard.
+//! The AW\[P\] extension (end of Section 4): first-order queries under
+//! parameter `v` are AW\[P\]-hard.
 //!
 //! The base problem: a monotone circuit `C` whose input variables are
 //! partitioned into blocks `V_1, …, V_r`, each with an alternating
@@ -107,7 +107,7 @@ pub fn alternating_circuit_sat(c: &Circuit, blocks: &[Block]) -> bool {
     go(c, blocks, 0, &mut chosen)
 }
 
-/// Output of the AW[P] reduction.
+/// Output of the AW\[P\] reduction.
 #[derive(Debug, Clone)]
 pub struct AwFoInstance {
     /// Database: the wiring relation `C` plus the block relation `P`.

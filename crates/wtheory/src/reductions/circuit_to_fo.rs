@@ -1,6 +1,6 @@
 //! R7 — monotone weighted circuit satisfiability → first-order query
-//! evaluation (Theorem 1(3): W[P]-hardness under parameter `v`,
-//! W[t]-hardness for all `t` under parameter `q`).
+//! evaluation (Theorem 1(3): W\[P\]-hardness under parameter `v`,
+//! W\[t\]-hardness for all `t` under parameter `q`).
 //!
 //! The database describes the wiring DAG of an alternating monotone circuit
 //! as one binary relation `C`: the pairs `(a, b)` such that gate `a` has

@@ -1,5 +1,5 @@
 //! R9 — clique → acyclic conjunctive query with `<` comparisons
-//! (Theorem 3: the class is W[1]-complete, so Theorem 2 cannot be extended
+//! (Theorem 3: the class is W\[1\]-complete, so Theorem 2 cannot be extended
 //! from `≠` to order comparisons).
 //!
 //! Nodes are numbered `0..n`, every node has a self-loop. For an edge

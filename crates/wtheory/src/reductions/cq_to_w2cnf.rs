@@ -1,6 +1,6 @@
 //! R2 — conjunctive-query decision → weighted 2-CNF satisfiability
 //! (Theorem 1(1) upper bound, parameter `q`), and R10 — the footnote-2
-//! continuation to clique, closing the W[1]-completeness circle.
+//! continuation to clique, closing the W\[1\]-completeness circle.
 //!
 //! For every atom `a` of `Q` and database tuple `s` *consistent* with `a`
 //! (same constants, equal entries where `a` repeats a variable) there is a

@@ -1,11 +1,11 @@
-//! Section 4's W[1]-membership argument for fixed-arity Datalog, executed
+//! Section 4's W\[1\]-membership argument for fixed-arity Datalog, executed
 //! literally: "the evaluation of a Datalog query with fixed arity relations
-//! reduces to a polynomial number of W[1] problems".
+//! reduces to a polynomial number of W\[1\] problems".
 //!
 //! The bottom-up fixpoint applies rules round by round; each application is
 //! a conjunctive-query evaluation, and each CQ *decision* is an R2 weighted
 //! 2-CNF instance. This module runs the fixpoint while materializing those
-//! W[1] instances — and (in tests) verifies that answering all of them with
+//! W\[1\] instances — and (in tests) verifies that answering all of them with
 //! the weighted-satisfiability oracle reproduces the direct evaluation.
 
 use pq_data::{Database, Relation, Tuple};
@@ -14,7 +14,7 @@ use pq_query::{ConjunctiveQuery, DatalogProgram};
 use crate::reductions::cq_to_w2cnf::{self, W2CnfInstance};
 use crate::weighted_sat_bb::has_weighted_cnf_sat_bb;
 
-/// The transcript of one fixpoint run: every W[1] (weighted 2-CNF) instance
+/// The transcript of one fixpoint run: every W\[1\] (weighted 2-CNF) instance
 /// that was decided, with its round, rule index, candidate tuple, and
 /// answer.
 #[derive(Debug, Default)]
@@ -26,7 +26,7 @@ pub struct W1Transcript {
 }
 
 impl W1Transcript {
-    /// Total number of W[1] problems decided — the paper's "polynomial
+    /// Total number of W\[1\] problems decided — the paper's "polynomial
     /// number" (bounded by rounds × rules × candidate tuples).
     pub fn num_instances(&self) -> usize {
         self.decisions.len()
@@ -43,7 +43,7 @@ impl W1Transcript {
     }
 }
 
-/// Evaluate the goal relation purely through W[1] oracles: per round, per
+/// Evaluate the goal relation purely through W\[1\] oracles: per round, per
 /// rule, enumerate candidate head tuples (over the active domain restricted
 /// per the rule head) and decide each by the R2 reduction + the weighted
 /// 2-CNF solver. Exponentially slower than direct evaluation (candidates

@@ -9,9 +9,9 @@
 //! | R4 | [`positive_to_clique`] | Theorem 1(2) upper bound (param `q`) |
 //! | R5, R6 | [`wformula_positive`] | Theorem 1(2), parameter `v`, both directions |
 //! | R7 | [`circuit_to_fo`] | Theorem 1(3), both parameters |
-//! | R7b | [`alternating`] | Section 4's AW[P] extension |
+//! | R7b | [`alternating`] | Section 4's AW\[P\] extension |
 //! | R8 | [`hampath_to_neq`] | Section 5 NP-completeness remark |
-//! | — | [`prenex_fo_awsat`] | Section 4's AW[SAT] remark for prenex FO, parameter `v` |
+//! | — | [`prenex_fo_awsat`] | Section 4's AW\[SAT\] remark for prenex FO, parameter `v` |
 //! | R9 | [`clique_to_comparisons`] | Theorem 3 |
 
 pub mod alternating;

@@ -1,8 +1,8 @@
 //! Prenex first-order queries (parameter `v`) ↔ alternating weighted
-//! formula satisfiability — the paper's AW[SAT]-completeness remark at the
+//! formula satisfiability — the paper's AW\[SAT\]-completeness remark at the
 //! end of Section 4: "For first-order queries in prenex normal form under
-//! parameter v we can show completeness for AW[SAT] (the alternating
-//! extension of W[SAT]), adapting along the same lines the proof of
+//! parameter v we can show completeness for AW\[SAT\] (the alternating
+//! extension of W\[SAT\]), adapting along the same lines the proof of
 //! Theorem 1 for the prenex positive queries."
 //!
 //! The membership direction is implemented: a closed prenex FO query over a
@@ -11,7 +11,7 @@
 //! block per quantified variable carrying that variable's quantifier. The
 //! matrix is translated structurally (atoms → the `θ_a` disjunctions of the
 //! R6 construction, negation stays negation — formulas, unlike the
-//! monotone circuits of AW[P], allow it).
+//! monotone circuits of AW\[P\], allow it).
 
 use pq_data::{Database, Value};
 use pq_query::{FoFormula, FoQuery, Quantifier, Term};

@@ -6,7 +6,7 @@
 //! decides the same problem (exactly `k` variables true) with standard
 //! pruning: unit-style propagation over all-negative clauses, weight
 //! bounding, and clause-driven branching. Worst case still exponential (it
-//! must be, unless W[1] collapses); in practice it handles the R2 instances
+//! must be, unless W\[1\] collapses); in practice it handles the R2 instances
 //! of much bigger graphs, and the test suite checks it against the
 //! exhaustive solver on randomized batteries.
 

@@ -1,0 +1,58 @@
+//! A minimal interactive client for the `pq-service` wire protocol.
+//!
+//! Run with: `cargo run --release --example repl -- [addr]`
+//! (default `127.0.0.1:7878`; start `examples/serve.rs` first).
+//!
+//! Type protocol lines at the prompt:
+//!
+//! ```text
+//! LOAD company data/company.db
+//! QUERY company G(e) :- EP(e, p), ES(e, s), s > 110.
+//! QUERY @deadline_ms=50 @budget=100000 company G(x, z) :- E(x, y), E(y, z).
+//! EXPLAIN company G(x, z) :- E(x, y), E(y, z).
+//! STATS
+//! SHUTDOWN
+//! ```
+
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+
+use pq_service::roundtrip;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut stream = TcpStream::connect(&addr)
+        .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e} (is `serve` running?)"));
+    println!("connected to {addr}; type requests, Ctrl-D to quit");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("pq> ");
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap() == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match roundtrip(&mut stream, line) {
+            Ok(lines) => {
+                for l in &lines {
+                    println!("{l}");
+                }
+                if line.eq_ignore_ascii_case("shutdown") {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("connection error: {e}");
+                break;
+            }
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,70 @@
+//! Serve conjunctive queries over TCP with `pq-service`.
+//!
+//! Run with: `cargo run --release --example serve -- [addr] [options]`
+//!
+//! ```text
+//! serve                          listen on 127.0.0.1:7878
+//! serve 127.0.0.1:0             pick an ephemeral port (printed at startup)
+//! serve --workers 8 --queue 128  size the pool and its admission queue
+//! serve company=data/company.db  preload `company` from a loader-format file
+//! ```
+//!
+//! Talk to it with `examples/repl.rs`, or anything that can speak the
+//! line protocol (`LOAD` / `QUERY` / `EXPLAIN` / `STATS` / `SHUTDOWN`);
+//! see the README's service section for the grammar.
+
+use std::sync::Arc;
+
+use pq_service::{serve, QueryService, ServiceConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServiceConfig::default();
+    let mut preloads: Vec<(String, String)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a positive integer");
+            }
+            "--queue" => {
+                config.queue_depth = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queue needs a positive integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: serve [addr] [--workers N] [--queue N] [name=path ...]");
+                return;
+            }
+            other if other.contains('=') => {
+                let (name, path) = other.split_once('=').unwrap();
+                preloads.push((name.to_string(), path.to_string()));
+            }
+            other => addr = other.to_string(),
+        }
+    }
+
+    let service = Arc::new(QueryService::new(config));
+    for (name, path) in preloads {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"));
+        let summary = service
+            .load_str(&name, &text)
+            .unwrap_or_else(|e| panic!("cannot load `{path}`: {e}"));
+        println!(
+            "preloaded {} ({} relations, {} tuples)",
+            summary.name, summary.relations, summary.tuples
+        );
+    }
+
+    let handle = serve(addr.as_str(), service).expect("bind failed");
+    println!("pq-service listening on {}", handle.local_addr());
+    println!("send SHUTDOWN (e.g. via the repl example) to stop");
+    handle.wait();
+    println!("bye");
+}

@@ -1,0 +1,132 @@
+//! Property tests for `pq-service`: whatever the cache state — cold,
+//! plan-warm, or result-warm — the service must answer exactly what the
+//! naive semantics oracle answers, and a mutation must never leave a stale
+//! cached answer reachable.
+
+use proptest::prelude::*;
+
+use pq_data::{tuple, Database, Relation};
+use pq_engine::naive;
+use pq_query::parse_cq;
+use pq_service::{CacheOutcome, QueryService, RequestLimits, ServiceConfig};
+
+/// The query family under test: acyclic (Yannakakis), projection-only,
+/// and one with a `≠` atom (color coding) — all engines the planner can
+/// commit to are exercised against the same oracle.
+const QUERIES: &[&str] = &[
+    "G(x, z) :- R(x, y), S(y, z).",
+    "G(x) :- R(x, y).",
+    "G(x, z) :- R(x, y), S(y, z), x != z.",
+];
+
+fn build_db(r: &[(i64, i64)], s: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.add_table("R", ["a", "b"], r.iter().map(|&(a, b)| tuple![a, b]))
+        .unwrap();
+    db.add_table("S", ["b", "c"], s.iter().map(|&(b, c)| tuple![b, c]))
+        .unwrap();
+    db
+}
+
+fn oracle(src: &str, db: &Database) -> Relation {
+    let q = parse_cq(src).unwrap();
+    naive::evaluate(&q, db).unwrap()
+}
+
+fn small_service(result_cache: usize) -> QueryService {
+    QueryService::new(ServiceConfig {
+        workers: 2,
+        queue_depth: 8,
+        result_cache_capacity: result_cache,
+        ..ServiceConfig::default()
+    })
+}
+
+fn arb_rows(max_val: i64) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..max_val, 0..max_val), 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cold answer, result-cache-warm answer, and plan-cache-warm answer
+    /// (result cache disabled) all equal the naive oracle.
+    #[test]
+    fn all_cache_states_agree_with_the_oracle(
+        r in arb_rows(5),
+        s in arb_rows(5),
+        qi in 0..QUERIES.len(),
+    ) {
+        let src = QUERIES[qi];
+        let expected = oracle(src, &build_db(&r, &s));
+
+        // Both cache levels enabled: Miss, then ResultHit.
+        let svc = small_service(1024);
+        svc.load_database("d", build_db(&r, &s)).unwrap();
+        let cold = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(cold.cache, CacheOutcome::Miss);
+        prop_assert_eq!(cold.rows.as_ref(), &expected);
+        let warm = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(warm.cache, CacheOutcome::ResultHit);
+        prop_assert_eq!(warm.rows.as_ref(), &expected);
+        svc.shutdown();
+
+        // Result cache disabled: Miss, then PlanHit — evaluation re-runs
+        // from the cached plan and must still match.
+        let svc = small_service(0);
+        svc.load_database("d", build_db(&r, &s)).unwrap();
+        let cold = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(cold.cache, CacheOutcome::Miss);
+        prop_assert_eq!(cold.rows.as_ref(), &expected);
+        let planned = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(planned.cache, CacheOutcome::PlanHit);
+        prop_assert_eq!(planned.rows.as_ref(), &expected);
+        svc.shutdown();
+    }
+
+    /// After any mutation (insert via update, or a whole reload), a query
+    /// never serves the pre-mutation answer: it must equal the oracle on
+    /// the *current* data and carry the current (generation, epoch).
+    #[test]
+    fn mutations_never_serve_stale_answers(
+        r in arb_rows(4),
+        s in arb_rows(4),
+        extra in (0..4i64, 0..4i64),
+        qi in 0..QUERIES.len(),
+    ) {
+        let src = QUERIES[qi];
+        let svc = small_service(1024);
+        svc.load_database("d", build_db(&r, &s)).unwrap();
+
+        // Warm both cache levels.
+        let before = svc.query("d", src, RequestLimits::default()).unwrap();
+        let warmed = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(warmed.cache, CacheOutcome::ResultHit);
+
+        // In-place mutation through the service.
+        svc.update_database("d", |db| {
+            db.relation_mut("R")
+                .unwrap()
+                .insert(tuple![extra.0, extra.1])
+                .unwrap();
+        })
+        .unwrap();
+
+        let snap = svc.snapshot("d").unwrap();
+        let expected = oracle(src, &snap.db);
+        let after = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(after.rows.as_ref(), &expected);
+        prop_assert_eq!(after.generation, snap.generation);
+        prop_assert_eq!(after.epoch, snap.epoch);
+        prop_assert!(after.generation > before.generation);
+
+        // Reload under the same name: also must not serve the old answer.
+        svc.load_database("d", build_db(&s, &r)).unwrap();
+        let snap = svc.snapshot("d").unwrap();
+        let expected = oracle(src, &snap.db);
+        let reloaded = svc.query("d", src, RequestLimits::default()).unwrap();
+        prop_assert_eq!(reloaded.rows.as_ref(), &expected);
+        prop_assert_eq!(reloaded.generation, snap.generation);
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,243 @@
+//! Multithreaded stress tests for `pq-service` (the ISSUE 2 acceptance
+//! harness): ≥8 client threads mixing loads, queries, and mutations against
+//! ≥2 databases under admission control. The test asserts
+//!
+//! * **no deadlock** — the test completes;
+//! * **no stale cache reads** — every mutation inserts exactly one fresh
+//!   tuple and bumps the epoch exactly once, so every response must satisfy
+//!   `rows == base_rows + (epoch − base_epoch)` for the epoch it reports;
+//! * **structured rejection** — the only error traffic may see is
+//!   [`ServiceError::Overloaded`], and an intentionally saturated service
+//!   does produce it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pq_data::{tuple, Database};
+use pq_service::{QueryService, RequestLimits, ServiceConfig, ServiceError};
+
+/// A two-row base database; every mutation inserts one unique extra row.
+fn base_db() -> Database {
+    let mut db = Database::new();
+    db.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3]])
+        .unwrap();
+    db
+}
+
+const IDENTITY_QUERY: &str = "G(x, y) :- R(x, y).";
+
+#[test]
+fn mixed_load_query_mutate_traffic_stays_consistent() {
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        workers: 3,
+        queue_depth: 4, // small on purpose: admission control should engage
+        ..ServiceConfig::default()
+    }));
+
+    // Two mutable databases with the epoch-counting invariant, plus one
+    // fixed database that gets reloaded (exercising generation keying).
+    let a = svc.load_database("a", base_db()).unwrap();
+    let b = svc.load_database("b", base_db()).unwrap();
+    svc.load_database("fixed", base_db()).unwrap();
+    let base_epochs = [("a", a.epoch), ("b", b.epoch)];
+
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut threads = Vec::new();
+
+    // 4 mutator threads, two per database, inserting unique tuples.
+    for (t, name) in [(0, "a"), (1, "a"), (2, "b"), (3, "b")] {
+        let svc = Arc::clone(&svc);
+        threads.push(std::thread::spawn(move || {
+            for i in 0..30i64 {
+                let key = 1_000 * (t + 1) + i; // unique across threads
+                svc.update_database(name, |db| {
+                    db.relation_mut("R")
+                        .unwrap()
+                        .insert(tuple![key, key])
+                        .unwrap();
+                })
+                .unwrap();
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    // 1 loader thread reloading the fixed database (same content, fresh
+    // generation every time).
+    {
+        let svc = Arc::clone(&svc);
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..20 {
+                svc.load_database("fixed", base_db()).unwrap();
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    // 4 query threads cycling over all three databases.
+    for t in 0..4usize {
+        let svc = Arc::clone(&svc);
+        let overloaded = Arc::clone(&overloaded);
+        let served = Arc::clone(&served);
+        threads.push(std::thread::spawn(move || {
+            for i in 0..120usize {
+                let name = ["a", "b", "fixed"][(t + i) % 3];
+                match svc.query(name, IDENTITY_QUERY, RequestLimits::default()) {
+                    Ok(resp) => {
+                        served.fetch_add(1, Ordering::Relaxed);
+                        match name {
+                            "fixed" => {
+                                // Content never changes; reloads must not
+                                // surface anything else.
+                                assert_eq!(resp.rows.len(), 2, "fixed db changed?!");
+                            }
+                            mutable => {
+                                // The staleness invariant: the reported epoch
+                                // fully determines the row count, whatever
+                                // cache level answered.
+                                let base =
+                                    base_epochs.iter().find(|(n, _)| *n == mutable).unwrap().1;
+                                let expected = 2 + (resp.epoch - base) as usize;
+                                assert_eq!(
+                                    resp.rows.len(),
+                                    expected,
+                                    "stale answer on {mutable}: epoch {} implies {} rows",
+                                    resp.epoch,
+                                    expected,
+                                );
+                            }
+                        }
+                    }
+                    Err(e) if e.is_overloaded() => {
+                        overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("unexpected error under stress: {e}"),
+                }
+            }
+        }));
+    }
+
+    for t in threads {
+        t.join().expect("a client thread panicked");
+    }
+
+    let stats = svc.stats();
+    assert!(served.load(Ordering::Relaxed) > 0, "no query succeeded");
+    assert_eq!(
+        stats.rejected_overload,
+        overloaded.load(Ordering::Relaxed),
+        "every rejection must be counted"
+    );
+    // Final state: 60 inserts per database on top of the 2 base rows.
+    for name in ["a", "b"] {
+        let resp = svc
+            .query(name, IDENTITY_QUERY, RequestLimits::default())
+            .unwrap();
+        assert_eq!(resp.rows.len(), 62);
+    }
+    svc.shutdown();
+}
+
+/// A cyclic (triangle) query over a dense edge relation: it routes to the
+/// naive backtracking engine, which ticks every binding, so deadlines and
+/// cancellation interrupt it promptly — the ideal "slow but governable"
+/// worker-occupying load.
+const TRIANGLE: &str = "G(x, y, z) :- E(x, y), E(y, z), E(z, x).";
+
+fn dense_graph(n: i64) -> Database {
+    let mut db = Database::new();
+    db.add_table(
+        "E",
+        ["a", "b"],
+        (0..n).flat_map(|i| (0..n).map(move |j| tuple![i, j])),
+    )
+    .unwrap();
+    db
+}
+
+/// Deterministic admission-control rejection: one worker, queue depth one.
+/// A long-running query occupies the worker, a second fills the queue slot,
+/// and a third must bounce with `Overloaded` — before doing any work.
+#[test]
+fn saturated_service_rejects_with_overloaded() {
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        result_cache_capacity: 0, // force every query through the pool
+        ..ServiceConfig::default()
+    }));
+    svc.load_database("big", dense_graph(40)).unwrap();
+    let slow_limits = RequestLimits {
+        deadline: Some(Duration::from_secs(2)),
+        ..RequestLimits::default()
+    };
+
+    // Two queries: one runs, one queues. Both block their caller, so they
+    // live on their own threads; each retries if it loses the race for the
+    // single queue slot before the worker dequeues its predecessor.
+    let mut blocked = Vec::new();
+    for _ in 0..2 {
+        let svc = Arc::clone(&svc);
+        blocked.push(std::thread::spawn(move || loop {
+            match svc.query("big", TRIANGLE, slow_limits) {
+                Err(e) if e.is_overloaded() => std::thread::sleep(Duration::from_millis(1)),
+                // Admitted (and later finished or deadline-tripped): done.
+                _ => break,
+            }
+        }));
+    }
+
+    // Wait until both jobs are admitted (worker + queue slot occupied).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while svc.stats().jobs_admitted < 2 {
+        assert!(std::time::Instant::now() < deadline, "jobs never admitted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The third request must be rejected immediately, not queued.
+    let err = svc
+        .query("big", TRIANGLE, slow_limits)
+        .expect_err("queue is full; admission control must reject");
+    assert!(
+        matches!(err, ServiceError::Overloaded { queue_depth: 1 }),
+        "{err}"
+    );
+    assert!(svc.stats().rejected_overload >= 1);
+
+    for t in blocked {
+        t.join().unwrap();
+    }
+    svc.shutdown();
+}
+
+/// Shutdown during traffic: queries in flight are cancelled cooperatively
+/// and later queries fail fast with `ShuttingDown` — never a hang.
+#[test]
+fn shutdown_is_prompt_and_structured() {
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        workers: 1,
+        queue_depth: 1,
+        result_cache_capacity: 0,
+        ..ServiceConfig::default()
+    }));
+    svc.load_database("big", dense_graph(40)).unwrap();
+
+    let worker = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || svc.query("big", TRIANGLE, RequestLimits::default()))
+    };
+    while svc.stats().jobs_admitted < 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    svc.shutdown(); // must cancel the in-flight cross product and return
+    let r = worker.join().unwrap();
+    assert!(r.is_err(), "cancelled query must not pretend to succeed");
+
+    let err = svc
+        .query("big", IDENTITY_QUERY, RequestLimits::default())
+        .expect_err("post-shutdown queries must fail fast");
+    assert!(matches!(err, ServiceError::ShuttingDown), "{err}");
+}

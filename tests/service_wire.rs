@@ -1,0 +1,138 @@
+//! End-to-end wire-protocol test: spawn a real TCP server on an ephemeral
+//! port, then drive `LOAD` / `QUERY` (cold and warm) / `EXPLAIN` / `STATS` /
+//! error paths / `SHUTDOWN` over an actual socket.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use pq_service::{roundtrip, serve, QueryService, ServiceConfig};
+
+const DB_TEXT: &str = "R(a, b):\n  1, 2\n  2, 3\nS(b, c):\n  2, 9\n  3, 7\n";
+
+/// Write a loader-format database file under the OS temp dir and return its
+/// path (unique per test to survive parallel runs).
+fn temp_db_file(tag: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("pq_service_wire_{}_{tag}.db", std::process::id()));
+    std::fs::write(&path, DB_TEXT).unwrap();
+    path
+}
+
+#[test]
+fn full_protocol_session_over_tcp() {
+    let svc = Arc::new(QueryService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    let handle = serve("127.0.0.1:0", svc).expect("bind ephemeral port");
+    let addr = handle.local_addr();
+    let db_file = temp_db_file("session");
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    // LOAD
+    let resp = roundtrip(&mut conn, &format!("LOAD d {}", db_file.display())).unwrap();
+    assert_eq!(resp.len(), 1);
+    assert!(
+        resp[0].starts_with("OK loaded d relations=2 tuples=4"),
+        "{resp:?}"
+    );
+
+    // A malformed query (missing `)`) comes back as a parse error.
+    let resp = roundtrip(&mut conn, "QUERY d G(x, z) :- R(x, y), S(y, z.").unwrap();
+    assert!(resp[0].starts_with("ERR parse "), "{resp:?}");
+
+    // QUERY, cold: header + 2 sorted rows.
+    let resp = roundtrip(&mut conn, "QUERY d G(x, z) :- R(x, y), S(y, z).").unwrap();
+    assert!(resp[0].starts_with("OK 2 x,z # engine="), "{resp:?}");
+    assert!(resp[0].contains("cache=cold"), "{resp:?}");
+    assert_eq!(resp[1..], ["1, 9".to_string(), "2, 7".to_string()]);
+
+    // Same query again: served from the result cache, same rows.
+    let resp = roundtrip(&mut conn, "QUERY d G(x, z) :- R(x, y), S(y, z).").unwrap();
+    assert!(resp[0].contains("cache=result-cache"), "{resp:?}");
+    assert_eq!(resp[1..], ["1, 9".to_string(), "2, 7".to_string()]);
+
+    // Per-request limits parse and flow through (generous, so it succeeds).
+    let resp = roundtrip(
+        &mut conn,
+        "QUERY @deadline_ms=5000 @budget=1000000 d G(x) :- R(x, y).",
+    )
+    .unwrap();
+    assert!(resp[0].starts_with("OK 2 x #"), "{resp:?}");
+
+    // EXPLAIN: plan provenance without evaluation.
+    let resp = roundtrip(&mut conn, "EXPLAIN d G(x, z) :- R(x, y), S(y, z).").unwrap();
+    assert_eq!(resp[0], "OK explain");
+    assert!(
+        resp.iter().any(|l| l.starts_with("fingerprint ")),
+        "{resp:?}"
+    );
+    assert!(resp.iter().any(|l| l.starts_with("engine ")), "{resp:?}");
+    assert!(
+        resp.iter().any(|l| l == "result_cached true"),
+        "the warm answer above should be visible here: {resp:?}"
+    );
+
+    // STATS: counters reflect the session so far.
+    let resp = roundtrip(&mut conn, "STATS").unwrap();
+    assert_eq!(resp[0], "OK stats");
+    let get = |key: &str| -> u64 {
+        resp.iter()
+            .find_map(|l| l.strip_prefix(&format!("{key} ")))
+            .unwrap_or_else(|| panic!("missing {key} in {resp:?}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(get("queries_served"), 3);
+    assert_eq!(get("result_hits"), 1);
+    assert_eq!(get("loads"), 1);
+
+    // Error paths: unknown db, unknown verb, unreadable file.
+    let resp = roundtrip(&mut conn, "QUERY nope G(x) :- R(x, y).").unwrap();
+    assert!(resp[0].starts_with("ERR unknown-db "), "{resp:?}");
+    let resp = roundtrip(&mut conn, "FROBNICATE d").unwrap();
+    assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
+    let resp = roundtrip(&mut conn, "LOAD x /nonexistent/path.db").unwrap();
+    assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
+
+    // A second concurrent connection sees the same catalog.
+    let mut conn2 = TcpStream::connect(addr).unwrap();
+    let resp = roundtrip(&mut conn2, "QUERY d G(x) :- R(x, y).").unwrap();
+    assert!(resp[0].starts_with("OK 2 x #"), "{resp:?}");
+
+    // SHUTDOWN stops the service and the accept loop.
+    let resp = roundtrip(&mut conn, "SHUTDOWN").unwrap();
+    assert_eq!(resp, ["OK bye".to_string()]);
+    handle.wait(); // returns because the accept loop exited
+
+    // New connections are refused or die immediately; either way no request
+    // can succeed any more.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut conn3) => {
+            assert!(roundtrip(&mut conn3, "STATS").is_err());
+        }
+    }
+
+    let _ = std::fs::remove_file(db_file);
+}
+
+#[test]
+fn server_handle_stop_without_wire_shutdown() {
+    let handle = serve("127.0.0.1:0", Arc::new(QueryService::with_defaults())).unwrap();
+    let addr = handle.local_addr();
+    let db_file = temp_db_file("stop");
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let resp = roundtrip(&mut conn, &format!("LOAD d {}", db_file.display())).unwrap();
+    assert!(resp[0].starts_with("OK loaded"), "{resp:?}");
+
+    handle.stop(); // joins the accept loop
+
+    // The still-open connection now gets structured shutdown errors.
+    let resp = roundtrip(&mut conn, "QUERY d G(x) :- R(x, y).").unwrap();
+    assert!(resp[0].starts_with("ERR shutting-down "), "{resp:?}");
+
+    let _ = std::fs::remove_file(db_file);
+}
