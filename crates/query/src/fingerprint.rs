@@ -110,6 +110,12 @@ pub fn canonical_form(q: &ConjunctiveQuery) -> String {
 /// A stable 64-bit structural fingerprint of the query (FNV-1a of
 /// [`canonical_form`]). Alpha-equivalent queries collide by design; see the
 /// module docs for what is and is not normalized.
+///
+/// Being a 64-bit hash, *accidental* collisions between structurally
+/// different queries are possible, so the fingerprint alone must not be
+/// used where a wrong match means a wrong answer (e.g. as a complete cache
+/// key) — pair it with, or substitute, the full [`canonical_form`] there.
+/// It is meant as a compact display/wire identifier.
 pub fn fingerprint(q: &ConjunctiveQuery) -> u64 {
     fnv1a(canonical_form(q).as_bytes())
 }

@@ -65,8 +65,11 @@ impl Catalog {
     /// Insert or replace the database under `name`. Returns the new
     /// generation.
     pub fn insert(&self, name: impl Into<String>, db: Database) -> u64 {
-        let generation = self.next_generation();
         let mut entries = self.entries.write().expect("catalog poisoned");
+        // Allocate the generation under the write lock (as `update` does):
+        // racing inserts would otherwise be able to install them out of
+        // order, breaking per-name generation monotonicity.
+        let generation = self.next_generation();
         entries.insert(
             name.into(),
             Entry {
@@ -172,6 +175,27 @@ mod tests {
         let b = cat.snapshot("d").unwrap();
         assert_eq!(a.epoch, b.epoch, "epochs alone cannot distinguish these");
         assert_ne!(a.generation, b.generation, "generations must");
+    }
+
+    #[test]
+    fn racing_inserts_keep_per_name_generations_monotone() {
+        // The installed entry must carry the *latest* generation handed out
+        // for its name — i.e. generation order matches installation order.
+        let cat = Arc::new(Catalog::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cat = Arc::clone(&cat);
+                std::thread::spawn(move || {
+                    (0..50).map(|_| cat.insert("d", small_db(1))).max().unwrap()
+                })
+            })
+            .collect();
+        let max_issued = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(cat.snapshot("d").unwrap().generation, max_issued);
     }
 
     #[test]

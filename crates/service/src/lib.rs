@@ -5,10 +5,12 @@
 //!
 //! * a [`Catalog`] of named databases behind a `RwLock`, handing out
 //!   copy-on-write snapshots so long queries never block writers;
-//! * a sharded two-level cache — a **plan cache** (normalized query text →
+//! * a sharded two-level cache — a **plan cache** (canonical query form →
 //!   parsed AST + classification + [`pq_core::Plan`]) and a bounded-LRU
-//!   **result cache** keyed by `(query fingerprint, db name, generation,
-//!   epoch)`, so results are invalidated by construction when data changes;
+//!   **result cache** keyed by `(canonical query form, db name, generation,
+//!   epoch)`, so results are invalidated by construction when data changes
+//!   (the key carries the full canonical form, not just a hash of it, so
+//!   distinct queries can never share an entry);
 //! * a fixed-size worker pool with a bounded job queue: when the queue is
 //!   full, requests are rejected *before* any work happens with a
 //!   structured [`ServiceError::Overloaded`] (admission control, not
@@ -22,7 +24,10 @@
 //!   wire;
 //! * a tiny [`protocol`] (`LOAD` / `QUERY` / `EXPLAIN` / `STATS` /
 //!   `SHUTDOWN`, newline-framed, `.`-terminated responses) and a
-//!   [`server`] built on `std::net` + `std::thread` only.
+//!   [`server`] built on `std::net` + `std::thread` only. The wire `LOAD`
+//!   verb only works on a server started with
+//!   [`server::serve_with_data_dir`], and only for relative paths confined
+//!   to that directory.
 //!
 //! # Quick start (embedded)
 //!
@@ -60,7 +65,7 @@ pub use catalog::{Catalog, DbSnapshot};
 pub use error::{Result, ServiceError};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{parse_request, Request, END};
-pub use server::{read_response, roundtrip, serve, ServerHandle};
+pub use server::{read_response, roundtrip, serve, serve_with_data_dir, ServerHandle};
 pub use service::{
     CacheOutcome, Explanation, LoadSummary, QueryResponse, QueryService, RequestLimits,
     ServiceConfig,

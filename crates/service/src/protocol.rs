@@ -3,7 +3,9 @@
 //! **Requests** are single lines:
 //!
 //! ```text
-//! LOAD <name> <path>                      load a database file (loader format)
+//! LOAD <name> <path>                      load a database file (loader format;
+//!                                         path is relative to the server's
+//!                                         data dir, see `serve_with_data_dir`)
 //! QUERY [@flags] <name> <cq text>         evaluate a conjunctive query
 //! EXPLAIN <name> <cq text>                classify + plan without evaluating
 //! STATS                                   dump service metrics
@@ -35,12 +37,15 @@ pub const END: &str = ".";
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Request {
-    /// `LOAD <name> <path>` — the path is resolved by the *server*.
+    /// `LOAD <name> <path>` — the path is resolved by the *server*, which
+    /// confines it to its configured data directory (see
+    /// [`crate::server::serve_with_data_dir`]) and rejects absolute or
+    /// `..`-containing paths.
     Load {
         /// Catalog name to load under.
         name: String,
-        /// Filesystem path of the database text (rest of the line, so paths
-        /// may contain spaces).
+        /// Filesystem path of the database text, relative to the server's
+        /// data directory (rest of the line, so paths may contain spaces).
         path: String,
     },
     /// `QUERY [@flags] <name> <cq text>`.
@@ -157,12 +162,19 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
 }
 
 /// Render one value with the database-loader field conventions (quote
-/// strings that would re-parse as integers or contain separators).
+/// strings that would re-parse as integers or contain separators, and
+/// strings equal to [`END`] — a bare `.` in a single-column row would
+/// otherwise read as the response terminator and desynchronize the client).
 fn render_value(v: &Value) -> String {
     match v {
         Value::Int(i) => i.to_string(),
         Value::Str(s) => {
-            if s.parse::<i64>().is_ok() || s.contains(',') || s.contains('%') || s.is_empty() {
+            if s.parse::<i64>().is_ok()
+                || s.contains(',')
+                || s.contains('%')
+                || s.is_empty()
+                || &**s == END
+            {
                 format!("\"{s}\"")
             } else {
                 s.to_string()
@@ -311,6 +323,18 @@ mod tests {
     }
 
     #[test]
+    fn dot_valued_row_cannot_forge_the_terminator() {
+        use pq_data::tuple;
+        // A single-column row whose value is "." must not render as a line
+        // equal to END, or the framed response would terminate early.
+        let rel = Relation::with_tuples(["a"], [tuple!["."]]).unwrap();
+        let mut lines = Vec::new();
+        render_rows(&rel, &mut lines);
+        assert_eq!(lines, [r#"".""#.to_string()]);
+        assert!(lines.iter().all(|l| l != END));
+    }
+
+    #[test]
     fn error_rendering_carries_the_stable_code() {
         let line = render_error(&ServiceError::Overloaded { queue_depth: 4 });
         assert!(line.starts_with("ERR overloaded "), "{line}");
@@ -326,7 +350,12 @@ mod tests {
         // `render_database`); everything else round-trips.
         let rel = Relation::with_tuples(
             ["a", "b"],
-            [tuple![1, "plain"], tuple![2, "99"], tuple![3, ""]],
+            [
+                tuple![1, "plain"],
+                tuple![2, "99"],
+                tuple![3, ""],
+                tuple![4, "."],
+            ],
         )
         .unwrap();
         let mut lines = vec!["T(a, b):".to_string()];

@@ -6,9 +6,17 @@
 //! [`crate::protocol`]). Concurrency control lives in the *service* — a
 //! flood of connections contends on the bounded job queue and is shed with
 //! `ERR overloaded`, not on unbounded server-side buffers.
+//!
+//! The protocol is **unauthenticated**, so the filesystem-touching verb is
+//! sandboxed: `LOAD` paths must be relative (no `..`) and resolve under a
+//! data directory the *operator* configures with [`serve_with_data_dir`];
+//! a server started with plain [`serve`] rejects `LOAD` outright. Bind
+//! non-loopback addresses only if every reachable client is trusted —
+//! `QUERY`/`STATS`/`SHUTDOWN` have no access control either.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,6 +32,8 @@ struct Shared {
     service: Arc<QueryService>,
     stop: AtomicBool,
     addr: SocketAddr,
+    /// Root for `LOAD` path resolution; `None` disables `LOAD` entirely.
+    data_dir: Option<PathBuf>,
 }
 
 /// A running server; dropping it does **not** stop the service (call
@@ -70,16 +80,43 @@ fn request_stop(shared: &Shared) {
 }
 
 /// Bind `addr` and serve `service` until a `SHUTDOWN` request (or
-/// [`ServerHandle::stop`]).
+/// [`ServerHandle::stop`]). The wire `LOAD` verb is **disabled** — clients
+/// could otherwise read arbitrary server-readable files. Preload databases
+/// through [`QueryService::load_str`], or use [`serve_with_data_dir`] to
+/// allow `LOAD` within a sandbox directory.
 ///
 /// # Errors
 /// Propagates the bind failure.
 pub fn serve(addr: impl ToSocketAddrs, service: Arc<QueryService>) -> io::Result<ServerHandle> {
+    serve_inner(addr, service, None)
+}
+
+/// Like [`serve`], but wire `LOAD <name> <path>` is allowed for paths that
+/// are relative, contain no `..` components, and are resolved against
+/// `data_dir` — clients can only read files the operator placed under that
+/// directory (modulo symlinks inside it; don't plant hostile ones).
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve_with_data_dir(
+    addr: impl ToSocketAddrs,
+    service: Arc<QueryService>,
+    data_dir: impl Into<PathBuf>,
+) -> io::Result<ServerHandle> {
+    serve_inner(addr, service, Some(data_dir.into()))
+}
+
+fn serve_inner(
+    addr: impl ToSocketAddrs,
+    service: Arc<QueryService>,
+    data_dir: Option<PathBuf>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let shared = Arc::new(Shared {
         service,
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
+        data_dir,
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
@@ -117,24 +154,49 @@ fn write_lines(stream: &mut TcpStream, lines: &[String]) -> io::Result<()> {
     stream.flush()
 }
 
-fn respond(service: &QueryService, line: &str) -> (Vec<String>, bool) {
+/// Resolve a client-supplied `LOAD` path against the configured data
+/// directory, refusing anything that could escape it.
+///
+/// # Errors
+/// [`ServiceError::Protocol`] when no data directory is configured, or when
+/// the path is absolute / contains `..` (or other non-plain) components.
+fn resolve_load_path(data_dir: Option<&Path>, path: &str) -> Result<PathBuf, ServiceError> {
+    let Some(root) = data_dir else {
+        return Err(ServiceError::Protocol(
+            "LOAD is disabled: the server was started without a data directory".into(),
+        ));
+    };
+    let p = Path::new(path);
+    let confined = !p.is_absolute()
+        && p.components()
+            .all(|c| matches!(c, Component::Normal(_) | Component::CurDir));
+    if !confined {
+        return Err(ServiceError::Protocol(format!(
+            "LOAD path `{path}` must be relative to the data directory, without `..`"
+        )));
+    }
+    Ok(root.join(p))
+}
+
+fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
+    let service = &*shared.service;
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => return (vec![render_error(&e)], false),
     };
     match request {
-        Request::Load { name, path } => match std::fs::read_to_string(&path) {
-            Ok(text) => match service.load_str(&name, &text) {
+        Request::Load { name, path } => {
+            let outcome = resolve_load_path(shared.data_dir.as_deref(), &path)
+                .and_then(|resolved| {
+                    std::fs::read_to_string(&resolved)
+                        .map_err(|e| ServiceError::Protocol(format!("cannot read `{path}`: {e}")))
+                })
+                .and_then(|text| service.load_str(&name, &text));
+            match outcome {
                 Ok(s) => (render_load_response(&s), false),
                 Err(e) => (vec![render_error(&e)], false),
-            },
-            Err(e) => (
-                vec![render_error(&ServiceError::Protocol(format!(
-                    "cannot read `{path}`: {e}"
-                )))],
-                false,
-            ),
-        },
+            }
+        }
         Request::Query { name, src, limits } => match service.query(&name, &src, limits) {
             Ok(resp) => (render_query_response(&resp), false),
             Err(e) => (vec![render_error(&e)], false),
@@ -159,7 +221,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if line.trim().is_empty() {
             continue;
         }
-        let (lines, shutdown) = respond(&shared.service, &line);
+        let (lines, shutdown) = respond(shared, &line);
         if write_lines(&mut writer, &lines).is_err() {
             break;
         }
@@ -203,5 +265,40 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<Vec<String>> {
             return Ok(lines);
         }
         lines.push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_paths_are_confined_to_the_data_dir() {
+        let root = Path::new("/srv/data");
+        let ok = |p: &str| resolve_load_path(Some(root), p).unwrap();
+        assert_eq!(ok("db/company.db"), root.join("db/company.db"));
+        assert_eq!(ok("./company.db"), root.join("./company.db"));
+        for escape in [
+            "/etc/passwd",
+            "../secrets.db",
+            "db/../../secrets.db",
+            "db/./../../x",
+        ] {
+            assert!(
+                matches!(
+                    resolve_load_path(Some(root), escape),
+                    Err(ServiceError::Protocol(_))
+                ),
+                "must reject: {escape}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_is_disabled_without_a_data_dir() {
+        assert!(matches!(
+            resolve_load_path(None, "company.db"),
+            Err(ServiceError::Protocol(_))
+        ));
     }
 }

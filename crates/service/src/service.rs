@@ -3,18 +3,22 @@
 //! One [`QueryService`] owns a [`Catalog`] of named databases, a two-level
 //! cache, and a fixed pool of worker threads behind a **bounded** job queue:
 //!
-//! * **Plan cache** (level 1): normalized query text → parsed AST +
-//!   classification + committed [`Plan`]. All the paper's query-only
-//!   preprocessing — classification per Theorem 1/Fig. 1, GYO/join-tree
-//!   work, color-coding hash-family choice (Theorem 2) — is paid once per
-//!   distinct query, not once per request. This is exactly the
-//!   preprocessing/evaluation cost split the hypertree literature treats as
-//!   decisive.
-//! * **Result cache** (level 2): `(query fingerprint, database name,
-//!   generation, epoch)` → answer relation. The key embeds the database
-//!   identity counters (see [`crate::catalog`]), so a mutation or reload
-//!   can never serve a stale answer — the stale key simply stops being
-//!   looked up and ages out of the LRU.
+//! * **Plan cache** (level 1): canonical query form
+//!   ([`pq_query::canonical_form`], computed from the parsed AST — so it is
+//!   whitespace-safe even inside string literals and alpha-renaming-safe) →
+//!   classification + committed [`Plan`]. Parsing runs per request, but all
+//!   the paper's expensive query-only preprocessing — classification per
+//!   Theorem 1/Fig. 1, GYO/join-tree work, color-coding hash-family choice
+//!   (Theorem 2) — is paid once per distinct query, not once per request.
+//!   This is exactly the preprocessing/evaluation cost split the hypertree
+//!   literature treats as decisive.
+//! * **Result cache** (level 2): `(canonical query form, database name,
+//!   generation, epoch)` → answer relation. The key embeds the full
+//!   canonical form (not just its 64-bit fingerprint, so a hash collision
+//!   can never cross-serve answers) and the database identity counters (see
+//!   [`crate::catalog`]), so a mutation or reload can never serve a stale
+//!   answer — the stale key simply stops being looked up and ages out of
+//!   the LRU.
 //!
 //! **Admission control**: evaluation jobs go through a bounded queue to a
 //! fixed worker pool. When the queue is full the request is rejected
@@ -35,7 +39,7 @@ use std::time::{Duration, Instant};
 use pq_core::{plan, Plan, PlannerOptions};
 use pq_data::{loader, Database, Relation};
 use pq_engine::governor::{CancellationToken, ExecutionContext};
-use pq_query::{parse_cq, ConjunctiveQuery};
+use pq_query::{canonical_form, parse_cq, ConjunctiveQuery};
 
 use crate::cache::ShardedCache;
 use crate::catalog::{Catalog, DbSnapshot};
@@ -173,11 +177,18 @@ pub struct PlannedQuery {
     pub query: ConjunctiveQuery,
     /// The committed plan.
     pub plan: Plan,
-    /// Structural fingerprint (the result-cache key component).
+    /// Canonical form ([`pq_query::canonical_form`]) — the cache-key
+    /// component identifying the query exactly.
+    pub canonical: Arc<str>,
+    /// Structural fingerprint (display/wire identifier; a hash of
+    /// `canonical`, so it is *not* used alone as a cache key).
     pub fingerprint: u64,
 }
 
-type ResultKey = (u64, String, u64, u64);
+/// `(canonical query form, db name, generation, epoch)`. The canonical form
+/// — not its fingerprint — keys results, so even a 64-bit hash collision
+/// between distinct queries only costs a miss, never a wrong answer.
+type ResultKey = (Arc<str>, String, u64, u64);
 
 struct Job {
     planned: Arc<PlannedQuery>,
@@ -188,7 +199,7 @@ struct Job {
 
 struct Inner {
     catalog: Catalog,
-    plan_cache: ShardedCache<String, PlannedQuery>,
+    plan_cache: ShardedCache<Arc<str>, PlannedQuery>,
     result_cache: ShardedCache<ResultKey, Relation>,
     metrics: ServiceMetrics,
     config: ServiceConfig,
@@ -329,18 +340,24 @@ impl QueryService {
     /// Plan-cache lookup/population. Returns the planned query and whether
     /// it was already cached.
     fn planned(&self, src: &str) -> Result<(Arc<PlannedQuery>, bool)> {
-        let key: String = src.split_whitespace().collect::<Vec<_>>().join(" ");
+        // Parse before the cache lookup: the key must identify the query
+        // exactly, and no text normalization is safe (whitespace inside a
+        // string literal is significant), so the key is the AST's canonical
+        // form. A hit still skips the expensive half — classification and
+        // planning.
+        let query = parse_cq(src)?;
+        query.validate()?;
+        let key: Arc<str> = canonical_form(&query).into();
         if let Some(hit) = self.inner.plan_cache.get(&key) {
             ServiceMetrics::bump(&self.inner.metrics.plan_hits);
             return Ok((hit, true));
         }
         ServiceMetrics::bump(&self.inner.metrics.plan_misses);
-        let query = parse_cq(src)?;
-        query.validate()?;
         let plan = plan(&query, &self.inner.config.planner);
         let planned = Arc::new(PlannedQuery {
             fingerprint: query.fingerprint(),
             plan,
+            canonical: Arc::clone(&key),
             query,
         });
         self.inner.plan_cache.insert(key, Arc::clone(&planned));
@@ -359,7 +376,7 @@ impl QueryService {
         let (planned, plan_was_cached) = self.planned(src)?;
         let snap = self.inner.catalog.snapshot(db_name)?;
         let key: ResultKey = (
-            planned.fingerprint,
+            Arc::clone(&planned.canonical),
             snap.name.clone(),
             snap.generation,
             snap.epoch,
@@ -405,7 +422,7 @@ impl QueryService {
             let (planned, plan_hit) = self.planned(src)?;
             let snap = self.inner.catalog.snapshot(db_name)?;
             let key: ResultKey = (
-                planned.fingerprint,
+                Arc::clone(&planned.canonical),
                 snap.name.clone(),
                 snap.generation,
                 snap.epoch,
@@ -554,7 +571,7 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, inner: &Inner) {
             .map_err(ServiceError::from);
         if let Ok(rows) = &out {
             let key: ResultKey = (
-                job.planned.fingerprint,
+                Arc::clone(&job.planned.canonical),
                 job.snapshot.name.clone(),
                 job.snapshot.generation,
                 job.snapshot.epoch,
@@ -611,6 +628,37 @@ mod tests {
             .unwrap();
         let r = svc
             .query("d", "G(x)   :-   R(x, y).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(r.cache, CacheOutcome::ResultHit);
+    }
+
+    #[test]
+    fn whitespace_inside_string_literals_is_significant() {
+        // Regression: a raw-text normalization that collapsed whitespace
+        // conflated these two distinct queries and cross-served answers.
+        let svc = service();
+        let one_space = r#"G(x) :- R(x, "a b")."#;
+        let two_spaces = r#"G(x) :- R(x, "a  b")."#;
+        let a = svc.query("d", one_space, RequestLimits::default()).unwrap();
+        assert_eq!(a.cache, CacheOutcome::Miss);
+        let b = svc
+            .query("d", two_spaces, RequestLimits::default())
+            .unwrap();
+        assert_ne!(
+            b.cache,
+            CacheOutcome::ResultHit,
+            "distinct literals must not share a cache entry"
+        );
+        assert_eq!(svc.cache_sizes().0, 2, "two distinct plan-cache entries");
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_cache_entries() {
+        let svc = service();
+        svc.query("d", "G(x) :- R(x, y).", RequestLimits::default())
+            .unwrap();
+        let r = svc
+            .query("d", "G(a) :- R(a, b).", RequestLimits::default())
             .unwrap();
         assert_eq!(r.cache, CacheOutcome::ResultHit);
     }

@@ -7,7 +7,12 @@
 //! serve 127.0.0.1:0             pick an ephemeral port (printed at startup)
 //! serve --workers 8 --queue 128  size the pool and its admission queue
 //! serve company=data/company.db  preload `company` from a loader-format file
+//! serve --data-dir data          allow wire LOAD, confined to `data/`
 //! ```
+//!
+//! Without `--data-dir` the wire `LOAD` verb is disabled (clients could
+//! otherwise read any server-readable file); preloads via `name=path` are
+//! resolved by *this* process and are always available.
 //!
 //! Talk to it with `examples/repl.rs`, or anything that can speak the
 //! line protocol (`LOAD` / `QUERY` / `EXPLAIN` / `STATS` / `SHUTDOWN`);
@@ -15,12 +20,13 @@
 
 use std::sync::Arc;
 
-use pq_service::{serve, QueryService, ServiceConfig};
+use pq_service::{serve, serve_with_data_dir, QueryService, ServiceConfig};
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut config = ServiceConfig::default();
     let mut preloads: Vec<(String, String)> = Vec::new();
+    let mut data_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,8 +43,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--queue needs a positive integer");
             }
+            "--data-dir" => {
+                data_dir = Some(args.next().expect("--data-dir needs a path"));
+            }
             "--help" | "-h" => {
-                println!("usage: serve [addr] [--workers N] [--queue N] [name=path ...]");
+                println!(
+                    "usage: serve [addr] [--workers N] [--queue N] [--data-dir DIR] [name=path ...]"
+                );
                 return;
             }
             other if other.contains('=') => {
@@ -62,7 +73,13 @@ fn main() {
         );
     }
 
-    let handle = serve(addr.as_str(), service).expect("bind failed");
+    let handle = match &data_dir {
+        Some(dir) => {
+            println!("wire LOAD enabled, confined to `{dir}`");
+            serve_with_data_dir(addr.as_str(), service, dir).expect("bind failed")
+        }
+        None => serve(addr.as_str(), service).expect("bind failed"),
+    };
     println!("pq-service listening on {}", handle.local_addr());
     println!("send SHUTDOWN (e.g. via the repl example) to stop");
     handle.wait();

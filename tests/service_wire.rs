@@ -5,17 +5,17 @@
 use std::net::TcpStream;
 use std::sync::Arc;
 
-use pq_service::{roundtrip, serve, QueryService, ServiceConfig};
+use pq_service::{roundtrip, serve, serve_with_data_dir, QueryService, ServiceConfig};
 
 const DB_TEXT: &str = "R(a, b):\n  1, 2\n  2, 3\nS(b, c):\n  2, 9\n  3, 7\n";
 
-/// Write a loader-format database file under the OS temp dir and return its
-/// path (unique per test to survive parallel runs).
-fn temp_db_file(tag: &str) -> std::path::PathBuf {
-    let path =
-        std::env::temp_dir().join(format!("pq_service_wire_{}_{tag}.db", std::process::id()));
-    std::fs::write(&path, DB_TEXT).unwrap();
-    path
+/// Create a data directory under the OS temp dir (unique per test to
+/// survive parallel runs) holding `base.db`; wire `LOAD` is confined to it.
+fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pq_service_wire_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("base.db"), DB_TEXT).unwrap();
+    dir
 }
 
 #[test]
@@ -24,14 +24,14 @@ fn full_protocol_session_over_tcp() {
         workers: 2,
         ..ServiceConfig::default()
     }));
-    let handle = serve("127.0.0.1:0", svc).expect("bind ephemeral port");
+    let data_dir = temp_data_dir("session");
+    let handle = serve_with_data_dir("127.0.0.1:0", svc, &data_dir).expect("bind ephemeral port");
     let addr = handle.local_addr();
-    let db_file = temp_db_file("session");
 
     let mut conn = TcpStream::connect(addr).unwrap();
 
-    // LOAD
-    let resp = roundtrip(&mut conn, &format!("LOAD d {}", db_file.display())).unwrap();
+    // LOAD (relative to the server's data dir)
+    let resp = roundtrip(&mut conn, "LOAD d base.db").unwrap();
     assert_eq!(resp.len(), 1);
     assert!(
         resp[0].starts_with("OK loaded d relations=2 tuples=4"),
@@ -88,12 +88,17 @@ fn full_protocol_session_over_tcp() {
     assert_eq!(get("result_hits"), 1);
     assert_eq!(get("loads"), 1);
 
-    // Error paths: unknown db, unknown verb, unreadable file.
+    // Error paths: unknown db, unknown verb, unreadable file, and LOAD
+    // paths that try to leave the data dir (absolute or via `..`).
     let resp = roundtrip(&mut conn, "QUERY nope G(x) :- R(x, y).").unwrap();
     assert!(resp[0].starts_with("ERR unknown-db "), "{resp:?}");
     let resp = roundtrip(&mut conn, "FROBNICATE d").unwrap();
     assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
-    let resp = roundtrip(&mut conn, "LOAD x /nonexistent/path.db").unwrap();
+    let resp = roundtrip(&mut conn, "LOAD x nonexistent.db").unwrap();
+    assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
+    let resp = roundtrip(&mut conn, "LOAD x /etc/hostname").unwrap();
+    assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
+    let resp = roundtrip(&mut conn, "LOAD x ../base.db").unwrap();
     assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
 
     // A second concurrent connection sees the same catalog.
@@ -115,17 +120,22 @@ fn full_protocol_session_over_tcp() {
         }
     }
 
-    let _ = std::fs::remove_file(db_file);
+    let _ = std::fs::remove_dir_all(data_dir);
 }
 
 #[test]
 fn server_handle_stop_without_wire_shutdown() {
-    let handle = serve("127.0.0.1:0", Arc::new(QueryService::with_defaults())).unwrap();
+    let data_dir = temp_data_dir("stop");
+    let handle = serve_with_data_dir(
+        "127.0.0.1:0",
+        Arc::new(QueryService::with_defaults()),
+        &data_dir,
+    )
+    .unwrap();
     let addr = handle.local_addr();
-    let db_file = temp_db_file("stop");
 
     let mut conn = TcpStream::connect(addr).unwrap();
-    let resp = roundtrip(&mut conn, &format!("LOAD d {}", db_file.display())).unwrap();
+    let resp = roundtrip(&mut conn, "LOAD d base.db").unwrap();
     assert!(resp[0].starts_with("OK loaded"), "{resp:?}");
 
     handle.stop(); // joins the accept loop
@@ -134,5 +144,27 @@ fn server_handle_stop_without_wire_shutdown() {
     let resp = roundtrip(&mut conn, "QUERY d G(x) :- R(x, y).").unwrap();
     assert!(resp[0].starts_with("ERR shutting-down "), "{resp:?}");
 
-    let _ = std::fs::remove_file(db_file);
+    let _ = std::fs::remove_dir_all(data_dir);
+}
+
+#[test]
+fn plain_serve_disables_wire_load() {
+    // Without a configured data dir the filesystem-touching verb is off,
+    // even for paths that would otherwise be well-formed; everything else
+    // still works against databases loaded in-process.
+    let svc = Arc::new(QueryService::with_defaults());
+    svc.load_str("d", DB_TEXT).unwrap();
+    let handle = serve("127.0.0.1:0", svc).unwrap();
+    let addr = handle.local_addr();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let resp = roundtrip(&mut conn, "LOAD x base.db").unwrap();
+    assert!(
+        resp[0].starts_with("ERR proto ") && resp[0].contains("LOAD is disabled"),
+        "{resp:?}"
+    );
+    let resp = roundtrip(&mut conn, "QUERY d G(x) :- R(x, y).").unwrap();
+    assert!(resp[0].starts_with("OK 2 x #"), "{resp:?}");
+
+    handle.stop();
 }
