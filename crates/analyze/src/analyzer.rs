@@ -1,0 +1,563 @@
+//! The multi-pass analyzer driver.
+//!
+//! Pass order matters and is part of the contract:
+//!
+//! 1. **safety/range-restriction** — mirrors
+//!    [`ConjunctiveQuery::validate`] as diagnostics (head or constraint
+//!    variables not bound by a relational atom, empty body, constant-only
+//!    constraints);
+//! 2. **contradiction detection** — database-independent emptiness:
+//!    reflexive `≠`, an inconsistent comparison system (Klug's strict-cycle
+//!    criterion), a `≠` whose sides the comparisons force equal;
+//! 3. **core minimization** — the Chandra–Merlin core via
+//!    `pq_engine::containment`, dropping redundant atoms so `q` and `v`
+//!    shrink before any engine runs;
+//! 4. **structural classification** — GYO acyclicity with a concrete cycle
+//!    witness plus the Fig. 1 parameter report, computed on the *minimized*
+//!    query (the one the planner will execute).
+//!
+//! Schema checks ([`schema_diagnostics`]) are separate by design: the
+//! query-only analysis is cacheable per query, while schema diagnostics
+//! depend on whatever database the query is aimed at right now.
+
+use pq_data::Database;
+use pq_engine::containment;
+use pq_query::ConjunctiveQuery;
+
+use crate::diagnostics::{Diagnostic, LintCode, Severity, Span};
+use crate::report::{structure_of, StructureReport};
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Attempt Chandra–Merlin core minimization (pure CQs only).
+    pub minimize: bool,
+    /// Skip minimization above this relational-atom count. Equivalence
+    /// checks are CQ evaluations on the canonical database (NP-hard in
+    /// general), so the pass is bounded by construction.
+    pub minimize_atom_limit: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            minimize: true,
+            minimize_atom_limit: 8,
+        }
+    }
+}
+
+/// Why a query is provably empty on **every** database. Reserved for
+/// database-independent contradictions: schema problems (unknown relation,
+/// arity mismatch) are reported as error diagnostics but do *not* set this
+/// verdict, because the engines treat them as evaluation errors, not empty
+/// answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmptyReason {
+    /// A `≠` atom relates a term to itself.
+    ReflexiveNeq,
+    /// The comparison system admits no solution (strict cycle).
+    InconsistentComparisons,
+    /// The comparison system forces the two sides of a `≠` atom equal.
+    NeqForcedEqual,
+}
+
+impl EmptyReason {
+    /// Stable lowercase name for reports and the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EmptyReason::ReflexiveNeq => "reflexive-neq",
+            EmptyReason::InconsistentComparisons => "inconsistent-comparisons",
+            EmptyReason::NeqForcedEqual => "neq-forced-equal",
+        }
+    }
+}
+
+impl std::fmt::Display for EmptyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The analyzer's complete output for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The minimized core, present only when it is strictly smaller than
+    /// the input (evaluating it is equivalent — Chandra–Merlin).
+    pub rewritten: Option<ConjunctiveQuery>,
+    /// Set when the answer is empty on every database; evaluation can be
+    /// skipped entirely.
+    pub empty: Option<EmptyReason>,
+    /// Structural report for the query the planner should execute (the
+    /// minimized core when one exists, else the input).
+    pub report: StructureReport,
+}
+
+impl Analysis {
+    /// Is the query provably empty on every database?
+    pub fn provably_empty(&self) -> bool {
+        self.empty.is_some()
+    }
+
+    /// Any error-severity findings?
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The query evaluation should run: the minimized core when one
+    /// exists, otherwise `original`.
+    pub fn effective<'a>(&'a self, original: &'a ConjunctiveQuery) -> &'a ConjunctiveQuery {
+        self.rewritten.as_ref().unwrap_or(original)
+    }
+
+    /// Deterministic line rendering, shared by `examples/analyze.rs`, the
+    /// golden-corpus CI gate, and the wire protocol. Order: diagnostics in
+    /// pass order, then the rewritten core (if any), then the verdict.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.diagnostics.iter().map(|d| d.to_string()).collect();
+        if let Some(r) = &self.rewritten {
+            out.push(format!("minimized: {r}"));
+        }
+        match self.empty {
+            Some(reason) => out.push(format!("verdict: provably-empty ({reason})")),
+            None => out.push("verdict: ok".to_string()),
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------ pass 1 --
+
+fn safety_pass(q: &ConjunctiveQuery, out: &mut Vec<Diagnostic>) {
+    if q.atoms.is_empty() {
+        out.push(Diagnostic::new(
+            LintCode::EmptyBody,
+            Span::Query,
+            "the body has no relational atoms",
+        ));
+    }
+    let body: std::collections::BTreeSet<&str> = q.atom_variables().into_iter().collect();
+    for v in q.head_variables() {
+        if !body.contains(v) {
+            out.push(Diagnostic::new(
+                LintCode::UnsafeHeadVariable,
+                Span::Head,
+                format!("head variable `{v}` is not bound by any relational atom"),
+            ));
+        }
+    }
+    for (i, n) in q.neqs.iter().enumerate() {
+        if n.variables().is_empty() {
+            out.push(Diagnostic::new(
+                LintCode::ConstantConstraint,
+                Span::Neq(i),
+                format!("`{n}` relates two constants"),
+            ));
+            continue;
+        }
+        for v in n.variables() {
+            if !body.contains(v) {
+                out.push(Diagnostic::new(
+                    LintCode::UnsafeConstraintVariable,
+                    Span::Neq(i),
+                    format!("variable `{v}` of `{n}` is not bound by any relational atom"),
+                ));
+            }
+        }
+    }
+    for (i, c) in q.comparisons.iter().enumerate() {
+        if c.variables().is_empty() {
+            out.push(Diagnostic::new(
+                LintCode::ConstantConstraint,
+                Span::Comparison(i),
+                format!("`{c}` relates two constants"),
+            ));
+            continue;
+        }
+        for v in c.variables() {
+            if !body.contains(v) {
+                out.push(Diagnostic::new(
+                    LintCode::UnsafeConstraintVariable,
+                    Span::Comparison(i),
+                    format!("variable `{v}` of `{c}` is not bound by any relational atom"),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ pass 2 --
+
+fn contradiction_pass(q: &ConjunctiveQuery, out: &mut Vec<Diagnostic>) -> Option<EmptyReason> {
+    let mut empty: Option<EmptyReason> = None;
+    let flag = |e: EmptyReason, empty: &mut Option<EmptyReason>| {
+        if empty.is_none() {
+            *empty = Some(e);
+        }
+    };
+    for (i, n) in q.neqs.iter().enumerate() {
+        if n.is_reflexive() {
+            out.push(Diagnostic::new(
+                LintCode::ReflexiveNeq,
+                Span::Neq(i),
+                format!("`{n}` can never hold: the query is empty on every database"),
+            ));
+            flag(EmptyReason::ReflexiveNeq, &mut empty);
+        } else if n.left.as_const().is_some() && n.right.as_const().is_some() {
+            out.push(Diagnostic::new(
+                LintCode::TrivialNeq,
+                Span::Neq(i),
+                format!("`{n}` relates distinct constants: always true, dead weight"),
+            ));
+        }
+    }
+    if !q.comparisons.is_empty() {
+        let ca = pq_engine::comparisons::analyze(&q.comparisons);
+        if !ca.consistent {
+            out.push(Diagnostic::new(
+                LintCode::InconsistentComparisons,
+                Span::Query,
+                "the comparison system has a strict cycle: the query is empty \
+                 on every database (Klug's consistency criterion)",
+            ));
+            flag(EmptyReason::InconsistentComparisons, &mut empty);
+        } else {
+            for (a, b) in &ca.equalities {
+                out.push(Diagnostic::new(
+                    LintCode::ImpliedEquality,
+                    Span::Query,
+                    format!("the comparison system forces {a} = {b}"),
+                ));
+            }
+            let rep = |t: &pq_query::Term| {
+                ca.representative
+                    .get(t)
+                    .cloned()
+                    .unwrap_or_else(|| t.clone())
+            };
+            for (i, n) in q.neqs.iter().enumerate() {
+                if !n.is_reflexive() && rep(&n.left) == rep(&n.right) {
+                    out.push(Diagnostic::new(
+                        LintCode::NeqForcedEqual,
+                        Span::Neq(i),
+                        format!(
+                            "the comparison system forces {} = {}, contradicting `{n}`: \
+                             the query is empty on every database",
+                            n.left, n.right
+                        ),
+                    ));
+                    flag(EmptyReason::NeqForcedEqual, &mut empty);
+                }
+            }
+        }
+    }
+    empty
+}
+
+// ------------------------------------------------------------ pass 3 --
+
+fn minimize_pass(
+    q: &ConjunctiveQuery,
+    opts: &AnalyzeOptions,
+    had_errors: bool,
+    out: &mut Vec<Diagnostic>,
+) -> Option<ConjunctiveQuery> {
+    if !opts.minimize || q.atoms.len() < 2 || had_errors {
+        return None;
+    }
+    if !q.is_pure() {
+        out.push(Diagnostic::new(
+            LintCode::MinimizationSkipped,
+            Span::Query,
+            "core minimization skipped: the Chandra–Merlin core is defined \
+             for pure conjunctive queries (this query has ≠/comparison atoms)",
+        ));
+        return None;
+    }
+    if q.atoms.len() > opts.minimize_atom_limit {
+        out.push(Diagnostic::new(
+            LintCode::MinimizationSkipped,
+            Span::Query,
+            format!(
+                "core minimization skipped: {} atoms exceeds the limit of {} \
+                 (equivalence checks are CQ evaluations)",
+                q.atoms.len(),
+                opts.minimize_atom_limit
+            ),
+        ));
+        return None;
+    }
+    // Pure + validated, so the trace cannot fail; treat an error as "no
+    // rewrite" rather than poisoning the analysis.
+    let Ok((core, removed)) = containment::minimize_trace(q) else {
+        return None;
+    };
+    if removed.is_empty() {
+        return None;
+    }
+    for &i in &removed {
+        out.push(Diagnostic::new(
+            LintCode::RedundantAtom,
+            Span::Atom(i),
+            format!(
+                "`{}` is redundant: the query is equivalent without it \
+                 (Chandra–Merlin core)",
+                q.atoms[i]
+            ),
+        ));
+    }
+    Some(core)
+}
+
+// ------------------------------------------------------------ pass 4 --
+
+fn structure_pass(report: &StructureReport, minimized: bool, out: &mut Vec<Diagnostic>) {
+    let subject = if minimized {
+        "the minimized query"
+    } else {
+        "the query"
+    };
+    if let Some(witness) = &report.cycle_witness {
+        let list: Vec<String> = witness.iter().map(|i| format!("#{i}")).collect();
+        out.push(Diagnostic::new(
+            LintCode::CyclicQuery,
+            Span::Query,
+            format!(
+                "{subject} is cyclic: GYO leaves atoms {} irreducible \
+                 (no join tree exists; Theorem 1 applies)",
+                list.join(", ")
+            ),
+        ));
+    }
+    let k = match report.color_parameter {
+        Some(k) => format!(", k={k}"),
+        None => String::new(),
+    };
+    out.push(Diagnostic::new(
+        LintCode::ParameterReport,
+        Span::Query,
+        format!(
+            "q={}, v={}, max arity={}, ≠ atoms={}, comparisons={}{k}; \
+             Fig. 1 cell: {} — engine: {}",
+            report.q,
+            report.v,
+            report.max_arity,
+            report.neq_count,
+            report.cmp_count,
+            report.cell,
+            report.engine_hint
+        ),
+    ));
+}
+
+// ------------------------------------------------------------ driver --
+
+/// Run the full query-only analysis (passes 1–4). Deterministic: same
+/// query and options, same output.
+pub fn analyze(q: &ConjunctiveQuery, opts: &AnalyzeOptions) -> Analysis {
+    let mut diagnostics = Vec::new();
+    safety_pass(q, &mut diagnostics);
+    let empty = contradiction_pass(q, &mut diagnostics);
+    let had_errors = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    let rewritten = if empty.is_none() {
+        minimize_pass(q, opts, had_errors, &mut diagnostics)
+    } else {
+        None
+    };
+    let report = structure_of(rewritten.as_ref().unwrap_or(q));
+    structure_pass(&report, rewritten.is_some(), &mut diagnostics);
+    Analysis {
+        diagnostics,
+        rewritten,
+        empty,
+        report,
+    }
+}
+
+/// The schema pass: check `q`'s relational atoms against an actual
+/// database. Unknown relations and arity mismatches are **errors** (every
+/// engine fails on them) but deliberately do not set the provably-empty
+/// verdict — that verdict promises "naive evaluation returns zero tuples",
+/// and these queries do not evaluate at all.
+pub fn schema_diagnostics(q: &ConjunctiveQuery, db: &Database) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, a) in q.atoms.iter().enumerate() {
+        match db.relation(&a.relation) {
+            Err(_) => out.push(Diagnostic::new(
+                LintCode::UnknownRelation,
+                Span::Atom(i),
+                format!(
+                    "relation `{}` is not in the database (evaluation fails; \
+                     under a closed world the answer would be empty)",
+                    a.relation
+                ),
+            )),
+            Ok(rel) if rel.arity() != a.arity() => out.push(Diagnostic::new(
+                LintCode::ArityMismatch,
+                Span::Atom(i),
+                format!(
+                    "`{}` has arity {} but relation `{}` stores arity {}",
+                    a,
+                    a.arity(),
+                    a.relation,
+                    rel.arity()
+                ),
+            )),
+            Ok(_) => {}
+        }
+    }
+    out
+}
+
+/// [`analyze`] plus the schema pass against `db`, appended in atom order.
+pub fn analyze_with_db(q: &ConjunctiveQuery, db: &Database, opts: &AnalyzeOptions) -> Analysis {
+    let mut a = analyze(q, opts);
+    a.diagnostics.extend(schema_diagnostics(q, db));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::FigCell;
+    use pq_data::tuple;
+    use pq_query::{parse_cq, QueryMetrics};
+
+    fn codes(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn clean_query_reports_parameters_only() {
+        let q = parse_cq("G(x, z) :- R(x, y), S(y, z).").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert_eq!(codes(&a), vec!["PQA402"]);
+        assert!(!a.provably_empty());
+        assert!(a.rewritten.is_none());
+        assert_eq!(a.report.cell, FigCell::AcyclicPure);
+    }
+
+    #[test]
+    fn safety_pass_mirrors_validation() {
+        let q = parse_cq("G(z) :- R(x, y).").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert!(codes(&a).contains(&"PQA002"));
+        assert!(a.has_errors());
+
+        let q = parse_cq("G :- R(x, y), x != w.").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert!(codes(&a).contains(&"PQA003"));
+    }
+
+    #[test]
+    fn reflexive_neq_is_provably_empty() {
+        let q = parse_cq("G(x) :- R(x, y), x != x.").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert_eq!(a.empty, Some(EmptyReason::ReflexiveNeq));
+        assert!(codes(&a).contains(&"PQA101"));
+    }
+
+    #[test]
+    fn inconsistent_comparisons_are_provably_empty() {
+        let q = parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert_eq!(a.empty, Some(EmptyReason::InconsistentComparisons));
+        assert_eq!(a.report.cell, FigCell::InconsistentComparisons);
+    }
+
+    #[test]
+    fn comparisons_forcing_a_neq_equal_are_provably_empty() {
+        let q = parse_cq("G :- R(x, y), x != y, x <= y, y <= x.").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert_eq!(a.empty, Some(EmptyReason::NeqForcedEqual));
+        assert!(codes(&a).contains(&"PQA103"));
+        assert!(codes(&a).contains(&"PQA105"), "implied equality reported");
+    }
+
+    #[test]
+    fn minimization_drops_redundant_atoms_and_lowers_q() {
+        let q = parse_cq("G(x, y) :- E(x, y), E(x, z), E(x, w).").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        let core = a.rewritten.as_ref().expect("redundant atoms drop");
+        assert_eq!(core.atoms.len(), 1);
+        assert_eq!(
+            codes(&a).iter().filter(|c| **c == "PQA301").count(),
+            2,
+            "one diagnostic per removed atom"
+        );
+        assert!(a.report.q < q.size() && a.report.v < q.num_variables());
+        assert_eq!(a.effective(&q), core);
+    }
+
+    #[test]
+    fn minimization_respects_the_atom_limit() {
+        let q = parse_cq("G(x) :- E(x, a), E(x, b), E(x, c).").unwrap();
+        let opts = AnalyzeOptions {
+            minimize_atom_limit: 2,
+            ..Default::default()
+        };
+        let a = analyze(&q, &opts);
+        assert!(a.rewritten.is_none());
+        assert!(codes(&a).contains(&"PQA302"));
+    }
+
+    #[test]
+    fn impure_queries_skip_minimization_with_a_note() {
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert!(a.rewritten.is_none());
+        assert!(codes(&a).contains(&"PQA302"));
+        assert_eq!(a.report.cell, FigCell::AcyclicNeq);
+    }
+
+    #[test]
+    fn cyclic_queries_name_their_witness() {
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::CyclicQuery)
+            .expect("cyclic diagnostic");
+        assert!(
+            d.message.contains("#0") && d.message.contains("#2"),
+            "{}",
+            d.message
+        );
+        assert_eq!(a.report.cycle_witness, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn schema_pass_flags_unknown_relations_and_arity() {
+        let mut db = Database::new();
+        db.add_table("R", ["a", "b"], [tuple![1, 2]]).unwrap();
+        let q = parse_cq("G(x) :- R(x, y, z), S(x).").unwrap();
+        let ds = schema_diagnostics(&q, &db);
+        let codes: Vec<_> = ds.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![LintCode::ArityMismatch, LintCode::UnknownRelation]
+        );
+        // Schema problems never claim provable emptiness.
+        let a = analyze_with_db(&q, &db, &AnalyzeOptions::default());
+        assert!(!a.provably_empty());
+        assert!(a.has_errors());
+    }
+
+    #[test]
+    fn lines_are_deterministic_and_end_with_the_verdict() {
+        let q = parse_cq("G(x) :- R(x, y), x != x.").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        let lines = a.lines();
+        assert_eq!(lines, analyze(&q, &AnalyzeOptions::default()).lines());
+        assert_eq!(
+            lines.last().unwrap(),
+            "verdict: provably-empty (reflexive-neq)"
+        );
+    }
+}

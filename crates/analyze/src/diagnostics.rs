@@ -1,0 +1,252 @@
+//! The diagnostics model: stable lint codes, severities, and structural
+//! spans.
+//!
+//! The conjunctive-query AST carries no source offsets, so a span is a
+//! *structural* reference — "atom #2", "≠ #0" — which survives
+//! reformatting and is exactly what the rewrite passes need to name the
+//! term they acted on.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a structural fact worth surfacing (classification,
+    /// parameter report).
+    Info,
+    /// Suspicious but not wrong: the query works, just not the way it was
+    /// probably meant (redundant atoms, trivially true constraints).
+    Warn,
+    /// The query is rejected by validation or provably broken.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase stable name, used on the wire and in golden files.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The stable lint codes. Numbering is grouped by pass: `PQA0xx`
+/// safety/range-restriction, `PQA1xx` contradiction detection, `PQA2xx`
+/// schema checks, `PQA3xx` core minimization, `PQA4xx` structural
+/// classification. Codes are append-only: a released code never changes
+/// meaning (golden files and operator tooling depend on them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LintCode {
+    /// `PQA001` — the body has no relational atoms.
+    EmptyBody,
+    /// `PQA002` — a head variable is not bound by any relational atom.
+    UnsafeHeadVariable,
+    /// `PQA003` — a `≠`/comparison variable is not bound by any relational
+    /// atom.
+    UnsafeConstraintVariable,
+    /// `PQA004` — a constraint relates two constants (validation rejects
+    /// it as written; such atoms normally only arise from head binding).
+    ConstantConstraint,
+    /// `PQA101` — a `≠` atom relates a term to itself: provably empty.
+    ReflexiveNeq,
+    /// `PQA102` — the comparison system has a strict cycle (Klug's
+    /// criterion): provably empty.
+    InconsistentComparisons,
+    /// `PQA103` — the comparison system forces the two sides of a `≠`
+    /// atom equal: provably empty.
+    NeqForcedEqual,
+    /// `PQA104` — a `≠` atom relates two distinct constants: always true,
+    /// the atom is dead weight.
+    TrivialNeq,
+    /// `PQA105` — a weak comparison cycle forces two terms equal (the
+    /// collapse opportunity Theorem 3 preprocessing exploits).
+    ImpliedEquality,
+    /// `PQA201` — an atom names a relation absent from the database.
+    UnknownRelation,
+    /// `PQA202` — an atom's arity differs from the stored relation's.
+    ArityMismatch,
+    /// `PQA301` — core minimization removed this atom (Chandra–Merlin:
+    /// the query is equivalent without it).
+    RedundantAtom,
+    /// `PQA302` — core minimization was not attempted (impure query or
+    /// atom count above the configured limit).
+    MinimizationSkipped,
+    /// `PQA401` — the relational hypergraph is cyclic; the message names
+    /// the GYO-irreducible atoms (the concrete cycle witness).
+    CyclicQuery,
+    /// `PQA402` — the parameter report: `q`, `v`, arity, constraint
+    /// counts, and which Fig. 1 cell / engine applies.
+    ParameterReport,
+}
+
+impl LintCode {
+    /// The stable `PQAnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::EmptyBody => "PQA001",
+            LintCode::UnsafeHeadVariable => "PQA002",
+            LintCode::UnsafeConstraintVariable => "PQA003",
+            LintCode::ConstantConstraint => "PQA004",
+            LintCode::ReflexiveNeq => "PQA101",
+            LintCode::InconsistentComparisons => "PQA102",
+            LintCode::NeqForcedEqual => "PQA103",
+            LintCode::TrivialNeq => "PQA104",
+            LintCode::ImpliedEquality => "PQA105",
+            LintCode::UnknownRelation => "PQA201",
+            LintCode::ArityMismatch => "PQA202",
+            LintCode::RedundantAtom => "PQA301",
+            LintCode::MinimizationSkipped => "PQA302",
+            LintCode::CyclicQuery => "PQA401",
+            LintCode::ParameterReport => "PQA402",
+        }
+    }
+
+    /// The severity this code is always reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::EmptyBody
+            | LintCode::UnsafeHeadVariable
+            | LintCode::UnsafeConstraintVariable
+            | LintCode::ConstantConstraint
+            | LintCode::ReflexiveNeq
+            | LintCode::InconsistentComparisons
+            | LintCode::NeqForcedEqual
+            | LintCode::UnknownRelation
+            | LintCode::ArityMismatch => Severity::Error,
+            LintCode::TrivialNeq | LintCode::RedundantAtom => Severity::Warn,
+            LintCode::ImpliedEquality
+            | LintCode::MinimizationSkipped
+            | LintCode::CyclicQuery
+            | LintCode::ParameterReport => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A structural span: which piece of the query a diagnostic points at.
+/// Indices refer to the query the analyzer was handed (atom indices in
+/// minimization diagnostics are positions in the *original* atom list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Span {
+    /// The query as a whole.
+    Query,
+    /// The head atom.
+    Head,
+    /// Relational atom `i` (0-based).
+    Atom(usize),
+    /// `≠` atom `i` (0-based).
+    Neq(usize),
+    /// Comparison atom `i` (0-based).
+    Comparison(usize),
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Query => write!(f, "query"),
+            Span::Head => write!(f, "head"),
+            Span::Atom(i) => write!(f, "atom #{i}"),
+            Span::Neq(i) => write!(f, "neq #{i}"),
+            Span::Comparison(i) => write!(f, "cmp #{i}"),
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// Severity (always [`LintCode::severity`] of `code`).
+    pub severity: Severity,
+    /// What the finding points at.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic; severity comes from the code.
+    pub fn new(code: LintCode, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] at {}: {}",
+            self.code, self.severity, self.span, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            LintCode::EmptyBody,
+            LintCode::UnsafeHeadVariable,
+            LintCode::UnsafeConstraintVariable,
+            LintCode::ConstantConstraint,
+            LintCode::ReflexiveNeq,
+            LintCode::InconsistentComparisons,
+            LintCode::NeqForcedEqual,
+            LintCode::TrivialNeq,
+            LintCode::ImpliedEquality,
+            LintCode::UnknownRelation,
+            LintCode::ArityMismatch,
+            LintCode::RedundantAtom,
+            LintCode::MinimizationSkipped,
+            LintCode::CyclicQuery,
+            LintCode::ParameterReport,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "codes must be unique");
+        assert!(codes.iter().all(|c| c.starts_with("PQA")));
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let d = Diagnostic::new(
+            LintCode::RedundantAtom,
+            Span::Atom(2),
+            "E(x, z) is redundant",
+        );
+        assert_eq!(
+            d.to_string(),
+            "PQA301 [warn] at atom #2: E(x, z) is redundant"
+        );
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+}

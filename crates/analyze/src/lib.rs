@@ -1,0 +1,52 @@
+//! `pq-analyze` — static analysis for conjunctive queries.
+//!
+//! The paper's whole classification (Theorems 1–3, Fig. 1) is driven by
+//! *static* properties of a query: its size `q`, variable count `v`, and
+//! the hypergraph structure of its relational atoms. This crate makes
+//! those properties first-class. [`analyze`] runs a fixed pipeline of
+//! passes over a [`pq_query::ConjunctiveQuery`] and returns an
+//! [`Analysis`]: structured diagnostics with stable lint codes
+//! (`PQA001`…), an optional rewritten query (the Chandra–Merlin core),
+//! a provably-empty verdict that lets evaluation be skipped entirely,
+//! and a [`StructureReport`] naming the Fig. 1 cell the query occupies.
+//!
+//! The passes, in order:
+//!
+//! | pass | codes | what it finds |
+//! |------|-------|---------------|
+//! | safety / range-restriction | `PQA001`–`PQA004` | unbound head or constraint variables, empty bodies |
+//! | contradiction detection | `PQA101`–`PQA105` | `x ≠ x`, inconsistent comparison systems, `≠` atoms forced equal |
+//! | core minimization | `PQA301`–`PQA302` | redundant atoms (the query is equivalent without them) |
+//! | structural classification | `PQA401`–`PQA402` | cyclicity with a GYO witness, the `q`/`v`/arity parameter report |
+//!
+//! plus a schema pass ([`schema_diagnostics`], `PQA201`–`PQA202`) that is
+//! separate because it depends on a concrete database, not the query alone.
+//!
+//! The crate sits *below* `pq-core`: the planner consumes an [`Analysis`]
+//! to evaluate the minimized core and short-circuit provably-empty
+//! queries, and `pq-service` surfaces the diagnostics over the wire via
+//! its `ANALYZE` verb.
+//!
+//! ```
+//! use pq_analyze::{analyze, AnalyzeOptions, FigCell};
+//! use pq_query::parse_cq;
+//!
+//! let q = parse_cq("G(x, y) :- E(x, y), E(x, z), E(x, w).").unwrap();
+//! let a = analyze(&q, &AnalyzeOptions::default());
+//! // Two atoms fold into the first: the core is a single edge lookup.
+//! assert_eq!(a.rewritten.as_ref().unwrap().atoms.len(), 1);
+//! assert_eq!(a.report.cell, FigCell::AcyclicPure);
+//! assert!(!a.provably_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyzer;
+mod diagnostics;
+mod report;
+
+pub use analyzer::{
+    analyze, analyze_with_db, schema_diagnostics, Analysis, AnalyzeOptions, EmptyReason,
+};
+pub use diagnostics::{Diagnostic, LintCode, Severity, Span};
+pub use report::{structure_of, FigCell, StructureReport};

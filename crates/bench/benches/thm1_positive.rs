@@ -22,7 +22,7 @@ fn positive_query_evaluation(c: &mut Criterion) {
     for n in [4usize, 6, 8] {
         let phi = band_formula(n);
         for k in [2usize, 3] {
-            let inst = wformula_to_positive(&phi, n, k);
+            let inst = wformula_to_positive(&phi, n, k).expect("n covers φ");
             group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
                 b.iter(|| positive_eval::query_holds(&inst.query, &inst.database).unwrap())
             });
@@ -36,7 +36,7 @@ fn union_of_cqs_expansion(c: &mut Criterion) {
     group.sample_size(10);
     for n in [4usize, 6, 8] {
         let phi = band_formula(n);
-        let inst = wformula_to_positive(&phi, n, 2);
+        let inst = wformula_to_positive(&phi, n, 2).expect("n covers φ");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| inst.query.to_union_of_cqs().len())
         });

@@ -10,6 +10,7 @@
 //! repro datalog      Section 4: fixed-arity Datalog / bottom-up evaluation
 //! repro extensions   The closing remarks: formula-≠, AW[P], AW[SAT], Datalog/W[1]
 //! repro service      pq-service cache levels: cold vs plan-warm vs result-warm
+//! repro analyze      pq-analyze: core minimization on redundant-atom workloads
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -47,6 +48,7 @@ fn main() {
         "datalog" => datalog_exp(),
         "extensions" => extensions(),
         "service" => service_exp(),
+        "analyze" => analyze_exp(),
         "all" => {
             fig1();
             thm1();
@@ -56,6 +58,7 @@ fn main() {
             datalog_exp();
             extensions();
             service_exp();
+            analyze_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -195,7 +198,7 @@ fn thm1() {
         for k in 1..=2.min(n) {
             total += 1;
             let truth = weighted_formula_sat_n(&phi, n, k).is_some();
-            let inst = wformula_positive::wformula_to_positive(&phi, n, k);
+            let inst = wformula_positive::wformula_to_positive(&phi, n, k).expect("n covers φ");
             let via_query = positive_eval::query_holds(&inst.query, &inst.database).unwrap();
             if via_query == truth {
                 r5_ok += 1;
@@ -688,5 +691,68 @@ fn service_exp() {
     println!(
         "  result-warm speedup over cold: {speedup:.0}x  (acceptance bar: >= 10x: {})",
         if speedup >= 10.0 { "PASS" } else { "FAIL" }
+    );
+}
+
+// --------------------------------------------------------------- analyze --
+
+fn analyze_exp() {
+    use pq_core::analyze::AnalyzeOptions;
+    use pq_core::{plan, PlannerOptions};
+    use pq_query::parse_cq;
+
+    header("pq-analyze — core minimization on redundant-atom workloads (E11)");
+
+    // A 4-atom chain with one redundant copy of every chain atom: each
+    // R_i(x_i, w_i) folds into R_i(x_i, x_{i+1}) (map w_i ↦ x_{i+1}), so
+    // the Chandra–Merlin core is exactly the chain.
+    let len = 4;
+    let db = workloads::chain_database(len, 1200, 50, 11);
+    let chain: Vec<String> = (0..len)
+        .map(|i| format!("R{i}(x{i}, x{})", i + 1))
+        .collect();
+    let redundant: Vec<String> = (0..len).map(|i| format!("R{i}(x{i}, w{i})")).collect();
+    let src = format!(
+        "G(x0, x{len}) :- {}, {}.",
+        chain.join(", "),
+        redundant.join(", ")
+    );
+    let q = parse_cq(&src).unwrap();
+
+    let keep = PlannerOptions {
+        analysis: AnalyzeOptions {
+            minimize: false,
+            ..AnalyzeOptions::default()
+        },
+        ..PlannerOptions::default()
+    };
+    let as_written = plan(&q, &keep);
+    let minimized = plan(&q, &PlannerOptions::default());
+    let core_atoms = minimized.analysis.effective(&q).atoms.len();
+    println!(
+        "\n  query as written: {} atoms; Chandra–Merlin core: {core_atoms} atoms (engine: {})",
+        q.atoms.len(),
+        minimized.engine
+    );
+
+    let ans_full = std::cell::RefCell::new(None);
+    let ans_core = std::cell::RefCell::new(None);
+    let full = time_min(2, || {
+        *ans_full.borrow_mut() = Some(as_written.execute(&q, &db).unwrap());
+    });
+    let core = time_min(2, || {
+        *ans_core.borrow_mut() = Some(minimized.execute(&q, &db).unwrap());
+    });
+    assert_eq!(
+        ans_full.into_inner(),
+        ans_core.into_inner(),
+        "minimization must not change the answer"
+    );
+    println!("  evaluate as written      {}", fmt_duration(full));
+    println!("  evaluate minimized core  {}", fmt_duration(core));
+    let speedup = full.as_secs_f64() / core.as_secs_f64().max(1e-9);
+    println!(
+        "  core-minimization speedup: {speedup:.2}x  (answers identical: PASS; bar >= 1.2x: {})",
+        if speedup >= 1.2 { "PASS" } else { "FAIL" }
     );
 }

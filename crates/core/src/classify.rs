@@ -9,9 +9,14 @@
 //! | acyclic + `≠` | **f.p. tractable** (Theorem 2) | color coding |
 //! | acyclic + `<`/`≤` | W\[1\]-complete (Theorem 3) | naive (`n^q`) |
 //! | cyclic | W\[1\]-complete already for pure CQs (Theorem 1) | naive (`n^q`) |
+//!
+//! The decision procedure itself lives in `pq-analyze`
+//! ([`pq_analyze::structure_of`]) so the static analyzer, the planner, and
+//! the service all agree on one answer; this module is the planner-facing
+//! adapter that adds the W-hierarchy hardness bound from `pq-wtheory`.
 
-use pq_engine::comparisons;
-use pq_query::{ConjunctiveQuery, QueryMetrics};
+use pq_analyze::{structure_of, FigCell, StructureReport};
+use pq_query::ConjunctiveQuery;
 use pq_wtheory::WClass;
 
 /// The complexity class a conjunctive query falls into.
@@ -51,75 +56,38 @@ pub struct Classification {
     pub summary: &'static str,
 }
 
-/// Classify a conjunctive query per Theorems 1–3.
-pub fn classify(q: &ConjunctiveQuery) -> Classification {
-    let (class, hardness, summary) = decide_class(q);
-    let color_parameter = if q.neqs.is_empty() {
-        None
-    } else {
-        let hg = q.hypergraph();
-        Some(pq_engine::colorcoding::NeqPartition::build(q, &hg).k())
-    };
-    Classification {
-        class,
-        q: q.size(),
-        v: q.num_variables(),
-        color_parameter,
-        hardness,
-        summary,
+fn class_of_cell(cell: FigCell) -> CqClass {
+    match cell {
+        FigCell::AcyclicPure => CqClass::AcyclicPure,
+        FigCell::AcyclicNeq => CqClass::AcyclicNeq,
+        FigCell::AcyclicComparisons => CqClass::AcyclicComparisons,
+        FigCell::InconsistentComparisons => CqClass::InconsistentComparisons,
+        FigCell::Cyclic => CqClass::Cyclic,
     }
 }
 
-fn decide_class(q: &ConjunctiveQuery) -> (CqClass, Option<WClass>, &'static str) {
-    let has_neq = !q.neqs.is_empty();
-    let has_cmp = !q.comparisons.is_empty();
-    if has_cmp && !has_neq {
-        return match comparisons::collapse_query(q) {
-            Ok(None) => (
-                CqClass::InconsistentComparisons,
-                None,
-                "comparison system inconsistent: Q(d) = ∅ for every d",
-            ),
-            Ok(Some(collapsed)) if collapsed.is_acyclic() => (
-                CqClass::AcyclicComparisons,
-                Some(WClass::W(1)),
-                "acyclic with comparisons: W[1]-complete (Theorem 3); expect q in the exponent",
-            ),
-            _ => (
-                CqClass::Cyclic,
-                Some(WClass::W(1)),
-                "cyclic conjunctive query: W[1]-complete (Theorem 1)",
-            ),
-        };
+/// Adapt an analyzer [`StructureReport`] into a [`Classification`]. The
+/// planner uses this to avoid classifying twice when it already ran the
+/// full analysis.
+pub fn classification_of(report: &StructureReport) -> Classification {
+    let class = class_of_cell(report.cell);
+    let hardness = match class {
+        CqClass::AcyclicComparisons | CqClass::Cyclic => Some(WClass::W(1)),
+        _ => None,
+    };
+    Classification {
+        class,
+        q: report.q,
+        v: report.v,
+        color_parameter: report.color_parameter,
+        hardness,
+        summary: report.summary,
     }
-    if has_cmp && has_neq {
-        // Mixed constraints: at least as hard as Theorem 3.
-        return (
-            CqClass::AcyclicComparisons,
-            Some(WClass::W(1)),
-            "≠ and < mixed: at least W[1]-hard (Theorem 3 applies to the < part)",
-        );
-    }
-    if !q.is_acyclic() {
-        return (
-            CqClass::Cyclic,
-            Some(WClass::W(1)),
-            "cyclic conjunctive query: W[1]-complete (Theorem 1)",
-        );
-    }
-    if has_neq {
-        (
-            CqClass::AcyclicNeq,
-            None,
-            "acyclic with ≠: fixed-parameter tractable by color coding (Theorem 2)",
-        )
-    } else {
-        (
-            CqClass::AcyclicPure,
-            None,
-            "acyclic conjunctive query: polynomial combined complexity (Yannakakis [18])",
-        )
-    }
+}
+
+/// Classify a conjunctive query per Theorems 1–3.
+pub fn classify(q: &ConjunctiveQuery) -> Classification {
+    classification_of(&structure_of(q))
 }
 
 #[cfg(test)]
@@ -165,5 +133,15 @@ mod tests {
         let q = parse_cq("G :- R(s, t), S(t, s), s <= t, t <= s.").unwrap();
         let c = classify(&q);
         assert_eq!(c.class, CqClass::AcyclicComparisons);
+    }
+
+    #[test]
+    fn adapter_agrees_with_the_analyzer() {
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let report = structure_of(&q);
+        let c = classification_of(&report);
+        assert_eq!(c.class, CqClass::Cyclic);
+        assert_eq!(c.hardness, Some(WClass::W(1)));
+        assert_eq!(c.summary, report.summary);
     }
 }

@@ -14,7 +14,8 @@
 //!
 //! The substrate crates are re-exported: [`data`] (relations and algebra),
 //! [`hypergraph`] (GYO, join trees), [`query`] (ASTs and parser),
-//! [`engine`] (all evaluators), [`wtheory`] (W hierarchy, reductions).
+//! [`engine`] (all evaluators), [`analyze`] (the static analyzer the
+//! planner consumes), [`wtheory`] (W hierarchy, reductions).
 //!
 //! ```
 //! use pq_core::{classify, evaluate, PlannerOptions};
@@ -37,12 +38,13 @@
 pub mod classify;
 pub mod planner;
 
-pub use classify::{classify, Classification, CqClass};
+pub use classify::{classification_of, classify, Classification, CqClass};
 pub use planner::{
     decide, evaluate, evaluate_with_fallback, is_nonempty, plan, EngineChoice, FallbackAttempt,
     FallbackOutcome, Plan, PlannerOptions,
 };
 
+pub use pq_analyze as analyze;
 pub use pq_data as data;
 pub use pq_engine as engine;
 pub use pq_hypergraph as hypergraph;

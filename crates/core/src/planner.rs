@@ -1,13 +1,14 @@
 //! The planner: dispatch a conjunctive query to the engine the paper's
 //! classification recommends.
 
+use pq_analyze::{analyze, Analysis, AnalyzeOptions};
 use pq_data::{Database, Relation, Tuple};
 use pq_engine::colorcoding::{ColorCodingOptions, HashFamily};
 use pq_engine::governor::{ExecutionContext, ResourceKind};
 use pq_engine::{colorcoding, naive, naive_indexed, yannakakis, EngineError, Result};
 use pq_query::ConjunctiveQuery;
 
-use crate::classify::{classify, Classification, CqClass};
+use crate::classify::{classification_of, Classification, CqClass};
 
 /// Planner configuration.
 #[derive(Debug, Clone)]
@@ -21,6 +22,9 @@ pub struct PlannerOptions {
     pub randomized_confidence: f64,
     /// Seed for randomized trials.
     pub seed: u64,
+    /// Static-analysis options: whether (and up to what size) the planner
+    /// core-minimizes the query before choosing an engine.
+    pub analysis: AnalyzeOptions,
 }
 
 impl Default for PlannerOptions {
@@ -29,6 +33,7 @@ impl Default for PlannerOptions {
             deterministic_k_limit: 4,
             randomized_confidence: 5.0,
             seed: 0x9e3779b9,
+            analysis: AnalyzeOptions::default(),
         }
     }
 }
@@ -66,34 +71,55 @@ pub struct Plan {
     pub engine: &'static str,
     /// The committed engine plus its plan-time options.
     pub choice: EngineChoice,
+    /// The full static analysis: diagnostics, the minimized core (when one
+    /// exists — execution runs it instead of the original), and the
+    /// provably-empty verdict that short-circuits to [`EngineChoice::ConstantEmpty`].
+    pub analysis: Analysis,
 }
 
 /// Choose an engine for the query.
+///
+/// The planner runs the static analyzer first: a provably-empty query
+/// (reflexive `≠`, inconsistent comparisons, a `≠` forced equal) compiles
+/// to a constant plan that never touches the database, and when core
+/// minimization shrinks the query, classification and execution both use
+/// the minimized core — `q` and `v` drop before any engine sees them.
 pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
-    let classification = classify(q);
-    let (engine, choice) = match classification.class {
-        CqClass::AcyclicPure => ("yannakakis", EngineChoice::Yannakakis),
-        CqClass::AcyclicNeq => {
-            let k = classification.color_parameter.unwrap_or(0);
-            let cc = cc_options(k, opts);
-            let name = if k <= opts.deterministic_k_limit {
-                "colorcoding (deterministic k-perfect family)"
-            } else {
-                "colorcoding (randomized)"
-            };
-            (name, EngineChoice::ColorCoding(cc))
-        }
-        CqClass::InconsistentComparisons => {
-            ("constant (empty answer)", EngineChoice::ConstantEmpty)
-        }
-        CqClass::AcyclicComparisons | CqClass::Cyclic => {
-            ("naive backtracking", EngineChoice::Naive)
+    let analysis = analyze(q, &opts.analysis);
+    let classification = classification_of(&analysis.report);
+    let (engine, choice) = if analysis.provably_empty() {
+        let label = if classification.class == CqClass::InconsistentComparisons {
+            "constant (empty answer)"
+        } else {
+            "constant (provably empty)"
+        };
+        (label, EngineChoice::ConstantEmpty)
+    } else {
+        match classification.class {
+            CqClass::AcyclicPure => ("yannakakis", EngineChoice::Yannakakis),
+            CqClass::AcyclicNeq => {
+                let k = classification.color_parameter.unwrap_or(0);
+                let cc = cc_options(k, opts);
+                let name = if k <= opts.deterministic_k_limit {
+                    "colorcoding (deterministic k-perfect family)"
+                } else {
+                    "colorcoding (randomized)"
+                };
+                (name, EngineChoice::ColorCoding(cc))
+            }
+            CqClass::InconsistentComparisons => {
+                ("constant (empty answer)", EngineChoice::ConstantEmpty)
+            }
+            CqClass::AcyclicComparisons | CqClass::Cyclic => {
+                ("naive backtracking", EngineChoice::Naive)
+            }
         }
     };
     Plan {
         classification,
         engine,
         choice,
+        analysis,
     }
 }
 
@@ -119,6 +145,7 @@ impl Plan {
     /// the choice, so handing it a structurally different query runs the
     /// wrong engine, not a wrong answer).
     pub fn execute(&self, q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
+        let q = self.analysis.effective(q);
         match &self.choice {
             EngineChoice::Yannakakis => yannakakis::evaluate(q, db),
             EngineChoice::ColorCoding(cc) => colorcoding::evaluate(q, db, cc),
@@ -135,6 +162,7 @@ impl Plan {
         db: &Database,
         ctx: &ExecutionContext,
     ) -> Result<Relation> {
+        let q = self.analysis.effective(q);
         match &self.choice {
             EngineChoice::Yannakakis => yannakakis::evaluate_governed(q, db, ctx),
             EngineChoice::ColorCoding(cc) => colorcoding::evaluate_governed(q, db, cc, ctx),
@@ -145,6 +173,7 @@ impl Plan {
 
     /// Emptiness of `Q(d)` with the committed engine, without reclassifying.
     pub fn is_nonempty(&self, q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+        let q = self.analysis.effective(q);
         match &self.choice {
             EngineChoice::Yannakakis => yannakakis::is_nonempty(q, db),
             EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty(q, db, cc),
@@ -221,8 +250,18 @@ pub fn evaluate_with_fallback(
     db: &Database,
     ctx: &ExecutionContext,
 ) -> Result<FallbackOutcome> {
-    let classification = classify(q);
-    if classification.class == CqClass::InconsistentComparisons {
+    // A minimization-free analysis: cheap (no containment checks), and
+    // enough to short-circuit every provably-empty query — not just the
+    // inconsistent-comparison case the classification names.
+    let analysis = analyze(
+        q,
+        &AnalyzeOptions {
+            minimize: false,
+            ..Default::default()
+        },
+    );
+    let classification = classification_of(&analysis.report);
+    if analysis.provably_empty() || classification.class == CqClass::InconsistentComparisons {
         let result = Relation::new(pq_engine::binding::head_attrs(&q.head_terms))
             .map_err(EngineError::Data)?;
         return Ok(FallbackOutcome {
@@ -479,6 +518,42 @@ mod tests {
     #[test]
     fn fallback_inconsistent_comparisons_short_circuit() {
         let q = parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap();
+        let out = evaluate_with_fallback(&q, &db(), &ExecutionContext::unlimited()).unwrap();
+        assert!(out.result.is_empty());
+        assert_eq!(out.attempts.len(), 1);
+        assert_eq!(out.attempts[0].engine, "constant (empty answer)");
+    }
+
+    #[test]
+    fn provably_empty_queries_compile_to_constant_plans() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        let q = parse_cq("G(x) :- R(x, y), x != x.").unwrap();
+        let p = plan(&q, &opts);
+        assert_eq!(p.choice, EngineChoice::ConstantEmpty);
+        assert_eq!(p.engine, "constant (provably empty)");
+        let out = p.execute(&q, &d).unwrap();
+        assert!(out.is_empty());
+        // The verdict is sound: naive evaluation agrees.
+        assert_eq!(out, naive::evaluate(&q, &d).unwrap());
+        assert!(!p.is_nonempty(&q, &d).unwrap());
+    }
+
+    #[test]
+    fn plans_execute_the_minimized_core() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        let q = parse_cq("G(x, c) :- R(x, y), S(y, c), R(x, y2).").unwrap();
+        let p = plan(&q, &opts);
+        let core = p.analysis.rewritten.as_ref().expect("redundant atom drops");
+        assert_eq!(core.atoms.len(), 2);
+        // The core's execution is indistinguishable from the original's.
+        assert_eq!(p.execute(&q, &d).unwrap(), naive::evaluate(&q, &d).unwrap());
+    }
+
+    #[test]
+    fn fallback_short_circuits_all_provably_empty_queries() {
+        let q = parse_cq("G :- R(x, y), x != y, x <= y, y <= x.").unwrap();
         let out = evaluate_with_fallback(&q, &db(), &ExecutionContext::unlimited()).unwrap();
         assert!(out.result.is_empty());
         assert_eq!(out.attempts.len(), 1);

@@ -70,6 +70,11 @@ pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool
         ));
     }
     let (db, head) = canonical_database(q1)?;
+    // A relation mentioned by q2 but absent from q1's body is empty in the
+    // canonical database, so no homomorphism q2 → q1 can exist.
+    if q2.atoms.iter().any(|a| !db.has_relation(&a.relation)) {
+        return Ok(false);
+    }
     naive::decide(q2, &db, &head)
 }
 
@@ -82,12 +87,22 @@ pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool> 
 /// equivalent. The result is a *core* — Chandra–Merlin guarantees it is
 /// unique up to renaming.
 pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery> {
+    minimize_trace(q).map(|(core, _)| core)
+}
+
+/// [`minimize`], additionally reporting *which* atoms were dropped, as
+/// sorted indices into `q.atoms` — what a diagnostic needs to point at the
+/// redundant atoms of the original query.
+pub fn minimize_trace(q: &ConjunctiveQuery) -> Result<(ConjunctiveQuery, Vec<usize>)> {
     if !q.is_pure() {
         return Err(EngineError::Unsupported(
             "minimization handles pure CQs".into(),
         ));
     }
     let mut current = q.clone();
+    // index_of[i] = position of current.atoms[i] in the original atom list.
+    let mut index_of: Vec<usize> = (0..q.atoms.len()).collect();
+    let mut removed = Vec::new();
     loop {
         let mut shrunk = false;
         for i in 0..current.atoms.len() {
@@ -104,12 +119,14 @@ pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery> {
             }
             if equivalent(&current, &candidate)? {
                 current = candidate;
+                removed.push(index_of.remove(i));
                 shrunk = true;
                 break;
             }
         }
         if !shrunk {
-            return Ok(current);
+            removed.sort_unstable();
+            return Ok((current, removed));
         }
     }
 }
@@ -196,6 +213,36 @@ mod tests {
         let m = minimize(&q).unwrap();
         assert_eq!(m.atoms.len(), 1);
         assert!(equivalent(&q, &m).unwrap());
+    }
+
+    #[test]
+    fn minimize_trace_names_the_dropped_atoms() {
+        let q = parse_cq("G(x, y) :- E(x, y), E(x, z), E(x, w).").unwrap();
+        let (core, removed) = minimize_trace(&q).unwrap();
+        assert_eq!(core.atoms.len(), 1);
+        assert_eq!(removed, vec![1, 2]);
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let (_, removed) = minimize_trace(&q).unwrap();
+        assert!(removed.is_empty());
+    }
+
+    #[test]
+    fn minimization_handles_relations_with_a_single_atom() {
+        // Probing the removal of `S(y, z)` builds a canonical database with
+        // no S relation at all; that must read as "not contained", not as an
+        // evaluation error that aborts minimization.
+        let q = parse_cq("G(x0, x2) :- R(x0, x1), S(x1, x2), R(x0, w0), S(x1, w1).").unwrap();
+        let (core, removed) = minimize_trace(&q).unwrap();
+        assert_eq!(core.atoms.len(), 2);
+        assert_eq!(removed, vec![2, 3]);
+    }
+
+    #[test]
+    fn containment_is_false_across_disjoint_relations() {
+        let a = parse_cq("G(x) :- E(x, y).").unwrap();
+        let b = parse_cq("G(x) :- F(x, y).").unwrap();
+        assert!(!contained_in(&a, &b).unwrap());
+        assert!(!contained_in(&b, &a).unwrap());
     }
 
     #[test]

@@ -112,6 +112,17 @@ pub fn join_tree(hg: &Hypergraph) -> Option<JoinTree> {
     }
 }
 
+/// The GYO-irreducible core of `hg`: `None` when acyclic, otherwise the
+/// indices of the edges the reduction could not eliminate — a concrete
+/// witness that no join tree exists (for a query hypergraph these are atom
+/// indices, which is what diagnostics want to name).
+pub fn cyclic_core(hg: &Hypergraph) -> Option<Vec<usize>> {
+    match gyo(hg) {
+        GyoOutcome::Acyclic(_) => None,
+        GyoOutcome::Cyclic(core) => Some(core),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

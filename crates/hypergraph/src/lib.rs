@@ -13,6 +13,6 @@ pub mod gyo;
 pub mod hypergraph;
 pub mod jointree;
 
-pub use gyo::{gyo, is_acyclic, join_tree, GyoOutcome};
+pub use gyo::{cyclic_core, gyo, is_acyclic, join_tree, GyoOutcome};
 pub use hypergraph::Hypergraph;
 pub use jointree::JoinTree;

@@ -46,6 +46,12 @@ impl Neq {
         self.left.is_var() && self.right.is_var()
     }
 
+    /// Does the atom relate a term to itself (`x ≠ x` or `c ≠ c`)? Such an
+    /// atom can never hold, so the whole query is empty on every database.
+    pub fn is_reflexive(&self) -> bool {
+        self.left == self.right
+    }
+
     /// Substitute a constant for a variable on both sides.
     pub fn substitute(&self, name: &str, value: &Value) -> Neq {
         Neq {
@@ -242,6 +248,11 @@ impl ConjunctiveQuery {
     /// Is this a *pure* conjunctive query (no `≠`, no comparisons)?
     pub fn is_pure(&self) -> bool {
         self.neqs.is_empty() && self.comparisons.is_empty()
+    }
+
+    /// Largest arity among the relational atoms (0 for an empty body).
+    pub fn max_arity(&self) -> usize {
+        self.atoms.iter().map(Atom::arity).max().unwrap_or(0)
     }
 
     /// Validate safety: every head variable and every constraint variable

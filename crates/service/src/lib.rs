@@ -22,8 +22,8 @@
 //!   rejections, resource-exhausted counts, and a latency histogram —
 //!   snapshotable as a plain [`MetricsSnapshot`] and dumpable over the
 //!   wire;
-//! * a tiny [`protocol`] (`LOAD` / `QUERY` / `EXPLAIN` / `STATS` /
-//!   `SHUTDOWN`, newline-framed, `.`-terminated responses) and a
+//! * a tiny [`protocol`] (`LOAD` / `QUERY` / `EXPLAIN` / `ANALYZE` /
+//!   `STATS` / `SHUTDOWN`, newline-framed, `.`-terminated responses) and a
 //!   [`server`] built on `std::net` + `std::thread` only. The wire `LOAD`
 //!   verb only works on a server started with
 //!   [`server::serve_with_data_dir`], and only for relative paths confined
@@ -67,6 +67,6 @@ pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{parse_request, Request, END};
 pub use server::{read_response, roundtrip, serve, serve_with_data_dir, ServerHandle};
 pub use service::{
-    CacheOutcome, Explanation, LoadSummary, QueryResponse, QueryService, RequestLimits,
-    ServiceConfig,
+    AnalysisReport, CacheOutcome, Explanation, LoadSummary, QueryResponse, QueryService,
+    RequestLimits, ServiceConfig,
 };

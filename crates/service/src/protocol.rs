@@ -8,6 +8,8 @@
 //!                                         data dir, see `serve_with_data_dir`)
 //! QUERY [@flags] <name> <cq text>         evaluate a conjunctive query
 //! EXPLAIN <name> <cq text>                classify + plan without evaluating
+//! ANALYZE <name> <cq text>                full static analysis (lints, core
+//!                                         minimization, Fig. 1 parameters)
 //! STATS                                   dump service metrics
 //! SHUTDOWN                                stop the service and the server
 //! ```
@@ -28,7 +30,9 @@ use pq_data::{Relation, Value};
 
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
-use crate::service::{CacheOutcome, Explanation, LoadSummary, QueryResponse, RequestLimits};
+use crate::service::{
+    AnalysisReport, CacheOutcome, Explanation, LoadSummary, QueryResponse, RequestLimits,
+};
 
 /// The response terminator line.
 pub const END: &str = ".";
@@ -60,6 +64,13 @@ pub enum Request {
     /// `EXPLAIN <name> <cq text>`.
     Explain {
         /// Database name.
+        name: String,
+        /// The conjunctive-query source text.
+        src: String,
+    },
+    /// `ANALYZE <name> <cq text>`.
+    Analyze {
+        /// Database name (the schema pass checks against it).
         name: String,
         /// The conjunctive-query source text.
         src: String,
@@ -143,6 +154,13 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
                 return Err(proto_err("EXPLAIN takes no @ flags"));
             }
             Ok(Request::Explain { name, src })
+        }
+        "ANALYZE" => {
+            let (name, src, limits) = parse_query_parts(rest)?;
+            if limits != RequestLimits::default() {
+                return Err(proto_err("ANALYZE takes no @ flags"));
+            }
+            Ok(Request::Analyze { name, src })
         }
         "STATS" => {
             if !rest.trim().is_empty() {
@@ -237,8 +255,49 @@ pub fn render_explain_response(e: &Explanation) -> Vec<String> {
     }
     lines.push(format!("plan_cached {}", e.plan_was_cached));
     lines.push(format!("result_cached {}", e.result_is_cached));
+    lines.push(format!("answer_source {}", e.answer_source));
+    if e.provably_empty {
+        lines.push("provably_empty true".to_string());
+    }
+    if let Some(m) = &e.minimized {
+        lines.push(format!("minimized {m}"));
+    }
+    for d in &e.diagnostics {
+        lines.push(format!("diag {d}"));
+    }
     lines.push(format!("gen {}", e.generation));
     lines.push(format!("epoch {}", e.epoch));
+    lines
+}
+
+/// Render the response lines for `ANALYZE`.
+pub fn render_analyze_response(a: &AnalysisReport) -> Vec<String> {
+    let mut lines = vec!["OK analyze".to_string()];
+    lines.push(format!("fingerprint {:016x}", a.fingerprint));
+    lines.push(format!("cell {}", a.cell));
+    lines.push(format!("engine {}", a.engine));
+    lines.push(format!("summary {}", a.summary));
+    lines.push(format!(
+        "params q={} v={} max_arity={} neqs={} cmps={}",
+        a.q, a.v, a.max_arity, a.neq_count, a.cmp_count
+    ));
+    if let Some(k) = a.color_parameter {
+        lines.push(format!("k {k}"));
+    }
+    if let Some(w) = &a.cycle_witness {
+        let atoms: Vec<String> = w.iter().map(ToString::to_string).collect();
+        lines.push(format!("cycle_witness {}", atoms.join(",")));
+    }
+    lines.push(format!("provably_empty {}", a.provably_empty));
+    if let Some(m) = &a.minimized {
+        lines.push(format!("minimized {m}"));
+    }
+    for d in &a.diagnostics {
+        lines.push(format!("diag {d}"));
+    }
+    lines.push(format!("plan_cached {}", a.plan_was_cached));
+    lines.push(format!("gen {}", a.generation));
+    lines.push(format!("epoch {}", a.epoch));
     lines
 }
 

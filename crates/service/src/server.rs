@@ -23,8 +23,8 @@ use std::thread::JoinHandle;
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    parse_request, render_error, render_explain_response, render_load_response,
-    render_query_response, render_stats_response, Request, END,
+    parse_request, render_analyze_response, render_error, render_explain_response,
+    render_load_response, render_query_response, render_stats_response, Request, END,
 };
 use crate::service::QueryService;
 
@@ -203,6 +203,10 @@ fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
         },
         Request::Explain { name, src } => match service.explain(&name, &src) {
             Ok(e) => (render_explain_response(&e), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        Request::Analyze { name, src } => match service.analyze(&name, &src) {
+            Ok(a) => (render_analyze_response(&a), false),
             Err(e) => (vec![render_error(&e)], false),
         },
         Request::Stats => (render_stats_response(&service.stats()), false),

@@ -164,6 +164,64 @@ pub struct Explanation {
     pub plan_was_cached: bool,
     /// Is the answer against the named database currently cached?
     pub result_is_cached: bool,
+    /// Where an execution right now would get its answer from:
+    /// `"result-cache"` (nothing runs), `"plan-cache"` (evaluation runs on
+    /// the cached plan), or `"cold"` (full parse + analyze + plan +
+    /// evaluate). This is what tells an operator *why* a query was fast.
+    pub answer_source: &'static str,
+    /// Is the query provably empty on every database (evaluation skipped)?
+    pub provably_empty: bool,
+    /// Display form of the minimized core when minimization shrank the
+    /// query (execution runs this query, not the submitted one).
+    pub minimized: Option<String>,
+    /// Analyzer diagnostics, rendered (`PQAnnn [sev] at span: message`) —
+    /// the query-only passes plus the schema pass against the named
+    /// database.
+    pub diagnostics: Vec<String>,
+    /// Current catalog generation of the database.
+    pub generation: u64,
+    /// Current epoch of the database.
+    pub epoch: u64,
+}
+
+/// What [`QueryService::analyze`] reports (the wire `ANALYZE` body): the
+/// full static analysis of a query, including the Fig. 1 parameter report
+/// and the schema pass against the named database. Computed once at
+/// plan-cache-fill time for valid queries — a warm `ANALYZE` only pays for
+/// the schema pass.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Structural fingerprint of the query.
+    pub fingerprint: u64,
+    /// Engine the plan commits to (for unplannable queries, the analyzer's
+    /// engine hint).
+    pub engine: &'static str,
+    /// Classification one-liner.
+    pub summary: &'static str,
+    /// Fig. 1 cell name (`acyclic-pure`, `acyclic-neq`, …).
+    pub cell: &'static str,
+    /// Query-size parameter `q` (of the minimized core when one exists).
+    pub q: usize,
+    /// Variable-count parameter `v`.
+    pub v: usize,
+    /// Largest relational-atom arity.
+    pub max_arity: usize,
+    /// Number of `≠` atoms.
+    pub neq_count: usize,
+    /// Number of comparison atoms.
+    pub cmp_count: usize,
+    /// Color parameter `k` when `≠` atoms exist.
+    pub color_parameter: Option<usize>,
+    /// When cyclic: the GYO-irreducible atom indices (the cycle witness).
+    pub cycle_witness: Option<Vec<usize>>,
+    /// Is the query provably empty on every database?
+    pub provably_empty: bool,
+    /// Display form of the minimized core, when minimization helped.
+    pub minimized: Option<String>,
+    /// All diagnostics, rendered, in pass order (schema pass last).
+    pub diagnostics: Vec<String>,
+    /// Did the analysis come from the plan cache (vs. running now)?
+    pub plan_was_cached: bool,
     /// Current catalog generation of the database.
     pub generation: u64,
     /// Current epoch of the database.
@@ -385,6 +443,13 @@ impl QueryService {
         // probe; EXPLAIN is rare enough that honesty is fine.
         let result_is_cached = self.inner.result_cache.get(&key).is_some();
         let c = &planned.plan.classification;
+        let a = &planned.plan.analysis;
+        let mut diagnostics: Vec<String> = a.diagnostics.iter().map(ToString::to_string).collect();
+        diagnostics.extend(
+            pq_analyze::schema_diagnostics(&planned.query, &snap.db)
+                .iter()
+                .map(ToString::to_string),
+        );
         Ok(Explanation {
             fingerprint: planned.fingerprint,
             engine: planned.plan.engine,
@@ -394,6 +459,85 @@ impl QueryService {
             color_parameter: c.color_parameter,
             plan_was_cached,
             result_is_cached,
+            answer_source: if result_is_cached {
+                "result-cache"
+            } else if plan_was_cached {
+                "plan-cache"
+            } else {
+                "cold"
+            },
+            provably_empty: a.provably_empty(),
+            minimized: a.rewritten.as_ref().map(ToString::to_string),
+            diagnostics,
+            generation: snap.generation,
+            epoch: snap.epoch,
+        })
+    }
+
+    /// Run the full static analysis of `src` against the named database:
+    /// lints, contradiction detection, core minimization, structural
+    /// classification, and the schema pass. For valid queries the
+    /// query-only analysis comes from the plan cache (it ran at
+    /// plan-cache-fill time); queries that fail validation are analyzed
+    /// directly so the diagnostics explaining the rejection still surface.
+    ///
+    /// # Errors
+    /// [`ServiceError::Parse`] if `src` does not parse at all;
+    /// [`ServiceError::UnknownDatabase`] if `db_name` is not in the catalog;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn analyze(&self, db_name: &str, src: &str) -> Result<AnalysisReport> {
+        self.check_admitting()?;
+        let snap = self.inner.catalog.snapshot(db_name)?;
+        let query = parse_cq(src)?;
+        let (fingerprint, engine, analysis, diagnostics, plan_was_cached) = if query
+            .validate()
+            .is_ok()
+        {
+            let (planned, cached) = self.planned(src)?;
+            let a = &planned.plan.analysis;
+            let mut lines: Vec<String> = a.diagnostics.iter().map(ToString::to_string).collect();
+            lines.extend(
+                pq_analyze::schema_diagnostics(&planned.query, &snap.db)
+                    .iter()
+                    .map(ToString::to_string),
+            );
+            (
+                planned.fingerprint,
+                planned.plan.engine,
+                a.clone(),
+                lines,
+                cached,
+            )
+        } else {
+            // Invalid queries never reach the planner or its cache.
+            let direct =
+                pq_analyze::analyze_with_db(&query, &snap.db, &self.inner.config.planner.analysis);
+            let lines = direct.diagnostics.iter().map(ToString::to_string).collect();
+            (
+                query.fingerprint(),
+                direct.report.engine_hint,
+                direct,
+                lines,
+                false,
+            )
+        };
+        let r = &analysis.report;
+        Ok(AnalysisReport {
+            fingerprint,
+            engine,
+            summary: r.summary,
+            cell: r.cell.as_str(),
+            q: r.q,
+            v: r.v,
+            max_arity: r.max_arity,
+            neq_count: r.neq_count,
+            cmp_count: r.cmp_count,
+            color_parameter: r.color_parameter,
+            cycle_witness: r.cycle_witness.clone(),
+            provably_empty: analysis.provably_empty(),
+            minimized: analysis.rewritten.as_ref().map(ToString::to_string),
+            diagnostics,
+            plan_was_cached,
             generation: snap.generation,
             epoch: snap.epoch,
         })
@@ -744,6 +888,69 @@ mod tests {
         assert!(e2.plan_was_cached);
         assert!(e2.result_is_cached);
         assert_eq!(e1.fingerprint, e2.fingerprint);
+    }
+
+    #[test]
+    fn explain_names_the_answer_source() {
+        let svc = service();
+        let src = "G(x, c) :- R(x, y), S(y, c).";
+        let e = svc.explain("d", src).unwrap();
+        assert_eq!(e.answer_source, "cold");
+        svc.query("d", src, RequestLimits::default()).unwrap();
+        let e = svc.explain("d", src).unwrap();
+        assert_eq!(e.answer_source, "result-cache");
+        // Same plan, fresh database: the plan cache is what would help.
+        svc.load_str("d2", DB_TEXT).unwrap();
+        let e = svc.explain("d2", src).unwrap();
+        assert_eq!(e.answer_source, "plan-cache");
+        assert!(!e.provably_empty);
+    }
+
+    #[test]
+    fn analyze_reports_diagnostics_and_minimization() {
+        let svc = service();
+        let src = "G(x, c) :- R(x, y), S(y, c), R(x, y2).";
+        let a1 = svc.analyze("d", src).unwrap();
+        assert!(!a1.plan_was_cached);
+        assert_eq!(a1.cell, "acyclic-pure");
+        let minimized = a1.minimized.as_deref().expect("redundant atom drops");
+        assert!(!minimized.contains("y2"), "{minimized}");
+        assert!(a1.diagnostics.iter().any(|d| d.starts_with("PQA301")));
+        assert!(a1.diagnostics.iter().any(|d| d.starts_with("PQA402")));
+        // Second call reuses the plan-cache entry filled by the first.
+        let a2 = svc.analyze("d", src).unwrap();
+        assert!(a2.plan_was_cached);
+        assert_eq!(a2.diagnostics, a1.diagnostics);
+    }
+
+    #[test]
+    fn analyze_schema_pass_and_invalid_queries() {
+        let svc = service();
+        // Unknown relation: an error diagnostic, but NOT provably empty
+        // (evaluation fails rather than returning zero tuples).
+        let a = svc.analyze("d", "G(x) :- T(x, y).").unwrap();
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA201")));
+        assert!(!a.provably_empty);
+        // Arity mismatch against the live schema.
+        let a = svc.analyze("d", "G(x) :- R(x, y, z).").unwrap();
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA202")));
+        // A query that fails validation never reaches the planner, but
+        // ANALYZE still explains why.
+        let a = svc.analyze("d", "G(z) :- R(x, y).").unwrap();
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA002")));
+        assert!(!a.plan_was_cached);
+        assert_eq!(svc.cache_sizes().0, 2, "invalid query not plan-cached");
+    }
+
+    #[test]
+    fn provably_empty_queries_skip_evaluation() {
+        let svc = service();
+        let src = "G(x) :- R(x, y), x != x.";
+        let a = svc.analyze("d", src).unwrap();
+        assert!(a.provably_empty);
+        let resp = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(resp.engine, "constant (provably empty)");
+        assert!(resp.rows.is_empty());
     }
 
     #[test]

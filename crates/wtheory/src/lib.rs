@@ -19,3 +19,4 @@ pub use circuit::{AlternatingCircuit, Circuit, CircuitError, Gate};
 pub use formula::{BoolFormula, Cnf, Lit};
 pub use graphs::Graph;
 pub use parametric::{ParamVariant, QueryParameter, SchemaMode, WClass};
+pub use reductions::ReductionError;

@@ -20,6 +20,7 @@ use pq_query::{ConjunctiveQuery, Term};
 
 use crate::formula::{Cnf, Lit};
 use crate::graphs::Graph;
+use crate::reductions::ReductionError;
 
 /// The reduction output: the 2-CNF, the weight `k`, and the meaning of each
 /// Boolean variable (atom index, tuple) for witness extraction.
@@ -62,8 +63,14 @@ fn consistent(a: &pq_query::Atom, s: &Tuple) -> bool {
 
 /// Build the weighted 2-CNF instance for a Boolean conjunctive query.
 /// (For the decision problem `t ∈ Q(d)`, first `bind_head` the query.)
-pub fn reduce(q: &ConjunctiveQuery, db: &Database) -> pq_data::Result<W2CnfInstance> {
-    assert!(q.is_pure(), "R2 is defined for pure conjunctive queries");
+///
+/// # Errors
+/// [`ReductionError::ImpureQuery`] for queries with `≠` or comparisons;
+/// [`ReductionError::Data`] when an atom names an unknown relation.
+pub fn reduce(q: &ConjunctiveQuery, db: &Database) -> Result<W2CnfInstance, ReductionError> {
+    if !q.is_pure() {
+        return Err(ReductionError::ImpureQuery);
+    }
     let k = q.atoms.len();
 
     // Enumerate the Boolean variables z_{as}.
@@ -179,6 +186,17 @@ mod tests {
             has_weighted_cnf_sat(&inst.cnf, inst.k),
             "{src}"
         );
+    }
+
+    #[test]
+    fn impure_queries_are_rejected_not_panicked() {
+        let q = parse_cq("P :- E(x, y), x != y.").unwrap();
+        assert_eq!(reduce(&q, &db()).unwrap_err(), ReductionError::ImpureQuery);
+        let q2 = parse_cq("P :- E(x, y), M(y).").unwrap();
+        assert!(matches!(
+            reduce(&q2, &db()).unwrap_err(),
+            ReductionError::Data(_)
+        ));
     }
 
     #[test]

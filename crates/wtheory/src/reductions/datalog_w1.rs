@@ -12,6 +12,7 @@ use pq_data::{Database, Relation, Tuple};
 use pq_query::{ConjunctiveQuery, DatalogProgram};
 
 use crate::reductions::cq_to_w2cnf::{self, W2CnfInstance};
+use crate::reductions::ReductionError;
 use crate::weighted_sat_bb::has_weighted_cnf_sat_bb;
 
 /// The transcript of one fixpoint run: every W\[1\] (weighted 2-CNF) instance
@@ -52,7 +53,7 @@ impl W1Transcript {
 pub fn evaluate_via_w1(
     p: &DatalogProgram,
     db: &Database,
-) -> pq_data::Result<(Relation, W1Transcript)> {
+) -> Result<(Relation, W1Transcript), ReductionError> {
     let mut work = db.clone();
     let arities: std::collections::BTreeMap<String, usize> = p
         .rules

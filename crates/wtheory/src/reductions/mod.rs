@@ -24,3 +24,96 @@ pub mod hampath_to_neq;
 pub mod positive_to_clique;
 pub mod prenex_fo_awsat;
 pub mod wformula_positive;
+
+/// Why a reduction builder rejected its input.
+///
+/// Every condition here is reachable from caller-supplied queries, formulas,
+/// or databases — internal invariants (fresh-database inserts, values known
+/// to lie in the active domain) stay as commented `expect`s.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure modes can be added without a breaking release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReductionError {
+    /// The reduction takes a Boolean query, but the head has terms
+    /// (substitute the candidate tuple with `bind_head` first).
+    NonBooleanQuery,
+    /// The query is not in prenex normal form.
+    NotPrenex,
+    /// A free variable escapes the quantifier prefix, so the query is open.
+    OpenQuery {
+        /// The offending free variable.
+        variable: String,
+    },
+    /// The quantifier prefix binds the same name twice (shadowing).
+    ShadowedVariable {
+        /// The repeated variable name.
+        variable: String,
+    },
+    /// The matrix of a prenex query still contains a quantifier.
+    MatrixNotQuantifierFree,
+    /// An atom uses a variable bound by no quantifier.
+    UnboundVariable {
+        /// The unbound variable name.
+        variable: String,
+    },
+    /// R2 is defined for pure conjunctive queries (no `≠`, no comparisons).
+    ImpureQuery,
+    /// R5 was declared over fewer propositional variables than the formula
+    /// actually mentions.
+    TooFewVariables {
+        /// The declared count `n`.
+        declared: usize,
+        /// Variables the formula requires.
+        required: usize,
+    },
+    /// A database lookup failed (e.g. an atom over an unknown relation).
+    Data(pq_data::DataError),
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::NonBooleanQuery => {
+                f.write_str("the reduction takes Boolean queries (bind the head first)")
+            }
+            ReductionError::NotPrenex => f.write_str("query is not in prenex normal form"),
+            ReductionError::OpenQuery { variable } => {
+                write!(f, "free variable `{variable}`: query is not closed")
+            }
+            ReductionError::ShadowedVariable { variable } => {
+                write!(f, "quantifier prefix repeats variable `{variable}`")
+            }
+            ReductionError::MatrixNotQuantifierFree => {
+                f.write_str("matrix must be quantifier-free")
+            }
+            ReductionError::UnboundVariable { variable } => {
+                write!(f, "unbound variable `{variable}`")
+            }
+            ReductionError::ImpureQuery => {
+                f.write_str("R2 is defined for pure conjunctive queries")
+            }
+            ReductionError::TooFewVariables { declared, required } => write!(
+                f,
+                "declared {declared} propositional variables but the formula uses {required}"
+            ),
+            ReductionError::Data(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReductionError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pq_data::DataError> for ReductionError {
+    fn from(e: pq_data::DataError) -> Self {
+        ReductionError::Data(e)
+    }
+}

@@ -14,7 +14,7 @@ use pq_data::Database;
 use pq_query::PositiveQuery;
 
 use crate::graphs::Graph;
-use crate::reductions::cq_to_w2cnf;
+use crate::reductions::{cq_to_w2cnf, ReductionError};
 
 /// Output of the footnote-2 transformation.
 #[derive(Debug, Clone)]
@@ -60,7 +60,11 @@ fn pad_universal(g: &Graph, extra: usize) -> Graph {
 }
 
 /// The full transformation `(Q, d) ↦ (G, k)` for a Boolean positive query.
-pub fn reduce(q: &PositiveQuery, db: &Database) -> pq_data::Result<CliqueInstance> {
+///
+/// # Errors
+/// Propagates [`ReductionError`] from the per-disjunct R2 reduction (unknown
+/// relations in particular).
+pub fn reduce(q: &PositiveQuery, db: &Database) -> Result<CliqueInstance, ReductionError> {
     let cqs = q.to_union_of_cqs();
     let k = cqs.iter().map(|c| c.atoms.len()).max().unwrap_or(0);
     let mut parts = Vec::with_capacity(cqs.len());

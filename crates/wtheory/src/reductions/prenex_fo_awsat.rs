@@ -18,6 +18,7 @@ use pq_query::{FoFormula, FoQuery, Quantifier, Term};
 
 use crate::formula::BoolFormula;
 use crate::reductions::alternating::Quant;
+use crate::reductions::ReductionError;
 
 /// One quantifier block of the alternating weighted formula problem
 /// (always weight 1 here: "pick the value of `y_i`").
@@ -76,12 +77,18 @@ pub fn alternating_weighted_formula_sat(
 }
 
 /// The reduction `(Q, d) ↦ (φ, blocks)` for a closed prenex FO query.
-pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
+///
+/// # Errors
+/// [`ReductionError::NonBooleanQuery`] / [`ReductionError::NotPrenex`] /
+/// [`ReductionError::ShadowedVariable`] / [`ReductionError::OpenQuery`] on
+/// malformed input; [`ReductionError::Data`] when an atom names an unknown
+/// relation.
+pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, ReductionError> {
     if !q.head_terms.is_empty() {
-        return Err("the reduction takes Boolean queries (bind the head first)".into());
+        return Err(ReductionError::NonBooleanQuery);
     }
     let Some((prefix, matrix)) = q.prenex_parts() else {
-        return Err("query is not prenex".into());
+        return Err(ReductionError::NotPrenex);
     };
     // Closedness and unique binding per name: a repeated name in the prefix
     // would shadow; we reject for clarity (the paper's towers reuse names
@@ -90,12 +97,14 @@ pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
         let mut seen = std::collections::BTreeSet::new();
         for (_, v) in &prefix {
             if !seen.insert(v.clone()) {
-                return Err(format!("prefix repeats variable `{v}`"));
+                return Err(ReductionError::ShadowedVariable {
+                    variable: v.clone(),
+                });
             }
         }
         for v in matrix.free_variables() {
             if !seen.contains(&v) {
-                return Err(format!("free variable `{v}`: query is not closed"));
+                return Err(ReductionError::OpenQuery { variable: v });
             }
         }
     }
@@ -128,7 +137,7 @@ pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
         prefix: &[(Quantifier, String)],
         dom: &[Value],
         z: &dyn Fn(usize, usize) -> usize,
-    ) -> Result<BoolFormula, String> {
+    ) -> Result<BoolFormula, ReductionError> {
         match f {
             FoFormula::Not(g) => Ok(BoolFormula::Not(Box::new(hat(g, db, prefix, dom, z)?))),
             FoFormula::And(fs) => Ok(BoolFormula::And(
@@ -142,10 +151,10 @@ pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
                     .collect::<Result<_, _>>()?,
             )),
             FoFormula::Exists(..) | FoFormula::Forall(..) => {
-                Err("matrix must be quantifier-free".into())
+                Err(ReductionError::MatrixNotQuantifierFree)
             }
             FoFormula::Atom(a) => {
-                let rel = db.relation(&a.relation).map_err(|e| e.to_string())?;
+                let rel = db.relation(&a.relation)?;
                 let mut branches = Vec::new();
                 's: for s in rel.iter() {
                     if s.arity() != a.arity() {
@@ -160,10 +169,14 @@ pub fn reduce(q: &FoQuery, db: &Database) -> Result<AwSatInstance, String> {
                                 }
                             }
                             Term::Var(v) => {
-                                let i = prefix
-                                    .iter()
-                                    .position(|(_, w)| w == v)
-                                    .ok_or_else(|| format!("unbound variable {v}"))?;
+                                let i =
+                                    prefix.iter().position(|(_, w)| w == v).ok_or_else(|| {
+                                        ReductionError::UnboundVariable {
+                                            variable: v.clone(),
+                                        }
+                                    })?;
+                                // Internal invariant: every value of a stored
+                                // tuple is in the active domain by definition.
                                 let ci = dom
                                     .iter()
                                     .position(|c| c == &s[j])
@@ -236,15 +249,36 @@ mod tests {
     #[test]
     fn non_prenex_rejected() {
         let q = parse_fo("Q := exists x. (L(x) & exists y. E(x, y)) | L(1)").unwrap();
-        assert!(reduce(&q, &db()).is_err());
+        assert_eq!(reduce(&q, &db()).unwrap_err(), ReductionError::NotPrenex);
     }
 
     #[test]
     fn open_or_shadowing_rejected() {
         let q = parse_fo("Q := exists x. E(x, y)").unwrap();
-        assert!(reduce(&q, &db()).is_err());
+        assert_eq!(
+            reduce(&q, &db()).unwrap_err(),
+            ReductionError::OpenQuery {
+                variable: "y".into()
+            }
+        );
         let q2 = parse_fo("Q := exists x. forall x. L(x)").unwrap();
-        assert!(reduce(&q2, &db()).is_err());
+        assert_eq!(
+            reduce(&q2, &db()).unwrap_err(),
+            ReductionError::ShadowedVariable {
+                variable: "x".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_relation_surfaces_as_data_error() {
+        let q = parse_fo("Q := exists x. M(x)").unwrap();
+        assert!(matches!(
+            reduce(&q, &db()),
+            Err(ReductionError::Data(
+                pq_data::DataError::UnknownRelation(r)
+            )) if r == "M"
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use pq_data::{tuple, Database, Value};
 use pq_query::{Atom, PosFormula, PositiveQuery, Term};
 
 use crate::formula::BoolFormula;
+use crate::reductions::ReductionError;
 
 // ------------------------------------------------------------------- R5 --
 
@@ -35,8 +36,21 @@ pub struct PositiveInstance {
 /// R5: `(φ, k) ↦ (d, Q)`. The formula is converted to negation normal form
 /// first (the reduction replaces *occurrences*, so NNF is the natural
 /// input; conversion is linear and preserves weighted satisfiability).
-pub fn wformula_to_positive(phi: &BoolFormula, n: usize, k: usize) -> PositiveInstance {
-    assert!(n >= phi.num_variables(), "n must cover all variables of φ");
+///
+/// # Errors
+/// [`ReductionError::TooFewVariables`] when `n` does not cover every
+/// propositional variable of `φ`.
+pub fn wformula_to_positive(
+    phi: &BoolFormula,
+    n: usize,
+    k: usize,
+) -> Result<PositiveInstance, ReductionError> {
+    if n < phi.num_variables() {
+        return Err(ReductionError::TooFewVariables {
+            declared: n,
+            required: phi.num_variables(),
+        });
+    }
     let mut db = Database::new();
     let eq_rows = (1..=n as i64).map(|i| tuple![i, i]);
     db.add_table("EQ", ["a", "b"], eq_rows).expect("fresh db");
@@ -97,10 +111,10 @@ pub fn wformula_to_positive(phi: &BoolFormula, n: usize, k: usize) -> PositiveIn
 
     let query =
         PositiveQuery::boolean("Q", PosFormula::Exists(ys, Box::new(PosFormula::And(body))));
-    PositiveInstance {
+    Ok(PositiveInstance {
         database: db,
         query,
-    }
+    })
 }
 
 // ------------------------------------------------------------------- R6 --
@@ -120,19 +134,26 @@ pub struct WFormulaInstance {
 
 /// R6: `(Q, d) ↦ (φ, k)` for a *closed prenex* positive query. Errors if the
 /// query is not prenex or not closed.
+///
+/// # Errors
+/// [`ReductionError::NonBooleanQuery`] / [`ReductionError::NotPrenex`] /
+/// [`ReductionError::OpenQuery`] on malformed input;
+/// [`ReductionError::Data`] when an atom names an unknown relation.
 pub fn prenex_positive_to_wformula(
     q: &PositiveQuery,
     db: &Database,
-) -> Result<WFormulaInstance, String> {
+) -> Result<WFormulaInstance, ReductionError> {
     if !q.head_terms.is_empty() {
-        return Err("R6 requires a Boolean query (substitute the candidate tuple first)".into());
+        return Err(ReductionError::NonBooleanQuery);
     }
     let Some((ys, matrix)) = q.prenex_parts() else {
-        return Err("R6 requires a prenex query".into());
+        return Err(ReductionError::NotPrenex);
     };
     let matrix = matrix.clone();
-    if !matrix.free_variables().iter().all(|v| ys.contains(v)) {
-        return Err("R6 requires a closed query".into());
+    if let Some(v) = matrix.free_variables().iter().find(|v| !ys.contains(*v)) {
+        return Err(ReductionError::OpenQuery {
+            variable: v.clone(),
+        });
     }
     let k = ys.len();
     let dom: Vec<Value> = db.active_domain().into_iter().collect();
@@ -166,7 +187,7 @@ pub fn prenex_positive_to_wformula(
         ys: &[String],
         dom: &[Value],
         z: &dyn Fn(usize, usize) -> usize,
-    ) -> Result<BoolFormula, String> {
+    ) -> Result<BoolFormula, ReductionError> {
         match f {
             PosFormula::And(fs) => Ok(BoolFormula::And(
                 fs.iter()
@@ -178,9 +199,9 @@ pub fn prenex_positive_to_wformula(
                     .map(|g| hat(g, db, ys, dom, z))
                     .collect::<Result<_, _>>()?,
             )),
-            PosFormula::Exists(..) => Err("matrix must be quantifier-free".into()),
+            PosFormula::Exists(..) => Err(ReductionError::MatrixNotQuantifierFree),
             PosFormula::Atom(a) => {
-                let rel = db.relation(&a.relation).map_err(|e| e.to_string())?;
+                let rel = db.relation(&a.relation)?;
                 let mut branches: Vec<BoolFormula> = Vec::new();
                 's: for s in rel.iter() {
                     if s.arity() != a.arity() {
@@ -195,10 +216,13 @@ pub fn prenex_positive_to_wformula(
                                 }
                             }
                             Term::Var(v) => {
-                                let i = ys
-                                    .iter()
-                                    .position(|y| y == v)
-                                    .ok_or_else(|| format!("unbound variable {v}"))?;
+                                let i = ys.iter().position(|y| y == v).ok_or_else(|| {
+                                    ReductionError::UnboundVariable {
+                                        variable: v.clone(),
+                                    }
+                                })?;
+                                // Internal invariant: every value of a stored
+                                // tuple is in the active domain by definition.
                                 let ci = dom
                                     .iter()
                                     .position(|c| c == &s[j])
@@ -255,7 +279,7 @@ mod tests {
             BoolFormula::or([BoolFormula::neg(0), BoolFormula::var(2)]),
         ]);
         for k in 0..=3 {
-            let inst = wformula_to_positive(&phi, 3, k);
+            let inst = wformula_to_positive(&phi, 3, k).expect("n covers φ");
             assert_eq!(
                 has_weighted_formula_sat(&phi, k),
                 positive_eval::query_holds(&inst.query, &inst.database).unwrap(),
@@ -267,7 +291,7 @@ mod tests {
     #[test]
     fn r5_query_is_prenex() {
         let phi = BoolFormula::or([BoolFormula::var(0), BoolFormula::neg(1)]);
-        let inst = wformula_to_positive(&phi, 2, 1);
+        let inst = wformula_to_positive(&phi, 2, 1).expect("n covers φ");
         assert!(inst.query.is_prenex());
     }
 
@@ -278,7 +302,7 @@ mod tests {
             let n = rng.gen_range(2..5);
             let phi = random_formula(n, 2, &mut rng);
             for k in 1..=2.min(n) {
-                let inst = wformula_to_positive(&phi, n, k);
+                let inst = wformula_to_positive(&phi, n, k).expect("n covers φ");
                 let lhs = weighted_formula_sat_n(&phi, n, k).is_some();
                 let rhs = positive_eval::query_holds(&inst.query, &inst.database).unwrap();
                 assert_eq!(lhs, rhs, "trial {trial}, k {k}, φ = {phi}");
@@ -312,9 +336,27 @@ mod tests {
         use pq_query::parse_positive;
         let db = Database::new();
         let q = parse_positive("Q := R(x) & exists y. S(y)").unwrap();
-        assert!(prenex_positive_to_wformula(&q, &db).is_err());
+        assert_eq!(
+            prenex_positive_to_wformula(&q, &db).unwrap_err(),
+            ReductionError::NotPrenex
+        );
         let q2 = parse_positive("Q(x) := exists y. S(x, y)").unwrap();
-        assert!(prenex_positive_to_wformula(&q2, &db).is_err());
+        assert_eq!(
+            prenex_positive_to_wformula(&q2, &db).unwrap_err(),
+            ReductionError::NonBooleanQuery
+        );
+    }
+
+    #[test]
+    fn r5_rejects_too_few_variables() {
+        let phi = BoolFormula::or([BoolFormula::var(0), BoolFormula::var(4)]);
+        assert_eq!(
+            wformula_to_positive(&phi, 3, 1).unwrap_err(),
+            ReductionError::TooFewVariables {
+                declared: 3,
+                required: 5
+            }
+        );
     }
 
     #[test]
@@ -326,7 +368,7 @@ mod tests {
             BoolFormula::neg(2),
         ]);
         let k = 1;
-        let inst5 = wformula_to_positive(&phi, 3, k);
+        let inst5 = wformula_to_positive(&phi, 3, k).expect("n covers φ");
         let inst6 = prenex_positive_to_wformula(&inst5.query, &inst5.database).unwrap();
         assert_eq!(
             weighted_formula_sat_n(&phi, 3, k).is_some(),

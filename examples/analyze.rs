@@ -1,0 +1,48 @@
+//! Lint a corpus of conjunctive queries with the static analyzer and print
+//! one deterministic report per query — the CI lint gate diffs this output
+//! against `tests/corpus/golden.txt` (see `tests/analyze_golden.rs` for the
+//! in-process twin of the same check).
+//!
+//! ```text
+//! cargo run --release --example analyze -- tests/corpus/queries.cq
+//! ```
+
+use pq_analyze::{analyze, AnalyzeOptions};
+use pq_query::parse_cq;
+
+/// Render the analyzer's report for one corpus line. Shared shape with
+/// `tests/analyze_golden.rs`: `## <src>` then one line per diagnostic, the
+/// minimized core when one exists, and the final verdict.
+pub fn report(src: &str) -> String {
+    let mut out = format!("## {src}\n");
+    match parse_cq(src) {
+        Err(e) => out.push_str(&format!("parse error: {e}\n")),
+        Ok(q) => {
+            for line in analyze(&q, &AnalyzeOptions::default()).lines() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/corpus/queries.cq".to_string());
+    let corpus = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read corpus `{path}`: {e}"));
+    let mut first = true;
+    for line in corpus.lines() {
+        let src = line.trim();
+        if src.is_empty() || src.starts_with('#') {
+            continue;
+        }
+        if !first {
+            println!();
+        }
+        first = false;
+        print!("{}", report(src));
+    }
+}

@@ -26,7 +26,7 @@ fn main() {
     let truth = weighted_formula_sat_n(&phi, n, k).is_some();
     println!("weighted satisfiability (ground truth): {truth}");
 
-    let inst = wformula_positive::wformula_to_positive(&phi, n, k);
+    let inst = wformula_positive::wformula_to_positive(&phi, n, k).expect("n covers φ");
     println!(
         "\nR5 database: EQ with {} tuples, NEQ with {} tuples",
         inst.database.relation("EQ").unwrap().len(),

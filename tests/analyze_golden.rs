@@ -1,0 +1,80 @@
+//! Golden-corpus gate for the static analyzer, in-process: render the
+//! report for every query in `tests/corpus/queries.cq` exactly as
+//! `examples/analyze.rs` does and diff against `tests/corpus/golden.txt`.
+//!
+//! CI runs the same check through the example binary; this test catches
+//! drift locally in a plain `cargo test`. To regenerate after an
+//! intentional analyzer change:
+//!
+//! ```text
+//! cargo run --release --example analyze -- tests/corpus/queries.cq \
+//!     > tests/corpus/golden.txt
+//! ```
+
+use pq_analyze::{analyze, AnalyzeOptions};
+use pq_query::parse_cq;
+
+fn report(src: &str) -> String {
+    let mut out = format!("## {src}\n");
+    match parse_cq(src) {
+        Err(e) => out.push_str(&format!("parse error: {e}\n")),
+        Ok(q) => {
+            for line in analyze(&q, &AnalyzeOptions::default()).lines() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn render_corpus(corpus: &str) -> String {
+    let mut out = String::new();
+    for line in corpus.lines() {
+        let src = line.trim();
+        if src.is_empty() || src.starts_with('#') {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&report(src));
+    }
+    out
+}
+
+#[test]
+fn corpus_diagnostics_match_the_golden_file() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let corpus = std::fs::read_to_string(format!("{root}/tests/corpus/queries.cq")).unwrap();
+    let golden = std::fs::read_to_string(format!("{root}/tests/corpus/golden.txt")).unwrap();
+    let actual = render_corpus(&corpus);
+    if actual != golden {
+        // A line-by-line diff beats one giant assert_eq dump.
+        for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(a, g, "first divergence at golden.txt line {}", i + 1);
+        }
+        assert_eq!(
+            actual.lines().count(),
+            golden.lines().count(),
+            "line counts differ — regenerate tests/corpus/golden.txt"
+        );
+        unreachable!("content differs only in line endings");
+    }
+}
+
+#[test]
+fn corpus_exercises_every_database_free_lint_code() {
+    // The schema codes (PQA201/PQA202) need a live database and are covered
+    // by service tests; everything else must appear in the corpus output so
+    // the golden gate actually guards each pass.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let corpus = std::fs::read_to_string(format!("{root}/tests/corpus/queries.cq")).unwrap();
+    let rendered = render_corpus(&corpus);
+    for code in [
+        "PQA002", "PQA003", "PQA004", "PQA101", "PQA102", "PQA103", "PQA104", "PQA105", "PQA301",
+        "PQA302", "PQA401", "PQA402",
+    ] {
+        assert!(rendered.contains(code), "corpus never triggers {code}");
+    }
+}

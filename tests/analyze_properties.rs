@@ -1,0 +1,108 @@
+//! Property-based soundness checks for the static analyzer (`pq-analyze`):
+//!
+//! * evaluating the minimized core gives exactly the original answer on
+//!   random conjunctive queries and databases (Chandra–Merlin equivalence);
+//! * every `provably-empty` verdict is confirmed by naive evaluation
+//!   returning zero tuples;
+//! * the structure report's acyclicity bit agrees with the GYO join-tree
+//!   builder on random hypergraph shapes.
+
+use proptest::prelude::*;
+
+use pq_analyze::{analyze, structure_of, AnalyzeOptions};
+use pq_data::{tuple, Database, Relation};
+use pq_engine::naive;
+use pq_hypergraph::join_tree;
+use pq_query::{Atom, ConjunctiveQuery, Neq, Term};
+
+/// A random body atom over a small pool of relations (all binary) and
+/// variables, with an occasional constant. Repeating relation names across
+/// atoms is what makes redundancy — and hence minimization — likely.
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    // 12/15 of draws are variables x0..x3, the rest constants 0..2.
+    let term = (0usize..15).prop_map(|t| {
+        if t < 12 {
+            Term::var(format!("x{}", t % 4))
+        } else {
+            Term::cons((t - 12) as i64)
+        }
+    });
+    (0usize..3, term.clone(), term).prop_map(|(r, t1, t2)| Atom::new(format!("R{r}"), [t1, t2]))
+}
+
+/// A random query: 1–5 atoms, 0–2 `≠` constraints drawn from the same
+/// variable pool (reflexive pairs allowed on purpose — they must yield a
+/// provably-empty verdict, which property 2 checks against the oracle).
+/// The head is Boolean so safety holds by construction.
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let neq = (0usize..4, 0usize..4)
+        .prop_map(|(a, b)| Neq::new(Term::var(format!("x{a}")), Term::var(format!("x{b}"))));
+    (
+        prop::collection::vec(arb_atom(), 1..5),
+        prop::collection::vec(neq, 0..3),
+    )
+        .prop_map(|(atoms, neqs)| {
+            let q = ConjunctiveQuery::new("G", [] as [Term; 0], atoms);
+            // Keep only ≠ constraints over variables the body mentions, so
+            // the query stays valid (range-restricted).
+            let vars = q.variables();
+            let neqs: Vec<Neq> = neqs
+                .into_iter()
+                .filter(|n| {
+                    [&n.left, &n.right]
+                        .iter()
+                        .all(|t| t.as_var().is_none_or(|v| vars.contains(&v)))
+                })
+                .collect();
+            q.with_neqs(neqs)
+        })
+}
+
+/// A random database giving rows to every relation the pool can name.
+fn arb_db() -> impl Strategy<Value = Database> {
+    prop::collection::vec(prop::collection::vec((0i64..3, 0i64..3), 0..8), 3).prop_map(|tables| {
+        let mut db = Database::new();
+        for (i, rows) in tables.into_iter().enumerate() {
+            let rel =
+                Relation::with_tuples(["a", "b"], rows.into_iter().map(|(a, b)| tuple![a, b]))
+                    .unwrap();
+            db.set_relation(format!("R{i}"), rel);
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minimized_core_is_equivalent_to_the_original(q in arb_query(), db in arb_db()) {
+        let analysis = analyze(&q, &AnalyzeOptions::default());
+        let core = analysis.effective(&q);
+        prop_assert_eq!(
+            naive::evaluate(core, &db).unwrap(),
+            naive::evaluate(&q, &db).unwrap()
+        );
+    }
+
+    #[test]
+    fn provably_empty_verdicts_are_sound(q in arb_query(), db in arb_db()) {
+        let analysis = analyze(&q, &AnalyzeOptions::default());
+        if analysis.provably_empty() {
+            prop_assert!(naive::evaluate(&q, &db).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn acyclicity_verdict_agrees_with_the_join_tree_builder(q in arb_query()) {
+        let report = structure_of(&q);
+        let hg = q.hypergraph();
+        prop_assert_eq!(report.acyclic, join_tree(&hg).is_some());
+        // A cycle witness is only ever reported for cyclic queries, and
+        // names real atom indices.
+        if let Some(w) = &report.cycle_witness {
+            prop_assert!(!report.acyclic);
+            prop_assert!(w.iter().all(|&i| i < q.atoms.len()));
+        }
+    }
+}

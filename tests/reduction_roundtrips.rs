@@ -76,7 +76,7 @@ fn wsat_positive_roundtrip() {
         let n = 3;
         for k in 1..=2 {
             let truth = weighted_formula_sat_n(phi, n, k).is_some();
-            let inst5 = wformula_positive::wformula_to_positive(phi, n, k);
+            let inst5 = wformula_positive::wformula_to_positive(phi, n, k).expect("n covers φ");
             assert_eq!(
                 positive_eval::query_holds(&inst5.query, &inst5.database).unwrap(),
                 truth,

@@ -73,6 +73,10 @@ fn full_protocol_session_over_tcp() {
         resp.iter().any(|l| l == "result_cached true"),
         "the warm answer above should be visible here: {resp:?}"
     );
+    assert!(
+        resp.iter().any(|l| l == "answer_source result-cache"),
+        "{resp:?}"
+    );
 
     // STATS: counters reflect the session so far.
     let resp = roundtrip(&mut conn, "STATS").unwrap();
@@ -87,6 +91,37 @@ fn full_protocol_session_over_tcp() {
     assert_eq!(get("queries_served"), 3);
     assert_eq!(get("result_hits"), 1);
     assert_eq!(get("loads"), 1);
+
+    // ANALYZE: the static-analysis report over the wire. The third atom is
+    // redundant (folds into the first), so the analyzer reports a smaller
+    // core and a PQA301 diagnostic.
+    let resp = roundtrip(
+        &mut conn,
+        "ANALYZE d G(x, z) :- R(x, y), S(y, z), R(x, y2).",
+    )
+    .unwrap();
+    assert_eq!(resp[0], "OK analyze");
+    assert!(resp.iter().any(|l| l == "cell acyclic-pure"), "{resp:?}");
+    assert!(
+        resp.iter()
+            .any(|l| l.starts_with("params q=") && l.contains("v=3")),
+        "{resp:?}"
+    );
+    assert!(resp.iter().any(|l| l.starts_with("minimized ")), "{resp:?}");
+    assert!(
+        resp.iter().any(|l| l.starts_with("diag PQA301")),
+        "{resp:?}"
+    );
+
+    // A provably-empty query is flagged by ANALYZE and short-circuited by
+    // QUERY without touching the data.
+    let resp = roundtrip(&mut conn, "ANALYZE d G(x) :- R(x, y), x != x.").unwrap();
+    assert!(resp.iter().any(|l| l == "provably_empty true"), "{resp:?}");
+    let resp = roundtrip(&mut conn, "QUERY d G(x) :- R(x, y), x != x.").unwrap();
+    assert!(
+        resp[0].starts_with("OK 0 x # engine=constant_(provably_empty)"),
+        "{resp:?}"
+    );
 
     // Error paths: unknown db, unknown verb, unreadable file, and LOAD
     // paths that try to leave the data dir (absolute or via `..`).
