@@ -11,6 +11,7 @@
 //! repro extensions   The closing remarks: formula-≠, AW[P], AW[SAT], Datalog/W[1]
 //! repro service      pq-service cache levels: cold vs plan-warm vs result-warm
 //! repro analyze      pq-analyze: core minimization on redundant-atom workloads
+//! repro parallel     pq-exec: intra-query parallel speedup at 1/2/4/8 threads
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -49,6 +50,7 @@ fn main() {
         "extensions" => extensions(),
         "service" => service_exp(),
         "analyze" => analyze_exp(),
+        "parallel" => parallel_exp(),
         "all" => {
             fig1();
             thm1();
@@ -59,6 +61,7 @@ fn main() {
             extensions();
             service_exp();
             analyze_exp();
+            parallel_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -695,6 +698,105 @@ fn service_exp() {
 }
 
 // --------------------------------------------------------------- analyze --
+
+// -------------------------------------------------------------- parallel --
+
+/// E12: intra-query parallel execution — four workloads at 1/2/4/8 threads,
+/// answers checked byte-identical to the serial engines at every degree.
+/// Speedup is bounded by physical cores; on a single-core box the target is
+/// "no worse than serial", and the determinism checks are the point.
+fn parallel_exp() {
+    use pq_engine::governor::SharedContext;
+    use pq_engine::naive_indexed;
+    use pq_engine::ExecutionContext;
+    use pq_exec::Pool;
+
+    header("pq-exec — intra-query parallel speedup (E12)");
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("\n  physical parallelism available: {cores} core(s)");
+    println!("  (speedup at d threads is capped by min(d, cores); answers are");
+    println!("   checked identical to the serial engine at every degree)\n");
+
+    let shared = || -> SharedContext { ExecutionContext::unlimited().into_shared() };
+    let degrees = [1usize, 2, 4, 8];
+
+    // Workload 1: cyclic clique join on the naive indexed engine.
+    let (cdb, cq) = workloads::clique_instance(44, 0.5, 3, 7);
+    // Workload 2: acyclic chain on Yannakakis.
+    let yq = workloads::chain_query(5);
+    let ydb = workloads::chain_database(5, 1500, 300, 11);
+    // Workload 3: color-coding trials on a chain with ≠.
+    let nq =
+        pq_query::parse_cq("G(x0, x3) :- R0(x0, x1), R1(x1, x2), R2(x2, x3), x0 != x2.").unwrap();
+    let ndb = workloads::chain_database(3, 400, 80, 13);
+    let cc = ColorCodingOptions::default();
+    // Workload 4: Datalog transitive closure, semi-naive.
+    let tp = workloads::tc_program();
+    let tdb = workloads::dag_database(160, 3.0, 17);
+
+    type Workload<'a> = (&'a str, Box<dyn Fn(&Pool) -> usize + 'a>);
+    let workloads: Vec<Workload> = vec![
+        (
+            "clique join (naive indexed)",
+            Box::new(|p: &Pool| {
+                naive_indexed::evaluate_parallel(&cq, &cdb, &shared(), p)
+                    .unwrap()
+                    .len()
+            }),
+        ),
+        (
+            "acyclic chain (yannakakis)",
+            Box::new(|p: &Pool| {
+                yannakakis::evaluate_parallel(&yq, &ydb, Default::default(), &shared(), p)
+                    .unwrap()
+                    .len()
+            }),
+        ),
+        (
+            "chain with != (color coding)",
+            Box::new(|p: &Pool| {
+                colorcoding::evaluate_parallel(&nq, &ndb, &cc, &shared(), p)
+                    .unwrap()
+                    .len()
+            }),
+        ),
+        (
+            "transitive closure (datalog)",
+            Box::new(|p: &Pool| {
+                datalog_eval::evaluate_parallel(&tp, &tdb, Strategy::SemiNaive, &shared(), p)
+                    .unwrap()
+                    .len()
+            }),
+        ),
+    ];
+
+    println!(
+        "  {:<30} {:>9} {:>9} {:>9} {:>9}  speedup@4",
+        "workload", "1t", "2t", "4t", "8t"
+    );
+    for (name, run) in &workloads {
+        let baseline_len = run(&Pool::new(1));
+        let mut times = Vec::new();
+        for d in degrees {
+            let pool = Pool::new(d);
+            assert_eq!(run(&pool), baseline_len, "{name}: answer differs at {d}t");
+            times.push(time_min(3, || run(&pool)));
+        }
+        let speedup = times[0].as_secs_f64() / times[2].as_secs_f64().max(1e-9);
+        println!(
+            "  {:<30} {:>9} {:>9} {:>9} {:>9}  {speedup:>7.2}x",
+            name,
+            fmt_duration(times[0]),
+            fmt_duration(times[1]),
+            fmt_duration(times[2]),
+            fmt_duration(times[3]),
+        );
+    }
+    println!("\n  acceptance bar (>= 2x at 4 threads) requires >= 4 physical cores;");
+    println!(
+        "  on {cores} core(s) the expected speedup is ~min(4, {cores})x minus merge overhead."
+    );
+}
 
 fn analyze_exp() {
     use pq_core::analyze::AnalyzeOptions;

@@ -4,8 +4,9 @@
 use pq_analyze::{analyze, Analysis, AnalyzeOptions};
 use pq_data::{Database, Relation, Tuple};
 use pq_engine::colorcoding::{ColorCodingOptions, HashFamily};
-use pq_engine::governor::{ExecutionContext, ResourceKind};
+use pq_engine::governor::{ExecutionContext, ResourceKind, SharedContext};
 use pq_engine::{colorcoding, naive, naive_indexed, yannakakis, EngineError, Result};
+use pq_exec::Pool;
 use pq_query::ConjunctiveQuery;
 
 use crate::classify::{classification_of, Classification, CqClass};
@@ -25,6 +26,10 @@ pub struct PlannerOptions {
     /// Static-analysis options: whether (and up to what size) the planner
     /// core-minimizes the query before choosing an engine.
     pub analysis: AnalyzeOptions,
+    /// Upper bound on the intra-query parallelism degree a plan may pick
+    /// (see [`Plan::parallelism`]). Defaults to [`pq_exec::default_threads`]
+    /// — the `PQ_EXEC_THREADS` override or the machine's core count.
+    pub max_parallelism: usize,
 }
 
 impl Default for PlannerOptions {
@@ -34,6 +39,7 @@ impl Default for PlannerOptions {
             randomized_confidence: 5.0,
             seed: 0x9e3779b9,
             analysis: AnalyzeOptions::default(),
+            max_parallelism: pq_exec::default_threads(),
         }
     }
 }
@@ -75,6 +81,14 @@ pub struct Plan {
     /// exists — execution runs it instead of the original), and the
     /// provably-empty verdict that short-circuits to [`EngineChoice::ConstantEmpty`].
     pub analysis: Analysis,
+    /// The intra-query parallelism degree this plan asks for: the size of
+    /// the [`Pool`] that [`Plan::execute_parallel`] should be handed.
+    /// Constant plans (and single-atom queries, which have no fan-out) get
+    /// `1`; everything else gets the planner's `max_parallelism`. Executing
+    /// with a pool of a different size is still correct — every parallel
+    /// engine produces thread-count-independent output — this is only the
+    /// planner's recommendation.
+    pub parallelism: usize,
 }
 
 /// Choose an engine for the query.
@@ -115,11 +129,17 @@ pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
             }
         }
     };
+    let parallelism = match &choice {
+        EngineChoice::ConstantEmpty => 1,
+        _ if analysis.effective(q).atoms.len() <= 1 => 1,
+        _ => opts.max_parallelism.max(1),
+    };
     Plan {
         classification,
         engine,
         choice,
         analysis,
+        parallelism,
     }
 }
 
@@ -179,6 +199,50 @@ impl Plan {
             EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty(q, db, cc),
             EngineChoice::ConstantEmpty => Ok(false),
             EngineChoice::Naive => naive::is_nonempty(q, db),
+        }
+    }
+
+    /// [`Plan::execute_governed`] with the committed engine's intra-query
+    /// parallel path on `pool`, every worker charging the `shared` envelope.
+    /// The answer is identical to the serial paths at any pool size;
+    /// [`Plan::parallelism`] is the pool size this plan recommends.
+    pub fn execute_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        shared: &SharedContext,
+        pool: &Pool,
+    ) -> Result<Relation> {
+        let q = self.analysis.effective(q);
+        match &self.choice {
+            EngineChoice::Yannakakis => {
+                yannakakis::evaluate_parallel(q, db, Default::default(), shared, pool)
+            }
+            EngineChoice::ColorCoding(cc) => {
+                colorcoding::evaluate_parallel(q, db, cc, shared, pool)
+            }
+            EngineChoice::ConstantEmpty => empty_head(q),
+            EngineChoice::Naive => naive::evaluate_parallel(q, db, shared, pool),
+        }
+    }
+
+    /// Emptiness with the committed engine's parallel path; see
+    /// [`Plan::execute_parallel`].
+    pub fn is_nonempty_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        shared: &SharedContext,
+        pool: &Pool,
+    ) -> Result<bool> {
+        let q = self.analysis.effective(q);
+        match &self.choice {
+            EngineChoice::Yannakakis => yannakakis::is_nonempty_parallel(q, db, shared, pool),
+            EngineChoice::ColorCoding(cc) => {
+                colorcoding::is_nonempty_parallel(q, db, cc, shared, pool)
+            }
+            EngineChoice::ConstantEmpty => Ok(false),
+            EngineChoice::Naive => naive::is_nonempty_parallel(q, db, shared, pool),
         }
     }
 }
@@ -558,6 +622,54 @@ mod tests {
         assert!(out.result.is_empty());
         assert_eq!(out.attempts.len(), 1);
         assert_eq!(out.attempts[0].engine, "constant (empty answer)");
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_at_every_degree() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        for src in [
+            "G(x, c) :- R(x, y), S(y, c).",
+            "G(e) :- EP(e, p), EP(e, p2), p != p2.",
+            "G :- R(x, y), R(y, z), R(z, x).",
+            "G(x) :- R(x, y), x < y, y < x.",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let p = plan(&q, &opts);
+            let serial = p.execute(&q, &d).unwrap();
+            for t in [1, 2, 8] {
+                let pool = Pool::new(t);
+                let shared = ExecutionContext::unlimited().into_shared();
+                assert_eq!(
+                    p.execute_parallel(&q, &d, &shared, &pool).unwrap(),
+                    serial,
+                    "{src} at degree {t}"
+                );
+                let shared = ExecutionContext::unlimited().into_shared();
+                assert_eq!(
+                    p.is_nonempty_parallel(&q, &d, &shared, &pool).unwrap(),
+                    !serial.is_empty(),
+                    "{src} at degree {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_pick_a_parallelism_degree() {
+        let opts = PlannerOptions {
+            max_parallelism: 8,
+            ..Default::default()
+        };
+        // Constant plans have nothing to parallelize.
+        let p = plan(&parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap(), &opts);
+        assert_eq!(p.parallelism, 1);
+        // Single-atom queries have no fan-out either.
+        let p = plan(&parse_cq("G(x) :- R(x, y).").unwrap(), &opts);
+        assert_eq!(p.parallelism, 1);
+        // Multi-atom plans take the planner's cap.
+        let p = plan(&parse_cq("G(x, c) :- R(x, y), S(y, c).").unwrap(), &opts);
+        assert_eq!(p.parallelism, 8);
     }
 
     #[test]

@@ -13,19 +13,20 @@ use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// Column-matching plan shared by the join variants.
-struct JoinPlan {
+/// Column-matching plan shared by the join variants (including the parallel
+/// kernels in [`crate::par`]).
+pub(crate) struct JoinPlan {
     /// Positions of the join attributes in the left relation.
-    left_key: Vec<usize>,
+    pub(crate) left_key: Vec<usize>,
     /// Positions of the join attributes in the right relation.
-    right_key: Vec<usize>,
+    pub(crate) right_key: Vec<usize>,
     /// Positions of the right columns that are *not* join columns.
-    right_rest: Vec<usize>,
+    pub(crate) right_rest: Vec<usize>,
     /// Output header: left attrs then non-shared right attrs.
-    out_attrs: Vec<String>,
+    pub(crate) out_attrs: Vec<String>,
 }
 
-fn join_plan(left: &Relation, right: &Relation) -> JoinPlan {
+pub(crate) fn join_plan(left: &Relation, right: &Relation) -> JoinPlan {
     let mut left_key = Vec::new();
     let mut right_key = Vec::new();
     for (i, a) in left.attrs().iter().enumerate() {

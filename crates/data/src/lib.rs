@@ -16,6 +16,7 @@ pub mod algebra;
 pub mod database;
 pub mod error;
 pub mod loader;
+pub mod par;
 pub mod relation;
 pub mod tuple;
 pub mod value;

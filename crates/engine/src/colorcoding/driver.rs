@@ -12,18 +12,27 @@
 //! function with `g(v) = 2^{O(v log v)}` — the paper's bound.
 
 use pq_data::{Database, Relation, Tuple};
+use pq_exec::{Pool, Verdict};
 use pq_query::ConjunctiveQuery;
 
 use super::algorithms::{
     algorithm1_governed, algorithm2_governed, materialize_head_governed, Prepared,
 };
-use super::hashing::{DomainIndex, HashFamily};
+use super::hashing::{Coloring, DomainIndex, HashFamily};
 use crate::binding::head_attrs;
 use crate::error::{EngineError, Result};
-use crate::governor::ExecutionContext;
+use crate::governor::{CancellationToken, ExecutionContext, SharedContext};
+use crate::naive::is_cancellation;
 
 /// Engine name reported in resource-exhaustion errors.
 const ENGINE: &str = "color-coding";
+
+/// Trials claimed per scheduling round by the parallel driver. Colorings are
+/// drawn lazily from the family iterator in fixed-size batches (the perfect
+/// family is exponential in `k`, so materializing it up front is not an
+/// option); the batch size is a constant so the batch boundaries — and with
+/// them the work decomposition — are identical at any thread count.
+const TRIAL_BATCH: usize = 64;
 
 /// Options for the color-coding engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +213,107 @@ pub fn evaluate_governed(
         out = out.union(&part)?;
     }
     Ok(out)
+}
+
+/// [`is_nonempty`] with parallel trial colorings racing on `pool`: the first
+/// successful trial wins and cancels the rest of its batch through a
+/// race-scoped [`CancellationToken`]. The answer is identical to the serial
+/// driver at any thread count — with the perfect family a witness exists for
+/// *some* coloring iff `Q(d)` is nonempty, so which trial finds it first is
+/// immaterial; with the random family the same trials are drawn in the same
+/// order.
+pub fn is_nonempty_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ColorCodingOptions,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<bool> {
+    if q.atoms.is_empty() || pool.threads() <= 1 {
+        return is_nonempty_governed(q, db, opts, &shared.worker());
+    }
+    check_head_safety(q)?;
+    let ctx = shared.worker();
+    let prep = Prepared::build_governed(q, db, opts.minimize_hashed_attrs, &ctx)?;
+    if prep.partition.trivially_false {
+        return Ok(false);
+    }
+    let dom = DomainIndex::from_database(db);
+    let k = prep.partition.k();
+    let mut colorings = opts.family.colorings(&dom, k);
+    loop {
+        let batch: Vec<Coloring> = colorings.by_ref().take(TRIAL_BATCH).collect();
+        if batch.is_empty() {
+            return Ok(false);
+        }
+        let race = CancellationToken::new();
+        let hit = pool.find_first(&batch, |_, h| {
+            let ctx = shared.worker().with_cancellation(race.clone());
+            if let Err(e) = ctx.tick(ENGINE) {
+                return if race.is_cancelled() && is_cancellation(&e) {
+                    Verdict::Retire
+                } else {
+                    Verdict::Abort(e)
+                };
+            }
+            match algorithm1_governed(&prep, &dom, h, &ctx) {
+                Ok(Some(_)) => {
+                    race.cancel();
+                    Verdict::Hit(())
+                }
+                Ok(None) => Verdict::Miss,
+                Err(e) if race.is_cancelled() && is_cancellation(&e) => Verdict::Retire,
+                Err(e) => Verdict::Abort(e),
+            }
+        })?;
+        if hit.is_some() {
+            return Ok(true);
+        }
+    }
+}
+
+/// [`evaluate`] with parallel trial colorings on `pool`. Per-trial partial
+/// answers are unioned in trial order, so the output relation is identical
+/// to the serial driver at any thread count.
+pub fn evaluate_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ColorCodingOptions,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Relation> {
+    if q.atoms.is_empty() || pool.threads() <= 1 {
+        return evaluate_governed(q, db, opts, &shared.worker());
+    }
+    check_head_safety(q)?;
+    let ctx = shared.worker();
+    let prep = Prepared::build_governed(q, db, opts.minimize_hashed_attrs, &ctx)?;
+    let mut out = Relation::new(head_attrs(&q.head_terms))?;
+    if prep.partition.trivially_false {
+        return Ok(out);
+    }
+    let dom = DomainIndex::from_database(db);
+    let k = prep.partition.k();
+    let head_vars: Vec<String> = q.head_variables().iter().map(|v| v.to_string()).collect();
+    let mut colorings = opts.family.colorings(&dom, k);
+    loop {
+        let batch: Vec<Coloring> = colorings.by_ref().take(TRIAL_BATCH).collect();
+        if batch.is_empty() {
+            return Ok(out);
+        }
+        let parts: Vec<Option<Relation>> = pool.try_run(&batch, |_, h| {
+            let ctx = shared.worker();
+            ctx.tick(ENGINE)?;
+            let Some(p) = algorithm1_governed(&prep, &dom, h, &ctx)? else {
+                return Ok(None);
+            };
+            let star = algorithm2_governed(&prep, p, &head_vars, &ctx)?;
+            Ok::<_, EngineError>(Some(materialize_head_governed(q, &star, &ctx)?))
+        })?;
+        for part in parts.into_iter().flatten() {
+            out = out.union(&part)?;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,10 +11,11 @@
 use std::collections::BTreeMap;
 
 use pq_data::{Database, Relation, Tuple};
+use pq_exec::Pool;
 use pq_query::{ConjunctiveQuery, DatalogProgram, Rule};
 
 use crate::error::{EngineError, Result};
-use crate::governor::ExecutionContext;
+use crate::governor::{ExecutionContext, SharedContext};
 use crate::naive;
 
 /// Engine name reported in resource-exhaustion errors.
@@ -111,6 +112,18 @@ pub fn evaluate_with_stats_governed(
     strategy: Strategy,
     ctx: &ExecutionContext,
 ) -> Result<(Relation, FixpointStats)> {
+    let (arities, mut work) = setup_work(p, db)?;
+    let mut stats = FixpointStats::default();
+    match strategy {
+        Strategy::Naive => naive_fixpoint(p, &mut work, &mut stats, ctx)?,
+        Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &arities, &mut stats, ctx)?,
+    }
+    finish(p, &work, &arities, stats)
+}
+
+/// Validate the program and build the working database: EDB relations plus
+/// (growing, initially empty) IDB relations.
+fn setup_work(p: &DatalogProgram, db: &Database) -> Result<(BTreeMap<String, usize>, Database)> {
     p.validate()?;
     for e in p.edb_relations() {
         if !db.has_relation(e) {
@@ -122,8 +135,6 @@ pub fn evaluate_with_stats_governed(
             unreachable!("edb/idb are disjoint by construction");
         }
     }
-
-    // Working database: EDB relations plus (growing) IDB relations.
     let arities = idb_arities(p);
     let mut work = db.clone();
     for (name, &arity) in &arities {
@@ -134,12 +145,16 @@ pub fn evaluate_with_stats_governed(
         }
         work.set_relation(name.clone(), fresh_relation(arity));
     }
+    Ok((arities, work))
+}
 
-    let mut stats = FixpointStats::default();
-    match strategy {
-        Strategy::Naive => naive_fixpoint(p, &mut work, &mut stats, ctx)?,
-        Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &arities, &mut stats, ctx)?,
-    }
+/// Tally the derived-tuple count and extract the goal relation.
+fn finish(
+    p: &DatalogProgram,
+    work: &Database,
+    arities: &BTreeMap<String, usize>,
+    mut stats: FixpointStats,
+) -> Result<(Relation, FixpointStats)> {
     stats.derived_tuples = arities
         .keys()
         .map(|n| work.relation(n).map(Relation::len))
@@ -255,6 +270,168 @@ fn seminaive_fixpoint(
     }
 
     // Drop the reserved delta relations (they were only scaffolding).
+    Ok(())
+}
+
+/// [`evaluate`] with per-rule (naive) or per-(rule, Δ-atom) (semi-naive)
+/// parallel evaluation on `pool`; see [`evaluate_with_stats_parallel`].
+pub fn evaluate_parallel(
+    p: &DatalogProgram,
+    db: &Database,
+    strategy: Strategy,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Relation> {
+    Ok(evaluate_with_stats_parallel(p, db, strategy, shared, pool)?.0)
+}
+
+/// [`evaluate_with_stats`] with the per-round rule evaluations fanned out on
+/// `pool`, every worker charging the shared envelope.
+///
+/// Each round evaluates all of its jobs against the database *as of the
+/// start of the round* and merges the derived tuples in job order, so the
+/// result is identical at any thread count. The serial fixpoint instead lets
+/// a rule see tuples inserted earlier in the same round, so it can converge
+/// in *fewer rounds*; both reach the same least fixpoint (rule application
+/// is monotone), and the goal relation is identical.
+pub fn evaluate_with_stats_parallel(
+    p: &DatalogProgram,
+    db: &Database,
+    strategy: Strategy,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<(Relation, FixpointStats)> {
+    let (arities, mut work) = setup_work(p, db)?;
+    let mut stats = FixpointStats::default();
+    match strategy {
+        Strategy::Naive => parallel_naive_fixpoint(p, &mut work, &mut stats, shared, pool)?,
+        Strategy::SemiNaive => {
+            parallel_seminaive_fixpoint(p, &mut work, &arities, &mut stats, shared, pool)?
+        }
+    }
+    finish(p, &work, &arities, stats)
+}
+
+fn parallel_naive_fixpoint(
+    p: &DatalogProgram,
+    work: &mut Database,
+    stats: &mut FixpointStats,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<()> {
+    loop {
+        stats.rounds += 1;
+        let snapshot: &Database = work;
+        let derived: Vec<Relation> = pool.try_run(&p.rules, |_, rule| {
+            let ctx = shared.worker();
+            ctx.tick(ENGINE)?;
+            naive::evaluate_governed(&rule_to_cq(rule), snapshot, &ctx)
+        })?;
+        stats.rule_evaluations += p.rules.len();
+        let ctx = shared.worker();
+        let mut changed = false;
+        for (rule, d) in p.rules.iter().zip(derived) {
+            let target = work.relation_mut(&rule.head.relation)?;
+            for t in d.iter() {
+                if target.insert(t.clone())? {
+                    ctx.charge_tuples(ENGINE, 1)?;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+fn parallel_seminaive_fixpoint(
+    p: &DatalogProgram,
+    work: &mut Database,
+    arities: &BTreeMap<String, usize>,
+    stats: &mut FixpointStats,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<()> {
+    // Round 0: every rule against the initial database (IDBs empty).
+    let mut delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    stats.rounds = 1;
+    {
+        let snapshot: &Database = work;
+        let derived: Vec<Relation> = pool.try_run(&p.rules, |_, rule| {
+            let ctx = shared.worker();
+            ctx.tick(ENGINE)?;
+            naive::evaluate_governed(&rule_to_cq(rule), snapshot, &ctx)
+        })?;
+        stats.rule_evaluations += p.rules.len();
+        let ctx = shared.worker();
+        for (rule, d) in p.rules.iter().zip(derived) {
+            let target = work.relation_mut(&rule.head.relation)?;
+            for t in d.iter() {
+                if target.insert(t.clone())? {
+                    ctx.charge_tuples(ENGINE, 1)?;
+                    delta
+                        .entry(rule.head.relation.clone())
+                        .or_default()
+                        .push(t.clone());
+                }
+            }
+        }
+    }
+
+    // Subsequent rounds: one job per (rule, IDB body atom with a nonempty
+    // delta), all evaluated against the round-start snapshot.
+    while delta.values().any(|v| !v.is_empty()) {
+        stats.rounds += 1;
+        for (name, tuples) in &delta {
+            let mut rel = fresh_relation(arities[name]);
+            for t in tuples {
+                rel.insert(t.clone())?;
+            }
+            work.set_relation(format!("Δ{name}"), rel);
+        }
+
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for (ri, rule) in p.rules.iter().enumerate() {
+            for (ai, batom) in rule.body.iter().enumerate() {
+                if delta.get(&batom.relation).is_some_and(|t| !t.is_empty()) {
+                    jobs.push((ri, ai));
+                }
+            }
+        }
+
+        let snapshot: &Database = work;
+        let derived: Vec<Relation> = pool.try_run(&jobs, |_, &(ri, ai)| {
+            let ctx = shared.worker();
+            ctx.tick(ENGINE)?;
+            let rule = &p.rules[ri];
+            let batom = &rule.body[ai];
+            let mut body = rule.body.clone();
+            body[ai] =
+                pq_query::Atom::new(format!("Δ{}", batom.relation), batom.terms.iter().cloned());
+            let cq = ConjunctiveQuery::new(
+                rule.head.relation.clone(),
+                rule.head.terms.iter().cloned(),
+                body,
+            );
+            naive::evaluate_governed(&cq, snapshot, &ctx)
+        })?;
+        stats.rule_evaluations += jobs.len();
+
+        let ctx = shared.worker();
+        let mut next_delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for (&(ri, _), d) in jobs.iter().zip(derived.iter()) {
+            let head = &p.rules[ri].head.relation;
+            let target = work.relation_mut(head)?;
+            for t in d.iter() {
+                if target.insert(t.clone())? {
+                    ctx.charge_tuples(ENGINE, 1)?;
+                    next_delta.entry(head.clone()).or_default().push(t.clone());
+                }
+            }
+        }
+        delta = next_delta;
+    }
     Ok(())
 }
 

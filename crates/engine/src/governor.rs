@@ -25,10 +25,36 @@
 //! tick with a chosen [`ResourceKind`], letting tests drive every
 //! resource-exhaustion path through every engine without real clocks or
 //! threads.
+//!
+//! # `Cell` vs. atomics: the two budget modes
+//!
+//! [`ExecutionContext`] keeps its counters in `Cell`s and is deliberately
+//! `!Sync`. That is the right default: a single-threaded evaluation charges
+//! its budget with plain loads and stores — no lock prefixes, no cache-line
+//! contention — and the type system guarantees nobody shares the context
+//! across threads by accident. The cost of that efficiency is that
+//! intra-query parallelism (`pq-exec`) cannot use it directly.
+//!
+//! [`SharedContext`] is the explicit opt-in to the other side of the trade:
+//! [`ExecutionContext::into_shared`] *moves* the limits and counters into
+//! `AtomicU64`s behind an `Arc`, and [`SharedContext::worker`] mints
+//! per-thread `ExecutionContext`s that delegate charging to the shared
+//! atomics. Every worker then draws down **one** tuple budget against
+//! **one** deadline, so exhaustion in any worker makes every other worker's
+//! next charge fail too — a single resource envelope governs the whole
+//! parallel query, exactly as it would govern the serial one. The charging
+//! *protocol* (what counts as a tick, what gets charged, when the clock is
+//! consulted) is identical in both modes; only the memory primitive
+//! differs, and the round-trip tests below hold the two modes to that.
+//! Worker-local state that is semantically per-thread — the recursion depth
+//! and the tick-amortization counter — stays in `Cell`s on each worker
+//! context.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+#[cfg(any(test, feature = "fault-injection"))]
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::{EngineError, Result};
@@ -126,6 +152,11 @@ pub struct ExecutionContext {
     depth: Cell<usize>,
     atoms_processed: Cell<u64>,
     tuples_materialized: Cell<u64>,
+    /// When set, this is a worker handle of a [`SharedContext`]: limits and
+    /// cumulative counters live in the shared atomics, and the local fields
+    /// above only track per-thread state (depth, tick amortization) plus any
+    /// *additional* local limits (e.g. a per-race cancellation token).
+    shared: Option<Arc<SharedState>>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Cell<Option<FaultSpec>>,
 }
@@ -183,25 +214,71 @@ impl ExecutionContext {
         self
     }
 
+    // ---- shared-budget mode ----
+
+    /// Move this context's limits and counters into a [`SharedContext`]: the
+    /// `Sync` shared-budget mode used for intra-query parallelism.
+    ///
+    /// Consumes `self` (the budget must not survive in two places); the
+    /// shared context's worker handles then charge the same envelope the
+    /// serial context would have. Depth already entered on `self` is
+    /// per-thread state and does not transfer.
+    #[must_use]
+    pub fn into_shared(self) -> SharedContext {
+        SharedContext {
+            state: Arc::new(SharedState {
+                deadline: self.deadline,
+                budgeted: self.tuples_remaining.is_some(),
+                tuples_remaining: AtomicU64::new(
+                    self.tuples_remaining.as_ref().map_or(0, Cell::get),
+                ),
+                max_depth: self.max_depth,
+                cancel: self.cancel,
+                ticks: AtomicU64::new(self.ticks.get()),
+                atoms_processed: AtomicU64::new(self.atoms_processed.get()),
+                tuples_materialized: AtomicU64::new(self.tuples_materialized.get()),
+                #[cfg(any(test, feature = "fault-injection"))]
+                fault_armed: AtomicBool::new(self.fault.get().is_some()),
+                #[cfg(any(test, feature = "fault-injection"))]
+                fault: Mutex::new(self.fault.get()),
+            }),
+        }
+    }
+
     // ---- accounting reads ----
 
-    /// Ticks seen so far (loop-head polls across all engines on this context).
+    /// Ticks seen so far (loop-head polls across all engines on this
+    /// context; in shared mode, across all workers of the envelope).
     pub fn ticks(&self) -> u64 {
-        self.ticks.get()
+        match &self.shared {
+            Some(sh) => sh.ticks.load(Ordering::Relaxed),
+            None => self.ticks.get(),
+        }
     }
 
     /// Atoms (or operators/rules, per engine) processed so far.
     pub fn atoms_processed(&self) -> u64 {
-        self.atoms_processed.get()
+        match &self.shared {
+            Some(sh) => sh.atoms_processed.load(Ordering::Relaxed),
+            None => self.atoms_processed.get(),
+        }
     }
 
     /// Intermediate tuples charged so far.
     pub fn tuples_materialized(&self) -> u64 {
-        self.tuples_materialized.get()
+        match &self.shared {
+            Some(sh) => sh.tuples_materialized.load(Ordering::Relaxed),
+            None => self.tuples_materialized.get(),
+        }
     }
 
     /// Tuples still allowed, or `None` when unbudgeted.
     pub fn tuples_remaining(&self) -> Option<u64> {
+        if let Some(sh) = &self.shared {
+            return sh
+                .budgeted
+                .then(|| sh.tuples_remaining.load(Ordering::Relaxed));
+        }
         self.tuples_remaining.as_ref().map(Cell::get)
     }
 
@@ -212,6 +289,16 @@ impl ExecutionContext {
         #[cfg(any(test, feature = "fault-injection"))]
         if self.fault.get().is_some() {
             return true;
+        }
+        if let Some(sh) = &self.shared {
+            #[cfg(any(test, feature = "fault-injection"))]
+            if sh.fault_armed.load(Ordering::Relaxed) {
+                return true;
+            }
+            if sh.deadline.is_some() || sh.budgeted || sh.max_depth.is_some() || sh.cancel.is_some()
+            {
+                return true;
+            }
         }
         self.deadline.is_some()
             || self.tuples_remaining.is_some()
@@ -225,6 +312,12 @@ impl ExecutionContext {
     /// cancellation flag once every [`TICKS_PER_CLOCK_CHECK`] calls.
     #[inline]
     pub fn tick(&self, engine: &'static str) -> Result<()> {
+        // The local counter always advances (per-thread diagnostics), but
+        // clock-check amortization runs on the *cumulative* count: in shared
+        // mode each worker may only ever see a handful of ticks, so keying
+        // the check on the local counter would let a cancelled envelope go
+        // unnoticed that the serial engine — one counter for all the work —
+        // would have caught.
         let t = self.ticks.get() + 1;
         self.ticks.set(t);
         #[cfg(any(test, feature = "fault-injection"))]
@@ -234,7 +327,24 @@ impl ExecutionContext {
                 return Err(self.exhausted(f.kind, engine));
             }
         }
-        if t.is_multiple_of(TICKS_PER_CLOCK_CHECK) {
+        let cumulative = if let Some(sh) = &self.shared {
+            let global = sh.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            #[cfg(any(test, feature = "fault-injection"))]
+            if sh.fault_armed.load(Ordering::Relaxed) {
+                let mut slot = sh.fault.lock().expect("fault slot poisoned");
+                if let Some(f) = *slot {
+                    if global >= f.after_ticks {
+                        *slot = None; // one-shot, envelope-wide
+                        sh.fault_armed.store(false, Ordering::Relaxed);
+                        return Err(self.exhausted(f.kind, engine));
+                    }
+                }
+            }
+            global
+        } else {
+            t
+        };
+        if cumulative.is_multiple_of(TICKS_PER_CLOCK_CHECK) {
             self.check_clock_and_cancel(engine)?;
         }
         Ok(())
@@ -243,12 +353,41 @@ impl ExecutionContext {
     /// Count one processed atom/operator/rule (diagnostics only; never fails).
     #[inline]
     pub fn note_atom(&self) {
-        self.atoms_processed.set(self.atoms_processed.get() + 1);
+        match &self.shared {
+            Some(sh) => {
+                sh.atoms_processed.fetch_add(1, Ordering::Relaxed);
+            }
+            None => self.atoms_processed.set(self.atoms_processed.get() + 1),
+        }
     }
 
     /// Charge `n` materialized intermediate tuples against the budget.
     #[inline]
     pub fn charge_tuples(&self, engine: &'static str, n: u64) -> Result<()> {
+        if let Some(sh) = &self.shared {
+            sh.tuples_materialized.fetch_add(n, Ordering::Relaxed);
+            if sh.budgeted {
+                let mut have = sh.tuples_remaining.load(Ordering::Relaxed);
+                loop {
+                    if n > have {
+                        // Sticky zero: every other worker's next charge also
+                        // fails, so exhaustion anywhere stops the envelope.
+                        sh.tuples_remaining.store(0, Ordering::Relaxed);
+                        return Err(self.exhausted(ResourceKind::TupleBudget, engine));
+                    }
+                    match sh.tuples_remaining.compare_exchange_weak(
+                        have,
+                        have - n,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => have = actual,
+                    }
+                }
+            }
+            return Ok(());
+        }
         self.tuples_materialized
             .set(self.tuples_materialized.get() + n);
         if let Some(rem) = &self.tuples_remaining {
@@ -279,7 +418,12 @@ impl ExecutionContext {
     #[inline]
     pub fn recurse(&self, engine: &'static str) -> Result<DepthGuard<'_>> {
         let d = self.depth.get() + 1;
-        if let Some(max) = self.max_depth {
+        // Depth is per-thread (it mirrors a call stack), but the *limit* may
+        // come from the shared envelope.
+        let max_depth = self
+            .max_depth
+            .or_else(|| self.shared.as_ref().and_then(|sh| sh.max_depth));
+        if let Some(max) = max_depth {
             if d > max {
                 return Err(self.exhausted(ResourceKind::DepthLimit, engine));
             }
@@ -295,15 +439,29 @@ impl ExecutionContext {
         EngineError::ResourceExhausted {
             kind,
             engine,
-            atoms_processed: self.atoms_processed.get(),
-            tuples_materialized: self.tuples_materialized.get(),
+            atoms_processed: self.atoms_processed(),
+            tuples_materialized: self.tuples_materialized(),
         }
     }
 
     fn check_clock_and_cancel(&self, engine: &'static str) -> Result<()> {
+        // A worker's own token (e.g. a per-race cancel) is checked first,
+        // then the shared envelope's token and deadline.
         if let Some(tok) = &self.cancel {
             if tok.is_cancelled() {
                 return Err(self.exhausted(ResourceKind::Cancelled, engine));
+            }
+        }
+        if let Some(sh) = &self.shared {
+            if let Some(tok) = &sh.cancel {
+                if tok.is_cancelled() {
+                    return Err(self.exhausted(ResourceKind::Cancelled, engine));
+                }
+            }
+            if let Some(deadline) = sh.deadline {
+                if Instant::now() > deadline {
+                    return Err(self.exhausted(ResourceKind::Timeout, engine));
+                }
             }
         }
         if let Some(deadline) = self.deadline {
@@ -312,6 +470,121 @@ impl ExecutionContext {
             }
         }
         Ok(())
+    }
+}
+
+/// The `Sync` interior of a [`SharedContext`]: one resource envelope shared
+/// by every worker of a parallel evaluation.
+#[derive(Debug)]
+struct SharedState {
+    deadline: Option<Instant>,
+    /// Whether a tuple budget is in force (`tuples_remaining` is only
+    /// meaningful when set — an `AtomicU64` has no `None`).
+    budgeted: bool,
+    tuples_remaining: AtomicU64,
+    max_depth: Option<usize>,
+    cancel: Option<CancellationToken>,
+    ticks: AtomicU64,
+    atoms_processed: AtomicU64,
+    tuples_materialized: AtomicU64,
+    /// Fast-path flag so unarmed contexts never touch the mutex in `tick`.
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_armed: AtomicBool,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Mutex<Option<FaultSpec>>,
+}
+
+/// The `Sync` shared-budget mode of the governor (see the module docs for
+/// the `Cell`-vs-atomic trade).
+///
+/// Built with [`ExecutionContext::into_shared`]; hand every worker thread a
+/// context from [`SharedContext::worker`] and they all draw down the same
+/// tuple budget against the same deadline and cancellation token. Cloning
+/// the handle is cheap and does **not** fork the budget — all clones point
+/// at the same envelope.
+#[derive(Debug, Clone)]
+pub struct SharedContext {
+    state: Arc<SharedState>,
+}
+
+impl SharedContext {
+    /// Mint a worker handle: an [`ExecutionContext`] whose charging
+    /// delegates to this shared envelope. Per-thread state (recursion depth,
+    /// tick amortization) is fresh; callers may still add worker-local
+    /// limits — typically [`ExecutionContext::with_cancellation`] with a
+    /// race-scoped token.
+    pub fn worker(&self) -> ExecutionContext {
+        ExecutionContext {
+            shared: Some(Arc::clone(&self.state)),
+            ..ExecutionContext::default()
+        }
+    }
+
+    /// Ticks seen across all workers of the envelope.
+    pub fn ticks(&self) -> u64 {
+        self.state.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Atoms processed across all workers.
+    pub fn atoms_processed(&self) -> u64 {
+        self.state.atoms_processed.load(Ordering::Relaxed)
+    }
+
+    /// Tuples charged across all workers.
+    pub fn tuples_materialized(&self) -> u64 {
+        self.state.tuples_materialized.load(Ordering::Relaxed)
+    }
+
+    /// Tuples still allowed, or `None` when unbudgeted.
+    pub fn tuples_remaining(&self) -> Option<u64> {
+        self.state
+            .budgeted
+            .then(|| self.state.tuples_remaining.load(Ordering::Relaxed))
+    }
+
+    /// Is any limit or fault configured on the envelope?
+    pub fn is_limited(&self) -> bool {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if self.state.fault_armed.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.state.deadline.is_some()
+            || self.state.budgeted
+            || self.state.max_depth.is_some()
+            || self.state.cancel.is_some()
+    }
+
+    /// Move the envelope back into a serial [`ExecutionContext`] — the
+    /// inverse of [`ExecutionContext::into_shared`], for callers that fan
+    /// back in and continue single-threaded (e.g. a planner fallback chain
+    /// after a parallel attempt).
+    ///
+    /// Call this after every worker context has been dropped; if other
+    /// handles to the envelope are still alive, the returned context gets a
+    /// *snapshot* of the budget and the stragglers keep the shared one —
+    /// the allowance would be double-counted from that point on.
+    #[must_use]
+    pub fn into_unshared(self) -> ExecutionContext {
+        let st = &self.state;
+        let ctx = ExecutionContext {
+            deadline: st.deadline,
+            tuples_remaining: st
+                .budgeted
+                .then(|| Cell::new(st.tuples_remaining.load(Ordering::Relaxed))),
+            max_depth: st.max_depth,
+            cancel: st.cancel.clone(),
+            ticks: Cell::new(st.ticks.load(Ordering::Relaxed)),
+            depth: Cell::new(0),
+            atoms_processed: Cell::new(st.atoms_processed.load(Ordering::Relaxed)),
+            tuples_materialized: Cell::new(st.tuples_materialized.load(Ordering::Relaxed)),
+            shared: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: Cell::new(None),
+        };
+        #[cfg(any(test, feature = "fault-injection"))]
+        ctx.fault
+            .set(*st.fault.lock().expect("fault slot poisoned"));
+        ctx
     }
 }
 
@@ -433,6 +706,166 @@ mod tests {
         assert_eq!(ctx.tuples_remaining(), Some(30));
         // A second engine on the same context only gets what is left.
         assert!(ctx.charge_tuples("second-engine", 40).is_err());
+    }
+
+    /// Run the same charging script in serial and shared mode and compare
+    /// every observable: counters, remaining budget, and the trip point.
+    #[test]
+    fn shared_and_serial_modes_charge_identically() {
+        let script = |ctx: &ExecutionContext| -> (Vec<bool>, u64, u64, u64, Option<u64>) {
+            let mut outcomes = Vec::new();
+            for step in 0..20u64 {
+                let ok = ctx.tick("t").is_ok() && ctx.charge_tuples("t", step).is_ok();
+                ctx.note_atom();
+                outcomes.push(ok);
+            }
+            (
+                outcomes,
+                ctx.ticks(),
+                ctx.atoms_processed(),
+                ctx.tuples_materialized(),
+                ctx.tuples_remaining(),
+            )
+        };
+        let serial = ExecutionContext::new().with_tuple_budget(100);
+        let shared = ExecutionContext::new().with_tuple_budget(100).into_shared();
+        let worker = shared.worker();
+        assert_eq!(script(&serial), script(&worker));
+    }
+
+    #[test]
+    fn into_shared_round_trips_counters_and_budget() {
+        let ctx = ExecutionContext::new()
+            .with_tuple_budget(100)
+            .with_max_depth(7);
+        ctx.charge_tuples("t", 30).unwrap();
+        ctx.tick("t").unwrap();
+        ctx.note_atom();
+
+        let shared = ctx.into_shared();
+        let w = shared.worker();
+        assert!(w.is_limited());
+        w.charge_tuples("t", 20).unwrap();
+        w.tick("t").unwrap();
+        assert_eq!(shared.tuples_remaining(), Some(50));
+
+        drop(w);
+        let back = shared.into_unshared();
+        assert_eq!(back.tuples_remaining(), Some(50));
+        assert_eq!(back.tuples_materialized(), 50);
+        assert_eq!(back.ticks(), 2);
+        assert_eq!(back.atoms_processed(), 1);
+        // The reconstructed serial context keeps enforcing the same budget…
+        assert!(back.charge_tuples("t", 50).is_ok());
+        let err = back.charge_tuples("t", 1).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::ResourceExhausted {
+                kind: ResourceKind::TupleBudget,
+                ..
+            }
+        ));
+        // …and the same depth limit.
+        assert!(back.recurse("t").is_ok());
+    }
+
+    #[test]
+    fn shared_budget_exhaustion_in_one_worker_stops_the_others() {
+        let shared = ExecutionContext::new().with_tuple_budget(10).into_shared();
+        let w1 = shared.worker();
+        let w2 = shared.worker();
+        w1.charge_tuples("t", 8).unwrap();
+        assert!(w2.charge_tuples("t", 5).is_err(), "w2 overdraws");
+        // Sticky zero: w1 is also out, even for a tiny charge.
+        let err = w1.charge_tuples("t", 1).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::ResourceExhausted {
+                kind: ResourceKind::TupleBudget,
+                ..
+            }
+        ));
+        assert_eq!(shared.tuples_remaining(), Some(0));
+    }
+
+    #[test]
+    fn shared_cancellation_reaches_every_worker() {
+        let token = CancellationToken::new();
+        let shared = ExecutionContext::new()
+            .with_cancellation(token.clone())
+            .into_shared();
+        token.cancel();
+        for _ in 0..2 {
+            let w = shared.worker();
+            let mut tripped = None;
+            for _ in 0..TICKS_PER_CLOCK_CHECK {
+                if let Err(e) = w.tick("t") {
+                    tripped = Some(e);
+                    break;
+                }
+            }
+            assert!(matches!(
+                tripped,
+                Some(EngineError::ResourceExhausted {
+                    kind: ResourceKind::Cancelled,
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn worker_local_cancel_composes_with_the_shared_envelope() {
+        let race = CancellationToken::new();
+        let shared = ExecutionContext::new()
+            .with_tuple_budget(1000)
+            .into_shared();
+        let w = shared.worker().with_cancellation(race.clone());
+        race.cancel();
+        let mut tripped = None;
+        for _ in 0..TICKS_PER_CLOCK_CHECK {
+            if let Err(e) = w.tick("t") {
+                tripped = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(
+            tripped,
+            Some(EngineError::ResourceExhausted {
+                kind: ResourceKind::Cancelled,
+                ..
+            })
+        ));
+        // The envelope itself is untouched: a fresh worker proceeds.
+        assert!(shared.worker().charge_tuples("t", 1).is_ok());
+    }
+
+    #[test]
+    fn shared_fault_is_one_shot_across_workers() {
+        let shared = ExecutionContext::new()
+            .with_fault(FaultSpec {
+                after_ticks: 3,
+                kind: ResourceKind::Timeout,
+            })
+            .into_shared();
+        assert!(shared.is_limited());
+        let w1 = shared.worker();
+        let w2 = shared.worker();
+        w1.tick("t").unwrap();
+        w2.tick("t").unwrap();
+        // Third global tick trips, whoever takes it.
+        assert!(matches!(
+            w1.tick("t"),
+            Err(EngineError::ResourceExhausted {
+                kind: ResourceKind::Timeout,
+                ..
+            })
+        ));
+        // One-shot: disarmed for every worker afterwards.
+        for _ in 0..10 {
+            w2.tick("t").unwrap();
+        }
+        assert!(!shared.is_limited());
     }
 
     #[test]

@@ -10,11 +10,12 @@
 use std::collections::BTreeSet;
 
 use pq_data::{Database, Relation, Tuple, Value};
+use pq_exec::{Pool, Verdict};
 use pq_query::{CmpOp, ConjunctiveQuery, QueryError, Term};
 
 use crate::binding::{apply_term, bindings_to_output, Binding};
 use crate::error::{EngineError, Result};
-use crate::governor::ExecutionContext;
+use crate::governor::{CancellationToken, ExecutionContext, SharedContext};
 
 /// Engine name reported in resource-exhaustion errors.
 const ENGINE: &str = "naive";
@@ -149,18 +150,17 @@ fn search(
     Ok(())
 }
 
-fn recurse(
+/// The greedy join-order rule: the unused atom with the most bound terms,
+/// ties broken by smaller relation. Factored out so the parallel fan-out
+/// ([`evaluate_parallel`]) provably forces the *same* first atom the serial
+/// search would pick.
+fn pick_next(
     q: &ConjunctiveQuery,
     rels: &[&Relation],
-    used: &mut [bool],
-    binding: &mut Binding,
-    ctx: &ExecutionContext,
-    visit: &mut impl FnMut(&Binding) -> bool,
-) -> Result<bool> {
-    let _depth = ctx.recurse(ENGINE)?;
-    // Pick the unused atom with the most bound variables (greedy join
-    // order); ties broken by smaller relation.
-    let next = (0..q.atoms.len()).filter(|&i| !used[i]).max_by_key(|&i| {
+    used: &[bool],
+    binding: &Binding,
+) -> Option<usize> {
+    (0..q.atoms.len()).filter(|&i| !used[i]).max_by_key(|&i| {
         let bound = q.atoms[i]
             .terms
             .iter()
@@ -170,9 +170,67 @@ fn recurse(
             })
             .count();
         (bound, usize::MAX - rels[i].len())
-    });
+    })
+}
 
-    let Some(i) = next else {
+/// One step of the search: unify atom `i` against tuple `t` under `binding`,
+/// and on success (constraints permitting) recurse into the remaining atoms.
+/// Returns the visitor's keep-going flag. The binding is restored before
+/// returning.
+#[allow(clippy::too_many_arguments)]
+fn try_tuple(
+    q: &ConjunctiveQuery,
+    rels: &[&Relation],
+    used: &mut [bool],
+    binding: &mut Binding,
+    ctx: &ExecutionContext,
+    visit: &mut impl FnMut(&Binding) -> bool,
+    i: usize,
+    t: &Tuple,
+) -> Result<bool> {
+    let atom = &q.atoms[i];
+    let mut newly_bound: Vec<&str> = Vec::new();
+    for (pos, term) in atom.terms.iter().enumerate() {
+        let val = &t[pos];
+        match term {
+            Term::Const(c) => {
+                if c != val {
+                    undo(binding, &newly_bound);
+                    return Ok(true);
+                }
+            }
+            Term::Var(v) => {
+                if let Some(existing) = binding.get(v.as_str()) {
+                    if existing != val {
+                        undo(binding, &newly_bound);
+                        return Ok(true);
+                    }
+                } else {
+                    binding.insert(v.clone(), val.clone());
+                    newly_bound.push(v);
+                }
+            }
+        }
+    }
+    let keep_going = if constraints_hold(q, binding) {
+        recurse(q, rels, used, binding, ctx, visit)?
+    } else {
+        true
+    };
+    undo(binding, &newly_bound);
+    Ok(keep_going)
+}
+
+fn recurse(
+    q: &ConjunctiveQuery,
+    rels: &[&Relation],
+    used: &mut [bool],
+    binding: &mut Binding,
+    ctx: &ExecutionContext,
+    visit: &mut impl FnMut(&Binding) -> bool,
+) -> Result<bool> {
+    let _depth = ctx.recurse(ENGINE)?;
+    let Some(i) = pick_next(q, rels, used, binding) else {
         // All atoms matched; constraints are fully bound by safety.
         ctx.charge_tuples(ENGINE, 1)?;
         return Ok(visit(binding));
@@ -180,46 +238,148 @@ fn recurse(
 
     used[i] = true;
     ctx.note_atom();
-    let atom = &q.atoms[i];
-    'tuples: for t in rels[i].iter() {
+    for t in rels[i].iter() {
         ctx.tick(ENGINE)?;
-        // Unify the atom against the tuple under the current binding.
-        let mut newly_bound: Vec<&str> = Vec::new();
-        for (pos, term) in atom.terms.iter().enumerate() {
-            let val = &t[pos];
-            match term {
-                Term::Const(c) => {
-                    if c != val {
-                        undo(binding, &newly_bound);
-                        continue 'tuples;
-                    }
-                }
-                Term::Var(v) => {
-                    if let Some(existing) = binding.get(v.as_str()) {
-                        if existing != val {
-                            undo(binding, &newly_bound);
-                            continue 'tuples;
-                        }
-                    } else {
-                        binding.insert(v.clone(), val.clone());
-                        newly_bound.push(v);
-                    }
-                }
-            }
-        }
-        let keep_going = if constraints_hold(q, binding) {
-            recurse(q, rels, used, binding, ctx, visit)?
-        } else {
-            true
-        };
-        undo(binding, &newly_bound);
-        if !keep_going {
+        if !try_tuple(q, rels, used, binding, ctx, visit, i, t)? {
             used[i] = false;
             return Ok(false);
         }
     }
     used[i] = false;
     Ok(true)
+}
+
+/// Run the search over one contiguous chunk of the first atom's tuples.
+/// Mirrors [`recurse`] with the first atom forced to `i` and its scan
+/// restricted to `rows`; bindings are reported to `visit` in scan order.
+fn search_chunk(
+    q: &ConjunctiveQuery,
+    rels: &[&Relation],
+    first: usize,
+    rows: &[&Tuple],
+    ctx: &ExecutionContext,
+    visit: &mut impl FnMut(&Binding) -> bool,
+) -> Result<()> {
+    let _depth = ctx.recurse(ENGINE)?;
+    let mut used = vec![false; q.atoms.len()];
+    let mut binding = Binding::new();
+    used[first] = true;
+    ctx.note_atom();
+    for t in rows {
+        ctx.tick(ENGINE)?;
+        if !try_tuple(q, rels, &mut used, &mut binding, ctx, visit, first, t)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Resolve the body relations (shared by serial and parallel drivers).
+fn resolve<'d>(q: &ConjunctiveQuery, db: &'d Database) -> Result<Vec<&'d Relation>> {
+    Ok(q.atoms
+        .iter()
+        .map(|a| db.relation(&a.relation))
+        .collect::<pq_data::Result<_>>()?)
+}
+
+/// Did this error come from a tripped cancellation token?
+pub(crate) fn is_cancellation(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::ResourceExhausted {
+            kind: crate::governor::ResourceKind::Cancelled,
+            ..
+        }
+    )
+}
+
+/// [`evaluate`] with first-atom partition fan-out on `pool`, charging the
+/// shared envelope `shared`.
+///
+/// The serial search picks a first atom and scans its tuples in relation
+/// order, exploring one subtree per tuple; those subtrees are independent,
+/// so this driver splits the scan into contiguous chunks, searches each
+/// chunk on a pool worker, and concatenates the per-chunk bindings in chunk
+/// order — reproducing the serial binding order (and therefore **identical
+/// output**) at any thread count.
+pub fn evaluate_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Relation> {
+    check_safety(q)?;
+    let rels = resolve(q, db)?;
+    let first = pick_next(q, &rels, &vec![false; q.atoms.len()], &Binding::new());
+    let (Some(first), true) = (first, pool.threads() > 1) else {
+        // No atoms or a degree-1 pool: the serial search on a worker of the
+        // shared envelope is the same computation.
+        let ctx = shared.worker();
+        let mut bindings = Vec::new();
+        search(q, db, &ctx, &mut |b| {
+            bindings.push(b.clone());
+            true
+        })?;
+        return bindings_to_output(q, bindings);
+    };
+    let rows: Vec<&Tuple> = rels[first].iter().collect();
+    let chunks = pq_exec::morsels(rows.len(), pool.threads() * 4);
+    let parts: Vec<Vec<Binding>> = pool.try_run(&chunks, |_, range| {
+        let ctx = shared.worker();
+        let mut local = Vec::new();
+        search_chunk(q, &rels, first, &rows[range.clone()], &ctx, &mut |b| {
+            local.push(b.clone());
+            true
+        })?;
+        Ok::<_, EngineError>(local)
+    })?;
+    bindings_to_output(q, parts.concat())
+}
+
+/// [`is_nonempty`] with first-atom partition fan-out: chunks race, the first
+/// witness wins and cancels the remaining chunks via a race-scoped
+/// [`CancellationToken`].
+pub fn is_nonempty_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<bool> {
+    let rels = resolve(q, db)?;
+    let first = pick_next(q, &rels, &vec![false; q.atoms.len()], &Binding::new());
+    let (Some(first), true) = (first, pool.threads() > 1) else {
+        let ctx = shared.worker();
+        let mut found = false;
+        search(q, db, &ctx, &mut |_| {
+            found = true;
+            false
+        })?;
+        return Ok(found);
+    };
+    let rows: Vec<&Tuple> = rels[first].iter().collect();
+    let chunks = pq_exec::morsels(rows.len(), pool.threads() * 4);
+    let race = CancellationToken::new();
+    let hit = pool.find_first(&chunks, |_, range| {
+        let ctx = shared.worker().with_cancellation(race.clone());
+        let mut found = false;
+        let r = search_chunk(q, &rels, first, &rows[range.clone()], &ctx, &mut |_| {
+            found = true;
+            false
+        });
+        match r {
+            Ok(()) if found => {
+                race.cancel();
+                Verdict::Hit(())
+            }
+            Ok(()) => Verdict::Miss,
+            // A chunk cancelled because the race was already won is not a
+            // failure; a cancellation from the *shared* envelope without a
+            // winner still surfaces as an abort below.
+            Err(e) if race.is_cancelled() && is_cancellation(&e) => Verdict::Retire,
+            Err(e) => Verdict::Abort(e),
+        }
+    })?;
+    Ok(hit.is_some())
 }
 
 fn undo(binding: &mut Binding, vars: &[&str]) {

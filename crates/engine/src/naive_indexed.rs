@@ -11,11 +11,12 @@
 use std::collections::{BTreeSet, HashMap};
 
 use pq_data::{Database, Relation, Value};
+use pq_exec::{Pool, Verdict};
 use pq_query::{ConjunctiveQuery, QueryError, Term};
 
 use crate::binding::{apply_term, bindings_to_output, Binding};
 use crate::error::{EngineError, Result};
-use crate::governor::ExecutionContext;
+use crate::governor::{CancellationToken, ExecutionContext, SharedContext};
 
 /// Engine name reported in resource-exhaustion errors.
 const ENGINE: &str = "naive-indexed";
@@ -150,6 +151,89 @@ fn bound_value<'b>(t: &'b Term, binding: &'b Binding) -> Option<&'b Value> {
     }
 }
 
+/// The greedy join-order rule (most bound terms, ties by smaller relation),
+/// shared by the serial recursion and the parallel fan-out.
+fn pick_next(
+    q: &ConjunctiveQuery,
+    rels: &[Indexed],
+    used: &[bool],
+    binding: &Binding,
+) -> Option<usize> {
+    (0..q.atoms.len()).filter(|&i| !used[i]).max_by_key(|&i| {
+        let bound = q.atoms[i]
+            .terms
+            .iter()
+            .filter(|t| bound_value(t, binding).is_some())
+            .count();
+        (bound, usize::MAX - rels[i].rel.len())
+    })
+}
+
+/// Candidate rows for atom `i` under `binding`: probe the index on the
+/// first bound position, falling back to a full scan when nothing is bound.
+fn candidate_rows(
+    q: &ConjunctiveQuery,
+    rels: &[Indexed],
+    i: usize,
+    binding: &Binding,
+) -> Vec<usize> {
+    let probe = q.atoms[i]
+        .terms
+        .iter()
+        .enumerate()
+        .find_map(|(c, t)| bound_value(t, binding).map(|v| (c, v.clone())));
+    match &probe {
+        Some((c, v)) => rels[i].probe(*c, v).to_vec(),
+        None => (0..rels[i].rel.len()).collect(),
+    }
+}
+
+/// Unify atom `i` against row `ri` and recurse; see `naive::try_tuple`.
+#[allow(clippy::too_many_arguments)]
+fn try_row(
+    q: &ConjunctiveQuery,
+    rels: &[Indexed],
+    used: &mut [bool],
+    binding: &mut Binding,
+    ctx: &ExecutionContext,
+    visit: &mut impl FnMut(&Binding) -> bool,
+    i: usize,
+    ri: usize,
+) -> Result<bool> {
+    let atom = &q.atoms[i];
+    let t = &rels[i].rel.tuples()[ri];
+    let mut newly_bound: Vec<&str> = Vec::new();
+    for (pos, term) in atom.terms.iter().enumerate() {
+        let val = &t[pos];
+        match term {
+            Term::Const(c) => {
+                if c != val {
+                    undo(binding, &newly_bound);
+                    return Ok(true);
+                }
+            }
+            Term::Var(v) => {
+                if let Some(existing) = binding.get(v.as_str()) {
+                    if existing != val {
+                        undo(binding, &newly_bound);
+                        return Ok(true);
+                    }
+                } else {
+                    binding.insert(v.clone(), val.clone());
+                    newly_bound.push(v);
+                }
+            }
+        }
+    }
+    let keep_going = if constraints_hold(q, binding) {
+        recurse(q, rels, used, binding, ctx, visit)?
+    } else {
+        true
+    };
+    undo(binding, &newly_bound);
+    Ok(keep_going)
+}
+
 fn recurse(
     q: &ConjunctiveQuery,
     rels: &[Indexed],
@@ -159,75 +243,132 @@ fn recurse(
     visit: &mut impl FnMut(&Binding) -> bool,
 ) -> Result<bool> {
     let _depth = ctx.recurse(ENGINE)?;
-    // Pick the unused atom with the most bound terms.
-    let next = (0..q.atoms.len()).filter(|&i| !used[i]).max_by_key(|&i| {
-        let bound = q.atoms[i]
-            .terms
-            .iter()
-            .filter(|t| bound_value(t, binding).is_some())
-            .count();
-        (bound, usize::MAX - rels[i].rel.len())
-    });
-    let Some(i) = next else {
+    let Some(i) = pick_next(q, rels, used, binding) else {
         ctx.charge_tuples(ENGINE, 1)?;
         return Ok(visit(binding));
     };
 
     used[i] = true;
     ctx.note_atom();
-    let atom = &q.atoms[i];
-
-    // Candidate rows: probe the index on the first bound position, falling
-    // back to a full scan only when nothing is bound.
-    let probe = atom
-        .terms
-        .iter()
-        .enumerate()
-        .find_map(|(c, t)| bound_value(t, binding).map(|v| (c, v.clone())));
-    let candidate_rows: Vec<usize> = match &probe {
-        Some((c, v)) => rels[i].probe(*c, v).to_vec(),
-        None => (0..rels[i].rel.len()).collect(),
-    };
-
-    'rows: for ri in candidate_rows {
+    for ri in candidate_rows(q, rels, i, binding) {
         ctx.tick(ENGINE)?;
-        let t = &rels[i].rel.tuples()[ri];
-        let mut newly_bound: Vec<&str> = Vec::new();
-        for (pos, term) in atom.terms.iter().enumerate() {
-            let val = &t[pos];
-            match term {
-                Term::Const(c) => {
-                    if c != val {
-                        undo(binding, &newly_bound);
-                        continue 'rows;
-                    }
-                }
-                Term::Var(v) => {
-                    if let Some(existing) = binding.get(v.as_str()) {
-                        if existing != val {
-                            undo(binding, &newly_bound);
-                            continue 'rows;
-                        }
-                    } else {
-                        binding.insert(v.clone(), val.clone());
-                        newly_bound.push(v);
-                    }
-                }
-            }
-        }
-        let keep_going = if constraints_hold(q, binding) {
-            recurse(q, rels, used, binding, ctx, visit)?
-        } else {
-            true
-        };
-        undo(binding, &newly_bound);
-        if !keep_going {
+        if !try_row(q, rels, used, binding, ctx, visit, i, ri)? {
             used[i] = false;
             return Ok(false);
         }
     }
     used[i] = false;
     Ok(true)
+}
+
+/// Search one contiguous chunk of the first atom's candidate rows (parallel
+/// fan-out worker body; see `naive::search_chunk`).
+fn search_chunk(
+    q: &ConjunctiveQuery,
+    rels: &[Indexed],
+    first: usize,
+    rows: &[usize],
+    ctx: &ExecutionContext,
+    visit: &mut impl FnMut(&Binding) -> bool,
+) -> Result<()> {
+    let _depth = ctx.recurse(ENGINE)?;
+    let mut used = vec![false; q.atoms.len()];
+    let mut binding = Binding::new();
+    used[first] = true;
+    ctx.note_atom();
+    for &ri in rows {
+        ctx.tick(ENGINE)?;
+        if !try_row(q, rels, &mut used, &mut binding, ctx, visit, first, ri)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// [`evaluate`] with first-atom partition fan-out; identical output to the
+/// serial engine at any thread count (chunk outputs concatenate in scan
+/// order). Charges the shared envelope.
+pub fn evaluate_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Relation> {
+    check_safety(q)?;
+    let base: Vec<&Relation> = q
+        .atoms
+        .iter()
+        .map(|a| db.relation(&a.relation))
+        .collect::<pq_data::Result<_>>()?;
+    let indexed: Vec<Indexed> = base.iter().map(|r| Indexed::build(r)).collect();
+    let first = pick_next(q, &indexed, &vec![false; q.atoms.len()], &Binding::new());
+    let (Some(first), true) = (first, pool.threads() > 1) else {
+        let ctx = shared.worker();
+        let mut bindings = Vec::new();
+        search(q, db, &ctx, &mut |b| {
+            bindings.push(b.clone());
+            true
+        })?;
+        return bindings_to_output(q, bindings);
+    };
+    let rows = candidate_rows(q, &indexed, first, &Binding::new());
+    let chunks = pq_exec::morsels(rows.len(), pool.threads() * 4);
+    let parts: Vec<Vec<Binding>> = pool.try_run(&chunks, |_, range| {
+        let ctx = shared.worker();
+        let mut local = Vec::new();
+        search_chunk(q, &indexed, first, &rows[range.clone()], &ctx, &mut |b| {
+            local.push(b.clone());
+            true
+        })?;
+        Ok::<_, EngineError>(local)
+    })?;
+    bindings_to_output(q, parts.concat())
+}
+
+/// [`is_nonempty`] with racing chunks; the first witness cancels the rest.
+pub fn is_nonempty_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<bool> {
+    let base: Vec<&Relation> = q
+        .atoms
+        .iter()
+        .map(|a| db.relation(&a.relation))
+        .collect::<pq_data::Result<_>>()?;
+    let indexed: Vec<Indexed> = base.iter().map(|r| Indexed::build(r)).collect();
+    let first = pick_next(q, &indexed, &vec![false; q.atoms.len()], &Binding::new());
+    let (Some(first), true) = (first, pool.threads() > 1) else {
+        let ctx = shared.worker();
+        let mut found = false;
+        search(q, db, &ctx, &mut |_| {
+            found = true;
+            false
+        })?;
+        return Ok(found);
+    };
+    let rows = candidate_rows(q, &indexed, first, &Binding::new());
+    let chunks = pq_exec::morsels(rows.len(), pool.threads() * 4);
+    let race = CancellationToken::new();
+    let hit = pool.find_first(&chunks, |_, range| {
+        let ctx = shared.worker().with_cancellation(race.clone());
+        let mut found = false;
+        let r = search_chunk(q, &indexed, first, &rows[range.clone()], &ctx, &mut |_| {
+            found = true;
+            false
+        });
+        match r {
+            Ok(()) if found => {
+                race.cancel();
+                Verdict::Hit(())
+            }
+            Ok(()) => Verdict::Miss,
+            Err(e) if race.is_cancelled() && crate::naive::is_cancellation(&e) => Verdict::Retire,
+            Err(e) => Verdict::Abort(e),
+        }
+    })?;
+    Ok(hit.is_some())
 }
 
 fn undo(binding: &mut Binding, vars: &[&str]) {

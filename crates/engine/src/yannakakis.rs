@@ -10,12 +10,13 @@
 use std::collections::BTreeSet;
 
 use pq_data::{Database, Relation, Tuple};
+use pq_exec::Pool;
 use pq_hypergraph::{join_tree, Hypergraph, JoinTree};
 use pq_query::{Atom, ConjunctiveQuery, Term};
 
 use crate::binding::head_attrs;
 use crate::error::{EngineError, Result};
-use crate::governor::ExecutionContext;
+use crate::governor::{ExecutionContext, SharedContext};
 
 /// Engine name reported in resource-exhaustion errors.
 const ENGINE: &str = "yannakakis";
@@ -264,22 +265,7 @@ pub fn evaluate_with_options_governed(
     for j in tree.bottom_up() {
         ctx.tick(ENGINE)?;
         let Some(u) = tree.parent(j) else { continue };
-        let u_j: BTreeSet<&str> = hg.edge(j).iter().map(|&v| hg.label(v)).collect();
-        let u_u: BTreeSet<&str> = hg.edge(u).iter().map(|&v| hg.label(v)).collect();
-        let subtree: BTreeSet<&str> = tree
-            .subtree_vertices(&hg, j)
-            .iter()
-            .map(|&v| hg.label(v))
-            .collect();
-        let mut zj: Vec<String> = Vec::new();
-        for v in u_j.intersection(&u_u) {
-            zj.push((*v).to_string());
-        }
-        for v in &z {
-            if subtree.contains(v.as_str()) && !zj.contains(v) {
-                zj.push(v.clone());
-            }
-        }
+        let zj = zj_vars(&hg, &tree, j, u, &z);
         let projected = rels[j].project_onto(&zj);
         rels[u] = rels[u].natural_join(&projected)?;
         ctx.charge_tuples(ENGINE, (projected.len() + rels[u].len()) as u64)?;
@@ -289,6 +275,282 @@ pub fn evaluate_with_options_governed(
     }
 
     // Project the root onto Z and materialize the head terms.
+    let z_refs: Vec<&str> = z.iter().map(String::as_str).collect();
+    let star = rels[tree.root()].project(&z_refs)?;
+    let mut out = Relation::new(head_attrs(&q.head_terms))?;
+    ctx.charge_tuples(ENGINE, star.len() as u64)?;
+    for t in star.iter() {
+        ctx.tick(ENGINE)?;
+        let vals = q.head_terms.iter().map(|term| match term {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => {
+                let pos = star.attr_pos(v).expect("head var in Z");
+                t[pos].clone()
+            }
+        });
+        out.insert(Tuple::new(vals))?;
+    }
+    Ok(out)
+}
+
+/// Variables `Z_j = (U_j ∩ U_u) ∪ (Z ∩ at(T[j]))` kept when the subtree
+/// rooted at `j` is joined into its parent `u` (Section 5's output join).
+fn zj_vars(hg: &Hypergraph, tree: &JoinTree, j: usize, u: usize, z: &[String]) -> Vec<String> {
+    let u_j: BTreeSet<&str> = hg.edge(j).iter().map(|&v| hg.label(v)).collect();
+    let u_u: BTreeSet<&str> = hg.edge(u).iter().map(|&v| hg.label(v)).collect();
+    let subtree: BTreeSet<&str> = tree
+        .subtree_vertices(hg, j)
+        .iter()
+        .map(|&v| hg.label(v))
+        .collect();
+    let mut zj: Vec<String> = Vec::new();
+    for v in u_j.intersection(&u_u) {
+        zj.push((*v).to_string());
+    }
+    for v in z {
+        if subtree.contains(v.as_str()) && !zj.contains(v) {
+            zj.push(v.clone());
+        }
+    }
+    zj
+}
+
+/// Nodes of `tree` grouped by depth: `levels(t)[0]` is the root, deeper
+/// levels follow. Processing levels deepest-first is a valid bottom-up
+/// schedule (every node's children are reduced one level earlier), and all
+/// semijoins *within* one level touch distinct parents, so they can run
+/// concurrently; that is the schedule the parallel passes below use.
+fn levels(tree: &JoinTree) -> Vec<Vec<usize>> {
+    let mut depth = vec![0usize; tree.num_nodes()];
+    for j in tree.top_down() {
+        if let Some(u) = tree.parent(j) {
+            depth[j] = depth[u] + 1;
+        }
+    }
+    let maxd = depth.iter().copied().max().unwrap_or(0);
+    let mut lv: Vec<Vec<usize>> = vec![Vec::new(); maxd + 1];
+    for (j, &d) in depth.iter().enumerate() {
+        lv[d].push(j);
+    }
+    lv
+}
+
+/// Per-atom relations computed by parallel workers charging one shared
+/// envelope. Output is positionally identical to the serial loop.
+fn parallel_atom_relations(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Vec<Relation>> {
+    pool.try_run(&q.atoms, |_, a| {
+        atom_relation_governed(a, db, &shared.worker())
+    })
+}
+
+/// Bottom-up semijoin pass scheduled level-by-level: every parent of a level
+/// reduces concurrently, applying its children in child order (the same
+/// order the serial post-order visits them, so intermediate relations — and
+/// hence budget charges — are identical). Returns `false` as soon as a
+/// non-root relation empties. A level with a single parent (e.g. every level
+/// of a chain query) instead runs the data-parallel semijoin kernel, which
+/// is byte-identical to the serial one.
+fn parallel_upward_pass(
+    tree: &JoinTree,
+    rels: &mut [Relation],
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<bool> {
+    let lv = levels(tree);
+    for d in (1..lv.len()).rev() {
+        let parents: Vec<usize> = lv[d - 1]
+            .iter()
+            .copied()
+            .filter(|&u| !tree.children(u).is_empty())
+            .collect();
+        if parents.len() == 1 {
+            let u = parents[0];
+            let ctx = shared.worker();
+            for &j in tree.children(u) {
+                ctx.tick(ENGINE)?;
+                if rels[j].is_empty() {
+                    return Ok(false);
+                }
+                rels[u] = rels[u].par_semijoin(&rels[j], pool);
+                ctx.charge_tuples(ENGINE, rels[u].len() as u64)?;
+            }
+        } else {
+            let snapshot: &[Relation] = rels;
+            let reduced: Vec<(Relation, bool)> = pool.try_run(&parents, |_, &u| {
+                let ctx = shared.worker();
+                let mut cur = snapshot[u].clone();
+                let mut dead = false;
+                for &j in tree.children(u) {
+                    ctx.tick(ENGINE)?;
+                    dead |= snapshot[j].is_empty();
+                    cur = cur.semijoin(&snapshot[j]);
+                    ctx.charge_tuples(ENGINE, cur.len() as u64)?;
+                }
+                Ok::<_, EngineError>((cur, dead))
+            })?;
+            let mut any_dead = false;
+            for (&u, (cur, dead)) in parents.iter().zip(reduced) {
+                any_dead |= dead;
+                rels[u] = cur;
+            }
+            if any_dead {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Top-down semijoin pass, level-by-level: every node of a level reads only
+/// its (already-reduced) parent one level up, so a whole level runs
+/// concurrently.
+fn parallel_downward_pass(
+    tree: &JoinTree,
+    rels: &mut [Relation],
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<()> {
+    let lv = levels(tree);
+    for nodes in lv.iter().skip(1) {
+        if nodes.len() == 1 {
+            let j = nodes[0];
+            let u = tree.parent(j).expect("non-root level");
+            let ctx = shared.worker();
+            ctx.tick(ENGINE)?;
+            rels[j] = rels[j].par_semijoin(&rels[u], pool);
+            ctx.charge_tuples(ENGINE, rels[j].len() as u64)?;
+        } else {
+            let snapshot: &[Relation] = rels;
+            let reduced: Vec<Relation> = pool.try_run(nodes, |_, &j| {
+                let ctx = shared.worker();
+                let u = tree.parent(j).expect("non-root level");
+                ctx.tick(ENGINE)?;
+                let out = snapshot[j].semijoin(&snapshot[u]);
+                ctx.charge_tuples(ENGINE, out.len() as u64)?;
+                Ok::<_, EngineError>(out)
+            })?;
+            for (&j, out) in nodes.iter().zip(reduced) {
+                rels[j] = out;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`is_nonempty`] with per-level parallel semijoin sweeps on `pool`, all
+/// workers charging the shared envelope. Same answer (and same budget
+/// charges) as the serial engine at any thread count.
+pub fn is_nonempty_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<bool> {
+    if q.atoms.is_empty() {
+        return Ok(true); // vacuous body
+    }
+    let (_hg, tree) = prepare(q)?;
+    let mut rels = parallel_atom_relations(q, db, shared, pool)?;
+    if !parallel_upward_pass(&tree, &mut rels, shared, pool)? {
+        return Ok(false);
+    }
+    Ok(!rels[tree.root()].is_empty())
+}
+
+/// [`evaluate_with_options`] with per-level parallel semijoin sweeps and a
+/// per-level parallel output-join phase. Produces the same relation as the
+/// serial engine at any thread count: the level schedule is a valid
+/// bottom-up order, each parent applies its children in the serial child
+/// order, and single-parent levels use the deterministic data-parallel
+/// kernels.
+pub fn evaluate_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: EvalOptions,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Relation> {
+    // Safety: head variables must occur in the body.
+    let body_vars: BTreeSet<&str> = q.atom_variables().into_iter().collect();
+    for v in q.head_variables() {
+        if !body_vars.contains(v) {
+            return Err(EngineError::Query(
+                pq_query::QueryError::UnsafeHeadVariable(v.to_string()),
+            ));
+        }
+    }
+    if q.atoms.is_empty() {
+        let mut out = Relation::new(head_attrs(&q.head_terms))?;
+        out.insert(Tuple::default())?;
+        return Ok(out);
+    }
+
+    let (hg, tree) = prepare(q)?;
+    let mut rels = parallel_atom_relations(q, db, shared, pool)?;
+
+    // Upward semijoin pass (full-reducer half 1).
+    if !parallel_upward_pass(&tree, &mut rels, shared, pool)? {
+        return Ok(Relation::new(head_attrs(&q.head_terms))?);
+    }
+    if rels[tree.root()].is_empty() {
+        return Ok(Relation::new(head_attrs(&q.head_terms))?);
+    }
+
+    // Downward semijoin pass (full-reducer half 2).
+    if opts.downward_pass {
+        parallel_downward_pass(&tree, &mut rels, shared, pool)?;
+    }
+
+    // Bottom-up join + project, level-by-level; levels join into distinct
+    // parents concurrently.
+    let z: Vec<String> = q.head_variables().iter().map(|v| v.to_string()).collect();
+    let lv = levels(&tree);
+    for d in (1..lv.len()).rev() {
+        let parents: Vec<usize> = lv[d - 1]
+            .iter()
+            .copied()
+            .filter(|&u| !tree.children(u).is_empty())
+            .collect();
+        if parents.len() == 1 {
+            let u = parents[0];
+            let ctx = shared.worker();
+            for &j in tree.children(u) {
+                ctx.tick(ENGINE)?;
+                let zj = zj_vars(&hg, &tree, j, u, &z);
+                let projected = rels[j].project_onto(&zj);
+                rels[u] = rels[u].par_natural_join(&projected, pool)?;
+                ctx.charge_tuples(ENGINE, (projected.len() + rels[u].len()) as u64)?;
+            }
+        } else {
+            let snapshot: &[Relation] = &rels;
+            let joined: Vec<Relation> = pool.try_run(&parents, |_, &u| {
+                let ctx = shared.worker();
+                let mut cur = snapshot[u].clone();
+                for &j in tree.children(u) {
+                    ctx.tick(ENGINE)?;
+                    let zj = zj_vars(&hg, &tree, j, u, &z);
+                    let projected = snapshot[j].project_onto(&zj);
+                    cur = cur.natural_join(&projected)?;
+                    ctx.charge_tuples(ENGINE, (projected.len() + cur.len()) as u64)?;
+                }
+                Ok::<_, EngineError>(cur)
+            })?;
+            for (&u, cur) in parents.iter().zip(joined) {
+                rels[u] = cur;
+            }
+        }
+        if parents.iter().any(|&u| rels[u].is_empty()) {
+            return Ok(Relation::new(head_attrs(&q.head_terms))?);
+        }
+    }
+
+    // Project the root onto Z and materialize the head terms.
+    let ctx = shared.worker();
     let z_refs: Vec<&str> = z.iter().map(String::as_str).collect();
     let star = rels[tree.root()].project(&z_refs)?;
     let mut out = Relation::new(head_attrs(&q.head_terms))?;

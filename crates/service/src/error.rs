@@ -34,6 +34,10 @@ pub enum ServiceError {
     ShuttingDown,
     /// A malformed wire-protocol request.
     Protocol(String),
+    /// The service configuration is invalid (e.g. the worker pool times the
+    /// intra-query parallelism degree oversubscribes
+    /// [`crate::service::MAX_TOTAL_THREADS`]).
+    InvalidConfig(String),
 }
 
 impl ServiceError {
@@ -48,6 +52,7 @@ impl ServiceError {
             ServiceError::Engine(_) => "engine",
             ServiceError::ShuttingDown => "shutting-down",
             ServiceError::Protocol(_) => "proto",
+            ServiceError::InvalidConfig(_) => "invalid-config",
         }
     }
 
@@ -77,6 +82,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Engine(e) => write!(f, "{e}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }

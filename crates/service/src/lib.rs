@@ -68,5 +68,5 @@ pub use protocol::{parse_request, Request, END};
 pub use server::{read_response, roundtrip, serve, serve_with_data_dir, ServerHandle};
 pub use service::{
     AnalysisReport, CacheOutcome, Explanation, LoadSummary, QueryResponse, QueryService,
-    RequestLimits, ServiceConfig,
+    RequestLimits, ServiceConfig, MAX_TOTAL_THREADS,
 };

@@ -96,6 +96,8 @@ pub struct ServiceMetrics {
     pub loads: AtomicU64,
     /// In-place database mutations.
     pub mutations: AtomicU64,
+    /// Evaluations that took the intra-query parallel path.
+    pub parallel_queries: AtomicU64,
     /// End-to-end query latencies (successful queries only).
     pub latency: LatencyHistogram,
 }
@@ -120,6 +122,10 @@ impl ServiceMetrics {
             result_misses: self.result_misses.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
+            parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            exec_threads: 0,
+            exec_tasks_run: 0,
+            exec_peak_active: 0,
             latency_p50_micros: percentile(&buckets, 0.50),
             latency_p99_micros: percentile(&buckets, 0.99),
         }
@@ -152,6 +158,16 @@ pub struct MetricsSnapshot {
     pub loads: u64,
     /// In-place database mutations.
     pub mutations: u64,
+    /// Evaluations that took the intra-query parallel path.
+    pub parallel_queries: u64,
+    /// Intra-query exec-pool size (the `intra_query_threads` knob; filled
+    /// in by [`crate::QueryService::stats`], 0 in a bare
+    /// [`ServiceMetrics::snapshot`]).
+    pub exec_threads: u64,
+    /// Morsel/partition tasks the exec pool has run (service lifetime).
+    pub exec_tasks_run: u64,
+    /// Peak concurrently-active exec-pool workers observed.
+    pub exec_peak_active: u64,
     /// Median successful-query latency (µs, upper bucket bound).
     pub latency_p50_micros: u64,
     /// 99th-percentile successful-query latency (µs, upper bucket bound).
@@ -173,6 +189,10 @@ impl MetricsSnapshot {
             format!("result_misses {}", self.result_misses),
             format!("loads {}", self.loads),
             format!("mutations {}", self.mutations),
+            format!("parallel_queries {}", self.parallel_queries),
+            format!("exec_threads {}", self.exec_threads),
+            format!("exec_tasks_run {}", self.exec_tasks_run),
+            format!("exec_peak_active {}", self.exec_peak_active),
             format!("latency_p50_micros {}", self.latency_p50_micros),
             format!("latency_p99_micros {}", self.latency_p99_micros),
         ]

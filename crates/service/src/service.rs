@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 use pq_core::{plan, Plan, PlannerOptions};
 use pq_data::{loader, Database, Relation};
 use pq_engine::governor::{CancellationToken, ExecutionContext};
+use pq_exec::Pool;
 use pq_query::{canonical_form, parse_cq, ConjunctiveQuery};
 
 use crate::cache::ShardedCache;
@@ -68,11 +69,29 @@ impl RequestLimits {
     }
 }
 
+/// Upper bound on `workers × intra_query_threads`: the worst-case number of
+/// threads simultaneously evaluating queries (each of the `workers` job
+/// threads may fan an evaluation out over `intra_query_threads` scoped
+/// threads). Configurations that oversubscribe this cap are rejected by
+/// [`QueryService::try_new`] — an oversubscribed service does not fail, it
+/// just context-switches its own parallelism away, which is exactly the
+/// silent degradation a validation error is cheaper than.
+pub const MAX_TOTAL_THREADS: usize = 64;
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads evaluating admitted jobs.
+    /// Worker threads evaluating admitted jobs (inter-query parallelism).
     pub workers: usize,
+    /// Intra-query parallelism degree: the size of the [`Pool`] each worker
+    /// hands to the engines' parallel paths. `1` keeps evaluation fully
+    /// serial (the pre-parallel behavior). Independent of [`workers`]:
+    /// `workers` bounds how many queries run at once, this bounds how many
+    /// threads each of them may use. Their product is capped by
+    /// [`MAX_TOTAL_THREADS`].
+    ///
+    /// [`workers`]: ServiceConfig::workers
+    pub intra_query_threads: usize,
     /// Bounded job-queue depth; a full queue rejects with
     /// [`ServiceError::Overloaded`].
     pub queue_depth: usize,
@@ -92,6 +111,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
+            intra_query_threads: pq_exec::default_threads().min(MAX_TOTAL_THREADS / 4),
             queue_depth: 64,
             plan_cache_capacity: 256,
             result_cache_capacity: 1024,
@@ -99,6 +119,28 @@ impl Default for ServiceConfig {
             default_limits: RequestLimits::default(),
             planner: PlannerOptions::default(),
         }
+    }
+}
+
+impl ServiceConfig {
+    /// Reject configurations whose worst-case thread count
+    /// (`workers × intra_query_threads`) exceeds [`MAX_TOTAL_THREADS`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the product oversubscribes the
+    /// cap (both knobs are clamped to at least 1 first).
+    pub fn validate(&self) -> Result<()> {
+        let workers = self.workers.max(1);
+        let intra = self.intra_query_threads.max(1);
+        let total = workers.saturating_mul(intra);
+        if total > MAX_TOTAL_THREADS {
+            return Err(ServiceError::InvalidConfig(format!(
+                "{workers} workers × {intra} intra-query threads = {total} \
+                 threads oversubscribes the cap of {MAX_TOTAL_THREADS}"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -263,6 +305,10 @@ struct Inner {
     config: ServiceConfig,
     shutdown: AtomicBool,
     cancel: CancellationToken,
+    /// Intra-query execution pool descriptor, shared by all workers so pool
+    /// occupancy and task counters aggregate service-wide (the pool spawns
+    /// scoped threads per run; it owns no threads of its own).
+    exec: Pool,
 }
 
 /// The concurrent query service (see the module docs).
@@ -274,12 +320,34 @@ pub struct QueryService {
 
 impl QueryService {
     /// Start a service: spawns the worker pool immediately.
+    ///
+    /// # Panics
+    /// If the configuration oversubscribes [`MAX_TOTAL_THREADS`]; use
+    /// [`QueryService::try_new`] to handle that as an error.
     pub fn new(config: ServiceConfig) -> Self {
+        QueryService::try_new(config).expect("invalid service configuration")
+    }
+
+    /// Start a service, rejecting invalid configurations (see
+    /// [`ServiceConfig::validate`]) with [`ServiceError::InvalidConfig`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidConfig`] when
+    /// `workers × intra_query_threads > MAX_TOTAL_THREADS`.
+    pub fn try_new(config: ServiceConfig) -> Result<Self> {
+        config.validate()?;
+        // The service's intra-query knob is authoritative: plans built here
+        // should recommend at most (and, when the query has fan-out, exactly)
+        // the degree the exec pool actually provides.
+        let mut config = config;
+        config.planner.max_parallelism = config.intra_query_threads.max(1);
         let inner = Arc::new(Inner {
             catalog: Catalog::new(),
             plan_cache: ShardedCache::new(config.plan_cache_capacity, config.cache_shards),
             result_cache: ShardedCache::new(config.result_cache_capacity, config.cache_shards),
             metrics: ServiceMetrics::default(),
+            exec: Pool::new(config.intra_query_threads.max(1)),
             config,
             shutdown: AtomicBool::new(false),
             cancel: CancellationToken::new(),
@@ -296,11 +364,11 @@ impl QueryService {
                     .expect("spawn worker")
             })
             .collect();
-        QueryService {
+        Ok(QueryService {
             inner,
             job_tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// A service with default configuration.
@@ -656,9 +724,15 @@ impl QueryService {
     // ---- observability & lifecycle ----
 
     /// Point-in-time metrics snapshot (includes cache sizes indirectly via
-    /// the hit/miss counters; see [`MetricsSnapshot`]).
+    /// the hit/miss counters; see [`MetricsSnapshot`]), with the intra-query
+    /// exec-pool occupancy counters folded in.
     pub fn stats(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot()
+        let mut s = self.inner.metrics.snapshot();
+        let pool = self.inner.exec.stats();
+        s.exec_threads = pool.threads as u64;
+        s.exec_tasks_run = pool.tasks_run;
+        s.exec_peak_active = pool.peak as u64;
+        s
     }
 
     /// Entries currently in (plan cache, result cache).
@@ -707,12 +781,29 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, inner: &Inner) {
             Err(_) => return,
         };
         let Ok(job) = job else { return };
-        let out = job
-            .planned
-            .plan
-            .execute_governed(&job.planned.query, &job.snapshot.db, &job.ctx)
-            .map(Arc::new)
-            .map_err(ServiceError::from);
+        // Intra-query parallel path: when both the service knob and the
+        // plan's recommended degree exceed 1, move the request limits into a
+        // shared envelope and fan the evaluation out on the exec pool. The
+        // engines' parallel paths produce the same relation as the serial
+        // ones at any degree, so this choice is invisible to the caller
+        // (except in STATS).
+        let parallel = inner.exec.threads() > 1 && job.planned.plan.parallelism > 1;
+        let out = if parallel {
+            ServiceMetrics::bump(&inner.metrics.parallel_queries);
+            let shared = job.ctx.into_shared();
+            job.planned.plan.execute_parallel(
+                &job.planned.query,
+                &job.snapshot.db,
+                &shared,
+                &inner.exec,
+            )
+        } else {
+            job.planned
+                .plan
+                .execute_governed(&job.planned.query, &job.snapshot.db, &job.ctx)
+        }
+        .map(Arc::new)
+        .map_err(ServiceError::from);
         if let Ok(rows) = &out {
             let key: ResultKey = (
                 Arc::clone(&job.planned.canonical),
@@ -983,6 +1074,86 @@ mod tests {
         assert_eq!(a.rows, b.rows);
         assert_eq!(b.cache, CacheOutcome::Miss);
         assert_eq!(svc.cache_sizes(), (0, 0));
+    }
+
+    #[test]
+    fn oversubscribed_configs_are_rejected() {
+        let bad = ServiceConfig {
+            workers: 16,
+            intra_query_threads: 8, // 128 > MAX_TOTAL_THREADS
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        let err = QueryService::try_new(bad).map(|_| ()).unwrap_err();
+        assert_eq!(err.code(), "invalid-config");
+        assert!(err.to_string().contains("128"), "{err}");
+        // The knobs are independently configurable below the cap.
+        let ok = ServiceConfig {
+            workers: 16,
+            intra_query_threads: 4, // exactly MAX_TOTAL_THREADS
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+        // Degenerate zero values are clamped, not rejected.
+        assert!(ServiceConfig {
+            workers: 0,
+            intra_query_threads: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn parallel_service_answers_match_serial_and_count_in_stats() {
+        let serial = QueryService::new(ServiceConfig {
+            workers: 2,
+            intra_query_threads: 1,
+            ..Default::default()
+        });
+        let parallel = QueryService::new(ServiceConfig {
+            workers: 2,
+            intra_query_threads: 4,
+            ..Default::default()
+        });
+        for svc in [&serial, &parallel] {
+            svc.load_str("d", DB_TEXT).unwrap();
+        }
+        for src in [
+            "G(x, c) :- R(x, y), S(y, c).",
+            "G :- R(x, y), R(y, z), R(z, x).",
+            "G(x) :- R(x, y), S(y, c), x != c.",
+        ] {
+            let a = serial.query("d", src, RequestLimits::default()).unwrap();
+            let b = parallel.query("d", src, RequestLimits::default()).unwrap();
+            assert_eq!(a.rows, b.rows, "{src}");
+        }
+        assert_eq!(serial.stats().parallel_queries, 0);
+        let s = parallel.stats();
+        assert_eq!(s.parallel_queries, 3);
+        assert_eq!(s.exec_threads, 4);
+        assert!(
+            s.exec_tasks_run > 0,
+            "parallel evaluations must schedule pool tasks"
+        );
+        assert!(s.exec_peak_active >= 1);
+        // Budget errors surface identically on the parallel path (clear the
+        // result cache so the probe actually evaluates).
+        parallel.clear_caches();
+        let err = parallel
+            .query(
+                "d",
+                "G(x, c) :- R(x, y), S(y, c).",
+                RequestLimits {
+                    tuple_budget: Some(0),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! serve                          listen on 127.0.0.1:7878
 //! serve 127.0.0.1:0             pick an ephemeral port (printed at startup)
 //! serve --workers 8 --queue 128  size the pool and its admission queue
+//! serve --threads 4              intra-query parallelism per worker
 //! serve company=data/company.db  preload `company` from a loader-format file
 //! serve --data-dir data          allow wire LOAD, confined to `data/`
 //! ```
@@ -43,12 +44,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--queue needs a positive integer");
             }
+            "--threads" => {
+                config.intra_query_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
             "--data-dir" => {
                 data_dir = Some(args.next().expect("--data-dir needs a path"));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [addr] [--workers N] [--queue N] [--data-dir DIR] [name=path ...]"
+                    "usage: serve [addr] [--workers N] [--queue N] [--threads N] [--data-dir DIR] [name=path ...]"
                 );
                 return;
             }

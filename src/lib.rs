@@ -2,6 +2,7 @@
 pub use pq_core as core;
 pub use pq_data as data;
 pub use pq_engine as engine;
+pub use pq_exec as exec;
 pub use pq_hypergraph as hypergraph;
 pub use pq_query as query;
 pub use pq_wtheory as wtheory;
