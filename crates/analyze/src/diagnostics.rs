@@ -41,8 +41,9 @@ impl fmt::Display for Severity {
 /// The stable lint codes. Numbering is grouped by pass: `PQA0xx`
 /// safety/range-restriction, `PQA1xx` contradiction detection, `PQA2xx`
 /// schema checks, `PQA3xx` core minimization, `PQA4xx` structural
-/// classification. Codes are append-only: a released code never changes
-/// meaning (golden files and operator tooling depend on them).
+/// classification, `PQA5xx` whole-program Datalog analysis. Codes are
+/// append-only: a released code never changes meaning (golden files and
+/// operator tooling depend on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum LintCode {
@@ -86,6 +87,29 @@ pub enum LintCode {
     /// `PQA402` — the parameter report: `q`, `v`, arity, constraint
     /// counts, and which Fig. 1 cell / engine applies.
     ParameterReport,
+    /// `PQA501` — a dead rule: it cannot contribute to the goal relation
+    /// (its head is unreachable from the goal, or a body IDB atom can never
+    /// derive a tuple). The rewrite prunes it.
+    DeadRule,
+    /// `PQA502` — an unsafe rule: a head variable is not bound by the
+    /// rule's body (`datalog_eval` rejects the same condition with
+    /// [`pq_query::QueryError::UnsafeRule`]).
+    UnsafeRule,
+    /// `PQA503` — a relation is used with inconsistent arities across the
+    /// program's rules.
+    RuleArityMismatch,
+    /// `PQA504` — the goal relation has no defining rule.
+    UndefinedGoal,
+    /// `PQA505` — an IDB relation that can never derive a tuple on any
+    /// database: every derivation path bottoms out in another underivable
+    /// IDB instead of the EDB.
+    UnderivableRelation,
+    /// `PQA506` — a recursive SCC of the predicate dependency graph, with
+    /// its linear/nonlinear classification.
+    RecursiveComponent,
+    /// `PQA510` — the program parameter report: rule counts before/after
+    /// pruning, SCC count, recursion class, arity and variable bounds.
+    ProgramReport,
 }
 
 impl LintCode {
@@ -107,6 +131,13 @@ impl LintCode {
             LintCode::MinimizationSkipped => "PQA302",
             LintCode::CyclicQuery => "PQA401",
             LintCode::ParameterReport => "PQA402",
+            LintCode::DeadRule => "PQA501",
+            LintCode::UnsafeRule => "PQA502",
+            LintCode::RuleArityMismatch => "PQA503",
+            LintCode::UndefinedGoal => "PQA504",
+            LintCode::UnderivableRelation => "PQA505",
+            LintCode::RecursiveComponent => "PQA506",
+            LintCode::ProgramReport => "PQA510",
         }
     }
 
@@ -121,12 +152,20 @@ impl LintCode {
             | LintCode::InconsistentComparisons
             | LintCode::NeqForcedEqual
             | LintCode::UnknownRelation
-            | LintCode::ArityMismatch => Severity::Error,
-            LintCode::TrivialNeq | LintCode::RedundantAtom => Severity::Warn,
+            | LintCode::ArityMismatch
+            | LintCode::UnsafeRule
+            | LintCode::RuleArityMismatch
+            | LintCode::UndefinedGoal => Severity::Error,
+            LintCode::TrivialNeq
+            | LintCode::RedundantAtom
+            | LintCode::DeadRule
+            | LintCode::UnderivableRelation => Severity::Warn,
             LintCode::ImpliedEquality
             | LintCode::MinimizationSkipped
             | LintCode::CyclicQuery
-            | LintCode::ParameterReport => Severity::Info,
+            | LintCode::ParameterReport
+            | LintCode::RecursiveComponent
+            | LintCode::ProgramReport => Severity::Info,
         }
     }
 }
@@ -152,6 +191,12 @@ pub enum Span {
     Neq(usize),
     /// Comparison atom `i` (0-based).
     Comparison(usize),
+    /// A Datalog program as a whole.
+    Program,
+    /// Datalog rule `i` (0-based, in program order). Program diagnostics —
+    /// including minimization findings re-anchored from atom spans — point
+    /// at the rule they concern.
+    Rule(usize),
 }
 
 impl fmt::Display for Span {
@@ -162,6 +207,8 @@ impl fmt::Display for Span {
             Span::Atom(i) => write!(f, "atom #{i}"),
             Span::Neq(i) => write!(f, "neq #{i}"),
             Span::Comparison(i) => write!(f, "cmp #{i}"),
+            Span::Program => write!(f, "program"),
+            Span::Rule(i) => write!(f, "rule #{i}"),
         }
     }
 }
@@ -223,6 +270,13 @@ mod tests {
             LintCode::MinimizationSkipped,
             LintCode::CyclicQuery,
             LintCode::ParameterReport,
+            LintCode::DeadRule,
+            LintCode::UnsafeRule,
+            LintCode::RuleArityMismatch,
+            LintCode::UndefinedGoal,
+            LintCode::UnderivableRelation,
+            LintCode::RecursiveComponent,
+            LintCode::ProgramReport,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

@@ -22,6 +22,16 @@
 //! plus a schema pass ([`schema_diagnostics`], `PQA201`–`PQA202`) that is
 //! separate because it depends on a concrete database, not the query alone.
 //!
+//! [`analyze_program`] lifts the same discipline to whole Datalog programs
+//! (the `PQA5xx` family): predicate dependency graph with goal-reachability
+//! dead-rule pruning (`PQA501`), per-rule safety (`PQA502`) and cross-rule
+//! arity consistency (`PQA503`), undefined-goal (`PQA504`) and
+//! never-derivable-IDB (`PQA505`) detection, recursion classification per
+//! SCC (`PQA506`, `PQA510`), and Chandra–Merlin core minimization of each
+//! rule body (`PQA301`/`PQA302` re-anchored to rule spans). When anything
+//! changed, the analysis carries a goal-preserving `rewritten` program —
+//! same least fixpoint at the goal, fewer and smaller rules.
+//!
 //! The crate sits *below* `pq-core`: the planner consumes an [`Analysis`]
 //! to evaluate the minimized core and short-circuit provably-empty
 //! queries, and `pq-service` surfaces the diagnostics over the wire via
@@ -43,10 +53,15 @@
 
 mod analyzer;
 mod diagnostics;
+mod program;
 mod report;
 
 pub use analyzer::{
     analyze, analyze_with_db, schema_diagnostics, Analysis, AnalyzeOptions, EmptyReason,
 };
 pub use diagnostics::{Diagnostic, LintCode, Severity, Span};
+pub use program::{
+    analyze_program, analyze_program_with_db, schema_diagnostics_program, ProgramAnalysis,
+    ProgramEmptyReason, ProgramReport, RecursionClass, SccReport,
+};
 pub use report::{structure_of, FigCell, StructureReport};

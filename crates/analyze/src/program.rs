@@ -1,0 +1,795 @@
+//! Whole-program Datalog analysis (the `PQA5xx` lint family).
+//!
+//! [`analyze_program`] lifts the single-query analyzer to a
+//! [`DatalogProgram`]. Pass order (recorded in DESIGN.md, part of the
+//! contract):
+//!
+//! 1. **per-rule safety and cross-rule arity consistency** — `PQA502` for
+//!    unsafe rules (the condition `datalog_eval` rejects with
+//!    [`pq_query::QueryError::UnsafeRule`]), `PQA503` when a relation is
+//!    used at two arities;
+//! 2. **goal resolution** — `PQA504` when the goal has no defining rule;
+//! 3. **dependency graph** — derivability (least fixpoint over rule heads:
+//!    `PQA505` for IDB relations that can never hold a tuple) and goal
+//!    reachability; rules failing either test are dead (`PQA501`) and
+//!    pruned. A goal that is itself underivable makes the program provably
+//!    empty on every database;
+//! 4. **per-rule core minimization** — Chandra–Merlin on each live rule
+//!    body (`PQA301`/`PQA302` re-anchored to rule spans, behind the same
+//!    `minimize_atom_limit` gate as the CQ pass);
+//! 5. **recursion classification** — SCC condensation of the IDB
+//!    dependency graph of the *live* program, each recursive component
+//!    classified linear/nonlinear (`PQA506`), then the `PQA510` program
+//!    parameter report (Section 4's bottom-up bounds are driven by exactly
+//!    these numbers).
+//!
+//! When pruning or minimization changed anything — and nothing is wrong —
+//! the analysis carries a `rewritten` program computing the identical goal
+//! relation (same least fixpoint restricted to the goal).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pq_data::Database;
+use pq_engine::containment;
+use pq_query::{ConjunctiveQuery, DatalogProgram, Rule};
+
+use crate::analyzer::AnalyzeOptions;
+use crate::diagnostics::{Diagnostic, LintCode, Severity, Span};
+
+/// How a Datalog program recurses, derived from the SCC condensation of
+/// its (live) IDB dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursionClass {
+    /// No recursive component: the program unfolds into a finite union of
+    /// conjunctive queries, so the whole Fig. 1 landscape applies to it.
+    Nonrecursive,
+    /// Every recursive component is linear (each rule uses at most one
+    /// atom of its own component): transitive-closure-like, one delta per
+    /// rule suffices.
+    Linear,
+    /// Some rule joins two or more atoms of its own component (e.g.
+    /// `T(x, z) :- T(x, y), T(y, z)`).
+    Nonlinear,
+}
+
+impl RecursionClass {
+    /// Stable lowercase name for reports and the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecursionClass::Nonrecursive => "nonrecursive",
+            RecursionClass::Linear => "linear",
+            RecursionClass::Nonlinear => "nonlinear",
+        }
+    }
+}
+
+impl std::fmt::Display for RecursionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One strongly connected component of the IDB dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccReport {
+    /// The component's predicates, sorted.
+    pub predicates: Vec<String>,
+    /// Does the component recurse (more than one predicate, or a
+    /// self-loop)?
+    pub recursive: bool,
+    /// For recursive components: does every rule use at most one atom of
+    /// the component in its body? (Trivially `true` for non-recursive
+    /// components.)
+    pub linear: bool,
+}
+
+/// Why a program's goal relation is empty on **every** database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramEmptyReason {
+    /// The goal is defined but underivable: every rule for it (transitively)
+    /// requires an IDB relation with no EDB-grounded derivation.
+    GoalUnderivable,
+}
+
+impl ProgramEmptyReason {
+    /// Stable lowercase name for reports and the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProgramEmptyReason::GoalUnderivable => "goal-underivable",
+        }
+    }
+}
+
+impl std::fmt::Display for ProgramEmptyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The structural facts [`analyze_program`] derives: rule liveness, the SCC
+/// condensation, the recursion class, and the Section 4 parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramReport {
+    /// Rules in the input program.
+    pub rules_total: usize,
+    /// Rules that survive dead-rule pruning (= `rules_total` minus
+    /// `dead_rules.len()`).
+    pub rules_live: usize,
+    /// Indices (program order) of the pruned rules.
+    pub dead_rules: Vec<usize>,
+    /// The EDB relations, sorted.
+    pub edb: Vec<String>,
+    /// The IDB relations, sorted.
+    pub idb: Vec<String>,
+    /// SCCs of the live program's IDB dependency graph, in reverse
+    /// topological order (callees first).
+    pub sccs: Vec<SccReport>,
+    /// The overall recursion class of the live program.
+    pub recursion: RecursionClass,
+    /// Maximum atom arity (the `r` of Section 4's `n^r` stage bound),
+    /// over the live, minimized rules.
+    pub max_arity: usize,
+    /// Maximum distinct variables in one rule (the per-stage CQ parameter
+    /// `v`), over the live, minimized rules.
+    pub max_rule_variables: usize,
+}
+
+/// The analyzer's complete output for one Datalog program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramAnalysis {
+    /// Findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The pruned + per-rule-minimized program, present only when it
+    /// differs from the input. Goal-preserving: its least fixpoint gives
+    /// the identical goal relation.
+    pub rewritten: Option<DatalogProgram>,
+    /// Set when the goal relation is empty on every database; evaluation
+    /// can be skipped entirely.
+    pub empty: Option<ProgramEmptyReason>,
+    /// Structural report for the program the planner should execute.
+    pub report: ProgramReport,
+}
+
+impl ProgramAnalysis {
+    /// Is the goal relation provably empty on every database?
+    pub fn provably_empty(&self) -> bool {
+        self.empty.is_some()
+    }
+
+    /// Any error-severity findings?
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The program evaluation should run: the rewritten program when one
+    /// exists, otherwise `original`.
+    pub fn effective<'a>(&'a self, original: &'a DatalogProgram) -> &'a DatalogProgram {
+        self.rewritten.as_ref().unwrap_or(original)
+    }
+
+    /// Deterministic line rendering, shared by `examples/analyze.rs`, the
+    /// golden-corpus CI gate, and the wire protocol. Order: diagnostics in
+    /// pass order, then the rewritten program (one line), then the verdict.
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.diagnostics.iter().map(|d| d.to_string()).collect();
+        if let Some(r) = &self.rewritten {
+            out.push(format!("rewritten: {}", one_line(r)));
+        }
+        match self.empty {
+            Some(reason) => out.push(format!("verdict: provably-empty ({reason})")),
+            None => out.push("verdict: ok".to_string()),
+        }
+        out
+    }
+}
+
+/// Render a program on one line: rules separated by single spaces, then the
+/// goal marker (`Display` uses one line per rule, which golden files and
+/// the wire protocol cannot frame).
+fn one_line(p: &DatalogProgram) -> String {
+    let rules: Vec<String> = p.rules.iter().map(ToString::to_string).collect();
+    format!("{} ?- {}", rules.join(" "), p.goal)
+}
+
+// ------------------------------------------------ pass 1: safety/arity --
+
+fn rule_safety_pass(p: &DatalogProgram, out: &mut Vec<Diagnostic>) {
+    for (i, r) in p.rules.iter().enumerate() {
+        for v in r.unsafe_variables() {
+            out.push(Diagnostic::new(
+                LintCode::UnsafeRule,
+                Span::Rule(i),
+                format!("head variable `{v}` of `{r}` is not bound by the rule body"),
+            ));
+        }
+    }
+    // First use fixes a relation's arity; later conflicting uses are
+    // flagged where they occur.
+    let mut first: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (i, r) in p.rules.iter().enumerate() {
+        for a in std::iter::once(&r.head).chain(r.body.iter()) {
+            match first.get(a.relation.as_str()) {
+                None => {
+                    first.insert(&a.relation, (a.arity(), i));
+                }
+                Some(&(k, j)) if k != a.arity() => {
+                    out.push(Diagnostic::new(
+                        LintCode::RuleArityMismatch,
+                        Span::Rule(i),
+                        format!(
+                            "`{a}` uses relation `{}` with arity {} but rule #{j} \
+                             fixed its arity at {k}",
+                            a.relation,
+                            a.arity()
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+// ------------------------------------------- pass 3: dependency graph --
+
+/// The IDB relations that can derive at least one tuple on *some* database:
+/// the least fixpoint of "some rule for `P` has all its IDB body relations
+/// derivable" (EDB relations are always potentially nonempty).
+fn derivable_idbs(p: &DatalogProgram) -> BTreeSet<&str> {
+    let idb = p.idb_relations();
+    let mut derivable: BTreeSet<&str> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for r in &p.rules {
+            if derivable.contains(r.head.relation.as_str()) {
+                continue;
+            }
+            let grounded = r.body.iter().all(|a| {
+                !idb.contains(a.relation.as_str()) || derivable.contains(a.relation.as_str())
+            });
+            if grounded {
+                derivable.insert(r.head.relation.as_str());
+                changed = true;
+            }
+        }
+        if !changed {
+            return derivable;
+        }
+    }
+}
+
+/// Why rule `i` is dead, if it is.
+fn death_reason(
+    rule: &Rule,
+    reachable: &BTreeSet<&str>,
+    underivable: &BTreeSet<&str>,
+) -> Option<String> {
+    if !reachable.contains(rule.head.relation.as_str()) {
+        return Some(format!(
+            "relation `{}` is unreachable from the goal: nothing this rule \
+             derives can contribute to the answer",
+            rule.head.relation
+        ));
+    }
+    rule.body
+        .iter()
+        .find(|a| underivable.contains(a.relation.as_str()))
+        .map(|a| {
+            format!(
+                "body atom `{a}` can never hold (relation `{}` derives no \
+                 tuples), so the rule never fires",
+                a.relation
+            )
+        })
+}
+
+// ------------------------------------------- pass 4: core minimization --
+
+fn rule_to_cq(rule: &Rule) -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        rule.head.relation.clone(),
+        rule.head.terms.iter().cloned(),
+        rule.body.iter().cloned(),
+    )
+}
+
+/// Minimize one live rule's body (Chandra–Merlin on the body CQ — body
+/// equivalence holds over every database state, including any IDB
+/// contents, so the minimized rule derives the same head tuples at every
+/// fixpoint round). Returns the minimized rule when atoms dropped.
+fn minimize_rule(
+    i: usize,
+    rule: &Rule,
+    opts: &AnalyzeOptions,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Rule> {
+    if rule.body.len() < 2 {
+        return None;
+    }
+    if rule.body.len() > opts.minimize_atom_limit {
+        out.push(Diagnostic::new(
+            LintCode::MinimizationSkipped,
+            Span::Rule(i),
+            format!(
+                "core minimization skipped: {} body atoms exceeds the limit \
+                 of {} (equivalence checks are CQ evaluations)",
+                rule.body.len(),
+                opts.minimize_atom_limit
+            ),
+        ));
+        return None;
+    }
+    // Datalog rule bodies are pure by construction (the parser rejects
+    // constraints), so the trace cannot fail; treat an error as "no
+    // rewrite" rather than poisoning the analysis.
+    let Ok((core, removed)) = containment::minimize_trace(&rule_to_cq(rule)) else {
+        return None;
+    };
+    if removed.is_empty() {
+        return None;
+    }
+    for &j in &removed {
+        out.push(Diagnostic::new(
+            LintCode::RedundantAtom,
+            Span::Rule(i),
+            format!(
+                "`{}` is redundant: the rule derives the same tuples without \
+                 it (Chandra–Merlin core)",
+                rule.body[j]
+            ),
+        ));
+    }
+    Some(Rule::new(rule.head.clone(), core.atoms))
+}
+
+// ------------------------------------- pass 5: recursion classification --
+
+fn classify_recursion(live: &DatalogProgram, out: &mut Vec<Diagnostic>) -> Vec<SccReport> {
+    let mut sccs = Vec::new();
+    for comp in live.idb_sccs() {
+        let members: BTreeSet<&str> = comp.iter().copied().collect();
+        let in_comp = |rule: &Rule| members.contains(rule.head.relation.as_str());
+        let comp_atoms = |rule: &Rule| {
+            rule.body
+                .iter()
+                .filter(|a| members.contains(a.relation.as_str()))
+                .count()
+        };
+        let recursive =
+            comp.len() > 1 || live.rules.iter().any(|r| in_comp(r) && comp_atoms(r) > 0);
+        let linear = live.rules.iter().all(|r| !in_comp(r) || comp_atoms(r) <= 1);
+        if recursive {
+            out.push(Diagnostic::new(
+                LintCode::RecursiveComponent,
+                Span::Program,
+                format!(
+                    "recursive component {{{}}}: {} recursion",
+                    comp.join(", "),
+                    if linear { "linear" } else { "nonlinear" }
+                ),
+            ));
+        }
+        sccs.push(SccReport {
+            predicates: comp.iter().map(ToString::to_string).collect(),
+            recursive,
+            linear,
+        });
+    }
+    sccs
+}
+
+fn recursion_class(sccs: &[SccReport]) -> RecursionClass {
+    let recursive: Vec<&SccReport> = sccs.iter().filter(|s| s.recursive).collect();
+    if recursive.is_empty() {
+        RecursionClass::Nonrecursive
+    } else if recursive.iter().all(|s| s.linear) {
+        RecursionClass::Linear
+    } else {
+        RecursionClass::Nonlinear
+    }
+}
+
+// ------------------------------------------------------------- driver --
+
+/// Run the full program analysis (see the module docs for the pass order).
+/// Deterministic: same program and options, same output.
+pub fn analyze_program(p: &DatalogProgram, opts: &AnalyzeOptions) -> ProgramAnalysis {
+    let mut diagnostics = Vec::new();
+
+    // Pass 1: per-rule safety, cross-rule arity consistency.
+    rule_safety_pass(p, &mut diagnostics);
+
+    // Pass 2: goal resolution.
+    let goal_defined = p.idb_relations().contains(p.goal.as_str());
+    if !goal_defined {
+        diagnostics.push(Diagnostic::new(
+            LintCode::UndefinedGoal,
+            Span::Program,
+            format!("goal relation `{}` has no defining rule", p.goal),
+        ));
+    }
+
+    // Pass 3: dependency graph — derivability, reachability, dead rules.
+    // Skipped for an undefined goal (every rule would be trivially dead;
+    // the one `PQA504` error already says why nothing can run).
+    let mut dead_rules: Vec<usize> = Vec::new();
+    let mut empty = None;
+    if goal_defined {
+        let idb = p.idb_relations();
+        let derivable = derivable_idbs(p);
+        let underivable: BTreeSet<&str> = idb.difference(&derivable).copied().collect();
+        for u in &underivable {
+            diagnostics.push(Diagnostic::new(
+                LintCode::UnderivableRelation,
+                Span::Program,
+                format!(
+                    "IDB relation `{u}` can never derive a tuple: no rule for \
+                     it bottoms out in the EDB"
+                ),
+            ));
+        }
+        let reachable = p.reachable_from_goal();
+        for (i, rule) in p.rules.iter().enumerate() {
+            if let Some(why) = death_reason(rule, &reachable, &underivable) {
+                diagnostics.push(Diagnostic::new(
+                    LintCode::DeadRule,
+                    Span::Rule(i),
+                    format!("dead rule `{rule}`: {why}"),
+                ));
+                dead_rules.push(i);
+            }
+        }
+        if underivable.contains(p.goal.as_str()) {
+            empty = Some(ProgramEmptyReason::GoalUnderivable);
+        }
+    }
+
+    // Pass 4: per-rule core minimization on the live rules. Errors gate the
+    // pass exactly as in the CQ analyzer — a broken program has no
+    // trustworthy equivalences to exploit.
+    let has_errors = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    let mut live_rules: Vec<Rule> = Vec::new();
+    let mut changed = !dead_rules.is_empty();
+    for (i, rule) in p.rules.iter().enumerate() {
+        if dead_rules.contains(&i) {
+            continue;
+        }
+        let minimized = if opts.minimize && !has_errors && empty.is_none() {
+            minimize_rule(i, rule, opts, &mut diagnostics)
+        } else {
+            None
+        };
+        changed |= minimized.is_some();
+        live_rules.push(minimized.unwrap_or_else(|| rule.clone()));
+    }
+    let live = DatalogProgram::new(live_rules, p.goal.clone());
+
+    // Pass 5: recursion classification + the program parameter report,
+    // both on the live program (the one the planner will execute).
+    let sccs = classify_recursion(&live, &mut diagnostics);
+    let recursion = recursion_class(&sccs);
+    let report = ProgramReport {
+        rules_total: p.rules.len(),
+        rules_live: live.rules.len(),
+        dead_rules,
+        edb: p.edb_relations().iter().map(ToString::to_string).collect(),
+        idb: p.idb_relations().iter().map(ToString::to_string).collect(),
+        sccs,
+        recursion,
+        max_arity: live.max_arity(),
+        max_rule_variables: live.max_rule_variables(),
+    };
+    let unfoldable = if recursion == RecursionClass::Nonrecursive {
+        "; nonrecursive: unfoldable into a union of conjunctive queries"
+    } else {
+        ""
+    };
+    diagnostics.push(Diagnostic::new(
+        LintCode::ProgramReport,
+        Span::Program,
+        format!(
+            "rules={}/{} (live/total), edb={}, idb={}, sccs={}, \
+             recursion={}, max arity={}, max rule vars={}{unfoldable}",
+            report.rules_live,
+            report.rules_total,
+            report.edb.len(),
+            report.idb.len(),
+            report.sccs.len(),
+            report.recursion,
+            report.max_arity,
+            report.max_rule_variables
+        ),
+    ));
+
+    let rewritten = (changed && !has_errors && goal_defined && empty.is_none()).then(|| {
+        debug_assert!(live.validate().is_ok(), "rewrite must stay valid");
+        live
+    });
+    ProgramAnalysis {
+        diagnostics,
+        rewritten,
+        empty,
+        report,
+    }
+}
+
+/// The schema pass for programs: check every EDB relation the program uses
+/// against an actual database (IDB relations live only inside the
+/// fixpoint). Errors mirror the CQ pass (`PQA201`/`PQA202`), anchored at
+/// the first rule using the relation.
+pub fn schema_diagnostics_program(p: &DatalogProgram, db: &Database) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let idb = p.idb_relations();
+    let mut seen: BTreeSet<(&str, usize)> = BTreeSet::new();
+    for (i, r) in p.rules.iter().enumerate() {
+        for a in &r.body {
+            if idb.contains(a.relation.as_str()) || !seen.insert((&a.relation, a.arity())) {
+                continue;
+            }
+            match db.relation(&a.relation) {
+                Err(_) => out.push(Diagnostic::new(
+                    LintCode::UnknownRelation,
+                    Span::Rule(i),
+                    format!(
+                        "EDB relation `{}` is not in the database (evaluation \
+                         fails; under a closed world the answer would be empty)",
+                        a.relation
+                    ),
+                )),
+                Ok(rel) if rel.arity() != a.arity() => out.push(Diagnostic::new(
+                    LintCode::ArityMismatch,
+                    Span::Rule(i),
+                    format!(
+                        "`{}` has arity {} but relation `{}` stores arity {}",
+                        a,
+                        a.arity(),
+                        a.relation,
+                        rel.arity()
+                    ),
+                )),
+                Ok(_) => {}
+            }
+        }
+    }
+    out
+}
+
+/// [`analyze_program`] plus the schema pass against `db`, appended in rule
+/// order.
+pub fn analyze_program_with_db(
+    p: &DatalogProgram,
+    db: &Database,
+    opts: &AnalyzeOptions,
+) -> ProgramAnalysis {
+    let mut a = analyze_program(p, opts);
+    a.diagnostics.extend(schema_diagnostics_program(p, db));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_query::parse_datalog;
+
+    fn codes(a: &ProgramAnalysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.code.code()).collect()
+    }
+
+    fn analyze_src(src: &str) -> ProgramAnalysis {
+        analyze_program(&parse_datalog(src).unwrap(), &AnalyzeOptions::default())
+    }
+
+    #[test]
+    fn clean_linear_program_reports_parameters_only() {
+        let a = analyze_src(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- E(x, y), T(y, z).\n\
+             ?- T",
+        );
+        assert_eq!(codes(&a), vec!["PQA506", "PQA510"]);
+        assert!(a.rewritten.is_none());
+        assert_eq!(a.report.recursion, RecursionClass::Linear);
+        assert_eq!(a.report.rules_live, 2);
+        assert!(!a.provably_empty());
+    }
+
+    #[test]
+    fn nonlinear_recursion_is_classified() {
+        let a = analyze_src(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- T(x, y), T(y, z).\n\
+             ?- T",
+        );
+        assert_eq!(a.report.recursion, RecursionClass::Nonlinear);
+        assert!(!a.report.sccs.iter().any(|s| s.recursive && s.linear));
+    }
+
+    #[test]
+    fn mutual_recursion_spans_an_scc() {
+        let a = analyze_src(
+            "A(x, y) :- E(x, y).\n\
+             A(x, y) :- B(x, y).\n\
+             B(x, z) :- E(x, y), A(y, z).\n\
+             ?- A",
+        );
+        let rec: Vec<_> = a.report.sccs.iter().filter(|s| s.recursive).collect();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].predicates, vec!["A", "B"]);
+        assert_eq!(a.report.recursion, RecursionClass::Linear);
+    }
+
+    #[test]
+    fn nonrecursive_programs_are_flagged_unfoldable() {
+        let a = analyze_src(
+            "S(x, z) :- E(x, y), E(y, z).\n\
+             ?- S",
+        );
+        assert_eq!(a.report.recursion, RecursionClass::Nonrecursive);
+        let report = a.diagnostics.last().unwrap();
+        assert_eq!(report.code, LintCode::ProgramReport);
+        assert!(report.message.contains("unfoldable"), "{}", report.message);
+    }
+
+    #[test]
+    fn dead_rules_are_pruned_and_reported() {
+        let a = analyze_src(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- E(x, y), T(y, z).\n\
+             U(x) :- E(x, y).\n\
+             ?- T",
+        );
+        assert!(codes(&a).contains(&"PQA501"));
+        assert_eq!(a.report.dead_rules, vec![2]);
+        let r = a.rewritten.as_ref().expect("dead rule pruned");
+        assert_eq!(r.rules.len(), 2);
+        assert!(r.validate().is_ok());
+        assert_eq!(r.goal, "T");
+    }
+
+    #[test]
+    fn unsafe_rules_get_pqa502_and_gate_the_rewrite() {
+        let a = analyze_src(
+            "G(x) :- E(y, y).\n\
+             U(x) :- E(x, y).\n\
+             ?- G",
+        );
+        assert!(codes(&a).contains(&"PQA502"));
+        assert!(a.has_errors());
+        assert!(a.rewritten.is_none(), "errors gate the rewrite");
+    }
+
+    #[test]
+    fn arity_clash_points_at_the_second_use() {
+        let a = analyze_src(
+            "T(x) :- E(x, y).\n\
+             T(x, y) :- E(x, y).\n\
+             ?- T",
+        );
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::RuleArityMismatch)
+            .expect("arity clash");
+        assert_eq!(d.span, Span::Rule(1));
+        assert!(d.message.contains("rule #0"), "{}", d.message);
+    }
+
+    #[test]
+    fn undefined_goal_is_an_error() {
+        let a = analyze_src("T(x, y) :- E(x, y). ?- G");
+        assert!(codes(&a).contains(&"PQA504"));
+        assert!(a.has_errors());
+        // No dead-rule noise on top of the one real problem.
+        assert!(!codes(&a).contains(&"PQA501"));
+    }
+
+    #[test]
+    fn underivable_goal_is_provably_empty() {
+        let a = analyze_src(
+            "G(x) :- A(x).\n\
+             A(x) :- B(x).\n\
+             B(x) :- A(x), E(x, y).\n\
+             ?- G",
+        );
+        assert_eq!(a.empty, Some(ProgramEmptyReason::GoalUnderivable));
+        let underivable: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::UnderivableRelation)
+            .collect();
+        assert_eq!(underivable.len(), 3, "G, A and B never derive");
+        assert!(a.lines().last().unwrap().contains("goal-underivable"));
+        assert!(a.rewritten.is_none());
+    }
+
+    #[test]
+    fn underivable_side_relation_kills_only_its_rule() {
+        let a = analyze_src(
+            "T(x, y) :- E(x, y).\n\
+             T(x, y) :- E(x, y), Z(x).\n\
+             Z(x) :- Z(x).\n\
+             ?- T",
+        );
+        assert!(!a.provably_empty());
+        assert_eq!(a.report.dead_rules, vec![1, 2]);
+        let r = a.rewritten.as_ref().unwrap();
+        assert_eq!(r.rules.len(), 1);
+    }
+
+    #[test]
+    fn rule_bodies_are_core_minimized() {
+        let a = analyze_src("G(x, y) :- E(x, y), E(x, z), E(x, w). ?- G");
+        let pqa301 = codes(&a).iter().filter(|c| **c == "PQA301").count();
+        assert_eq!(pqa301, 2, "two redundant atoms drop");
+        let r = a.rewritten.as_ref().unwrap();
+        assert_eq!(r.rules[0].body.len(), 1);
+        assert_eq!(a.report.max_rule_variables, 2, "report sees the core");
+        // Diagnostics anchor at the rule span.
+        assert!(a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::RedundantAtom)
+            .all(|d| d.span == Span::Rule(0)));
+    }
+
+    #[test]
+    fn minimization_respects_the_atom_limit() {
+        let p = parse_datalog("G(x) :- E(x, a), E(x, b), E(x, c). ?- G").unwrap();
+        let opts = AnalyzeOptions {
+            minimize_atom_limit: 2,
+            ..Default::default()
+        };
+        let a = analyze_program(&p, &opts);
+        assert!(a.rewritten.is_none());
+        assert!(codes(&a).contains(&"PQA302"));
+    }
+
+    #[test]
+    fn effective_returns_the_rewrite_only_when_it_exists() {
+        let p = parse_datalog(
+            "T(x, y) :- E(x, y).\n\
+             U(x) :- E(x, y).\n\
+             ?- T",
+        )
+        .unwrap();
+        let a = analyze_program(&p, &AnalyzeOptions::default());
+        assert_eq!(a.effective(&p).rules.len(), 1);
+        let clean = parse_datalog("T(x, y) :- E(x, y). ?- T").unwrap();
+        let b = analyze_program(&clean, &AnalyzeOptions::default());
+        assert!(std::ptr::eq(b.effective(&clean), &clean));
+    }
+
+    #[test]
+    fn schema_pass_checks_edb_relations_only() {
+        let mut db = Database::new();
+        db.add_table("E", ["a", "b"], [pq_data::tuple![1, 2]])
+            .unwrap();
+        let p = parse_datalog(
+            "T(x, y) :- E(x, y), F(x).\n\
+             T(x, z) :- E(x, y, y), T(y, z).\n\
+             ?- T",
+        )
+        .unwrap();
+        let a = analyze_program_with_db(&p, &db, &AnalyzeOptions::default());
+        let schema: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| matches!(d.code, LintCode::UnknownRelation | LintCode::ArityMismatch))
+            .collect();
+        assert_eq!(schema.len(), 2, "unknown F, wrong-arity E: {schema:?}");
+        // T is IDB — never checked against the catalog.
+        assert!(schema.iter().all(|d| !d.message.contains("`T`")));
+    }
+
+    #[test]
+    fn lines_are_deterministic_and_end_with_the_verdict() {
+        let src = "T(x, y) :- E(x, y).\nU(x) :- E(x, y).\n?- T";
+        let lines = analyze_src(src).lines();
+        assert_eq!(lines, analyze_src(src).lines());
+        assert_eq!(lines.last().unwrap(), "verdict: ok");
+        assert!(lines.iter().any(|l| l.starts_with("rewritten: ")));
+    }
+}

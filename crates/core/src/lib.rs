@@ -36,9 +36,11 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod datalog;
 pub mod planner;
 
 pub use classify::{classification_of, classify, Classification, CqClass};
+pub use datalog::{evaluate_datalog, plan_datalog, DatalogPlan};
 pub use planner::{
     decide, evaluate, evaluate_with_fallback, is_nonempty, plan, EngineChoice, FallbackAttempt,
     FallbackOutcome, Plan, PlannerOptions,

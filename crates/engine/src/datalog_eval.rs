@@ -40,6 +40,11 @@ pub struct FixpointStats {
     pub rule_evaluations: usize,
     /// Total derived (distinct) IDB tuples.
     pub derived_tuples: usize,
+    /// Per-rule CQ evaluation counts, indexed by the rule's position in the
+    /// *evaluated* program (sums to `rule_evaluations`). A rule the
+    /// analyzer pruned has no slot here at all — the witness that dead
+    /// rules are never evaluated.
+    pub rule_eval_counts: Vec<usize>,
 }
 
 fn rule_to_cq(rule: &Rule) -> ConjunctiveQuery {
@@ -113,12 +118,41 @@ pub fn evaluate_with_stats_governed(
     ctx: &ExecutionContext,
 ) -> Result<(Relation, FixpointStats)> {
     let (arities, mut work) = setup_work(p, db)?;
-    let mut stats = FixpointStats::default();
+    let mut stats = FixpointStats {
+        rule_eval_counts: vec![0; p.rules.len()],
+        ..FixpointStats::default()
+    };
     match strategy {
         Strategy::Naive => naive_fixpoint(p, &mut work, &mut stats, ctx)?,
         Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &arities, &mut stats, ctx)?,
     }
     finish(p, &work, &arities, stats)
+}
+
+/// Evaluate `rewritten` — a goal-preserving rewrite of `original` from the
+/// program analyzer (dead rules pruned, rule bodies core-minimized) — and
+/// return its goal relation and stats. The least fixpoint restricted to
+/// the goal is identical to `original`'s, but the run touches fewer and
+/// smaller rules, and `stats.rule_eval_counts` has one slot per *rewritten*
+/// rule: pruned rules are never evaluated, by construction.
+///
+/// # Errors
+/// [`EngineError::Unsupported`] when the two programs disagree on the goal
+/// relation (then the rewrite cannot be goal-preserving).
+pub fn evaluate_rewritten_governed(
+    original: &DatalogProgram,
+    rewritten: &DatalogProgram,
+    db: &Database,
+    strategy: Strategy,
+    ctx: &ExecutionContext,
+) -> Result<(Relation, FixpointStats)> {
+    if original.goal != rewritten.goal {
+        return Err(EngineError::Unsupported(format!(
+            "rewritten program computes goal `{}`, not `{}`",
+            rewritten.goal, original.goal
+        )));
+    }
+    evaluate_with_stats_governed(rewritten, db, strategy, ctx)
 }
 
 /// Validate the program and build the working database: EDB relations plus
@@ -171,9 +205,10 @@ fn naive_fixpoint(
     loop {
         stats.rounds += 1;
         let mut changed = false;
-        for rule in &p.rules {
+        for (ri, rule) in p.rules.iter().enumerate() {
             ctx.tick(ENGINE)?;
             stats.rule_evaluations += 1;
+            stats.rule_eval_counts[ri] += 1;
             let cq = rule_to_cq(rule);
             let derived = naive::evaluate_governed(&cq, work, ctx)?;
             let target = work.relation_mut(&rule.head.relation)?;
@@ -201,9 +236,10 @@ fn seminaive_fixpoint(
     // rules fire); collect deltas.
     let mut delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
     stats.rounds = 1;
-    for rule in &p.rules {
+    for (ri, rule) in p.rules.iter().enumerate() {
         ctx.tick(ENGINE)?;
         stats.rule_evaluations += 1;
+        stats.rule_eval_counts[ri] += 1;
         let derived = naive::evaluate_governed(&rule_to_cq(rule), work, ctx)?;
         let target = work.relation_mut(&rule.head.relation)?;
         for t in derived.iter() {
@@ -232,7 +268,7 @@ fn seminaive_fixpoint(
             work.set_relation(format!("Δ{name}"), rel);
         }
 
-        for rule in &p.rules {
+        for (ri, rule) in p.rules.iter().enumerate() {
             for (i, batom) in rule.body.iter().enumerate() {
                 let Some(tuples) = delta.get(&batom.relation) else {
                     continue;
@@ -242,6 +278,7 @@ fn seminaive_fixpoint(
                 }
                 ctx.tick(ENGINE)?;
                 stats.rule_evaluations += 1;
+                stats.rule_eval_counts[ri] += 1;
                 // Rule with body atom i redirected at the delta.
                 let mut body = rule.body.clone();
                 body[i] = pq_query::Atom::new(
@@ -302,7 +339,10 @@ pub fn evaluate_with_stats_parallel(
     pool: &Pool,
 ) -> Result<(Relation, FixpointStats)> {
     let (arities, mut work) = setup_work(p, db)?;
-    let mut stats = FixpointStats::default();
+    let mut stats = FixpointStats {
+        rule_eval_counts: vec![0; p.rules.len()],
+        ..FixpointStats::default()
+    };
     match strategy {
         Strategy::Naive => parallel_naive_fixpoint(p, &mut work, &mut stats, shared, pool)?,
         Strategy::SemiNaive => {
@@ -328,6 +368,9 @@ fn parallel_naive_fixpoint(
             naive::evaluate_governed(&rule_to_cq(rule), snapshot, &ctx)
         })?;
         stats.rule_evaluations += p.rules.len();
+        for c in stats.rule_eval_counts.iter_mut() {
+            *c += 1;
+        }
         let ctx = shared.worker();
         let mut changed = false;
         for (rule, d) in p.rules.iter().zip(derived) {
@@ -364,6 +407,9 @@ fn parallel_seminaive_fixpoint(
             naive::evaluate_governed(&rule_to_cq(rule), snapshot, &ctx)
         })?;
         stats.rule_evaluations += p.rules.len();
+        for c in stats.rule_eval_counts.iter_mut() {
+            *c += 1;
+        }
         let ctx = shared.worker();
         for (rule, d) in p.rules.iter().zip(derived) {
             let target = work.relation_mut(&rule.head.relation)?;
@@ -417,6 +463,9 @@ fn parallel_seminaive_fixpoint(
             naive::evaluate_governed(&cq, snapshot, &ctx)
         })?;
         stats.rule_evaluations += jobs.len();
+        for &(ri, _) in &jobs {
+            stats.rule_eval_counts[ri] += 1;
+        }
 
         let ctx = shared.worker();
         let mut next_delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
@@ -561,5 +610,77 @@ mod tests {
         assert!(stats.rounds >= 4);
         assert!(stats.rule_evaluations >= stats.rounds);
         assert_eq!(stats.derived_tuples, 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn per_rule_counts_sum_to_the_total() {
+        let p = tc_program();
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let (_, stats) = evaluate_with_stats(&p, &path_db(6), strategy).unwrap();
+            assert_eq!(stats.rule_eval_counts.len(), p.rules.len());
+            assert_eq!(
+                stats.rule_eval_counts.iter().sum::<usize>(),
+                stats.rule_evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_rules_are_rejected_with_a_typed_error() {
+        let p = DatalogProgram::new(
+            [Rule::new(
+                pq_query::atom!("G"; var "x"),
+                [pq_query::atom!("E"; var "y", var "y")],
+            )],
+            "G",
+        );
+        let mut db = Database::new();
+        db.add_table("E", ["a", "b"], [tuple![0, 0]]).unwrap();
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            match evaluate(&p, &db, strategy) {
+                Err(EngineError::Query(pq_query::QueryError::UnsafeRule { variable, .. })) => {
+                    assert_eq!(variable, "x");
+                }
+                other => panic!("expected a typed unsafe-rule error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rewritten_programs_reach_the_same_goal_with_fewer_rules() {
+        // tc_program plus a dead rule the analyzer would prune.
+        let original = parse_datalog(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- E(x, y), T(y, z).\n\
+             U(x) :- E(x, y).\n\
+             ?- T",
+        )
+        .unwrap();
+        let rewritten = tc_program();
+        let db = path_db(6);
+        let ctx = ExecutionContext::unlimited();
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let (full, _) = evaluate_with_stats(&original, &db, strategy).unwrap();
+            let (pruned, stats) =
+                evaluate_rewritten_governed(&original, &rewritten, &db, strategy, &ctx).unwrap();
+            assert_eq!(full.canonical_rows(), pruned.canonical_rows());
+            // The dead rule has no stats slot: it was never evaluated.
+            assert_eq!(stats.rule_eval_counts.len(), 2);
+        }
+    }
+
+    #[test]
+    fn rewritten_goal_mismatch_is_rejected() {
+        let original = tc_program();
+        let other = parse_datalog("U(x, y) :- E(x, y). ?- U").unwrap();
+        let err = evaluate_rewritten_governed(
+            &original,
+            &other,
+            &path_db(3),
+            Strategy::SemiNaive,
+            &ExecutionContext::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
     }
 }

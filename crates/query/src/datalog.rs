@@ -6,7 +6,7 @@
 //! Datalog evaluation is W\[1\]-complete, and that without the restriction the
 //! query size is *provably* in the exponent (Vardi \[16\]).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::error::{QueryError, Result};
@@ -32,8 +32,19 @@ impl Rule {
 
     /// Safety: every head variable occurs in the body.
     pub fn is_safe(&self) -> bool {
+        self.unsafe_variables().is_empty()
+    }
+
+    /// The head variables that make the rule unsafe: those not bound by any
+    /// body atom (in head order, deduplicated). Empty iff [`Rule::is_safe`].
+    pub fn unsafe_variables(&self) -> Vec<&str> {
         let body_vars: BTreeSet<&str> = self.body.iter().flat_map(|a| a.variables()).collect();
-        self.head.variables().iter().all(|v| body_vars.contains(v))
+        let mut seen = BTreeSet::new();
+        self.head
+            .variables()
+            .into_iter()
+            .filter(|v| !body_vars.contains(v) && seen.insert(*v))
+            .collect()
     }
 
     /// Distinct variable names of the rule.
@@ -116,6 +127,117 @@ impl DatalogProgram {
             .unwrap_or(0)
     }
 
+    /// The predicate dependency graph: each head relation mapped to the set
+    /// of relations (EDB and IDB) its defining rules use. Edges point from
+    /// the head to what it *depends on* — the direction goal-reachability
+    /// walks.
+    pub fn dependencies(&self) -> BTreeMap<&str, BTreeSet<&str>> {
+        let mut g: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for r in &self.rules {
+            let deps = g.entry(r.head.relation.as_str()).or_default();
+            deps.extend(r.body.iter().map(|a| a.relation.as_str()));
+        }
+        g
+    }
+
+    /// The relations reachable from the goal along dependency edges
+    /// (including the goal itself when it is defined). A rule whose head is
+    /// *not* in this set can never contribute to the goal relation.
+    pub fn reachable_from_goal(&self) -> BTreeSet<&str> {
+        let deps = self.dependencies();
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![self.goal.as_str()];
+        while let Some(p) = stack.pop() {
+            if !reached.insert(p) {
+                continue;
+            }
+            if let Some(next) = deps.get(p) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        reached
+    }
+
+    /// Strongly connected components of the IDB-only dependency graph, in
+    /// reverse topological order (callees before callers — the goal's
+    /// component comes last when every IDB is goal-reachable). Each
+    /// component's predicates are sorted. Tarjan's algorithm, iterative so
+    /// deep rule chains cannot overflow the stack.
+    pub fn idb_sccs(&self) -> Vec<Vec<&str>> {
+        let idb = self.idb_relations();
+        let succ: BTreeMap<&str, Vec<&str>> = self
+            .dependencies()
+            .into_iter()
+            .filter(|(h, _)| idb.contains(h))
+            .map(|(h, deps)| {
+                let next: Vec<&str> = deps.into_iter().filter(|d| idb.contains(d)).collect();
+                (h, next)
+            })
+            .collect();
+
+        struct Tarjan<'a> {
+            index: BTreeMap<&'a str, usize>,
+            lowlink: BTreeMap<&'a str, usize>,
+            on_stack: BTreeSet<&'a str>,
+            stack: Vec<&'a str>,
+            next_index: usize,
+            sccs: Vec<Vec<&'a str>>,
+        }
+        let mut t = Tarjan {
+            index: BTreeMap::new(),
+            lowlink: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            next_index: 0,
+            sccs: Vec::new(),
+        };
+        // Explicit DFS frames: (node, index of the next successor to visit).
+        for &root in succ.keys() {
+            if t.index.contains_key(root) {
+                continue;
+            }
+            let mut frames: Vec<(&str, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+                if *ci == 0 {
+                    t.index.insert(v, t.next_index);
+                    t.lowlink.insert(v, t.next_index);
+                    t.next_index += 1;
+                    t.stack.push(v);
+                    t.on_stack.insert(v);
+                }
+                let children = &succ[v];
+                if let Some(&w) = children.get(*ci) {
+                    *ci += 1;
+                    if !t.index.contains_key(w) {
+                        frames.push((w, 0));
+                    } else if t.on_stack.contains(w) {
+                        let lw = t.index[w].min(t.lowlink[v]);
+                        t.lowlink.insert(v, lw);
+                    }
+                } else {
+                    if t.lowlink[v] == t.index[v] {
+                        let mut scc = Vec::new();
+                        while let Some(w) = t.stack.pop() {
+                            t.on_stack.remove(w);
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        t.sccs.push(scc);
+                    }
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        let lv = t.lowlink[v].min(t.lowlink[parent]);
+                        t.lowlink.insert(parent, lv);
+                    }
+                }
+            }
+        }
+        t.sccs
+    }
+
     /// Validate: all rules safe, goal defined, arities consistent per
     /// relation name.
     pub fn validate(&self) -> Result<()> {
@@ -123,8 +245,11 @@ impl DatalogProgram {
             return Err(QueryError::BadProgram("no rules".into()));
         }
         for r in &self.rules {
-            if !r.is_safe() {
-                return Err(QueryError::BadProgram(format!("unsafe rule: {r}")));
+            if let Some(v) = r.unsafe_variables().first() {
+                return Err(QueryError::UnsafeRule {
+                    rule: r.to_string(),
+                    variable: (*v).to_string(),
+                });
             }
         }
         if !self.idb_relations().contains(self.goal.as_str()) {
@@ -202,7 +327,53 @@ mod tests {
             )],
             "G",
         );
-        assert!(matches!(p.validate(), Err(QueryError::BadProgram(_))));
+        assert!(matches!(
+            p.validate(),
+            Err(QueryError::UnsafeRule { variable, .. }) if variable == "x"
+        ));
+        assert_eq!(p.rules[0].unsafe_variables(), vec!["x"]);
+    }
+
+    #[test]
+    fn dependency_graph_and_reachability() {
+        // T depends on E and itself; U is disconnected from the goal.
+        let mut p = tc();
+        p.rules.push(Rule::new(
+            atom!("U"; var "x"),
+            [atom!("E"; var "x", var "y")],
+        ));
+        let deps = p.dependencies();
+        assert_eq!(deps["T"], BTreeSet::from(["E", "T"]));
+        assert_eq!(deps["U"], BTreeSet::from(["E"]));
+        assert_eq!(p.reachable_from_goal(), BTreeSet::from(["E", "T"]));
+    }
+
+    #[test]
+    fn sccs_come_out_in_reverse_topological_order() {
+        // A -> B -> {C, D} with C <-> D mutually recursive.
+        let p = DatalogProgram::new(
+            [
+                Rule::new(atom!("A"; var "x"), [atom!("B"; var "x")]),
+                Rule::new(
+                    atom!("B"; var "x"),
+                    [atom!("C"; var "x"), atom!("D"; var "x")],
+                ),
+                Rule::new(atom!("C"; var "x"), [atom!("D"; var "x")]),
+                Rule::new(
+                    atom!("D"; var "x"),
+                    [atom!("C"; var "x"), atom!("E"; var "x")],
+                ),
+            ],
+            "A",
+        );
+        let sccs = p.idb_sccs();
+        assert_eq!(sccs, vec![vec!["C", "D"], vec!["B"], vec!["A"]]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let p = tc();
+        assert_eq!(p.idb_sccs(), vec![vec!["T"]]);
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum QueryError {
     /// A Datalog program referred to no rules for its goal, or had other
     /// structural problems.
     BadProgram(String),
+    /// A Datalog rule is unsafe: a head variable does not occur in the
+    /// rule's body (the analyzer reports the same condition as `PQA502`).
+    UnsafeRule {
+        /// Display form of the offending rule.
+        rule: String,
+        /// The unbound head variable.
+        variable: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -51,6 +59,12 @@ impl fmt::Display for QueryError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             QueryError::BadProgram(m) => write!(f, "bad Datalog program: {m}"),
+            QueryError::UnsafeRule { rule, variable } => {
+                write!(
+                    f,
+                    "unsafe rule `{rule}`: head variable `{variable}` does not occur in the body"
+                )
+            }
         }
     }
 }

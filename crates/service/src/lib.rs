@@ -67,6 +67,6 @@ pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{parse_request, Request, END};
 pub use server::{read_response, roundtrip, serve, serve_with_data_dir, ServerHandle};
 pub use service::{
-    AnalysisReport, CacheOutcome, Explanation, LoadSummary, QueryResponse, QueryService,
-    RequestLimits, ServiceConfig, MAX_TOTAL_THREADS,
+    AnalysisReport, CacheOutcome, Explanation, LoadSummary, ProgramAnalysisReport, QueryResponse,
+    QueryService, RequestLimits, ServiceConfig, MAX_TOTAL_THREADS,
 };

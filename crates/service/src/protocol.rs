@@ -8,8 +8,12 @@
 //!                                         data dir, see `serve_with_data_dir`)
 //! QUERY [@flags] <name> <cq text>         evaluate a conjunctive query
 //! EXPLAIN <name> <cq text>                classify + plan without evaluating
-//! ANALYZE <name> <cq text>                full static analysis (lints, core
-//!                                         minimization, Fig. 1 parameters)
+//! ANALYZE <name> <cq or program text>     full static analysis (lints, core
+//!                                         minimization, Fig. 1 parameters);
+//!                                         text containing `?-` is analyzed
+//!                                         as a whole Datalog program
+//!                                         (PQA5xx: dead rules, recursion
+//!                                         class, per-rule minimization)
 //! STATS                                   dump service metrics
 //! SHUTDOWN                                stop the service and the server
 //! ```
@@ -31,7 +35,8 @@ use pq_data::{Relation, Value};
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
 use crate::service::{
-    AnalysisReport, CacheOutcome, Explanation, LoadSummary, QueryResponse, RequestLimits,
+    AnalysisReport, CacheOutcome, Explanation, LoadSummary, ProgramAnalysisReport, QueryResponse,
+    RequestLimits,
 };
 
 /// The response terminator line.
@@ -296,6 +301,35 @@ pub fn render_analyze_response(a: &AnalysisReport) -> Vec<String> {
         lines.push(format!("diag {d}"));
     }
     lines.push(format!("plan_cached {}", a.plan_was_cached));
+    lines.push(format!("gen {}", a.generation));
+    lines.push(format!("epoch {}", a.epoch));
+    lines
+}
+
+/// Render the response lines for `ANALYZE` on a Datalog program.
+pub fn render_analyze_program_response(a: &ProgramAnalysisReport) -> Vec<String> {
+    let mut lines = vec!["OK analyze-program".to_string()];
+    lines.push(format!("goal {}", a.goal));
+    lines.push(format!(
+        "rules live={} total={}",
+        a.rules_live, a.rules_total
+    ));
+    if !a.dead_rules.is_empty() {
+        let idx: Vec<String> = a.dead_rules.iter().map(ToString::to_string).collect();
+        lines.push(format!("dead_rules {}", idx.join(",")));
+    }
+    lines.push(format!("edb {}", a.edb.join(",")));
+    lines.push(format!("idb {}", a.idb.join(",")));
+    lines.push(format!("sccs {}", a.scc_count));
+    lines.push(format!("recursion {}", a.recursion));
+    lines.push(format!("max_arity {}", a.max_arity));
+    lines.push(format!("provably_empty {}", a.provably_empty));
+    if let Some(r) = &a.rewritten {
+        lines.push(format!("rewritten {r}"));
+    }
+    for d in &a.diagnostics {
+        lines.push(format!("diag {d}"));
+    }
     lines.push(format!("gen {}", a.generation));
     lines.push(format!("epoch {}", a.epoch));
     lines

@@ -23,8 +23,9 @@ use std::thread::JoinHandle;
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    parse_request, render_analyze_response, render_error, render_explain_response,
-    render_load_response, render_query_response, render_stats_response, Request, END,
+    parse_request, render_analyze_program_response, render_analyze_response, render_error,
+    render_explain_response, render_load_response, render_query_response, render_stats_response,
+    Request, END,
 };
 use crate::service::QueryService;
 
@@ -205,6 +206,14 @@ fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
             Ok(e) => (render_explain_response(&e), false),
             Err(e) => (vec![render_error(&e)], false),
         },
+        // A `?-` goal marker distinguishes a whole Datalog program from a
+        // single conjunctive query (CQ syntax has no `?-`).
+        Request::Analyze { name, src } if src.contains("?-") => {
+            match service.analyze_datalog(&name, &src) {
+                Ok(a) => (render_analyze_program_response(&a), false),
+                Err(e) => (vec![render_error(&e)], false),
+            }
+        }
         Request::Analyze { name, src } => match service.analyze(&name, &src) {
             Ok(a) => (render_analyze_response(&a), false),
             Err(e) => (vec![render_error(&e)], false),

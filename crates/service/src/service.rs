@@ -270,6 +270,44 @@ pub struct AnalysisReport {
     pub epoch: u64,
 }
 
+/// What [`QueryService::analyze_datalog`] reports (the wire `ANALYZE` body
+/// for Datalog programs): the whole-program `PQA5xx` analysis — dependency
+/// graph, dead-rule pruning, recursion classification, per-rule core
+/// minimization — plus the schema pass of the EDB atoms against the named
+/// database.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysisReport {
+    /// The goal relation.
+    pub goal: String,
+    /// Rules in the submitted program.
+    pub rules_total: usize,
+    /// Rules that survive dead-rule pruning.
+    pub rules_live: usize,
+    /// Indices (program order) of the pruned rules.
+    pub dead_rules: Vec<usize>,
+    /// EDB relations, sorted.
+    pub edb: Vec<String>,
+    /// IDB relations, sorted.
+    pub idb: Vec<String>,
+    /// SCC count of the live program's IDB dependency graph.
+    pub scc_count: usize,
+    /// Overall recursion class (`nonrecursive` / `linear` / `nonlinear`).
+    pub recursion: &'static str,
+    /// Maximum atom arity over the live, minimized rules.
+    pub max_arity: usize,
+    /// Is the goal provably empty on every database (underivable)?
+    pub provably_empty: bool,
+    /// One-line display form of the rewritten program, when the analysis
+    /// pruned or minimized anything (execution runs this program).
+    pub rewritten: Option<String>,
+    /// All diagnostics, rendered, in pass order (schema pass last).
+    pub diagnostics: Vec<String>,
+    /// Current catalog generation of the database.
+    pub generation: u64,
+    /// Current epoch of the database.
+    pub epoch: u64,
+}
+
 /// A parsed, classified, planned query — the plan-cache payload.
 #[derive(Debug)]
 pub struct PlannedQuery {
@@ -606,6 +644,48 @@ impl QueryService {
             minimized: analysis.rewritten.as_ref().map(ToString::to_string),
             diagnostics,
             plan_was_cached,
+            generation: snap.generation,
+            epoch: snap.epoch,
+        })
+    }
+
+    /// Run the whole-program Datalog analysis (`PQA5xx`) of `src` against
+    /// the named database: predicate dependency graph, dead-rule pruning,
+    /// recursion classification, per-rule core minimization, and the schema
+    /// pass of the EDB atoms. Programs are not planned or cached — analysis
+    /// runs fresh on every call (the pass pipeline is linear in the program,
+    /// and programs arrive far less often than queries).
+    ///
+    /// # Errors
+    /// [`ServiceError::Parse`] if `src` is not a parseable Datalog program;
+    /// [`ServiceError::UnknownDatabase`] if `db_name` is not in the catalog;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn analyze_datalog(&self, db_name: &str, src: &str) -> Result<ProgramAnalysisReport> {
+        self.check_admitting()?;
+        let snap = self.inner.catalog.snapshot(db_name)?;
+        let program = pq_query::parse_datalog(src)?;
+        let a = pq_analyze::analyze_program_with_db(
+            &program,
+            &snap.db,
+            &self.inner.config.planner.analysis,
+        );
+        let r = &a.report;
+        Ok(ProgramAnalysisReport {
+            goal: program.goal.clone(),
+            rules_total: r.rules_total,
+            rules_live: r.rules_live,
+            dead_rules: r.dead_rules.clone(),
+            edb: r.edb.clone(),
+            idb: r.idb.clone(),
+            scc_count: r.sccs.len(),
+            recursion: r.recursion.as_str(),
+            max_arity: r.max_arity,
+            provably_empty: a.provably_empty(),
+            rewritten: a.rewritten.as_ref().map(|p| {
+                let rules: Vec<String> = p.rules.iter().map(ToString::to_string).collect();
+                format!("{} ?- {}", rules.join(" "), p.goal)
+            }),
+            diagnostics: a.diagnostics.iter().map(ToString::to_string).collect(),
             generation: snap.generation,
             epoch: snap.epoch,
         })
@@ -1031,6 +1111,44 @@ mod tests {
         assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA002")));
         assert!(!a.plan_was_cached);
         assert_eq!(svc.cache_sizes().0, 2, "invalid query not plan-cached");
+    }
+
+    #[test]
+    fn analyze_datalog_reports_the_whole_program() {
+        let svc = service();
+        let src = "T(x, y) :- R(x, y).\n\
+                   T(x, z) :- R(x, y), T(y, z).\n\
+                   U(x) :- R(x, y).\n\
+                   ?- T";
+        let a = svc.analyze_datalog("d", src).unwrap();
+        assert_eq!(a.goal, "T");
+        assert_eq!((a.rules_total, a.rules_live), (3, 2));
+        assert_eq!(a.dead_rules, vec![2]);
+        assert_eq!(a.edb, vec!["R".to_string()]);
+        assert_eq!(a.recursion, "linear");
+        assert!(!a.provably_empty);
+        let rewritten = a.rewritten.as_deref().expect("dead rule pruned");
+        assert!(!rewritten.contains("U("), "{rewritten}");
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA501")));
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA510")));
+    }
+
+    #[test]
+    fn analyze_datalog_runs_the_schema_pass_against_the_catalog() {
+        let svc = service();
+        // `R` exists with arity 2 in db `d`; `Z` does not exist at all.
+        let a = svc
+            .analyze_datalog("d", "G(x) :- R(x, y), Z(y). ?- G")
+            .unwrap();
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA201")));
+        assert!(matches!(
+            svc.analyze_datalog("nope", "G(x) :- R(x, y). ?- G"),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(matches!(
+            svc.analyze_datalog("d", "not a program"),
+            Err(ServiceError::Parse(_))
+        ));
     }
 
     #[test]

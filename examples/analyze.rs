@@ -1,16 +1,22 @@
-//! Lint a corpus of conjunctive queries with the static analyzer and print
-//! one deterministic report per query — the CI lint gate diffs this output
-//! against `tests/corpus/golden.txt` (see `tests/analyze_golden.rs` for the
-//! in-process twin of the same check).
+//! Lint a corpus with the static analyzer and print one deterministic
+//! report per entry — the CI lint gate diffs this output against the
+//! golden files (see `tests/analyze_golden.rs` for the in-process twin of
+//! the same check).
+//!
+//! A `.cq` corpus holds one conjunctive query per line; a `.dl` corpus
+//! holds blank-line-separated Datalog programs (lines of a block are
+//! joined with single spaces, so programs can be written one rule per
+//! line). `#` lines are comments in both.
 //!
 //! ```text
 //! cargo run --release --example analyze -- tests/corpus/queries.cq
+//! cargo run --release --example analyze -- tests/corpus/programs.dl
 //! ```
 
-use pq_analyze::{analyze, AnalyzeOptions};
-use pq_query::parse_cq;
+use pq_analyze::{analyze, analyze_program, AnalyzeOptions};
+use pq_query::{parse_cq, parse_datalog};
 
-/// Render the analyzer's report for one corpus line. Shared shape with
+/// Render the analyzer's report for one corpus query. Shared shape with
 /// `tests/analyze_golden.rs`: `## <src>` then one line per diagnostic, the
 /// minimized core when one exists, and the final verdict.
 pub fn report(src: &str) -> String {
@@ -27,6 +33,42 @@ pub fn report(src: &str) -> String {
     out
 }
 
+/// Render the whole-program analyzer's report for one corpus program
+/// (`src` is the block already joined onto one line).
+pub fn report_program(src: &str) -> String {
+    let mut out = format!("## {src}\n");
+    match parse_datalog(src) {
+        Err(e) => out.push_str(&format!("parse error: {e}\n")),
+        Ok(p) => {
+            for line in analyze_program(&p, &AnalyzeOptions::default()).lines() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Split a `.dl` corpus into one-line program sources: blocks are
+/// separated by blank lines, `#` lines are dropped, and a block's lines
+/// are joined with single spaces.
+pub fn program_blocks(corpus: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for line in corpus.lines().chain(std::iter::once("")) {
+        let line = line.trim();
+        if line.is_empty() {
+            if !current.is_empty() {
+                blocks.push(current.join(" "));
+                current.clear();
+            }
+        } else if !line.starts_with('#') {
+            current.push(line);
+        }
+    }
+    blocks
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -34,15 +76,25 @@ fn main() {
     let corpus = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read corpus `{path}`: {e}"));
     let mut first = true;
-    for line in corpus.lines() {
-        let src = line.trim();
-        if src.is_empty() || src.starts_with('#') {
-            continue;
+    if path.ends_with(".dl") {
+        for src in program_blocks(&corpus) {
+            if !first {
+                println!();
+            }
+            first = false;
+            print!("{}", report_program(&src));
         }
-        if !first {
-            println!();
+    } else {
+        for line in corpus.lines() {
+            let src = line.trim();
+            if src.is_empty() || src.starts_with('#') {
+                continue;
+            }
+            if !first {
+                println!();
+            }
+            first = false;
+            print!("{}", report(src));
         }
-        first = false;
-        print!("{}", report(src));
     }
 }

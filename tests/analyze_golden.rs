@@ -1,18 +1,22 @@
 //! Golden-corpus gate for the static analyzer, in-process: render the
-//! report for every query in `tests/corpus/queries.cq` exactly as
-//! `examples/analyze.rs` does and diff against `tests/corpus/golden.txt`.
+//! report for every query in `tests/corpus/queries.cq` (and every Datalog
+//! program in `tests/corpus/programs.dl`) exactly as `examples/analyze.rs`
+//! does and diff against `tests/corpus/golden.txt` /
+//! `tests/corpus/golden_programs.txt`.
 //!
-//! CI runs the same check through the example binary; this test catches
+//! CI runs the same checks through the example binary; this test catches
 //! drift locally in a plain `cargo test`. To regenerate after an
 //! intentional analyzer change:
 //!
 //! ```text
 //! cargo run --release --example analyze -- tests/corpus/queries.cq \
 //!     > tests/corpus/golden.txt
+//! cargo run --release --example analyze -- tests/corpus/programs.dl \
+//!     > tests/corpus/golden_programs.txt
 //! ```
 
-use pq_analyze::{analyze, AnalyzeOptions};
-use pq_query::parse_cq;
+use pq_analyze::{analyze, analyze_program, AnalyzeOptions};
+use pq_query::{parse_cq, parse_datalog};
 
 fn report(src: &str) -> String {
     let mut out = format!("## {src}\n");
@@ -43,24 +47,110 @@ fn render_corpus(corpus: &str) -> String {
     out
 }
 
+fn report_program(src: &str) -> String {
+    let mut out = format!("## {src}\n");
+    match parse_datalog(src) {
+        Err(e) => out.push_str(&format!("parse error: {e}\n")),
+        Ok(p) => {
+            for line in analyze_program(&p, &AnalyzeOptions::default()).lines() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Blank-line-separated blocks, `#` lines dropped, block lines joined with
+/// single spaces — the same splitting `examples/analyze.rs` applies to a
+/// `.dl` corpus.
+fn program_blocks(corpus: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    for line in corpus.lines().chain(std::iter::once("")) {
+        let line = line.trim();
+        if line.is_empty() {
+            if !current.is_empty() {
+                blocks.push(current.join(" "));
+                current.clear();
+            }
+        } else if !line.starts_with('#') {
+            current.push(line);
+        }
+    }
+    blocks
+}
+
+fn render_program_corpus(corpus: &str) -> String {
+    let mut out = String::new();
+    for src in program_blocks(corpus) {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&report_program(&src));
+    }
+    out
+}
+
+fn assert_matches_golden(actual: &str, golden: &str, name: &str) {
+    if actual != golden {
+        // A line-by-line diff beats one giant assert_eq dump.
+        for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(a, g, "first divergence at {name} line {}", i + 1);
+        }
+        assert_eq!(
+            actual.lines().count(),
+            golden.lines().count(),
+            "line counts differ — regenerate tests/corpus/{name}"
+        );
+        unreachable!("content differs only in line endings");
+    }
+}
+
 #[test]
 fn corpus_diagnostics_match_the_golden_file() {
     let root = env!("CARGO_MANIFEST_DIR");
     let corpus = std::fs::read_to_string(format!("{root}/tests/corpus/queries.cq")).unwrap();
     let golden = std::fs::read_to_string(format!("{root}/tests/corpus/golden.txt")).unwrap();
-    let actual = render_corpus(&corpus);
-    if actual != golden {
-        // A line-by-line diff beats one giant assert_eq dump.
-        for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
-            assert_eq!(a, g, "first divergence at golden.txt line {}", i + 1);
-        }
-        assert_eq!(
-            actual.lines().count(),
-            golden.lines().count(),
-            "line counts differ — regenerate tests/corpus/golden.txt"
+    assert_matches_golden(&render_corpus(&corpus), &golden, "golden.txt");
+}
+
+#[test]
+fn program_corpus_diagnostics_match_the_golden_file() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let corpus = std::fs::read_to_string(format!("{root}/tests/corpus/programs.dl")).unwrap();
+    let golden =
+        std::fs::read_to_string(format!("{root}/tests/corpus/golden_programs.txt")).unwrap();
+    assert_matches_golden(
+        &render_program_corpus(&corpus),
+        &golden,
+        "golden_programs.txt",
+    );
+}
+
+#[test]
+fn program_corpus_exercises_every_program_lint_code() {
+    // Every PQA5xx code plus the re-anchored minimization codes must appear
+    // in the program corpus output, so the golden gate guards each pass.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let corpus = std::fs::read_to_string(format!("{root}/tests/corpus/programs.dl")).unwrap();
+    let rendered = render_program_corpus(&corpus);
+    for code in [
+        "PQA301", "PQA302", "PQA501", "PQA502", "PQA503", "PQA504", "PQA505", "PQA506", "PQA510",
+    ] {
+        assert!(
+            rendered.contains(code),
+            "program corpus never triggers {code}"
         );
-        unreachable!("content differs only in line endings");
     }
+    assert!(
+        rendered.contains("verdict: provably-empty (goal-underivable)"),
+        "program corpus never reaches the provably-empty verdict"
+    );
+    assert!(
+        rendered.contains("unfoldable"),
+        "program corpus never flags a nonrecursive program as unfoldable"
+    );
 }
 
 #[test]

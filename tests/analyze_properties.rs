@@ -5,15 +5,22 @@
 //! * every `provably-empty` verdict is confirmed by naive evaluation
 //!   returning zero tuples;
 //! * the structure report's acyclicity bit agrees with the GYO join-tree
-//!   builder on random hypergraph shapes.
+//!   builder on random hypergraph shapes;
+//! * the whole-program analyzer's rewrite (dead-rule pruning + per-rule
+//!   core minimization) computes the identical goal relation on random
+//!   Datalog programs and databases, under every fixpoint strategy, serial
+//!   and parallel at 1 and 4 threads.
 
 use proptest::prelude::*;
 
-use pq_analyze::{analyze, structure_of, AnalyzeOptions};
+use pq_analyze::{analyze, analyze_program, structure_of, AnalyzeOptions};
 use pq_data::{tuple, Database, Relation};
+use pq_engine::datalog_eval::{self, Strategy as FixpointStrategy};
+use pq_engine::governor::ExecutionContext;
 use pq_engine::naive;
+use pq_exec::Pool;
 use pq_hypergraph::join_tree;
-use pq_query::{Atom, ConjunctiveQuery, Neq, Term};
+use pq_query::{Atom, ConjunctiveQuery, DatalogProgram, Neq, Rule, Term};
 
 /// A random body atom over a small pool of relations (all binary) and
 /// variables, with an occasional constant. Repeating relation names across
@@ -72,6 +79,93 @@ fn arb_db() -> impl Strategy<Value = Database> {
     })
 }
 
+/// One random Datalog rule as raw draws: a head predicate index, two head
+/// variable picks (indices into the body's variable list, so safety holds
+/// by construction), and 1–3 binary body atoms over variables `x0..x3`
+/// with predicates drawn from `E0, E1, I0, I1, I2`.
+type RuleDraw = (usize, usize, usize, Vec<(usize, usize, usize)>);
+
+/// A random valid-by-construction Datalog program: 2–6 rules over binary
+/// predicates (no arity clashes possible), heads `I0..I2`, goal = the first
+/// rule's head (so the goal is always defined). Body atoms naming an IDB
+/// predicate no rule defines are remapped to the EDB predicate `E0`, which
+/// keeps every relation resolvable. Repeated predicates inside one body
+/// make redundancy (minimization) likely; rules for non-goal heads make
+/// dead rules likely; mutual `I`-recursion with no EDB base makes
+/// underivable relations — and provably-empty goals — likely.
+fn arb_program() -> impl Strategy<Value = DatalogProgram> {
+    let rule = (
+        0usize..3,
+        0usize..4,
+        0usize..4,
+        prop::collection::vec((0usize..5, 0usize..4, 0usize..4), 1..4),
+    );
+    prop::collection::vec(rule, 2..7).prop_map(|draws: Vec<RuleDraw>| {
+        let defined: Vec<String> = draws.iter().map(|&(h, ..)| format!("I{h}")).collect();
+        let rules: Vec<Rule> = draws
+            .iter()
+            .map(|(h, hv1, hv2, body)| {
+                let atoms: Vec<Atom> = body
+                    .iter()
+                    .map(|&(p, v1, v2)| {
+                        let name = if p < 2 {
+                            format!("E{p}")
+                        } else {
+                            format!("I{}", p - 2)
+                        };
+                        let name = if name.starts_with('I') && !defined.contains(&name) {
+                            "E0".to_string()
+                        } else {
+                            name
+                        };
+                        Atom::new(
+                            name,
+                            [Term::var(format!("x{v1}")), Term::var(format!("x{v2}"))],
+                        )
+                    })
+                    .collect();
+                let vars: Vec<&str> = {
+                    let mut vs: Vec<&str> = Vec::new();
+                    for a in &atoms {
+                        for t in &a.terms {
+                            if let Some(v) = t.as_var() {
+                                if !vs.contains(&v) {
+                                    vs.push(v);
+                                }
+                            }
+                        }
+                    }
+                    vs
+                };
+                let head = Atom::new(
+                    format!("I{h}"),
+                    [
+                        Term::var(vars[hv1 % vars.len()]),
+                        Term::var(vars[hv2 % vars.len()]),
+                    ],
+                );
+                Rule::new(head, atoms)
+            })
+            .collect();
+        let goal = rules[0].head.relation.clone();
+        DatalogProgram::new(rules, goal)
+    })
+}
+
+/// A random database for the program pool: rows for `E0` and `E1`.
+fn arb_program_db() -> impl Strategy<Value = Database> {
+    prop::collection::vec(prop::collection::vec((0i64..4, 0i64..4), 0..10), 2).prop_map(|tables| {
+        let mut db = Database::new();
+        for (i, rows) in tables.into_iter().enumerate() {
+            let rel =
+                Relation::with_tuples(["a", "b"], rows.into_iter().map(|(a, b)| tuple![a, b]))
+                    .unwrap();
+            db.set_relation(format!("E{i}"), rel);
+        }
+        db
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -90,6 +184,37 @@ proptest! {
         let analysis = analyze(&q, &AnalyzeOptions::default());
         if analysis.provably_empty() {
             prop_assert!(naive::evaluate(&q, &db).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn rewritten_program_computes_the_identical_goal_relation(
+        p in arb_program(),
+        db in arb_program_db(),
+    ) {
+        let analysis = analyze_program(&p, &AnalyzeOptions::default());
+        prop_assert!(p.validate().is_ok());
+        let effective = analysis.effective(&p);
+        let baseline = datalog_eval::evaluate(&p, &db, FixpointStrategy::SemiNaive).unwrap();
+        // A provably-empty verdict must be confirmed by the oracle.
+        if analysis.provably_empty() {
+            prop_assert!(baseline.is_empty());
+        }
+        // Serial, both strategies.
+        for strategy in [FixpointStrategy::Naive, FixpointStrategy::SemiNaive] {
+            let got = datalog_eval::evaluate(effective, &db, strategy).unwrap();
+            prop_assert_eq!(got.canonical_rows(), baseline.canonical_rows());
+        }
+        // Parallel, both strategies, at 1 and 4 threads.
+        for strategy in [FixpointStrategy::Naive, FixpointStrategy::SemiNaive] {
+            for threads in [1usize, 4] {
+                let pool = Pool::new(threads);
+                let shared = ExecutionContext::unlimited().into_shared();
+                let (got, _) =
+                    datalog_eval::evaluate_with_stats_parallel(effective, &db, strategy, &shared, &pool)
+                        .unwrap();
+                prop_assert_eq!(got.canonical_rows(), baseline.canonical_rows());
+            }
         }
     }
 

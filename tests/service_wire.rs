@@ -113,6 +113,28 @@ fn full_protocol_session_over_tcp() {
         "{resp:?}"
     );
 
+    // ANALYZE on a whole Datalog program (the `?-` goal marker selects the
+    // program path): rule 2 is dead, the report carries the PQA5xx family.
+    let resp = roundtrip(
+        &mut conn,
+        "ANALYZE d T(x, y) :- R(x, y). T(x, z) :- R(x, y), T(y, z). U(x) :- R(x, y). ?- T",
+    )
+    .unwrap();
+    assert_eq!(resp[0], "OK analyze-program");
+    assert!(resp.iter().any(|l| l == "goal T"), "{resp:?}");
+    assert!(resp.iter().any(|l| l == "rules live=2 total=3"), "{resp:?}");
+    assert!(resp.iter().any(|l| l == "dead_rules 2"), "{resp:?}");
+    assert!(resp.iter().any(|l| l == "recursion linear"), "{resp:?}");
+    assert!(resp.iter().any(|l| l.starts_with("rewritten ")), "{resp:?}");
+    assert!(
+        resp.iter().any(|l| l.starts_with("diag PQA501")),
+        "{resp:?}"
+    );
+    assert!(
+        resp.iter().any(|l| l.starts_with("diag PQA510")),
+        "{resp:?}"
+    );
+
     // A provably-empty query is flagged by ANALYZE and short-circuited by
     // QUERY without touching the data.
     let resp = roundtrip(&mut conn, "ANALYZE d G(x) :- R(x, y), x != x.").unwrap();
