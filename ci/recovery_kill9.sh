@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Process-level crash-recovery check (CI `recovery` job, also runnable
+# locally): start the durable server, load a database over the wire and
+# record a QUERY answer, `kill -9` the process, restart it on the same
+# --wal-dir, and require (a) the startup log to report a recovered
+# catalog and (b) the same QUERY to return byte-identical rows.
+#
+# Uses only bash (/dev/tcp) and the repo's own `serve` example — no
+# external client. The wire protocol frames each response with a final
+# `.` line, so a session is: send a line, read lines up to `.`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill -9 "${pid:-}" "${pid2:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+data="$workdir/data"
+wal="$workdir/wal"
+mkdir -p "$data" "$wal"
+printf 'R(a, b):\n  1, 2\n  2, 3\nS(b, c):\n  2, 9\n  3, 7\n' > "$data/base.db"
+
+cargo build --release --example serve
+
+serve_bin=target/release/examples/serve
+query='QUERY d G(x, z) :- R(x, y), S(y, z).'
+
+# Wait for the server whose log is $1 to print its address, echo it.
+wait_addr() {
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^pq-service listening on //p' "$1" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "server did not come up; log:" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+  echo "$addr"
+}
+
+# Drive one connection: requests on stdin, all response lines on stdout.
+session() {
+  local host=${1%:*} port=${1##*:}
+  exec 3<>"/dev/tcp/$host/$port"
+  local req line
+  while IFS= read -r req; do
+    printf '%s\n' "$req" >&3
+    while IFS= read -r line <&3; do
+      line=${line%$'\r'}
+      [ "$line" = "." ] && break
+      printf '%s\n' "$line"
+    done
+  done
+  exec 3<&- 3>&-
+}
+
+echo "== first server: load over the wire, record the answer, kill -9"
+"$serve_bin" 127.0.0.1:0 --data-dir "$data" --wal-dir "$wal" --fsync always \
+  > "$workdir/log1" 2>&1 &
+pid=$!
+addr=$(wait_addr "$workdir/log1")
+
+printf '%s\n' "LOAD d base.db" "$query" | session "$addr" > "$workdir/before"
+grep -q '^OK loaded d relations=2 tuples=4' "$workdir/before"
+grep -q '^OK 2 x,z' "$workdir/before"
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== second server: recover from the WAL dir alone, compare answers"
+"$serve_bin" 127.0.0.1:0 --wal-dir "$wal" --fsync always \
+  > "$workdir/log2" 2>&1 &
+pid2=$!
+addr=$(wait_addr "$workdir/log2")
+grep -q '^recovered catalog from' "$workdir/log2"
+
+printf '%s\n' "$query" "SHUTDOWN" | session "$addr" > "$workdir/after"
+wait "$pid2" 2>/dev/null || true
+pid2=""
+
+# Compare the QUERY responses, ignoring the volatile `# engine=.. cache=..`
+# header suffix and the LOAD/SHUTDOWN acks around them.
+grep -v '^OK loaded' "$workdir/before" | sed 's/ # .*//' > "$workdir/before_q"
+grep -v '^OK bye'    "$workdir/after"  | sed 's/ # .*//' > "$workdir/after_q"
+diff -u "$workdir/before_q" "$workdir/after_q"
+
+echo "kill -9 recovery: answers identical across the crash"

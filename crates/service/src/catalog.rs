@@ -21,11 +21,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use pq_data::Database;
 
+use crate::durable::{Durability, SnapshotSummary};
 use crate::error::{Result, ServiceError};
+use crate::wal::WalOp;
 
 /// An immutable snapshot of one catalog entry (see the module docs).
 #[derive(Debug, Clone)]
@@ -46,10 +48,19 @@ struct Entry {
 }
 
 /// A thread-safe catalog of named databases (see the module docs).
+///
+/// When a journal is attached ([`Catalog::attach_journal`]), every mutation
+/// appends a WAL record **while still holding the write lock that assigned
+/// its generation** — so the log order provably matches the catalog order;
+/// there is no window for two mutations to commit one way and log the
+/// other. When the journal's snapshot cadence comes due, the snapshot is
+/// also taken under that same lock (the catalog is quiescent by
+/// construction).
 #[derive(Default)]
 pub struct Catalog {
     entries: RwLock<BTreeMap<String, Entry>>,
     generations: AtomicU64,
+    journal: OnceLock<Arc<Durability>>,
 }
 
 impl Catalog {
@@ -58,32 +69,106 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Attach the durability journal. Call once, *after* recovered
+    /// databases have been installed (recovery inserts must not re-log
+    /// themselves) and before the catalog serves mutations.
+    pub fn attach_journal(&self, journal: Arc<Durability>) {
+        self.journal
+            .set(journal)
+            .expect("journal attached more than once");
+    }
+
+    /// Append `op` to the journal (when attached) and snapshot if the
+    /// cadence is due. Called with the entries map borrowed — i.e. under
+    /// the write lock — which is what pins log order to catalog order.
+    fn journal_append(&self, entries: &BTreeMap<String, Entry>, op: &WalOp<'_>) -> Result<()> {
+        let Some(journal) = self.journal.get() else {
+            return Ok(());
+        };
+        let due = journal.append(op).map_err(ServiceError::Durability)?;
+        if due {
+            Self::snapshot_entries(journal, entries)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot_entries(
+        journal: &Durability,
+        entries: &BTreeMap<String, Entry>,
+    ) -> Result<SnapshotSummary> {
+        let state: Vec<(&str, &Database)> =
+            entries.iter().map(|(n, e)| (n.as_str(), &*e.db)).collect();
+        journal.snapshot(&state).map_err(ServiceError::Durability)
+    }
+
     fn next_generation(&self) -> u64 {
         self.generations.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Insert or replace the database under `name`. Returns the new
     /// generation.
-    pub fn insert(&self, name: impl Into<String>, db: Database) -> u64 {
+    ///
+    /// # Errors
+    /// [`ServiceError::Durability`] when the journal append fails (the
+    /// in-memory insert has still happened).
+    pub fn insert(&self, name: impl Into<String>, db: Database) -> Result<u64> {
+        let name = name.into();
         let mut entries = self.entries.write().expect("catalog poisoned");
         // Allocate the generation under the write lock (as `update` does):
         // racing inserts would otherwise be able to install them out of
         // order, breaking per-name generation monotonicity.
         let generation = self.next_generation();
+        let db = Arc::new(db);
         entries.insert(
-            name.into(),
+            name.clone(),
             Entry {
-                db: Arc::new(db),
+                db: Arc::clone(&db),
                 generation,
             },
         );
-        generation
+        self.journal_append(
+            &entries,
+            &WalOp::Install {
+                name: &name,
+                db: &db,
+            },
+        )?;
+        Ok(generation)
     }
 
-    /// Remove the database under `name`; true when it existed.
-    pub fn remove(&self, name: &str) -> bool {
+    /// Remove the database under `name`; true when it existed. Journals a
+    /// tombstone so recovery does not resurrect the database.
+    ///
+    /// # Errors
+    /// [`ServiceError::Durability`] when the journal append fails (the
+    /// in-memory removal has still happened).
+    pub fn remove(&self, name: &str) -> Result<bool> {
         let mut entries = self.entries.write().expect("catalog poisoned");
-        entries.remove(name).is_some()
+        let existed = entries.remove(name).is_some();
+        if existed {
+            self.journal_append(&entries, &WalOp::Remove { name })?;
+        }
+        Ok(existed)
+    }
+
+    /// Snapshot the whole catalog to stable storage now and rotate the WAL
+    /// (the wire `PERSIST` verb, also called on graceful drain).
+    ///
+    /// # Errors
+    /// [`ServiceError::Durability`] when no journal is attached or the
+    /// snapshot I/O fails.
+    pub fn persist(&self) -> Result<SnapshotSummary> {
+        let Some(journal) = self.journal.get() else {
+            return Err(ServiceError::Durability(
+                "no durability layer configured (start the service with a \
+                 DurabilityConfig to enable PERSIST)"
+                    .into(),
+            ));
+        };
+        // The read lock excludes writers: no record can land between the
+        // state capture and the WAL rotation inside `snapshot`.
+        let entries = self.entries.read().expect("catalog poisoned");
+        Self::snapshot_entries(journal, &entries)
     }
 
     /// Take a snapshot of `name` for lock-free evaluation.
@@ -109,14 +194,22 @@ impl Catalog {
     /// spurious bump costs one cache miss; a missed one would be unsound).
     ///
     /// # Errors
-    /// [`ServiceError::UnknownDatabase`] when absent.
+    /// [`ServiceError::UnknownDatabase`] when absent;
+    /// [`ServiceError::Durability`] when the journal append fails (the
+    /// in-memory mutation has still happened).
     pub fn update<R>(&self, name: &str, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
         let mut entries = self.entries.write().expect("catalog poisoned");
-        let entry = entries
-            .get_mut(name)
-            .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))?;
-        let out = f(Arc::make_mut(&mut entry.db));
-        entry.generation = self.next_generation();
+        let (out, db) = {
+            let entry = entries
+                .get_mut(name)
+                .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))?;
+            let out = f(Arc::make_mut(&mut entry.db));
+            entry.generation = self.next_generation();
+            (out, Arc::clone(&entry.db))
+        };
+        // The record carries the post-state, not the closure: replay never
+        // needs user code, and re-applying a record is idempotent.
+        self.journal_append(&entries, &WalOp::Update { name, db: &db })?;
         Ok(out)
     }
 
@@ -151,7 +244,7 @@ mod tests {
     #[test]
     fn snapshots_are_stable_across_updates() {
         let cat = Catalog::new();
-        cat.insert("d", small_db(3));
+        cat.insert("d", small_db(3)).unwrap();
         let before = cat.snapshot("d").unwrap();
         cat.update("d", |db| {
             db.relation_mut("R").unwrap().insert(tuple![99]).unwrap();
@@ -168,10 +261,10 @@ mod tests {
     #[test]
     fn reload_under_the_same_name_changes_the_generation() {
         let cat = Catalog::new();
-        cat.insert("d", small_db(3));
+        cat.insert("d", small_db(3)).unwrap();
         let a = cat.snapshot("d").unwrap();
         // A different database whose own epoch happens to match.
-        cat.insert("d", small_db(5));
+        cat.insert("d", small_db(5)).unwrap();
         let b = cat.snapshot("d").unwrap();
         assert_eq!(a.epoch, b.epoch, "epochs alone cannot distinguish these");
         assert_ne!(a.generation, b.generation, "generations must");
@@ -186,7 +279,10 @@ mod tests {
             .map(|_| {
                 let cat = Arc::clone(&cat);
                 std::thread::spawn(move || {
-                    (0..50).map(|_| cat.insert("d", small_db(1))).max().unwrap()
+                    (0..50)
+                        .map(|_| cat.insert("d", small_db(1)).unwrap())
+                        .max()
+                        .unwrap()
                 })
             })
             .collect();
@@ -209,18 +305,18 @@ mod tests {
             cat.update("nope", |_| ()),
             Err(ServiceError::UnknownDatabase(_))
         ));
-        assert!(!cat.remove("nope"));
+        assert!(!cat.remove("nope").unwrap());
     }
 
     #[test]
     fn names_and_len() {
         let cat = Catalog::new();
         assert!(cat.is_empty());
-        cat.insert("b", small_db(1));
-        cat.insert("a", small_db(1));
+        cat.insert("b", small_db(1)).unwrap();
+        cat.insert("a", small_db(1)).unwrap();
         assert_eq!(cat.names(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(cat.len(), 2);
-        assert!(cat.remove("a"));
+        assert!(cat.remove("a").unwrap());
         assert_eq!(cat.len(), 1);
     }
 }

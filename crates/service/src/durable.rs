@@ -1,0 +1,538 @@
+//! The durability manager: snapshots, WAL rotation, and crash recovery.
+//!
+//! One [`Durability`] owns a data directory holding exactly two files:
+//!
+//! * `catalog.snap` — the latest snapshot: every database in the catalog at
+//!   some instant, CRC-sealed, written to `catalog.snap.tmp` and **renamed
+//!   into place** (atomic on POSIX), then the directory is fsynced;
+//! * `catalog.wal` — the [`crate::wal`] log of every mutation since that
+//!   snapshot.
+//!
+//! # Invariants
+//!
+//! 1. **Log order = catalog order.** Appends happen inside the catalog's
+//!    write lock, after the generation bump (see [`crate::catalog`]); there
+//!    is no window where two mutations can commit in one order and log in
+//!    the other.
+//! 2. **Snapshot ∘ rotate is crash-safe without two-phase commit.** Records
+//!    are post-states, so replaying a *stale* WAL on top of a *newer*
+//!    snapshot converges to the snapshot's own state or later; sequence
+//!    numbers (`seq`) make it exact — the snapshot stores the last seq it
+//!    covers and replay skips records at or below it. A crash between the
+//!    snapshot rename and the WAL rotation therefore recovers correctly.
+//! 3. **Recovery compacts.** [`Durability::recover`] replays snapshot + WAL
+//!    tail, then immediately writes a fresh snapshot of the recovered state
+//!    and rotates the WAL — so repeated crash/restart cycles cannot grow
+//!    the log without bound, and a torn tail never survives into the next
+//!    append.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use pq_data::Database;
+
+use crate::wal::{
+    crc32, decode_database, encode_database, io_err, put_u32, put_u64, replay_wal, Cursor,
+    FsyncPolicy, RecoveryError, ReplayOp, Wal, WalOp,
+};
+
+/// Magic bytes opening the snapshot file (version 1).
+pub const SNAP_MAGIC: &[u8; 8] = b"PQSNAP\x00\x01";
+
+/// Snapshot file name within the data directory.
+pub const SNAP_FILE: &str = "catalog.snap";
+/// WAL file name within the data directory.
+pub const WAL_FILE: &str = "catalog.wal";
+
+/// Operator knobs for the durability layer.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `catalog.snap` and `catalog.wal` (created if
+    /// absent).
+    pub dir: PathBuf,
+    /// When appends reach stable storage (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot (and rotate the WAL) after this many appends;
+    /// `0` disables automatic snapshots — only `PERSIST`, drain, and
+    /// recovery compact the log.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// A config with the default policy (`fsync=always`, snapshot every 256
+    /// appends) rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// What recovery found and did (logged on startup, surfaced in `STATS`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Databases restored from the snapshot file.
+    pub snapshot_databases: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// WAL records skipped because the snapshot already covered them
+    /// (a crash hit the window between snapshot rename and WAL rotation).
+    pub skipped_records: u64,
+    /// Bytes of a torn final record that were tolerated and discarded.
+    pub torn_tail_bytes: u64,
+    /// Wall-clock milliseconds the whole recovery (replay + compaction)
+    /// took.
+    pub elapsed_ms: u64,
+}
+
+/// Summary of one snapshot (the `PERSIST` response body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// Databases written.
+    pub databases: u64,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+}
+
+struct Journal {
+    wal: Wal,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Appends since the last snapshot (drives `snapshot_every`).
+    appends_since_snapshot: u64,
+}
+
+/// The durability manager (see the module docs). Thread-safe: the journal
+/// is a mutex the catalog's write path holds briefly per mutation.
+pub struct Durability {
+    config: DurabilityConfig,
+    journal: Mutex<Journal>,
+    recovery: RecoveryStats,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots_taken: AtomicU64,
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("dir", &self.config.dir)
+            .field("fsync", &self.config.fsync)
+            .field("snapshot_every", &self.config.snapshot_every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Live counters folded into the service `STATS`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityCounters {
+    /// Records appended to the WAL.
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL (headers included).
+    pub wal_bytes: u64,
+    /// Snapshots written (including the recovery compaction).
+    pub snapshots_taken: u64,
+}
+
+impl Durability {
+    /// Recover the catalog state from `config.dir` (creating it if absent),
+    /// compact it (fresh snapshot + rotated WAL), and return the recovered
+    /// `(name, database)` pairs alongside the ready-to-append manager.
+    ///
+    /// # Errors
+    /// [`RecoveryError`] when the on-disk state cannot be trusted (bad
+    /// magic, corrupt snapshot, corrupt interior WAL record) or plain I/O
+    /// fails. A missing directory or missing files are *not* errors — they
+    /// recover as an empty catalog (fresh deployment).
+    pub fn recover(
+        config: DurabilityConfig,
+    ) -> Result<(Vec<(String, Database)>, Self), RecoveryError> {
+        let started = Instant::now();
+        fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, &e))?;
+        let snap_path = config.dir.join(SNAP_FILE);
+        let wal_path = config.dir.join(WAL_FILE);
+
+        let (snap_seq, mut state) = read_snapshot(&snap_path)?.unwrap_or((0, Vec::new()));
+        let snapshot_databases = state.len() as u64;
+        let replay = replay_wal(&wal_path)?;
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        let mut max_seq = snap_seq;
+        for (seq, op) in replay.ops {
+            if seq <= snap_seq {
+                skipped += 1;
+                continue;
+            }
+            max_seq = max_seq.max(seq);
+            replayed += 1;
+            match op {
+                ReplayOp::Install { name, db } | ReplayOp::Update { name, db } => {
+                    match state.iter_mut().find(|(n, _)| *n == name) {
+                        Some(slot) => slot.1 = db,
+                        None => state.push((name, db)),
+                    }
+                }
+                ReplayOp::Remove { name } => state.retain(|(n, _)| *n != name),
+            }
+        }
+
+        // Compact: seal the recovered state in a fresh snapshot, then start
+        // a clean log. A torn tail (if any) dies here.
+        let dur = Durability {
+            journal: Mutex::new(Journal {
+                wal: Wal::create(&wal_path, config.fsync).map_err(|e| io_err(&wal_path, &e))?,
+                next_seq: max_seq + 1,
+                appends_since_snapshot: 0,
+            }),
+            config,
+            recovery: RecoveryStats::default(),
+            wal_appends: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            snapshots_taken: AtomicU64::new(0),
+        };
+        {
+            let entries: Vec<(&str, &Database)> =
+                state.iter().map(|(n, db)| (n.as_str(), db)).collect();
+            dur.write_snapshot_locked(max_seq, &entries)
+                .map_err(|e| io_err(&dur.config.dir, &e))?;
+        }
+        let mut dur = dur;
+        dur.recovery = RecoveryStats {
+            snapshot_databases,
+            replayed_records: replayed,
+            skipped_records: skipped,
+            torn_tail_bytes: replay.torn_tail_bytes,
+            elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        };
+        Ok((state, dur))
+    }
+
+    /// The configuration this manager was recovered with.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// What recovery found at startup.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Point-in-time journal counters.
+    pub fn counters(&self) -> DurabilityCounters {
+        DurabilityCounters {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Append one mutation record. Returns `true` when the snapshot cadence
+    /// is due (the caller — holding the catalog lock — should snapshot).
+    ///
+    /// # Errors
+    /// The rendered I/O failure; the in-memory catalog mutation has already
+    /// happened, so the caller surfaces this as degraded durability.
+    ///
+    /// Public for tests and low-level embedding; the usual writer is the
+    /// catalog, which calls this under its write lock (Invariant 1).
+    pub fn append(&self, op: &WalOp<'_>) -> Result<bool, String> {
+        let mut j = self.journal.lock().expect("journal poisoned");
+        let seq = j.next_seq;
+        let bytes = j
+            .wal
+            .append(seq, op)
+            .map_err(|e| format!("WAL append failed: {e}"))?;
+        j.next_seq += 1;
+        j.appends_since_snapshot += 1;
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(self.config.snapshot_every != 0
+            && j.appends_since_snapshot >= self.config.snapshot_every)
+    }
+
+    /// Arm an injected crash at an absolute WAL byte offset (test-only).
+    #[cfg(feature = "crash-injection")]
+    pub fn kill_wal_at_offset(&self, offset: u64) {
+        self.journal
+            .lock()
+            .expect("journal poisoned")
+            .wal
+            .kill_at_offset(offset);
+    }
+
+    /// Current WAL length in bytes (test/diagnostic aid).
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.journal
+            .lock()
+            .expect("journal poisoned")
+            .wal
+            .len_bytes()
+    }
+
+    /// Write a snapshot of `entries` and rotate the WAL. The caller must
+    /// hold a catalog lock that excludes writers (read or write), so no
+    /// record can land between the state capture and the rotation.
+    ///
+    /// # Errors
+    /// The rendered I/O failure.
+    pub(crate) fn snapshot(
+        &self,
+        entries: &[(&str, &Database)],
+    ) -> Result<SnapshotSummary, String> {
+        let mut j = self.journal.lock().expect("journal poisoned");
+        let last_seq = j.next_seq - 1;
+        let summary = self
+            .write_snapshot_locked(last_seq, entries)
+            .map_err(|e| format!("snapshot failed: {e}"))?;
+        j.wal = Wal::create(self.config.dir.join(WAL_FILE), self.config.fsync)
+            .map_err(|e| format!("WAL rotation failed: {e}"))?;
+        j.appends_since_snapshot = 0;
+        Ok(summary)
+    }
+
+    /// Write `catalog.snap` atomically (tmp + rename + dir fsync) and bump
+    /// the snapshot counter. Does not touch the WAL.
+    fn write_snapshot_locked(
+        &self,
+        last_seq: u64,
+        entries: &[(&str, &Database)],
+    ) -> io::Result<SnapshotSummary> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, last_seq);
+        put_u32(
+            &mut payload,
+            u32::try_from(entries.len()).expect("database count fits u32"),
+        );
+        for (name, db) in entries {
+            crate::wal::put_str(&mut payload, name);
+            encode_database(&mut payload, db);
+        }
+        let tmp = self.config.dir.join(format!("{SNAP_FILE}.tmp"));
+        let fin = self.config.dir.join(SNAP_FILE);
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(SNAP_MAGIC)?;
+            f.write_all(&crc32(&payload).to_le_bytes())?;
+            f.write_all(&payload)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &fin)?;
+        sync_dir(&self.config.dir);
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        Ok(SnapshotSummary {
+            databases: entries.len() as u64,
+            bytes: (SNAP_MAGIC.len() + 4 + payload.len()) as u64,
+        })
+    }
+}
+
+/// Best-effort directory fsync so the rename itself is durable (POSIX
+/// requires syncing the parent directory; ignored on platforms where
+/// directories cannot be opened).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Decoded snapshot contents: the last WAL sequence number the snapshot
+/// covers, and the catalog state it captured.
+pub type SnapshotContents = (u64, Vec<(String, Database)>);
+
+/// Read and verify the snapshot file. `Ok(None)` when absent (fresh
+/// deployment).
+///
+/// # Errors
+/// [`RecoveryError::CorruptSnapshot`] on checksum or decode failures,
+/// [`RecoveryError::BadMagic`] / [`RecoveryError::Io`] as appropriate.
+pub fn read_snapshot(path: &Path) -> Result<Option<SnapshotContents>, RecoveryError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes).map_err(|e| io_err(path, &e))?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(path, &e)),
+    }
+    if bytes.len() < SNAP_MAGIC.len() + 4 {
+        return Err(RecoveryError::CorruptSnapshot {
+            detail: format!("file too short ({} bytes)", bytes.len()),
+        });
+    }
+    if &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(RecoveryError::BadMagic {
+            path: path.display().to_string(),
+        });
+    }
+    let crc = u32::from_le_bytes(
+        bytes[SNAP_MAGIC.len()..SNAP_MAGIC.len() + 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let payload = &bytes[SNAP_MAGIC.len() + 4..];
+    if crc32(payload) != crc {
+        return Err(RecoveryError::CorruptSnapshot {
+            detail: "CRC mismatch".to_string(),
+        });
+    }
+    let mut cur = Cursor::new(payload);
+    let parse = |cur: &mut Cursor<'_>| -> Result<(u64, Vec<(String, Database)>), String> {
+        let last_seq = cur.take_u64()?;
+        let count = cur.take_u32()?;
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name = cur.take_str()?.to_string();
+            let db = decode_database(cur)?;
+            out.push((name, db));
+        }
+        if !cur.is_empty() {
+            return Err("trailing bytes after snapshot body".to_string());
+        }
+        Ok((last_seq, out))
+    };
+    parse(&mut cur)
+        .map(Some)
+        .map_err(|detail| RecoveryError::CorruptSnapshot { detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pq_durable_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn db(n: i64) -> Database {
+        let mut d = Database::new();
+        d.add_table("R", ["a"], (0..n).map(|i| tuple![i])).unwrap();
+        d
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty_and_compacts() {
+        let dir = tmp("fresh");
+        let (state, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        assert!(state.is_empty());
+        assert_eq!(dur.recovery_stats().replayed_records, 0);
+        assert!(
+            dir.join(SNAP_FILE).exists(),
+            "recovery compacts immediately"
+        );
+        assert!(dir.join(WAL_FILE).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let dir = tmp("reopen");
+        {
+            let (_, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+            let d2 = db(2);
+            let d5 = db(5);
+            dur.append(&WalOp::Install { name: "a", db: &d2 }).unwrap();
+            dur.append(&WalOp::Install { name: "b", db: &d5 }).unwrap();
+            dur.append(&WalOp::Remove { name: "a" }).unwrap();
+            // No snapshot, no drain — "the process died".
+        }
+        let (state, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].0, "b");
+        assert_eq!(state[0].1, db(5));
+        assert_eq!(dur.recovery_stats().replayed_records, 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_rotates_and_later_recovery_skips_covered_records() {
+        let dir = tmp("rotate");
+        {
+            let (_, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+            let d3 = db(3);
+            dur.append(&WalOp::Install { name: "a", db: &d3 }).unwrap();
+            let before = dur.wal_len_bytes();
+            dur.snapshot(&[("a", &d3)]).unwrap();
+            assert!(dur.wal_len_bytes() < before, "rotation empties the log");
+            let d4 = db(4);
+            dur.append(&WalOp::Update { name: "a", db: &d4 }).unwrap();
+        }
+        let (state, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].1, db(4), "post-rotation record replayed");
+        let s = dur.recovery_stats();
+        assert_eq!(s.snapshot_databases, 1);
+        assert_eq!(s.replayed_records, 1);
+        assert_eq!(s.skipped_records, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_wal_on_newer_snapshot_converges_via_seq_skip() {
+        // Simulate the crash window: snapshot renamed, WAL not yet rotated.
+        let dir = tmp("window");
+        let d1 = db(1);
+        let d9 = db(9);
+        let (_, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        dur.append(&WalOp::Install { name: "x", db: &d1 }).unwrap();
+        dur.append(&WalOp::Remove { name: "x" }).unwrap();
+        dur.append(&WalOp::Install { name: "y", db: &d9 }).unwrap();
+        // Write the snapshot WITHOUT rotating (private path): state after
+        // all three records, last_seq = 3.
+        dur.write_snapshot_locked(3, &[("y", &d9)]).unwrap();
+        drop(dur);
+        let (state, dur2) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(state.len(), 1, "x must not be resurrected");
+        assert_eq!(state[0].0, "y");
+        let s = dur2.recovery_stats();
+        assert_eq!(s.skipped_records, 3, "all records covered by the snapshot");
+        assert_eq!(s.replayed_records, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = tmp("snapcorrupt");
+        let (_, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        let d2 = db(2);
+        dur.snapshot(&[("a", &d2)]).unwrap();
+        drop(dur);
+        let path = dir.join(SNAP_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Durability::recover(DurabilityConfig::new(&dir)),
+            Err(RecoveryError::CorruptSnapshot { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_cadence_reports_due() {
+        let dir = tmp("cadence");
+        let mut config = DurabilityConfig::new(&dir);
+        config.snapshot_every = 2;
+        let (_, dur) = Durability::recover(config).unwrap();
+        let d1 = db(1);
+        assert!(!dur.append(&WalOp::Install { name: "a", db: &d1 }).unwrap());
+        assert!(dur.append(&WalOp::Update { name: "a", db: &d1 }).unwrap());
+        dur.snapshot(&[("a", &d1)]).unwrap();
+        assert!(!dur.append(&WalOp::Update { name: "a", db: &d1 }).unwrap());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,6 +6,8 @@ use pq_data::DataError;
 use pq_engine::EngineError;
 use pq_query::QueryError;
 
+use crate::wal::RecoveryError;
+
 /// Errors surfaced by [`crate::QueryService`] and the wire protocol.
 ///
 /// `#[non_exhaustive]` for the same reason as the substrate errors:
@@ -38,6 +40,18 @@ pub enum ServiceError {
     /// intra-query parallelism degree oversubscribes
     /// [`crate::service::MAX_TOTAL_THREADS`]).
     InvalidConfig(String),
+    /// A client stalled past the server's read/write timeout; the
+    /// connection is closed after this error is (best-effort) reported, so
+    /// a slow or dead peer cannot pin a connection handler forever.
+    RequestTimeout,
+    /// The durability layer failed *after* the in-memory mutation applied
+    /// (WAL append or snapshot I/O): the catalog is updated but the change
+    /// may not survive a crash. Carries the rendered cause.
+    Durability(String),
+    /// Startup recovery found on-disk state that cannot be trusted (see
+    /// [`RecoveryError`]); the service refuses to start rather than serve
+    /// from a corrupt catalog.
+    Recovery(RecoveryError),
 }
 
 impl ServiceError {
@@ -53,6 +67,9 @@ impl ServiceError {
             ServiceError::ShuttingDown => "shutting-down",
             ServiceError::Protocol(_) => "proto",
             ServiceError::InvalidConfig(_) => "invalid-config",
+            ServiceError::RequestTimeout => "request-timeout",
+            ServiceError::Durability(_) => "durability",
+            ServiceError::Recovery(_) => "recovery",
         }
     }
 
@@ -83,6 +100,11 @@ impl fmt::Display for ServiceError {
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServiceError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            ServiceError::RequestTimeout => {
+                write!(f, "request timed out waiting for client I/O")
+            }
+            ServiceError::Durability(m) => write!(f, "durability degraded: {m}"),
+            ServiceError::Recovery(e) => write!(f, "recovery failed: {e}"),
         }
     }
 }
@@ -93,6 +115,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Parse(e) => Some(e),
             ServiceError::Data(e) => Some(e),
             ServiceError::Engine(e) => Some(e),
+            ServiceError::Recovery(e) => Some(e),
             _ => None,
         }
     }
@@ -113,6 +136,12 @@ impl From<DataError> for ServiceError {
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
         ServiceError::Engine(e)
+    }
+}
+
+impl From<RecoveryError> for ServiceError {
+    fn from(e: RecoveryError) -> Self {
+        ServiceError::Recovery(e)
     }
 }
 

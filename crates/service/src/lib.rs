@@ -23,11 +23,20 @@
 //!   snapshotable as a plain [`MetricsSnapshot`] and dumpable over the
 //!   wire;
 //! * a tiny [`protocol`] (`LOAD` / `QUERY` / `EXPLAIN` / `ANALYZE` /
-//!   `STATS` / `SHUTDOWN`, newline-framed, `.`-terminated responses) and a
-//!   [`server`] built on `std::net` + `std::thread` only. The wire `LOAD`
-//!   verb only works on a server started with
-//!   [`server::serve_with_data_dir`], and only for relative paths confined
-//!   to that directory.
+//!   `STATS` / `DROP` / `PERSIST` / `SHUTDOWN`, newline-framed,
+//!   `.`-terminated responses) and a [`server`] built on `std::net` +
+//!   `std::thread` only. The wire `LOAD` verb only works on a server
+//!   started with [`server::serve_with_data_dir`], and only for relative
+//!   paths confined to that directory. Accepted sockets carry slow-client
+//!   read/write timeouts ([`server::ServerOptions`]);
+//! * an optional **durability layer** ([`wal`] + [`durable`]): set
+//!   [`ServiceConfig::durability`] and the catalog survives restarts —
+//!   every mutation is appended to a length-prefixed, CRC-checksummed
+//!   write-ahead log *under the catalog write lock* (log order = catalog
+//!   order), snapshots are written atomically (tmp + rename + dir fsync) on
+//!   a configurable cadence / `PERSIST` / graceful drain, and startup
+//!   replays snapshot + WAL tail, tolerating a torn final record while
+//!   rejecting interior corruption with a typed [`RecoveryError`].
 //!
 //! # Quick start (embedded)
 //!
@@ -54,19 +63,28 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod durable;
 pub mod error;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod wal;
 
 pub use cache::ShardedCache;
 pub use catalog::{Catalog, DbSnapshot};
+pub use durable::{
+    Durability, DurabilityConfig, DurabilityCounters, RecoveryStats, SnapshotSummary,
+};
 pub use error::{Result, ServiceError};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServiceMetrics};
 pub use protocol::{parse_request, Request, END};
-pub use server::{read_response, roundtrip, serve, serve_with_data_dir, ServerHandle};
+pub use server::{
+    read_response, roundtrip, serve, serve_with_data_dir, serve_with_options, ServerHandle,
+    ServerOptions,
+};
 pub use service::{
     AnalysisReport, CacheOutcome, Explanation, LoadSummary, ProgramAnalysisReport, QueryResponse,
     QueryService, RequestLimits, ServiceConfig, MAX_TOTAL_THREADS,
 };
+pub use wal::{FsyncPolicy, RecoveryError};

@@ -96,6 +96,8 @@ pub struct ServiceMetrics {
     pub loads: AtomicU64,
     /// In-place database mutations.
     pub mutations: AtomicU64,
+    /// Databases dropped from the catalog (`DROP`).
+    pub drops: AtomicU64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: AtomicU64,
     /// End-to-end query latencies (successful queries only).
@@ -122,10 +124,16 @@ impl ServiceMetrics {
             result_misses: self.result_misses.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
             mutations: self.mutations.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             exec_threads: 0,
             exec_tasks_run: 0,
             exec_peak_active: 0,
+            wal_appends: 0,
+            wal_bytes: 0,
+            snapshots_taken: 0,
+            recovery_replayed_records: 0,
+            last_recovery_ms: 0,
             latency_p50_micros: percentile(&buckets, 0.50),
             latency_p99_micros: percentile(&buckets, 0.99),
         }
@@ -158,6 +166,8 @@ pub struct MetricsSnapshot {
     pub loads: u64,
     /// In-place database mutations.
     pub mutations: u64,
+    /// Databases dropped from the catalog.
+    pub drops: u64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: u64,
     /// Intra-query exec-pool size (the `intra_query_threads` knob; filled
@@ -168,6 +178,17 @@ pub struct MetricsSnapshot {
     pub exec_tasks_run: u64,
     /// Peak concurrently-active exec-pool workers observed.
     pub exec_peak_active: u64,
+    /// WAL records appended (service lifetime; filled in by
+    /// [`crate::QueryService::stats`] when durability is on, 0 otherwise).
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL (service lifetime).
+    pub wal_bytes: u64,
+    /// Snapshots written (cadence-driven, `PERSIST`, and drain).
+    pub snapshots_taken: u64,
+    /// WAL records replayed by startup recovery.
+    pub recovery_replayed_records: u64,
+    /// Wall-clock time startup recovery took, in milliseconds.
+    pub last_recovery_ms: u64,
     /// Median successful-query latency (µs, upper bucket bound).
     pub latency_p50_micros: u64,
     /// 99th-percentile successful-query latency (µs, upper bucket bound).
@@ -189,10 +210,19 @@ impl MetricsSnapshot {
             format!("result_misses {}", self.result_misses),
             format!("loads {}", self.loads),
             format!("mutations {}", self.mutations),
+            format!("drops {}", self.drops),
             format!("parallel_queries {}", self.parallel_queries),
             format!("exec_threads {}", self.exec_threads),
             format!("exec_tasks_run {}", self.exec_tasks_run),
             format!("exec_peak_active {}", self.exec_peak_active),
+            format!("wal_appends {}", self.wal_appends),
+            format!("wal_bytes {}", self.wal_bytes),
+            format!("snapshots_taken {}", self.snapshots_taken),
+            format!(
+                "recovery_replayed_records {}",
+                self.recovery_replayed_records
+            ),
+            format!("last_recovery_ms {}", self.last_recovery_ms),
             format!("latency_p50_micros {}", self.latency_p50_micros),
             format!("latency_p99_micros {}", self.latency_p99_micros),
         ]

@@ -15,7 +15,13 @@
 //!                                         (PQA5xx: dead rules, recursion
 //!                                         class, per-rule minimization)
 //! STATS                                   dump service metrics
-//! SHUTDOWN                                stop the service and the server
+//! DROP <name>                             remove a database from the catalog
+//!                                         (WAL-logged tombstone: recovery
+//!                                         does not resurrect it)
+//! PERSIST                                 force a snapshot + WAL rotation
+//! SHUTDOWN                                gracefully drain and stop: no new
+//!                                         work, in-flight requests finish,
+//!                                         final snapshot when durable
 //! ```
 //!
 //! `@flags` set per-request resource limits, e.g.
@@ -32,6 +38,7 @@ use std::time::Duration;
 
 use pq_data::{Relation, Value};
 
+use crate::durable::SnapshotSummary;
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
 use crate::service::{
@@ -82,6 +89,13 @@ pub enum Request {
     },
     /// `STATS`.
     Stats,
+    /// `DROP <name>`.
+    Drop {
+        /// Database name to remove.
+        name: String,
+    },
+    /// `PERSIST`.
+    Persist,
     /// `SHUTDOWN`.
     Shutdown,
 }
@@ -172,6 +186,21 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
                 return Err(proto_err("STATS takes no arguments"));
             }
             Ok(Request::Stats)
+        }
+        "DROP" => {
+            let name = rest.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(proto_err("expected `DROP <name>`"));
+            }
+            Ok(Request::Drop {
+                name: name.to_string(),
+            })
+        }
+        "PERSIST" => {
+            if !rest.trim().is_empty() {
+                return Err(proto_err("PERSIST takes no arguments"));
+            }
+            Ok(Request::Persist)
         }
         "SHUTDOWN" => {
             if !rest.trim().is_empty() {
@@ -342,6 +371,24 @@ pub fn render_stats_response(s: &MetricsSnapshot) -> Vec<String> {
     lines
 }
 
+/// Render the response line for `DROP`: `OK dropped <name>` or
+/// `OK absent <name>` (dropping a missing database is not an error —
+/// the postcondition already holds).
+pub fn render_drop_response(name: &str, existed: bool) -> Vec<String> {
+    vec![format!(
+        "OK {} {name}",
+        if existed { "dropped" } else { "absent" }
+    )]
+}
+
+/// Render the response line for `PERSIST`.
+pub fn render_persist_response(s: &SnapshotSummary) -> Vec<String> {
+    vec![format!(
+        "OK persisted databases={} bytes={}",
+        s.databases, s.bytes
+    )]
+}
+
 /// Render an error as its single response line.
 pub fn render_error(e: &ServiceError) -> String {
     format!("ERR {} {e}", e.code())
@@ -376,6 +423,11 @@ mod tests {
             }
         );
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("drop d").unwrap(),
+            Request::Drop { name: "d".into() }
+        );
+        assert_eq!(parse_request("PERSIST").unwrap(), Request::Persist);
         assert_eq!(parse_request("  SHUTDOWN  ").unwrap(), Request::Shutdown);
     }
 
@@ -407,6 +459,9 @@ mod tests {
             "STATS now",
             "SHUTDOWN please",
             "EXPLAIN @budget=1 d G(x) :- R(x).",
+            "DROP",
+            "DROP two names",
+            "PERSIST now",
         ] {
             assert!(
                 matches!(parse_request(bad), Err(ServiceError::Protocol(_))),

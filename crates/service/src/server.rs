@@ -12,7 +12,18 @@
 //! data directory the *operator* configures with [`serve_with_data_dir`];
 //! a server started with plain [`serve`] rejects `LOAD` outright. Bind
 //! non-loopback addresses only if every reachable client is trusted —
-//! `QUERY`/`STATS`/`SHUTDOWN` have no access control either.
+//! `QUERY`/`STATS`/`DROP`/`PERSIST`/`SHUTDOWN` have no access control
+//! either.
+//!
+//! **Slow-client hardening**: accepted sockets carry read/write timeouts
+//! (see [`ServerOptions`]). A client that stalls mid-request or stops
+//! draining its response gets a best-effort `ERR request-timeout` and its
+//! connection closed — one dead peer cannot pin a handler thread forever.
+//!
+//! The wire `SHUTDOWN` verb performs a **graceful drain**: the service
+//! stops admitting, in-flight requests finish under their own governors,
+//! and — when durability is configured — the final catalog state is sealed
+//! in a snapshot before `OK bye` is written.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -20,21 +31,47 @@ use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    parse_request, render_analyze_program_response, render_analyze_response, render_error,
-    render_explain_response, render_load_response, render_query_response, render_stats_response,
-    Request, END,
+    parse_request, render_analyze_program_response, render_analyze_response, render_drop_response,
+    render_error, render_explain_response, render_load_response, render_persist_response,
+    render_query_response, render_stats_response, Request, END,
 };
 use crate::service::QueryService;
+
+/// Server knobs beyond the address (see [`serve_with_options`]).
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Root for `LOAD` path resolution; `None` disables `LOAD` entirely.
+    pub data_dir: Option<PathBuf>,
+    /// Per-connection socket read timeout: how long a handler blocks
+    /// waiting for the *next request line* before giving up on the client.
+    /// `None` waits forever (pre-hardening behavior).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout: how long a response write may
+    /// stall on a client that stopped draining. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    /// Timeouts default *on* (read 300 s, write 30 s): an unattended server
+    /// should shed dead peers without operator tuning.
+    fn default() -> Self {
+        ServerOptions {
+            data_dir: None,
+            read_timeout: Some(Duration::from_mins(5)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
 
 struct Shared {
     service: Arc<QueryService>,
     stop: AtomicBool,
     addr: SocketAddr,
-    /// Root for `LOAD` path resolution; `None` disables `LOAD` entirely.
-    data_dir: Option<PathBuf>,
+    options: ServerOptions,
 }
 
 /// A running server; dropping it does **not** stop the service (call
@@ -89,7 +126,7 @@ fn request_stop(shared: &Shared) {
 /// # Errors
 /// Propagates the bind failure.
 pub fn serve(addr: impl ToSocketAddrs, service: Arc<QueryService>) -> io::Result<ServerHandle> {
-    serve_inner(addr, service, None)
+    serve_with_options(addr, service, ServerOptions::default())
 }
 
 /// Like [`serve`], but wire `LOAD <name> <path>` is allowed for paths that
@@ -104,20 +141,32 @@ pub fn serve_with_data_dir(
     service: Arc<QueryService>,
     data_dir: impl Into<PathBuf>,
 ) -> io::Result<ServerHandle> {
-    serve_inner(addr, service, Some(data_dir.into()))
+    serve_with_options(
+        addr,
+        service,
+        ServerOptions {
+            data_dir: Some(data_dir.into()),
+            ..Default::default()
+        },
+    )
 }
 
-fn serve_inner(
+/// Bind `addr` and serve with explicit [`ServerOptions`] (data directory
+/// and slow-client timeouts).
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn serve_with_options(
     addr: impl ToSocketAddrs,
     service: Arc<QueryService>,
-    data_dir: Option<PathBuf>,
+    options: ServerOptions,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let shared = Arc::new(Shared {
         service,
         stop: AtomicBool::new(false),
         addr: listener.local_addr()?,
-        data_dir,
+        options,
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
@@ -187,7 +236,7 @@ fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
     };
     match request {
         Request::Load { name, path } => {
-            let outcome = resolve_load_path(shared.data_dir.as_deref(), &path)
+            let outcome = resolve_load_path(shared.options.data_dir.as_deref(), &path)
                 .and_then(|resolved| {
                     std::fs::read_to_string(&resolved)
                         .map_err(|e| ServiceError::Protocol(format!("cannot read `{path}`: {e}")))
@@ -219,18 +268,55 @@ fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
             Err(e) => (vec![render_error(&e)], false),
         },
         Request::Stats => (render_stats_response(&service.stats()), false),
-        Request::Shutdown => (vec!["OK bye".to_string()], true),
+        Request::Drop { name } => match service.drop_database(&name) {
+            Ok(existed) => (render_drop_response(&name, existed), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        Request::Persist => match service.persist() {
+            Ok(s) => (render_persist_response(&s), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        // Graceful drain: block here until in-flight work finishes and the
+        // final snapshot (if durable) lands, so `OK bye` really means the
+        // state is sealed. A failed final snapshot is reported instead of
+        // `OK bye` — the service is stopped either way.
+        Request::Shutdown => match service.drain() {
+            Ok(()) => (vec!["OK bye".to_string()], true),
+            Err(e) => (vec![render_error(&e)], true),
+        },
     }
 }
 
+/// Did this I/O error come from the socket timeout? (Unix reports
+/// `WouldBlock`, Windows `TimedOut`.)
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
-    let reader = match stream.try_clone() {
+    let _ = stream.set_read_timeout(shared.options.read_timeout);
+    let _ = stream.set_write_timeout(shared.options.write_timeout);
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                // Best-effort notice; the peer may be dead, in which case
+                // the write fails too and we just close.
+                let _ = write_lines(&mut writer, &[render_error(&ServiceError::RequestTimeout)]);
+                break;
+            }
+            Err(_) => break,
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -239,7 +325,6 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             break;
         }
         if shutdown {
-            shared.service.shutdown();
             request_stop(shared);
             break;
         }

@@ -44,6 +44,7 @@ use pq_query::{canonical_form, parse_cq, ConjunctiveQuery};
 
 use crate::cache::ShardedCache;
 use crate::catalog::{Catalog, DbSnapshot};
+use crate::durable::{Durability, DurabilityConfig, RecoveryStats, SnapshotSummary};
 use crate::error::{Result, ServiceError};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 
@@ -105,6 +106,12 @@ pub struct ServiceConfig {
     pub default_limits: RequestLimits,
     /// Planner options used when building plans.
     pub planner: PlannerOptions,
+    /// Durability layer: `Some` makes the catalog survive restarts —
+    /// startup recovers from the data directory (snapshot + WAL replay),
+    /// every mutation is write-ahead logged, and snapshots are taken on the
+    /// configured cadence, on `PERSIST`, and on [`QueryService::drain`].
+    /// `None` (the default) keeps the catalog purely in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +125,7 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             default_limits: RequestLimits::default(),
             planner: PlannerOptions::default(),
+            durability: None,
         }
     }
 }
@@ -343,6 +351,10 @@ struct Inner {
     config: ServiceConfig,
     shutdown: AtomicBool,
     cancel: CancellationToken,
+    /// The durability manager when [`ServiceConfig::durability`] is set;
+    /// also attached to `catalog` (which journals through it) — kept here
+    /// for stats and recovery reporting.
+    durability: Option<Arc<Durability>>,
     /// Intra-query execution pool descriptor, shared by all workers so pool
     /// occupancy and task counters aggregate service-wide (the pool spawns
     /// scoped threads per run; it owns no threads of its own).
@@ -372,7 +384,10 @@ impl QueryService {
     ///
     /// # Errors
     /// [`ServiceError::InvalidConfig`] when
-    /// `workers × intra_query_threads > MAX_TOTAL_THREADS`.
+    /// `workers × intra_query_threads > MAX_TOTAL_THREADS`;
+    /// [`ServiceError::Recovery`] when [`ServiceConfig::durability`] is set
+    /// and the on-disk state cannot be trusted (the service refuses to
+    /// start rather than serve from a corrupt catalog).
     pub fn try_new(config: ServiceConfig) -> Result<Self> {
         config.validate()?;
         // The service's intra-query knob is authoritative: plans built here
@@ -380,8 +395,23 @@ impl QueryService {
         // the degree the exec pool actually provides.
         let mut config = config;
         config.planner.max_parallelism = config.intra_query_threads.max(1);
+        let catalog = Catalog::new();
+        let durability = match config.durability.clone() {
+            Some(dcfg) => {
+                let (recovered, journal) = Durability::recover(dcfg)?;
+                // Install recovered databases *before* attaching the journal:
+                // recovery inserts must not re-log themselves.
+                for (name, db) in recovered {
+                    catalog.insert(name, db)?;
+                }
+                let journal = Arc::new(journal);
+                catalog.attach_journal(Arc::clone(&journal));
+                Some(journal)
+            }
+            None => None,
+        };
         let inner = Arc::new(Inner {
-            catalog: Catalog::new(),
+            catalog,
             plan_cache: ShardedCache::new(config.plan_cache_capacity, config.cache_shards),
             result_cache: ShardedCache::new(config.result_cache_capacity, config.cache_shards),
             metrics: ServiceMetrics::default(),
@@ -389,6 +419,7 @@ impl QueryService {
             config,
             shutdown: AtomicBool::new(false),
             cancel: CancellationToken::new(),
+            durability,
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(inner.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -438,12 +469,13 @@ impl QueryService {
     ///
     /// # Errors
     /// [`ServiceError::Data`] if the text does not parse;
+    /// [`ServiceError::Durability`] if the WAL append fails;
     /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
     pub fn load_str(&self, name: &str, text: &str) -> Result<LoadSummary> {
         self.check_admitting()?;
         let db = loader::parse_database(text)?;
         let (relations, tuples, epoch) = (db.num_relations(), db.num_tuples(), db.epoch());
-        let generation = self.inner.catalog.insert(name, db);
+        let generation = self.inner.catalog.insert(name, db)?;
         ServiceMetrics::bump(&self.inner.metrics.loads);
         Ok(LoadSummary {
             name: name.to_string(),
@@ -457,11 +489,12 @@ impl QueryService {
     /// Install an already-built database under `name`.
     ///
     /// # Errors
+    /// [`ServiceError::Durability`] if the WAL append fails;
     /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
     pub fn load_database(&self, name: &str, db: Database) -> Result<LoadSummary> {
         self.check_admitting()?;
         let (relations, tuples, epoch) = (db.num_relations(), db.num_tuples(), db.epoch());
-        let generation = self.inner.catalog.insert(name, db);
+        let generation = self.inner.catalog.insert(name, db)?;
         ServiceMetrics::bump(&self.inner.metrics.loads);
         Ok(LoadSummary {
             name: name.to_string(),
@@ -483,6 +516,43 @@ impl QueryService {
         let out = self.inner.catalog.update(name, f)?;
         ServiceMetrics::bump(&self.inner.metrics.mutations);
         Ok(out)
+    }
+
+    /// Drop the named database from the catalog; `true` when it existed.
+    /// When durability is on, a tombstone is journaled so recovery does not
+    /// resurrect the database.
+    ///
+    /// # Errors
+    /// [`ServiceError::Durability`] if the tombstone append fails;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn drop_database(&self, name: &str) -> Result<bool> {
+        self.check_admitting()?;
+        let existed = self.inner.catalog.remove(name)?;
+        if existed {
+            ServiceMetrics::bump(&self.inner.metrics.drops);
+        }
+        Ok(existed)
+    }
+
+    /// Force a snapshot of the whole catalog to stable storage now,
+    /// rotating the WAL (the wire `PERSIST` verb).
+    ///
+    /// # Errors
+    /// [`ServiceError::Durability`] when durability is not configured or
+    /// the snapshot I/O fails;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn persist(&self) -> Result<SnapshotSummary> {
+        self.check_admitting()?;
+        self.inner.catalog.persist()
+    }
+
+    /// What startup recovery found and did; `None` when the service runs
+    /// without durability.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.inner
+            .durability
+            .as_ref()
+            .map(|d| d.recovery_stats().clone())
     }
 
     /// Names in the catalog, sorted.
@@ -812,6 +882,15 @@ impl QueryService {
         s.exec_threads = pool.threads as u64;
         s.exec_tasks_run = pool.tasks_run;
         s.exec_peak_active = pool.peak as u64;
+        if let Some(d) = &self.inner.durability {
+            let c = d.counters();
+            s.wal_appends = c.wal_appends;
+            s.wal_bytes = c.wal_bytes;
+            s.snapshots_taken = c.snapshots_taken;
+            let r = d.recovery_stats();
+            s.recovery_replayed_records = r.replayed_records;
+            s.last_recovery_ms = r.elapsed_ms;
+        }
         s
     }
 
@@ -842,6 +921,32 @@ impl QueryService {
         for h in handles {
             let _ = h.join();
         }
+    }
+
+    /// Gracefully drain the service: refuse new work, let already-admitted
+    /// jobs **finish** (unlike [`QueryService::shutdown`], the cancellation
+    /// token is not tripped), join the worker pool, and — when durability
+    /// is on — seal the final state in a snapshot. Idempotent with
+    /// `shutdown`: whichever runs first wins, the other becomes a no-op.
+    ///
+    /// # Errors
+    /// [`ServiceError::Durability`] when the final snapshot fails (the
+    /// service is still stopped).
+    pub fn drain(&self) -> Result<()> {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        // Disconnect the queue without cancelling: workers finish every
+        // admitted job under its own governor, then exit.
+        self.job_tx.lock().expect("job_tx poisoned").take();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if self.inner.durability.is_some() {
+            self.inner.catalog.persist()?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,805 @@
+//! The write-ahead log: a length-prefixed, CRC-checksummed, append-only
+//! record stream of catalog mutations.
+//!
+//! # File layout
+//!
+//! ```text
+//! [8-byte magic "PQWAL\0\0\1"]
+//! [record]*
+//!
+//! record := [len: u32 LE] [crc32: u32 LE over payload] [payload: len bytes]
+//! payload := [kind: u8] [seq: u64 LE] [body]
+//! kind 1 (install) | 2 (update) := [name: str] [database blob]
+//! kind 3 (remove)               := [name: str]
+//! str  := [len: u32 LE] [UTF-8 bytes]
+//! ```
+//!
+//! The database blob is a self-contained binary encoding (relation headers,
+//! attribute names, typed values) — **not** the loader text format, which
+//! cannot round-trip strings containing commas. Mutations are logged as
+//! *post-states* (the full database after the mutation), so replay is
+//! convergent: replaying any suffix of the log on top of any earlier state
+//! ends in the same final catalog. That makes the snapshot/rotation crash
+//! window safe without two-phase bookkeeping — see [`crate::durable`].
+//!
+//! # Recovery semantics
+//!
+//! [`replay_wal`] accepts exactly the damage a crash mid-append can cause
+//! and nothing more:
+//!
+//! * a **truncated final record** (short header or short payload at EOF) is
+//!   tolerated — its bytes are reported as `torn_tail_bytes` and discarded;
+//! * a **corrupt interior record** (complete length but failing CRC, or an
+//!   undecodable payload) is rejected with a typed
+//!   [`RecoveryError::CorruptRecord`] carrying the file offset — silent
+//!   skipping could resurrect dropped data or hide bit rot.
+//!
+//! # Crash-fault injection
+//!
+//! With the `crash-injection` feature (test-only, in the spirit of the
+//! PR 1 governor's fault points), `Wal::kill_at_offset` arms a byte
+//! offset at which the writer dies mid-write: bytes up to the offset are
+//! written, the rest are dropped on the floor, and every later append
+//! fails. Recovery can therefore be exercised against every torn-write
+//! position of a real append sequence.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use pq_data::{Database, Relation, Tuple, Value};
+
+/// Magic bytes opening every WAL file (version 1).
+pub const WAL_MAGIC: &[u8; 8] = b"PQWAL\x00\x00\x01";
+
+/// Record kind tags (the first payload byte).
+const KIND_INSTALL: u8 = 1;
+const KIND_UPDATE: u8 = 2;
+const KIND_REMOVE: u8 = 3;
+
+/// Upper bound on a single record payload. A length prefix beyond this is
+/// treated as corruption rather than attempted as an allocation.
+const MAX_RECORD: u32 = 256 * 1024 * 1024;
+
+// ---------------------------------------------------------------- crc32 --
+
+/// IEEE CRC-32 lookup table, built at compile time (std-only; no crc crate).
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+#[allow(clippy::cast_possible_truncation)] // i < 256 fits any integer type
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ------------------------------------------------------ fsync policy ----
+
+/// When the WAL writer calls `fsync` after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: a mutation acknowledged to the client is
+    /// on stable storage. Strongest guarantee, slowest writes.
+    Always,
+    /// `fsync` at most once per interval: a crash loses at most the last
+    /// interval's worth of acknowledged mutations.
+    Interval(Duration),
+    /// Never `fsync` on the append path (the OS flushes when it pleases);
+    /// snapshots and rotations still sync. A kernel panic or power cut can
+    /// lose recent acknowledged mutations — a plain process `kill -9`
+    /// cannot, because the bytes are already in the page cache.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse the operator spelling used by `examples/serve.rs` and CI:
+    /// `always`, `never`, or `interval:<millis>`.
+    ///
+    /// # Errors
+    /// A human-readable message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|_| format!("bad fsync interval `{ms}` (want millis)")),
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (want always | never | interval:<ms>)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Interval(d) => write!(f, "interval:{}", d.as_millis()),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+// ------------------------------------------------------- record types ---
+
+/// A catalog mutation to append, borrowing the caller's data.
+#[derive(Debug, Clone, Copy)]
+pub enum WalOp<'a> {
+    /// A database was installed (loaded or replaced) under `name`.
+    Install {
+        /// Catalog name.
+        name: &'a str,
+        /// The installed database (logged whole).
+        db: &'a Database,
+    },
+    /// The database under `name` was mutated in place; `db` is the
+    /// **post-state** (state logging, not operation logging — replay never
+    /// needs the mutation closure).
+    Update {
+        /// Catalog name.
+        name: &'a str,
+        /// The database after the mutation.
+        db: &'a Database,
+    },
+    /// The database under `name` was dropped (a tombstone: recovery must
+    /// not resurrect it).
+    Remove {
+        /// Catalog name.
+        name: &'a str,
+    },
+}
+
+/// An owned, decoded WAL record, in replay form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayOp {
+    /// Install (or replace) `db` under `name`.
+    Install {
+        /// Catalog name.
+        name: String,
+        /// The logged database state.
+        db: Database,
+    },
+    /// In-place mutation post-state: install `db` under `name`.
+    Update {
+        /// Catalog name.
+        name: String,
+        /// The logged post-state.
+        db: Database,
+    },
+    /// Tombstone: remove `name`.
+    Remove {
+        /// Catalog name.
+        name: String,
+    },
+}
+
+/// What [`replay_wal`] found in a log file.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Decoded records in file order, each with its sequence number.
+    pub ops: Vec<(u64, ReplayOp)>,
+    /// Bytes of a truncated final record (crash mid-append) that were
+    /// tolerated and discarded; 0 for a cleanly closed log.
+    pub torn_tail_bytes: u64,
+}
+
+/// Typed recovery failures. Torn final records are *not* errors (see the
+/// module docs); everything here means the on-disk state cannot be trusted
+/// and the operator must intervene.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// An I/O failure reading a durability file.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The rendered `io::Error`.
+        detail: String,
+    },
+    /// A durability file does not start with its magic bytes — it is not
+    /// ours, or belongs to an incompatible version.
+    BadMagic {
+        /// The file involved.
+        path: String,
+    },
+    /// The snapshot file is present but fails its checksum or decode.
+    CorruptSnapshot {
+        /// What failed.
+        detail: String,
+    },
+    /// A complete interior WAL record fails its CRC or cannot be decoded.
+    CorruptRecord {
+        /// Byte offset of the record's length prefix in the file.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io { path, detail } => write!(f, "recovery I/O on `{path}`: {detail}"),
+            RecoveryError::BadMagic { path } => {
+                write!(f, "`{path}` is not a pq durability file (bad magic)")
+            }
+            RecoveryError::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
+            RecoveryError::CorruptRecord { offset, detail } => {
+                write!(f, "corrupt WAL record at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+pub(crate) fn io_err(path: &Path, e: &io::Error) -> RecoveryError {
+    RecoveryError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+// ------------------------------------------------- binary (de)coding ----
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, u32::try_from(s.len()).expect("string length fits u32"));
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append the self-contained binary encoding of `db` to `buf`.
+pub(crate) fn encode_database(buf: &mut Vec<u8>, db: &Database) {
+    put_u32(
+        buf,
+        u32::try_from(db.num_relations()).expect("relation count fits u32"),
+    );
+    for (name, rel) in db.iter() {
+        put_str(buf, name);
+        put_u32(buf, u32::try_from(rel.arity()).expect("arity fits u32"));
+        for attr in rel.attrs() {
+            put_str(buf, attr);
+        }
+        put_u64(buf, rel.len() as u64);
+        for t in rel {
+            for v in t {
+                match v {
+                    Value::Int(i) => {
+                        buf.push(0);
+                        buf.extend_from_slice(&i.to_le_bytes());
+                    }
+                    Value::Str(s) => {
+                        buf.push(1);
+                        put_str(buf, s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A bounds-checked reader over a byte slice; every decode failure is a
+/// plain message the caller wraps in a typed [`RecoveryError`].
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("unexpected end of payload (wanted {n} more bytes)"))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn take_i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn take_str(&mut self) -> Result<&'a str, String> {
+        let len = self.take_u32()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|e| format!("invalid UTF-8 string: {e}"))
+    }
+}
+
+/// Decode one database blob.
+pub(crate) fn decode_database(cur: &mut Cursor<'_>) -> Result<Database, String> {
+    let mut db = Database::new();
+    let relations = cur.take_u32()?;
+    for _ in 0..relations {
+        let name = cur.take_str()?.to_string();
+        let arity = cur.take_u32()? as usize;
+        let mut attrs = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attrs.push(cur.take_str()?.to_string());
+        }
+        let mut rel = Relation::new(attrs).map_err(|e| format!("bad relation header: {e}"))?;
+        let tuples = cur.take_u64()?;
+        for _ in 0..tuples {
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(match cur.take_u8()? {
+                    0 => Value::Int(cur.take_i64()?),
+                    1 => Value::str(cur.take_str()?),
+                    other => return Err(format!("unknown value tag {other}")),
+                });
+            }
+            rel.insert(Tuple::new(values))
+                .map_err(|e| format!("bad tuple: {e}"))?;
+        }
+        db.add_relation(name, rel)
+            .map_err(|e| format!("duplicate relation: {e}"))?;
+    }
+    Ok(db)
+}
+
+fn encode_payload(seq: u64, op: &WalOp<'_>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let (kind, name) = match op {
+        WalOp::Install { name, .. } => (KIND_INSTALL, *name),
+        WalOp::Update { name, .. } => (KIND_UPDATE, *name),
+        WalOp::Remove { name } => (KIND_REMOVE, *name),
+    };
+    buf.push(kind);
+    put_u64(&mut buf, seq);
+    put_str(&mut buf, name);
+    match op {
+        WalOp::Install { db, .. } | WalOp::Update { db, .. } => encode_database(&mut buf, db),
+        WalOp::Remove { .. } => {}
+    }
+    buf
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(u64, ReplayOp), String> {
+    let mut cur = Cursor::new(payload);
+    let kind = cur.take_u8()?;
+    let seq = cur.take_u64()?;
+    let name = cur.take_str()?.to_string();
+    let op = match kind {
+        KIND_INSTALL => ReplayOp::Install {
+            name,
+            db: decode_database(&mut cur)?,
+        },
+        KIND_UPDATE => ReplayOp::Update {
+            name,
+            db: decode_database(&mut cur)?,
+        },
+        KIND_REMOVE => ReplayOp::Remove { name },
+        other => return Err(format!("unknown record kind {other}")),
+    };
+    if !cur.is_empty() {
+        return Err("trailing bytes after record body".to_string());
+    }
+    Ok((seq, op))
+}
+
+// ------------------------------------------------------------ writer ----
+
+/// The append-side of the log: a single-writer handle (callers serialize
+/// behind the catalog write lock, so log order provably matches catalog
+/// order — see [`crate::catalog`]).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    last_sync: Instant,
+    /// Current file length (= offset of the next byte written).
+    written: u64,
+    /// Set once an injected crash (or a real I/O failure) has torn the log;
+    /// every later append fails fast instead of writing after a hole.
+    dead: bool,
+    #[cfg(feature = "crash-injection")]
+    kill_at: Option<u64>,
+}
+
+impl Wal {
+    /// Create (truncating) the log at `path` and write the magic header.
+    ///
+    /// # Errors
+    /// Propagates file-creation and write failures.
+    pub fn create(path: impl Into<PathBuf>, fsync: FsyncPolicy) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            path,
+            fsync,
+            last_sync: Instant::now(),
+            written: WAL_MAGIC.len() as u64,
+            dead: false,
+            #[cfg(feature = "crash-injection")]
+            kill_at: None,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.written
+    }
+
+    /// Arm an injected crash: the writer will die after the file reaches
+    /// `offset` bytes, leaving a torn record behind (test-only; see the
+    /// module docs).
+    #[cfg(feature = "crash-injection")]
+    pub fn kill_at_offset(&mut self, offset: u64) {
+        self.kill_at = Some(offset);
+    }
+
+    /// Write `buf`, honoring an armed injected crash: bytes up to the kill
+    /// offset land in the file, the rest never do, and the writer is dead
+    /// afterwards.
+    fn write_torn_aware(&mut self, buf: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "crash-injection")]
+        if let Some(kill) = self.kill_at {
+            let end = self.written + buf.len() as u64;
+            if end > kill {
+                let keep = usize::try_from(kill.saturating_sub(self.written)).unwrap_or(0);
+                self.file.write_all(&buf[..keep])?;
+                let _ = self.file.sync_data();
+                self.written += keep as u64;
+                self.dead = true;
+                return Err(io::Error::other("injected WAL crash"));
+            }
+        }
+        self.file.write_all(buf)?;
+        self.written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Append one record and apply the fsync policy. Returns the bytes
+    /// appended (header + payload).
+    ///
+    /// # Errors
+    /// Write/sync failures (including an injected crash); once an append
+    /// fails, the writer is dead and all later appends fail fast.
+    pub fn append(&mut self, seq: u64, op: &WalOp<'_>) -> io::Result<u64> {
+        if self.dead {
+            return Err(io::Error::other("WAL writer is dead (earlier torn write)"));
+        }
+        let payload = encode_payload(seq, op);
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        put_u32(
+            &mut record,
+            u32::try_from(payload.len()).expect("record fits u32"),
+        );
+        put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        let res = self.write_torn_aware(&record);
+        if res.is_err() {
+            self.dead = true;
+        }
+        res?;
+        match self.fsync {
+            FsyncPolicy::Always => self.file.sync_data()?,
+            FsyncPolicy::Interval(d) => {
+                if self.last_sync.elapsed() >= d {
+                    self.file.sync_data()?;
+                    self.last_sync = Instant::now();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(record.len() as u64)
+    }
+
+    /// Force an `fsync` now (used on snapshot boundaries and drain).
+    ///
+    /// # Errors
+    /// Propagates the sync failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+// ------------------------------------------------------------ replay ----
+
+/// Read and decode the log at `path` (see the module docs for exactly what
+/// damage is tolerated vs. rejected). A missing file replays as empty.
+///
+/// # Errors
+/// [`RecoveryError::Io`] on read failures, [`RecoveryError::BadMagic`] when
+/// the header is wrong, [`RecoveryError::CorruptRecord`] for interior
+/// corruption.
+pub fn replay_wal(path: &Path) -> Result<Replay, RecoveryError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes).map_err(|e| io_err(path, &e))?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Replay::default()),
+        Err(e) => return Err(io_err(path, &e)),
+    }
+    if bytes.len() < WAL_MAGIC.len() {
+        // Crash during log creation: the magic itself is torn.
+        return Ok(Replay {
+            ops: Vec::new(),
+            torn_tail_bytes: bytes.len() as u64,
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(RecoveryError::BadMagic {
+            path: path.display().to_string(),
+        });
+    }
+    let mut ops = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            // Torn header at EOF.
+            return Ok(Replay {
+                ops,
+                torn_tail_bytes: remaining as u64,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            return Err(RecoveryError::CorruptRecord {
+                offset: pos as u64,
+                detail: format!("implausible record length {len}"),
+            });
+        }
+        let len = len as usize;
+        if remaining - 8 < len {
+            // Torn payload at EOF.
+            return Ok(Replay {
+                ops,
+                torn_tail_bytes: remaining as u64,
+            });
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            return Err(RecoveryError::CorruptRecord {
+                offset: pos as u64,
+                detail: "CRC mismatch".to_string(),
+            });
+        }
+        let (seq, op) = decode_payload(payload).map_err(|detail| RecoveryError::CorruptRecord {
+            offset: pos as u64,
+            detail,
+        })?;
+        ops.push((seq, op));
+        pos += 8 + len;
+    }
+    Ok(Replay {
+        ops,
+        torn_tail_bytes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            "R",
+            ["a", "b"],
+            [tuple![1, "x"], tuple![2, "has, comma"], tuple![3, ""]],
+        )
+        .unwrap();
+        db.add_table("S", ["v"], [tuple!["99"], tuple![-7]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn database_codec_round_trips_losslessly() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        encode_database(&mut buf, &db);
+        let decoded = decode_database(&mut Cursor::new(&buf)).unwrap();
+        // Semantic equality (epoch excluded) plus exact header order.
+        assert_eq!(db, decoded);
+        for (name, rel) in db.iter() {
+            let d = decoded.relation(name).unwrap();
+            assert_eq!(rel.attrs(), d.attrs());
+            assert_eq!(rel.tuples(), d.tuples(), "insertion order preserved");
+        }
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = std::env::temp_dir().join(format!("pq_wal_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.wal");
+        let db = sample_db();
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        wal.append(1, &WalOp::Install { name: "d", db: &db })
+            .unwrap();
+        wal.append(2, &WalOp::Update { name: "d", db: &db })
+            .unwrap();
+        wal.append(3, &WalOp::Remove { name: "d" }).unwrap();
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.torn_tail_bytes, 0);
+        let seqs: Vec<u64> = replay.ops.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [1, 2, 3]);
+        assert!(
+            matches!(&replay.ops[0].1, ReplayOp::Install { name, db: d } if name == "d" && *d == db)
+        );
+        assert!(matches!(&replay.ops[2].1, ReplayOp::Remove { name } if name == "d"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_a_tolerated_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("pq_wal_trunc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        let db = sample_db();
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        wal.append(1, &WalOp::Install { name: "d", db: &db })
+            .unwrap();
+        let keep = wal.len_bytes();
+        wal.append(2, &WalOp::Remove { name: "d" }).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        drop(wal);
+        // Cut the file everywhere inside the final record: recovery must
+        // keep record 1 and report the tail as torn — never error, never
+        // resurrect record 2.
+        for cut in keep..full.len() as u64 {
+            std::fs::write(&path, &full[..usize::try_from(cut).unwrap()]).unwrap();
+            let replay = replay_wal(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(replay.ops.len(), 1, "cut at {cut}");
+            assert_eq!(replay.torn_tail_bytes, cut - keep, "cut at {cut}");
+        }
+        // Cutting inside the *first* record leaves an empty, torn log.
+        for cut in WAL_MAGIC.len() as u64..keep {
+            std::fs::write(&path, &full[..usize::try_from(cut).unwrap()]).unwrap();
+            let replay = replay_wal(&path).unwrap();
+            assert!(replay.ops.is_empty(), "cut at {cut}");
+        }
+        // Cutting inside the magic is a torn creation.
+        std::fs::write(&path, &full[..3]).unwrap();
+        let replay = replay_wal(&path).unwrap();
+        assert!(replay.ops.is_empty());
+        assert_eq!(replay.torn_tail_bytes, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("pq_wal_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.wal");
+        let db = sample_db();
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        wal.append(1, &WalOp::Install { name: "d", db: &db })
+            .unwrap();
+        wal.append(2, &WalOp::Remove { name: "d" }).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the *first* record.
+        let victim = WAL_MAGIC.len() + 8 + 2;
+        bytes[victim] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match replay_wal(&path) {
+            Err(RecoveryError::CorruptRecord { offset, detail }) => {
+                assert_eq!(offset, WAL_MAGIC.len() as u64);
+                assert!(detail.contains("CRC"), "{detail}");
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_by_magic() {
+        let dir = std::env::temp_dir().join(format!("pq_wal_magic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.wal");
+        std::fs::write(&path, b"definitely not a WAL file").unwrap();
+        assert!(matches!(
+            replay_wal(&path),
+            Err(RecoveryError::BadMagic { .. })
+        ));
+        // A missing file replays as empty (fresh deployment).
+        assert!(replay_wal(&dir.join("missing.wal")).unwrap().ops.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_the_operator_spellings() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+        assert_eq!(
+            FsyncPolicy::Interval(Duration::from_millis(250)).to_string(),
+            "interval:250"
+        );
+    }
+}
