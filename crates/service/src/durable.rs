@@ -20,11 +20,14 @@
 //!    numbers (`seq`) make it exact — the snapshot stores the last seq it
 //!    covers and replay skips records at or below it. A crash between the
 //!    snapshot rename and the WAL rotation therefore recovers correctly.
-//! 3. **Recovery compacts.** [`Durability::recover`] replays snapshot + WAL
-//!    tail, then immediately writes a fresh snapshot of the recovered state
-//!    and rotates the WAL — so repeated crash/restart cycles cannot grow
-//!    the log without bound, and a torn tail never survives into the next
-//!    append.
+//! 3. **Recovery compacts, snapshot-first.** [`Durability::recover`]
+//!    replays snapshot + WAL tail, then writes a fresh snapshot of the
+//!    recovered state **before** truncating the WAL — the same order as
+//!    [`Durability::snapshot`] — so repeated crash/restart cycles cannot
+//!    grow the log without bound, a torn tail never survives into the next
+//!    append, and a crash (or write failure) between the two steps leaves
+//!    the old snapshot + intact WAL, which the next recovery simply
+//!    replays again (Invariant 2 covers the reverse window).
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -182,33 +185,37 @@ impl Durability {
             }
         }
 
-        // Compact: seal the recovered state in a fresh snapshot, then start
-        // a clean log. A torn tail (if any) dies here.
+        // Compact: seal the recovered state in a fresh snapshot FIRST, then
+        // truncate the log (Invariant 3). If the snapshot write fails — or a
+        // crash lands between the two steps — the old snapshot and the
+        // intact WAL are still on disk for the next recovery; truncating
+        // first would turn a snapshot failure into silent loss of every
+        // replayed (fsynced, acknowledged) record. A torn tail (if any)
+        // dies here.
+        {
+            let entries: Vec<(&str, &Database)> =
+                state.iter().map(|(n, db)| (n.as_str(), db)).collect();
+            write_snapshot_file(&config.dir, max_seq, &entries)
+                .map_err(|e| io_err(&config.dir, &e))?;
+        }
+        let wal = Wal::create(&wal_path, config.fsync).map_err(|e| io_err(&wal_path, &e))?;
         let dur = Durability {
             journal: Mutex::new(Journal {
-                wal: Wal::create(&wal_path, config.fsync).map_err(|e| io_err(&wal_path, &e))?,
+                wal,
                 next_seq: max_seq + 1,
                 appends_since_snapshot: 0,
             }),
             config,
-            recovery: RecoveryStats::default(),
+            recovery: RecoveryStats {
+                snapshot_databases,
+                replayed_records: replayed,
+                skipped_records: skipped,
+                torn_tail_bytes: replay.torn_tail_bytes,
+                elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            },
             wal_appends: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
-            snapshots_taken: AtomicU64::new(0),
-        };
-        {
-            let entries: Vec<(&str, &Database)> =
-                state.iter().map(|(n, db)| (n.as_str(), db)).collect();
-            dur.write_snapshot_locked(max_seq, &entries)
-                .map_err(|e| io_err(&dur.config.dir, &e))?;
-        }
-        let mut dur = dur;
-        dur.recovery = RecoveryStats {
-            snapshot_databases,
-            replayed_records: replayed,
-            skipped_records: skipped,
-            torn_tail_bytes: replay.torn_tail_bytes,
-            elapsed_ms: u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            snapshots_taken: AtomicU64::new(1),
         };
         Ok((state, dur))
     }
@@ -303,37 +310,49 @@ impl Durability {
         last_seq: u64,
         entries: &[(&str, &Database)],
     ) -> io::Result<SnapshotSummary> {
-        let mut payload = Vec::new();
-        put_u64(&mut payload, last_seq);
-        put_u32(
-            &mut payload,
-            u32::try_from(entries.len()).expect("database count fits u32"),
-        );
-        for (name, db) in entries {
-            crate::wal::put_str(&mut payload, name);
-            encode_database(&mut payload, db);
-        }
-        let tmp = self.config.dir.join(format!("{SNAP_FILE}.tmp"));
-        let fin = self.config.dir.join(SNAP_FILE);
-        {
-            let mut f = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&tmp)?;
-            f.write_all(SNAP_MAGIC)?;
-            f.write_all(&crc32(&payload).to_le_bytes())?;
-            f.write_all(&payload)?;
-            f.sync_data()?;
-        }
-        fs::rename(&tmp, &fin)?;
-        sync_dir(&self.config.dir);
+        let summary = write_snapshot_file(&self.config.dir, last_seq, entries)?;
         self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
-        Ok(SnapshotSummary {
-            databases: entries.len() as u64,
-            bytes: (SNAP_MAGIC.len() + 4 + payload.len()) as u64,
-        })
+        Ok(summary)
     }
+}
+
+/// Write `dir/catalog.snap` atomically: encode, write to `catalog.snap.tmp`,
+/// fsync, rename into place, fsync the directory. Does not touch the WAL —
+/// callers sequence the rotation *after* this succeeds (Invariant 3).
+fn write_snapshot_file(
+    dir: &Path,
+    last_seq: u64,
+    entries: &[(&str, &Database)],
+) -> io::Result<SnapshotSummary> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, last_seq);
+    put_u32(
+        &mut payload,
+        u32::try_from(entries.len()).expect("database count fits u32"),
+    );
+    for (name, db) in entries {
+        crate::wal::put_str(&mut payload, name);
+        encode_database(&mut payload, db);
+    }
+    let tmp = dir.join(format!("{SNAP_FILE}.tmp"));
+    let fin = dir.join(SNAP_FILE);
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(SNAP_MAGIC)?;
+        f.write_all(&crc32(&payload).to_le_bytes())?;
+        f.write_all(&payload)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &fin)?;
+    sync_dir(dir);
+    Ok(SnapshotSummary {
+        databases: entries.len() as u64,
+        bytes: (SNAP_MAGIC.len() + 4 + payload.len()) as u64,
+    })
 }
 
 /// Best-effort directory fsync so the rename itself is durable (POSIX
@@ -500,6 +519,35 @@ mod tests {
         let s = dur2.recovery_stats();
         assert_eq!(s.skipped_records, 3, "all records covered by the snapshot");
         assert_eq!(s.replayed_records, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_compaction_failure_preserves_the_wal() {
+        let dir = tmp("compactfail");
+        {
+            let (_, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+            let d3 = db(3);
+            dur.append(&WalOp::Install { name: "a", db: &d3 }).unwrap();
+            // No snapshot, no drain — "the process died".
+        }
+        // Block the snapshot temp path with a directory so the compaction
+        // snapshot cannot be written (robust even when running as root,
+        // unlike permission bits).
+        let block = dir.join(format!("{SNAP_FILE}.tmp"));
+        fs::create_dir_all(&block).unwrap();
+        assert!(matches!(
+            Durability::recover(DurabilityConfig::new(&dir)),
+            Err(RecoveryError::Io { .. })
+        ));
+        // The failed compaction must not have truncated the WAL: unblock
+        // and the appended record is still replayable.
+        fs::remove_dir_all(&block).unwrap();
+        let (state, dur) = Durability::recover(DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(state.len(), 1);
+        assert_eq!(state[0].0, "a");
+        assert_eq!(state[0].1, db(3));
+        assert_eq!(dur.recovery_stats().replayed_records, 1);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -59,9 +59,29 @@ const KIND_INSTALL: u8 = 1;
 const KIND_UPDATE: u8 = 2;
 const KIND_REMOVE: u8 = 3;
 
-/// Upper bound on a single record payload. A length prefix beyond this is
-/// treated as corruption rather than attempted as an allocation.
+/// Upper bound on a single record payload, enforced on **both** sides of
+/// the log: replay treats a length prefix beyond this as corruption rather
+/// than attempting the allocation, and [`Wal::append`] rejects an
+/// oversized payload up front — otherwise the service could acknowledge a
+/// mutation it can never recover from (every restart would fail with
+/// `CorruptRecord`).
 const MAX_RECORD: u32 = 256 * 1024 * 1024;
+
+/// Append-side half of the `MAX_RECORD` bound: reject a payload the replay
+/// side would refuse, before anything touches the file. Also covers the
+/// 4 GiB length-prefix overflow (`u32`) without panicking.
+fn check_payload_len(len: usize) -> io::Result<()> {
+    if u64::try_from(len).unwrap_or(u64::MAX) > u64::from(MAX_RECORD) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "WAL record payload is {len} bytes, above the {MAX_RECORD}-byte limit; \
+                 refusing to write a record recovery would reject as corrupt"
+            ),
+        ));
+    }
+    Ok(())
+}
 
 // ---------------------------------------------------------------- crc32 --
 
@@ -529,17 +549,22 @@ impl Wal {
     /// appended (header + payload).
     ///
     /// # Errors
-    /// Write/sync failures (including an injected crash); once an append
-    /// fails, the writer is dead and all later appends fail fast.
+    /// A payload larger than `MAX_RECORD` (256 MiB) fails with
+    /// `InvalidInput` *before* anything reaches the file — the writer stays
+    /// alive and later appends still work. Write **and sync** failures
+    /// (including an injected crash) kill the writer: bytes the caller is
+    /// being told failed may already be in the log, so every later append
+    /// fails fast instead of extending an untrusted tail.
     pub fn append(&mut self, seq: u64, op: &WalOp<'_>) -> io::Result<u64> {
         if self.dead {
             return Err(io::Error::other("WAL writer is dead (earlier torn write)"));
         }
         let payload = encode_payload(seq, op);
+        check_payload_len(payload.len())?;
         let mut record = Vec::with_capacity(payload.len() + 8);
         put_u32(
             &mut record,
-            u32::try_from(payload.len()).expect("record fits u32"),
+            u32::try_from(payload.len()).expect("checked against MAX_RECORD"),
         );
         put_u32(&mut record, crc32(&payload));
         record.extend_from_slice(&payload);
@@ -548,15 +573,28 @@ impl Wal {
             self.dead = true;
         }
         res?;
-        match self.fsync {
-            FsyncPolicy::Always => self.file.sync_data()?,
+        let synced = match self.fsync {
+            FsyncPolicy::Always => self.file.sync_data(),
             FsyncPolicy::Interval(d) => {
                 if self.last_sync.elapsed() >= d {
-                    self.file.sync_data()?;
-                    self.last_sync = Instant::now();
+                    let r = self.file.sync_data();
+                    if r.is_ok() {
+                        self.last_sync = Instant::now();
+                    }
+                    r
+                } else {
+                    Ok(())
                 }
             }
-            FsyncPolicy::Never => {}
+            FsyncPolicy::Never => Ok(()),
+        };
+        if let Err(e) = synced {
+            // The record bytes are already in the file, so a mutation the
+            // caller will report as a durability failure could still be
+            // resurrected by recovery. Dying here keeps the log
+            // prefix-consistent with what clients were told.
+            self.dead = true;
+            return Err(e);
         }
         Ok(record.len() as u64)
     }
@@ -743,6 +781,64 @@ mod tests {
         let replay = replay_wal(&path).unwrap();
         assert!(replay.ops.is_empty());
         assert_eq!(replay.torn_tail_bytes, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_at_append_time() {
+        // Guard boundaries: the limit itself is fine, one byte over is not,
+        // and a payload beyond the u32 length prefix errors instead of
+        // panicking.
+        assert!(check_payload_len(MAX_RECORD as usize).is_ok());
+        assert_eq!(
+            check_payload_len(MAX_RECORD as usize + 1)
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(check_payload_len(u32::MAX as usize + 1).is_err());
+
+        // The real append path: a database whose encoding exceeds the limit
+        // is refused before anything touches the file, the writer stays
+        // alive, and the log replays cleanly without the oversized record.
+        let dir = std::env::temp_dir().join(format!("pq_wal_big_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.wal");
+        let huge = "x".repeat(MAX_RECORD as usize + 1);
+        let mut big = Database::new();
+        let mut rel = Relation::new(vec!["a".to_string()]).unwrap();
+        rel.insert(Tuple::new(vec![Value::str(huge.as_str())]))
+            .unwrap();
+        drop(huge);
+        big.add_relation("R".to_string(), rel).unwrap();
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        let before = wal.len_bytes();
+        let err = wal
+            .append(
+                1,
+                &WalOp::Install {
+                    name: "big",
+                    db: &big,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(wal.len_bytes(), before, "nothing reached the file");
+        drop(big);
+        let small = sample_db();
+        wal.append(
+            2,
+            &WalOp::Install {
+                name: "small",
+                db: &small,
+            },
+        )
+        .unwrap();
+        drop(wal);
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.torn_tail_bytes, 0);
+        assert_eq!(replay.ops.len(), 1, "only the in-bounds record survives");
+        assert_eq!(replay.ops[0].0, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 
