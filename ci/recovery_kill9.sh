@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Process-level crash-recovery check (CI `recovery` job, also runnable
-# locally): start the durable server, load a database over the wire and
-# record a QUERY answer, `kill -9` the process, restart it on the same
-# --wal-dir, and require (a) the startup log to report a recovered
-# catalog and (b) the same QUERY to return byte-identical rows.
+# locally): start the durable server, load a database over the wire,
+# apply row-level INSERT/DELETE mutations (journaled through the WAL),
+# record a QUERY answer and a SUBSCRIBE view's contents, `kill -9` the
+# process, restart it on the same --wal-dir, and require (a) the startup
+# log to report a recovered catalog, (b) the same QUERY to return
+# byte-identical rows, and (c) a re-registered subscription to
+# materialize the identical view contents against the recovered catalog.
 #
 # Uses only bash (/dev/tcp) and the repo's own `serve` example — no
 # external client. The wire protocol frames each response with a final
@@ -23,7 +26,8 @@ printf 'R(a, b):\n  1, 2\n  2, 3\nS(b, c):\n  2, 9\n  3, 7\n' > "$data/base.db"
 cargo build --release --example serve
 
 serve_bin=target/release/examples/serve
-query='QUERY d G(x, z) :- R(x, y), S(y, z).'
+query_body='G(x, z) :- R(x, y), S(y, z).'
+query="QUERY d $query_body"
 
 # Wait for the server whose log is $1 to print its address, echo it.
 wait_addr() {
@@ -57,15 +61,29 @@ session() {
   exec 3<&- 3>&-
 }
 
-echo "== first server: load over the wire, record the answer, kill -9"
+echo "== first server: load + mutate over the wire, record answers, kill -9"
 "$serve_bin" 127.0.0.1:0 --data-dir "$data" --wal-dir "$wal" --fsync always \
   > "$workdir/log1" 2>&1 &
 pid=$!
 addr=$(wait_addr "$workdir/log1")
 
-printf '%s\n' "LOAD d base.db" "$query" | session "$addr" > "$workdir/before"
+# Row-level mutations ride the WAL: the post-crash catalog must include
+# the inserted row and lack the deleted one. After R += (9,2) and
+# S -= (3,7) the join answer is exactly {(1,9), (9,9)}.
+printf '%s\n' \
+  "LOAD d base.db" \
+  "INSERT d R 9, 2" \
+  "DELETE d S 3, 7" \
+  "$query" | session "$addr" > "$workdir/before"
 grep -q '^OK loaded d relations=2 tuples=4' "$workdir/before"
+grep -q '^OK inserted 1 R' "$workdir/before"
+grep -q '^OK deleted 1 S' "$workdir/before"
 grep -q '^OK 2 x,z' "$workdir/before"
+
+# A live view over the same query: its initial materialization is the
+# pre-crash reference for the post-recovery subscription.
+printf '%s\n' "SUBSCRIBE d $query_body" | session "$addr" > "$workdir/sub_before"
+grep -q '^OK subscribed' "$workdir/sub_before"
 
 kill -9 "$pid"
 wait "$pid" 2>/dev/null || true
@@ -78,14 +96,22 @@ pid2=$!
 addr=$(wait_addr "$workdir/log2")
 grep -q '^recovered catalog from' "$workdir/log2"
 
+# A fresh subscription must re-register against the recovered catalog and
+# materialize exactly the pre-crash view contents (modulo the sub id).
+printf '%s\n' "SUBSCRIBE d $query_body" | session "$addr" > "$workdir/sub_after"
+grep -q '^OK subscribed' "$workdir/sub_after"
+sed 1d "$workdir/sub_before" > "$workdir/sub_before_rows"
+sed 1d "$workdir/sub_after"  > "$workdir/sub_after_rows"
+diff -u "$workdir/sub_before_rows" "$workdir/sub_after_rows"
+
 printf '%s\n' "$query" "SHUTDOWN" | session "$addr" > "$workdir/after"
 wait "$pid2" 2>/dev/null || true
 pid2=""
 
 # Compare the QUERY responses, ignoring the volatile `# engine=.. cache=..`
-# header suffix and the LOAD/SHUTDOWN acks around them.
-grep -v '^OK loaded' "$workdir/before" | sed 's/ # .*//' > "$workdir/before_q"
-grep -v '^OK bye'    "$workdir/after"  | sed 's/ # .*//' > "$workdir/after_q"
+# header suffix and the LOAD/INSERT/DELETE/SHUTDOWN acks around them.
+grep -v '^OK \(loaded\|inserted\|deleted\)' "$workdir/before" | sed 's/ # .*//' > "$workdir/before_q"
+grep -v '^OK bye' "$workdir/after" | sed 's/ # .*//' > "$workdir/after_q"
 diff -u "$workdir/before_q" "$workdir/after_q"
 
-echo "kill -9 recovery: answers identical across the crash"
+echo "kill -9 recovery: answers and view contents identical across the crash"

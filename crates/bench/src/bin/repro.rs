@@ -16,6 +16,8 @@
 //! repro parallel     pq-exec: intra-query parallel speedup at 1/2/4/8 threads
 //! repro recovery     pq-service: crash-recovery time vs WAL length and
 //!                    snapshot cadence
+//! repro ivm          pq-ivm: single-row delta maintenance vs full recompute
+//!                    for live transitive-closure and join views
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -57,6 +59,7 @@ fn main() {
         "analyze-datalog" => analyze_datalog_exp(),
         "parallel" => parallel_exp(),
         "recovery" => recovery_exp(),
+        "ivm" => ivm_exp(),
         "all" => {
             fig1();
             thm1();
@@ -70,6 +73,7 @@ fn main() {
             analyze_datalog_exp();
             parallel_exp();
             recovery_exp();
+            ivm_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -1059,4 +1063,86 @@ fn recovery_exp() {
     );
 
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+// ------------------------------------------------------------------- ivm --
+
+/// E15: incremental view maintenance — a registered transitive-closure view
+/// patched by semi-naive delta propagation (recursive plan) vs recomputing
+/// the closure from scratch after every single-row mutation. Maintenance
+/// work scales with the *change* to the answer, recompute with the answer;
+/// the gap widens with instance size. Acceptance bar: >= 10x at the largest
+/// size.
+fn ivm_exp() {
+    use pq_data::tuple;
+    use pq_engine::ExecutionContext;
+    use pq_ivm::{RelationDelta, ViewQuery, ViewRegistry};
+
+    header("pq-ivm — delta maintenance vs full recompute for live views (E15)");
+
+    let prog = workloads::tc_program();
+    println!("\nview: transitive closure over E (recursive plan, semi-naive deltas);");
+    println!("mutation: insert one fresh edge, maintain, delete it, maintain.\n");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>12} {:>9}",
+        "nodes", "edges", "|T|", "maintain", "recompute", "speedup"
+    );
+
+    let unlimited = ExecutionContext::unlimited;
+    let mut last_speedup = 0.0f64;
+    for n in [60usize, 120, 240] {
+        let mut db = workloads::dag_database(n, 3.0, 11);
+        let edges = db.relation("E").unwrap().len();
+        let mut reg = ViewRegistry::new();
+        reg.register("t", ViewQuery::Program(prog.clone()), &db, &unlimited())
+            .unwrap();
+        let tc_len = reg.answer("t").unwrap().len();
+        let row = tuple![n as i64, 0];
+
+        // One full insert+delete maintenance round-trip per rep, so every
+        // rep starts from the same state; report the best of `reps`.
+        let delta = |relation: &str, added: Vec<pq_data::Tuple>, removed: Vec<pq_data::Tuple>| {
+            RelationDelta {
+                relation: relation.to_string(),
+                added,
+                removed,
+            }
+        };
+        let mut maintain = Duration::MAX;
+        for _ in 0..5 {
+            let added = db.insert_rows("E", [row.clone()]).unwrap();
+            let (_, d_ins) =
+                time_once(|| reg.maintain(&db, &[delta("E", added.clone(), vec![])], unlimited));
+            let removed = db.delete_rows("E", std::slice::from_ref(&row)).unwrap();
+            let (_, d_del) =
+                time_once(|| reg.maintain(&db, &[delta("E", vec![], removed.clone())], unlimited));
+            maintain = maintain.min((d_ins + d_del) / 2);
+        }
+        assert_eq!(
+            reg.answer("t").unwrap().len(),
+            tc_len,
+            "round-trips must restore the view"
+        );
+
+        let recompute = time_min(3, || {
+            datalog_eval::evaluate(&prog, &db, Strategy::SemiNaive)
+                .unwrap()
+                .len()
+        });
+        last_speedup = recompute.as_secs_f64() / maintain.as_secs_f64().max(1e-9);
+        println!(
+            "{:>6} {:>8} {:>8} {:>12} {:>12} {:>8.0}x",
+            n,
+            edges,
+            tc_len,
+            fmt_duration(maintain),
+            fmt_duration(recompute),
+            last_speedup
+        );
+    }
+    println!(
+        "\n  single-row maintenance speedup at the largest size: {last_speedup:.0}x  \
+         (acceptance bar: >= 10x: {})",
+        if last_speedup >= 10.0 { "PASS" } else { "FAIL" }
+    );
 }

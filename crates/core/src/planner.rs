@@ -174,6 +174,27 @@ impl Plan {
         }
     }
 
+    /// The base relations this plan reads when executed on `q`: the body
+    /// atoms of the *effective* (possibly core-minimized) query, sorted and
+    /// deduplicated. A constant plan reads nothing. Callers keying caches
+    /// per relation (the service's result cache, view maintenance) use this
+    /// to ignore mutations to relations the plan never touches.
+    pub fn mentioned_relations(&self, q: &ConjunctiveQuery) -> Vec<String> {
+        if matches!(self.choice, EngineChoice::ConstantEmpty) {
+            return Vec::new();
+        }
+        let mut names: Vec<String> = self
+            .analysis
+            .effective(q)
+            .atoms
+            .iter()
+            .map(|a| a.relation.clone())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
     /// [`Plan::execute`] under the limits of `ctx` (see
     /// [`ExecutionContext`]).
     pub fn execute_governed(
@@ -670,6 +691,18 @@ mod tests {
         // Multi-atom plans take the planner's cap.
         let p = plan(&parse_cq("G(x, c) :- R(x, y), S(y, c).").unwrap(), &opts);
         assert_eq!(p.parallelism, 8);
+    }
+
+    #[test]
+    fn mentioned_relations_follow_the_effective_query() {
+        let opts = PlannerOptions::default();
+        let q = parse_cq("G(x) :- R(x, y), S(y, z), R(x, w).").unwrap();
+        let p = plan(&q, &opts);
+        assert_eq!(p.mentioned_relations(&q), vec!["R".to_string(), "S".into()]);
+        // A constant plan never touches the database.
+        let q2 = parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap();
+        let p2 = plan(&q2, &opts);
+        assert!(p2.mentioned_relations(&q2).is_empty());
     }
 
     #[test]

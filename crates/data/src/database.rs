@@ -21,10 +21,18 @@ use crate::value::Value;
 /// Caches keyed by `(query, database, epoch)` are therefore invalidated by
 /// construction when the data changes. The epoch is bookkeeping, not data:
 /// it does not participate in equality.
+///
+/// The epoch is itself the sum of a **per-relation epoch vector**
+/// ([`Database::relation_epoch`]): each mutation bumps exactly one
+/// relation's counter, so a cache keyed only by the relations a query
+/// actually mentions survives writes to unrelated relations. Counters for
+/// removed relations are retained as tombstones — the sum (and every
+/// per-name counter) stays monotone across remove/re-add cycles.
 #[derive(Debug, Clone, Default, Eq)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
     epoch: u64,
+    rel_epochs: BTreeMap<String, u64>,
 }
 
 impl PartialEq for Database {
@@ -43,9 +51,30 @@ impl Database {
     /// The mutation epoch: how many mutating calls this instance has seen.
     ///
     /// Monotone within one instance (clones inherit the current value and
-    /// advance independently).
+    /// advance independently). Always equal to the sum of the per-relation
+    /// epochs, tombstones included.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The mutation epoch of one relation: how many mutating calls have
+    /// targeted `name` (0 when never touched). Survives removal as a
+    /// tombstone, so it is monotone even across remove/re-add cycles.
+    pub fn relation_epoch(&self, name: &str) -> u64 {
+        self.rel_epochs.get(name).copied().unwrap_or(0)
+    }
+
+    /// The full per-relation epoch vector (including tombstones for removed
+    /// relations), in name order.
+    pub fn relation_epochs(&self) -> &BTreeMap<String, u64> {
+        &self.rel_epochs
+    }
+
+    /// Bump the global epoch and `name`'s per-relation counter in lockstep
+    /// (the invariant behind `epoch() == relation_epochs().values().sum()`).
+    fn touch(&mut self, name: &str) {
+        self.epoch += 1;
+        *self.rel_epochs.entry(name.to_string()).or_insert(0) += 1;
     }
 
     /// Register a relation under `name`.
@@ -57,22 +86,24 @@ impl Database {
         if self.relations.contains_key(&name) {
             return Err(DataError::DuplicateRelation(name));
         }
+        self.touch(&name);
         self.relations.insert(name, rel);
-        self.epoch += 1;
         Ok(())
     }
 
     /// Replace (or insert) a relation unconditionally.
     pub fn set_relation(&mut self, name: impl Into<String>, rel: Relation) {
-        self.relations.insert(name.into(), rel);
-        self.epoch += 1;
+        let name = name.into();
+        self.touch(&name);
+        self.relations.insert(name, rel);
     }
 
-    /// Remove a relation, returning it if present.
+    /// Remove a relation, returning it if present. The relation's epoch
+    /// counter is kept as a tombstone (see [`Database::relation_epoch`]).
     pub fn remove_relation(&mut self, name: &str) -> Option<Relation> {
         let removed = self.relations.remove(name);
         if removed.is_some() {
-            self.epoch += 1;
+            self.touch(name);
         }
         removed
     }
@@ -91,8 +122,76 @@ impl Database {
         if !self.relations.contains_key(name) {
             return Err(DataError::UnknownRelation(name.to_string()));
         }
-        self.epoch += 1;
+        self.touch(name);
         Ok(self.relations.get_mut(name).expect("checked above"))
+    }
+
+    /// Insert rows into relation `name`, returning the rows that were
+    /// actually new (duplicates are silently dropped) in input order. Bumps
+    /// the relation's epoch only when something changed, so a no-op batch
+    /// does not invalidate caches. The returned rows are the exact delta a
+    /// maintenance plan needs.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownRelation`] when absent;
+    /// [`DataError::ArityMismatch`] when any row has the wrong arity (the
+    /// whole batch is rejected — nothing is inserted).
+    pub fn insert_rows(
+        &mut self,
+        name: &str,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Vec<Tuple>> {
+        let arity = self.relation(name)?.arity();
+        let rows: Vec<Tuple> = rows.into_iter().collect();
+        for t in &rows {
+            if t.arity() != arity {
+                return Err(DataError::ArityMismatch {
+                    expected: arity,
+                    found: t.arity(),
+                });
+            }
+        }
+        let rel = self.relations.get_mut(name).expect("checked above");
+        let mut inserted = Vec::new();
+        for t in rows {
+            if rel.insert(t.clone())? {
+                inserted.push(t);
+            }
+        }
+        if !inserted.is_empty() {
+            self.touch(name);
+        }
+        Ok(inserted)
+    }
+
+    /// Delete rows from relation `name`, returning the rows that were
+    /// actually present (and are now gone) in input order, deduplicated.
+    /// Rows not in the relation — including rows of the wrong arity — are
+    /// silently skipped. Bumps the relation's epoch only when something
+    /// changed.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownRelation`] when absent.
+    pub fn delete_rows(&mut self, name: &str, rows: &[Tuple]) -> Result<Vec<Tuple>> {
+        let rel = if self.relations.contains_key(name) {
+            self.relations.get_mut(name).expect("checked above")
+        } else {
+            return Err(DataError::UnknownRelation(name.to_string()));
+        };
+        let mut removed = Vec::new();
+        {
+            let mut gone = std::collections::HashSet::new();
+            for t in rows {
+                if rel.contains(t) && gone.insert(t.clone()) {
+                    removed.push(t.clone());
+                }
+            }
+            rel.retain(|t| !gone.contains(t));
+        }
+        if !removed.is_empty() {
+            self.touch(name);
+        }
+        Ok(removed)
     }
 
     /// True when `name` is registered.
@@ -214,6 +313,60 @@ mod tests {
         let _ = d.size();
         let _ = d.active_domain();
         assert_eq!(d.epoch(), 4);
+    }
+
+    #[test]
+    fn per_relation_epochs_sum_to_the_global_epoch() {
+        let mut d = db();
+        assert_eq!(d.relation_epoch("E"), 1);
+        assert_eq!(d.relation_epoch("L"), 1);
+        assert_eq!(d.relation_epoch("missing"), 0);
+        d.relation_mut("E").unwrap().insert(tuple![9, 9]).unwrap();
+        assert_eq!(d.relation_epoch("E"), 2);
+        assert_eq!(d.relation_epoch("L"), 1, "untouched relation unchanged");
+        // Tombstone: removing keeps the counter, re-adding keeps advancing it.
+        d.remove_relation("L");
+        assert_eq!(d.relation_epoch("L"), 2);
+        d.add_table("L", ["v"], []).unwrap();
+        assert_eq!(d.relation_epoch("L"), 3);
+        assert_eq!(d.epoch(), d.relation_epochs().values().sum::<u64>());
+    }
+
+    #[test]
+    fn insert_rows_reports_the_exact_delta() {
+        let mut d = db();
+        let before = d.relation_epoch("E");
+        let added = d
+            .insert_rows(
+                "E",
+                [tuple![1, 2], tuple![7, 8], tuple![7, 8], tuple![8, 9]],
+            )
+            .unwrap();
+        assert_eq!(added, vec![tuple![7, 8], tuple![8, 9]]); // dup + existing dropped
+        assert_eq!(d.relation_epoch("E"), before + 1);
+        // A no-op batch does not bump.
+        assert!(d.insert_rows("E", [tuple![1, 2]]).unwrap().is_empty());
+        assert_eq!(d.relation_epoch("E"), before + 1);
+        // Arity mismatch rejects the whole batch atomically.
+        assert!(d.insert_rows("E", [tuple![5, 5], tuple![5]]).is_err());
+        assert!(!d.relation("E").unwrap().contains(&tuple![5, 5]));
+        assert!(d.insert_rows("missing", [tuple![1]]).is_err());
+    }
+
+    #[test]
+    fn delete_rows_reports_the_exact_delta() {
+        let mut d = db();
+        let before = d.relation_epoch("E");
+        let removed = d
+            .delete_rows("E", &[tuple![1, 2], tuple![1, 2], tuple![9, 9], tuple![7]])
+            .unwrap();
+        assert_eq!(removed, vec![tuple![1, 2]]); // dup, absent, bad arity skipped
+        assert_eq!(d.relation_epoch("E"), before + 1);
+        assert_eq!(d.relation("E").unwrap().len(), 1);
+        // A no-op batch does not bump.
+        assert!(d.delete_rows("E", &[tuple![9, 9]]).unwrap().is_empty());
+        assert_eq!(d.relation_epoch("E"), before + 1);
+        assert!(d.delete_rows("missing", &[]).is_err());
     }
 
     #[test]

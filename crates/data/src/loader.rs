@@ -96,7 +96,11 @@ fn parse_header(line: &str) -> Option<std::result::Result<(String, Vec<String>),
     Some(Ok((name.to_string(), attrs)))
 }
 
-fn parse_row(line: &str) -> Tuple {
+/// Parse one comma-separated data row with the loader's field conventions
+/// (integer literals become integers, optionally double-quoted text becomes
+/// strings). Shared with the wire protocol's `INSERT`/`DELETE` verbs, whose
+/// row syntax is exactly the loader's.
+pub fn parse_row(line: &str) -> Tuple {
     Tuple::new(line.split(',').map(|field| {
         let f = field.trim();
         if let Some(stripped) = f.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {

@@ -126,6 +126,22 @@ impl Relation {
         self.rows.iter().flat_map(|t| t.iter())
     }
 
+    /// Remove one tuple. Returns `true` if it was present. O(len) — the
+    /// insertion-order list must be kept consistent; batch removals should
+    /// prefer [`Relation::retain`] (one pass).
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if !self.seen.remove(t) {
+            return false;
+        }
+        let pos = self
+            .rows
+            .iter()
+            .position(|r| r == t)
+            .expect("seen and rows agree");
+        self.rows.remove(pos);
+        true
+    }
+
     /// Keep only tuples satisfying `pred`, in place.
     pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
         let seen = &mut self.seen;
@@ -236,6 +252,18 @@ mod tests {
         assert_eq!(a, b);
         let c = Relation::with_tuples(["a", "c"], [tuple![1, 2], tuple![3, 4]]).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn remove_keeps_index_and_order_consistent() {
+        let mut r = Relation::with_tuples(["a"], [tuple![1], tuple![2], tuple![3]]).unwrap();
+        assert!(r.remove(&tuple![2]));
+        assert!(!r.remove(&tuple![2]));
+        assert!(!r.remove(&tuple![9]));
+        let rows: Vec<_> = r.iter().cloned().collect();
+        assert_eq!(rows, vec![tuple![1], tuple![3]]);
+        // reinsert previously removed tuple must succeed as new
+        assert!(r.insert(tuple![2]).unwrap());
     }
 
     #[test]

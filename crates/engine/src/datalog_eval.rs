@@ -12,8 +12,9 @@ use std::collections::BTreeMap;
 
 use pq_data::{Database, Relation, Tuple};
 use pq_exec::Pool;
-use pq_query::{ConjunctiveQuery, DatalogProgram, Rule};
+use pq_query::DatalogProgram;
 
+use crate::delta::{self, delta_rule_cq, idb_arities, positional_relation, rule_to_cq};
 use crate::error::{EngineError, Result};
 use crate::governor::{ExecutionContext, SharedContext};
 use crate::naive;
@@ -45,26 +46,6 @@ pub struct FixpointStats {
     /// analyzer pruned has no slot here at all — the witness that dead
     /// rules are never evaluated.
     pub rule_eval_counts: Vec<usize>,
-}
-
-fn rule_to_cq(rule: &Rule) -> ConjunctiveQuery {
-    ConjunctiveQuery::new(
-        rule.head.relation.clone(),
-        rule.head.terms.iter().cloned(),
-        rule.body.iter().cloned(),
-    )
-}
-
-fn idb_arities(p: &DatalogProgram) -> BTreeMap<String, usize> {
-    let mut m = BTreeMap::new();
-    for r in &p.rules {
-        m.insert(r.head.relation.clone(), r.head.arity());
-    }
-    m
-}
-
-fn fresh_relation(arity: usize) -> Relation {
-    Relation::new((0..arity).map(|i| format!("c{i}"))).expect("positional attrs distinct")
 }
 
 /// Evaluate the program to fixpoint and return the goal relation.
@@ -124,7 +105,7 @@ pub fn evaluate_with_stats_governed(
     };
     match strategy {
         Strategy::Naive => naive_fixpoint(p, &mut work, &mut stats, ctx)?,
-        Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &arities, &mut stats, ctx)?,
+        Strategy::SemiNaive => seminaive_fixpoint(p, &mut work, &mut stats, ctx)?,
     }
     finish(p, &work, &arities, stats)
 }
@@ -177,7 +158,7 @@ fn setup_work(p: &DatalogProgram, db: &Database) -> Result<(BTreeMap<String, usi
                 "IDB relation `{name}` collides with a database relation"
             )));
         }
-        work.set_relation(name.clone(), fresh_relation(arity));
+        work.set_relation(name.clone(), positional_relation(arity));
     }
     Ok((arities, work))
 }
@@ -228,13 +209,12 @@ fn naive_fixpoint(
 fn seminaive_fixpoint(
     p: &DatalogProgram,
     work: &mut Database,
-    arities: &BTreeMap<String, usize>,
     stats: &mut FixpointStats,
     ctx: &ExecutionContext,
 ) -> Result<()> {
     // Round 0: evaluate every rule once (IDBs are empty, so only EDB-only
-    // rules fire); collect deltas.
-    let mut delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    // rules fire); collect the seed delta.
+    let mut seed: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
     stats.rounds = 1;
     for (ri, rule) in p.rules.iter().enumerate() {
         ctx.tick(ENGINE)?;
@@ -245,68 +225,16 @@ fn seminaive_fixpoint(
         for t in derived.iter() {
             if target.insert(t.clone())? {
                 ctx.charge_tuples(ENGINE, 1)?;
-                delta
-                    .entry(rule.head.relation.clone())
+                seed.entry(rule.head.relation.clone())
                     .or_default()
                     .push(t.clone());
             }
         }
     }
 
-    // Subsequent rounds: for each rule and each IDB body atom, evaluate the
-    // rule with that atom restricted to the previous delta.
-    while delta.values().any(|v| !v.is_empty()) {
-        stats.rounds += 1;
-        let mut next_delta: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
-
-        // Register the delta relations under reserved names.
-        for (name, tuples) in &delta {
-            let mut rel = fresh_relation(arities[name]);
-            for t in tuples {
-                rel.insert(t.clone())?;
-            }
-            work.set_relation(format!("Δ{name}"), rel);
-        }
-
-        for (ri, rule) in p.rules.iter().enumerate() {
-            for (i, batom) in rule.body.iter().enumerate() {
-                let Some(tuples) = delta.get(&batom.relation) else {
-                    continue;
-                };
-                if tuples.is_empty() {
-                    continue;
-                }
-                ctx.tick(ENGINE)?;
-                stats.rule_evaluations += 1;
-                stats.rule_eval_counts[ri] += 1;
-                // Rule with body atom i redirected at the delta.
-                let mut body = rule.body.clone();
-                body[i] = pq_query::Atom::new(
-                    format!("Δ{}", batom.relation),
-                    batom.terms.iter().cloned(),
-                );
-                let cq = ConjunctiveQuery::new(
-                    rule.head.relation.clone(),
-                    rule.head.terms.iter().cloned(),
-                    body,
-                );
-                let derived = naive::evaluate_governed(&cq, work, ctx)?;
-                let target = work.relation_mut(&rule.head.relation)?;
-                for t in derived.iter() {
-                    if target.insert(t.clone())? {
-                        ctx.charge_tuples(ENGINE, 1)?;
-                        next_delta
-                            .entry(rule.head.relation.clone())
-                            .or_default()
-                            .push(t.clone());
-                    }
-                }
-            }
-        }
-        delta = next_delta;
-    }
-
-    // Drop the reserved delta relations (they were only scaffolding).
+    // Subsequent rounds: the generalized Δ-rule engine (shared with
+    // incremental view maintenance in `pq-ivm`).
+    delta::propagate(p, work, seed, stats, ctx)?;
     Ok(())
 }
 
@@ -430,11 +358,11 @@ fn parallel_seminaive_fixpoint(
     while delta.values().any(|v| !v.is_empty()) {
         stats.rounds += 1;
         for (name, tuples) in &delta {
-            let mut rel = fresh_relation(arities[name]);
+            let mut rel = positional_relation(arities[name]);
             for t in tuples {
                 rel.insert(t.clone())?;
             }
-            work.set_relation(format!("Δ{name}"), rel);
+            work.set_relation(delta::delta_relation_name(name), rel);
         }
 
         let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -450,17 +378,7 @@ fn parallel_seminaive_fixpoint(
         let derived: Vec<Relation> = pool.try_run(&jobs, |_, &(ri, ai)| {
             let ctx = shared.worker();
             ctx.tick(ENGINE)?;
-            let rule = &p.rules[ri];
-            let batom = &rule.body[ai];
-            let mut body = rule.body.clone();
-            body[ai] =
-                pq_query::Atom::new(format!("Δ{}", batom.relation), batom.terms.iter().cloned());
-            let cq = ConjunctiveQuery::new(
-                rule.head.relation.clone(),
-                rule.head.terms.iter().cloned(),
-                body,
-            );
-            naive::evaluate_governed(&cq, snapshot, &ctx)
+            naive::evaluate_governed(&delta_rule_cq(&p.rules[ri], ai), snapshot, &ctx)
         })?;
         stats.rule_evaluations += jobs.len();
         for &(ri, _) in &jobs {
@@ -488,7 +406,7 @@ fn parallel_seminaive_fixpoint(
 mod tests {
     use super::*;
     use pq_data::tuple;
-    use pq_query::parse_datalog;
+    use pq_query::{parse_datalog, Rule};
 
     fn tc_program() -> DatalogProgram {
         parse_datalog(

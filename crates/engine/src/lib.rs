@@ -22,6 +22,7 @@ pub mod colorcoding;
 pub mod comparisons;
 pub mod containment;
 pub mod datalog_eval;
+pub mod delta;
 pub mod error;
 pub mod fo_eval;
 pub mod governor;

@@ -1,0 +1,529 @@
+//! Counting-based maintenance for nonrecursive views.
+//!
+//! Every tuple of every derived relation carries its **derivation count**
+//! (number of satisfying assignments for a CQ; number of immediate
+//! derivations, multiplied through the strata, for a nonrecursive Datalog
+//! program). A mutation batch becomes a *signed* count delta by
+//! position-wise finite differencing: for a body `R1, …, Rk` the head delta
+//! is the sum over positions `i` of
+//!
+//! ```text
+//! R1ⁿᵉʷ ⋈ … ⋈ R_{i-1}ⁿᵉʷ ⋈ ΔRi ⋈ R_{i+1}ᵒˡᵈ ⋈ … ⋈ Rkᵒˡᵈ
+//! ```
+//!
+//! where `ΔRi` carries `+1` per inserted and `−1` per deleted tuple (and
+//! the computed signed delta for upstream derived relations). The telescope
+//! makes mixed insert/delete batches exact in a single pass, and a tuple
+//! leaves the answer exactly when its count reaches zero — no rederivation
+//! search, which is why deletions are as cheap as insertions here. The
+//! enumeration itself is the naive backtracking join, restricted to the
+//! delta first (a single-row mutation therefore touches `O(n^{k-1})` in the
+//! worst case but `O(matches)` in the common one, instead of the full
+//! `O(n^k)` recompute).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use pq_data::{Database, Relation, Tuple};
+use pq_engine::binding::{apply_term, head_attrs, Binding};
+use pq_engine::{EngineError, ExecutionContext, Result};
+use pq_query::{Atom, Comparison, ConjunctiveQuery, DatalogProgram, Neq, QueryError, Term};
+
+use crate::registry::{Batch, ViewDelta};
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "ivm-counting";
+
+/// A rule in the counting plan: a Datalog rule, or the single pseudo-rule
+/// of a CQ view (which may carry `≠` and comparison filters).
+struct CountRule {
+    head: String,
+    head_terms: Vec<Term>,
+    body: Vec<Atom>,
+    neqs: Vec<Neq>,
+    comparisons: Vec<Comparison>,
+}
+
+/// Which state of a relation a join position reads.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    New,
+    Old,
+    Delta,
+}
+
+/// A nonrecursive view maintained by derivation counting.
+pub(crate) struct CountingView {
+    rules: Vec<CountRule>,
+    /// Derived relations in dependency order (callees first); the goal is
+    /// among them. For a CQ view this is just the head.
+    strata: Vec<String>,
+    idb: HashSet<String>,
+    goal: String,
+    attrs: Vec<String>,
+    /// Base relations the view reads.
+    edb: BTreeSet<String>,
+    /// Whether IDB names must not collide with database relations (Datalog
+    /// programs; a CQ's head name is never read back).
+    is_program: bool,
+    /// Derivation counts per derived relation; every stratum key is always
+    /// present, zero-count tuples are absent.
+    counts: HashMap<String, HashMap<Tuple, i64>>,
+    answer: Arc<Relation>,
+}
+
+impl CountingView {
+    pub(crate) fn from_cq(cq: &ConjunctiveQuery) -> Result<Self> {
+        cq.validate().map_err(EngineError::Query)?;
+        if cq.atoms.iter().any(|a| a.relation == cq.head_name) {
+            return Err(EngineError::Unsupported(format!(
+                "view body references its own head `{}` (register it as a \
+                 Datalog program instead)",
+                cq.head_name
+            )));
+        }
+        let attrs = head_attrs(&cq.head_terms);
+        let goal = cq.head_name.clone();
+        Ok(CountingView {
+            rules: vec![CountRule {
+                head: goal.clone(),
+                head_terms: cq.head_terms.clone(),
+                body: cq.atoms.clone(),
+                neqs: cq.neqs.clone(),
+                comparisons: cq.comparisons.clone(),
+            }],
+            strata: vec![goal.clone()],
+            idb: HashSet::from([goal.clone()]),
+            goal,
+            attrs,
+            edb: cq.atoms.iter().map(|a| a.relation.clone()).collect(),
+            is_program: false,
+            counts: HashMap::new(),
+            answer: Arc::new(Relation::default()),
+        })
+    }
+
+    /// Build the counting plan for a **nonrecursive** program (the registry
+    /// routes recursive ones to DRed).
+    pub(crate) fn from_program(p: &DatalogProgram) -> Result<Self> {
+        p.validate().map_err(EngineError::Query)?;
+        // Dependencies-first: idb_sccs is reverse topological, every
+        // component a singleton in a nonrecursive program.
+        let strata: Vec<String> = p.idb_sccs().iter().map(|scc| scc[0].to_string()).collect();
+        let idb: HashSet<String> = strata.iter().cloned().collect();
+        let goal_arity = p
+            .rules
+            .iter()
+            .find(|r| r.head.relation == p.goal)
+            .map(|r| r.head.arity())
+            .ok_or_else(|| EngineError::Unsupported(format!("goal `{}` undefined", p.goal)))?;
+        Ok(CountingView {
+            rules: p
+                .rules
+                .iter()
+                .map(|r| CountRule {
+                    head: r.head.relation.clone(),
+                    head_terms: r.head.terms.clone(),
+                    body: r.body.clone(),
+                    neqs: Vec::new(),
+                    comparisons: Vec::new(),
+                })
+                .collect(),
+            strata,
+            idb,
+            goal: p.goal.clone(),
+            attrs: (0..goal_arity).map(|i| format!("c{i}")).collect(),
+            edb: p.edb_relations().iter().map(ToString::to_string).collect(),
+            is_program: true,
+            counts: HashMap::new(),
+            answer: Arc::new(Relation::default()),
+        })
+    }
+
+    pub(crate) fn edb(&self) -> &BTreeSet<String> {
+        &self.edb
+    }
+
+    pub(crate) fn answer(&self) -> Arc<Relation> {
+        Arc::clone(&self.answer)
+    }
+
+    /// (Re)compute every derivation count and the answer from scratch.
+    pub(crate) fn initialize(&mut self, db: &Database, ctx: &ExecutionContext) -> Result<()> {
+        for e in &self.edb {
+            db.relation(e).map_err(EngineError::Data)?;
+        }
+        if self.is_program {
+            for x in &self.strata {
+                if db.has_relation(x) {
+                    return Err(EngineError::Unsupported(format!(
+                        "IDB relation `{x}` collides with a database relation"
+                    )));
+                }
+            }
+        }
+        let mut counts: HashMap<String, HashMap<Tuple, i64>> = self
+            .strata
+            .iter()
+            .map(|x| (x.clone(), HashMap::new()))
+            .collect();
+        let batch = Batch::default();
+        let no_deltas = HashMap::new();
+        for x in &self.strata {
+            let mut dx: HashMap<Tuple, i64> = HashMap::new();
+            {
+                let eval = Eval {
+                    db,
+                    batch: &batch,
+                    idb: &self.idb,
+                    counts: &counts,
+                    idb_deltas: &no_deltas,
+                    ctx,
+                };
+                for rule in self.rules.iter().filter(|r| r.head == *x) {
+                    eval.rule_delta(rule, None, &mut dx)?;
+                }
+            }
+            let target = counts.get_mut(x).expect("stratum key present");
+            apply_delta(target, &dx)?;
+        }
+        let mut rows: Vec<&Tuple> = counts[&self.goal].keys().collect();
+        rows.sort_unstable();
+        let mut rel = Relation::new(self.attrs.clone()).map_err(EngineError::Data)?;
+        for t in rows {
+            rel.insert(t.clone()).map_err(EngineError::Data)?;
+        }
+        self.counts = counts;
+        self.answer = Arc::new(rel);
+        Ok(())
+    }
+
+    /// Maintain the view across one mutation batch (already applied to
+    /// `db_after`). Returns the answer delta.
+    pub(crate) fn maintain(
+        &mut self,
+        db_after: &Database,
+        batch: &Batch,
+        ctx: &ExecutionContext,
+    ) -> Result<ViewDelta> {
+        let mut idb_deltas: HashMap<String, HashMap<Tuple, i64>> = HashMap::new();
+        let mut out = ViewDelta::default();
+        for x in &self.strata {
+            let mut dx: HashMap<Tuple, i64> = HashMap::new();
+            {
+                let eval = Eval {
+                    db: db_after,
+                    batch,
+                    idb: &self.idb,
+                    counts: &self.counts,
+                    idb_deltas: &idb_deltas,
+                    ctx,
+                };
+                for rule in self.rules.iter().filter(|r| r.head == *x) {
+                    for pos in 0..rule.body.len() {
+                        let rel = &rule.body[pos].relation;
+                        let has_delta = if self.idb.contains(rel) {
+                            idb_deltas.get(rel).is_some_and(|m| !m.is_empty())
+                        } else {
+                            batch.touches(rel)
+                        };
+                        if has_delta {
+                            eval.rule_delta(rule, Some(pos), &mut dx)?;
+                        }
+                    }
+                }
+            }
+            let target = self.counts.get_mut(x).expect("stratum key present");
+            let (added, removed) = apply_delta(target, &dx)?;
+            if *x == self.goal {
+                out = ViewDelta { added, removed };
+            }
+            idb_deltas.insert(x.clone(), dx);
+        }
+        if !out.is_empty() {
+            let mut rel = (*self.answer).clone();
+            let gone: HashSet<&Tuple> = out.removed.iter().collect();
+            rel.retain(|t| !gone.contains(t));
+            for t in &out.added {
+                rel.insert(t.clone()).map_err(EngineError::Data)?;
+            }
+            self.answer = Arc::new(rel);
+        }
+        Ok(out)
+    }
+
+    /// Full-recompute fallback: rebuild counts from `db` and report the
+    /// answer diff against the previously maintained state.
+    pub(crate) fn recompute(&mut self, db: &Database, ctx: &ExecutionContext) -> Result<ViewDelta> {
+        let old = Arc::clone(&self.answer);
+        self.initialize(db, ctx)?;
+        Ok(diff_answers(&old, &self.answer))
+    }
+}
+
+/// The answer delta between two materializations of the same view.
+pub(crate) fn diff_answers(old: &Relation, new: &Relation) -> ViewDelta {
+    let mut added: Vec<Tuple> = new.iter().filter(|t| !old.contains(t)).cloned().collect();
+    let mut removed: Vec<Tuple> = old.iter().filter(|t| !new.contains(t)).cloned().collect();
+    added.sort_unstable();
+    removed.sort_unstable();
+    ViewDelta { added, removed }
+}
+
+/// Apply a signed delta to a count map; returns the tuples whose membership
+/// flipped (count reached zero / left zero), sorted.
+fn apply_delta(
+    counts: &mut HashMap<Tuple, i64>,
+    delta: &HashMap<Tuple, i64>,
+) -> Result<(Vec<Tuple>, Vec<Tuple>)> {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for (t, &d) in delta {
+        if d == 0 {
+            continue;
+        }
+        let cur = counts.get(t).copied().unwrap_or(0);
+        let new = cur + d;
+        if new < 0 {
+            return Err(EngineError::Unsupported(
+                "negative derivation count: maintenance state diverged from the data".into(),
+            ));
+        }
+        if cur == 0 && new > 0 {
+            added.push(t.clone());
+        } else if cur > 0 && new == 0 {
+            removed.push(t.clone());
+        }
+        if new == 0 {
+            counts.remove(t);
+        } else {
+            counts.insert(t.clone(), new);
+        }
+    }
+    added.sort_unstable();
+    removed.sort_unstable();
+    Ok((added, removed))
+}
+
+/// One maintenance evaluation: all the state a counting join reads.
+struct Eval<'a> {
+    db: &'a Database,
+    batch: &'a Batch,
+    idb: &'a HashSet<String>,
+    counts: &'a HashMap<String, HashMap<Tuple, i64>>,
+    idb_deltas: &'a HashMap<String, HashMap<Tuple, i64>>,
+    ctx: &'a ExecutionContext,
+}
+
+impl<'a> Eval<'a> {
+    /// Accumulate the signed count delta of `rule` into `out`. With
+    /// `delta_pos = Some(i)` this is one telescope term (position `i` reads
+    /// the delta, earlier positions the new state, later ones the old);
+    /// with `None` it is a plain full-state enumeration (all `New`).
+    fn rule_delta(
+        &self,
+        rule: &CountRule,
+        delta_pos: Option<usize>,
+        out: &mut HashMap<Tuple, i64>,
+    ) -> Result<()> {
+        let mut order: Vec<usize> = (0..rule.body.len()).collect();
+        if let Some(dp) = delta_pos {
+            // Scan the (small) delta first: a single-row mutation prunes the
+            // search to its matches instead of the whole relation.
+            order.retain(|&i| i != dp);
+            order.insert(0, dp);
+        }
+        let mut binding = Binding::new();
+        self.step(rule, delta_pos, &order, 0, 1, &mut binding, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        rule: &CountRule,
+        delta_pos: Option<usize>,
+        order: &[usize],
+        depth: usize,
+        mult: i64,
+        binding: &mut Binding,
+        out: &mut HashMap<Tuple, i64>,
+    ) -> Result<()> {
+        if depth == order.len() {
+            if !filters_hold(rule, binding)? {
+                return Ok(());
+            }
+            let t = project(rule, binding)?;
+            self.ctx.charge_tuples(ENGINE, 1)?;
+            *out.entry(t).or_insert(0) += mult;
+            return Ok(());
+        }
+        let pos = order[depth];
+        let atom = &rule.body[pos];
+        let mode = match delta_pos {
+            Some(dp) if pos == dp => Mode::Delta,
+            Some(dp) if pos < dp => Mode::New,
+            Some(_) => Mode::Old,
+            None => Mode::New,
+        };
+        for (t, c) in self.source(&atom.relation, mode)? {
+            self.ctx.tick(ENGINE)?;
+            if let Some(saved) = unify(atom, t, binding) {
+                let r = self.step(rule, delta_pos, order, depth + 1, mult * c, binding, out);
+                undo(binding, &saved);
+                r?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The (tuple, multiplicity) pairs of `rel` in the requested state.
+    /// Base relations have multiplicity 1 (new), ±1 (delta) and old =
+    /// new − added + removed; derived relations read the count maps, with
+    /// old(t) = new(t) − delta(t).
+    fn source(&self, rel: &str, mode: Mode) -> Result<Vec<(&'a Tuple, i64)>> {
+        if self.idb.contains(rel) {
+            let cnts = self
+                .counts
+                .get(rel)
+                .ok_or_else(|| EngineError::Unsupported(format!("unknown stratum `{rel}`")))?;
+            let d = self.idb_deltas.get(rel);
+            let mut v = Vec::new();
+            match mode {
+                Mode::New => {
+                    v.extend(cnts.iter().map(|(t, &c)| (t, c)));
+                }
+                Mode::Delta => {
+                    if let Some(d) = d {
+                        v.extend(d.iter().filter(|&(_, &c)| c != 0).map(|(t, &c)| (t, c)));
+                    }
+                }
+                Mode::Old => {
+                    for (t, &c) in cnts {
+                        let old = c - d.and_then(|m| m.get(t)).copied().unwrap_or(0);
+                        if old != 0 {
+                            v.push((t, old));
+                        }
+                    }
+                    if let Some(d) = d {
+                        for (t, &dc) in d {
+                            if !cnts.contains_key(t) && dc != 0 {
+                                v.push((t, -dc));
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(v)
+        } else {
+            let r = self.db.relation(rel).map_err(EngineError::Data)?;
+            let mut v = Vec::new();
+            match mode {
+                Mode::New => {
+                    v.extend(r.iter().map(|t| (t, 1)));
+                }
+                Mode::Delta => {
+                    if let Some(a) = self.batch.added.get(rel) {
+                        v.extend(a.iter().map(|t| (t, 1)));
+                    }
+                    if let Some(rm) = self.batch.removed.get(rel) {
+                        v.extend(rm.iter().map(|t| (t, -1)));
+                    }
+                }
+                Mode::Old => {
+                    let added = self.batch.added_set(rel);
+                    v.extend(
+                        r.iter()
+                            .filter(|t| !added.is_some_and(|s| s.contains(*t)))
+                            .map(|t| (t, 1)),
+                    );
+                    if let Some(rm) = self.batch.removed.get(rel) {
+                        v.extend(rm.iter().map(|t| (t, 1)));
+                    }
+                }
+            }
+            Ok(v)
+        }
+    }
+}
+
+/// Unify an atom against a tuple, extending `binding`; returns the newly
+/// bound variable names on success (for [`undo`]), `None` on mismatch
+/// (with the binding already restored).
+fn unify(atom: &Atom, t: &Tuple, binding: &mut Binding) -> Option<Vec<String>> {
+    if t.arity() != atom.terms.len() {
+        return None;
+    }
+    let mut newly: Vec<String> = Vec::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        let val = &t[i];
+        let ok = match term {
+            Term::Const(c) => c == val,
+            Term::Var(v) => match binding.get(v.as_str()) {
+                Some(existing) => existing == val,
+                None => {
+                    binding.insert(v.clone(), val.clone());
+                    newly.push(v.clone());
+                    true
+                }
+            },
+        };
+        if !ok {
+            undo(binding, &newly);
+            return None;
+        }
+    }
+    Some(newly)
+}
+
+fn undo(binding: &mut Binding, vars: &[String]) {
+    for v in vars {
+        binding.remove(v);
+    }
+}
+
+fn filters_hold(rule: &CountRule, b: &Binding) -> Result<bool> {
+    for n in &rule.neqs {
+        let (l, r) = (apply_term(&n.left, b), apply_term(&n.right, b));
+        match (l, r) {
+            (Some(l), Some(r)) => {
+                if l == r {
+                    return Ok(false);
+                }
+            }
+            _ => return Err(unbound_constraint(n.variables())),
+        }
+    }
+    for c in &rule.comparisons {
+        let (l, r) = (apply_term(&c.left, b), apply_term(&c.right, b));
+        match (l, r) {
+            (Some(l), Some(r)) => {
+                if !c.op.eval(&l, &r) {
+                    return Ok(false);
+                }
+            }
+            _ => return Err(unbound_constraint(c.variables())),
+        }
+    }
+    Ok(true)
+}
+
+fn unbound_constraint(vars: Vec<&str>) -> EngineError {
+    EngineError::Query(QueryError::UnsafeConstraintVariable(
+        vars.first().copied().unwrap_or("?").to_string(),
+    ))
+}
+
+fn project(rule: &CountRule, b: &Binding) -> Result<Tuple> {
+    let mut vals = Vec::with_capacity(rule.head_terms.len());
+    for t in &rule.head_terms {
+        match apply_term(t, b) {
+            Some(v) => vals.push(v),
+            None => {
+                return Err(EngineError::Query(QueryError::UnsafeHeadVariable(
+                    t.as_var().unwrap_or("?").to_string(),
+                )))
+            }
+        }
+    }
+    Ok(Tuple::new(vals))
+}

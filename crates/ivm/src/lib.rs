@@ -1,0 +1,52 @@
+//! `pq-ivm` — incremental view maintenance.
+//!
+//! A registry of materialized views over `pq-data` databases. Each view is
+//! a conjunctive query or a Datalog program, classified at registration
+//! into one of two **maintenance plans**:
+//!
+//! * **Counting** (nonrecursive views: CQs and nonrecursive Datalog
+//!   programs, stratified by the program's SCC topological order). Every
+//!   answer tuple carries its number of derivations; a mutation batch is
+//!   turned into signed derivation-count deltas by position-wise finite
+//!   differencing — for a rule body `R1, …, Rk` and each position `i`,
+//!   join `R1ⁿᵉʷ … R_{i-1}ⁿᵉʷ, ΔRi, R_{i+1}ᵒˡᵈ … Rkᵒˡᵈ` — so inserts and
+//!   deletes are handled uniformly in one pass, and a tuple leaves the
+//!   answer exactly when its count reaches zero. The count annotations are
+//!   exactly the multiplicities whose tractability Chen–Mengel study; for
+//!   the acyclic (hypertree-width 1) views the service caches, each delta
+//!   batch is polynomial.
+//!
+//! * **DRed** (delete and re-derive, recursive Datalog). Deletions first
+//!   *overestimate*: semi-naive Δ-rules over the old state collect every
+//!   tuple with at least one derivation through a deleted tuple; the
+//!   overestimate is removed, then tuples with an alternative derivation
+//!   in the reduced state are re-derived (decision-procedure per
+//!   candidate) and propagated with the shared Δ engine
+//!   ([`pq_engine::delta`]). Insertions are pure semi-naive propagation
+//!   seeded by the new base rows — the same loop the from-scratch fixpoint
+//!   runs, minus every round it would spend re-deriving what is already
+//!   materialized.
+//!
+//! Both plans run under an [`ExecutionContext`] governor; when a delta
+//! batch exhausts its budget the registry **falls back to a full
+//! recompute** (and says so), so a pathological write degrades to the
+//! request/response cost model instead of wedging the writer.
+//!
+//! Every maintenance step reports a [`ViewDelta`] — the `+tuple`/`-tuple`
+//! lines a `SUBSCRIBE`d client receives — and keeps an [`Arc<Relation>`]
+//! answer the service patches into its result cache in place.
+//!
+//! [`Arc<Relation>`]: pq_data::Relation
+//! [`ExecutionContext`]: pq_engine::ExecutionContext
+
+#![warn(missing_docs)]
+
+mod counting;
+mod recursive;
+mod registry;
+
+pub use registry::{
+    MaintainOutcome, RegisteredView, RelationDelta, ViewDelta, ViewQuery, ViewRegistry,
+};
+
+pub use pq_engine::{EngineError, Result};

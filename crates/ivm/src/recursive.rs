@@ -1,0 +1,257 @@
+//! DRed (delete and re-derive) maintenance for recursive Datalog views.
+//!
+//! The view keeps a persistent working database — its base relations plus
+//! every IDB relation, closed under the rules. Insertions are pure
+//! semi-naive propagation ([`pq_engine::delta::propagate`]) seeded by the
+//! new base rows. Deletions run the classic three-phase DRed:
+//!
+//! 1. **Overestimate.** Δ-rules over the *old* (still intact) state collect
+//!    every materialized IDB tuple with at least one derivation through a
+//!    deleted tuple, to fixpoint.
+//! 2. **Delete.** The removed base rows and the whole overestimate leave
+//!    the working database.
+//! 3. **Re-derive.** Each overestimated tuple with an alternative
+//!    derivation in the reduced state (a decision-procedure call per
+//!    candidate, inserted at discovery) comes back, and semi-naive
+//!    propagation from the re-derived seeds restores closure — rule
+//!    application is monotone, so propagation recovers exactly the
+//!    over-deleted tuples that were still derivable.
+//!
+//! The answer delta is the difference between the goal relation before and
+//! after — `O(|goal|)`, dwarfed by the fixpoint work it replaces.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Arc;
+
+use pq_data::{Database, Relation, Tuple};
+use pq_engine::datalog_eval::FixpointStats;
+use pq_engine::delta::{self, delta_rule_cq, idb_arities, positional_relation, rule_to_cq};
+use pq_engine::naive;
+use pq_engine::{EngineError, ExecutionContext, Result};
+use pq_query::DatalogProgram;
+
+use crate::counting::diff_answers;
+use crate::registry::{Batch, ViewDelta};
+
+/// Engine name reported in resource-exhaustion errors.
+const ENGINE: &str = "ivm-dred";
+
+/// A recursive Datalog view maintained by DRed.
+pub(crate) struct RecursiveView {
+    program: DatalogProgram,
+    edb: BTreeSet<String>,
+    /// Base relations (copied at registration, kept in sync by `maintain`)
+    /// plus every IDB relation, closed under the rules.
+    work: Database,
+    answer: Arc<Relation>,
+}
+
+fn fresh_stats(p: &DatalogProgram) -> FixpointStats {
+    FixpointStats {
+        rule_eval_counts: vec![0; p.rules.len()],
+        ..FixpointStats::default()
+    }
+}
+
+impl RecursiveView {
+    pub(crate) fn new(p: &DatalogProgram, db: &Database, ctx: &ExecutionContext) -> Result<Self> {
+        p.validate()?;
+        let edb: BTreeSet<String> = p.edb_relations().iter().map(ToString::to_string).collect();
+        let mut view = RecursiveView {
+            program: p.clone(),
+            edb,
+            work: Database::new(),
+            answer: Arc::new(Relation::default()),
+        };
+        view.rebuild(db, ctx)?;
+        Ok(view)
+    }
+
+    pub(crate) fn edb(&self) -> &BTreeSet<String> {
+        &self.edb
+    }
+
+    pub(crate) fn answer(&self) -> Arc<Relation> {
+        Arc::clone(&self.answer)
+    }
+
+    /// Materialize the fixpoint from scratch into a fresh working database.
+    fn rebuild(&mut self, db: &Database, ctx: &ExecutionContext) -> Result<()> {
+        let mut work = Database::new();
+        for e in &self.edb {
+            work.set_relation(e.clone(), db.relation(e)?.clone());
+        }
+        for (name, &arity) in &idb_arities(&self.program) {
+            if db.has_relation(name) {
+                return Err(EngineError::Unsupported(format!(
+                    "IDB relation `{name}` collides with a database relation"
+                )));
+            }
+            work.set_relation(name.clone(), positional_relation(arity));
+        }
+        // Round 0 (IDBs empty, so only EDB-only rules fire), then the
+        // shared Δ engine to fixpoint.
+        let mut stats = fresh_stats(&self.program);
+        let mut seed: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for rule in &self.program.rules {
+            ctx.tick(ENGINE)?;
+            let derived = naive::evaluate_governed(&rule_to_cq(rule), &work, ctx)?;
+            let target = work.relation_mut(&rule.head.relation)?;
+            for t in derived.iter() {
+                if target.insert(t.clone())? {
+                    ctx.charge_tuples(ENGINE, 1)?;
+                    seed.entry(rule.head.relation.clone())
+                        .or_default()
+                        .push(t.clone());
+                }
+            }
+        }
+        delta::propagate(&self.program, &mut work, seed, &mut stats, ctx)?;
+        self.answer = Arc::new(work.relation(&self.program.goal)?.clone());
+        self.work = work;
+        Ok(())
+    }
+
+    /// Maintain the view across one mutation batch (already applied to the
+    /// live database; `batch` carries the exact row deltas). On error the
+    /// working database may be partially advanced — the registry discards
+    /// it by falling back to [`RecursiveView::recompute`].
+    pub(crate) fn maintain(&mut self, batch: &Batch, ctx: &ExecutionContext) -> Result<ViewDelta> {
+        let old_answer = Arc::clone(&self.answer);
+
+        // --- Deletions: DRed. ---
+        let deleted: BTreeMap<String, Vec<Tuple>> = batch
+            .removed
+            .iter()
+            .filter(|(r, v)| self.edb.contains(r.as_str()) && !v.is_empty())
+            .map(|(r, v)| (r.clone(), v.clone()))
+            .collect();
+        if !deleted.is_empty() {
+            // 1. Overestimate over the still-intact state.
+            let over = self.overestimate(&deleted, ctx)?;
+            // 2. Remove the base rows and the whole overestimate.
+            for (rel, rows) in &deleted {
+                self.work.delete_rows(rel, rows)?;
+            }
+            for (rel, ts) in &over {
+                let gone: HashSet<&Tuple> = ts.iter().collect();
+                self.work.relation_mut(rel)?.retain(|t| !gone.contains(t));
+            }
+            // 3. Re-derive candidates with an alternative derivation in the
+            //    reduced state, inserting at discovery so later candidates
+            //    can stand on earlier ones; then propagate to closure.
+            let mut rederived: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+            for (rel, ts) in &over {
+                for t in ts {
+                    let mut alive = false;
+                    for rule in self
+                        .program
+                        .rules
+                        .iter()
+                        .filter(|r| r.head.relation == *rel)
+                    {
+                        ctx.tick(ENGINE)?;
+                        if let Some(bound) = rule_to_cq(rule).bind_head(t)? {
+                            if naive::is_nonempty_governed(&bound, &self.work, ctx)? {
+                                alive = true;
+                                break;
+                            }
+                        }
+                    }
+                    if alive && self.work.relation_mut(rel)?.insert(t.clone())? {
+                        ctx.charge_tuples(ENGINE, 1)?;
+                        rederived.entry(rel.clone()).or_default().push(t.clone());
+                    }
+                }
+            }
+            let mut stats = fresh_stats(&self.program);
+            delta::propagate(&self.program, &mut self.work, rederived, &mut stats, ctx)?;
+        }
+
+        // --- Insertions: semi-naive propagation from the new rows. ---
+        let mut seed: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for (rel, rows) in &batch.added {
+            if self.edb.contains(rel.as_str()) && !rows.is_empty() {
+                let added = self.work.insert_rows(rel, rows.iter().cloned())?;
+                if !added.is_empty() {
+                    seed.insert(rel.clone(), added);
+                }
+            }
+        }
+        if !seed.is_empty() {
+            let mut stats = fresh_stats(&self.program);
+            delta::propagate(&self.program, &mut self.work, seed, &mut stats, ctx)?;
+        }
+
+        let new_goal = self.work.relation(&self.program.goal)?;
+        let delta = diff_answers(&old_answer, new_goal);
+        if !delta.is_empty() {
+            self.answer = Arc::new(new_goal.clone());
+        }
+        Ok(delta)
+    }
+
+    /// Full-recompute fallback: rebuild the fixpoint from the live database
+    /// and report the answer diff against the previously maintained state.
+    pub(crate) fn recompute(&mut self, db: &Database, ctx: &ExecutionContext) -> Result<ViewDelta> {
+        let old = Arc::clone(&self.answer);
+        self.rebuild(db, ctx)?;
+        Ok(diff_answers(&old, &self.answer))
+    }
+
+    /// DRed phase 1: every materialized IDB tuple with at least one
+    /// derivation through a deleted tuple, computed by Δ-rules over the
+    /// *old* state (the working database still contains everything).
+    fn overestimate(
+        &mut self,
+        deleted: &BTreeMap<String, Vec<Tuple>>,
+        ctx: &ExecutionContext,
+    ) -> Result<BTreeMap<String, BTreeSet<Tuple>>> {
+        let mut over: BTreeMap<String, BTreeSet<Tuple>> = BTreeMap::new();
+        let mut delta = deleted.clone();
+        let mut scaffolding: BTreeSet<String> = BTreeSet::new();
+        let run = (|| -> Result<()> {
+            while delta.values().any(|v| !v.is_empty()) {
+                for (name, tuples) in &delta {
+                    let mut rel = positional_relation(self.work.relation(name)?.arity());
+                    for t in tuples {
+                        rel.insert(t.clone())?;
+                    }
+                    let dname = delta::delta_relation_name(name);
+                    scaffolding.insert(dname.clone());
+                    self.work.set_relation(dname, rel);
+                }
+                let mut next: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+                for rule in &self.program.rules {
+                    for (i, batom) in rule.body.iter().enumerate() {
+                        if delta.get(&batom.relation).is_none_or(|v| v.is_empty()) {
+                            continue;
+                        }
+                        ctx.tick(ENGINE)?;
+                        let derived =
+                            naive::evaluate_governed(&delta_rule_cq(rule, i), &self.work, ctx)?;
+                        let head = &rule.head.relation;
+                        for t in derived.iter() {
+                            // Only materialized tuples can be over-deleted
+                            // (always true here — the work is closed — but
+                            // cheap insurance against divergence).
+                            if self.work.relation(head)?.contains(t)
+                                && over.entry(head.clone()).or_default().insert(t.clone())
+                            {
+                                ctx.charge_tuples(ENGINE, 1)?;
+                                next.entry(head.clone()).or_default().push(t.clone());
+                            }
+                        }
+                    }
+                }
+                delta = next;
+            }
+            Ok(())
+        })();
+        for name in &scaffolding {
+            self.work.remove_relation(name);
+        }
+        run?;
+        Ok(over)
+    }
+}

@@ -1,0 +1,721 @@
+//! The view registry: registration, classification, and the maintenance
+//! driver with its recompute fallback.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use pq_data::{Database, Relation, Tuple};
+use pq_engine::{EngineError, ExecutionContext, Result};
+use pq_query::{ConjunctiveQuery, DatalogProgram};
+
+use crate::counting::CountingView;
+use crate::recursive::RecursiveView;
+
+/// The exact row delta of one base relation from one mutation, as reported
+/// by [`Database::insert_rows`] / [`Database::delete_rows`]: `added` rows
+/// were genuinely new, `removed` rows were genuinely present.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Relation name.
+    pub relation: String,
+    /// Rows the mutation actually inserted.
+    pub added: Vec<Tuple>,
+    /// Rows the mutation actually removed.
+    pub removed: Vec<Tuple>,
+}
+
+/// The signed answer delta of one view after a maintenance step — the
+/// `+tuple`/`-tuple` lines a `SUBSCRIBE`d client receives.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// Tuples that entered the answer, sorted.
+    pub added: Vec<Tuple>,
+    /// Tuples that left the answer, sorted.
+    pub removed: Vec<Tuple>,
+}
+
+impl ViewDelta {
+    /// Did the answer change at all?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A mutation batch in the form the maintenance plans consume: net
+/// per-relation added/removed rows, plus a hashed added-set for O(1)
+/// old-state membership checks.
+#[derive(Default)]
+pub(crate) struct Batch {
+    pub(crate) added: BTreeMap<String, Vec<Tuple>>,
+    pub(crate) removed: BTreeMap<String, Vec<Tuple>>,
+    added_sets: HashMap<String, HashSet<Tuple>>,
+}
+
+impl Batch {
+    /// Net out the deltas: a tuple both inserted and removed within the
+    /// batch toggled membership an even number of times (the deltas are
+    /// exact), so it cancels — old and new state agree on it.
+    fn from_deltas(deltas: &[RelationDelta]) -> Self {
+        let mut net: BTreeMap<&str, BTreeMap<&Tuple, i64>> = BTreeMap::new();
+        for d in deltas {
+            let rel = net.entry(d.relation.as_str()).or_default();
+            for t in &d.added {
+                *rel.entry(t).or_insert(0) += 1;
+            }
+            for t in &d.removed {
+                *rel.entry(t).or_insert(0) -= 1;
+            }
+        }
+        let mut b = Batch::default();
+        for (rel, counts) in net {
+            for (t, c) in counts {
+                if c > 0 {
+                    b.added.entry(rel.to_string()).or_default().push(t.clone());
+                } else if c < 0 {
+                    b.removed
+                        .entry(rel.to_string())
+                        .or_default()
+                        .push(t.clone());
+                }
+            }
+        }
+        b.added_sets = b
+            .added
+            .iter()
+            .map(|(k, v)| (k.clone(), v.iter().cloned().collect()))
+            .collect();
+        b
+    }
+
+    /// Does the batch mutate `rel`?
+    pub(crate) fn touches(&self, rel: &str) -> bool {
+        self.added.contains_key(rel) || self.removed.contains_key(rel)
+    }
+
+    /// The inserted rows of `rel` as a set, when any.
+    pub(crate) fn added_set(&self, rel: &str) -> Option<&HashSet<Tuple>> {
+        self.added_sets.get(rel)
+    }
+
+    /// Every relation the batch touches.
+    fn relations(&self) -> BTreeSet<&str> {
+        self.added
+            .keys()
+            .chain(self.removed.keys())
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// The query shape a view materializes.
+#[derive(Debug, Clone)]
+pub enum ViewQuery {
+    /// A conjunctive query (optionally with `≠` and comparison filters).
+    Cq(ConjunctiveQuery),
+    /// A Datalog program evaluated to fixpoint.
+    Program(DatalogProgram),
+}
+
+/// Is the program genuinely recursive (an IDB SCC of size > 1, or a
+/// self-loop)? Nonrecursive programs get the cheaper counting plan.
+fn is_recursive(p: &DatalogProgram) -> bool {
+    let deps = p.dependencies();
+    p.idb_sccs()
+        .iter()
+        .any(|scc| scc.len() > 1 || deps.get(scc[0]).is_some_and(|d| d.contains(scc[0])))
+}
+
+enum PlanKind {
+    Counting(CountingView),
+    Recursive(RecursiveView),
+}
+
+impl PlanKind {
+    fn edb(&self) -> &BTreeSet<String> {
+        match self {
+            PlanKind::Counting(v) => v.edb(),
+            PlanKind::Recursive(v) => v.edb(),
+        }
+    }
+
+    fn answer(&self) -> Arc<Relation> {
+        match self {
+            PlanKind::Counting(v) => v.answer(),
+            PlanKind::Recursive(v) => v.answer(),
+        }
+    }
+
+    fn maintain(
+        &mut self,
+        db_after: &Database,
+        batch: &Batch,
+        ctx: &ExecutionContext,
+    ) -> Result<ViewDelta> {
+        match self {
+            PlanKind::Counting(v) => v.maintain(db_after, batch, ctx),
+            PlanKind::Recursive(v) => v.maintain(batch, ctx),
+        }
+    }
+
+    fn recompute(&mut self, db: &Database, ctx: &ExecutionContext) -> Result<ViewDelta> {
+        match self {
+            PlanKind::Counting(v) => v.recompute(db, ctx),
+            PlanKind::Recursive(v) => v.recompute(db, ctx),
+        }
+    }
+}
+
+/// A registered materialized view: its query, its maintenance plan, and
+/// the current answer.
+pub struct RegisteredView {
+    name: String,
+    query: ViewQuery,
+    plan: PlanKind,
+}
+
+impl RegisteredView {
+    /// The view's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The query the view materializes.
+    pub fn query(&self) -> &ViewQuery {
+        &self.query
+    }
+
+    /// The current maintained answer.
+    pub fn answer(&self) -> Arc<Relation> {
+        self.plan.answer()
+    }
+
+    /// Does the view run the DRed plan (recursive Datalog)?
+    pub fn is_recursive(&self) -> bool {
+        matches!(self.plan, PlanKind::Recursive(_))
+    }
+
+    /// The base relations the view reads — mutations elsewhere never
+    /// trigger maintenance.
+    pub fn edb(&self) -> &BTreeSet<String> {
+        self.plan.edb()
+    }
+}
+
+/// What happened to one view during a maintenance pass.
+#[derive(Clone)]
+pub struct MaintainOutcome {
+    /// The view's name.
+    pub view: String,
+    /// The answer delta (empty when the batch did not change the answer).
+    pub delta: ViewDelta,
+    /// The view's answer after the pass.
+    pub answer: Arc<Relation>,
+    /// The delta plan failed (typically [`EngineError::ResourceExhausted`])
+    /// and the view was rebuilt from scratch instead.
+    pub fell_back: bool,
+    /// Even the rebuild failed; the view has been dropped from the
+    /// registry and `answer`/`delta` reflect its last known state.
+    pub dropped: bool,
+}
+
+/// A registry of named materialized views over one database.
+#[derive(Default)]
+pub struct ViewRegistry {
+    views: BTreeMap<String, RegisteredView>,
+}
+
+impl ViewRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a view and materialize its initial answer from `db`.
+    ///
+    /// # Errors
+    /// When the name is taken, the query is invalid, or initial
+    /// materialization fails (including resource exhaustion from `ctx`).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        query: ViewQuery,
+        db: &Database,
+        ctx: &ExecutionContext,
+    ) -> Result<Arc<Relation>> {
+        let name = name.into();
+        if self.views.contains_key(&name) {
+            return Err(EngineError::Unsupported(format!(
+                "view `{name}` is already registered"
+            )));
+        }
+        let plan = match &query {
+            ViewQuery::Cq(cq) => {
+                let mut v = CountingView::from_cq(cq)?;
+                v.initialize(db, ctx)?;
+                PlanKind::Counting(v)
+            }
+            ViewQuery::Program(p) if is_recursive(p) => {
+                PlanKind::Recursive(RecursiveView::new(p, db, ctx)?)
+            }
+            ViewQuery::Program(p) => {
+                let mut v = CountingView::from_program(p)?;
+                v.initialize(db, ctx)?;
+                PlanKind::Counting(v)
+            }
+        };
+        let answer = plan.answer();
+        self.views
+            .insert(name.clone(), RegisteredView { name, query, plan });
+        Ok(answer)
+    }
+
+    /// The current answer of `name`, when registered.
+    pub fn answer(&self, name: &str) -> Option<Arc<Relation>> {
+        self.views.get(name).map(|v| v.plan.answer())
+    }
+
+    /// The registered view `name`, when present.
+    pub fn get(&self, name: &str) -> Option<&RegisteredView> {
+        self.views.get(name)
+    }
+
+    /// Remove a view; `true` when it existed.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        self.views.remove(name).is_some()
+    }
+
+    /// Registered view names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Maintain every affected view across one mutation batch.
+    ///
+    /// `db_after` is the database with the batch already applied; `deltas`
+    /// are the exact row deltas the mutation reported. Views whose base
+    /// relations are disjoint from the batch are skipped entirely (no
+    /// outcome). Each affected view gets a fresh governor from
+    /// `ctx_factory`; if its delta plan errors — out of budget, or state
+    /// divergence — the view falls back to a full rebuild under an
+    /// unlimited context, and if even that fails it is dropped.
+    pub fn maintain(
+        &mut self,
+        db_after: &Database,
+        deltas: &[RelationDelta],
+        ctx_factory: impl Fn() -> ExecutionContext,
+    ) -> Vec<MaintainOutcome> {
+        let batch = Batch::from_deltas(deltas);
+        let touched = batch.relations();
+        if touched.is_empty() {
+            return Vec::new();
+        }
+        let mut outcomes = Vec::new();
+        for view in self.views.values_mut() {
+            if !view.plan.edb().iter().any(|e| touched.contains(e.as_str())) {
+                continue;
+            }
+            let ctx = ctx_factory();
+            let (delta, fell_back, dropped) = match view.plan.maintain(db_after, &batch, &ctx) {
+                Ok(d) => (d, false, false),
+                Err(_) => match view
+                    .plan
+                    .recompute(db_after, &ExecutionContext::unlimited())
+                {
+                    Ok(d) => (d, true, false),
+                    Err(_) => (ViewDelta::default(), true, true),
+                },
+            };
+            outcomes.push(MaintainOutcome {
+                view: view.name.clone(),
+                delta,
+                answer: view.plan.answer(),
+                fell_back,
+                dropped,
+            });
+        }
+        for o in &outcomes {
+            if o.dropped {
+                self.views.remove(&o.view);
+            }
+        }
+        outcomes
+    }
+
+    /// Rebuild every view from scratch against a wholesale-replaced
+    /// database (`LOAD` over an existing name). Views that no longer
+    /// materialize — missing base relation, IDB collision — are dropped.
+    pub fn refresh(
+        &mut self,
+        db: &Database,
+        ctx_factory: impl Fn() -> ExecutionContext,
+    ) -> Vec<MaintainOutcome> {
+        let mut outcomes = Vec::new();
+        for view in self.views.values_mut() {
+            let (delta, dropped) = match view.plan.recompute(db, &ctx_factory()) {
+                Ok(d) => (d, false),
+                Err(_) => (ViewDelta::default(), true),
+            };
+            outcomes.push(MaintainOutcome {
+                view: view.name.clone(),
+                delta,
+                answer: view.plan.answer(),
+                fell_back: false,
+                dropped,
+            });
+        }
+        for o in &outcomes {
+            if o.dropped {
+                self.views.remove(&o.view);
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_engine::datalog_eval::{evaluate, Strategy};
+    use pq_engine::naive;
+    use pq_query::{parse_datalog, ConjunctiveQuery};
+
+    fn unlimited() -> ExecutionContext {
+        ExecutionContext::unlimited()
+    }
+
+    fn insert(db: &mut Database, rel: &str, rows: Vec<Tuple>) -> RelationDelta {
+        RelationDelta {
+            relation: rel.to_string(),
+            added: db.insert_rows(rel, rows).unwrap(),
+            removed: Vec::new(),
+        }
+    }
+
+    fn delete(db: &mut Database, rel: &str, rows: &[Tuple]) -> RelationDelta {
+        RelationDelta {
+            relation: rel.to_string(),
+            added: Vec::new(),
+            removed: db.delete_rows(rel, rows).unwrap(),
+        }
+    }
+
+    /// V(x, z) :- R(x, y), S(y, z).
+    fn join_cq() -> ConjunctiveQuery {
+        use pq_query::atom;
+        ConjunctiveQuery::new(
+            "V",
+            [pq_query::Term::var("x"), pq_query::Term::var("z")],
+            [atom!("R"; var "x", var "y"), atom!("S"; var "y", var "z")],
+        )
+    }
+
+    fn join_db() -> Database {
+        let mut db = Database::new();
+        db.add_table(
+            "R",
+            ["a", "b"],
+            [tuple![1, 10], tuple![2, 10], tuple![3, 30]],
+        )
+        .unwrap();
+        db.add_table("S", ["b", "c"], [tuple![10, 100], tuple![30, 300]])
+            .unwrap();
+        db
+    }
+
+    fn assert_matches_recompute(
+        reg: &ViewRegistry,
+        name: &str,
+        cq: &ConjunctiveQuery,
+        db: &Database,
+    ) {
+        let maintained = reg.answer(name).unwrap();
+        let fresh = naive::evaluate(cq, db).unwrap();
+        assert_eq!(maintained.attrs(), fresh.attrs());
+        assert_eq!(maintained.canonical_rows(), fresh.canonical_rows());
+    }
+
+    #[test]
+    fn cq_join_view_tracks_interleaved_mutations() {
+        let cq = join_cq();
+        let mut db = join_db();
+        let mut reg = ViewRegistry::new();
+        reg.register("v", ViewQuery::Cq(cq.clone()), &db, &unlimited())
+            .unwrap();
+        assert_matches_recompute(&reg, "v", &cq, &db);
+
+        // Insert a row that joins twice, then one that joins nowhere.
+        let d = insert(&mut db, "S", vec![tuple![10, 101], tuple![99, 9]]);
+        let out = reg.maintain(&db, &[d], unlimited);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].fell_back);
+        assert_eq!(out[0].delta.added, vec![tuple![1, 101], tuple![2, 101]]);
+        assert_matches_recompute(&reg, "v", &cq, &db);
+
+        // Delete one of the two supports of V(1, 100)/V(2, 100): both rows
+        // survive via the other R tuples? No — R(1,10) is the only support
+        // of V(1,100); deleting it removes V(1,*) only.
+        let d = delete(&mut db, "R", &[tuple![1, 10]]);
+        let out = reg.maintain(&db, &[d], unlimited);
+        assert_eq!(out[0].delta.removed, vec![tuple![1, 100], tuple![1, 101]]);
+        assert_matches_recompute(&reg, "v", &cq, &db);
+
+        // A tuple with two derivations only leaves when the count drains.
+        // V(2,100) is supported once (R(2,10), S(10,100)); add a second
+        // support, then remove them one at a time.
+        let d = insert(&mut db, "R", vec![tuple![2, 30]]);
+        let d2 = insert(&mut db, "S", vec![tuple![30, 100]]);
+        reg.maintain(&db, &[d, d2], unlimited);
+        assert_matches_recompute(&reg, "v", &cq, &db);
+        let d = delete(&mut db, "S", &[tuple![10, 100]]);
+        let out = reg.maintain(&db, &[d], unlimited);
+        // V(2,100) still derivable through R(2,30), S(30,100).
+        assert!(!out[0].delta.removed.contains(&tuple![2, 100]));
+        assert_matches_recompute(&reg, "v", &cq, &db);
+    }
+
+    #[test]
+    fn cq_view_with_filters_is_maintained() {
+        use pq_query::{atom, CmpOp, Comparison, Neq, Term};
+        // V(x, z) :- R(x, y), S(y, z), x ≠ z, z < 250.
+        let mut cq = ConjunctiveQuery::new(
+            "V",
+            [Term::var("x"), Term::var("z")],
+            [atom!("R"; var "x", var "y"), atom!("S"; var "y", var "z")],
+        );
+        cq.neqs.push(Neq::new(Term::var("x"), Term::var("z")));
+        cq.comparisons
+            .push(Comparison::new(Term::var("z"), CmpOp::Lt, Term::cons(250)));
+        let mut db = join_db();
+        let mut reg = ViewRegistry::new();
+        reg.register("v", ViewQuery::Cq(cq.clone()), &db, &unlimited())
+            .unwrap();
+        assert_matches_recompute(&reg, "v", &cq, &db);
+        let d = insert(&mut db, "S", vec![tuple![10, 2], tuple![10, 200]]);
+        reg.maintain(&db, &[d], unlimited);
+        assert_matches_recompute(&reg, "v", &cq, &db);
+        let d = delete(&mut db, "R", &[tuple![2, 10]]);
+        reg.maintain(&db, &[d], unlimited);
+        assert_matches_recompute(&reg, "v", &cq, &db);
+    }
+
+    #[test]
+    fn nonrecursive_program_uses_counting_across_strata() {
+        let p = parse_datalog(
+            "A(x, z) :- R(x, y), S(y, z).\n\
+             G(x) :- A(x, z), T(z).\n\
+             ?- G",
+        )
+        .unwrap();
+        let mut db = join_db();
+        db.add_table("T", ["c"], [tuple![100]]).unwrap();
+        let mut reg = ViewRegistry::new();
+        reg.register("g", ViewQuery::Program(p.clone()), &db, &unlimited())
+            .unwrap();
+        assert!(!reg.get("g").unwrap().is_recursive());
+
+        let check = |reg: &mut ViewRegistry, db: &Database, deltas: Vec<RelationDelta>| {
+            reg.maintain(db, &deltas, unlimited);
+            let maintained = reg.answer("g").unwrap();
+            let fresh = evaluate(&p, db, Strategy::SemiNaive).unwrap();
+            assert_eq!(maintained.attrs(), fresh.attrs());
+            assert_eq!(maintained.canonical_rows(), fresh.canonical_rows());
+        };
+        let d = vec![insert(&mut db, "T", vec![tuple![300]])];
+        check(&mut reg, &db, d);
+        let d = vec![delete(&mut db, "R", &[tuple![1, 10]])];
+        check(&mut reg, &db, d);
+        let d = vec![
+            insert(&mut db, "S", vec![tuple![10, 100]]),
+            delete(&mut db, "T", &[tuple![100]]),
+        ];
+        check(&mut reg, &db, d);
+    }
+
+    fn tc_program() -> DatalogProgram {
+        parse_datalog(
+            "T(x, y) :- E(x, y).\n\
+             T(x, z) :- E(x, y), T(y, z).\n\
+             ?- T",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recursive_view_survives_inserts_and_deletes() {
+        let p = tc_program();
+        // Diamond with a tail: deleting one diamond edge exercises
+        // re-derivation (the closure tuples survive via the other path).
+        let mut db = Database::new();
+        db.add_table(
+            "E",
+            ["a", "b"],
+            [
+                tuple![0, 1],
+                tuple![0, 2],
+                tuple![1, 3],
+                tuple![2, 3],
+                tuple![3, 4],
+            ],
+        )
+        .unwrap();
+        let mut reg = ViewRegistry::new();
+        reg.register("tc", ViewQuery::Program(p.clone()), &db, &unlimited())
+            .unwrap();
+        assert!(reg.get("tc").unwrap().is_recursive());
+
+        let check = |reg: &mut ViewRegistry, db: &Database, deltas: Vec<RelationDelta>| {
+            let out = reg.maintain(db, &deltas, unlimited);
+            assert!(out.iter().all(|o| !o.fell_back && !o.dropped));
+            let maintained = reg.answer("tc").unwrap();
+            let fresh = evaluate(&p, db, Strategy::SemiNaive).unwrap();
+            assert_eq!(maintained.attrs(), fresh.attrs());
+            assert_eq!(maintained.canonical_rows(), fresh.canonical_rows());
+        };
+        let d = vec![insert(&mut db, "E", vec![tuple![4, 5]])];
+        check(&mut reg, &db, d);
+        // One diamond edge: T(0,3), T(0,4), … must survive via 0→2→3.
+        let d = vec![delete(&mut db, "E", &[tuple![1, 3]])];
+        check(&mut reg, &db, d);
+        // Cut the tail: everything reaching 4 and 5 through 3→4 dies.
+        let d = vec![delete(&mut db, "E", &[tuple![3, 4]])];
+        check(&mut reg, &db, d);
+        // Mixed batch.
+        let d = vec![
+            insert(&mut db, "E", vec![tuple![5, 0]]),
+            delete(&mut db, "E", &[tuple![0, 1]]),
+        ];
+        check(&mut reg, &db, d);
+    }
+
+    #[test]
+    fn deletion_with_alternative_derivation_keeps_the_tuple() {
+        let p = tc_program();
+        let mut db = Database::new();
+        db.add_table("E", ["a", "b"], [tuple![0, 1], tuple![1, 2], tuple![0, 2]])
+            .unwrap();
+        let mut reg = ViewRegistry::new();
+        reg.register("tc", ViewQuery::Program(p), &db, &unlimited())
+            .unwrap();
+        // T(0,2) has two derivations; deleting E(0,2) must keep it.
+        let d = delete(&mut db, "E", &[tuple![0, 2]]);
+        let out = reg.maintain(&db, &[d], unlimited);
+        assert!(!out[0].delta.removed.contains(&tuple![0, 2]));
+        assert!(reg.answer("tc").unwrap().contains(&tuple![0, 2]));
+    }
+
+    #[test]
+    fn views_on_untouched_relations_are_skipped() {
+        let mut db = join_db();
+        db.add_table("E", ["a", "b"], [tuple![0, 1]]).unwrap();
+        let mut reg = ViewRegistry::new();
+        reg.register("v", ViewQuery::Cq(join_cq()), &db, &unlimited())
+            .unwrap();
+        reg.register("tc", ViewQuery::Program(tc_program()), &db, &unlimited())
+            .unwrap();
+        let d = insert(&mut db, "E", vec![tuple![1, 2]]);
+        let out = reg.maintain(&db, &[d], unlimited);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].view, "tc");
+    }
+
+    #[test]
+    fn exhausted_maintenance_falls_back_to_recompute() {
+        let p = tc_program();
+        let mut db = Database::new();
+        db.add_table("E", ["a", "b"], (0..20i64).map(|i| tuple![i, i + 1]))
+            .unwrap();
+        let mut reg = ViewRegistry::new();
+        reg.register("tc", ViewQuery::Program(p.clone()), &db, &unlimited())
+            .unwrap();
+        // A budget far too small for the propagation the insert triggers.
+        let d = insert(&mut db, "E", vec![tuple![20, 21]]);
+        let out = reg.maintain(&db, &[d], || ExecutionContext::new().with_tuple_budget(1));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].fell_back);
+        assert!(!out[0].dropped);
+        // The fallback still lands on the correct answer and a correct delta.
+        let fresh = evaluate(&p, &db, Strategy::SemiNaive).unwrap();
+        assert_eq!(
+            reg.answer("tc").unwrap().canonical_rows(),
+            fresh.canonical_rows()
+        );
+        assert!(out[0].delta.added.contains(&tuple![0, 21]));
+    }
+
+    #[test]
+    fn net_zero_batches_cancel() {
+        let mut db = join_db();
+        let mut reg = ViewRegistry::new();
+        reg.register("v", ViewQuery::Cq(join_cq()), &db, &unlimited())
+            .unwrap();
+        let before = reg.answer("v").unwrap();
+        // Insert a fresh row and delete it again within one batch.
+        let d1 = insert(&mut db, "R", vec![tuple![7, 10]]);
+        let d2 = delete(&mut db, "R", &[tuple![7, 10]]);
+        let out = reg.maintain(&db, &[d1, d2], unlimited);
+        assert!(out.is_empty() || out[0].delta.is_empty());
+        assert_eq!(
+            reg.answer("v").unwrap().canonical_rows(),
+            before.canonical_rows()
+        );
+    }
+
+    #[test]
+    fn refresh_rebuilds_against_a_replaced_database() {
+        let cq = join_cq();
+        let db = join_db();
+        let mut reg = ViewRegistry::new();
+        reg.register("v", ViewQuery::Cq(cq.clone()), &db, &unlimited())
+            .unwrap();
+        // Wholesale replacement, as a LOAD over the same name would do.
+        let mut db2 = Database::new();
+        db2.add_table("R", ["a", "b"], [tuple![8, 80]]).unwrap();
+        db2.add_table("S", ["b", "c"], [tuple![80, 800]]).unwrap();
+        let out = reg.refresh(&db2, unlimited);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].dropped);
+        assert_matches_recompute(&reg, "v", &cq, &db2);
+        // A replacement missing a base relation drops the view.
+        let empty = Database::new();
+        let out = reg.refresh(&empty, unlimited);
+        assert!(out[0].dropped);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_and_deregistration() {
+        let db = join_db();
+        let mut reg = ViewRegistry::new();
+        reg.register("v", ViewQuery::Cq(join_cq()), &db, &unlimited())
+            .unwrap();
+        assert!(reg
+            .register("v", ViewQuery::Cq(join_cq()), &db, &unlimited())
+            .is_err());
+        assert_eq!(reg.names(), vec!["v"]);
+        assert!(reg.deregister("v"));
+        assert!(!reg.deregister("v"));
+        assert!(reg.answer("v").is_none());
+    }
+
+    #[test]
+    fn self_join_cq_is_rejected_as_a_cq() {
+        use pq_query::{atom, Term};
+        let cq = ConjunctiveQuery::new("R", [Term::var("x")], [atom!("R"; var "x", var "y")]);
+        let db = join_db();
+        let mut reg = ViewRegistry::new();
+        assert!(reg
+            .register("v", ViewQuery::Cq(cq), &db, &unlimited())
+            .is_err());
+    }
+}

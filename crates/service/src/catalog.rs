@@ -190,8 +190,18 @@ impl Catalog {
 
     /// Mutate the database under `name` in place, under the write lock.
     /// Copies-on-write when snapshots are still alive, so readers keep their
-    /// consistent view. Assigns a fresh generation whatever `f` did (a
-    /// spurious bump costs one cache miss; a missed one would be unsound).
+    /// consistent view.
+    ///
+    /// The **generation is kept** when the per-relation epoch vector moved
+    /// monotonically — every counter component-wise ≥ its pre-update value
+    /// and the global epoch strictly greater. Within one generation the
+    /// epoch vector then never repeats (each update strictly grows its sum),
+    /// so cache keys that fingerprint the mentioned relations' epochs stay
+    /// sound *and* entries for untouched relations stay valid across the
+    /// mutation. A closure that did not advance the epochs — a wholesale
+    /// `*db = other` replacement (counters reset) or a content no-op — gets
+    /// a fresh generation instead, which is always sound and only costs
+    /// cache misses.
     ///
     /// # Errors
     /// [`ServiceError::UnknownDatabase`] when absent;
@@ -203,8 +213,16 @@ impl Catalog {
             let entry = entries
                 .get_mut(name)
                 .ok_or_else(|| ServiceError::UnknownDatabase(name.to_string()))?;
+            let before = entry.db.relation_epochs().clone();
+            let before_epoch = entry.db.epoch();
             let out = f(Arc::make_mut(&mut entry.db));
-            entry.generation = self.next_generation();
+            let monotone = entry.db.epoch() > before_epoch
+                && before
+                    .iter()
+                    .all(|(rel, &e)| entry.db.relation_epoch(rel) >= e);
+            if !monotone {
+                entry.generation = self.next_generation();
+            }
             (out, Arc::clone(&entry.db))
         };
         // The record carries the post-state, not the closure: replay never
@@ -254,8 +272,30 @@ mod tests {
         // The old snapshot still sees the old data (copy-on-write).
         assert_eq!(before.db.relation("R").unwrap().len(), 3);
         assert_eq!(after.db.relation("R").unwrap().len(), 4);
-        assert!(after.generation > before.generation);
+        // An in-place mutation advances the epochs monotonically, so the
+        // generation is kept — per-relation epoch fingerprints alone
+        // distinguish the states.
+        assert_eq!(after.generation, before.generation);
         assert!(after.epoch > before.epoch);
+    }
+
+    #[test]
+    fn non_monotone_updates_get_a_fresh_generation() {
+        let cat = Catalog::new();
+        cat.insert("d", small_db(3)).unwrap();
+        let before = cat.snapshot("d").unwrap();
+        // A wholesale replacement resets the epoch counters: the fresh
+        // database's vector coincides with the old one, so only a new
+        // generation can keep cache keys from colliding.
+        cat.update("d", |db| *db = small_db(1)).unwrap();
+        let replaced = cat.snapshot("d").unwrap();
+        assert_eq!(replaced.epoch, before.epoch, "vectors coincide");
+        assert!(replaced.generation > before.generation);
+        // A content no-op (epoch unchanged) also bumps — conservative but
+        // sound.
+        cat.update("d", |_| ()).unwrap();
+        let noop = cat.snapshot("d").unwrap();
+        assert!(noop.generation > replaced.generation);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! 3. **Recovery compacts, snapshot-first.** [`Durability::recover`]
 //!    replays snapshot + WAL tail, then writes a fresh snapshot of the
 //!    recovered state **before** truncating the WAL — the same order as
-//!    [`Durability::snapshot`] — so repeated crash/restart cycles cannot
+//!    `Durability::snapshot` — so repeated crash/restart cycles cannot
 //!    grow the log without bound, a torn tail never survives into the next
 //!    append, and a crash (or write failure) between the two steps leaves
 //!    the old snapshot + intact WAL, which the next recovery simply

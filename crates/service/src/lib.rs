@@ -22,13 +22,20 @@
 //!   rejections, resource-exhausted counts, and a latency histogram —
 //!   snapshotable as a plain [`MetricsSnapshot`] and dumpable over the
 //!   wire;
+//! * **incremental views & subscriptions** ([`pq_ivm`]):
+//!   [`QueryService::subscribe`] registers a materialized view (CQ or
+//!   Datalog program) and streams signed answer deltas; the row-level
+//!   mutators [`QueryService::insert_rows`] / [`QueryService::delete_rows`]
+//!   maintain every affected view incrementally (counting for nonrecursive
+//!   views, `DRed` for recursive ones) under the service's governor limits,
+//!   patch the result cache in place, and journal through the WAL;
 //! * a tiny [`protocol`] (`LOAD` / `QUERY` / `EXPLAIN` / `ANALYZE` /
-//!   `STATS` / `DROP` / `PERSIST` / `SHUTDOWN`, newline-framed,
-//!   `.`-terminated responses) and a [`server`] built on `std::net` +
-//!   `std::thread` only. The wire `LOAD` verb only works on a server
-//!   started with [`server::serve_with_data_dir`], and only for relative
-//!   paths confined to that directory. Accepted sockets carry slow-client
-//!   read/write timeouts ([`server::ServerOptions`]);
+//!   `STATS` / `DROP` / `INSERT` / `DELETE` / `SUBSCRIBE` / `PERSIST` /
+//!   `SHUTDOWN`, newline-framed, `.`-terminated responses) and a [`server`]
+//!   built on `std::net` + `std::thread` only. The wire `LOAD` verb only
+//!   works on a server started with [`server::serve_with_data_dir`], and
+//!   only for relative paths confined to that directory. Accepted sockets
+//!   carry slow-client read/write timeouts ([`server::ServerOptions`]);
 //! * an optional **durability layer** ([`wal`] + [`durable`]): set
 //!   [`ServiceConfig::durability`] and the catalog survives restarts —
 //!   every mutation is appended to a length-prefixed, CRC-checksummed
@@ -84,7 +91,8 @@ pub use server::{
     ServerOptions,
 };
 pub use service::{
-    AnalysisReport, CacheOutcome, Explanation, LoadSummary, ProgramAnalysisReport, QueryResponse,
-    QueryService, RequestLimits, ServiceConfig, MAX_TOTAL_THREADS,
+    AnalysisReport, CacheOutcome, Explanation, LoadSummary, MutationSummary, ProgramAnalysisReport,
+    QueryResponse, QueryService, RequestLimits, ServiceConfig, Subscription, SubscriptionUpdate,
+    MAX_TOTAL_THREADS,
 };
 pub use wal::{FsyncPolicy, RecoveryError};

@@ -100,8 +100,21 @@ pub struct ServiceMetrics {
     pub drops: AtomicU64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: AtomicU64,
+    /// Materialized views currently registered (a gauge: registration
+    /// increments, deregistration/drop decrements).
+    pub views_registered: AtomicU64,
+    /// Live `SUBSCRIBE` streams (a gauge).
+    pub subscriptions_active: AtomicU64,
+    /// Delta frames pushed to subscribers (service lifetime).
+    pub deltas_pushed: AtomicU64,
+    /// Maintenance passes where a view's delta plan exhausted its budget
+    /// (or otherwise failed) and fell back to a full recompute.
+    pub ivm_maintain_fallbacks: AtomicU64,
     /// End-to-end query latencies (successful queries only).
     pub latency: LatencyHistogram,
+    /// Incremental-maintenance pass latencies (one observation per mutation
+    /// batch that touched at least one view).
+    pub ivm_maintain: LatencyHistogram,
 }
 
 impl ServiceMetrics {
@@ -109,9 +122,16 @@ impl ServiceMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Decrement a gauge, saturating at zero (a mispaired decrement must
+    /// not wrap a monitoring counter to 2^64).
+    pub(crate) fn dec(counter: &AtomicU64) {
+        let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
     /// Take a point-in-time snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let buckets = self.latency.snapshot();
+        let ivm_buckets = self.ivm_maintain.snapshot();
         MetricsSnapshot {
             queries_served: self.queries_served.load(Ordering::Relaxed),
             jobs_admitted: self.jobs_admitted.load(Ordering::Relaxed),
@@ -126,6 +146,10 @@ impl ServiceMetrics {
             mutations: self.mutations.load(Ordering::Relaxed),
             drops: self.drops.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            views_registered: self.views_registered.load(Ordering::Relaxed),
+            subscriptions_active: self.subscriptions_active.load(Ordering::Relaxed),
+            deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
+            ivm_maintain_fallbacks: self.ivm_maintain_fallbacks.load(Ordering::Relaxed),
             exec_threads: 0,
             exec_tasks_run: 0,
             exec_peak_active: 0,
@@ -136,6 +160,8 @@ impl ServiceMetrics {
             last_recovery_ms: 0,
             latency_p50_micros: percentile(&buckets, 0.50),
             latency_p99_micros: percentile(&buckets, 0.99),
+            ivm_maintain_p50_micros: percentile(&ivm_buckets, 0.50),
+            ivm_maintain_p99_micros: percentile(&ivm_buckets, 0.99),
         }
     }
 }
@@ -170,6 +196,14 @@ pub struct MetricsSnapshot {
     pub drops: u64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: u64,
+    /// Materialized views currently registered.
+    pub views_registered: u64,
+    /// Live `SUBSCRIBE` streams.
+    pub subscriptions_active: u64,
+    /// Delta frames pushed to subscribers.
+    pub deltas_pushed: u64,
+    /// Maintenance passes that fell back to a full recompute.
+    pub ivm_maintain_fallbacks: u64,
     /// Intra-query exec-pool size (the `intra_query_threads` knob; filled
     /// in by [`crate::QueryService::stats`], 0 in a bare
     /// [`ServiceMetrics::snapshot`]).
@@ -193,6 +227,10 @@ pub struct MetricsSnapshot {
     pub latency_p50_micros: u64,
     /// 99th-percentile successful-query latency (µs, upper bucket bound).
     pub latency_p99_micros: u64,
+    /// Median view-maintenance pass latency (µs, upper bucket bound).
+    pub ivm_maintain_p50_micros: u64,
+    /// 99th-percentile view-maintenance pass latency (µs).
+    pub ivm_maintain_p99_micros: u64,
 }
 
 impl MetricsSnapshot {
@@ -212,6 +250,10 @@ impl MetricsSnapshot {
             format!("mutations {}", self.mutations),
             format!("drops {}", self.drops),
             format!("parallel_queries {}", self.parallel_queries),
+            format!("views_registered {}", self.views_registered),
+            format!("subscriptions_active {}", self.subscriptions_active),
+            format!("deltas_pushed {}", self.deltas_pushed),
+            format!("ivm_maintain_fallbacks {}", self.ivm_maintain_fallbacks),
             format!("exec_threads {}", self.exec_threads),
             format!("exec_tasks_run {}", self.exec_tasks_run),
             format!("exec_peak_active {}", self.exec_peak_active),
@@ -225,6 +267,8 @@ impl MetricsSnapshot {
             format!("last_recovery_ms {}", self.last_recovery_ms),
             format!("latency_p50_micros {}", self.latency_p50_micros),
             format!("latency_p99_micros {}", self.latency_p99_micros),
+            format!("ivm_maintain_p50_micros {}", self.ivm_maintain_p50_micros),
+            format!("ivm_maintain_p99_micros {}", self.ivm_maintain_p99_micros),
         ]
     }
 }
@@ -279,6 +323,25 @@ mod tests {
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::default();
         assert_eq!(percentile(&h.snapshot(), 0.5), 0);
+    }
+
+    #[test]
+    fn gauges_saturate_at_zero() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::bump(&m.subscriptions_active);
+        ServiceMetrics::dec(&m.subscriptions_active);
+        ServiceMetrics::dec(&m.subscriptions_active);
+        assert_eq!(m.snapshot().subscriptions_active, 0);
+    }
+
+    #[test]
+    fn maintenance_histogram_is_independent_of_query_latency() {
+        let m = ServiceMetrics::default();
+        m.latency.record(Duration::from_micros(10));
+        m.ivm_maintain.record(Duration::from_millis(100));
+        let s = m.snapshot();
+        assert!(s.latency_p99_micros <= 15);
+        assert!(s.ivm_maintain_p50_micros >= 100_000);
     }
 
     #[test]

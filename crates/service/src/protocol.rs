@@ -18,6 +18,16 @@
 //! DROP <name>                             remove a database from the catalog
 //!                                         (WAL-logged tombstone: recovery
 //!                                         does not resurrect it)
+//! INSERT <name> <relation> <row>[; <row>…] insert rows (loader field syntax,
+//!                                         rows separated by `;`); WAL-logged,
+//!                                         and every registered view whose
+//!                                         plan reads the relation is
+//!                                         maintained incrementally
+//! DELETE <name> <relation> <row>[; <row>…] delete rows; otherwise as INSERT
+//! SUBSCRIBE <name> <cq or program text>   register a live materialized view
+//!                                         (text containing `?-` is a whole
+//!                                         Datalog program) and stream its
+//!                                         answer deltas; see below
 //! PERSIST                                 force a snapshot + WAL rotation
 //! SHUTDOWN                                gracefully drain and stop: no new
 //!                                         work, in-flight requests finish,
@@ -33,17 +43,36 @@
 //! `QUERY` answers are `OK <n> <attr …>` followed by `n` comma-separated
 //! rows in canonical (sorted) order; field syntax matches the database
 //! loader, so output can be pasted back into a data file.
+//!
+//! **`SUBSCRIBE` dedicates the connection to one live view.** The initial
+//! response is an ordinary framed answer (`OK subscribed <id> <n> <attrs>`
+//! plus `n` rows and the terminator). From then on, every mutation that
+//! changes the view's answer pushes one framed **delta**:
+//!
+//! ```text
+//! DELTA <id> +<a> -<r> epoch=<e>[ fallback][ dropped]
+//! + <row>      (a lines: rows that entered the answer)
+//! - <row>      (r lines: rows that left the answer)
+//! .
+//! ```
+//!
+//! `fallback` marks a pass that exceeded the maintenance budget and fell
+//! back to a full recompute; `dropped` is the final frame (the database was
+//! dropped or replaced by something the view cannot be computed against).
+//! Any input line from the client (or EOF) ends the subscription: the
+//! server unsubscribes and confirms with a final `OK unsubscribed <id>`
+//! frame.
 
 use std::time::Duration;
 
-use pq_data::{Relation, Value};
+use pq_data::{loader, Relation, Tuple, Value};
 
 use crate::durable::SnapshotSummary;
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
 use crate::service::{
-    AnalysisReport, CacheOutcome, Explanation, LoadSummary, ProgramAnalysisReport, QueryResponse,
-    RequestLimits,
+    AnalysisReport, CacheOutcome, Explanation, LoadSummary, MutationSummary, ProgramAnalysisReport,
+    QueryResponse, RequestLimits, Subscription, SubscriptionUpdate,
 };
 
 /// The response terminator line.
@@ -93,6 +122,32 @@ pub enum Request {
     Drop {
         /// Database name to remove.
         name: String,
+    },
+    /// `INSERT <name> <relation> <row>[; <row>…]`.
+    Insert {
+        /// Database name.
+        name: String,
+        /// Relation to mutate.
+        relation: String,
+        /// Parsed rows (loader field conventions).
+        rows: Vec<Tuple>,
+    },
+    /// `DELETE <name> <relation> <row>[; <row>…]`.
+    Delete {
+        /// Database name.
+        name: String,
+        /// Relation to mutate.
+        relation: String,
+        /// Parsed rows (loader field conventions).
+        rows: Vec<Tuple>,
+    },
+    /// `SUBSCRIBE <name> <cq or program text>`.
+    Subscribe {
+        /// Database name.
+        name: String,
+        /// The view's source text (CQ, or Datalog program when it contains
+        /// a `?-` goal marker).
+        src: String,
     },
     /// `PERSIST`.
     Persist,
@@ -145,6 +200,36 @@ fn parse_query_parts(rest: &str) -> Result<(String, String, RequestLimits), Serv
     Ok((name.to_string(), src.to_string(), limits))
 }
 
+/// Parse `INSERT`/`DELETE` operands: `<name> <relation> <row>[; <row>…]`.
+#[allow(clippy::type_complexity)]
+fn parse_mutation_parts(
+    verb: &str,
+    rest: &str,
+) -> Result<(String, String, Vec<Tuple>), ServiceError> {
+    let usage = || {
+        proto_err(format!(
+            "expected `{verb} <name> <relation> <row>[; <row>…]`"
+        ))
+    };
+    let (name, rest) = rest
+        .trim()
+        .split_once(char::is_whitespace)
+        .ok_or_else(usage)?;
+    let (relation, rows_text) = rest
+        .trim_start()
+        .split_once(char::is_whitespace)
+        .ok_or_else(usage)?;
+    let mut rows = Vec::new();
+    for segment in rows_text.split(';') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            return Err(proto_err(format!("{verb}: empty row segment")));
+        }
+        rows.push(loader::parse_row(segment));
+    }
+    Ok((name.to_string(), relation.to_string(), rows))
+}
+
 /// Parse one request line.
 ///
 /// # Errors
@@ -195,6 +280,31 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             Ok(Request::Drop {
                 name: name.to_string(),
             })
+        }
+        "INSERT" => {
+            let (name, relation, rows) = parse_mutation_parts("INSERT", rest)?;
+            Ok(Request::Insert {
+                name,
+                relation,
+                rows,
+            })
+        }
+        "DELETE" => {
+            let (name, relation, rows) = parse_mutation_parts("DELETE", rest)?;
+            Ok(Request::Delete {
+                name,
+                relation,
+                rows,
+            })
+        }
+        "SUBSCRIBE" => {
+            let (name, src, limits) = parse_query_parts(rest)?;
+            if limits != RequestLimits::default() {
+                return Err(proto_err(
+                    "SUBSCRIBE takes no @ flags (maintenance runs under service defaults)",
+                ));
+            }
+            Ok(Request::Subscribe { name, src })
         }
         "PERSIST" => {
             if !rest.trim().is_empty() {
@@ -381,6 +491,58 @@ pub fn render_drop_response(name: &str, existed: bool) -> Vec<String> {
     )]
 }
 
+/// Render the response line for `INSERT`/`DELETE`.
+pub fn render_mutation_response(s: &MutationSummary) -> Vec<String> {
+    vec![format!(
+        "OK {} {} {} gen={} epoch={} views={} fallbacks={}",
+        s.op, s.applied, s.relation, s.generation, s.epoch, s.views_maintained, s.fallbacks
+    )]
+}
+
+/// Render the initial response lines for `SUBSCRIBE`: the subscription id
+/// plus the view's full current answer (same row framing as `QUERY`).
+pub fn render_subscribe_response(sub: &Subscription) -> Vec<String> {
+    let mut lines = vec![format!(
+        "OK subscribed {} {} {}",
+        sub.id,
+        sub.rows.len(),
+        if sub.rows.arity() == 0 {
+            "-".to_string()
+        } else {
+            sub.rows.attrs().join(",")
+        }
+    )];
+    render_rows(&sub.rows, &mut lines);
+    lines
+}
+
+/// Render one pushed delta frame for subscription `id`. Added rows are
+/// prefixed `+ `, removed rows `- `; both sides are sorted.
+pub fn render_delta_frame(id: u64, u: &SubscriptionUpdate) -> Vec<String> {
+    let mut header = format!(
+        "DELTA {id} +{} -{} epoch={}",
+        u.added.len(),
+        u.removed.len(),
+        u.epoch
+    );
+    if u.fell_back {
+        header.push_str(" fallback");
+    }
+    if u.dropped {
+        header.push_str(" dropped");
+    }
+    let mut lines = vec![header];
+    for (sign, rows) in [('+', &u.added), ('-', &u.removed)] {
+        let mut sorted: Vec<&Tuple> = rows.iter().collect();
+        sorted.sort();
+        for t in sorted {
+            let fields: Vec<String> = t.iter().map(render_value).collect();
+            lines.push(format!("{sign} {}", fields.join(", ")));
+        }
+    }
+    lines
+}
+
 /// Render the response line for `PERSIST`.
 pub fn render_persist_response(s: &SnapshotSummary) -> Vec<String> {
     vec![format!(
@@ -429,6 +591,69 @@ mod tests {
         );
         assert_eq!(parse_request("PERSIST").unwrap(), Request::Persist);
         assert_eq!(parse_request("  SHUTDOWN  ").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn parses_mutation_and_subscribe_verbs() {
+        use pq_data::tuple;
+        assert_eq!(
+            parse_request(r#"INSERT d R 1, 2; 3, "a b""#).unwrap(),
+            Request::Insert {
+                name: "d".into(),
+                relation: "R".into(),
+                rows: vec![tuple![1, 2], tuple![3, "a b"]],
+            }
+        );
+        assert_eq!(
+            parse_request("delete d R 1, 2").unwrap(),
+            Request::Delete {
+                name: "d".into(),
+                relation: "R".into(),
+                rows: vec![tuple![1, 2]],
+            }
+        );
+        assert_eq!(
+            parse_request("SUBSCRIBE d G(x) :- R(x, y).").unwrap(),
+            Request::Subscribe {
+                name: "d".into(),
+                src: "G(x) :- R(x, y).".into(),
+            }
+        );
+        for bad in [
+            "INSERT d R",
+            "INSERT d",
+            "INSERT d R 1, 2;; 3, 4",
+            "DELETE d R ;",
+            "SUBSCRIBE d",
+            "SUBSCRIBE @budget=1 d G(x) :- R(x).",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ServiceError::Protocol(_))),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_frames_render_signed_sorted_rows() {
+        use pq_data::tuple;
+        let u = SubscriptionUpdate {
+            added: vec![tuple![9, 9], tuple![1, 2]],
+            removed: vec![tuple![3, "."]],
+            epoch: 7,
+            fell_back: true,
+            dropped: false,
+        };
+        let lines = render_delta_frame(4, &u);
+        assert_eq!(
+            lines,
+            [
+                "DELTA 4 +2 -1 epoch=7 fallback",
+                "+ 1, 2",
+                "+ 9, 9",
+                r#"- 3, ".""#,
+            ]
+        );
     }
 
     #[test]

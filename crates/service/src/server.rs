@@ -12,8 +12,14 @@
 //! data directory the *operator* configures with [`serve_with_data_dir`];
 //! a server started with plain [`serve`] rejects `LOAD` outright. Bind
 //! non-loopback addresses only if every reachable client is trusted —
-//! `QUERY`/`STATS`/`DROP`/`PERSIST`/`SHUTDOWN` have no access control
-//! either.
+//! `QUERY`/`INSERT`/`DELETE`/`SUBSCRIBE`/`STATS`/`DROP`/`PERSIST`/
+//! `SHUTDOWN` have no access control either.
+//!
+//! `SUBSCRIBE` dedicates its connection to one live view: the handler
+//! writes the initial answer frame, then alternates between forwarding
+//! pushed delta frames and polling the socket for client input — any input
+//! line (or EOF) ends the subscription (see [`crate::protocol`] for the
+//! frame format).
 //!
 //! **Slow-client hardening**: accepted sockets carry read/write timeouts
 //! (see [`ServerOptions`]). A client that stalls mid-request or stops
@@ -29,15 +35,16 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    parse_request, render_analyze_program_response, render_analyze_response, render_drop_response,
-    render_error, render_explain_response, render_load_response, render_persist_response,
-    render_query_response, render_stats_response, Request, END,
+    parse_request, render_analyze_program_response, render_analyze_response, render_delta_frame,
+    render_drop_response, render_error, render_explain_response, render_load_response,
+    render_mutation_response, render_persist_response, render_query_response,
+    render_stats_response, render_subscribe_response, Request, END,
 };
 use crate::service::QueryService;
 
@@ -228,12 +235,8 @@ fn resolve_load_path(data_dir: Option<&Path>, path: &str) -> Result<PathBuf, Ser
     Ok(root.join(p))
 }
 
-fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
+fn respond(shared: &Shared, request: Request) -> (Vec<String>, bool) {
     let service = &*shared.service;
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return (vec![render_error(&e)], false),
-    };
     match request {
         Request::Load { name, path } => {
             let outcome = resolve_load_path(shared.options.data_dir.as_deref(), &path)
@@ -272,6 +275,30 @@ fn respond(shared: &Shared, line: &str) -> (Vec<String>, bool) {
             Ok(existed) => (render_drop_response(&name, existed), false),
             Err(e) => (vec![render_error(&e)], false),
         },
+        Request::Insert {
+            name,
+            relation,
+            rows,
+        } => match service.insert_rows(&name, &relation, rows) {
+            Ok(s) => (render_mutation_response(&s), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        Request::Delete {
+            name,
+            relation,
+            rows,
+        } => match service.delete_rows(&name, &relation, rows) {
+            Ok(s) => (render_mutation_response(&s), false),
+            Err(e) => (vec![render_error(&e)], false),
+        },
+        // Intercepted in `handle_connection` (the verb takes over the
+        // connection); reaching here means a caller bypassed that path.
+        Request::Subscribe { .. } => (
+            vec![render_error(&ServiceError::Protocol(
+                "SUBSCRIBE requires a dedicated connection".into(),
+            ))],
+            false,
+        ),
         Request::Persist => match service.persist() {
             Ok(s) => (render_persist_response(&s), false),
             Err(e) => (vec![render_error(&e)], false),
@@ -320,7 +347,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if line.trim().is_empty() {
             continue;
         }
-        let (lines, shutdown) = respond(shared, &line);
+        let request = match parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                if write_lines(&mut writer, &[render_error(&e)]).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if let Request::Subscribe { name, src } = request {
+            stream_subscription(&mut reader, &mut writer, shared, &name, &src);
+            break;
+        }
+        let (lines, shutdown) = respond(shared, request);
         if write_lines(&mut writer, &lines).is_err() {
             break;
         }
@@ -329,6 +369,55 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             break;
         }
     }
+}
+
+/// Serve a `SUBSCRIBE` for the rest of the connection: write the initial
+/// answer frame, then forward delta frames as maintenance passes push them,
+/// polling the socket in between so any client input line (or EOF) ends the
+/// subscription. Finishes with a best-effort `OK unsubscribed` frame.
+fn stream_subscription(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    shared: &Shared,
+    name: &str,
+    src: &str,
+) {
+    let sub = match shared.service.subscribe(name, src) {
+        Ok(sub) => sub,
+        Err(e) => {
+            let _ = write_lines(writer, &[render_error(&e)]);
+            return;
+        }
+    };
+    if write_lines(writer, &render_subscribe_response(&sub)).is_ok() {
+        // Alternate between the update channel (100 ms) and a short-timeout
+        // peek at the socket. The connection is dedicated to this
+        // subscription, so shortening the shared socket's read timeout
+        // cannot race another request.
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(Duration::from_millis(25)));
+        loop {
+            match sub.updates.recv_timeout(Duration::from_millis(100)) {
+                Ok(update) => {
+                    let last = update.dropped;
+                    if write_lines(writer, &render_delta_frame(sub.id, &update)).is_err() || last {
+                        break;
+                    }
+                }
+                // Poll the socket: a read timeout means nothing arrived yet;
+                // anything else — input, EOF, a real error — ends the stream.
+                Err(mpsc::RecvTimeoutError::Timeout) => match reader.fill_buf() {
+                    Err(e) if is_timeout(&e) => {}
+                    _ => break,
+                },
+                // The service shut down or the view was dropped.
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    shared.service.unsubscribe(sub.id);
+    let _ = write_lines(writer, &[format!("OK unsubscribed {}", sub.id)]);
 }
 
 /// Client-side helper: send one request line and collect the response lines

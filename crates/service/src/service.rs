@@ -13,12 +13,24 @@
 //!   This is exactly the preprocessing/evaluation cost split the hypertree
 //!   literature treats as decisive.
 //! * **Result cache** (level 2): `(canonical query form, database name,
-//!   generation, epoch)` → answer relation. The key embeds the full
-//!   canonical form (not just its 64-bit fingerprint, so a hash collision
-//!   can never cross-serve answers) and the database identity counters (see
-//!   [`crate::catalog`]), so a mutation or reload can never serve a stale
-//!   answer — the stale key simply stops being looked up and ages out of
-//!   the LRU.
+//!   generation, mentioned-relations epoch fingerprint)` → answer relation.
+//!   The key embeds the full canonical form (not just its 64-bit
+//!   fingerprint, so a hash collision can never cross-serve answers), the
+//!   catalog generation (see [`crate::catalog`]), and an FNV-1a fingerprint
+//!   of the per-relation epochs of exactly the base relations the plan
+//!   reads ([`Plan::mentioned_relations`]). A mutation can therefore never
+//!   serve a stale answer — and a mutation to a relation the query never
+//!   touches does not invalidate its entry at all.
+//!
+//! **Incremental views** ([`pq_ivm`]): [`QueryService::subscribe`]
+//! registers a materialized view and returns a live delta stream. The
+//! row-level mutation verbs ([`QueryService::insert_rows`] /
+//! [`QueryService::delete_rows`]) run every affected view's maintenance
+//! plan under the service's governor limits (falling back to a full
+//! recompute on budget exhaustion), push signed answer deltas to
+//! subscribers, and **patch the result cache in place** — the maintained
+//! answer is installed under the post-mutation key, so the next `QUERY`
+//! for a subscribed query is a result-cache hit without re-evaluating.
 //!
 //! **Admission control**: evaluation jobs go through a bounded queue to a
 //! fixed worker pool. When the queue is full the request is rejected
@@ -30,16 +42,18 @@
 //! service defaults) and whose cancellation token trips on
 //! [`QueryService::shutdown`].
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pq_core::{plan, Plan, PlannerOptions};
-use pq_data::{loader, Database, Relation};
+use pq_data::{loader, DataError, Database, Relation, Tuple};
 use pq_engine::governor::{CancellationToken, ExecutionContext};
 use pq_exec::Pool;
+use pq_ivm::{MaintainOutcome, RelationDelta, ViewQuery, ViewRegistry};
 use pq_query::{canonical_form, parse_cq, ConjunctiveQuery};
 
 use crate::cache::ShardedCache;
@@ -329,18 +343,156 @@ pub struct PlannedQuery {
     /// Structural fingerprint (display/wire identifier; a hash of
     /// `canonical`, so it is *not* used alone as a cache key).
     pub fingerprint: u64,
+    /// The base relations the plan reads ([`Plan::mentioned_relations`]),
+    /// sorted — the relations whose epochs key this query's cached results.
+    pub mentions: Vec<String>,
 }
 
-/// `(canonical query form, db name, generation, epoch)`. The canonical form
-/// — not its fingerprint — keys results, so even a 64-bit hash collision
-/// between distinct queries only costs a miss, never a wrong answer.
+/// `(canonical query form, db name, generation, mentions fingerprint)`.
+/// The canonical form — not its fingerprint — keys results, so even a
+/// 64-bit hash collision between distinct queries only costs a miss, never
+/// a wrong answer. The last component hashes the per-relation epochs of
+/// the relations the plan actually reads (see [`mentions_fingerprint`]):
+/// within one generation the epoch vector is monotone and never repeats
+/// (see [`Catalog::update`]), so a changed relation changes the key, while
+/// mutations elsewhere leave cached entries servable.
 type ResultKey = (Arc<str>, String, u64, u64);
+
+/// FNV-1a over the `(name, relation epoch)` pairs of the plan's mentioned
+/// relations — the epoch component of a [`ResultKey`].
+fn mentions_fingerprint(db: &Database, mentions: &[String]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = OFFSET;
+    for name in mentions {
+        h = eat(h, name.as_bytes());
+        h = eat(h, &[0]);
+        h = eat(h, &db.relation_epoch(name).to_le_bytes());
+    }
+    h
+}
+
+/// The result-cache key for `planned` against `snap` (see [`ResultKey`]).
+/// Build a governed execution context from resolved request limits. Also
+/// the maintenance governor: view maintenance runs under the service's
+/// default limits and the same cancellation token as queries.
+fn governor_ctx(limits: RequestLimits, cancel: &CancellationToken) -> ExecutionContext {
+    let mut ctx = ExecutionContext::new().with_cancellation(cancel.clone());
+    if let Some(d) = limits.deadline {
+        ctx = ctx.with_deadline(d);
+    }
+    if let Some(b) = limits.tuple_budget {
+        ctx = ctx.with_tuple_budget(b);
+    }
+    if let Some(d) = limits.max_depth {
+        ctx = ctx.with_max_depth(d);
+    }
+    ctx
+}
+
+fn result_key(planned: &PlannedQuery, snap: &DbSnapshot) -> ResultKey {
+    (
+        Arc::clone(&planned.canonical),
+        snap.name.clone(),
+        snap.generation,
+        mentions_fingerprint(&snap.db, &planned.mentions),
+    )
+}
 
 struct Job {
     planned: Arc<PlannedQuery>,
     snapshot: DbSnapshot,
     ctx: ExecutionContext,
     reply: SyncSender<Result<Arc<Relation>>>,
+}
+
+/// Summary of a row-level mutation (the wire `INSERT`/`DELETE` response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationSummary {
+    /// The catalog name mutated.
+    pub name: String,
+    /// The relation mutated.
+    pub relation: String,
+    /// `"inserted"` or `"deleted"`.
+    pub op: &'static str,
+    /// Rows in the request batch.
+    pub requested: usize,
+    /// Rows that actually changed membership (duplicates and absent rows
+    /// are no-ops).
+    pub applied: usize,
+    /// Catalog generation after the mutation.
+    pub generation: u64,
+    /// Database epoch after the mutation.
+    pub epoch: u64,
+    /// Materialized views maintained by this mutation.
+    pub views_maintained: usize,
+    /// How many of those views fell back to a full recompute.
+    pub fallbacks: usize,
+}
+
+/// One maintenance event pushed to a [`Subscription`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionUpdate {
+    /// Tuples that entered the view's answer, sorted.
+    pub added: Vec<Tuple>,
+    /// Tuples that left the view's answer, sorted.
+    pub removed: Vec<Tuple>,
+    /// Database epoch the update reflects.
+    pub epoch: u64,
+    /// The delta plan exhausted its budget; the view was rebuilt from
+    /// scratch instead (the delta is still exact).
+    pub fell_back: bool,
+    /// The view could no longer be maintained (rebuild failed, or the
+    /// database was dropped) and has been deregistered; this is the final
+    /// update.
+    pub dropped: bool,
+}
+
+/// A live view subscription: the initial answer plus a channel of
+/// [`SubscriptionUpdate`]s, one per mutation batch that changed (or
+/// dropped) the view. Ends when [`QueryService::unsubscribe`] is called,
+/// the view is dropped, or the service shuts down (the channel
+/// disconnects).
+pub struct Subscription {
+    /// Subscription id (pass to [`QueryService::unsubscribe`]).
+    pub id: u64,
+    /// The catalog name subscribed against.
+    pub database: String,
+    /// The view's answer at subscription time.
+    pub rows: Arc<Relation>,
+    /// The delta stream (an unbounded channel: maintenance never blocks on
+    /// a slow subscriber).
+    pub updates: Receiver<SubscriptionUpdate>,
+}
+
+/// One subscriber's registry entry.
+struct SubEntry {
+    db: String,
+    view: String,
+    /// The planned form of the subscribed query when it is a CQ — used to
+    /// patch the result cache in place after maintenance. `None` for
+    /// Datalog programs (the wire `QUERY` path does not serve programs).
+    planned: Option<Arc<PlannedQuery>>,
+    tx: Sender<SubscriptionUpdate>,
+}
+
+/// All view/subscription state, behind one mutex. The lock is held across
+/// the catalog update *and* the maintenance pass, so views observe every
+/// mutation exactly once and in catalog order.
+#[derive(Default)]
+struct ViewsState {
+    /// Per-database view registries.
+    registries: BTreeMap<String, ViewRegistry>,
+    /// Live subscriptions by id.
+    subs: BTreeMap<u64, SubEntry>,
+    next_sub: u64,
 }
 
 struct Inner {
@@ -359,6 +511,8 @@ struct Inner {
     /// occupancy and task counters aggregate service-wide (the pool spawns
     /// scoped threads per run; it owns no threads of its own).
     exec: Pool,
+    /// Materialized views and live subscriptions (see [`ViewsState`]).
+    views: Mutex<ViewsState>,
 }
 
 /// The concurrent query service (see the module docs).
@@ -420,6 +574,7 @@ impl QueryService {
             shutdown: AtomicBool::new(false),
             cancel: CancellationToken::new(),
             durability,
+            views: Mutex::new(ViewsState::default()),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(inner.config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -474,16 +629,7 @@ impl QueryService {
     pub fn load_str(&self, name: &str, text: &str) -> Result<LoadSummary> {
         self.check_admitting()?;
         let db = loader::parse_database(text)?;
-        let (relations, tuples, epoch) = (db.num_relations(), db.num_tuples(), db.epoch());
-        let generation = self.inner.catalog.insert(name, db)?;
-        ServiceMetrics::bump(&self.inner.metrics.loads);
-        Ok(LoadSummary {
-            name: name.to_string(),
-            relations,
-            tuples,
-            generation,
-            epoch,
-        })
+        self.install(name, db)
     }
 
     /// Install an already-built database under `name`.
@@ -493,9 +639,21 @@ impl QueryService {
     /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
     pub fn load_database(&self, name: &str, db: Database) -> Result<LoadSummary> {
         self.check_admitting()?;
+        self.install(name, db)
+    }
+
+    /// Install `db` under `name`; when the name had registered views, every
+    /// one recomputes against the replacement (subscribers receive the
+    /// answer diff, views that no longer materialize are dropped).
+    fn install(&self, name: &str, db: Database) -> Result<LoadSummary> {
         let (relations, tuples, epoch) = (db.num_relations(), db.num_tuples(), db.epoch());
+        let mut views = self.inner.views.lock().expect("views poisoned");
         let generation = self.inner.catalog.insert(name, db)?;
         ServiceMetrics::bump(&self.inner.metrics.loads);
+        if views.registries.contains_key(name) {
+            let snap = self.inner.catalog.snapshot(name)?;
+            self.refresh_views(&mut views, &snap);
+        }
         Ok(LoadSummary {
             name: name.to_string(),
             relations,
@@ -505,33 +663,366 @@ impl QueryService {
         })
     }
 
-    /// Mutate the named database in place (epoch and generation advance, so
-    /// cached results for the old state stop being served).
+    /// Mutate the named database in place (the relevant epochs advance, so
+    /// cached results for the old state stop being served). The closure's
+    /// edits carry no row deltas, so any views on this database recompute
+    /// wholesale — prefer [`QueryService::insert_rows`] /
+    /// [`QueryService::delete_rows`], which maintain views incrementally.
     ///
     /// # Errors
     /// [`ServiceError::UnknownDatabase`] if `name` is not in the catalog;
     /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
     pub fn update_database<R>(&self, name: &str, f: impl FnOnce(&mut Database) -> R) -> Result<R> {
         self.check_admitting()?;
+        let mut views = self.inner.views.lock().expect("views poisoned");
         let out = self.inner.catalog.update(name, f)?;
         ServiceMetrics::bump(&self.inner.metrics.mutations);
+        if views.registries.contains_key(name) {
+            let snap = self.inner.catalog.snapshot(name)?;
+            self.refresh_views(&mut views, &snap);
+        }
         Ok(out)
     }
 
     /// Drop the named database from the catalog; `true` when it existed.
     /// When durability is on, a tombstone is journaled so recovery does not
-    /// resurrect the database.
+    /// resurrect the database. Views on the database are deregistered and
+    /// their subscribers receive a final `dropped` update.
     ///
     /// # Errors
     /// [`ServiceError::Durability`] if the tombstone append fails;
     /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
     pub fn drop_database(&self, name: &str) -> Result<bool> {
         self.check_admitting()?;
+        let mut views = self.inner.views.lock().expect("views poisoned");
         let existed = self.inner.catalog.remove(name)?;
         if existed {
             ServiceMetrics::bump(&self.inner.metrics.drops);
+            self.drop_views(&mut views, name);
         }
         Ok(existed)
+    }
+
+    // ---- row-level mutations & live views ----
+
+    /// Insert rows into `relation` of the named database. Only genuinely new
+    /// rows count as applied; the mutation is journaled through the WAL, the
+    /// relation's epoch advances, and every registered view whose plan reads
+    /// `relation` is maintained incrementally (subscribers receive the
+    /// answer delta, cached results are patched in place).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownDatabase`] / [`ServiceError::Data`] for an
+    /// unknown database/relation or an arity mismatch;
+    /// [`ServiceError::Durability`] if the WAL append fails;
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn insert_rows(
+        &self,
+        db_name: &str,
+        relation: &str,
+        rows: Vec<Tuple>,
+    ) -> Result<MutationSummary> {
+        self.mutate(db_name, relation, rows, false)
+    }
+
+    /// Delete rows from `relation` of the named database. Rows that are not
+    /// present are skipped; otherwise behaves like
+    /// [`QueryService::insert_rows`] with the delta signs flipped.
+    ///
+    /// # Errors
+    /// As for [`QueryService::insert_rows`].
+    pub fn delete_rows(
+        &self,
+        db_name: &str,
+        relation: &str,
+        rows: Vec<Tuple>,
+    ) -> Result<MutationSummary> {
+        self.mutate(db_name, relation, rows, true)
+    }
+
+    fn mutate(
+        &self,
+        db_name: &str,
+        relation: &str,
+        rows: Vec<Tuple>,
+        delete: bool,
+    ) -> Result<MutationSummary> {
+        self.check_admitting()?;
+        let requested = rows.len();
+        // The views lock is taken before any catalog lock (the ordering every
+        // path follows), so maintenance passes observe mutations in the order
+        // they were applied.
+        let mut views = self.inner.views.lock().expect("views poisoned");
+        // Fail unknown relations before the journal machinery runs; the row
+        // methods inside `update` would reject them anyway, but only after a
+        // no-op WAL record had been appended.
+        if !self
+            .inner
+            .catalog
+            .snapshot(db_name)?
+            .db
+            .has_relation(relation)
+        {
+            return Err(DataError::UnknownRelation(relation.to_string()).into());
+        }
+        let rel = relation.to_string();
+        let delta = self
+            .inner
+            .catalog
+            .update(db_name, |db| -> Result<RelationDelta> {
+                let (added, removed) = if delete {
+                    (Vec::new(), db.delete_rows(&rel, &rows)?)
+                } else {
+                    (db.insert_rows(&rel, rows)?, Vec::new())
+                };
+                Ok(RelationDelta {
+                    relation: rel.clone(),
+                    added,
+                    removed,
+                })
+            })??;
+        ServiceMetrics::bump(&self.inner.metrics.mutations);
+        let snap = self.inner.catalog.snapshot(db_name)?;
+        let applied = delta.added.len() + delta.removed.len();
+        let mut views_maintained = 0;
+        let mut fallbacks = 0;
+        if applied > 0 {
+            if let Some(outcomes) = self.maintain_views(&mut views, &snap, &[delta]) {
+                views_maintained = outcomes.len();
+                fallbacks = outcomes.iter().filter(|o| o.fell_back).count();
+            }
+        }
+        Ok(MutationSummary {
+            name: snap.name.clone(),
+            relation: relation.to_string(),
+            op: if delete { "deleted" } else { "inserted" },
+            requested,
+            applied,
+            generation: snap.generation,
+            epoch: snap.epoch,
+            views_maintained,
+            fallbacks,
+        })
+    }
+
+    /// Register a materialized view of `src` over the named database and
+    /// stream its answer deltas. `src` is a conjunctive query, or — when the
+    /// text contains a `?-` goal marker — a whole Datalog program whose goal
+    /// defines the view.
+    ///
+    /// The initial answer is materialized synchronously under the service's
+    /// default limits. Afterwards, every [`QueryService::insert_rows`] /
+    /// [`QueryService::delete_rows`] that changes the answer pushes one
+    /// [`SubscriptionUpdate`] on the returned channel; reloads and untracked
+    /// updates trigger a full recompute and push the resulting diff. For
+    /// conjunctive queries the result cache is patched in place on every
+    /// maintenance pass, so `QUERY` for the same text stays a result-cache
+    /// hit across mutations.
+    ///
+    /// # Errors
+    /// [`ServiceError::Parse`] for invalid query text;
+    /// [`ServiceError::UnknownDatabase`] if `db_name` is not in the catalog;
+    /// [`ServiceError::Engine`] when the initial materialization fails (e.g.
+    /// exhausts the default budget);
+    /// [`ServiceError::ShuttingDown`] after [`QueryService::shutdown`].
+    pub fn subscribe(&self, db_name: &str, src: &str) -> Result<Subscription> {
+        self.check_admitting()?;
+        let mut views = self.inner.views.lock().expect("views poisoned");
+        let snap = self.inner.catalog.snapshot(db_name)?;
+        let (query, planned) = if src.contains("?-") {
+            (ViewQuery::Program(pq_query::parse_datalog(src)?), None)
+        } else {
+            let (planned, _) = self.planned(src)?;
+            (ViewQuery::Cq(planned.query.clone()), Some(planned))
+        };
+        let id = views.next_sub;
+        let view_name = format!("sub-{id}");
+        let limits = self.inner.config.default_limits;
+        let ctx = governor_ctx(limits, &self.inner.cancel);
+        let rows = views
+            .registries
+            .entry(snap.name.clone())
+            .or_default()
+            .register(&view_name, query, &snap.db, &ctx)?;
+        views.next_sub += 1;
+        ServiceMetrics::bump(&self.inner.metrics.views_registered);
+        ServiceMetrics::bump(&self.inner.metrics.subscriptions_active);
+        // Prime the result cache: the freshly materialized answer is exactly
+        // what a QUERY for the same text would produce.
+        if let Some(p) = &planned {
+            self.inner
+                .result_cache
+                .insert(result_key(p, &snap), Arc::clone(&rows));
+        }
+        let (tx, rx) = mpsc::channel();
+        views.subs.insert(
+            id,
+            SubEntry {
+                db: snap.name.clone(),
+                view: view_name,
+                planned,
+                tx,
+            },
+        );
+        Ok(Subscription {
+            id,
+            database: snap.name,
+            rows,
+            updates: rx,
+        })
+    }
+
+    /// The current maintained answer of subscription `id` on `db_name`;
+    /// `None` when no such live subscription exists.
+    pub fn answer_rows(&self, db_name: &str, id: u64) -> Option<Arc<Relation>> {
+        let views = self.inner.views.lock().expect("views poisoned");
+        let sub = views.subs.get(&id)?;
+        if sub.db != db_name {
+            return None;
+        }
+        views.registries.get(db_name)?.answer(&sub.view)
+    }
+
+    /// End a subscription: deregister its view and disconnect its update
+    /// stream. `true` when `id` was live.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut views = self.inner.views.lock().expect("views poisoned");
+        let Some(sub) = views.subs.remove(&id) else {
+            return false;
+        };
+        ServiceMetrics::dec(&self.inner.metrics.subscriptions_active);
+        if let Some(registry) = views.registries.get_mut(&sub.db) {
+            if registry.deregister(&sub.view) {
+                ServiceMetrics::dec(&self.inner.metrics.views_registered);
+            }
+            if registry.is_empty() {
+                views.registries.remove(&sub.db);
+            }
+        }
+        true
+    }
+
+    /// Run the maintenance plans of every view on `snap`'s database against
+    /// `deltas` and publish the outcomes. `None` when it has no views.
+    fn maintain_views(
+        &self,
+        views: &mut ViewsState,
+        snap: &DbSnapshot,
+        deltas: &[RelationDelta],
+    ) -> Option<Vec<MaintainOutcome>> {
+        let limits = self.inner.config.default_limits;
+        let cancel = &self.inner.cancel;
+        let start = Instant::now();
+        let outcomes = views
+            .registries
+            .get_mut(&snap.name)?
+            .maintain(&snap.db, deltas, || governor_ctx(limits, cancel));
+        self.publish_outcomes(views, snap, &outcomes, start.elapsed());
+        Some(outcomes)
+    }
+
+    /// Recompute every view on `snap`'s database from scratch (used after
+    /// wholesale replacements, where no row deltas exist) and publish the
+    /// resulting answer diffs.
+    fn refresh_views(&self, views: &mut ViewsState, snap: &DbSnapshot) {
+        let limits = self.inner.config.default_limits;
+        let cancel = &self.inner.cancel;
+        let start = Instant::now();
+        let Some(registry) = views.registries.get_mut(&snap.name) else {
+            return;
+        };
+        let outcomes = registry.refresh(&snap.db, || governor_ctx(limits, cancel));
+        self.publish_outcomes(views, snap, &outcomes, start.elapsed());
+    }
+
+    /// Fan one maintenance pass out: record its latency and fallbacks, patch
+    /// the result cache with each maintained answer, push deltas to
+    /// subscribers, and reap subscriptions whose views were dropped.
+    fn publish_outcomes(
+        &self,
+        views: &mut ViewsState,
+        snap: &DbSnapshot,
+        outcomes: &[MaintainOutcome],
+        elapsed: Duration,
+    ) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let m = &self.inner.metrics;
+        m.ivm_maintain.record(elapsed);
+        let mut gone: Vec<u64> = Vec::new();
+        for o in outcomes {
+            if o.fell_back {
+                ServiceMetrics::bump(&m.ivm_maintain_fallbacks);
+            }
+            if o.dropped {
+                ServiceMetrics::dec(&m.views_registered);
+            }
+            for (&id, sub) in &views.subs {
+                if sub.db != snap.name || sub.view != o.view {
+                    continue;
+                }
+                if !o.dropped {
+                    if let Some(p) = &sub.planned {
+                        self.inner
+                            .result_cache
+                            .insert(result_key(p, snap), Arc::clone(&o.answer));
+                    }
+                }
+                if !o.delta.is_empty() || o.dropped {
+                    let update = SubscriptionUpdate {
+                        added: o.delta.added.clone(),
+                        removed: o.delta.removed.clone(),
+                        epoch: snap.epoch,
+                        fell_back: o.fell_back,
+                        dropped: o.dropped,
+                    };
+                    if sub.tx.send(update).is_ok() {
+                        ServiceMetrics::bump(&m.deltas_pushed);
+                    }
+                }
+                if o.dropped {
+                    gone.push(id);
+                }
+            }
+        }
+        for id in gone {
+            views.subs.remove(&id);
+            ServiceMetrics::dec(&m.subscriptions_active);
+        }
+    }
+
+    /// Deregister every view and subscription on `name` (the database was
+    /// dropped); each subscriber receives a final `dropped` update.
+    fn drop_views(&self, views: &mut ViewsState, name: &str) {
+        let m = &self.inner.metrics;
+        if let Some(registry) = views.registries.remove(name) {
+            for _ in 0..registry.len() {
+                ServiceMetrics::dec(&m.views_registered);
+            }
+        }
+        let gone: Vec<u64> = views
+            .subs
+            .iter()
+            .filter(|(_, s)| s.db == name)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in gone {
+            let Some(sub) = views.subs.remove(&id) else {
+                continue;
+            };
+            ServiceMetrics::dec(&m.subscriptions_active);
+            let update = SubscriptionUpdate {
+                added: Vec::new(),
+                removed: Vec::new(),
+                epoch: 0,
+                fell_back: false,
+                dropped: true,
+            };
+            if sub.tx.send(update).is_ok() {
+                ServiceMetrics::bump(&m.deltas_pushed);
+            }
+        }
     }
 
     /// Force a snapshot of the whole catalog to stable storage now,
@@ -588,11 +1079,13 @@ impl QueryService {
         }
         ServiceMetrics::bump(&self.inner.metrics.plan_misses);
         let plan = plan(&query, &self.inner.config.planner);
+        let mentions = plan.mentioned_relations(&query);
         let planned = Arc::new(PlannedQuery {
             fingerprint: query.fingerprint(),
             plan,
             canonical: Arc::clone(&key),
             query,
+            mentions,
         });
         self.inner.plan_cache.insert(key, Arc::clone(&planned));
         Ok((planned, false))
@@ -609,12 +1102,7 @@ impl QueryService {
         self.check_admitting()?;
         let (planned, plan_was_cached) = self.planned(src)?;
         let snap = self.inner.catalog.snapshot(db_name)?;
-        let key: ResultKey = (
-            Arc::clone(&planned.canonical),
-            snap.name.clone(),
-            snap.generation,
-            snap.epoch,
-        );
+        let key = result_key(&planned, &snap);
         // Peek without polluting hit/miss statistics? The cache counts every
         // probe; EXPLAIN is rare enough that honesty is fine.
         let result_is_cached = self.inner.result_cache.get(&key).is_some();
@@ -783,12 +1271,7 @@ impl QueryService {
         let outcome = (|| {
             let (planned, plan_hit) = self.planned(src)?;
             let snap = self.inner.catalog.snapshot(db_name)?;
-            let key: ResultKey = (
-                Arc::clone(&planned.canonical),
-                snap.name.clone(),
-                snap.generation,
-                snap.epoch,
-            );
+            let key = result_key(&planned, &snap);
             if let Some(rows) = self.inner.result_cache.get(&key) {
                 ServiceMetrics::bump(&m.result_hits);
                 return Ok(QueryResponse {
@@ -835,16 +1318,7 @@ impl QueryService {
         limits: RequestLimits,
     ) -> Result<Arc<Relation>> {
         let limits = limits.or(self.inner.config.default_limits);
-        let mut ctx = ExecutionContext::new().with_cancellation(self.inner.cancel.clone());
-        if let Some(d) = limits.deadline {
-            ctx = ctx.with_deadline(d);
-        }
-        if let Some(b) = limits.tuple_budget {
-            ctx = ctx.with_tuple_budget(b);
-        }
-        if let Some(d) = limits.max_depth {
-            ctx = ctx.with_max_depth(d);
-        }
+        let ctx = governor_ctx(limits, &self.inner.cancel);
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Result<Arc<Relation>>>(1);
         let job = Job {
             planned,
@@ -913,6 +1387,14 @@ impl QueryService {
             return;
         }
         self.inner.cancel.cancel();
+        // Dropping the subscription senders disconnects every update
+        // stream, so `SUBSCRIBE` loops observe the shutdown and end.
+        self.inner
+            .views
+            .lock()
+            .expect("views poisoned")
+            .subs
+            .clear();
         // Dropping the sender disconnects the queue: workers drain what is
         // already admitted (each job's context sees the cancelled token at
         // its next clock check) and then exit.
@@ -936,8 +1418,15 @@ impl QueryService {
         if self.inner.shutdown.swap(true, Ordering::AcqRel) {
             return Ok(());
         }
-        // Disconnect the queue without cancelling: workers finish every
-        // admitted job under its own governor, then exit.
+        // Subscriptions end (their senders drop), then the queue disconnects
+        // without cancelling: workers finish every admitted job under its
+        // own governor, then exit.
+        self.inner
+            .views
+            .lock()
+            .expect("views poisoned")
+            .subs
+            .clear();
         self.job_tx.lock().expect("job_tx poisoned").take();
         let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
         for h in handles {
@@ -990,12 +1479,7 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, inner: &Inner) {
         .map(Arc::new)
         .map_err(ServiceError::from);
         if let Ok(rows) = &out {
-            let key: ResultKey = (
-                Arc::clone(&job.planned.canonical),
-                job.snapshot.name.clone(),
-                job.snapshot.generation,
-                job.snapshot.epoch,
-            );
+            let key = result_key(&job.planned, &job.snapshot);
             inner.result_cache.insert(key, Arc::clone(rows));
         }
         // The requester may have vanished; nothing to do about it.
@@ -1404,5 +1888,176 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ---- incremental views & subscriptions ----
+
+    #[test]
+    fn row_mutations_apply_and_report() {
+        let svc = service();
+        let ins = svc
+            .insert_rows("d", "R", vec![tuple![7, 8], tuple![1, 2]])
+            .unwrap();
+        assert_eq!(ins.op, "inserted");
+        assert_eq!(ins.requested, 2);
+        assert_eq!(ins.applied, 1, "1,2 was already present");
+        let del = svc.delete_rows("d", "R", vec![tuple![7, 8]]).unwrap();
+        assert_eq!(del.op, "deleted");
+        assert_eq!(del.applied, 1);
+        assert!(del.epoch > ins.epoch);
+        assert!(matches!(
+            svc.insert_rows("d", "NoSuch", vec![tuple![1]]),
+            Err(ServiceError::Data(DataError::UnknownRelation(_)))
+        ));
+        assert!(matches!(
+            svc.insert_rows("nope", "R", vec![tuple![1, 2]]),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+    }
+
+    #[test]
+    fn unrelated_mutation_keeps_the_result_cache_entry() {
+        // Satellite payoff of the per-relation epoch vector: the key's
+        // fingerprint only covers the relations the plan reads, so mutating
+        // S must not evict a query over R.
+        let svc = service();
+        let src = "G(x) :- R(x, y).";
+        svc.query("d", src, RequestLimits::default()).unwrap();
+        svc.insert_rows("d", "S", vec![tuple![50, 60]]).unwrap();
+        let after = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(after.cache, CacheOutcome::ResultHit, "S is not mentioned");
+        // ...while mutating R does evict it.
+        svc.insert_rows("d", "R", vec![tuple![7, 8]]).unwrap();
+        let evicted = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_ne!(evicted.cache, CacheOutcome::ResultHit);
+        assert_eq!(evicted.rows.len(), 3);
+    }
+
+    #[test]
+    fn subscription_streams_deltas_and_patches_the_result_cache() {
+        let svc = service();
+        let src = "G(x, c) :- R(x, y), S(y, c).";
+        let sub = svc.subscribe("d", src).unwrap();
+        assert_eq!(sub.rows.len(), 2);
+        // The registration primed the result cache.
+        let q = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(q.cache, CacheOutcome::ResultHit);
+        // A relevant insertion pushes a delta...
+        let ins = svc.insert_rows("d", "R", vec![tuple![9, 2]]).unwrap();
+        assert_eq!(ins.views_maintained, 1);
+        let update = sub.updates.try_recv().unwrap();
+        assert_eq!(update.added, vec![tuple![9, 9]]);
+        assert!(update.removed.is_empty());
+        assert!(!update.dropped);
+        // ...and the maintained answer was installed under the new key, so
+        // the post-mutation QUERY is *still* a result-cache hit.
+        let patched = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(patched.cache, CacheOutcome::ResultHit);
+        assert_eq!(patched.rows.len(), 3);
+        assert!(patched.rows.contains(&tuple![9, 9]));
+        // Deleting flips the sign.
+        svc.delete_rows("d", "R", vec![tuple![9, 2]]).unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        assert_eq!(update.removed, vec![tuple![9, 9]]);
+        // An irrelevant insertion pushes nothing.
+        svc.insert_rows("d", "R", vec![tuple![70, 80]]).unwrap();
+        assert!(sub.updates.try_recv().is_err());
+        let s = svc.stats();
+        assert_eq!(s.views_registered, 1);
+        assert_eq!(s.subscriptions_active, 1);
+        assert_eq!(s.deltas_pushed, 2);
+        assert!(s.ivm_maintain_p99_micros >= 1, "passes were recorded");
+        assert!(svc.unsubscribe(sub.id));
+        assert!(!svc.unsubscribe(sub.id), "second unsubscribe is a no-op");
+        let s = svc.stats();
+        assert_eq!(s.views_registered, 0);
+        assert_eq!(s.subscriptions_active, 0);
+    }
+
+    #[test]
+    fn recursive_datalog_subscription_is_maintained() {
+        let svc = QueryService::with_defaults();
+        svc.load_str("g", "E(x, y):\n  1, 2\n  2, 3\n").unwrap();
+        let prog = "T(x, y) :- E(x, y).\nT(x, z) :- T(x, y), E(y, z).\n?- T";
+        let sub = svc.subscribe("g", prog).unwrap();
+        assert_eq!(sub.rows.len(), 3, "1-2, 2-3, 1-3");
+        svc.insert_rows("g", "E", vec![tuple![3, 4]]).unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        let mut added = update.added.clone();
+        added.sort();
+        assert_eq!(added, vec![tuple![1, 4], tuple![2, 4], tuple![3, 4]]);
+        // DRed handles the deletion: 2→3 severs everything through it.
+        svc.delete_rows("g", "E", vec![tuple![2, 3]]).unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        let mut removed = update.removed.clone();
+        removed.sort();
+        assert_eq!(
+            removed,
+            vec![tuple![1, 3], tuple![1, 4], tuple![2, 3], tuple![2, 4]]
+        );
+        assert_eq!(svc.answer_rows("g", sub.id).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reload_refreshes_views_and_drop_ends_subscriptions() {
+        let svc = service();
+        let sub = svc.subscribe("d", "G(x) :- R(x, y).").unwrap();
+        assert_eq!(sub.rows.len(), 2);
+        // A wholesale reload recomputes the view and pushes the diff.
+        svc.load_str("d", "R(a, b):\n  1, 2\nS(b, c):\n").unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        assert_eq!(update.removed, vec![tuple![2]]);
+        assert!(!update.dropped);
+        // Dropping the database ends the stream with a final marker.
+        svc.drop_database("d").unwrap();
+        let last = sub.updates.try_recv().unwrap();
+        assert!(last.dropped);
+        assert!(
+            sub.updates.try_recv().is_err(),
+            "sender is gone after the drop"
+        );
+        let s = svc.stats();
+        assert_eq!(s.views_registered, 0);
+        assert_eq!(s.subscriptions_active, 0);
+    }
+
+    #[test]
+    fn untracked_update_falls_back_to_full_refresh() {
+        let svc = service();
+        let sub = svc.subscribe("d", "G(x) :- R(x, y).").unwrap();
+        svc.update_database("d", |db| {
+            db.relation_mut("R")
+                .unwrap()
+                .insert(tuple![41, 42])
+                .unwrap();
+        })
+        .unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        assert_eq!(update.added, vec![tuple![41]]);
+    }
+
+    #[test]
+    fn exhausted_maintenance_budget_falls_back_to_recompute() {
+        // A default tuple budget small enough that the maintenance pass
+        // trips it forces the registry's full-recompute fallback (run under
+        // unlimited), so the answer is still exact and the fallback counts.
+        let svc = QueryService::new(ServiceConfig {
+            default_limits: RequestLimits {
+                tuple_budget: Some(3),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        svc.load_str("d", "R(a, b):\n  1, 2\n").unwrap();
+        let sub = svc.subscribe("d", "G(x, y) :- R(x, y).").unwrap();
+        let rows: Vec<Tuple> = (0..40).map(|i| tuple![i + 10, i + 11]).collect();
+        let ins = svc.insert_rows("d", "R", rows).unwrap();
+        assert_eq!(ins.applied, 40);
+        assert_eq!(ins.fallbacks, 1);
+        let update = sub.updates.try_recv().unwrap();
+        assert!(update.fell_back);
+        assert_eq!(update.added.len(), 40);
+        assert_eq!(svc.answer_rows("d", sub.id).unwrap().len(), 41);
+        assert_eq!(svc.stats().ivm_maintain_fallbacks, 1);
     }
 }

@@ -10,14 +10,22 @@
 //! QUERY company G(e) :- EP(e, p), ES(e, s), s > 110.
 //! QUERY @deadline_ms=50 @budget=100000 company G(x, z) :- E(x, y), E(y, z).
 //! EXPLAIN company G(x, z) :- E(x, y), E(y, z).
+//! INSERT company EP ann, web; bob, api
+//! DELETE company EP bob, api
+//! SUBSCRIBE company G(e) :- EP(e, p), ES(e, s).
 //! STATS
 //! SHUTDOWN
 //! ```
+//!
+//! `SUBSCRIBE` switches the session into streaming mode: the initial answer
+//! and every pushed `DELTA` frame are printed as they arrive, until Enter or
+//! Ctrl-D ends the subscription (the connection is dedicated to it, so the
+//! repl exits afterwards).
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-use pq_service::roundtrip;
+use pq_service::{read_response, roundtrip};
 
 fn main() {
     let addr = std::env::args()
@@ -39,6 +47,10 @@ fn main() {
         if line.is_empty() {
             continue;
         }
+        if line.len() >= 9 && line[..9].eq_ignore_ascii_case("subscribe") {
+            stream_subscription(&stream, line);
+            break; // the connection was dedicated to the subscription
+        }
         match roundtrip(&mut stream, line) {
             Ok(lines) => {
                 for l in &lines {
@@ -55,4 +67,53 @@ fn main() {
         }
     }
     println!("bye");
+}
+
+/// Send a `SUBSCRIBE` line, then print the initial answer and every pushed
+/// `DELTA` frame as it arrives; Enter or Ctrl-D ends the subscription.
+fn stream_subscription(stream: &TcpStream, line: &str) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connection error: {e}");
+            return;
+        }
+    };
+    if writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        eprintln!("connection error: cannot send subscription");
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(e) => {
+            eprintln!("connection error: {e}");
+            return;
+        }
+    };
+    println!("streaming (press Enter or Ctrl-D to stop)…");
+    let printer = std::thread::spawn(move || {
+        while let Ok(frame) = read_response(&mut reader) {
+            for l in &frame {
+                println!("{l}");
+            }
+            if frame
+                .first()
+                .is_some_and(|l| l.starts_with("OK unsubscribed") || l.starts_with("ERR"))
+            {
+                break;
+            }
+        }
+    });
+    // Block on stdin: any input (or EOF) tells the server to unsubscribe,
+    // which ends the stream and closes the connection.
+    let mut sink = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut sink);
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+    let _ = printer.join();
+    println!("subscription ended");
 }

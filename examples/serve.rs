@@ -28,9 +28,12 @@
 //! `--fsync always`).
 //!
 //! Talk to it with `examples/repl.rs`, or anything that can speak the
-//! line protocol (`LOAD` / `QUERY` / `EXPLAIN` / `STATS` / `DROP` /
-//! `PERSIST` / `SHUTDOWN`); see the README's service section for the
-//! grammar.
+//! line protocol (`LOAD` / `QUERY` / `EXPLAIN` / `ANALYZE` / `STATS` /
+//! `DROP` / `INSERT` / `DELETE` / `SUBSCRIBE` / `PERSIST` / `SHUTDOWN`);
+//! see the README's service section for the grammar. `INSERT`/`DELETE`
+//! maintain any subscribed views incrementally and are WAL-logged when
+//! `--wal-dir` is set; `SUBSCRIBE` turns its connection into a live delta
+//! stream.
 
 use std::sync::Arc;
 

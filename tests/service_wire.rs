@@ -181,6 +181,86 @@ fn full_protocol_session_over_tcp() {
 }
 
 #[test]
+fn subscribe_session_streams_deltas_over_tcp() {
+    use std::io::{BufReader, Write};
+
+    use pq_service::read_response;
+
+    let svc = Arc::new(QueryService::with_defaults());
+    svc.load_str("d", DB_TEXT).unwrap();
+    let handle = serve("127.0.0.1:0", svc).unwrap();
+    let addr = handle.local_addr();
+
+    // Connection 1 becomes the live view's delta stream.
+    let mut sub_conn = TcpStream::connect(addr).unwrap();
+    sub_conn
+        .write_all(b"SUBSCRIBE d G(x, z) :- R(x, y), S(y, z).\n")
+        .unwrap();
+    sub_conn.flush().unwrap();
+    let mut sub_reader = BufReader::new(sub_conn.try_clone().unwrap());
+    let initial = read_response(&mut sub_reader).unwrap();
+    assert!(initial[0].starts_with("OK subscribed "), "{initial:?}");
+    assert_eq!(initial[1..], ["1, 9".to_string(), "2, 7".to_string()]);
+    let id: u64 = initial[0]
+        .split_whitespace()
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    // Connection 2 mutates; only the genuinely new row applies, and the
+    // response reports the maintenance pass.
+    let mut ctl = TcpStream::connect(addr).unwrap();
+    let resp = roundtrip(&mut ctl, "INSERT d R 9, 2; 1, 2").unwrap();
+    assert!(resp[0].starts_with("OK inserted 1 R"), "{resp:?}");
+    assert!(resp[0].contains("views=1 fallbacks=0"), "{resp:?}");
+
+    // The subscriber receives exactly the answer delta...
+    let frame = read_response(&mut sub_reader).unwrap();
+    assert!(
+        frame[0].starts_with(&format!("DELTA {id} +1 -0 epoch=")),
+        "{frame:?}"
+    );
+    assert_eq!(frame[1..], ["+ 9, 9".to_string()]);
+
+    // ...deletions flip the sign...
+    let resp = roundtrip(&mut ctl, "DELETE d R 9, 2").unwrap();
+    assert!(resp[0].starts_with("OK deleted 1 R"), "{resp:?}");
+    let frame = read_response(&mut sub_reader).unwrap();
+    assert!(
+        frame[0].starts_with(&format!("DELTA {id} +0 -1 epoch=")),
+        "{frame:?}"
+    );
+    assert_eq!(frame[1..], ["- 9, 9".to_string()]);
+
+    // ...and a mutation that leaves the answer unchanged pushes nothing
+    // (the next frame the subscriber sees is the unsubscribe confirmation).
+    let resp = roundtrip(&mut ctl, "INSERT d S 50, 60").unwrap();
+    assert!(resp[0].starts_with("OK inserted 1 S"), "{resp:?}");
+
+    // Any client input ends the subscription.
+    sub_conn.write_all(b"\n").unwrap();
+    sub_conn.flush().unwrap();
+    let last = read_response(&mut sub_reader).unwrap();
+    assert_eq!(last, [format!("OK unsubscribed {id}")]);
+    assert!(
+        read_response(&mut sub_reader).is_err(),
+        "the dedicated connection closes after unsubscribing"
+    );
+
+    // The gauges drained; the push counter kept its total.
+    let stats = roundtrip(&mut ctl, "STATS").unwrap();
+    assert!(stats.iter().any(|l| l == "views_registered 0"), "{stats:?}");
+    assert!(
+        stats.iter().any(|l| l == "subscriptions_active 0"),
+        "{stats:?}"
+    );
+    assert!(stats.iter().any(|l| l == "deltas_pushed 2"), "{stats:?}");
+
+    handle.stop();
+}
+
+#[test]
 fn server_handle_stop_without_wire_shutdown() {
     let data_dir = temp_data_dir("stop");
     let handle = serve_with_data_dir(
