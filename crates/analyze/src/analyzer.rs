@@ -25,7 +25,7 @@ use pq_engine::containment;
 use pq_query::ConjunctiveQuery;
 
 use crate::diagnostics::{Diagnostic, LintCode, Severity, Span};
-use crate::report::{structure_of, StructureReport};
+use crate::report::{structure_with_width_limit, StructureReport};
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,11 @@ pub struct AnalyzeOptions {
     /// checks are CQ evaluations on the canonical database (NP-hard in
     /// general), so the pass is bounded by construction.
     pub minimize_atom_limit: usize,
+    /// Largest hypertree width the decomposition search targets (and the
+    /// widest decomposition the planner routes to the hypertree engine).
+    /// Bounded like `minimize_atom_limit`: deciding width ≤ k is
+    /// exponential in k, so the exact search is gated by this knob.
+    pub width_limit: usize,
 }
 
 impl Default for AnalyzeOptions {
@@ -43,6 +48,7 @@ impl Default for AnalyzeOptions {
         AnalyzeOptions {
             minimize: true,
             minimize_atom_limit: 8,
+            width_limit: pq_hypergraph::DEFAULT_WIDTH_LIMIT,
         }
     }
 }
@@ -316,7 +322,12 @@ fn minimize_pass(
 
 // ------------------------------------------------------------ pass 4 --
 
-fn structure_pass(report: &StructureReport, minimized: bool, out: &mut Vec<Diagnostic>) {
+fn structure_pass(
+    report: &StructureReport,
+    width_limit: usize,
+    minimized: bool,
+    out: &mut Vec<Diagnostic>,
+) {
     let subject = if minimized {
         "the minimized query"
     } else {
@@ -333,6 +344,39 @@ fn structure_pass(report: &StructureReport, minimized: bool, out: &mut Vec<Diagn
                 list.join(", ")
             ),
         ));
+        // The width pass (PQA6xx): cyclic is no longer the end of the
+        // tractability story — report the hypertree width found by the
+        // gated decomposition search.
+        match (&report.decomposition, report.hypertree_width) {
+            (Some(d), Some(w)) if w <= width_limit => out.push(Diagnostic::new(
+                LintCode::HypertreeWidth,
+                Span::Query,
+                format!(
+                    "hypertree width {w} ({}): {} — polynomial by bag \
+                     evaluation (Gottlob–Leone–Scarcello)",
+                    if report.width_exact {
+                        "exact"
+                    } else {
+                        "heuristic upper bound"
+                    },
+                    d.shape()
+                ),
+            )),
+            (Some(_), Some(w)) => out.push(Diagnostic::new(
+                LintCode::WidthAboveLimit,
+                Span::Query,
+                format!(
+                    "no hypertree decomposition within the width limit {width_limit} \
+                     ({} upper bound {w}): naive evaluation applies",
+                    if report.width_exact {
+                        "exact width is the"
+                    } else {
+                        "heuristic"
+                    },
+                ),
+            )),
+            _ => {}
+        }
     }
     let k = match report.color_parameter {
         Some(k) => format!(", k={k}"),
@@ -369,8 +413,13 @@ pub fn analyze(q: &ConjunctiveQuery, opts: &AnalyzeOptions) -> Analysis {
     } else {
         None
     };
-    let report = structure_of(rewritten.as_ref().unwrap_or(q));
-    structure_pass(&report, rewritten.is_some(), &mut diagnostics);
+    let report = structure_with_width_limit(rewritten.as_ref().unwrap_or(q), opts.width_limit);
+    structure_pass(
+        &report,
+        opts.width_limit,
+        rewritten.is_some(),
+        &mut diagnostics,
+    );
     Analysis {
         diagnostics,
         rewritten,
@@ -530,6 +579,32 @@ mod tests {
             d.message
         );
         assert_eq!(a.report.cycle_witness, Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn width_pass_reports_tractable_and_over_limit_cyclic_queries() {
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert!(codes(&a).contains(&"PQA601"));
+        assert_eq!(a.report.cell, FigCell::CyclicBoundedWidth);
+        assert_eq!(a.report.hypertree_width, Some(2));
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::HypertreeWidth)
+            .expect("width diagnostic");
+        assert!(d.message.contains("width 2 (exact)"), "{}", d.message);
+
+        // With the limit below the width, the query stays in the plain
+        // cyclic cell and PQA602 explains why.
+        let opts = AnalyzeOptions {
+            width_limit: 1,
+            ..Default::default()
+        };
+        let a = analyze(&q, &opts);
+        assert!(codes(&a).contains(&"PQA602"));
+        assert!(!codes(&a).contains(&"PQA601"));
+        assert_eq!(a.report.cell, FigCell::Cyclic);
     }
 
     #[test]

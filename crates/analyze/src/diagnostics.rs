@@ -41,9 +41,9 @@ impl fmt::Display for Severity {
 /// The stable lint codes. Numbering is grouped by pass: `PQA0xx`
 /// safety/range-restriction, `PQA1xx` contradiction detection, `PQA2xx`
 /// schema checks, `PQA3xx` core minimization, `PQA4xx` structural
-/// classification, `PQA5xx` whole-program Datalog analysis. Codes are
-/// append-only: a released code never changes meaning (golden files and
-/// operator tooling depend on them).
+/// classification, `PQA5xx` whole-program Datalog analysis, `PQA6xx`
+/// hypertree-width analysis. Codes are append-only: a released code never
+/// changes meaning (golden files and operator tooling depend on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum LintCode {
@@ -110,6 +110,14 @@ pub enum LintCode {
     /// `PQA510` — the program parameter report: rule counts before/after
     /// pruning, SCC count, recursion class, arity and variable bounds.
     ProgramReport,
+    /// `PQA601` — the hypertree width of a cyclic query (exact, or the
+    /// heuristic's verified upper bound) and the decomposition shape;
+    /// width ≤ the configured limit means polynomial evaluation by the
+    /// hypertree engine (Gottlob–Leone–Scarcello).
+    HypertreeWidth,
+    /// `PQA602` — no hypertree decomposition within the configured width
+    /// limit was found; the naive engine applies.
+    WidthAboveLimit,
 }
 
 impl LintCode {
@@ -138,6 +146,8 @@ impl LintCode {
             LintCode::UnderivableRelation => "PQA505",
             LintCode::RecursiveComponent => "PQA506",
             LintCode::ProgramReport => "PQA510",
+            LintCode::HypertreeWidth => "PQA601",
+            LintCode::WidthAboveLimit => "PQA602",
         }
     }
 
@@ -165,7 +175,9 @@ impl LintCode {
             | LintCode::CyclicQuery
             | LintCode::ParameterReport
             | LintCode::RecursiveComponent
-            | LintCode::ProgramReport => Severity::Info,
+            | LintCode::ProgramReport
+            | LintCode::HypertreeWidth
+            | LintCode::WidthAboveLimit => Severity::Info,
         }
     }
 }
@@ -277,6 +289,8 @@ mod tests {
             LintCode::UnderivableRelation,
             LintCode::RecursiveComponent,
             LintCode::ProgramReport,
+            LintCode::HypertreeWidth,
+            LintCode::WidthAboveLimit,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

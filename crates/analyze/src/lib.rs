@@ -18,6 +18,7 @@
 //! | contradiction detection | `PQA101`–`PQA105` | `x ≠ x`, inconsistent comparison systems, `≠` atoms forced equal |
 //! | core minimization | `PQA301`–`PQA302` | redundant atoms (the query is equivalent without them) |
 //! | structural classification | `PQA401`–`PQA402` | cyclicity with a GYO witness, the `q`/`v`/arity parameter report |
+//! | hypertree width | `PQA601`–`PQA602` | the hypertree width of cyclic queries (exact or heuristic bound) and whether the bounded-width engine applies |
 //!
 //! plus a schema pass ([`schema_diagnostics`], `PQA201`–`PQA202`) that is
 //! separate because it depends on a concrete database, not the query alone.
@@ -64,4 +65,4 @@ pub use program::{
     analyze_program, analyze_program_with_db, schema_diagnostics_program, ProgramAnalysis,
     ProgramEmptyReason, ProgramReport, RecursionClass, SccReport,
 };
-pub use report::{structure_of, FigCell, StructureReport};
+pub use report::{structure_of, structure_with_width_limit, FigCell, StructureReport};

@@ -2,7 +2,7 @@
 //! parameters, and which cell of the paper's landscape the query occupies.
 
 use pq_engine::comparisons;
-use pq_hypergraph::cyclic_core;
+use pq_hypergraph::{cyclic_core, decompose, HypertreeDecomposition, DEFAULT_WIDTH_LIMIT};
 use pq_query::{ConjunctiveQuery, QueryMetrics};
 
 /// The cell of the paper's Fig. 1 landscape a conjunctive query falls
@@ -24,6 +24,10 @@ pub enum FigCell {
     /// Cyclic relational hypergraph: W\[1\]-complete already without
     /// constraints (Theorem 1).
     Cyclic,
+    /// Cyclic but of hypertree width ≤ the configured limit (pure queries
+    /// only): polynomial by bag evaluation (Gottlob–Leone–Scarcello) — the
+    /// tractable cell *beyond* the paper's acyclic island.
+    CyclicBoundedWidth,
 }
 
 impl FigCell {
@@ -35,6 +39,7 @@ impl FigCell {
             FigCell::AcyclicComparisons => "acyclic-comparisons",
             FigCell::InconsistentComparisons => "inconsistent-comparisons",
             FigCell::Cyclic => "cyclic",
+            FigCell::CyclicBoundedWidth => "cyclic-bounded-width",
         }
     }
 }
@@ -67,6 +72,16 @@ pub struct StructureReport {
     pub cmp_count: usize,
     /// Theorem 2's color parameter `k` when `≠` atoms exist.
     pub color_parameter: Option<usize>,
+    /// Hypertree width: 1 for acyclic queries, the decomposition search's
+    /// result for cyclic ones (`None` when the body has no relational
+    /// structure to decompose).
+    pub hypertree_width: Option<usize>,
+    /// Is `hypertree_width` exact, or the heuristic's verified upper bound?
+    pub width_exact: bool,
+    /// The decomposition backing `hypertree_width` for cyclic queries (the
+    /// hypertree engine evaluates this directly; `None` for acyclic queries,
+    /// whose join tree already serves).
+    pub decomposition: Option<HypertreeDecomposition>,
     /// The Fig. 1 cell.
     pub cell: FigCell,
     /// One-line summary quoting the relevant theorem.
@@ -83,6 +98,8 @@ const SUMMARY_CMP: &str =
 const SUMMARY_MIXED: &str = "≠ and < mixed: at least W[1]-hard (Theorem 3 applies to the < part)";
 const SUMMARY_INCONSISTENT: &str = "comparison system inconsistent: Q(d) = ∅ for every d";
 const SUMMARY_CYCLIC: &str = "cyclic conjunctive query: W[1]-complete (Theorem 1)";
+const SUMMARY_BOUNDED: &str =
+    "cyclic of bounded hypertree width: polynomial by bag evaluation (Gottlob–Leone–Scarcello)";
 
 /// Which Fig. 1 cell does `q` occupy? Exactly the paper's decision
 /// procedure: comparisons are collapsed first (Theorem 3 defines
@@ -120,13 +137,23 @@ fn engine_hint(cell: FigCell) -> &'static str {
         FigCell::AcyclicNeq => "color coding",
         FigCell::InconsistentComparisons => "constant (empty answer)",
         FigCell::AcyclicComparisons | FigCell::Cyclic => "naive backtracking",
+        FigCell::CyclicBoundedWidth => "hypertree",
     }
 }
 
 /// Run the structural-classification pass alone (cheap: GYO + parameter
-/// counting + comparison-consistency, no evaluation). `pq_core::classify`
+/// counting + comparison-consistency + width-gated decomposition search, no
+/// evaluation), with the default [`DEFAULT_WIDTH_LIMIT`]. `pq_core::classify`
 /// is a thin adapter over this.
 pub fn structure_of(q: &ConjunctiveQuery) -> StructureReport {
+    structure_with_width_limit(q, DEFAULT_WIDTH_LIMIT)
+}
+
+/// [`structure_of`] with an explicit hypertree-width limit: widths up to
+/// `width_limit` are searched exactly (on small hypergraphs) and promote a
+/// pure cyclic query into the `cyclic-bounded-width` cell; above the limit
+/// only the heuristic's upper-bound certificate is reported.
+pub fn structure_with_width_limit(q: &ConjunctiveQuery, width_limit: usize) -> StructureReport {
     let hg = q.hypergraph();
     let cycle_witness = cyclic_core(&hg);
     let color_parameter = if q.neqs.is_empty() {
@@ -134,7 +161,30 @@ pub fn structure_of(q: &ConjunctiveQuery) -> StructureReport {
     } else {
         Some(pq_engine::colorcoding::NeqPartition::build(q, &hg).k())
     };
-    let (cell, summary) = decide_cell(q);
+    let (mut cell, mut summary) = decide_cell(q);
+
+    // The width pass: acyclic = width 1 by definition (GLS); for cyclic
+    // hypergraphs run the gated decomposition search. A *pure* cyclic query
+    // within the limit moves to the tractable bounded-width cell — with
+    // `≠`/comparison atoms the hypertree engine does not apply, but the
+    // width is still reported.
+    let (hypertree_width, width_exact, decomposition) = if cycle_witness.is_none() {
+        (Some(1), true, None)
+    } else {
+        match decompose(&hg, width_limit) {
+            Some(d) => (Some(d.width()), d.is_exact(), Some(d)),
+            None => (None, false, None),
+        }
+    };
+    if cell == FigCell::Cyclic && q.is_pure() {
+        if let Some(w) = hypertree_width {
+            if w <= width_limit {
+                cell = FigCell::CyclicBoundedWidth;
+                summary = SUMMARY_BOUNDED;
+            }
+        }
+    }
+
     StructureReport {
         acyclic: cycle_witness.is_none(),
         cycle_witness,
@@ -144,6 +194,9 @@ pub fn structure_of(q: &ConjunctiveQuery) -> StructureReport {
         neq_count: q.neqs.len(),
         cmp_count: q.comparisons.len(),
         color_parameter,
+        hypertree_width,
+        width_exact,
+        decomposition,
         cell,
         summary,
         engine_hint: engine_hint(cell),
@@ -169,8 +222,12 @@ mod tests {
         assert_eq!(r.neq_count, 1);
 
         let r = structure_of(&parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap());
-        assert_eq!(r.cell, FigCell::Cyclic);
+        assert_eq!(r.cell, FigCell::CyclicBoundedWidth);
         assert_eq!(r.cycle_witness, Some(vec![0, 1, 2]));
+        assert_eq!(r.hypertree_width, Some(2));
+        assert!(r.width_exact);
+        assert!(r.decomposition.is_some());
+        assert_eq!(r.engine_hint, "hypertree");
 
         let r = structure_of(&parse_cq("G :- R(x, y), x < y, y < x.").unwrap());
         assert_eq!(r.cell, FigCell::InconsistentComparisons);
@@ -178,6 +235,31 @@ mod tests {
 
         let r = structure_of(&parse_cq("G :- R(x, y), x != y, x < y.").unwrap());
         assert_eq!(r.cell, FigCell::AcyclicComparisons, "mixed constraints");
+    }
+
+    #[test]
+    fn width_limit_and_purity_gate_the_bounded_cell() {
+        // Below the limit the triangle is tractable; with limit 1 the
+        // heuristic certificate (width 2) exceeds it and the cell reverts.
+        let tri = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let r = structure_with_width_limit(&tri, 1);
+        assert_eq!(r.cell, FigCell::Cyclic);
+        assert_eq!(r.hypertree_width, Some(2));
+        assert!(!r.width_exact);
+        assert_eq!(r.engine_hint, "naive backtracking");
+
+        // A cyclic query with a ≠ atom keeps its width report but stays in
+        // the plain cyclic cell: the hypertree engine is pure-only.
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x), x != y.").unwrap();
+        let r = structure_of(&q);
+        assert_eq!(r.cell, FigCell::Cyclic);
+        assert_eq!(r.hypertree_width, Some(2));
+
+        // Acyclic queries are width 1 by definition, no decomposition stored.
+        let r = structure_of(&parse_cq("G(x, z) :- R(x, y), S(y, z).").unwrap());
+        assert_eq!(r.hypertree_width, Some(1));
+        assert!(r.width_exact);
+        assert!(r.decomposition.is_none());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! E16 — bounded hypertree width beyond Fig. 1: the width-2 cycle family
+//! evaluated by bag materialization + Yannakakis over the bag tree
+//! (Gottlob–Leone–Scarcello), vs the naive `n^q` backtracker, plus the
+//! cost of the decomposition search itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::workloads::{cycle_database, cycle_query, triangle_database, triangle_query};
+use pq_engine::{hypertree, naive};
+use pq_hypergraph::decompose;
+
+fn triangle_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypertree/triangle_vs_naive");
+    group.sample_size(10);
+    let q = triangle_query();
+    for n in [600usize, 1200, 2400] {
+        let db = triangle_database(n, (n as i64) / 4, 29);
+        group.bench_with_input(BenchmarkId::new("hypertree", n), &n, |b, _| {
+            b.iter(|| hypertree::evaluate(&q, &db).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive::evaluate(&q, &db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn cycle_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypertree/cycle_vs_naive");
+    group.sample_size(10);
+    let q = cycle_query(6);
+    for n in [100usize, 200, 400] {
+        let db = cycle_database(6, n, (n as i64) / 4, 29);
+        group.bench_with_input(BenchmarkId::new("hypertree", n), &n, |b, _| {
+            b.iter(|| hypertree::evaluate(&q, &db).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive::evaluate(&q, &db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn emptiness_is_cheaper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypertree/emptiness");
+    group.sample_size(10);
+    let q = cycle_query(6);
+    for n in [200usize, 800] {
+        let db = cycle_database(6, n, (n as i64) / 4, 31);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hypertree::is_nonempty(&q, &db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn decomposition_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypertree/decomposition_search");
+    group.sample_size(10);
+    for len in [4usize, 6, 8] {
+        let hg = cycle_query(len).hypergraph();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| decompose(&hg, 3).expect("cycles have width 2").width())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    triangle_vs_naive,
+    cycle_vs_naive,
+    emptiness_is_cheaper,
+    decomposition_search
+);
+criterion_main!(benches);

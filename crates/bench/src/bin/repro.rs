@@ -18,6 +18,8 @@
 //!                    snapshot cadence
 //! repro ivm          pq-ivm: single-row delta maintenance vs full recompute
 //!                    for live transitive-closure and join views
+//! repro hypertree    pq-engine::hypertree: bounded-width cyclic CQs vs the
+//!                    naive engine, recorded in BENCH_hypertree.json
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -60,6 +62,7 @@ fn main() {
         "parallel" => parallel_exp(),
         "recovery" => recovery_exp(),
         "ivm" => ivm_exp(),
+        "hypertree" => hypertree_exp(),
         "all" => {
             fig1();
             thm1();
@@ -74,6 +77,7 @@ fn main() {
             parallel_exp();
             recovery_exp();
             ivm_exp();
+            hypertree_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -1145,4 +1149,108 @@ fn ivm_exp() {
          (acceptance bar: >= 10x: {})",
         if last_speedup >= 10.0 { "PASS" } else { "FAIL" }
     );
+}
+
+// ------------------------------------------------------------- hypertree --
+
+/// E16: bounded hypertree width beyond the paper's Fig. 1 — the width-2
+/// cycle family evaluated by bag materialization + Yannakakis over the bag
+/// tree, vs the naive `n^q` backtracker. The results start the perf
+/// trajectory in `BENCH_hypertree.json`. Acceptance bar: >= 5x at the
+/// largest size.
+fn hypertree_exp() {
+    use pq_engine::hypertree;
+    use pq_hypergraph::decompose;
+
+    header("pq-engine::hypertree — width-2 cyclic CQs vs naive (E16)");
+
+    // One table per family; the acceptance bar reads the headline family.
+    let run_family = |name: &str,
+                      q: &pq_query::ConjunctiveQuery,
+                      instances: &[(usize, Database)]|
+     -> (f64, Vec<String>) {
+        let d = decompose(&q.hypergraph(), 3).expect("family stays within the width limit");
+        println!("\n[{name}] {q}");
+        println!(
+            "  hypertree width {} ({}), decomposition {}",
+            d.width(),
+            if d.is_exact() { "exact" } else { "heuristic" },
+            d.shape()
+        );
+        println!(
+            "  {:>8} {:>12} {:>12} {:>9} {:>8}",
+            "tuples", "hypertree", "naive", "speedup", "answers"
+        );
+        let mut rows = Vec::new();
+        let mut last_speedup = 0.0f64;
+        for (n, db) in instances {
+            let (out, d_h) = time_once(|| hypertree::evaluate(q, db).unwrap());
+            let d_h = d_h.min(time_min(2, || hypertree::evaluate(q, db).unwrap().len()));
+            let (out_naive, d_n) = time_once(|| naive::evaluate(q, db).unwrap());
+            assert_eq!(out, out_naive, "engines must agree at n = {n}");
+            last_speedup = d_n.as_secs_f64() / d_h.as_secs_f64().max(1e-9);
+            println!(
+                "  {:>8} {:>12} {:>12} {:>8.1}x {:>8}",
+                n,
+                fmt_duration(d_h),
+                fmt_duration(d_n),
+                last_speedup,
+                out.len()
+            );
+            rows.push(format!(
+                "        {{\"n\": {n}, \"hypertree_secs\": {:.6}, \"naive_secs\": {:.6}, \
+                 \"speedup\": {:.2}, \"answers\": {}}}",
+                d_h.as_secs_f64(),
+                d_n.as_secs_f64(),
+                last_speedup,
+                out.len()
+            ));
+        }
+        (last_speedup, rows)
+    };
+
+    // Headline: the triangle — single width-2 bag, connected cover, so the
+    // bag materializes in O(n²/d) against naive's n-deep backtracking.
+    let tq = workloads::triangle_query();
+    let t_instances: Vec<(usize, Database)> = [600usize, 1200, 2400]
+        .iter()
+        .map(|&n| (n, workloads::triangle_database(n, (n as i64) / 4, 29)))
+        .collect();
+    let (t_speedup, t_rows) = run_family("triangle", &tq, &t_instances);
+
+    // Secondary: the 6-cycle — three bags, a real tree sweep, and the
+    // disconnected-cover worst case (opposite cycle edges) where bag
+    // materialization itself is Θ(n²), the GLS bound for width 2.
+    let cq = workloads::cycle_query(6);
+    let c_instances: Vec<(usize, Database)> = [200usize, 400, 800]
+        .iter()
+        .map(|&n| (n, workloads::cycle_database(6, n, (n as i64) / 4, 29)))
+        .collect();
+    let (c_speedup, c_rows) = run_family("cycle-6", &cq, &c_instances);
+
+    let pass = t_speedup >= 5.0;
+    println!(
+        "\n  triangle speedup at the largest size: {t_speedup:.1}x  \
+         (acceptance bar: >= 5x: {})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    // Hand-rolled JSON: the perf-trajectory baseline later PRs diff against.
+    let family = |name: &str, rows: &[String], speedup: f64| {
+        format!(
+            "    {{\n      \"family\": \"{name}\",\n      \"points\": [\n{}\n      ],\n      \
+             \"largest_speedup\": {speedup:.2}\n    }}",
+            rows.join(",\n")
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"E16\",\n  \"width\": 2,\n  \"families\": [\n{},\n{}\n  ],\n  \
+         \"bar_5x\": {pass}\n}}\n",
+        family("triangle", &t_rows, t_speedup),
+        family("cycle-6", &c_rows, c_speedup),
+    );
+    match std::fs::write("BENCH_hypertree.json", &json) {
+        Ok(()) => println!("  wrote BENCH_hypertree.json"),
+        Err(e) => println!("  could not write BENCH_hypertree.json: {e}"),
+    }
 }

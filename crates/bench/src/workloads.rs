@@ -95,6 +95,60 @@ pub fn university_database(n_students: usize, n_courses: usize, seed: u64) -> Da
     db
 }
 
+/// E16: the pure cyclic chain `R0(x0,x1), …, R{len-1}(x{len-1},x0)`. A
+/// length-`len` cycle is the canonical bounded-width family: cyclic (GYO
+/// gets stuck immediately) but hypertree width exactly 2, so the hypertree
+/// engine evaluates it in polynomial time while the naive engine pays
+/// `n^{len}` backtracking.
+pub fn cycle_query(len: usize) -> ConjunctiveQuery {
+    assert!(len >= 3, "shorter cycles are not cyclic hypergraphs");
+    let mut body = String::new();
+    for i in 0..len {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("R{i}(x{i}, x{})", (i + 1) % len));
+    }
+    parse_cq(&format!("G(x0) :- {body}.")).unwrap()
+}
+
+/// E16: the matching database — `len` binary relations with `n_tuples`
+/// random rows each over a value domain of size `n_vals`.
+pub fn cycle_database(len: usize, n_tuples: usize, n_vals: i64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 0..len {
+        let rows =
+            (0..n_tuples).map(|_| tuple![rng.gen_range(0..n_vals), rng.gen_range(0..n_vals)]);
+        db.add_table(
+            format!("R{i}"),
+            [format!("a{i}"), format!("a{}", (i + 1) % len)],
+            rows,
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// E16: the canonical width-2 cyclic query — the triangle.
+pub fn triangle_query() -> ConjunctiveQuery {
+    parse_cq("G(x) :- E(x, y), E(y, z), E(z, x).").unwrap()
+}
+
+/// E16: a random edge relation for [`triangle_query`]: `n_tuples` rows over
+/// a value domain of size `n_vals`.
+pub fn triangle_database(n_tuples: usize, n_vals: i64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add_table(
+        "E",
+        ["a", "b"],
+        (0..n_tuples).map(|_| tuple![rng.gen_range(0..n_vals), rng.gen_range(0..n_vals)]),
+    )
+    .unwrap();
+    db
+}
+
 /// E9: the students-outside-department query (Section 5).
 pub fn outside_department_query() -> ConjunctiveQuery {
     parse_cq("G(s) :- SD(s, d), SC(s, c), CD(c, d2), d != d2.").unwrap()
@@ -191,6 +245,18 @@ mod tests {
             .unwrap();
             assert_eq!(out.len(), 4usize.pow(k as u32));
         }
+    }
+
+    #[test]
+    fn cycle_family_is_cyclic_but_width_two() {
+        let q = cycle_query(6);
+        assert!(!q.is_acyclic());
+        let d = pq_hypergraph::decompose(&q.hypergraph(), 3).expect("within limit");
+        assert_eq!(d.width(), 2);
+        let db = cycle_database(6, 20, 8, 3);
+        let naive = pq_engine::naive::evaluate(&q, &db).unwrap();
+        let fast = pq_engine::hypertree::evaluate(&q, &db).unwrap();
+        assert_eq!(naive, fast);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | acyclic, no constraints | combined-complexity polynomial \[18\] | Yannakakis |
 //! | acyclic + `≠` | **f.p. tractable** (Theorem 2) | color coding |
 //! | acyclic + `<`/`≤` | W\[1\]-complete (Theorem 3) | naive (`n^q`) |
+//! | cyclic, pure, hypertree width ≤ k | polynomial for fixed k (Gottlob–Leone–Scarcello) | hypertree |
 //! | cyclic | W\[1\]-complete already for pure CQs (Theorem 1) | naive (`n^q`) |
 //!
 //! The decision procedure itself lives in `pq-analyze`
@@ -32,6 +33,10 @@ pub enum CqClass {
     /// The comparison system is inconsistent: the answer is empty for every
     /// database.
     InconsistentComparisons,
+    /// Cyclic but pure with hypertree width within the configured limit:
+    /// polynomial for fixed width by bag evaluation
+    /// (Gottlob–Leone–Scarcello).
+    CyclicBoundedWidth,
     /// Cyclic relational hypergraph: W\[1\]-complete already without
     /// constraints (Theorem 1).
     Cyclic,
@@ -62,6 +67,7 @@ fn class_of_cell(cell: FigCell) -> CqClass {
         FigCell::AcyclicNeq => CqClass::AcyclicNeq,
         FigCell::AcyclicComparisons => CqClass::AcyclicComparisons,
         FigCell::InconsistentComparisons => CqClass::InconsistentComparisons,
+        FigCell::CyclicBoundedWidth => CqClass::CyclicBoundedWidth,
         FigCell::Cyclic => CqClass::Cyclic,
     }
 }
@@ -111,8 +117,17 @@ mod tests {
         assert_eq!(c.class, CqClass::AcyclicComparisons);
         assert_eq!(c.hardness, Some(WClass::W(1)));
 
+        // A pure triangle is cyclic but width 2: the new tractable cell.
         let cyclic = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
-        assert_eq!(classify(&cyclic).class, CqClass::Cyclic);
+        let c = classify(&cyclic);
+        assert_eq!(c.class, CqClass::CyclicBoundedWidth);
+        assert_eq!(c.hardness, None);
+
+        // Cyclic *and* impure stays in the hard cell.
+        let cyclic_neq = parse_cq("G :- E(x, y), E(y, z), E(z, x), x != y.").unwrap();
+        let c = classify(&cyclic_neq);
+        assert_eq!(c.class, CqClass::Cyclic);
+        assert_eq!(c.hardness, Some(WClass::W(1)));
 
         let incons = parse_cq("G :- R(x, y), x < y, y < x.").unwrap();
         assert_eq!(classify(&incons).class, CqClass::InconsistentComparisons);
@@ -137,11 +152,23 @@ mod tests {
 
     #[test]
     fn adapter_agrees_with_the_analyzer() {
-        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x), x != y.").unwrap();
         let report = structure_of(&q);
         let c = classification_of(&report);
         assert_eq!(c.class, CqClass::Cyclic);
         assert_eq!(c.hardness, Some(WClass::W(1)));
         assert_eq!(c.summary, report.summary);
+    }
+
+    #[test]
+    fn bounded_width_reports_the_decomposition() {
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let report = structure_of(&q);
+        assert_eq!(report.hypertree_width, Some(2));
+        assert!(report.width_exact);
+        assert!(report.decomposition.is_some());
+        let c = classification_of(&report);
+        assert_eq!(c.class, CqClass::CyclicBoundedWidth);
+        assert_eq!(c.hardness, None);
     }
 }

@@ -5,8 +5,9 @@ use pq_analyze::{analyze, Analysis, AnalyzeOptions};
 use pq_data::{Database, Relation, Tuple};
 use pq_engine::colorcoding::{ColorCodingOptions, HashFamily};
 use pq_engine::governor::{ExecutionContext, ResourceKind, SharedContext};
-use pq_engine::{colorcoding, naive, naive_indexed, yannakakis, EngineError, Result};
+use pq_engine::{colorcoding, hypertree, naive, naive_indexed, yannakakis, EngineError, Result};
 use pq_exec::Pool;
+use pq_hypergraph::HypertreeDecomposition;
 use pq_query::ConjunctiveQuery;
 
 use crate::classify::{classification_of, Classification, CqClass};
@@ -58,8 +59,23 @@ pub enum EngineChoice {
     /// The comparison system is inconsistent: the answer is empty for every
     /// database.
     ConstantEmpty,
-    /// Naive `n^q` backtracking (cyclic queries and comparisons).
+    /// Hypertree bag evaluation for cyclic pure queries of bounded width;
+    /// the decomposition the analyzer found is baked into the plan, so
+    /// execution never repeats the width search.
+    Hypertree(HypertreeDecomposition),
+    /// Naive `n^q` backtracking (wide cyclic queries and comparisons).
     Naive,
+}
+
+/// The engine label a hypertree plan advertises; widths within the default
+/// limit are spelled out so `EXPLAIN` output names the bound.
+fn hypertree_label(width: usize) -> &'static str {
+    match width {
+        1 => "hypertree (width 1)",
+        2 => "hypertree (width 2)",
+        3 => "hypertree (width 3)",
+        _ => "hypertree",
+    }
 }
 
 /// The outcome of planning: which engine will run and why.
@@ -124,6 +140,12 @@ pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
             CqClass::InconsistentComparisons => {
                 ("constant (empty answer)", EngineChoice::ConstantEmpty)
             }
+            CqClass::CyclicBoundedWidth => match analysis.report.decomposition.clone() {
+                Some(d) => (hypertree_label(d.width()), EngineChoice::Hypertree(d)),
+                // The cell implies a decomposition; degrade rather than
+                // panic if a future analyzer change breaks that link.
+                None => ("naive backtracking", EngineChoice::Naive),
+            },
             CqClass::AcyclicComparisons | CqClass::Cyclic => {
                 ("naive backtracking", EngineChoice::Naive)
             }
@@ -170,6 +192,9 @@ impl Plan {
             EngineChoice::Yannakakis => yannakakis::evaluate(q, db),
             EngineChoice::ColorCoding(cc) => colorcoding::evaluate(q, db, cc),
             EngineChoice::ConstantEmpty => empty_head(q),
+            EngineChoice::Hypertree(d) => {
+                hypertree::evaluate_decomposed(q, db, d, &ExecutionContext::unlimited())
+            }
             EngineChoice::Naive => naive::evaluate(q, db),
         }
     }
@@ -208,6 +233,7 @@ impl Plan {
             EngineChoice::Yannakakis => yannakakis::evaluate_governed(q, db, ctx),
             EngineChoice::ColorCoding(cc) => colorcoding::evaluate_governed(q, db, cc, ctx),
             EngineChoice::ConstantEmpty => empty_head(q),
+            EngineChoice::Hypertree(d) => hypertree::evaluate_decomposed(q, db, d, ctx),
             EngineChoice::Naive => naive::evaluate_governed(q, db, ctx),
         }
     }
@@ -219,6 +245,9 @@ impl Plan {
             EngineChoice::Yannakakis => yannakakis::is_nonempty(q, db),
             EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty(q, db, cc),
             EngineChoice::ConstantEmpty => Ok(false),
+            EngineChoice::Hypertree(d) => {
+                hypertree::is_nonempty_decomposed(q, db, d, &ExecutionContext::unlimited())
+            }
             EngineChoice::Naive => naive::is_nonempty(q, db),
         }
     }
@@ -243,6 +272,9 @@ impl Plan {
                 colorcoding::evaluate_parallel(q, db, cc, shared, pool)
             }
             EngineChoice::ConstantEmpty => empty_head(q),
+            EngineChoice::Hypertree(d) => {
+                hypertree::evaluate_decomposed_parallel(q, db, d, shared, pool)
+            }
             EngineChoice::Naive => naive::evaluate_parallel(q, db, shared, pool),
         }
     }
@@ -263,6 +295,9 @@ impl Plan {
                 colorcoding::is_nonempty_parallel(q, db, cc, shared, pool)
             }
             EngineChoice::ConstantEmpty => Ok(false),
+            EngineChoice::Hypertree(d) => {
+                hypertree::is_nonempty_decomposed_parallel(q, db, d, shared, pool)
+            }
             EngineChoice::Naive => naive::is_nonempty_parallel(q, db, shared, pool),
         }
     }
@@ -322,8 +357,8 @@ fn retryable(e: &EngineError) -> bool {
 
 /// Evaluate `Q(d)` with graceful degradation under the limits of `ctx`.
 ///
-/// Tries the chain **color-coding → Yannakakis → indexed-naive → naive**,
-/// advancing past engines that reject the query (`Unsupported`) or give up
+/// Tries the chain **color-coding → Yannakakis → hypertree → indexed-naive →
+/// naive**, advancing past engines that reject the query (`Unsupported`) or give up
 /// on a recoverable limit (see [`FallbackAttempt`]). Every attempt shares
 /// `ctx`, so a fallback engine runs on exactly the budget its predecessors
 /// left. The chain never trades correctness for progress: the color-coding
@@ -363,7 +398,7 @@ pub fn evaluate_with_fallback(
         minimize_hashed_attrs: true,
     };
     type Step<'a> = (&'static str, Box<dyn Fn() -> Result<Relation> + 'a>);
-    let chain: [Step<'_>; 4] = [
+    let chain: [Step<'_>; 5] = [
         (
             "color-coding",
             Box::new(|| colorcoding::evaluate_governed(q, db, &cc, ctx)),
@@ -371,6 +406,10 @@ pub fn evaluate_with_fallback(
         (
             "yannakakis",
             Box::new(|| yannakakis::evaluate_governed(q, db, ctx)),
+        ),
+        (
+            "hypertree",
+            Box::new(|| hypertree::evaluate_governed(q, db, ctx)),
         ),
         (
             "naive-indexed",
@@ -453,8 +492,30 @@ mod tests {
             &opts,
         );
         assert!(p.engine.starts_with("colorcoding"));
+        // Cyclic but width-2: the hypertree engine, naming its bound.
         let p = plan(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
+        assert_eq!(p.engine, "hypertree (width 2)");
+        // Cyclic and impure: no bounded-width promotion.
+        let p = plan(
+            &parse_cq("G :- R(x, y), R(y, z), R(z, x), x != y.").unwrap(),
+            &opts,
+        );
         assert_eq!(p.engine, "naive backtracking");
+        // Cyclic and too wide for the exact gate: heuristic width 4 > 3.
+        let p = plan(&parse_cq(&k7_query()).unwrap(), &opts);
+        assert_eq!(p.engine, "naive backtracking");
+    }
+
+    /// The K7 clique query as 21 binary atoms: past [`pq_hypergraph::EXACT_EDGE_LIMIT`],
+    /// the greedy heuristic certifies width 4 — above the engine limit.
+    fn k7_query() -> String {
+        let mut atoms = Vec::new();
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                atoms.push(format!("R(v{i}, v{j})"));
+            }
+        }
+        format!("G :- {}.", atoms.join(", "))
     }
 
     #[test]
@@ -499,6 +560,11 @@ mod tests {
         let p = plan(&parse_cq("G :- R(x, y), x < y, y < x.").unwrap(), &opts);
         assert_eq!(p.choice, EngineChoice::ConstantEmpty);
         let p = plan(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
+        match &p.choice {
+            EngineChoice::Hypertree(d) => assert_eq!(d.width(), 2),
+            other => panic!("triangle should plan hypertree, got {other:?}"),
+        }
+        let p = plan(&parse_cq(&k7_query()).unwrap(), &opts);
         assert_eq!(p.choice, EngineChoice::Naive);
     }
 
@@ -542,17 +608,33 @@ mod tests {
     }
 
     #[test]
-    fn fallback_chain_reaches_naive_indexed_for_cyclic_queries() {
+    fn fallback_chain_reaches_hypertree_for_bounded_width_cycles() {
         let d = db();
         let q = parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap();
         let ctx = ExecutionContext::unlimited();
         let out = evaluate_with_fallback(&q, &d, &ctx).unwrap();
         assert_eq!(out.result, naive::evaluate(&q, &d).unwrap());
         let engines: Vec<_> = out.attempts.iter().map(|a| a.engine).collect();
-        assert_eq!(engines, vec!["color-coding", "yannakakis", "naive-indexed"]);
+        assert_eq!(engines, vec!["color-coding", "yannakakis", "hypertree"]);
         assert!(out.attempts[0].error.is_some());
         assert!(out.attempts[1].error.is_some());
         assert!(out.attempts[2].error.is_none());
+    }
+
+    #[test]
+    fn fallback_chain_reaches_naive_indexed_for_wide_cyclic_queries() {
+        let d = db();
+        let q = parse_cq(&k7_query()).unwrap();
+        let ctx = ExecutionContext::unlimited();
+        let out = evaluate_with_fallback(&q, &d, &ctx).unwrap();
+        assert_eq!(out.result, naive::evaluate(&q, &d).unwrap());
+        let engines: Vec<_> = out.attempts.iter().map(|a| a.engine).collect();
+        assert_eq!(
+            engines,
+            vec!["color-coding", "yannakakis", "hypertree", "naive-indexed"]
+        );
+        assert!(out.attempts[2].error.is_some());
+        assert!(out.attempts[3].error.is_none());
     }
 
     #[test]
@@ -587,9 +669,9 @@ mod tests {
     #[test]
     fn fallback_depth_limit_exhausts_recursive_engines() {
         let d = db();
-        // Cyclic: only the recursive backtrackers apply, and depth 1 is not
-        // enough for a three-atom search.
-        let q = parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap();
+        // Too wide for the hypertree engine: only the recursive backtrackers
+        // apply, and depth 1 is not enough for a 21-atom search.
+        let q = parse_cq(&k7_query()).unwrap();
         let ctx = ExecutionContext::new().with_max_depth(1);
         let err = evaluate_with_fallback(&q, &d, &ctx).unwrap_err();
         match err {

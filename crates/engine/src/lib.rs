@@ -7,6 +7,7 @@
 //! | [`bounded_var`] | Theorem 1(1), parameter-`v` upper bound | builds `Q'`, `d'` in poly time |
 //! | [`yannakakis`] | the acyclic-CQ algorithm of \[18\] that Theorem 2 extends | poly(input + output) |
 //! | [`colorcoding`] | **Theorem 2**: acyclic CQ + `≠` by color coding | `O(g(v)·q·n·log n)` emptiness |
+//! | [`hypertree`] | beyond Fig. 1: cyclic CQs of bounded hypertree width (Gottlob–Leone–Scarcello) | poly(input + output) for fixed width |
 //! | [`positive_eval`] | Theorem 1(2): positive queries via union-of-CQs | exp(q)·poly(n) |
 //! | [`fo_eval`] | Theorem 1(3) context: FO evaluation over the active domain | `O(q·n^v)` |
 //! | [`datalog_eval`] | Section 4: bottom-up Datalog, naive and semi-naive | poly for fixed arity |
@@ -26,6 +27,7 @@ pub mod delta;
 pub mod error;
 pub mod fo_eval;
 pub mod governor;
+pub mod hypertree;
 pub mod naive;
 pub mod naive_indexed;
 pub mod positive_eval;

@@ -295,7 +295,15 @@ pub fn evaluate_with_options_governed(
 
 /// Variables `Z_j = (U_j ∩ U_u) ∪ (Z ∩ at(T[j]))` kept when the subtree
 /// rooted at `j` is joined into its parent `u` (Section 5's output join).
-fn zj_vars(hg: &Hypergraph, tree: &JoinTree, j: usize, u: usize, z: &[String]) -> Vec<String> {
+/// Shared with the hypertree engine, which runs the same output join over
+/// its bag hypergraph.
+pub(crate) fn zj_vars(
+    hg: &Hypergraph,
+    tree: &JoinTree,
+    j: usize,
+    u: usize,
+    z: &[String],
+) -> Vec<String> {
     let u_j: BTreeSet<&str> = hg.edge(j).iter().map(|&v| hg.label(v)).collect();
     let u_u: BTreeSet<&str> = hg.edge(u).iter().map(|&v| hg.label(v)).collect();
     let subtree: BTreeSet<&str> = tree
@@ -320,7 +328,7 @@ fn zj_vars(hg: &Hypergraph, tree: &JoinTree, j: usize, u: usize, z: &[String]) -
 /// schedule (every node's children are reduced one level earlier), and all
 /// semijoins *within* one level touch distinct parents, so they can run
 /// concurrently; that is the schedule the parallel passes below use.
-fn levels(tree: &JoinTree) -> Vec<Vec<usize>> {
+pub(crate) fn levels(tree: &JoinTree) -> Vec<Vec<usize>> {
     let mut depth = vec![0usize; tree.num_nodes()];
     for j in tree.top_down() {
         if let Some(u) = tree.parent(j) {
@@ -337,7 +345,7 @@ fn levels(tree: &JoinTree) -> Vec<Vec<usize>> {
 
 /// Per-atom relations computed by parallel workers charging one shared
 /// envelope. Output is positionally identical to the serial loop.
-fn parallel_atom_relations(
+pub(crate) fn parallel_atom_relations(
     q: &ConjunctiveQuery,
     db: &Database,
     shared: &SharedContext,
@@ -354,12 +362,15 @@ fn parallel_atom_relations(
 /// hence budget charges — are identical). Returns `false` as soon as a
 /// non-root relation empties. A level with a single parent (e.g. every level
 /// of a chain query) instead runs the data-parallel semijoin kernel, which
-/// is byte-identical to the serial one.
-fn parallel_upward_pass(
+/// is byte-identical to the serial one. Shared with the hypertree engine
+/// (which sweeps its bag tree), so exhaustion errors name the caller via
+/// `engine`.
+pub(crate) fn parallel_upward_pass(
     tree: &JoinTree,
     rels: &mut [Relation],
     shared: &SharedContext,
     pool: &Pool,
+    engine: &'static str,
 ) -> Result<bool> {
     let lv = levels(tree);
     for d in (1..lv.len()).rev() {
@@ -372,12 +383,12 @@ fn parallel_upward_pass(
             let u = parents[0];
             let ctx = shared.worker();
             for &j in tree.children(u) {
-                ctx.tick(ENGINE)?;
+                ctx.tick(engine)?;
                 if rels[j].is_empty() {
                     return Ok(false);
                 }
                 rels[u] = rels[u].par_semijoin(&rels[j], pool);
-                ctx.charge_tuples(ENGINE, rels[u].len() as u64)?;
+                ctx.charge_tuples(engine, rels[u].len() as u64)?;
             }
         } else {
             let snapshot: &[Relation] = rels;
@@ -386,10 +397,10 @@ fn parallel_upward_pass(
                 let mut cur = snapshot[u].clone();
                 let mut dead = false;
                 for &j in tree.children(u) {
-                    ctx.tick(ENGINE)?;
+                    ctx.tick(engine)?;
                     dead |= snapshot[j].is_empty();
                     cur = cur.semijoin(&snapshot[j]);
-                    ctx.charge_tuples(ENGINE, cur.len() as u64)?;
+                    ctx.charge_tuples(engine, cur.len() as u64)?;
                 }
                 Ok::<_, EngineError>((cur, dead))
             })?;
@@ -408,12 +419,13 @@ fn parallel_upward_pass(
 
 /// Top-down semijoin pass, level-by-level: every node of a level reads only
 /// its (already-reduced) parent one level up, so a whole level runs
-/// concurrently.
-fn parallel_downward_pass(
+/// concurrently. Shared with the hypertree engine.
+pub(crate) fn parallel_downward_pass(
     tree: &JoinTree,
     rels: &mut [Relation],
     shared: &SharedContext,
     pool: &Pool,
+    engine: &'static str,
 ) -> Result<()> {
     let lv = levels(tree);
     for nodes in lv.iter().skip(1) {
@@ -421,17 +433,17 @@ fn parallel_downward_pass(
             let j = nodes[0];
             let u = tree.parent(j).expect("non-root level");
             let ctx = shared.worker();
-            ctx.tick(ENGINE)?;
+            ctx.tick(engine)?;
             rels[j] = rels[j].par_semijoin(&rels[u], pool);
-            ctx.charge_tuples(ENGINE, rels[j].len() as u64)?;
+            ctx.charge_tuples(engine, rels[j].len() as u64)?;
         } else {
             let snapshot: &[Relation] = rels;
             let reduced: Vec<Relation> = pool.try_run(nodes, |_, &j| {
                 let ctx = shared.worker();
                 let u = tree.parent(j).expect("non-root level");
-                ctx.tick(ENGINE)?;
+                ctx.tick(engine)?;
                 let out = snapshot[j].semijoin(&snapshot[u]);
-                ctx.charge_tuples(ENGINE, out.len() as u64)?;
+                ctx.charge_tuples(engine, out.len() as u64)?;
                 Ok::<_, EngineError>(out)
             })?;
             for (&j, out) in nodes.iter().zip(reduced) {
@@ -456,10 +468,66 @@ pub fn is_nonempty_parallel(
     }
     let (_hg, tree) = prepare(q)?;
     let mut rels = parallel_atom_relations(q, db, shared, pool)?;
-    if !parallel_upward_pass(&tree, &mut rels, shared, pool)? {
+    if !parallel_upward_pass(&tree, &mut rels, shared, pool, ENGINE)? {
         return Ok(false);
     }
     Ok(!rels[tree.root()].is_empty())
+}
+
+/// Bottom-up join + project phase scheduled level-by-level (levels join into
+/// distinct parents concurrently). Returns `false` as soon as an
+/// intermediate relation empties — the caller's output is empty. Shared with
+/// the hypertree engine, which runs the identical phase over its bag
+/// hypergraph and bag tree.
+pub(crate) fn parallel_output_join(
+    hg: &Hypergraph,
+    tree: &JoinTree,
+    rels: &mut [Relation],
+    z: &[String],
+    shared: &SharedContext,
+    pool: &Pool,
+    engine: &'static str,
+) -> Result<bool> {
+    let lv = levels(tree);
+    for d in (1..lv.len()).rev() {
+        let parents: Vec<usize> = lv[d - 1]
+            .iter()
+            .copied()
+            .filter(|&u| !tree.children(u).is_empty())
+            .collect();
+        if parents.len() == 1 {
+            let u = parents[0];
+            let ctx = shared.worker();
+            for &j in tree.children(u) {
+                ctx.tick(engine)?;
+                let zj = zj_vars(hg, tree, j, u, z);
+                let projected = rels[j].project_onto(&zj);
+                rels[u] = rels[u].par_natural_join(&projected, pool)?;
+                ctx.charge_tuples(engine, (projected.len() + rels[u].len()) as u64)?;
+            }
+        } else {
+            let snapshot: &[Relation] = rels;
+            let joined: Vec<Relation> = pool.try_run(&parents, |_, &u| {
+                let ctx = shared.worker();
+                let mut cur = snapshot[u].clone();
+                for &j in tree.children(u) {
+                    ctx.tick(engine)?;
+                    let zj = zj_vars(hg, tree, j, u, z);
+                    let projected = snapshot[j].project_onto(&zj);
+                    cur = cur.natural_join(&projected)?;
+                    ctx.charge_tuples(engine, (projected.len() + cur.len()) as u64)?;
+                }
+                Ok::<_, EngineError>(cur)
+            })?;
+            for (&u, cur) in parents.iter().zip(joined) {
+                rels[u] = cur;
+            }
+        }
+        if parents.iter().any(|&u| rels[u].is_empty()) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// [`evaluate_with_options`] with per-level parallel semijoin sweeps and a
@@ -494,7 +562,7 @@ pub fn evaluate_parallel(
     let mut rels = parallel_atom_relations(q, db, shared, pool)?;
 
     // Upward semijoin pass (full-reducer half 1).
-    if !parallel_upward_pass(&tree, &mut rels, shared, pool)? {
+    if !parallel_upward_pass(&tree, &mut rels, shared, pool, ENGINE)? {
         return Ok(Relation::new(head_attrs(&q.head_terms))?);
     }
     if rels[tree.root()].is_empty() {
@@ -503,50 +571,14 @@ pub fn evaluate_parallel(
 
     // Downward semijoin pass (full-reducer half 2).
     if opts.downward_pass {
-        parallel_downward_pass(&tree, &mut rels, shared, pool)?;
+        parallel_downward_pass(&tree, &mut rels, shared, pool, ENGINE)?;
     }
 
     // Bottom-up join + project, level-by-level; levels join into distinct
     // parents concurrently.
     let z: Vec<String> = q.head_variables().iter().map(|v| v.to_string()).collect();
-    let lv = levels(&tree);
-    for d in (1..lv.len()).rev() {
-        let parents: Vec<usize> = lv[d - 1]
-            .iter()
-            .copied()
-            .filter(|&u| !tree.children(u).is_empty())
-            .collect();
-        if parents.len() == 1 {
-            let u = parents[0];
-            let ctx = shared.worker();
-            for &j in tree.children(u) {
-                ctx.tick(ENGINE)?;
-                let zj = zj_vars(&hg, &tree, j, u, &z);
-                let projected = rels[j].project_onto(&zj);
-                rels[u] = rels[u].par_natural_join(&projected, pool)?;
-                ctx.charge_tuples(ENGINE, (projected.len() + rels[u].len()) as u64)?;
-            }
-        } else {
-            let snapshot: &[Relation] = &rels;
-            let joined: Vec<Relation> = pool.try_run(&parents, |_, &u| {
-                let ctx = shared.worker();
-                let mut cur = snapshot[u].clone();
-                for &j in tree.children(u) {
-                    ctx.tick(ENGINE)?;
-                    let zj = zj_vars(&hg, &tree, j, u, &z);
-                    let projected = snapshot[j].project_onto(&zj);
-                    cur = cur.natural_join(&projected)?;
-                    ctx.charge_tuples(ENGINE, (projected.len() + cur.len()) as u64)?;
-                }
-                Ok::<_, EngineError>(cur)
-            })?;
-            for (&u, cur) in parents.iter().zip(joined) {
-                rels[u] = cur;
-            }
-        }
-        if parents.iter().any(|&u| rels[u].is_empty()) {
-            return Ok(Relation::new(head_attrs(&q.head_terms))?);
-        }
+    if !parallel_output_join(&hg, &tree, &mut rels, &z, shared, pool, ENGINE)? {
+        return Ok(Relation::new(head_attrs(&q.head_terms))?);
     }
 
     // Project the root onto Z and materialize the head terms.

@@ -1,0 +1,797 @@
+//! Hypertree decompositions: the tractability frontier *beyond* acyclicity.
+//!
+//! Gottlob, Leone & Scarcello (*Hypertree Decompositions and Tractable
+//! Queries*, cs/9812022) generalize the paper's Fig. 1 island of acyclic
+//! queries: a hypergraph is α-acyclic iff it has hypertree width 1, and for
+//! every fixed `k`, queries of hypertree width ≤ `k` are evaluable in
+//! polynomial time by materializing each decomposition node's bag (a join of
+//! at most `k` relations) and running the Yannakakis semijoin sweep over the
+//! bag tree.
+//!
+//! A *hypertree decomposition* of a hypergraph `H` is a rooted tree whose
+//! nodes `t` carry a **bag** `χ(t)` of vertices and a **cover** `λ(t)` of
+//! hyperedges, such that
+//!
+//! 1. every hyperedge is contained in some bag (so the corresponding atom can
+//!    be semijoined against a materialized bag),
+//! 2. for every vertex, the nodes whose bags contain it form a connected
+//!    subtree (the classical join-tree property, lifted to bags), and
+//! 3. every bag is covered by the union of its cover's edges, `χ(t) ⊆ ∪λ(t)`
+//!    (so the bag relation is a sub-relation of a join of `|λ(t)|` atoms).
+//!
+//! The **width** is `max_t |λ(t)|`; conditions 1–3 are exactly what the
+//! evaluator in `pq-engine::hypertree` needs for correctness (they define
+//! *generalized* hypertree decompositions; the exact search below also
+//! maintains GLS's descendant condition, which is what makes the search
+//! polynomial but is not required for evaluation).
+//!
+//! [`decompose`] tries, in order: a width-1 decomposition straight from the
+//! GYO join tree (acyclic case); an exact branch-and-bound search in the
+//! style of det-k-decomp for `k = 2..=width_limit` (gated to hypergraphs with
+//! at most [`EXACT_EDGE_LIMIT`] edges); and a greedy vertex-elimination
+//! heuristic whose result is a *verified-width certificate* — a valid
+//! decomposition whose width upper-bounds the true hypertree width. All
+//! tie-breaking is by index, so the output is deterministic across runs and
+//! platforms; the exact search seeds its guard ordering with the (sorted) GYO
+//! cyclic core, the same witness `PQA401` names.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::gyo::{gyo, GyoOutcome};
+use crate::hypergraph::Hypergraph;
+use crate::jointree::JoinTree;
+
+/// Default bound on the widths the exact search explores (and the largest
+/// width the planner will route to the hypertree engine). Gated in
+/// `AnalyzeOptions::width_limit` the way `minimize_atom_limit` gates core
+/// minimization.
+pub const DEFAULT_WIDTH_LIMIT: usize = 3;
+
+/// The exact branch-and-bound search runs only on hypergraphs with at most
+/// this many edges; larger inputs get the greedy heuristic certificate only.
+pub const EXACT_EDGE_LIMIT: usize = 16;
+
+/// One node of a hypertree decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypertreeNode {
+    /// `χ(t)`: the vertices this node is responsible for.
+    pub bag: BTreeSet<usize>,
+    /// `λ(t)`: hyperedge indices whose vertex union covers the bag.
+    pub cover: BTreeSet<usize>,
+}
+
+/// A rooted hypertree decomposition; see the module docs for the invariants.
+///
+/// Instances are produced by [`decompose`] (validity checked by construction
+/// and re-checkable with [`HypertreeDecomposition::verify`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypertreeDecomposition {
+    nodes: Vec<HypertreeNode>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+    width: usize,
+    exact: bool,
+}
+
+impl HypertreeDecomposition {
+    fn assemble(nodes: Vec<HypertreeNode>, parent: Vec<Option<usize>>, exact: bool) -> Self {
+        assert_eq!(nodes.len(), parent.len());
+        assert!(!nodes.is_empty(), "decomposition needs at least one node");
+        let roots: Vec<usize> = (0..parent.len()).filter(|&i| parent[i].is_none()).collect();
+        assert_eq!(roots.len(), 1, "exactly one root expected, got {roots:?}");
+        let mut children = vec![Vec::new(); nodes.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[*p].push(i);
+            }
+        }
+        let width = nodes
+            .iter()
+            .map(|n| n.cover.len())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let d = HypertreeDecomposition {
+            nodes,
+            parent,
+            children,
+            root: roots[0],
+            width,
+            exact,
+        };
+        assert_eq!(
+            d.top_down().len(),
+            d.num_nodes(),
+            "parent pointers contain a cycle"
+        );
+        d
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of decomposition nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node at index `i`.
+    pub fn node(&self, i: usize) -> &HypertreeNode {
+        &self.nodes[i]
+    }
+
+    /// Parent of node `i`, or `None` for the root.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Children of node `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// The width, `max_t |λ(t)|`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` when the width is the exact hypertree width; `false` when it is
+    /// the heuristic's verified upper bound.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Nodes in top-down (preorder) order, root first.
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for &c in &self.children[n] {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Nodes in bottom-up order: every node after all of its children.
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut order = self.top_down();
+        order.reverse();
+        order
+    }
+
+    /// Number of levels (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max = 1;
+        for n in self.top_down() {
+            depth[n] = self.parent[n].map_or(1, |p| depth[p] + 1);
+            max = max.max(depth[n]);
+        }
+        max
+    }
+
+    /// Compact shape summary for wire output: `bags=N depth=D width=W`.
+    pub fn shape(&self) -> String {
+        format!(
+            "bags={} depth={} width={}",
+            self.num_nodes(),
+            self.depth(),
+            self.width
+        )
+    }
+
+    /// The bag tree as a [`JoinTree`] (one tree node per decomposition node);
+    /// the evaluator runs the classical semijoin sweeps over this.
+    pub fn to_join_tree(&self) -> JoinTree {
+        JoinTree::from_parents(self.parent.clone())
+    }
+
+    /// Re-check the three decomposition conditions against `hg`: every
+    /// (nonempty) hyperedge inside some bag, per-vertex bag connectedness,
+    /// and `χ(t) ⊆ ∪λ(t)` with in-range cover indices.
+    pub fn verify(&self, hg: &Hypergraph) -> bool {
+        // Condition 1: every hyperedge fits in some bag.
+        for e in hg.edges() {
+            if !self.nodes.iter().any(|n| e.is_subset(&n.bag)) {
+                return false;
+            }
+        }
+        // Condition 3: covers are in range and cover their bags.
+        for n in &self.nodes {
+            if n.cover.iter().any(|&e| e >= hg.num_edges()) {
+                return false;
+            }
+            let covered: BTreeSet<usize> = n
+                .cover
+                .iter()
+                .flat_map(|&e| hg.edge(e).iter().copied())
+                .collect();
+            if !n.bag.is_subset(&covered) {
+                return false;
+            }
+        }
+        // Condition 2: per-vertex connectedness of the bags containing it.
+        for v in 0..hg.num_vertices() {
+            let holders: BTreeSet<usize> = (0..self.nodes.len())
+                .filter(|&i| self.nodes[i].bag.contains(&v))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            let start = *holders.iter().next().expect("nonempty");
+            let mut seen = BTreeSet::from([start]);
+            let mut stack = vec![start];
+            while let Some(n) = stack.pop() {
+                let mut nbrs: Vec<usize> = self.children[n].clone();
+                if let Some(p) = self.parent[n] {
+                    nbrs.push(p);
+                }
+                for m in nbrs {
+                    if holders.contains(&m) && seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+            if seen != holders {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Compute a hypertree decomposition of `hg`.
+///
+/// Returns `None` when the hypergraph has no nonempty edge (a constant-only
+/// query body has no structure to decompose). Otherwise the result is always
+/// a valid decomposition: exact of width 1 for acyclic hypergraphs, exact of
+/// width `k ≤ width_limit` when the branch-and-bound search succeeds (only
+/// attempted when `num_edges ≤ EXACT_EDGE_LIMIT`), or the greedy elimination
+/// certificate with `is_exact() == false` — whose width may exceed
+/// `width_limit`, in which case callers fall back to the naive engine.
+pub fn decompose(hg: &Hypergraph, width_limit: usize) -> Option<HypertreeDecomposition> {
+    if hg.edges().iter().all(|e| e.is_empty()) {
+        return None;
+    }
+    match gyo(hg) {
+        GyoOutcome::Acyclic(tree) => {
+            let nodes = (0..hg.num_edges())
+                .map(|e| HypertreeNode {
+                    bag: hg.edge(e).clone(),
+                    cover: BTreeSet::from([e]),
+                })
+                .collect();
+            let parent = (0..hg.num_edges()).map(|e| tree.parent(e)).collect();
+            Some(HypertreeDecomposition::assemble(nodes, parent, true))
+        }
+        GyoOutcome::Cyclic(core) => {
+            if hg.num_edges() <= EXACT_EDGE_LIMIT {
+                for k in 2..=width_limit {
+                    if let Some(d) = exact_search(hg, k, &core) {
+                        debug_assert!(d.verify(hg));
+                        return Some(d);
+                    }
+                }
+            }
+            let d = greedy_elimination(hg);
+            debug_assert!(d.verify(hg));
+            Some(d)
+        }
+    }
+}
+
+// ------------------------------------------------------------------ exact --
+
+/// A decomposition fragment: node 0 is the fragment root; `parent` indices
+/// are fragment-local (ignored at node 0).
+type Fragment = Vec<FragNode>;
+
+#[derive(Clone)]
+struct FragNode {
+    bag: BTreeSet<usize>,
+    cover: BTreeSet<usize>,
+    parent: usize,
+}
+
+struct Search<'a> {
+    hg: &'a Hypergraph,
+    k: usize,
+    /// Guard preference order: the GYO cyclic core (sorted) first, then the
+    /// remaining edges by index — deterministic and biased toward the part
+    /// of the hypergraph that actually causes cyclicity.
+    order: Vec<usize>,
+    memo: HashMap<(Vec<usize>, Vec<usize>), Option<Fragment>>,
+}
+
+/// det-k-decomp-style search for a width-`k` decomposition in GLS normal
+/// form: each node's guard `λ` contains at least one edge of the component it
+/// is decomposing (so at least one edge is covered per step and recursion
+/// terminates), guards are drawn from the component plus edges meeting the
+/// connector (any other edge contributes nothing to the bag), and the bag is
+/// `∪λ` restricted to the component's vertices plus the connector — which
+/// keeps guard vertices that live outside the component out of every
+/// descendant bag (GLS's descendant condition).
+fn exact_search(hg: &Hypergraph, k: usize, core: &[usize]) -> Option<HypertreeDecomposition> {
+    let mut order: Vec<usize> = core.to_vec();
+    order.sort_unstable();
+    for e in 0..hg.num_edges() {
+        if !core.contains(&e) {
+            order.push(e);
+        }
+    }
+    let mut search = Search {
+        hg,
+        k,
+        order,
+        memo: HashMap::new(),
+    };
+
+    let nonempty: BTreeSet<usize> = (0..hg.num_edges())
+        .filter(|&e| !hg.edge(e).is_empty())
+        .collect();
+    let mut fragments = Vec::new();
+    for comp in components(hg, &nonempty, &BTreeSet::new()) {
+        fragments.push(search.decompose_component(&comp, &BTreeSet::new())?);
+    }
+
+    let mut nodes = Vec::new();
+    let mut parent = Vec::new();
+    let mut roots = Vec::new();
+    for frag in fragments {
+        let off = nodes.len();
+        roots.push(off);
+        for (i, fnode) in frag.into_iter().enumerate() {
+            parent.push(if i == 0 {
+                None
+            } else {
+                Some(off + fnode.parent)
+            });
+            nodes.push(HypertreeNode {
+                bag: fnode.bag,
+                cover: fnode.cover,
+            });
+        }
+    }
+    // Disconnected hypergraphs: attach the extra component roots under the
+    // first (vertex-disjoint, so connectedness is unaffected).
+    for &r in &roots[1..] {
+        parent[r] = Some(roots[0]);
+    }
+    Some(HypertreeDecomposition::assemble(nodes, parent, true))
+}
+
+/// Split `edges` into connected components, treating two edges as adjacent
+/// when they share a vertex outside `separator`. Components come out sorted
+/// by their smallest edge index.
+fn components(
+    hg: &Hypergraph,
+    edges: &BTreeSet<usize>,
+    separator: &BTreeSet<usize>,
+) -> Vec<BTreeSet<usize>> {
+    let mut remaining: BTreeSet<usize> = edges.clone();
+    let mut out = Vec::new();
+    while let Some(&start) = remaining.iter().next() {
+        let mut comp = BTreeSet::from([start]);
+        remaining.remove(&start);
+        let mut stack = vec![start];
+        while let Some(e) = stack.pop() {
+            let grown: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&f| {
+                    hg.edge(e)
+                        .iter()
+                        .any(|v| !separator.contains(v) && hg.edge(f).contains(v))
+                })
+                .collect();
+            for f in grown {
+                remaining.remove(&f);
+                comp.insert(f);
+                stack.push(f);
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+impl Search<'_> {
+    fn decompose_component(
+        &mut self,
+        comp: &BTreeSet<usize>,
+        connector: &BTreeSet<usize>,
+    ) -> Option<Fragment> {
+        let key = (
+            comp.iter().copied().collect::<Vec<_>>(),
+            connector.iter().copied().collect::<Vec<_>>(),
+        );
+        if let Some(cached) = self.memo.get(&key) {
+            return cached.clone();
+        }
+
+        // Guard candidates, in preference order: component edges first, then
+        // outside edges that meet the connector (anything else is useless —
+        // an outside edge intersects the component's vertices only inside
+        // the connector).
+        let mut cands: Vec<usize> = Vec::new();
+        for &e in &self.order {
+            if comp.contains(&e) {
+                cands.push(e);
+            }
+        }
+        for &e in &self.order {
+            if !comp.contains(&e) && self.hg.edge(e).iter().any(|v| connector.contains(v)) {
+                cands.push(e);
+            }
+        }
+
+        let comp_verts: BTreeSet<usize> = comp
+            .iter()
+            .flat_map(|&e| self.hg.edge(e).iter().copied())
+            .collect();
+        let mut scope = comp_verts;
+        scope.extend(connector.iter().copied());
+
+        let result = self.try_guards(&cands, comp, connector, &scope);
+        self.memo.insert(key, result.clone());
+        result
+    }
+
+    /// Enumerate guard sets by increasing size (smaller guards ⇒ tighter
+    /// bags), lexicographically in candidate order within a size.
+    fn try_guards(
+        &mut self,
+        cands: &[usize],
+        comp: &BTreeSet<usize>,
+        connector: &BTreeSet<usize>,
+        scope: &BTreeSet<usize>,
+    ) -> Option<Fragment> {
+        for size in 1..=self.k.min(cands.len()) {
+            let mut picked = Vec::with_capacity(size);
+            if let Some(frag) = self.combine(cands, 0, size, &mut picked, comp, connector, scope) {
+                return Some(frag);
+            }
+        }
+        None
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn combine(
+        &mut self,
+        cands: &[usize],
+        from: usize,
+        size: usize,
+        picked: &mut Vec<usize>,
+        comp: &BTreeSet<usize>,
+        connector: &BTreeSet<usize>,
+        scope: &BTreeSet<usize>,
+    ) -> Option<Fragment> {
+        if picked.len() == size {
+            return self.try_lambda(picked, comp, connector, scope);
+        }
+        for i in from..cands.len() {
+            picked.push(cands[i]);
+            let hit = self.combine(cands, i + 1, size, picked, comp, connector, scope);
+            picked.pop();
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        None
+    }
+
+    fn try_lambda(
+        &mut self,
+        lambda: &[usize],
+        comp: &BTreeSet<usize>,
+        connector: &BTreeSet<usize>,
+        scope: &BTreeSet<usize>,
+    ) -> Option<Fragment> {
+        // Normal form: the guard must take at least one component edge, so
+        // at least one edge is covered and the recursion shrinks.
+        if !lambda.iter().any(|e| comp.contains(e)) {
+            return None;
+        }
+        let v_lambda: BTreeSet<usize> = lambda
+            .iter()
+            .flat_map(|&e| self.hg.edge(e).iter().copied())
+            .collect();
+        if !connector.is_subset(&v_lambda) {
+            return None;
+        }
+        let chi: BTreeSet<usize> = v_lambda.intersection(scope).copied().collect();
+        let covered: BTreeSet<usize> = comp
+            .iter()
+            .copied()
+            .filter(|&e| self.hg.edge(e).is_subset(&chi))
+            .collect();
+        debug_assert!(!covered.is_empty());
+        let rest: BTreeSet<usize> = comp.difference(&covered).copied().collect();
+
+        let mut frag: Fragment = vec![FragNode {
+            bag: chi.clone(),
+            cover: lambda.iter().copied().collect(),
+            parent: 0,
+        }];
+        for sub in components(self.hg, &rest, &chi) {
+            let sub_verts: BTreeSet<usize> = sub
+                .iter()
+                .flat_map(|&e| self.hg.edge(e).iter().copied())
+                .collect();
+            let sub_connector: BTreeSet<usize> = sub_verts.intersection(&chi).copied().collect();
+            let child = self.decompose_component(&sub, &sub_connector)?;
+            let off = frag.len();
+            for (i, mut fnode) in child.into_iter().enumerate() {
+                fnode.parent = if i == 0 { 0 } else { off + fnode.parent };
+                frag.push(fnode);
+            }
+        }
+        Some(frag)
+    }
+}
+
+// -------------------------------------------------------------- heuristic --
+
+/// Greedy vertex-elimination heuristic: min-fill (ties: min-degree, then
+/// index) ordering on the primal graph yields a tree decomposition whose bags
+/// are then covered greedily by hyperedges — a valid decomposition whose
+/// width certifies an upper bound on the hypertree width.
+fn greedy_elimination(hg: &Hypergraph) -> HypertreeDecomposition {
+    let n = hg.num_vertices();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (a, b) in hg.primal_edges() {
+        adj[a].insert(b);
+        adj[b].insert(a);
+    }
+    let mut active: BTreeSet<usize> = (0..n)
+        .filter(|&v| hg.edges().iter().any(|e| e.contains(&v)))
+        .collect();
+
+    let mut order: Vec<usize> = Vec::new();
+    let mut pos: Vec<usize> = vec![usize::MAX; n];
+    let mut bags: Vec<BTreeSet<usize>> = Vec::new();
+    while !active.is_empty() {
+        // Pick the active vertex needing fewest fill edges.
+        let mut best: Option<(usize, usize, usize)> = None; // (fill, degree, v)
+        for &v in &active {
+            let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+            let mut fill = 0;
+            for i in 0..nbrs.len() {
+                for j in i + 1..nbrs.len() {
+                    if !adj[nbrs[i]].contains(&nbrs[j]) {
+                        fill += 1;
+                    }
+                }
+            }
+            let cand = (fill, nbrs.len(), v);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        let v = best.expect("active nonempty").2;
+
+        let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+        let mut bag: BTreeSet<usize> = nbrs.iter().copied().collect();
+        bag.insert(v);
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                adj[nbrs[i]].insert(nbrs[j]);
+                adj[nbrs[j]].insert(nbrs[i]);
+            }
+        }
+        for &u in &nbrs {
+            adj[u].remove(&v);
+        }
+        adj[v].clear();
+        active.remove(&v);
+        pos[v] = order.len();
+        order.push(v);
+        bags.push(bag);
+    }
+
+    // Tree: parent of bag i is the bag of the earliest-eliminated vertex
+    // among bag_i \ {v_i} (all eliminated after v_i); parentless bags are
+    // component roots, attached under the last bag.
+    let m = bags.len();
+    let mut parent: Vec<Option<usize>> = vec![None; m];
+    for i in 0..m {
+        parent[i] = bags[i]
+            .iter()
+            .filter(|&&u| u != order[i])
+            .map(|&u| pos[u])
+            .min();
+    }
+    let root = m - 1;
+    for (i, p) in parent.iter_mut().enumerate() {
+        if p.is_none() && i != root {
+            *p = Some(root);
+        }
+    }
+
+    // Greedy set cover of each bag by hyperedges (most new vertices first,
+    // ties by edge index). Every bag vertex occurs in some hyperedge, so
+    // this terminates with a full cover.
+    let nodes: Vec<HypertreeNode> = bags
+        .into_iter()
+        .map(|bag| {
+            let mut uncovered = bag.clone();
+            let mut cover = BTreeSet::new();
+            while !uncovered.is_empty() {
+                let e = (0..hg.num_edges())
+                    .max_by_key(|&e| {
+                        let gain = hg.edge(e).intersection(&uncovered).count();
+                        (gain, std::cmp::Reverse(e))
+                    })
+                    .expect("hypergraph has edges");
+                let gain = hg.edge(e).intersection(&uncovered).count();
+                assert!(gain > 0, "bag vertex not covered by any edge");
+                for v in hg.edge(e) {
+                    uncovered.remove(v);
+                }
+                cover.insert(e);
+            }
+            HypertreeNode { bag, cover }
+        })
+        .collect();
+
+    HypertreeDecomposition::assemble(nodes, parent, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(len: usize) -> Hypergraph {
+        let mut hg = Hypergraph::new();
+        for i in 0..len {
+            hg.add_edge([format!("x{i}"), format!("x{}", (i + 1) % len)]);
+        }
+        hg
+    }
+
+    fn clique(n: usize) -> Hypergraph {
+        let mut hg = Hypergraph::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                hg.add_edge([format!("x{i}"), format!("x{j}")]);
+            }
+        }
+        hg
+    }
+
+    #[test]
+    fn acyclic_chain_has_width_one() {
+        let hg = Hypergraph::from_edges([vec!["a", "b"], vec!["b", "c"], vec!["c", "d"]]);
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(d.width(), 1);
+        assert!(d.is_exact());
+        assert_eq!(d.num_nodes(), 3);
+        assert!(d.verify(&hg));
+    }
+
+    #[test]
+    fn triangle_has_width_two() {
+        let d = decompose(&cycle(3), DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(d.width(), 2);
+        assert!(d.is_exact());
+        assert!(d.verify(&cycle(3)));
+        assert_eq!(
+            d.shape(),
+            format!("bags={} depth={} width=2", d.num_nodes(), d.depth())
+        );
+    }
+
+    #[test]
+    fn long_cycles_have_width_two() {
+        for len in [4usize, 5, 6, 8] {
+            let hg = cycle(len);
+            let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+            assert_eq!(d.width(), 2, "cycle of length {len}");
+            assert!(d.is_exact());
+            assert!(d.verify(&hg));
+        }
+    }
+
+    #[test]
+    fn grid_2x3_has_width_two() {
+        // 2×3 grid graph as binary edges: cyclic, hypertree width 2.
+        let hg = Hypergraph::from_edges([
+            vec!["a", "b"],
+            vec!["b", "c"],
+            vec!["d", "e"],
+            vec!["e", "f"],
+            vec!["a", "d"],
+            vec!["b", "e"],
+            vec!["c", "f"],
+        ]);
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(d.width(), 2);
+        assert!(d.is_exact());
+        assert!(d.verify(&hg));
+    }
+
+    #[test]
+    fn k5_needs_width_three_exactly() {
+        // htw(K_n over binary edges) = ⌈n/2⌉; K5 → 3, and the k = 2 search
+        // must fail (the normal-form progress condition prunes the covers
+        // that never touch the open component).
+        let hg = clique(5);
+        assert!(exact_search(&hg, 2, &[]).is_none());
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(d.width(), 3);
+        assert!(d.is_exact());
+        assert!(d.verify(&hg));
+    }
+
+    #[test]
+    fn k7_exceeds_the_exact_gate_and_gets_a_heuristic_certificate() {
+        let hg = clique(7); // 21 edges > EXACT_EDGE_LIMIT
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert!(!d.is_exact());
+        assert_eq!(d.width(), 4); // one bag of all 7 vertices, ⌈7/2⌉ cover
+        assert!(d.verify(&hg));
+    }
+
+    #[test]
+    fn width_limit_gates_the_exact_search() {
+        // With the limit below the true width, only the heuristic answers.
+        let d = decompose(&cycle(3), 1).expect("has edges");
+        assert!(!d.is_exact());
+        assert!(d.width() >= 2);
+        assert!(d.verify(&cycle(3)));
+    }
+
+    #[test]
+    fn disconnected_components_share_one_tree() {
+        let mut hg = cycle(3);
+        hg.add_edge(["p", "q"]);
+        hg.add_edge(["q", "r"]);
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(d.width(), 2);
+        assert!(d.is_exact());
+        assert!(d.verify(&hg));
+    }
+
+    #[test]
+    fn no_nonempty_edges_means_no_decomposition() {
+        assert!(decompose(&Hypergraph::new(), DEFAULT_WIDTH_LIMIT).is_none());
+        let mut hg = Hypergraph::new();
+        hg.add_edge(Vec::<String>::new());
+        assert!(decompose(&hg, DEFAULT_WIDTH_LIMIT).is_none());
+    }
+
+    #[test]
+    fn empty_edges_ride_along_with_real_structure() {
+        let mut hg = cycle(3);
+        hg.add_edge(Vec::<String>::new()); // a constant-only atom
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(d.width(), 2);
+        assert!(d.verify(&hg));
+    }
+
+    #[test]
+    fn decomposition_is_deterministic() {
+        let a = decompose(&cycle(5), DEFAULT_WIDTH_LIMIT).expect("has edges");
+        let b = decompose(&cycle(5), DEFAULT_WIDTH_LIMIT).expect("has edges");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bag_tree_is_a_valid_join_tree_over_bags() {
+        let hg = cycle(4);
+        let d = decompose(&hg, DEFAULT_WIDTH_LIMIT).expect("has edges");
+        let mut bag_hg = Hypergraph::new();
+        for v in 0..hg.num_vertices() {
+            bag_hg.add_vertex(hg.label(v).to_string());
+        }
+        for i in 0..d.num_nodes() {
+            bag_hg.add_edge(d.node(i).bag.iter().map(|&v| hg.label(v).to_string()));
+        }
+        assert!(d.to_join_tree().verify(&bag_hg));
+    }
+}

@@ -83,7 +83,14 @@ pub fn gyo(hg: &Hypergraph) -> GyoOutcome {
         }
     }
 
-    let survivors: Vec<usize> = (0..n).filter(|&e| alive[e]).collect();
+    // Contract: the cyclic witness is reported in sorted (ascending) edge
+    // order. The scan above already produces it sorted; the explicit sort
+    // pins the contract against refactors, because downstream consumers
+    // depend on it — ANALYZE output names the witness atoms, and the
+    // hypertree decomposition search seeds its guard ordering with the core,
+    // so stability across runs and platforms matters.
+    let mut survivors: Vec<usize> = (0..n).filter(|&e| alive[e]).collect();
+    survivors.sort_unstable();
     match survivors.as_slice() {
         [_root] => GyoOutcome::Acyclic(JoinTree::from_parents(parent)),
         _ => GyoOutcome::Cyclic(survivors),
@@ -115,7 +122,9 @@ pub fn join_tree(hg: &Hypergraph) -> Option<JoinTree> {
 /// The GYO-irreducible core of `hg`: `None` when acyclic, otherwise the
 /// indices of the edges the reduction could not eliminate — a concrete
 /// witness that no join tree exists (for a query hypergraph these are atom
-/// indices, which is what diagnostics want to name).
+/// indices, which is what diagnostics want to name). The witness is always
+/// sorted ascending, so ANALYZE output and the decomposition search seeded
+/// from it are deterministic across runs and platforms.
 pub fn cyclic_core(hg: &Hypergraph) -> Option<Vec<usize>> {
     match gyo(hg) {
         GyoOutcome::Acyclic(_) => None,
@@ -191,6 +200,27 @@ mod tests {
         let t = join_tree(&hg).expect("acyclic");
         assert!(t.verify(&hg));
         assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn cyclic_witness_is_sorted() {
+        // A triangle behind an acyclic tail: the irreducible core must come
+        // out in ascending edge order regardless of reduction order.
+        let hg = Hypergraph::from_edges([
+            vec!["t", "x"],
+            vec!["z", "x"],
+            vec!["x", "y"],
+            vec!["y", "z"],
+        ]);
+        match gyo(&hg) {
+            GyoOutcome::Cyclic(core) => {
+                let mut sorted = core.clone();
+                sorted.sort_unstable();
+                assert_eq!(core, sorted);
+                assert_eq!(core, vec![1, 2, 3]);
+            }
+            GyoOutcome::Acyclic(_) => panic!("triangle with a tail must be cyclic"),
+        }
     }
 
     #[test]

@@ -9,10 +9,14 @@
 
 #![warn(missing_docs)]
 
+pub mod decomposition;
 pub mod gyo;
 pub mod hypergraph;
 pub mod jointree;
 
+pub use decomposition::{
+    decompose, HypertreeDecomposition, HypertreeNode, DEFAULT_WIDTH_LIMIT, EXACT_EDGE_LIMIT,
+};
 pub use gyo::{cyclic_core, gyo, is_acyclic, join_tree, GyoOutcome};
 pub use hypergraph::Hypergraph;
 pub use jointree::JoinTree;

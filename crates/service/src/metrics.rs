@@ -10,6 +10,11 @@ use std::time::Duration;
 /// sub-microsecond). 40 buckets cover ~13 days.
 const BUCKETS: usize = 40;
 
+/// Number of hypertree-width buckets: bucket `i` counts queries evaluated
+/// by the hypertree engine with decomposition width `i + 1`; the last bucket
+/// collects widths ≥ [`WIDTH_BUCKETS`].
+pub const WIDTH_BUCKETS: usize = 8;
+
 /// A histogram of query latencies with power-of-two microsecond buckets.
 #[derive(Debug)]
 pub struct LatencyHistogram {
@@ -100,6 +105,12 @@ pub struct ServiceMetrics {
     pub drops: AtomicU64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: AtomicU64,
+    /// Evaluations routed to the hypertree engine (cyclic queries of
+    /// bounded width).
+    pub hypertree_queries: AtomicU64,
+    /// Per-width counts of hypertree evaluations: bucket `i` is width
+    /// `i + 1`, last bucket is widths ≥ [`WIDTH_BUCKETS`].
+    pub hypertree_width_counts: [AtomicU64; WIDTH_BUCKETS],
     /// Materialized views currently registered (a gauge: registration
     /// increments, deregistration/drop decrements).
     pub views_registered: AtomicU64,
@@ -128,6 +139,14 @@ impl ServiceMetrics {
         let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
+    /// Record one hypertree-engine evaluation of the given decomposition
+    /// width (widths start at 1; 0 is clamped into the first bucket).
+    pub(crate) fn record_hypertree_width(&self, width: usize) {
+        Self::bump(&self.hypertree_queries);
+        let i = width.clamp(1, WIDTH_BUCKETS) - 1;
+        self.hypertree_width_counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a point-in-time snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let buckets = self.latency.snapshot();
@@ -146,6 +165,10 @@ impl ServiceMetrics {
             mutations: self.mutations.load(Ordering::Relaxed),
             drops: self.drops.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            hypertree_queries: self.hypertree_queries.load(Ordering::Relaxed),
+            hypertree_width_counts: std::array::from_fn(|i| {
+                self.hypertree_width_counts[i].load(Ordering::Relaxed)
+            }),
             views_registered: self.views_registered.load(Ordering::Relaxed),
             subscriptions_active: self.subscriptions_active.load(Ordering::Relaxed),
             deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
@@ -196,6 +219,11 @@ pub struct MetricsSnapshot {
     pub drops: u64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: u64,
+    /// Evaluations routed to the hypertree engine.
+    pub hypertree_queries: u64,
+    /// Hypertree evaluations per decomposition width (bucket `i` is width
+    /// `i + 1`; last bucket collects widths ≥ [`WIDTH_BUCKETS`]).
+    pub hypertree_width_counts: [u64; WIDTH_BUCKETS],
     /// Materialized views currently registered.
     pub views_registered: u64,
     /// Live `SUBSCRIBE` streams.
@@ -250,6 +278,15 @@ impl MetricsSnapshot {
             format!("mutations {}", self.mutations),
             format!("drops {}", self.drops),
             format!("parallel_queries {}", self.parallel_queries),
+            format!("hypertree_queries {}", self.hypertree_queries),
+            format!(
+                "hypertree_width_hist {}",
+                self.hypertree_width_counts
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
             format!("views_registered {}", self.views_registered),
             format!("subscriptions_active {}", self.subscriptions_active),
             format!("deltas_pushed {}", self.deltas_pushed),
@@ -342,6 +379,22 @@ mod tests {
         let s = m.snapshot();
         assert!(s.latency_p99_micros <= 15);
         assert!(s.ivm_maintain_p50_micros >= 100_000);
+    }
+
+    #[test]
+    fn width_histogram_buckets_by_width() {
+        let m = ServiceMetrics::default();
+        m.record_hypertree_width(1);
+        m.record_hypertree_width(2);
+        m.record_hypertree_width(2);
+        m.record_hypertree_width(3);
+        m.record_hypertree_width(99); // clamps into the last bucket
+        let s = m.snapshot();
+        assert_eq!(s.hypertree_queries, 5);
+        assert_eq!(s.hypertree_width_counts, [1, 2, 1, 0, 0, 0, 0, 1]);
+        let text = s.to_string();
+        assert!(text.contains("hypertree_queries 5"));
+        assert!(text.contains("hypertree_width_hist 1 2 1 0 0 0 0 1"));
     }
 
     #[test]

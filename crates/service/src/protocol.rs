@@ -397,6 +397,13 @@ pub fn render_explain_response(e: &Explanation) -> Vec<String> {
     if let Some(k) = e.color_parameter {
         lines.push(format!("k {k}"));
     }
+    if let Some(w) = e.hypertree_width {
+        let mark = if e.width_exact { "exact" } else { "heuristic" };
+        lines.push(format!("width {w} {mark}"));
+    }
+    if let Some(d) = &e.decomposition {
+        lines.push(format!("decomposition {d}"));
+    }
     lines.push(format!("plan_cached {}", e.plan_was_cached));
     lines.push(format!("result_cached {}", e.result_is_cached));
     lines.push(format!("answer_source {}", e.answer_source));
@@ -427,6 +434,13 @@ pub fn render_analyze_response(a: &AnalysisReport) -> Vec<String> {
     ));
     if let Some(k) = a.color_parameter {
         lines.push(format!("k {k}"));
+    }
+    if let Some(w) = a.hypertree_width {
+        let mark = if a.width_exact { "exact" } else { "heuristic" };
+        lines.push(format!("width {w} {mark}"));
+    }
+    if let Some(d) = &a.decomposition {
+        lines.push(format!("decomposition {d}"));
     }
     if let Some(w) = &a.cycle_witness {
         let atoms: Vec<String> = w.iter().map(ToString::to_string).collect();

@@ -49,7 +49,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pq_core::{plan, Plan, PlannerOptions};
+use pq_core::hypergraph::HypertreeDecomposition;
+use pq_core::{plan, EngineChoice, Plan, PlannerOptions};
 use pq_data::{loader, DataError, Database, Relation, Tuple};
 use pq_engine::governor::{CancellationToken, ExecutionContext};
 use pq_exec::Pool;
@@ -211,6 +212,7 @@ pub struct LoadSummary {
 
 /// What [`QueryService::explain`] reports (the wire `EXPLAIN` body).
 #[derive(Debug, Clone)]
+#[allow(clippy::struct_excessive_bools)] // wire fields, not a state machine
 pub struct Explanation {
     /// Structural fingerprint of the query.
     pub fingerprint: u64,
@@ -224,6 +226,15 @@ pub struct Explanation {
     pub v: usize,
     /// Color parameter `k` when `≠` atoms exist.
     pub color_parameter: Option<usize>,
+    /// Hypertree width of the (effective) query: `Some(1)` for acyclic
+    /// queries, the decomposition width for cyclic ones, `None` when no
+    /// width was established.
+    pub hypertree_width: Option<usize>,
+    /// Is the reported width exact (vs. a heuristic upper bound)?
+    pub width_exact: bool,
+    /// Decomposition shape (`bags=… depth=… width=…`) when the analyzer
+    /// attached one — what the hypertree engine would sweep.
+    pub decomposition: Option<String>,
     /// Was the plan already cached before this call?
     pub plan_was_cached: bool,
     /// Is the answer against the named database currently cached?
@@ -276,6 +287,12 @@ pub struct AnalysisReport {
     pub cmp_count: usize,
     /// Color parameter `k` when `≠` atoms exist.
     pub color_parameter: Option<usize>,
+    /// Hypertree width of the (effective) query, when established.
+    pub hypertree_width: Option<usize>,
+    /// Is the reported width exact (vs. a heuristic upper bound)?
+    pub width_exact: bool,
+    /// Decomposition shape (`bags=… depth=… width=…`) when one exists.
+    pub decomposition: Option<String>,
     /// When cyclic: the GYO-irreducible atom indices (the cycle witness).
     pub cycle_witness: Option<Vec<usize>>,
     /// Is the query provably empty on every database?
@@ -1114,6 +1131,7 @@ impl QueryService {
                 .iter()
                 .map(ToString::to_string),
         );
+        let r = &a.report;
         Ok(Explanation {
             fingerprint: planned.fingerprint,
             engine: planned.plan.engine,
@@ -1121,6 +1139,9 @@ impl QueryService {
             q: c.q,
             v: c.v,
             color_parameter: c.color_parameter,
+            hypertree_width: r.hypertree_width,
+            width_exact: r.width_exact,
+            decomposition: r.decomposition.as_ref().map(HypertreeDecomposition::shape),
             plan_was_cached,
             result_is_cached,
             answer_source: if result_is_cached {
@@ -1197,6 +1218,9 @@ impl QueryService {
             neq_count: r.neq_count,
             cmp_count: r.cmp_count,
             color_parameter: r.color_parameter,
+            hypertree_width: r.hypertree_width,
+            width_exact: r.width_exact,
+            decomposition: r.decomposition.as_ref().map(HypertreeDecomposition::shape),
             cycle_witness: r.cycle_witness.clone(),
             provably_empty: analysis.provably_empty(),
             minimized: analysis.rewritten.as_ref().map(ToString::to_string),
@@ -1462,6 +1486,9 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, inner: &Inner) {
         // ones at any degree, so this choice is invisible to the caller
         // (except in STATS).
         let parallel = inner.exec.threads() > 1 && job.planned.plan.parallelism > 1;
+        if let EngineChoice::Hypertree(d) = &job.planned.plan.choice {
+            inner.metrics.record_hypertree_width(d.width());
+        }
         let out = if parallel {
             ServiceMetrics::bump(&inner.metrics.parallel_queries);
             let shared = job.ctx.into_shared();
@@ -1664,6 +1691,34 @@ mod tests {
         let e = svc.explain("d2", src).unwrap();
         assert_eq!(e.answer_source, "plan-cache");
         assert!(!e.provably_empty);
+    }
+
+    #[test]
+    fn width_fields_flow_through_explain_analyze_and_stats() {
+        let svc = service();
+        svc.load_str("tri", "E(a, b):\n  1, 2\n  2, 3\n  3, 1\n")
+            .unwrap();
+        let src = "G :- E(x, y), E(y, z), E(z, x).";
+        let e = svc.explain("tri", src).unwrap();
+        assert!(e.engine.starts_with("hypertree"), "{}", e.engine);
+        assert_eq!(e.hypertree_width, Some(2));
+        assert!(e.width_exact);
+        assert!(e.decomposition.is_some());
+        let a = svc.analyze("tri", src).unwrap();
+        assert_eq!(a.cell, "cyclic-bounded-width");
+        assert_eq!(a.hypertree_width, Some(2));
+        assert!(a.width_exact);
+        assert!(a.diagnostics.iter().any(|d| d.starts_with("PQA601")));
+        // Acyclic queries don't touch the hypertree counters...
+        svc.query("d", "G(x) :- R(x, y).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(svc.stats().hypertree_queries, 0);
+        // ...but evaluating the triangle bumps the width histogram.
+        let out = svc.query("tri", src, RequestLimits::default()).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let s = svc.stats();
+        assert_eq!(s.hypertree_queries, 1);
+        assert_eq!(s.hypertree_width_counts[1], 1, "width-2 bucket");
     }
 
     #[test]

@@ -163,7 +163,7 @@ fn corpus_exercises_every_database_free_lint_code() {
     let rendered = render_corpus(&corpus);
     for code in [
         "PQA002", "PQA003", "PQA004", "PQA101", "PQA102", "PQA103", "PQA104", "PQA105", "PQA301",
-        "PQA302", "PQA401", "PQA402",
+        "PQA302", "PQA401", "PQA402", "PQA601", "PQA602",
     ] {
         assert!(rendered.contains(code), "corpus never triggers {code}");
     }

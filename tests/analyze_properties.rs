@@ -9,7 +9,12 @@
 //! * the whole-program analyzer's rewrite (dead-rule pruning + per-rule
 //!   core minimization) computes the identical goal relation on random
 //!   Datalog programs and databases, under every fixpoint strategy, serial
-//!   and parallel at 1 and 4 threads.
+//!   and parallel at 1 and 4 threads;
+//! * the hypertree engine agrees byte-for-byte with naive evaluation on
+//!   random pure (often cyclic) queries, serial and at 1/4 exec threads;
+//! * hypertree decompositions of random hypergraphs satisfy the
+//!   Gottlob–Leone–Scarcello validity conditions (edge coverage, vertex
+//!   connectedness, cover ⊇ bag), exact or heuristic.
 
 use proptest::prelude::*;
 
@@ -17,9 +22,9 @@ use pq_analyze::{analyze, analyze_program, structure_of, AnalyzeOptions};
 use pq_data::{tuple, Database, Relation};
 use pq_engine::datalog_eval::{self, Strategy as FixpointStrategy};
 use pq_engine::governor::ExecutionContext;
-use pq_engine::naive;
+use pq_engine::{hypertree, naive, EngineError};
 use pq_exec::Pool;
-use pq_hypergraph::join_tree;
+use pq_hypergraph::{decompose, join_tree, Hypergraph, DEFAULT_WIDTH_LIMIT};
 use pq_query::{Atom, ConjunctiveQuery, DatalogProgram, Neq, Rule, Term};
 
 /// A random body atom over a small pool of relations (all binary) and
@@ -63,6 +68,31 @@ fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
                 .collect();
             q.with_neqs(neqs)
         })
+}
+
+/// A random *pure* query from the same atom pool, with every body variable
+/// in the head — so the full answer relation (not just emptiness) is
+/// compared between engines. Small variable pools over repeated relations
+/// make cyclic shapes (triangles, shared-variable tangles) common.
+fn arb_pure_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    prop::collection::vec(arb_atom(), 1..6).prop_map(|atoms| {
+        let probe = ConjunctiveQuery::new("G", [] as [Term; 0], atoms.clone());
+        let vars: Vec<String> = probe.variables().iter().map(|v| v.to_string()).collect();
+        ConjunctiveQuery::new("G", vars.iter().map(|v| Term::var(v.as_str())), atoms)
+    })
+}
+
+/// A random hypergraph: 1–7 edges of 1–3 vertices over a 5-label pool —
+/// disconnected pieces, nested edges, and width-past-the-limit tangles all
+/// occur.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(prop::collection::btree_set(0usize..5, 1..4), 1..8).prop_map(|edges| {
+        let mut hg = Hypergraph::new();
+        for e in edges {
+            hg.add_edge(e.into_iter().map(|v| format!("x{v}")));
+        }
+        hg
+    })
 }
 
 /// A random database giving rows to every relation the pool can name.
@@ -214,6 +244,46 @@ proptest! {
                     datalog_eval::evaluate_with_stats_parallel(effective, &db, strategy, &shared, &pool)
                         .unwrap();
                 prop_assert_eq!(got.canonical_rows(), baseline.canonical_rows());
+            }
+        }
+    }
+
+    #[test]
+    fn hypertree_engine_agrees_with_naive_serial_and_parallel(
+        q in arb_pure_query(),
+        db in arb_db(),
+    ) {
+        match hypertree::evaluate(&q, &db) {
+            // Width past the limit (or no variable atoms): out of the
+            // engine's contract; the planner would not route here.
+            Err(EngineError::Unsupported(_)) => {}
+            Err(e) => prop_assert!(false, "hypertree failed: {}", e),
+            Ok(serial) => {
+                prop_assert_eq!(&serial, &naive::evaluate(&q, &db).unwrap());
+                for threads in [1usize, 4] {
+                    let pool = Pool::new(threads);
+                    let shared = ExecutionContext::unlimited().into_shared();
+                    let par = hypertree::evaluate_parallel(&q, &db, &shared, &pool).unwrap();
+                    prop_assert!(par == serial, "differs at {} threads", threads);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decompositions_satisfy_the_validity_conditions(hg in arb_hypergraph()) {
+        if let Some(d) = decompose(&hg, DEFAULT_WIDTH_LIMIT) {
+            // Exact or heuristic, the certificate must verify: every edge in
+            // some bag, per-vertex connected subtree, bags inside covers.
+            prop_assert!(d.verify(&hg), "invalid decomposition {}", d.shape());
+            prop_assert!(d.width() >= 1);
+            // Width 1 characterizes acyclicity, and GYO acyclicity always
+            // yields an exact width-1 decomposition.
+            if join_tree(&hg).is_some() {
+                prop_assert_eq!(d.width(), 1);
+                prop_assert!(d.is_exact());
+            } else {
+                prop_assert!(d.width() >= 2);
             }
         }
     }
