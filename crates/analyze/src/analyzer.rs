@@ -14,7 +14,10 @@
 //!    shrink before any engine runs;
 //! 4. **structural classification** — GYO acyclicity with a concrete cycle
 //!    witness plus the Fig. 1 parameter report, computed on the *minimized*
-//!    query (the one the planner will execute).
+//!    query (the one the planner will execute);
+//! 5. **counting tractability** (opt-in via [`AnalyzeOptions::counting`]) —
+//!    the Chen–Mengel `PQA7xx` classification of whether `@count` can run
+//!    without enumeration.
 //!
 //! Schema checks ([`schema_diagnostics`]) are separate by design: the
 //! query-only analysis is cacheable per query, while schema diagnostics
@@ -41,6 +44,10 @@ pub struct AnalyzeOptions {
     /// Bounded like `minimize_atom_limit`: deciding width ≤ k is
     /// exponential in k, so the exact search is gated by this knob.
     pub width_limit: usize,
+    /// Run the counting-tractability pass (`PQA7xx`, Chen–Mengel):
+    /// classify whether `@count` can run without enumeration. Off by
+    /// default — the pass only matters when a count was requested.
+    pub counting: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -49,6 +56,7 @@ impl Default for AnalyzeOptions {
             minimize: true,
             minimize_atom_limit: 8,
             width_limit: pq_hypergraph::DEFAULT_WIDTH_LIMIT,
+            counting: false,
         }
     }
 }
@@ -399,6 +407,77 @@ fn structure_pass(
     ));
 }
 
+// ------------------------------------------------------------ pass 5 --
+
+/// The counting-tractability pass (`PQA7xx`), run on the query the planner
+/// will execute. Chen–Mengel: with a quantifier-free head over an acyclic
+/// (or bounded-width) body, `|Q(d)|` is the number of satisfying
+/// assignments and the semiring sweep counts it in input-polynomial time;
+/// with projection the sweep tracks counts per head projection; outside
+/// the pure bounded-width fragment counting is as hard as enumeration and
+/// `@count` degrades to enumerate-then-count.
+fn counting_pass(
+    q: &ConjunctiveQuery,
+    report: &StructureReport,
+    width_limit: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !q.is_pure() {
+        out.push(Diagnostic::new(
+            LintCode::CountingFallback,
+            Span::Query,
+            "counting falls back to enumerate-then-count: ≠/comparison atoms \
+             take the query outside the semiring counting engines",
+        ));
+        return;
+    }
+    let engine = if report.cycle_witness.is_none() {
+        Some("count-yannakakis")
+    } else {
+        match (&report.decomposition, report.hypertree_width) {
+            (Some(_), Some(w)) if w <= width_limit => Some("count-hypertree"),
+            _ => None,
+        }
+    };
+    let Some(engine) = engine else {
+        out.push(Diagnostic::new(
+            LintCode::CountingFallback,
+            Span::Query,
+            format!(
+                "counting falls back to enumerate-then-count: no hypertree \
+                 decomposition within the width limit {width_limit}, so \
+                 counting is as hard as enumeration here"
+            ),
+        ));
+        return;
+    };
+    if pq_count::quantifier_free(q) {
+        out.push(Diagnostic::new(
+            LintCode::CountingTractable,
+            Span::Query,
+            format!(
+                "counting-tractable: quantifier-free head, so |Q(d)| = \
+                 #assignments and the semiring sweep counts without \
+                 enumeration in input-polynomial time (Chen–Mengel) — \
+                 engine: {engine}"
+            ),
+        ));
+    } else {
+        let head = q.head_variables().len();
+        out.push(Diagnostic::new(
+            LintCode::CountingPerProjection,
+            Span::Query,
+            format!(
+                "projected head ({head} of {} body variables exported): \
+                 counts tracked per head-variable projection (#W[1]-hard in \
+                 general; cost input × distinct projections) — engine: \
+                 {engine}",
+                q.atom_variables().len()
+            ),
+        ));
+    }
+}
+
 // ------------------------------------------------------------ driver --
 
 /// Run the full query-only analysis (passes 1–4). Deterministic: same
@@ -420,6 +499,14 @@ pub fn analyze(q: &ConjunctiveQuery, opts: &AnalyzeOptions) -> Analysis {
         rewritten.is_some(),
         &mut diagnostics,
     );
+    if opts.counting {
+        counting_pass(
+            rewritten.as_ref().unwrap_or(q),
+            &report,
+            opts.width_limit,
+            &mut diagnostics,
+        );
+    }
     Analysis {
         diagnostics,
         rewritten,
@@ -622,6 +709,61 @@ mod tests {
         let a = analyze_with_db(&q, &db, &AnalyzeOptions::default());
         assert!(!a.provably_empty());
         assert!(a.has_errors());
+    }
+
+    #[test]
+    fn counting_pass_classifies_the_chen_mengel_cases() {
+        let opts = AnalyzeOptions {
+            counting: true,
+            ..Default::default()
+        };
+        // Quantifier-free acyclic: PQA701 on the counting engine.
+        let q = parse_cq("G(x, y, z) :- R(x, y), S(y, z).").unwrap();
+        let a = analyze(&q, &opts);
+        assert!(codes(&a).contains(&"PQA701"));
+        // Projected head: PQA702.
+        let q = parse_cq("G(x) :- R(x, y), S(y, z).").unwrap();
+        let a = analyze(&q, &opts);
+        assert!(codes(&a).contains(&"PQA702"));
+        // Bounded-width cyclic quantifier-free: PQA701 via count-hypertree.
+        let q = parse_cq("G(x, y, z) :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let a = analyze(&q, &opts);
+        let d = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::CountingTractable)
+            .expect("tractable");
+        assert!(d.message.contains("count-hypertree"), "{}", d.message);
+        // Impure: PQA703 fallback.
+        let q = parse_cq("G(x) :- R(x, y), x != y.").unwrap();
+        let a = analyze(&q, &opts);
+        assert!(codes(&a).contains(&"PQA703"));
+        // Width above limit: PQA703 fallback too.
+        let q = parse_cq("G :- E(x, y), E(y, z), E(z, x).").unwrap();
+        let tight = AnalyzeOptions {
+            counting: true,
+            width_limit: 1,
+            ..Default::default()
+        };
+        let a = analyze(&q, &tight);
+        assert!(codes(&a).contains(&"PQA703"));
+        // Off by default: no PQA7xx anywhere.
+        let a = analyze(&q, &AnalyzeOptions::default());
+        assert!(!codes(&a).iter().any(|c| c.starts_with("PQA7")));
+    }
+
+    #[test]
+    fn counting_pass_runs_on_the_minimized_core() {
+        // As written the head misses z; minimized, the core is the single
+        // atom E(x, y) and the head is quantifier-free.
+        let q = parse_cq("G(x, y) :- E(x, y), E(x, z), E(x, w).").unwrap();
+        let opts = AnalyzeOptions {
+            counting: true,
+            ..Default::default()
+        };
+        let a = analyze(&q, &opts);
+        assert!(a.rewritten.is_some());
+        assert!(codes(&a).contains(&"PQA701"), "{:?}", codes(&a));
     }
 
     #[test]

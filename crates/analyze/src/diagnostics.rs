@@ -42,7 +42,8 @@ impl fmt::Display for Severity {
 /// safety/range-restriction, `PQA1xx` contradiction detection, `PQA2xx`
 /// schema checks, `PQA3xx` core minimization, `PQA4xx` structural
 /// classification, `PQA5xx` whole-program Datalog analysis, `PQA6xx`
-/// hypertree-width analysis. Codes are append-only: a released code never
+/// hypertree-width analysis, `PQA7xx` counting tractability (Chen–Mengel).
+/// Codes are append-only: a released code never
 /// changes meaning (golden files and operator tooling depend on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -118,6 +119,19 @@ pub enum LintCode {
     /// `PQA602` — no hypertree decomposition within the configured width
     /// limit was found; the naive engine applies.
     WidthAboveLimit,
+    /// `PQA701` — counting-tractable: acyclic or bounded-width with a
+    /// quantifier-free head, so `|Q(d)|` equals the number of satisfying
+    /// assignments and the semiring sweep counts it in time polynomial in
+    /// the input alone (Chen–Mengel), however large the answer set.
+    CountingTractable,
+    /// `PQA702` — projected head: counting is `#W[1]`-hard in general, so
+    /// the sweep tracks counts per head-variable projection — cost bounded
+    /// by input × distinct projections, still far below enumeration.
+    CountingPerProjection,
+    /// `PQA703` — counting is provably as hard as enumeration here
+    /// (≠/comparison atoms, or no decomposition within the width limit):
+    /// `@count` falls back to enumerate-then-count.
+    CountingFallback,
 }
 
 impl LintCode {
@@ -148,6 +162,9 @@ impl LintCode {
             LintCode::ProgramReport => "PQA510",
             LintCode::HypertreeWidth => "PQA601",
             LintCode::WidthAboveLimit => "PQA602",
+            LintCode::CountingTractable => "PQA701",
+            LintCode::CountingPerProjection => "PQA702",
+            LintCode::CountingFallback => "PQA703",
         }
     }
 
@@ -169,7 +186,8 @@ impl LintCode {
             LintCode::TrivialNeq
             | LintCode::RedundantAtom
             | LintCode::DeadRule
-            | LintCode::UnderivableRelation => Severity::Warn,
+            | LintCode::UnderivableRelation
+            | LintCode::CountingFallback => Severity::Warn,
             LintCode::ImpliedEquality
             | LintCode::MinimizationSkipped
             | LintCode::CyclicQuery
@@ -177,7 +195,9 @@ impl LintCode {
             | LintCode::RecursiveComponent
             | LintCode::ProgramReport
             | LintCode::HypertreeWidth
-            | LintCode::WidthAboveLimit => Severity::Info,
+            | LintCode::WidthAboveLimit
+            | LintCode::CountingTractable
+            | LintCode::CountingPerProjection => Severity::Info,
         }
     }
 }
@@ -291,6 +311,9 @@ mod tests {
             LintCode::ProgramReport,
             LintCode::HypertreeWidth,
             LintCode::WidthAboveLimit,
+            LintCode::CountingTractable,
+            LintCode::CountingPerProjection,
+            LintCode::CountingFallback,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

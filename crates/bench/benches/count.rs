@@ -1,0 +1,62 @@
+//! E17 — counting without enumeration: the weighted-semiring Yannakakis
+//! sweep (`pq-count`) vs enumerate-then-count on the quantifier-free chain
+//! family, whose answer set grows as `base^(len+1)` while the counting
+//! sweep stays linear in the input. Also covers the projected-head
+//! (COUNT DISTINCT) and grouped variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pq_bench::workloads::{chain_full_query, chain_query, complete_chain_database};
+use pq_engine::yannakakis;
+
+fn count_vs_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count/chain_vs_enumerate");
+    group.sample_size(10);
+    for len in [6usize, 8, 10] {
+        let q = chain_full_query(len);
+        let db = complete_chain_database(len, 3);
+        group.bench_with_input(BenchmarkId::new("count", len), &len, |b, _| {
+            b.iter(|| pq_count::count(&q, &db).unwrap().distinct)
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate", len), &len, |b, _| {
+            b.iter(|| yannakakis::evaluate(&q, &db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn projected_count_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count/projected_head");
+    group.sample_size(10);
+    for len in [6usize, 8, 10] {
+        // Endpoints-only head: the count is COUNT DISTINCT over the
+        // projection, which the sweep carries as per-projection counts.
+        let q = chain_query(len);
+        let db = complete_chain_database(len, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| pq_count::count(&q, &db).unwrap().distinct)
+        });
+    }
+    group.finish();
+}
+
+fn grouped_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count/grouped");
+    group.sample_size(10);
+    for len in [6usize, 8] {
+        let q = chain_full_query(len);
+        let db = complete_chain_database(len, 3);
+        let groups = ["x0".to_string()];
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| pq_count::count_by(&q, &db, &groups).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    count_vs_enumerate,
+    projected_count_distinct,
+    grouped_counts
+);
+criterion_main!(benches);

@@ -20,6 +20,9 @@
 //!                    for live transitive-closure and join views
 //! repro hypertree    pq-engine::hypertree: bounded-width cyclic CQs vs the
 //!                    naive engine, recorded in BENCH_hypertree.json
+//! repro count        pq-count: exact answer counting without enumeration vs
+//!                    enumerate-then-count on chains with exponential answer
+//!                    sets, recorded in BENCH_count.json
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -63,6 +66,7 @@ fn main() {
         "recovery" => recovery_exp(),
         "ivm" => ivm_exp(),
         "hypertree" => hypertree_exp(),
+        "count" => count_exp(),
         "all" => {
             fig1();
             thm1();
@@ -78,6 +82,7 @@ fn main() {
             recovery_exp();
             ivm_exp();
             hypertree_exp();
+            count_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -1252,5 +1257,96 @@ fn hypertree_exp() {
     match std::fs::write("BENCH_hypertree.json", &json) {
         Ok(()) => println!("  wrote BENCH_hypertree.json"),
         Err(e) => println!("  could not write BENCH_hypertree.json: {e}"),
+    }
+}
+
+// ----------------------------------------------------------------- count --
+
+/// E17: exact answer counting without enumeration — the weighted-semiring
+/// Yannakakis sweep (`pq-count`) vs enumerate-then-count on the
+/// quantifier-free chain family over complete `3x3` relations, whose
+/// answer set is exactly `3^(len+1)` while the input grows by 9 tuples per
+/// atom. Counts are cross-checked for byte-identical agreement with the
+/// enumeration oracle serially and at 2 and 4 exec threads. Acceptance
+/// bar: >= 10x at the largest size, recorded in `BENCH_count.json`.
+fn count_exp() {
+    use pq_core::{plan_count, PlannerOptions};
+    use pq_engine::ExecutionContext;
+    use pq_exec::Pool;
+
+    header("pq-count — counting without enumeration vs enumerate-then-count (E17)");
+
+    let base = 3i64;
+    println!("\n[chain] quantifier-free head, complete {base}x{base} relations");
+    println!(
+        "  {:>5} {:>14} {:>12} {:>12} {:>9}",
+        "len", "answers", "count", "enumerate", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut last_speedup = 0.0f64;
+    for len in [6usize, 8, 10] {
+        let q = workloads::chain_full_query(len);
+        let db = workloads::complete_chain_database(len, base);
+        let plan = plan_count(&q, &PlannerOptions::default());
+
+        let (count, d_c) = time_once(|| {
+            plan.execute_governed(&q, &db, &ExecutionContext::unlimited())
+                .unwrap()
+        });
+        let d_c = d_c.min(time_min(3, || {
+            plan.execute_governed(&q, &db, &ExecutionContext::unlimited())
+                .unwrap()
+                .distinct
+        }));
+        let (enumerated, d_e) = time_once(|| yannakakis::evaluate(&q, &db).unwrap());
+
+        // Byte-identical agreement with the oracle, at every degree: the
+        // acceptance bar is exactness first, speed second.
+        assert_eq!(count.distinct, enumerated.len() as u128, "len = {len}");
+        assert_eq!(count.assignments, count.distinct, "quantifier-free head");
+        assert_eq!(count.distinct, (base as u128).pow(len as u32 + 1));
+        for threads in [2usize, 4] {
+            let pool = Pool::new(threads);
+            let par = plan
+                .execute_parallel(&q, &db, &ExecutionContext::unlimited().into_shared(), &pool)
+                .unwrap();
+            assert_eq!(par, count, "len = {len} at {threads} threads");
+        }
+
+        last_speedup = d_e.as_secs_f64() / d_c.as_secs_f64().max(1e-9);
+        println!(
+            "  {:>5} {:>14} {:>12} {:>12} {:>8.1}x",
+            len,
+            count.distinct,
+            fmt_duration(d_c),
+            fmt_duration(d_e),
+            last_speedup
+        );
+        rows.push(format!(
+            "        {{\"len\": {len}, \"answers\": {}, \"count_secs\": {:.6}, \
+             \"enumerate_secs\": {:.6}, \"speedup\": {:.2}}}",
+            count.distinct,
+            d_c.as_secs_f64(),
+            d_e.as_secs_f64(),
+            last_speedup
+        ));
+    }
+
+    let pass = last_speedup >= 10.0;
+    println!(
+        "\n  speedup at the largest size: {last_speedup:.1}x  \
+         (acceptance bar: >= 10x: {})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E17\",\n  \"base\": {base},\n  \"family\": \"chain \
+         quantifier-free\",\n  \"points\": [\n{}\n  ],\n  \"largest_speedup\": \
+         {last_speedup:.2},\n  \"bar_10x\": {pass}\n}}\n",
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_count.json", &json) {
+        Ok(()) => println!("  wrote BENCH_count.json"),
+        Err(e) => println!("  could not write BENCH_count.json: {e}"),
     }
 }

@@ -42,6 +42,40 @@ pub fn chain_query(len: usize) -> ConjunctiveQuery {
     parse_cq(&format!("G(x0, x{len}) :- {body}.")).unwrap()
 }
 
+/// E17: the chain query of length `len` with a **quantifier-free** head —
+/// every variable is kept, so the answer set is the full set of length-`len`
+/// walks. On dense chains it grows exponentially with `len` while the
+/// counting sweep stays linear in the input.
+pub fn chain_full_query(len: usize) -> ConjunctiveQuery {
+    let mut body = String::new();
+    for i in 0..len {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("R{i}(x{i}, x{})", i + 1));
+    }
+    let head: Vec<String> = (0..=len).map(|i| format!("x{i}")).collect();
+    parse_cq(&format!("G({}) :- {body}.", head.join(", "))).unwrap()
+}
+
+/// E17: a chain database whose every relation is the complete `base x base`
+/// table over `0..base` — the quantifier-free chain query then has exactly
+/// `base^(len+1)` answers, an answer set that doubles-and-more with every
+/// extra atom while the instance itself grows by only `base²` tuples.
+pub fn complete_chain_database(len: usize, base: i64) -> Database {
+    let mut db = Database::new();
+    for i in 0..len {
+        let rows = (0..base).flat_map(|a| (0..base).map(move |b| tuple![a, b]));
+        db.add_table(
+            format!("R{i}"),
+            [format!("a{i}"), format!("a{}", i + 1)],
+            rows,
+        )
+        .unwrap();
+    }
+    db
+}
+
 /// E5: the chain query with *endpoint inequalities* — every prefix variable
 /// `x0..xj` (j = `neq_span`) pairwise-distinct from the final variable,
 /// giving `k = |V1|` that grows with `neq_span` while the hypergraph stays

@@ -1,0 +1,612 @@
+//! The count planner: dispatch `COUNT(Q)` to the cheapest exact strategy.
+//!
+//! Mirrors [`crate::planner`] for the counting problem: the analyzer's
+//! `PQA7xx` pass (Chen–Mengel) decides whether the query admits counting
+//! *without enumeration* — the semiring sweep over a join tree
+//! (`count-yannakakis`) or over hypertree bags (`count-hypertree`) — and
+//! otherwise the plan degrades to enumerate-then-count through the regular
+//! engine chain. A [`CountPlan`] is reusable across databases, and
+//! [`count_with_fallback`] is the governed degradation chain.
+
+use pq_analyze::{analyze, Analysis, AnalyzeOptions};
+use pq_count::{CountError, CountedRelation, QueryCount};
+use pq_data::{Database, Relation, Tuple};
+use pq_engine::governor::{ExecutionContext, SharedContext};
+use pq_engine::EngineError;
+use pq_exec::Pool;
+use pq_hypergraph::HypertreeDecomposition;
+use pq_query::ConjunctiveQuery;
+
+use crate::classify::{classification_of, Classification, CqClass};
+use crate::planner::{FallbackAttempt, PlannerOptions};
+
+/// The counting strategy a [`CountPlan`] commits to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CountChoice {
+    /// The semiring sweep over the GYO join tree (acyclic pure queries).
+    Acyclic,
+    /// The semiring sweep over the bags of this hypertree decomposition
+    /// (cyclic pure queries of bounded width).
+    Hypertree(HypertreeDecomposition),
+    /// The query is provably empty on every database: the count is 0.
+    ConstantEmpty,
+    /// Counting is as hard as enumeration here (≠/comparison atoms, or no
+    /// decomposition within the width limit): evaluate with the regular
+    /// planner and count the answer set. On this path only the `distinct`
+    /// count is native; `assignments` is reported equal to it, because the
+    /// enumerating engines return set-semantics answers.
+    EnumerateThenCount,
+}
+
+/// The engine label a hypertree count plan advertises.
+fn count_hypertree_label(width: usize) -> &'static str {
+    match width {
+        1 => "count-hypertree (width 1)",
+        2 => "count-hypertree (width 2)",
+        3 => "count-hypertree (width 3)",
+        _ => "count-hypertree",
+    }
+}
+
+/// The outcome of count planning: which counting strategy will run and why.
+/// Like [`crate::Plan`], it captures everything derived from the query
+/// alone, so one plan serves many databases.
+#[derive(Debug, Clone)]
+pub struct CountPlan {
+    /// The classification that framed the choice.
+    pub classification: Classification,
+    /// Human-readable engine name.
+    pub engine: &'static str,
+    /// The committed counting strategy.
+    pub choice: CountChoice,
+    /// The full static analysis, run with the counting pass on: the
+    /// `PQA7xx` diagnostic explaining this plan is in here.
+    pub analysis: Analysis,
+    /// The intra-query parallelism degree this plan asks for (same
+    /// contract as [`crate::Plan::parallelism`]).
+    pub parallelism: usize,
+}
+
+/// Choose a counting strategy for the query.
+///
+/// Runs the static analyzer with the counting-tractability pass enabled
+/// (so the plan's diagnostics include the `PQA7xx` classification), then
+/// routes: provably empty → constant 0; acyclic pure → the join-tree
+/// sweep; bounded-width cyclic pure → the bag sweep; everything else →
+/// enumerate-then-count.
+pub fn plan_count(q: &ConjunctiveQuery, opts: &PlannerOptions) -> CountPlan {
+    let analysis = analyze(
+        q,
+        &AnalyzeOptions {
+            counting: true,
+            ..opts.analysis.clone()
+        },
+    );
+    let classification = classification_of(&analysis.report);
+    let (engine, choice) =
+        if analysis.provably_empty() || classification.class == CqClass::InconsistentComparisons {
+            ("constant (count 0)", CountChoice::ConstantEmpty)
+        } else {
+            match classification.class {
+                CqClass::AcyclicPure => ("count-yannakakis", CountChoice::Acyclic),
+                CqClass::CyclicBoundedWidth => match analysis.report.decomposition.clone() {
+                    Some(d) => (count_hypertree_label(d.width()), CountChoice::Hypertree(d)),
+                    None => ("enumerate-then-count", CountChoice::EnumerateThenCount),
+                },
+                _ => ("enumerate-then-count", CountChoice::EnumerateThenCount),
+            }
+        };
+    let parallelism = match &choice {
+        CountChoice::ConstantEmpty => 1,
+        _ if analysis.effective(q).atoms.len() <= 1 => 1,
+        _ => opts.max_parallelism.max(1),
+    };
+    CountPlan {
+        classification,
+        engine,
+        choice,
+        analysis,
+        parallelism,
+    }
+}
+
+/// Group an enumerated answer set: +1 per distinct answer tuple, keyed by
+/// its projection onto `groups`.
+fn group_enumerated(
+    rows: &Relation,
+    groups: &[String],
+    engine: &'static str,
+) -> pq_count::Result<CountedRelation> {
+    let positions: Vec<usize> = groups
+        .iter()
+        .map(|g| {
+            rows.attr_pos(g).ok_or_else(|| {
+                CountError::Engine(EngineError::Unsupported(format!(
+                    "GROUP BY variable `{g}` is not an answer attribute"
+                )))
+            })
+        })
+        .collect::<pq_count::Result<_>>()?;
+    let mut out = CountedRelation::new(groups.iter().map(String::clone))?;
+    for t in rows.iter() {
+        out.insert_add(t.project(&positions), 1, engine)?;
+    }
+    Ok(out)
+}
+
+/// Validate `groups` against the head (shared with the grouped execute
+/// paths): distinct head variables, order preserved.
+fn checked_groups(q: &ConjunctiveQuery, groups: &[String]) -> pq_count::Result<Vec<String>> {
+    let head: std::collections::BTreeSet<&str> = q.head_variables().into_iter().collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for g in groups {
+        if !head.contains(g.as_str()) {
+            return Err(CountError::Engine(EngineError::Unsupported(format!(
+                "GROUP BY variable `{g}` is not a head variable of {q}"
+            ))));
+        }
+        if seen.insert(g.as_str()) {
+            out.push(g.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl CountPlan {
+    /// Count `Q(d)` with the committed strategy under the limits of `ctx`.
+    pub fn execute_governed(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        ctx: &ExecutionContext,
+    ) -> pq_count::Result<QueryCount> {
+        let q = self.analysis.effective(q);
+        match &self.choice {
+            CountChoice::Acyclic => pq_count::count_governed(q, db, ctx),
+            CountChoice::Hypertree(d) => pq_count::count_decomposed(q, db, d, ctx),
+            CountChoice::ConstantEmpty => Ok(QueryCount {
+                distinct: 0,
+                assignments: 0,
+            }),
+            CountChoice::EnumerateThenCount => {
+                let rows = crate::planner::plan(q, &PlannerOptions::default())
+                    .execute_governed(q, db, ctx)?;
+                let n = rows.len() as u128;
+                Ok(QueryCount {
+                    distinct: n,
+                    assignments: n,
+                })
+            }
+        }
+    }
+
+    /// [`CountPlan::execute_governed`] with the committed strategy's
+    /// parallel path; counts are byte-identical at any pool size.
+    pub fn execute_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        shared: &SharedContext,
+        pool: &Pool,
+    ) -> pq_count::Result<QueryCount> {
+        let q = self.analysis.effective(q);
+        match &self.choice {
+            CountChoice::Acyclic => pq_count::count_parallel(q, db, shared, pool),
+            CountChoice::Hypertree(d) => {
+                pq_count::count_decomposed_parallel(q, db, d, shared, pool)
+            }
+            CountChoice::ConstantEmpty => Ok(QueryCount {
+                distinct: 0,
+                assignments: 0,
+            }),
+            CountChoice::EnumerateThenCount => {
+                let rows = crate::planner::plan(q, &PlannerOptions::default())
+                    .execute_parallel(q, db, shared, pool)?;
+                let n = rows.len() as u128;
+                Ok(QueryCount {
+                    distinct: n,
+                    assignments: n,
+                })
+            }
+        }
+    }
+
+    /// Grouped counts `COUNT(Q) GROUP BY groups` with the committed
+    /// strategy under the limits of `ctx`: one row per assignment of the
+    /// group variables (which must be head variables), carrying the number
+    /// of distinct answer tuples in that group.
+    pub fn execute_by_governed(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        groups: &[String],
+        ctx: &ExecutionContext,
+    ) -> pq_count::Result<CountedRelation> {
+        let q = self.analysis.effective(q);
+        match &self.choice {
+            CountChoice::Acyclic => pq_count::count_by_governed(q, db, groups, ctx),
+            CountChoice::Hypertree(d) => pq_count::count_by_decomposed(q, db, d, groups, ctx),
+            CountChoice::ConstantEmpty => {
+                CountedRelation::new(checked_groups(q, groups)?.iter().map(String::clone))
+            }
+            CountChoice::EnumerateThenCount => {
+                let groups = checked_groups(q, groups)?;
+                let rows = crate::planner::plan(q, &PlannerOptions::default())
+                    .execute_governed(q, db, ctx)?;
+                group_enumerated(&rows, &groups, self.engine)
+            }
+        }
+    }
+
+    /// [`CountPlan::execute_by_governed`] on the parallel path.
+    pub fn execute_by_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        groups: &[String],
+        shared: &SharedContext,
+        pool: &Pool,
+    ) -> pq_count::Result<CountedRelation> {
+        let q = self.analysis.effective(q);
+        match &self.choice {
+            CountChoice::Acyclic => pq_count::count_by_parallel(q, db, groups, shared, pool),
+            CountChoice::Hypertree(d) => {
+                pq_count::count_by_decomposed_parallel(q, db, d, groups, shared, pool)
+            }
+            CountChoice::ConstantEmpty => {
+                CountedRelation::new(checked_groups(q, groups)?.iter().map(String::clone))
+            }
+            CountChoice::EnumerateThenCount => {
+                let groups = checked_groups(q, groups)?;
+                let rows = crate::planner::plan(q, &PlannerOptions::default())
+                    .execute_parallel(q, db, shared, pool)?;
+                group_enumerated(&rows, &groups, self.engine)
+            }
+        }
+    }
+
+    /// The base relations this plan reads (same contract as
+    /// [`crate::Plan::mentioned_relations`]).
+    pub fn mentioned_relations(&self, q: &ConjunctiveQuery) -> Vec<String> {
+        if matches!(self.choice, CountChoice::ConstantEmpty) {
+            return Vec::new();
+        }
+        let mut names: Vec<String> = self
+            .analysis
+            .effective(q)
+            .atoms
+            .iter()
+            .map(|a| a.relation.clone())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+/// Count `Q(d)` with the strategy the classification recommends.
+pub fn count(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &PlannerOptions,
+) -> pq_count::Result<QueryCount> {
+    plan_count(q, opts).execute_governed(q, db, &ExecutionContext::unlimited())
+}
+
+/// The outcome of a graceful-degradation count: the counts plus the trail
+/// of strategies tried.
+#[derive(Debug)]
+pub struct CountOutcome {
+    /// The exact counts.
+    pub count: QueryCount,
+    /// The classification that framed the chain.
+    pub classification: Classification,
+    /// Attempts in order; the last entry is the one that succeeded.
+    pub attempts: Vec<FallbackAttempt>,
+}
+
+/// May the counting chain move past `e`? Overflow never: the true count
+/// exceeds `u128` on *every* strategy (enumeration least of all), so
+/// retrying cannot help. Engine errors follow the same rules as the
+/// evaluation chain (`Unsupported` and recoverable exhaustion advance).
+fn retryable(e: &CountError) -> bool {
+    match e {
+        CountError::Overflow { .. } => false,
+        CountError::Engine(e) => crate::planner::retryable_engine_error(e),
+        _ => false,
+    }
+}
+
+/// Count `Q(d)` with graceful degradation under the limits of `ctx`.
+///
+/// Tries **count-yannakakis → count-hypertree → enumerate-then-count**,
+/// advancing past strategies that reject the query or give up on a
+/// recoverable limit — every attempt sharing `ctx`, like
+/// [`crate::evaluate_with_fallback`], whose chain the final enumeration
+/// step reuses wholesale (its inner attempts are appended to the trail).
+pub fn count_with_fallback(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> pq_count::Result<CountOutcome> {
+    let analysis = analyze(
+        q,
+        &AnalyzeOptions {
+            minimize: false,
+            counting: true,
+            ..Default::default()
+        },
+    );
+    let classification = classification_of(&analysis.report);
+    if analysis.provably_empty() || classification.class == CqClass::InconsistentComparisons {
+        return Ok(CountOutcome {
+            count: QueryCount {
+                distinct: 0,
+                assignments: 0,
+            },
+            classification,
+            attempts: vec![FallbackAttempt {
+                engine: "constant (count 0)",
+                error: None,
+            }],
+        });
+    }
+    let mut attempts = Vec::new();
+    // 1. The join-tree sweep.
+    match pq_count::count_governed(q, db, ctx) {
+        Ok(count) => {
+            attempts.push(FallbackAttempt {
+                engine: "count-yannakakis",
+                error: None,
+            });
+            return Ok(CountOutcome {
+                count,
+                classification,
+                attempts,
+            });
+        }
+        Err(e) if retryable(&e) => attempts.push(FallbackAttempt {
+            engine: "count-yannakakis",
+            error: Some(e.to_string()),
+        }),
+        Err(e) => return Err(e),
+    }
+    // 2. The bag sweep, when the analyzer found a decomposition in budget.
+    let decomposed = match analysis.report.decomposition.as_ref() {
+        Some(d) => pq_count::count_decomposed(q, db, d, ctx),
+        None => Err(CountError::Engine(EngineError::Unsupported(
+            "no hypertree decomposition within the width limit".into(),
+        ))),
+    };
+    match decomposed {
+        Ok(count) => {
+            attempts.push(FallbackAttempt {
+                engine: "count-hypertree",
+                error: None,
+            });
+            return Ok(CountOutcome {
+                count,
+                classification,
+                attempts,
+            });
+        }
+        Err(e) if retryable(&e) => attempts.push(FallbackAttempt {
+            engine: "count-hypertree",
+            error: Some(e.to_string()),
+        }),
+        Err(e) => return Err(e),
+    }
+    // 3. Enumerate-then-count through the evaluation chain.
+    let out = crate::planner::evaluate_with_fallback(q, db, ctx).map_err(CountError::Engine)?;
+    attempts.extend(out.attempts);
+    let n = out.result.len() as u128;
+    Ok(CountOutcome {
+        count: QueryCount {
+            distinct: n,
+            assignments: n,
+        },
+        classification,
+        attempts,
+    })
+}
+
+/// The counting decision problem `COUNT(Q)(d) ≥ k` without materializing
+/// counts beyond `u128`: a convenience over [`count`].
+pub fn count_at_least(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    k: u128,
+    opts: &PlannerOptions,
+) -> pq_count::Result<bool> {
+    Ok(count(q, db, opts)?.distinct >= k)
+}
+
+/// Render a [`QueryCount`]'s distinct count as a one-row relation with the
+/// single attribute `count` — the shape the service caches and ships for
+/// `@count`.
+pub fn count_relation(c: &QueryCount) -> pq_count::Result<Relation> {
+    let mut out = Relation::new(["count"]).map_err(EngineError::Data)?;
+    out.insert(Tuple::new(vec![pq_count::count_value(c.distinct)]))
+        .map_err(EngineError::Data)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pq_data::tuple;
+    use pq_engine::naive;
+    use pq_query::parse_cq;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.add_table(
+            "EP",
+            ["e", "p"],
+            [
+                tuple!["ann", "p1"],
+                tuple!["ann", "p2"],
+                tuple!["bob", "p1"],
+            ],
+        )
+        .unwrap();
+        d.add_table("R", ["a", "b"], [tuple![1, 2], tuple![2, 3], tuple![2, 4]])
+            .unwrap();
+        d.add_table("S", ["b", "c"], [tuple![2, 9], tuple![3, 9], tuple![4, 8]])
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn count_plans_name_their_engines() {
+        let opts = PlannerOptions::default();
+        let p = plan_count(&parse_cq("G(x, y, z) :- R(x, y), S(y, z).").unwrap(), &opts);
+        assert_eq!(p.engine, "count-yannakakis");
+        assert_eq!(p.choice, CountChoice::Acyclic);
+        let p = plan_count(&parse_cq("G :- R(x, y), R(y, z), R(z, x).").unwrap(), &opts);
+        assert_eq!(p.engine, "count-hypertree (width 2)");
+        assert!(matches!(p.choice, CountChoice::Hypertree(_)));
+        let p = plan_count(
+            &parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap(),
+            &opts,
+        );
+        assert_eq!(p.choice, CountChoice::EnumerateThenCount);
+        let p = plan_count(&parse_cq("G(x) :- R(x, y), x != x.").unwrap(), &opts);
+        assert_eq!(p.choice, CountChoice::ConstantEmpty);
+        assert_eq!(p.engine, "constant (count 0)");
+    }
+
+    #[test]
+    fn count_plans_carry_the_pqa7_diagnostic() {
+        let opts = PlannerOptions::default();
+        let p = plan_count(&parse_cq("G(x, y, z) :- R(x, y), S(y, z).").unwrap(), &opts);
+        assert!(p
+            .analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code() == "PQA701"));
+        let p = plan_count(
+            &parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap(),
+            &opts,
+        );
+        assert!(p
+            .analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code() == "PQA703"));
+    }
+
+    #[test]
+    fn every_strategy_agrees_with_the_naive_oracle() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        for src in [
+            "G(x, y, z) :- R(x, y), S(y, z).", // acyclic, quantifier-free
+            "G(x) :- R(x, y), S(y, z).",       // acyclic, projected
+            "G(x, y, z) :- R(x, y), R(y, z), R(z, x).", // cyclic bounded width
+            "G(e) :- EP(e, p), EP(e, p2), p != p2.", // impure → enumerate
+            "G(x) :- R(x, y), x < y.",         // comparisons → enumerate
+            "G(x) :- R(x, y), x != x.",        // provably empty
+        ] {
+            let q = parse_cq(src).unwrap();
+            let oracle = naive::evaluate(&q, &d).unwrap().len() as u128;
+            let p = plan_count(&q, &opts);
+            let ctx = ExecutionContext::unlimited();
+            let c = p.execute_governed(&q, &d, &ctx).unwrap();
+            assert_eq!(c.distinct, oracle, "{src}");
+            for threads in [1, 4] {
+                let pool = Pool::new(threads);
+                let shared = ExecutionContext::unlimited().into_shared();
+                let par = p.execute_parallel(&q, &d, &shared, &pool).unwrap();
+                assert_eq!(par, c, "{src} at {threads} threads");
+            }
+            // The fallback chain lands on the same number.
+            let out = count_with_fallback(&q, &d, &ExecutionContext::unlimited()).unwrap();
+            assert_eq!(out.count.distinct, oracle, "{src}");
+            assert!(out.attempts.last().unwrap().error.is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn grouped_counts_agree_across_strategies() {
+        let opts = PlannerOptions::default();
+        let d = db();
+        for src in [
+            "G(x, z) :- R(x, y), S(y, z).",
+            "G(e) :- EP(e, p), EP(e, p2), p != p2.",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let group = q.head_variables()[0].to_string();
+            let p = plan_count(&q, &opts);
+            let ctx = ExecutionContext::unlimited();
+            let by = p
+                .execute_by_governed(&q, &d, std::slice::from_ref(&group), &ctx)
+                .unwrap();
+            // Oracle: enumerate naively and group by hand.
+            let rows = naive::evaluate(&q, &d).unwrap();
+            let pos = rows.attr_pos(&group).unwrap();
+            let mut expected: std::collections::BTreeMap<Tuple, u128> = Default::default();
+            for t in rows.iter() {
+                *expected.entry(t.project(&[pos])).or_insert(0) += 1;
+            }
+            assert_eq!(by.len(), expected.len(), "{src}");
+            for (t, c) in by.iter() {
+                assert_eq!(expected.get(t).copied(), Some(c), "{src} group {t}");
+            }
+            let pool = Pool::new(3);
+            let shared = ExecutionContext::unlimited().into_shared();
+            let par = p
+                .execute_by_parallel(&q, &d, &[group], &shared, &pool)
+                .unwrap();
+            assert_eq!(par, by, "{src}");
+        }
+    }
+
+    #[test]
+    fn fallback_chain_reports_its_trail() {
+        let d = db();
+        // Cyclic: count-yannakakis rejects, count-hypertree succeeds.
+        let q = parse_cq("G(x, y, z) :- R(x, y), R(y, z), R(z, x).").unwrap();
+        let out = count_with_fallback(&q, &d, &ExecutionContext::unlimited()).unwrap();
+        let engines: Vec<_> = out.attempts.iter().map(|a| a.engine).collect();
+        assert_eq!(engines, vec!["count-yannakakis", "count-hypertree"]);
+        // Impure: both sweeps reject, enumeration chain takes over.
+        let q = parse_cq("G(e) :- EP(e, p), EP(e, p2), p != p2.").unwrap();
+        let out = count_with_fallback(&q, &d, &ExecutionContext::unlimited()).unwrap();
+        let engines: Vec<_> = out.attempts.iter().map(|a| a.engine).collect();
+        assert_eq!(
+            engines,
+            vec!["count-yannakakis", "count-hypertree", "color-coding"]
+        );
+    }
+
+    #[test]
+    fn count_relation_renders_the_distinct_count() {
+        let r = count_relation(&QueryCount {
+            distinct: 7,
+            assignments: 12,
+        })
+        .unwrap();
+        assert_eq!(r.attrs(), ["count".to_string()]);
+        assert!(r.contains(&tuple![7]));
+        // Beyond i64: the exact decimal string survives.
+        let big = (i64::MAX as u128) + 1;
+        let r = count_relation(&QueryCount {
+            distinct: big,
+            assignments: big,
+        })
+        .unwrap();
+        assert!(r.contains(&Tuple::new(vec![pq_data::Value::str(big.to_string())])));
+    }
+
+    #[test]
+    fn count_at_least_thresholds() {
+        let d = db();
+        let opts = PlannerOptions::default();
+        let q = parse_cq("G(x, y, z) :- R(x, y), S(y, z).").unwrap();
+        assert!(count_at_least(&q, &d, 3, &opts).unwrap());
+        assert!(!count_at_least(&q, &d, 4, &opts).unwrap());
+    }
+}

@@ -36,10 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod count_planner;
 pub mod datalog;
 pub mod planner;
 
 pub use classify::{classification_of, classify, Classification, CqClass};
+pub use count_planner::{
+    count_at_least, count_relation, count_with_fallback, plan_count, CountChoice, CountOutcome,
+    CountPlan,
+};
 pub use datalog::{evaluate_datalog, plan_datalog, DatalogPlan};
 pub use planner::{
     decide, evaluate, evaluate_with_fallback, is_nonempty, plan, EngineChoice, FallbackAttempt,

@@ -345,6 +345,10 @@ pub struct FallbackOutcome {
 /// be rescued by an iterative one. Timeouts and cancellation are global
 /// conditions — no engine can outrun a passed deadline or a cancelled
 /// token — so they propagate immediately.
+pub(crate) fn retryable_engine_error(e: &EngineError) -> bool {
+    retryable(e)
+}
+
 fn retryable(e: &EngineError) -> bool {
     match e {
         EngineError::Unsupported(_) => true,

@@ -219,6 +219,61 @@ fn project_head(
     Ok(out)
 }
 
+/// Materialize the decomposition's bags for `(q, db)`: the *bag hypergraph*
+/// (one edge per decomposition node, labelled by the bag's variables), the
+/// bag join tree, and the bag relations in node order.
+///
+/// This is step 1 of the evaluator, exposed so other sweeps — notably the
+/// counting engine in `pq-count` — can run over the same bags without
+/// re-deriving the decomposition plumbing. The bag tree is a join tree over
+/// the bag hypergraph, so any algorithm for acyclic instances applies to the
+/// returned triple.
+pub fn materialize_bags_governed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    d: &HypertreeDecomposition,
+    ctx: &ExecutionContext,
+) -> Result<(Hypergraph, JoinTree, Vec<Relation>)> {
+    if !q.is_pure() {
+        return Err(EngineError::Unsupported(
+            "hypertree engine handles pure CQs; use the color-coding engine for ≠".into(),
+        ));
+    }
+    let plan = plan_bags(q, d)?;
+    let atom_rels: Vec<Relation> = q
+        .atoms
+        .iter()
+        .map(|a| atom_relation_governed(a, db, ctx))
+        .collect::<Result<_>>()?;
+    let rels: Vec<Relation> = (0..d.num_nodes())
+        .map(|i| materialize_bag(d, &plan, &atom_rels, i, ctx))
+        .collect::<Result<_>>()?;
+    Ok((plan.bags, plan.tree, rels))
+}
+
+/// [`materialize_bags_governed`] with parallel atom scans and bag joins (one
+/// task per bag, in node order); byte-identical output at any thread count.
+pub fn materialize_bags_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    d: &HypertreeDecomposition,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<(Hypergraph, JoinTree, Vec<Relation>)> {
+    if !q.is_pure() {
+        return Err(EngineError::Unsupported(
+            "hypertree engine handles pure CQs; use the color-coding engine for ≠".into(),
+        ));
+    }
+    let plan = plan_bags(q, d)?;
+    let atom_rels = parallel_atom_relations(q, db, shared, pool)?;
+    let nodes: Vec<usize> = (0..d.num_nodes()).collect();
+    let rels: Vec<Relation> = pool.try_run(&nodes, |_, &i| {
+        materialize_bag(d, &plan, &atom_rels, i, &shared.worker())
+    })?;
+    Ok((plan.bags, plan.tree, rels))
+}
+
 /// Emptiness by one bottom-up semijoin pass over the bag tree; polynomial in
 /// the input alone for fixed width.
 pub fn is_nonempty(q: &ConjunctiveQuery, db: &Database) -> Result<bool> {

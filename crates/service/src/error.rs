@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use pq_count::CountError;
 use pq_data::DataError;
 use pq_engine::EngineError;
 use pq_query::QueryError;
@@ -52,6 +53,13 @@ pub enum ServiceError {
     /// [`RecoveryError`]); the service refuses to start rather than serve
     /// from a corrupt catalog.
     Recovery(RecoveryError),
+    /// A `@count` request's exact count exceeds `u128`. Terminal for the
+    /// query (no engine could produce the number), but the service keeps
+    /// running — and a wrapped or truncated count is never returned.
+    CountOverflow {
+        /// The counting engine that detected the overflow.
+        engine: &'static str,
+    },
 }
 
 impl ServiceError {
@@ -70,6 +78,7 @@ impl ServiceError {
             ServiceError::RequestTimeout => "request-timeout",
             ServiceError::Durability(_) => "durability",
             ServiceError::Recovery(_) => "recovery",
+            ServiceError::CountOverflow { .. } => "count-overflow",
         }
     }
 
@@ -105,6 +114,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Durability(m) => write!(f, "durability degraded: {m}"),
             ServiceError::Recovery(e) => write!(f, "recovery failed: {e}"),
+            ServiceError::CountOverflow { engine } => {
+                write!(
+                    f,
+                    "count overflow in {engine}: the exact count exceeds u128"
+                )
+            }
         }
     }
 }
@@ -142,6 +157,17 @@ impl From<EngineError> for ServiceError {
 impl From<RecoveryError> for ServiceError {
     fn from(e: RecoveryError) -> Self {
         ServiceError::Recovery(e)
+    }
+}
+
+impl From<CountError> for ServiceError {
+    fn from(e: CountError) -> Self {
+        match e {
+            CountError::Overflow { engine } => ServiceError::CountOverflow { engine },
+            CountError::Engine(e) => ServiceError::Engine(e),
+            // `CountError` is non-exhaustive; render anything newer.
+            other => ServiceError::Engine(EngineError::Unsupported(other.to_string())),
+        }
     }
 }
 

@@ -91,8 +91,8 @@ pub use server::{
     ServerOptions,
 };
 pub use service::{
-    AnalysisReport, CacheOutcome, Explanation, LoadSummary, MutationSummary, ProgramAnalysisReport,
-    QueryResponse, QueryService, RequestLimits, ServiceConfig, Subscription, SubscriptionUpdate,
-    MAX_TOTAL_THREADS,
+    AnalysisReport, CacheOutcome, CountMode, Explanation, LoadSummary, MutationSummary,
+    ProgramAnalysisReport, QueryResponse, QueryService, RequestLimits, ServiceConfig, Subscription,
+    SubscriptionUpdate, MAX_TOTAL_THREADS,
 };
 pub use wal::{FsyncPolicy, RecoveryError};

@@ -105,6 +105,9 @@ pub struct ServiceMetrics {
     pub drops: AtomicU64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: AtomicU64,
+    /// `@count` / `@count_by` requests answered successfully (also counted
+    /// in [`ServiceMetrics::queries_served`]).
+    pub count_queries: AtomicU64,
     /// Evaluations routed to the hypertree engine (cyclic queries of
     /// bounded width).
     pub hypertree_queries: AtomicU64,
@@ -123,6 +126,9 @@ pub struct ServiceMetrics {
     pub ivm_maintain_fallbacks: AtomicU64,
     /// End-to-end query latencies (successful queries only).
     pub latency: LatencyHistogram,
+    /// End-to-end `@count` request latencies (successful only; these
+    /// observations also land in [`ServiceMetrics::latency`]).
+    pub count_latency: LatencyHistogram,
     /// Incremental-maintenance pass latencies (one observation per mutation
     /// batch that touched at least one view).
     pub ivm_maintain: LatencyHistogram,
@@ -150,6 +156,7 @@ impl ServiceMetrics {
     /// Take a point-in-time snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let buckets = self.latency.snapshot();
+        let count_buckets = self.count_latency.snapshot();
         let ivm_buckets = self.ivm_maintain.snapshot();
         MetricsSnapshot {
             queries_served: self.queries_served.load(Ordering::Relaxed),
@@ -165,6 +172,7 @@ impl ServiceMetrics {
             mutations: self.mutations.load(Ordering::Relaxed),
             drops: self.drops.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            count_queries: self.count_queries.load(Ordering::Relaxed),
             hypertree_queries: self.hypertree_queries.load(Ordering::Relaxed),
             hypertree_width_counts: std::array::from_fn(|i| {
                 self.hypertree_width_counts[i].load(Ordering::Relaxed)
@@ -183,6 +191,8 @@ impl ServiceMetrics {
             last_recovery_ms: 0,
             latency_p50_micros: percentile(&buckets, 0.50),
             latency_p99_micros: percentile(&buckets, 0.99),
+            count_latency_p50_micros: percentile(&count_buckets, 0.50),
+            count_latency_p99_micros: percentile(&count_buckets, 0.99),
             ivm_maintain_p50_micros: percentile(&ivm_buckets, 0.50),
             ivm_maintain_p99_micros: percentile(&ivm_buckets, 0.99),
         }
@@ -219,6 +229,8 @@ pub struct MetricsSnapshot {
     pub drops: u64,
     /// Evaluations that took the intra-query parallel path.
     pub parallel_queries: u64,
+    /// `@count` / `@count_by` requests answered successfully.
+    pub count_queries: u64,
     /// Evaluations routed to the hypertree engine.
     pub hypertree_queries: u64,
     /// Hypertree evaluations per decomposition width (bucket `i` is width
@@ -255,6 +267,10 @@ pub struct MetricsSnapshot {
     pub latency_p50_micros: u64,
     /// 99th-percentile successful-query latency (µs, upper bucket bound).
     pub latency_p99_micros: u64,
+    /// Median successful `@count` request latency (µs, upper bucket bound).
+    pub count_latency_p50_micros: u64,
+    /// 99th-percentile successful `@count` request latency (µs).
+    pub count_latency_p99_micros: u64,
     /// Median view-maintenance pass latency (µs, upper bucket bound).
     pub ivm_maintain_p50_micros: u64,
     /// 99th-percentile view-maintenance pass latency (µs).
@@ -278,6 +294,7 @@ impl MetricsSnapshot {
             format!("mutations {}", self.mutations),
             format!("drops {}", self.drops),
             format!("parallel_queries {}", self.parallel_queries),
+            format!("count_queries {}", self.count_queries),
             format!("hypertree_queries {}", self.hypertree_queries),
             format!(
                 "hypertree_width_hist {}",
@@ -304,6 +321,8 @@ impl MetricsSnapshot {
             format!("last_recovery_ms {}", self.last_recovery_ms),
             format!("latency_p50_micros {}", self.latency_p50_micros),
             format!("latency_p99_micros {}", self.latency_p99_micros),
+            format!("count_latency_p50_micros {}", self.count_latency_p50_micros),
+            format!("count_latency_p99_micros {}", self.count_latency_p99_micros),
             format!("ivm_maintain_p50_micros {}", self.ivm_maintain_p50_micros),
             format!("ivm_maintain_p99_micros {}", self.ivm_maintain_p99_micros),
         ]

@@ -37,6 +37,15 @@
 //! `@flags` set per-request resource limits, e.g.
 //! `QUERY @deadline_ms=50 @budget=100000 @depth=64 mydb G(x) :- R(x, y).`
 //!
+//! `QUERY` additionally accepts the counting flags `@count` and
+//! `@count_by(x,y)` (attribute list without spaces). `@count` answers with
+//! a single row over the attribute `count` — the number of **distinct**
+//! answers, computed without enumerating them whenever the query's
+//! counting classification allows; `@count_by(x̄)` answers with one row
+//! per group over `x̄…, count`. Counts that exceed `i64` are rendered as
+//! exact decimal strings, and a count that would exceed `u128` is the
+//! error `ERR count-overflow …` — never a wrapped number.
+//!
 //! **Responses** are one or more lines terminated by a line containing a
 //! single `.`. The first line is `OK …` or `ERR <code> <message>` (codes
 //! from [`ServiceError::code`], e.g. `overloaded`, `resource-exhausted`).
@@ -46,22 +55,26 @@
 //!
 //! **`SUBSCRIBE` dedicates the connection to one live view.** The initial
 //! response is an ordinary framed answer (`OK subscribed <id> <n> <attrs>`
-//! plus `n` rows and the terminator). From then on, every mutation that
-//! changes the view's answer pushes one framed **delta**:
+//! plus `n` rows and the terminator); `<n>` **is the view's current
+//! cardinality**, so a count-subscriber can read the header and skip the
+//! body. From then on, every mutation that changes the view's answer
+//! pushes one framed **delta**:
 //!
 //! ```text
-//! DELTA <id> +<a> -<r> epoch=<e>[ fallback][ dropped]
+//! DELTA <id> +<a> -<r> epoch=<e> rows=<n>[ fallback][ dropped]
 //! + <row>      (a lines: rows that entered the answer)
 //! - <row>      (r lines: rows that left the answer)
 //! .
 //! ```
 //!
-//! `fallback` marks a pass that exceeded the maintenance budget and fell
-//! back to a full recompute; `dropped` is the final frame (the database was
-//! dropped or replaced by something the view cannot be computed against).
-//! Any input line from the client (or EOF) ends the subscription: the
-//! server unsubscribes and confirms with a final `OK unsubscribed <id>`
-//! frame.
+//! `rows=<n>` is the view's cardinality *after* the delta applies, so
+//! count-subscribers never need to replay the materialization to track
+//! `|V(d)|`. `fallback` marks a pass that exceeded the maintenance budget
+//! and fell back to a full recompute; `dropped` is the final frame (the
+//! database was dropped or replaced by something the view cannot be
+//! computed against). Any input line from the client (or EOF) ends the
+//! subscription: the server unsubscribes and confirms with a final
+//! `OK unsubscribed <id>` frame.
 
 use std::time::Duration;
 
@@ -71,8 +84,8 @@ use crate::durable::SnapshotSummary;
 use crate::error::ServiceError;
 use crate::metrics::MetricsSnapshot;
 use crate::service::{
-    AnalysisReport, CacheOutcome, Explanation, LoadSummary, MutationSummary, ProgramAnalysisReport,
-    QueryResponse, RequestLimits, Subscription, SubscriptionUpdate,
+    AnalysisReport, CacheOutcome, CountMode, Explanation, LoadSummary, MutationSummary,
+    ProgramAnalysisReport, QueryResponse, RequestLimits, Subscription, SubscriptionUpdate,
 };
 
 /// The response terminator line.
@@ -101,6 +114,9 @@ pub enum Request {
         src: String,
         /// Per-request limits from `@` flags.
         limits: RequestLimits,
+        /// Counting mode from `@count` / `@count_by(x̄)`; `None` is an
+        /// ordinary enumerating query.
+        count: Option<CountMode>,
     },
     /// `EXPLAIN <name> <cq text>`.
     Explain {
@@ -180,14 +196,55 @@ fn parse_flag(limits: &mut RequestLimits, token: &str) -> Result<(), ServiceErro
     Ok(())
 }
 
+/// Recognize the counting flags `@count` and `@count_by(x,y)`. Returns
+/// `Ok(false)` when `token` is not a counting flag (so the caller can try
+/// the limit flags).
+fn parse_count_token(count: &mut Option<CountMode>, token: &str) -> Result<bool, ServiceError> {
+    let mode = if token == "@count" {
+        CountMode::Total
+    } else if let Some(body) = token.strip_prefix("@count_by(") {
+        let inner = body.strip_suffix(')').ok_or_else(|| {
+            proto_err(format!(
+                "flag `{token}` is missing the closing `)` \
+                 (the attribute list may not contain spaces)"
+            ))
+        })?;
+        let groups: Vec<String> = inner.split(',').map(|g| g.trim().to_string()).collect();
+        if inner.trim().is_empty() || groups.iter().any(String::is_empty) {
+            return Err(proto_err(format!(
+                "flag `{token}` needs comma-separated attributes, e.g. `@count_by(x,y)`"
+            )));
+        }
+        CountMode::Grouped(groups)
+    } else if token == "@count_by" || token.starts_with("@count_by=") {
+        return Err(proto_err(
+            "`@count_by` takes a parenthesized attribute list, e.g. `@count_by(x,y)`",
+        ));
+    } else {
+        return Ok(false);
+    };
+    if count.replace(mode).is_some() {
+        return Err(proto_err(
+            "at most one `@count`/`@count_by(…)` flag per request",
+        ));
+    }
+    Ok(true)
+}
+
 /// Split `rest` into its leading `@` flags, a database name, and trailing
 /// query text.
-fn parse_query_parts(rest: &str) -> Result<(String, String, RequestLimits), ServiceError> {
+#[allow(clippy::type_complexity)]
+fn parse_query_parts(
+    rest: &str,
+) -> Result<(String, String, RequestLimits, Option<CountMode>), ServiceError> {
     let mut limits = RequestLimits::default();
+    let mut count = None;
     let mut rest = rest.trim_start();
     while rest.starts_with('@') {
         let (token, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
-        parse_flag(&mut limits, token)?;
+        if !parse_count_token(&mut count, token)? {
+            parse_flag(&mut limits, token)?;
+        }
         rest = tail.trim_start();
     }
     let (name, src) = rest
@@ -197,7 +254,7 @@ fn parse_query_parts(rest: &str) -> Result<(String, String, RequestLimits), Serv
     if src.is_empty() {
         return Err(proto_err("empty query text"));
     }
-    Ok((name.to_string(), src.to_string(), limits))
+    Ok((name.to_string(), src.to_string(), limits, count))
 }
 
 /// Parse `INSERT`/`DELETE` operands: `<name> <relation> <row>[; <row>…]`.
@@ -249,19 +306,24 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             })
         }
         "QUERY" => {
-            let (name, src, limits) = parse_query_parts(rest)?;
-            Ok(Request::Query { name, src, limits })
+            let (name, src, limits, count) = parse_query_parts(rest)?;
+            Ok(Request::Query {
+                name,
+                src,
+                limits,
+                count,
+            })
         }
         "EXPLAIN" => {
-            let (name, src, limits) = parse_query_parts(rest)?;
-            if limits != RequestLimits::default() {
+            let (name, src, limits, count) = parse_query_parts(rest)?;
+            if limits != RequestLimits::default() || count.is_some() {
                 return Err(proto_err("EXPLAIN takes no @ flags"));
             }
             Ok(Request::Explain { name, src })
         }
         "ANALYZE" => {
-            let (name, src, limits) = parse_query_parts(rest)?;
-            if limits != RequestLimits::default() {
+            let (name, src, limits, count) = parse_query_parts(rest)?;
+            if limits != RequestLimits::default() || count.is_some() {
                 return Err(proto_err("ANALYZE takes no @ flags"));
             }
             Ok(Request::Analyze { name, src })
@@ -298,10 +360,11 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             })
         }
         "SUBSCRIBE" => {
-            let (name, src, limits) = parse_query_parts(rest)?;
-            if limits != RequestLimits::default() {
+            let (name, src, limits, count) = parse_query_parts(rest)?;
+            if limits != RequestLimits::default() || count.is_some() {
                 return Err(proto_err(
-                    "SUBSCRIBE takes no @ flags (maintenance runs under service defaults)",
+                    "SUBSCRIBE takes no @ flags (maintenance runs under service \
+                     defaults; delta headers already carry the cardinality)",
                 ));
             }
             Ok(Request::Subscribe { name, src })
@@ -513,8 +576,10 @@ pub fn render_mutation_response(s: &MutationSummary) -> Vec<String> {
     )]
 }
 
-/// Render the initial response lines for `SUBSCRIBE`: the subscription id
-/// plus the view's full current answer (same row framing as `QUERY`).
+/// Render the initial response lines for `SUBSCRIBE`: the subscription id,
+/// the view's current **cardinality** (so count-subscribers can stop after
+/// the header), and the view's full current answer (same row framing as
+/// `QUERY`).
 pub fn render_subscribe_response(sub: &Subscription) -> Vec<String> {
     let mut lines = vec![format!(
         "OK subscribed {} {} {}",
@@ -531,13 +596,16 @@ pub fn render_subscribe_response(sub: &Subscription) -> Vec<String> {
 }
 
 /// Render one pushed delta frame for subscription `id`. Added rows are
-/// prefixed `+ `, removed rows `- `; both sides are sorted.
+/// prefixed `+ `, removed rows `- `; both sides are sorted. The header's
+/// `rows=<n>` is the view's cardinality after this delta applies, so a
+/// count-subscriber can track `|V(d)|` from headers alone.
 pub fn render_delta_frame(id: u64, u: &SubscriptionUpdate) -> Vec<String> {
     let mut header = format!(
-        "DELTA {id} +{} -{} epoch={}",
+        "DELTA {id} +{} -{} epoch={} rows={}",
         u.added.len(),
         u.removed.len(),
-        u.epoch
+        u.epoch,
+        u.cardinality
     );
     if u.fell_back {
         header.push_str(" fallback");
@@ -588,7 +656,8 @@ mod tests {
             Request::Query {
                 name: "d".into(),
                 src: "G(x) :- R(x, y).".into(),
-                limits: RequestLimits::default()
+                limits: RequestLimits::default(),
+                count: None,
             }
         );
         assert_eq!(
@@ -655,6 +724,7 @@ mod tests {
             added: vec![tuple![9, 9], tuple![1, 2]],
             removed: vec![tuple![3, "."]],
             epoch: 7,
+            cardinality: 5,
             fell_back: true,
             dropped: false,
         };
@@ -662,7 +732,7 @@ mod tests {
         assert_eq!(
             lines,
             [
-                "DELTA 4 +2 -1 epoch=7 fallback",
+                "DELTA 4 +2 -1 epoch=7 rows=5 fallback",
                 "+ 1, 2",
                 "+ 9, 9",
                 r#"- 3, ".""#,
@@ -675,14 +745,61 @@ mod tests {
         let r = parse_request("QUERY @deadline_ms=50 @budget=1000 @depth=8 d G(x) :- R(x, y).")
             .unwrap();
         match r {
-            Request::Query { name, src, limits } => {
+            Request::Query {
+                name,
+                src,
+                limits,
+                count,
+            } => {
                 assert_eq!(name, "d");
                 assert_eq!(src, "G(x) :- R(x, y).");
                 assert_eq!(limits.deadline, Some(Duration::from_millis(50)));
                 assert_eq!(limits.tuple_budget, Some(1000));
                 assert_eq!(limits.max_depth, Some(8));
+                assert_eq!(count, None);
             }
             other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_count_flags_parse() {
+        assert_eq!(
+            parse_request("QUERY @count d G(x) :- R(x, y).").unwrap(),
+            Request::Query {
+                name: "d".into(),
+                src: "G(x) :- R(x, y).".into(),
+                limits: RequestLimits::default(),
+                count: Some(CountMode::Total),
+            }
+        );
+        // Counting composes with resource-limit flags, in either order.
+        let r = parse_request("QUERY @budget=100 @count_by(x,y) d G(x, y) :- R(x, y).").unwrap();
+        match r {
+            Request::Query { limits, count, .. } => {
+                assert_eq!(limits.tuple_budget, Some(100));
+                assert_eq!(
+                    count,
+                    Some(CountMode::Grouped(vec!["x".into(), "y".into()]))
+                );
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        for bad in [
+            "QUERY @count_by( d G(x) :- R(x).",
+            "QUERY @count_by() d G(x) :- R(x).",
+            "QUERY @count_by(x,) d G(x) :- R(x).",
+            "QUERY @count_by d G(x) :- R(x).",
+            "QUERY @count_by=x d G(x) :- R(x).",
+            "QUERY @count @count_by(x) d G(x) :- R(x).",
+            "EXPLAIN @count d G(x) :- R(x).",
+            "ANALYZE @count d G(x) :- R(x).",
+            "SUBSCRIBE @count d G(x) :- R(x).",
+        ] {
+            assert!(
+                matches!(parse_request(bad), Err(ServiceError::Protocol(_))),
+                "should reject: {bad}"
+            );
         }
     }
 

@@ -250,10 +250,21 @@ fn respond(shared: &Shared, request: Request) -> (Vec<String>, bool) {
                 Err(e) => (vec![render_error(&e)], false),
             }
         }
-        Request::Query { name, src, limits } => match service.query(&name, &src, limits) {
-            Ok(resp) => (render_query_response(&resp), false),
-            Err(e) => (vec![render_error(&e)], false),
-        },
+        Request::Query {
+            name,
+            src,
+            limits,
+            count,
+        } => {
+            let outcome = match &count {
+                Some(mode) => service.query_count(&name, &src, mode, limits),
+                None => service.query(&name, &src, limits),
+            };
+            match outcome {
+                Ok(resp) => (render_query_response(&resp), false),
+                Err(e) => (vec![render_error(&e)], false),
+            }
+        }
         Request::Explain { name, src } => match service.explain(&name, &src) {
             Ok(e) => (render_explain_response(&e), false),
             Err(e) => (vec![render_error(&e)], false),

@@ -50,7 +50,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pq_core::hypergraph::HypertreeDecomposition;
-use pq_core::{plan, EngineChoice, Plan, PlannerOptions};
+use pq_core::{
+    count_relation, plan, plan_count, CountChoice, CountPlan, EngineChoice, Plan, PlannerOptions,
+};
+use pq_count::QueryCount;
 use pq_data::{loader, DataError, Database, Relation, Tuple};
 use pq_engine::governor::{CancellationToken, ExecutionContext};
 use pq_exec::Pool;
@@ -347,6 +350,19 @@ pub struct ProgramAnalysisReport {
     pub epoch: u64,
 }
 
+/// What a `QUERY` request asks the service to aggregate: nothing (the
+/// answer relation itself), the total count, or grouped counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountMode {
+    /// `@count`: one row with the single attribute `count` — the number of
+    /// distinct answer tuples `|Q(d)|`, computed without enumerating them
+    /// whenever the `PQA7xx` analysis allows.
+    Total,
+    /// `@count_by(x,…)`: one row per assignment of the named head
+    /// variables, attributes `x…, count`.
+    Grouped(Vec<String>),
+}
+
 /// A parsed, classified, planned query — the plan-cache payload.
 #[derive(Debug)]
 pub struct PlannedQuery {
@@ -423,8 +439,56 @@ fn result_key(planned: &PlannedQuery, snap: &DbSnapshot) -> ResultKey {
     )
 }
 
+/// A parsed, counting-planned query — the count-plan-cache payload
+/// (the `@count` analogue of [`PlannedQuery`]).
+#[derive(Debug)]
+struct PlannedCount {
+    /// The parsed AST.
+    query: ConjunctiveQuery,
+    /// The committed counting plan.
+    plan: CountPlan,
+    /// Canonical form of the query (shared with [`PlannedQuery`] keys; the
+    /// *result* key for a count is mode-prefixed, see
+    /// [`count_canonical`]).
+    canonical: Arc<str>,
+    /// Base relations the counting plan reads.
+    mentions: Vec<String>,
+}
+
+/// The canonical-form component of a count's [`ResultKey`]: the query's
+/// canonical form prefixed with the count mode, so `@count`,
+/// `@count_by(…)` and plain answers of the same query occupy distinct
+/// result-cache entries (the `@` prefix can never collide with a canonical
+/// form, which starts with a head atom).
+fn count_canonical(canonical: &str, mode: &CountMode) -> Arc<str> {
+    match mode {
+        CountMode::Total => format!("@count {canonical}").into(),
+        CountMode::Grouped(groups) => format!("@count_by({}) {canonical}", groups.join(",")).into(),
+    }
+}
+
+/// The result-cache key for a count of `planned` under `mode` against
+/// `snap` — same epoch-fingerprint scheme as [`result_key`], so IVM
+/// maintenance patches cached counts in place exactly like cached answers.
+fn count_result_key(planned: &PlannedCount, mode: &CountMode, snap: &DbSnapshot) -> ResultKey {
+    (
+        count_canonical(&planned.canonical, mode),
+        snap.name.clone(),
+        snap.generation,
+        mentions_fingerprint(&snap.db, &planned.mentions),
+    )
+}
+
+/// What an admitted job evaluates: a relation-producing query plan, or a
+/// counting plan (whose answer is rendered as a one-row / grouped `count`
+/// relation so the cache and wire shapes are shared).
+enum JobWork {
+    Evaluate(Arc<PlannedQuery>),
+    Count(Arc<PlannedCount>, CountMode),
+}
+
 struct Job {
-    planned: Arc<PlannedQuery>,
+    work: JobWork,
     snapshot: DbSnapshot,
     ctx: ExecutionContext,
     reply: SyncSender<Result<Arc<Relation>>>,
@@ -461,6 +525,10 @@ pub struct SubscriptionUpdate {
     pub added: Vec<Tuple>,
     /// Tuples that left the view's answer, sorted.
     pub removed: Vec<Tuple>,
+    /// The view's cardinality (`|V(d)|`) *after* this update — carried in
+    /// every frame header so a count-subscriber can track the view's size
+    /// without replaying its materialization.
+    pub cardinality: u64,
     /// Database epoch the update reflects.
     pub epoch: u64,
     /// The delta plan exhausted its budget; the view was rebuilt from
@@ -497,6 +565,10 @@ struct SubEntry {
     /// patch the result cache in place after maintenance. `None` for
     /// Datalog programs (the wire `QUERY` path does not serve programs).
     planned: Option<Arc<PlannedQuery>>,
+    /// The counting plan of the same query — used to patch the cached
+    /// `@count` entry in place after maintenance (the maintained answer's
+    /// cardinality *is* the view's exact distinct count).
+    counted: Option<Arc<PlannedCount>>,
     tx: Sender<SubscriptionUpdate>,
 }
 
@@ -515,6 +587,10 @@ struct ViewsState {
 struct Inner {
     catalog: Catalog,
     plan_cache: ShardedCache<Arc<str>, PlannedQuery>,
+    /// Canonical query form → counting plan (the `@count` analogue of
+    /// `plan_cache`; the two are separate maps because their payloads
+    /// differ, but they share the capacity knob).
+    count_plan_cache: ShardedCache<Arc<str>, PlannedCount>,
     result_cache: ShardedCache<ResultKey, Relation>,
     metrics: ServiceMetrics,
     config: ServiceConfig,
@@ -584,6 +660,7 @@ impl QueryService {
         let inner = Arc::new(Inner {
             catalog,
             plan_cache: ShardedCache::new(config.plan_cache_capacity, config.cache_shards),
+            count_plan_cache: ShardedCache::new(config.plan_cache_capacity, config.cache_shards),
             result_cache: ShardedCache::new(config.result_cache_capacity, config.cache_shards),
             metrics: ServiceMetrics::default(),
             exec: Pool::new(config.intra_query_threads.max(1)),
@@ -846,11 +923,16 @@ impl QueryService {
         self.check_admitting()?;
         let mut views = self.inner.views.lock().expect("views poisoned");
         let snap = self.inner.catalog.snapshot(db_name)?;
-        let (query, planned) = if src.contains("?-") {
-            (ViewQuery::Program(pq_query::parse_datalog(src)?), None)
+        let (query, planned, counted) = if src.contains("?-") {
+            (
+                ViewQuery::Program(pq_query::parse_datalog(src)?),
+                None,
+                None,
+            )
         } else {
             let (planned, _) = self.planned(src)?;
-            (ViewQuery::Cq(planned.query.clone()), Some(planned))
+            let counted = self.planned_count(src).ok().map(|(pc, _)| pc);
+            (ViewQuery::Cq(planned.query.clone()), Some(planned), counted)
         };
         let id = views.next_sub;
         let view_name = format!("sub-{id}");
@@ -871,6 +953,11 @@ impl QueryService {
                 .result_cache
                 .insert(result_key(p, &snap), Arc::clone(&rows));
         }
+        // ...and the cached total count alongside it, so a `QUERY @count`
+        // for the view's text is a result-cache hit from the start.
+        if let Some(pc) = &counted {
+            self.prime_count_entry(pc, &snap, rows.len());
+        }
         let (tx, rx) = mpsc::channel();
         views.subs.insert(
             id,
@@ -878,6 +965,7 @@ impl QueryService {
                 db: snap.name.clone(),
                 view: view_name,
                 planned,
+                counted,
                 tx,
             },
         );
@@ -985,11 +1073,18 @@ impl QueryService {
                             .result_cache
                             .insert(result_key(p, snap), Arc::clone(&o.answer));
                     }
+                    // Patch the cached `@count` in place too: the
+                    // maintained answer's cardinality is the view's exact
+                    // distinct count under the post-mutation key.
+                    if let Some(pc) = &sub.counted {
+                        self.prime_count_entry(pc, snap, o.answer.len());
+                    }
                 }
                 if !o.delta.is_empty() || o.dropped {
                     let update = SubscriptionUpdate {
                         added: o.delta.added.clone(),
                         removed: o.delta.removed.clone(),
+                        cardinality: o.answer.len() as u64,
                         epoch: snap.epoch,
                         fell_back: o.fell_back,
                         dropped: o.dropped,
@@ -1006,6 +1101,22 @@ impl QueryService {
         for id in gone {
             views.subs.remove(&id);
             ServiceMetrics::dec(&m.subscriptions_active);
+        }
+    }
+
+    /// Install `cardinality` as the cached `@count` answer for `pc`
+    /// against `snap` (the count analogue of the result-cache patch:
+    /// IVM writes update cached counts in place, keyed by the same
+    /// relation-epoch fingerprint).
+    fn prime_count_entry(&self, pc: &PlannedCount, snap: &DbSnapshot, cardinality: usize) {
+        let count = QueryCount {
+            distinct: cardinality as u128,
+            assignments: cardinality as u128,
+        };
+        if let Ok(rel) = count_relation(&count) {
+            self.inner
+                .result_cache
+                .insert(count_result_key(pc, &CountMode::Total, snap), Arc::new(rel));
         }
     }
 
@@ -1032,6 +1143,7 @@ impl QueryService {
             let update = SubscriptionUpdate {
                 added: Vec::new(),
                 removed: Vec::new(),
+                cardinality: 0,
                 epoch: 0,
                 fell_back: false,
                 dropped: true,
@@ -1105,6 +1217,33 @@ impl QueryService {
             mentions,
         });
         self.inner.plan_cache.insert(key, Arc::clone(&planned));
+        Ok((planned, false))
+    }
+
+    /// Count-plan-cache lookup/population — [`QueryService::planned`] for
+    /// the counting problem. The counting plan runs the analyzer with the
+    /// `PQA7xx` pass on and commits to a [`CountChoice`]; it is cached
+    /// under the same canonical form, in its own map.
+    fn planned_count(&self, src: &str) -> Result<(Arc<PlannedCount>, bool)> {
+        let query = parse_cq(src)?;
+        query.validate()?;
+        let key: Arc<str> = canonical_form(&query).into();
+        if let Some(hit) = self.inner.count_plan_cache.get(&key) {
+            ServiceMetrics::bump(&self.inner.metrics.plan_hits);
+            return Ok((hit, true));
+        }
+        ServiceMetrics::bump(&self.inner.metrics.plan_misses);
+        let plan = plan_count(&query, &self.inner.config.planner);
+        let mentions = plan.mentioned_relations(&query);
+        let planned = Arc::new(PlannedCount {
+            plan,
+            canonical: Arc::clone(&key),
+            query,
+            mentions,
+        });
+        self.inner
+            .count_plan_cache
+            .insert(key, Arc::clone(&planned));
         Ok((planned, false))
     }
 
@@ -1308,7 +1447,11 @@ impl QueryService {
                 });
             }
             ServiceMetrics::bump(&m.result_misses);
-            let rows = self.admit_and_run(Arc::clone(&planned), snap.clone(), limits)?;
+            let rows = self.admit_and_run(
+                JobWork::Evaluate(Arc::clone(&planned)),
+                snap.clone(),
+                limits,
+            )?;
             Ok(QueryResponse {
                 rows,
                 engine: planned.plan.engine,
@@ -1335,9 +1478,85 @@ impl QueryService {
         outcome
     }
 
+    /// Count the answers of `src` against the named database under
+    /// `limits` — the `QUERY @count` / `@count_by(x̄)` path.
+    ///
+    /// The answer is a relation shaped for the wire and the cache: one row
+    /// with the single attribute `count` ([`CountMode::Total`]) or one row
+    /// per group with attributes `x̄…, count` ([`CountMode::Grouped`]).
+    /// Counts beyond `i64` are carried as exact decimal strings. Counting
+    /// runs **without enumerating** the answer set whenever the `PQA7xx`
+    /// analysis allows (acyclic or bounded-hypertree-width pure queries),
+    /// and degrades to enumerate-then-count otherwise; results are cached
+    /// under the same relation-epoch fingerprint scheme as plain answers,
+    /// so IVM maintenance patches cached counts in place.
+    ///
+    /// # Errors
+    /// As for [`QueryService::query`], plus
+    /// [`ServiceError::CountOverflow`] when the exact count exceeds `u128`
+    /// (a wrapped count is never returned).
+    pub fn query_count(
+        &self,
+        db_name: &str,
+        src: &str,
+        mode: &CountMode,
+        limits: RequestLimits,
+    ) -> Result<QueryResponse> {
+        let start = Instant::now();
+        self.check_admitting()?;
+        let m = &self.inner.metrics;
+        let outcome = (|| {
+            let (planned, plan_hit) = self.planned_count(src)?;
+            let snap = self.inner.catalog.snapshot(db_name)?;
+            let key = count_result_key(&planned, mode, &snap);
+            if let Some(rows) = self.inner.result_cache.get(&key) {
+                ServiceMetrics::bump(&m.result_hits);
+                return Ok(QueryResponse {
+                    rows,
+                    engine: planned.plan.engine,
+                    cache: CacheOutcome::ResultHit,
+                    generation: snap.generation,
+                    epoch: snap.epoch,
+                    latency: start.elapsed(),
+                });
+            }
+            ServiceMetrics::bump(&m.result_misses);
+            let rows = self.admit_and_run(
+                JobWork::Count(Arc::clone(&planned), mode.clone()),
+                snap.clone(),
+                limits,
+            )?;
+            Ok(QueryResponse {
+                rows,
+                engine: planned.plan.engine,
+                cache: if plan_hit {
+                    CacheOutcome::PlanHit
+                } else {
+                    CacheOutcome::Miss
+                },
+                generation: snap.generation,
+                epoch: snap.epoch,
+                latency: start.elapsed(),
+            })
+        })();
+        match &outcome {
+            Ok(resp) => {
+                ServiceMetrics::bump(&m.queries_served);
+                ServiceMetrics::bump(&m.count_queries);
+                m.latency.record(resp.latency);
+                m.count_latency.record(resp.latency);
+            }
+            Err(ServiceError::Overloaded { .. }) => ServiceMetrics::bump(&m.rejected_overload),
+            Err(e) if e.is_resource_exhausted() => ServiceMetrics::bump(&m.resource_exhausted),
+            Err(ServiceError::ShuttingDown) => {}
+            Err(_) => ServiceMetrics::bump(&m.errors),
+        }
+        outcome
+    }
+
     fn admit_and_run(
         &self,
-        planned: Arc<PlannedQuery>,
+        work: JobWork,
         snapshot: DbSnapshot,
         limits: RequestLimits,
     ) -> Result<Arc<Relation>> {
@@ -1345,7 +1564,7 @@ impl QueryService {
         let ctx = governor_ctx(limits, &self.inner.cancel);
         let (reply_tx, reply_rx) = mpsc::sync_channel::<Result<Arc<Relation>>>(1);
         let job = Job {
-            planned,
+            work,
             snapshot,
             ctx,
             reply: reply_tx,
@@ -1482,33 +1701,88 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, inner: &Inner) {
         // Intra-query parallel path: when both the service knob and the
         // plan's recommended degree exceed 1, move the request limits into a
         // shared envelope and fan the evaluation out on the exec pool. The
-        // engines' parallel paths produce the same relation as the serial
-        // ones at any degree, so this choice is invisible to the caller
-        // (except in STATS).
-        let parallel = inner.exec.threads() > 1 && job.planned.plan.parallelism > 1;
-        if let EngineChoice::Hypertree(d) = &job.planned.plan.choice {
-            inner.metrics.record_hypertree_width(d.width());
-        }
-        let out = if parallel {
-            ServiceMetrics::bump(&inner.metrics.parallel_queries);
-            let shared = job.ctx.into_shared();
-            job.planned.plan.execute_parallel(
-                &job.planned.query,
-                &job.snapshot.db,
-                &shared,
-                &inner.exec,
-            )
-        } else {
-            job.planned
-                .plan
-                .execute_governed(&job.planned.query, &job.snapshot.db, &job.ctx)
-        }
-        .map(Arc::new)
-        .map_err(ServiceError::from);
-        if let Ok(rows) = &out {
-            let key = result_key(&job.planned, &job.snapshot);
-            inner.result_cache.insert(key, Arc::clone(rows));
-        }
+        // engines' parallel paths produce the same relation (or the same
+        // exact count) as the serial ones at any degree, so this choice is
+        // invisible to the caller (except in STATS).
+        let out = match &job.work {
+            JobWork::Evaluate(planned) => {
+                let parallel = inner.exec.threads() > 1 && planned.plan.parallelism > 1;
+                if let EngineChoice::Hypertree(d) = &planned.plan.choice {
+                    inner.metrics.record_hypertree_width(d.width());
+                }
+                let out = if parallel {
+                    ServiceMetrics::bump(&inner.metrics.parallel_queries);
+                    let shared = job.ctx.into_shared();
+                    planned.plan.execute_parallel(
+                        &planned.query,
+                        &job.snapshot.db,
+                        &shared,
+                        &inner.exec,
+                    )
+                } else {
+                    planned
+                        .plan
+                        .execute_governed(&planned.query, &job.snapshot.db, &job.ctx)
+                }
+                .map(Arc::new)
+                .map_err(ServiceError::from);
+                if let Ok(rows) = &out {
+                    let key = result_key(planned, &job.snapshot);
+                    inner.result_cache.insert(key, Arc::clone(rows));
+                }
+                out
+            }
+            JobWork::Count(planned, mode) => {
+                let parallel = inner.exec.threads() > 1 && planned.plan.parallelism > 1;
+                if let CountChoice::Hypertree(d) = &planned.plan.choice {
+                    inner.metrics.record_hypertree_width(d.width());
+                }
+                if parallel {
+                    ServiceMetrics::bump(&inner.metrics.parallel_queries);
+                }
+                let out = match mode {
+                    CountMode::Total => if parallel {
+                        let shared = job.ctx.into_shared();
+                        planned.plan.execute_parallel(
+                            &planned.query,
+                            &job.snapshot.db,
+                            &shared,
+                            &inner.exec,
+                        )
+                    } else {
+                        planned
+                            .plan
+                            .execute_governed(&planned.query, &job.snapshot.db, &job.ctx)
+                    }
+                    .and_then(|c| count_relation(&c)),
+                    CountMode::Grouped(groups) => if parallel {
+                        let shared = job.ctx.into_shared();
+                        planned.plan.execute_by_parallel(
+                            &planned.query,
+                            &job.snapshot.db,
+                            groups,
+                            &shared,
+                            &inner.exec,
+                        )
+                    } else {
+                        planned.plan.execute_by_governed(
+                            &planned.query,
+                            &job.snapshot.db,
+                            groups,
+                            &job.ctx,
+                        )
+                    }
+                    .and_then(|counted| counted.to_relation("count")),
+                }
+                .map(Arc::new)
+                .map_err(ServiceError::from);
+                if let Ok(rows) = &out {
+                    let key = count_result_key(planned, mode, &job.snapshot);
+                    inner.result_cache.insert(key, Arc::clone(rows));
+                }
+                out
+            }
+        };
         // The requester may have vanished; nothing to do about it.
         let _ = job.reply.send(out);
     }
@@ -2114,5 +2388,116 @@ mod tests {
         assert_eq!(update.added.len(), 40);
         assert_eq!(svc.answer_rows("d", sub.id).unwrap().len(), 41);
         assert_eq!(svc.stats().ivm_maintain_fallbacks, 1);
+    }
+
+    #[test]
+    fn count_query_caches_and_matches_enumeration() {
+        let svc = service();
+        let src = "G(x, c) :- R(x, y), S(y, c).";
+        let cold = svc
+            .query_count("d", src, &CountMode::Total, RequestLimits::default())
+            .unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Miss);
+        assert_eq!(cold.rows.attrs(), ["count"]);
+        assert_eq!(cold.rows.canonical_rows(), vec![tuple![2]]);
+        assert!(
+            cold.engine.starts_with("count-"),
+            "acyclic query should count without enumerating, got {}",
+            cold.engine
+        );
+        // Same text again: result-cache hit, same count.
+        let warm = svc
+            .query_count("d", src, &CountMode::Total, RequestLimits::default())
+            .unwrap();
+        assert_eq!(warm.cache, CacheOutcome::ResultHit);
+        assert_eq!(warm.rows, cold.rows);
+        // The count entry and the enumerating entry are distinct cache
+        // lines: a plain QUERY after the counts is still a cold miss.
+        let plain = svc.query("d", src, RequestLimits::default()).unwrap();
+        assert_eq!(plain.cache, CacheOutcome::Miss);
+        assert_eq!(plain.rows.len() as u64, 2);
+        let s = svc.stats();
+        assert_eq!(s.count_queries, 2);
+        assert_eq!(s.queries_served, 3);
+        assert!(s.count_latency_p99_micros >= 1);
+    }
+
+    #[test]
+    fn grouped_count_returns_one_row_per_group() {
+        let svc = service();
+        // Group the join by x: 1 and 2 each reach exactly one (y, c) pair.
+        let resp = svc
+            .query_count(
+                "d",
+                "G(x, c) :- R(x, y), S(y, c).",
+                &CountMode::Grouped(vec!["x".into()]),
+                RequestLimits::default(),
+            )
+            .unwrap();
+        assert_eq!(resp.rows.attrs(), ["x", "count"]);
+        assert_eq!(resp.rows.canonical_rows(), vec![tuple![1, 1], tuple![2, 1]]);
+        // Different grouping, different cache line.
+        let total = svc
+            .query_count(
+                "d",
+                "G(x, c) :- R(x, y), S(y, c).",
+                &CountMode::Total,
+                RequestLimits::default(),
+            )
+            .unwrap();
+        assert_eq!(total.cache, CacheOutcome::PlanHit, "count plan is shared");
+        assert_eq!(total.rows.canonical_rows(), vec![tuple![2]]);
+    }
+
+    #[test]
+    fn ivm_patches_cached_counts_in_place() {
+        let svc = service();
+        let src = "G(x, c) :- R(x, y), S(y, c).";
+        let sub = svc.subscribe("d", src).unwrap();
+        // Registration primed the @count entry from the materialization.
+        let primed = svc
+            .query_count("d", src, &CountMode::Total, RequestLimits::default())
+            .unwrap();
+        assert_eq!(primed.cache, CacheOutcome::ResultHit);
+        assert_eq!(primed.rows.canonical_rows(), vec![tuple![2]]);
+        // A relevant insert maintains the view; the cached count moves to
+        // the new fingerprint with the new value — still a ResultHit.
+        svc.insert_rows("d", "R", vec![tuple![9, 2]]).unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        assert_eq!(update.cardinality, 3, "delta carries |V(d)| after apply");
+        let patched = svc
+            .query_count("d", src, &CountMode::Total, RequestLimits::default())
+            .unwrap();
+        assert_eq!(patched.cache, CacheOutcome::ResultHit);
+        assert_eq!(patched.rows.canonical_rows(), vec![tuple![3]]);
+    }
+
+    #[test]
+    fn count_respects_limits_and_shutdown() {
+        let svc = service();
+        // A zero tuple budget trips on the sweep's first charge — the
+        // counting path runs under the same governor as enumeration.
+        let err = svc
+            .query_count(
+                "d",
+                "G(x, c) :- R(x, y), S(y, c).",
+                &CountMode::Total,
+                RequestLimits {
+                    tuple_budget: Some(0),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err:?}");
+        svc.shutdown();
+        let err = svc
+            .query_count(
+                "d",
+                "G(x) :- R(x, y).",
+                &CountMode::Total,
+                RequestLimits::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::ShuttingDown));
     }
 }

@@ -18,13 +18,25 @@ use pq_query::{parse_cq, parse_datalog};
 
 /// Render the analyzer's report for one corpus query. Shared shape with
 /// `tests/analyze_golden.rs`: `## <src>` then one line per diagnostic, the
-/// minimized core when one exists, and the final verdict.
+/// minimized core when one exists, and the final verdict. An `@count `
+/// prefix runs the counting-tractability pass (`PQA7xx`) on the query, the
+/// way the wire flag does.
 pub fn report(src: &str) -> String {
     let mut out = format!("## {src}\n");
+    let (src, opts) = match src.strip_prefix("@count ") {
+        Some(rest) => (
+            rest.trim(),
+            AnalyzeOptions {
+                counting: true,
+                ..AnalyzeOptions::default()
+            },
+        ),
+        None => (src, AnalyzeOptions::default()),
+    };
     match parse_cq(src) {
         Err(e) => out.push_str(&format!("parse error: {e}\n")),
         Ok(q) => {
-            for line in analyze(&q, &AnalyzeOptions::default()).lines() {
+            for line in analyze(&q, &opts).lines() {
                 out.push_str(&line);
                 out.push('\n');
             }

@@ -9,6 +9,8 @@
 //! LOAD company data/company.db
 //! QUERY company G(e) :- EP(e, p), ES(e, s), s > 110.
 //! QUERY @deadline_ms=50 @budget=100000 company G(x, z) :- E(x, y), E(y, z).
+//! QUERY @count company G(x, z) :- E(x, y), E(y, z).
+//! QUERY @count_by(x) company G(x, z) :- E(x, y), E(y, z).
 //! EXPLAIN company G(x, z) :- E(x, y), E(y, z).
 //! INSERT company EP ann, web; bob, api
 //! DELETE company EP bob, api
@@ -17,10 +19,15 @@
 //! SHUTDOWN
 //! ```
 //!
+//! `@count` / `@count_by(x̄)` answer with exact answer counts (one `count`
+//! row, or one row per group) computed without enumeration when possible.
+//!
 //! `SUBSCRIBE` switches the session into streaming mode: the initial answer
 //! and every pushed `DELTA` frame are printed as they arrive, until Enter or
 //! Ctrl-D ends the subscription (the connection is dedicated to it, so the
-//! repl exits afterwards).
+//! repl exits afterwards). The `OK subscribed <id> <n> <attrs>` header and
+//! each `DELTA … rows=<n>` header carry the view's current cardinality, so
+//! a count-watcher can follow `|V(d)|` without reading the row bodies.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;

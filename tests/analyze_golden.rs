@@ -20,10 +20,22 @@ use pq_query::{parse_cq, parse_datalog};
 
 fn report(src: &str) -> String {
     let mut out = format!("## {src}\n");
+    // `@count ` rows run the counting-tractability pass (PQA7xx), the way
+    // the wire flag does — same handling as `examples/analyze.rs`.
+    let (src, opts) = match src.strip_prefix("@count ") {
+        Some(rest) => (
+            rest.trim(),
+            AnalyzeOptions {
+                counting: true,
+                ..AnalyzeOptions::default()
+            },
+        ),
+        None => (src, AnalyzeOptions::default()),
+    };
     match parse_cq(src) {
         Err(e) => out.push_str(&format!("parse error: {e}\n")),
         Ok(q) => {
-            for line in analyze(&q, &AnalyzeOptions::default()).lines() {
+            for line in analyze(&q, &opts).lines() {
                 out.push_str(&line);
                 out.push('\n');
             }
@@ -163,7 +175,7 @@ fn corpus_exercises_every_database_free_lint_code() {
     let rendered = render_corpus(&corpus);
     for code in [
         "PQA002", "PQA003", "PQA004", "PQA101", "PQA102", "PQA103", "PQA104", "PQA105", "PQA301",
-        "PQA302", "PQA401", "PQA402", "PQA601", "PQA602",
+        "PQA302", "PQA401", "PQA402", "PQA601", "PQA602", "PQA701", "PQA702", "PQA703",
     ] {
         assert!(rendered.contains(code), "corpus never triggers {code}");
     }
