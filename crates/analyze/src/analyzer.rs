@@ -17,7 +17,12 @@
 //!    query (the one the planner will execute);
 //! 5. **counting tractability** (opt-in via [`AnalyzeOptions::counting`]) —
 //!    the Chen–Mengel `PQA7xx` classification of whether `@count` can run
-//!    without enumeration.
+//!    without enumeration;
+//! 6. **containment against registered views** (opt-in via
+//!    [`AnalyzeOptions::views`]) — the `PQA8xx` pass: Chandra–Merlin
+//!    equivalence/containment of the minimized core against every
+//!    registered view, yielding a view-scan rewriting and the
+//!    equivalence-class semantic cache key.
 //!
 //! Schema checks ([`schema_diagnostics`]) are separate by design: the
 //! query-only analysis is cacheable per query, while schema diagnostics
@@ -27,6 +32,7 @@ use pq_data::Database;
 use pq_engine::containment;
 use pq_query::ConjunctiveQuery;
 
+use crate::containment::{containment_pass, ViewMatch};
 use crate::diagnostics::{Diagnostic, LintCode, Severity, Span};
 use crate::report::{structure_with_width_limit, StructureReport};
 
@@ -48,6 +54,16 @@ pub struct AnalyzeOptions {
     /// classify whether `@count` can run without enumeration. Off by
     /// default — the pass only matters when a count was requested.
     pub counting: bool,
+    /// Registered views for the containment pass (`PQA8xx`): name and
+    /// defining query, in registration order (first match wins). Empty by
+    /// default — with no views the pass does not run and the analysis is
+    /// unchanged.
+    pub views: Vec<(String, ConjunctiveQuery)>,
+    /// Skip the containment search when either side of a query/view pair
+    /// exceeds this relational-atom count (`PQA804`). Bounded like
+    /// `minimize_atom_limit` and for the same reason: containment checks
+    /// are CQ evaluations on canonical databases.
+    pub containment_atom_limit: usize,
 }
 
 impl Default for AnalyzeOptions {
@@ -57,6 +73,8 @@ impl Default for AnalyzeOptions {
             minimize_atom_limit: 8,
             width_limit: pq_hypergraph::DEFAULT_WIDTH_LIMIT,
             counting: false,
+            views: Vec::new(),
+            containment_atom_limit: 8,
         }
     }
 }
@@ -108,6 +126,14 @@ pub struct Analysis {
     /// Structural report for the query the planner should execute (the
     /// minimized core when one exists, else the input).
     pub report: StructureReport,
+    /// The `PQA803` equivalence-class key: the full canonical text of the
+    /// minimized core. Present only when the containment pass ran (views
+    /// were registered). Equal keys ⇒ alpha-equivalent queries — safe to
+    /// share a cache entry, no hash-collision caveat.
+    pub semantic_key: Option<String>,
+    /// A registered view that answers the query (`PQA801`/`PQA802`), with
+    /// the column projection to apply to its maintained relation.
+    pub view_match: Option<ViewMatch>,
 }
 
 impl Analysis {
@@ -507,11 +533,26 @@ pub fn analyze(q: &ConjunctiveQuery, opts: &AnalyzeOptions) -> Analysis {
             &mut diagnostics,
         );
     }
+    // The containment pass (PQA8xx) runs last, on the query the planner
+    // will execute, and only when views are registered and the query is
+    // evaluable at all (no errors, not provably empty).
+    let (semantic_key, view_match) = if !opts.views.is_empty() && !had_errors && empty.is_none() {
+        containment_pass(
+            rewritten.as_ref().unwrap_or(q),
+            &opts.views,
+            opts.containment_atom_limit,
+            &mut diagnostics,
+        )
+    } else {
+        (None, None)
+    };
     Analysis {
         diagnostics,
         rewritten,
         empty,
         report,
+        semantic_key,
+        view_match,
     }
 }
 

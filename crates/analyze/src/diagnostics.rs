@@ -42,7 +42,9 @@ impl fmt::Display for Severity {
 /// safety/range-restriction, `PQA1xx` contradiction detection, `PQA2xx`
 /// schema checks, `PQA3xx` core minimization, `PQA4xx` structural
 /// classification, `PQA5xx` whole-program Datalog analysis, `PQA6xx`
-/// hypertree-width analysis, `PQA7xx` counting tractability (Chen–Mengel).
+/// hypertree-width analysis, `PQA7xx` counting tractability (Chen–Mengel),
+/// `PQA8xx` containment/equivalence against registered views
+/// (Chandra–Merlin).
 /// Codes are append-only: a released code never
 /// changes meaning (golden files and operator tooling depend on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,6 +134,22 @@ pub enum LintCode {
     /// (≠/comparison atoms, or no decomposition within the width limit):
     /// `@count` falls back to enumerate-then-count.
     CountingFallback,
+    /// `PQA801` — the query is equivalent (Chandra–Merlin homomorphisms
+    /// both ways) to a registered view: its answer *is* the maintained
+    /// view relation, no evaluation needed.
+    ViewEquivalent,
+    /// `PQA802` — the query is contained in a registered view and
+    /// answerable by a selection/projection over the view's head columns:
+    /// an `O(|view|)` scan replaces evaluation.
+    ViewContained,
+    /// `PQA803` — the equivalence-class canonical core: the alpha-renamed
+    /// minimized core, usable as a semantic cache key (the full core, not
+    /// a hash, so collisions cannot cross-serve answers).
+    EquivalenceClassCore,
+    /// `PQA804` — the containment search was aborted at the atom limit
+    /// (homomorphism search is NP-complete in query size); view answering
+    /// falls back to normal evaluation.
+    ContainmentAborted,
 }
 
 impl LintCode {
@@ -165,6 +183,10 @@ impl LintCode {
             LintCode::CountingTractable => "PQA701",
             LintCode::CountingPerProjection => "PQA702",
             LintCode::CountingFallback => "PQA703",
+            LintCode::ViewEquivalent => "PQA801",
+            LintCode::ViewContained => "PQA802",
+            LintCode::EquivalenceClassCore => "PQA803",
+            LintCode::ContainmentAborted => "PQA804",
         }
     }
 
@@ -187,7 +209,8 @@ impl LintCode {
             | LintCode::RedundantAtom
             | LintCode::DeadRule
             | LintCode::UnderivableRelation
-            | LintCode::CountingFallback => Severity::Warn,
+            | LintCode::CountingFallback
+            | LintCode::ContainmentAborted => Severity::Warn,
             LintCode::ImpliedEquality
             | LintCode::MinimizationSkipped
             | LintCode::CyclicQuery
@@ -197,7 +220,10 @@ impl LintCode {
             | LintCode::HypertreeWidth
             | LintCode::WidthAboveLimit
             | LintCode::CountingTractable
-            | LintCode::CountingPerProjection => Severity::Info,
+            | LintCode::CountingPerProjection
+            | LintCode::ViewEquivalent
+            | LintCode::ViewContained
+            | LintCode::EquivalenceClassCore => Severity::Info,
         }
     }
 }
@@ -314,6 +340,10 @@ mod tests {
             LintCode::CountingTractable,
             LintCode::CountingPerProjection,
             LintCode::CountingFallback,
+            LintCode::ViewEquivalent,
+            LintCode::ViewContained,
+            LintCode::EquivalenceClassCore,
+            LintCode::ContainmentAborted,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

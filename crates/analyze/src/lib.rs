@@ -19,6 +19,7 @@
 //! | core minimization | `PQA301`–`PQA302` | redundant atoms (the query is equivalent without them) |
 //! | structural classification | `PQA401`–`PQA402` | cyclicity with a GYO witness, the `q`/`v`/arity parameter report |
 //! | hypertree width | `PQA601`–`PQA602` | the hypertree width of cyclic queries (exact or heuristic bound) and whether the bounded-width engine applies |
+//! | containment vs. views | `PQA801`–`PQA804` | equivalence/containment against registered views (Chandra–Merlin), the view-scan rewriting, and the equivalence-class semantic cache key |
 //!
 //! plus a schema pass ([`schema_diagnostics`], `PQA201`–`PQA202`) that is
 //! separate because it depends on a concrete database, not the query alone.
@@ -53,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod analyzer;
+mod containment;
 mod diagnostics;
 mod program;
 mod report;
@@ -60,6 +62,7 @@ mod report;
 pub use analyzer::{
     analyze, analyze_with_db, schema_diagnostics, Analysis, AnalyzeOptions, EmptyReason,
 };
+pub use containment::{match_against_views, ViewMatch};
 pub use diagnostics::{Diagnostic, LintCode, Severity, Span};
 pub use program::{
     analyze_program, analyze_program_with_db, schema_diagnostics_program, ProgramAnalysis,

@@ -1,0 +1,83 @@
+//! E18 — answering queries from views: the `PQA8xx` containment pass.
+//!
+//! Three ways to answer the triangle query (the paper's canonical cyclic
+//! shape) over the same database, all through the service front door:
+//!
+//! * `cold`          — no views, no caches: the width-2 hypertree engine
+//!   re-materializes its Θ(n²) bags on every request;
+//! * `view_scan`     — an alpha-renamed view is subscribed and the result
+//!   cache is off: every request pays the honest semantic-rewrite path
+//!   (containment match against the registry + projection copy of the
+//!   materialization);
+//! * `semantic_warm` — result cache on, pre-warmed through a *different*
+//!   spelling of the query: the request hits the result cache purely via
+//!   the `PQA803` equivalence-class key.
+//!
+//! The acceptance bar from ISSUE 10 (`view_scan` at least 10× below
+//! `cold`) is checked programmatically by `repro rewrite`; this bench
+//! exposes the raw latencies of all three levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pq_bench::workloads::triangle_database;
+use pq_service::{CacheOutcome, QueryService, RequestLimits, ServiceConfig};
+
+const QUERY: &str = "G(x) :- E(x, y), E(y, z), E(z, x).";
+const QUERY_RENAMED: &str = "G(u) :- E(u, v), E(v, w), E(w, u).";
+const VIEW: &str = "V(a) :- E(a, b), E(b, c), E(c, a).";
+
+fn service(plan_cache: usize, result_cache: usize) -> QueryService {
+    QueryService::new(ServiceConfig {
+        workers: 2,
+        queue_depth: 16,
+        plan_cache_capacity: plan_cache,
+        result_cache_capacity: result_cache,
+        ..ServiceConfig::default()
+    })
+}
+
+fn rewrite_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite/triangle_2400");
+    group.sample_size(20);
+    let db = triangle_database(2400, 600, 29);
+    let limits = RequestLimits::default();
+
+    let cold = service(0, 0);
+    cold.load_database("d", db.clone()).unwrap();
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let resp = cold.query("d", QUERY, limits).unwrap();
+            assert_eq!(resp.cache, CacheOutcome::Miss);
+            resp.rows.len()
+        })
+    });
+    cold.shutdown();
+
+    let viewed = service(256, 0);
+    viewed.load_database("d", db.clone()).unwrap();
+    viewed.subscribe("d", VIEW).unwrap();
+    group.bench_function("view_scan", |b| {
+        b.iter(|| {
+            let resp = viewed.query("d", QUERY, limits).unwrap();
+            assert_eq!(resp.engine, "view-scan");
+            resp.rows.len()
+        })
+    });
+    viewed.shutdown();
+
+    let semantic = service(256, 1024);
+    semantic.load_database("d", db).unwrap();
+    semantic.query("d", QUERY_RENAMED, limits).unwrap(); // warm via the other spelling
+    group.bench_function("semantic_warm", |b| {
+        b.iter(|| {
+            let resp = semantic.query("d", QUERY, limits).unwrap();
+            assert_eq!(resp.cache, CacheOutcome::ResultHit);
+            resp.rows.len()
+        })
+    });
+    semantic.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, rewrite_levels);
+criterion_main!(benches);

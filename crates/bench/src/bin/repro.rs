@@ -23,6 +23,9 @@
 //! repro count        pq-count: exact answer counting without enumeration vs
 //!                    enumerate-then-count on chains with exponential answer
 //!                    sets, recorded in BENCH_count.json
+//! repro rewrite      pq-analyze/pq-service: answering queries from
+//!                    materialized views (the PQA8xx containment pass) vs
+//!                    cold evaluation, recorded in BENCH_rewrite.json
 //! repro all          Everything above, in order
 //! ```
 //!
@@ -67,6 +70,7 @@ fn main() {
         "ivm" => ivm_exp(),
         "hypertree" => hypertree_exp(),
         "count" => count_exp(),
+        "rewrite" => rewrite_exp(),
         "all" => {
             fig1();
             thm1();
@@ -83,6 +87,7 @@ fn main() {
             ivm_exp();
             hypertree_exp();
             count_exp();
+            rewrite_exp();
         }
         other => {
             eprintln!("unknown experiment `{other}`; see the module docs for the list");
@@ -1348,5 +1353,127 @@ fn count_exp() {
     match std::fs::write("BENCH_count.json", &json) {
         Ok(()) => println!("  wrote BENCH_count.json"),
         Err(e) => println!("  could not write BENCH_count.json: {e}"),
+    }
+}
+
+// --------------------------------------------------------------- rewrite --
+
+/// E18: answering queries from views — the `PQA8xx` containment pass lets
+/// the service serve an alpha-renamed triangle query straight from a
+/// subscribed view's materialization (`view-scan`: containment match +
+/// projection copy) instead of re-joining. The triangle is the paper's
+/// canonical cyclic shape: cold evaluation pays the width-2 hypertree
+/// engine's Θ(n²) bag materialization on every request, the view service
+/// copies the (small) answer column. Both services run with the result
+/// cache off, so every repeat pays its honest path. Answers are checked
+/// byte-identical before and after a mutation batch. Acceptance bar:
+/// >= 10x at the largest size, recorded in `BENCH_rewrite.json`.
+fn rewrite_exp() {
+    use pq_data::tuple;
+    use pq_service::{QueryService, RequestLimits, ServiceConfig};
+
+    header("pq-analyze/pq-service — answering queries from views (E18)");
+
+    let limits = RequestLimits::default();
+    let service = |plan: usize| {
+        QueryService::new(ServiceConfig {
+            workers: 2,
+            plan_cache_capacity: plan,
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+    };
+
+    println!("\n[triangle] G(x) :- E(x, y), E(y, z), E(z, x), alpha-renamed view");
+    println!(
+        "  {:>8} {:>10} {:>12} {:>12} {:>9}",
+        "tuples", "answers", "view-scan", "cold", "speedup"
+    );
+
+    let mut rows_json = Vec::new();
+    let mut last_speedup = 0.0f64;
+    for n_tuples in [600usize, 1200, 2400] {
+        let db = workloads::triangle_database(n_tuples, (n_tuples as i64) / 4, 29);
+        let query_src = "G(x) :- E(x, y), E(y, z), E(z, x).";
+        // The same shape under fresh variables and another head name: the
+        // containment pass must recognize the equivalence (PQA801).
+        let view_src = "V(a) :- E(a, b), E(b, c), E(c, a).";
+
+        let cold_svc = service(0);
+        cold_svc.load_database("d", db.clone()).unwrap();
+        let cold_resp = cold_svc.query("d", query_src, limits).unwrap();
+        let cold = time_min(3, || {
+            cold_svc.query("d", query_src, limits).unwrap();
+        });
+
+        let view_svc = service(256);
+        view_svc.load_database("d", db).unwrap();
+        let sub = view_svc.subscribe("d", view_src).unwrap();
+        let resp = view_svc.query("d", query_src, limits).unwrap();
+        assert_eq!(resp.engine, "view-scan", "query not answered from the view");
+        assert_eq!(*resp.rows, *cold_resp.rows, "view-scan != cold evaluation");
+        let viewed = time_min(10, || {
+            assert_eq!(
+                view_svc.query("d", query_src, limits).unwrap().engine,
+                "view-scan"
+            );
+        });
+
+        // Currency across mutations: the ack waits for maintenance, so the
+        // next view-scan already reflects the batch — and still agrees with
+        // cold evaluation byte for byte.
+        let batch = vec![tuple![0, 1], tuple![1, 0]];
+        view_svc.insert_rows("d", "E", batch.clone()).unwrap();
+        cold_svc.insert_rows("d", "E", batch).unwrap();
+        let after_view = view_svc.query("d", query_src, limits).unwrap();
+        let after_cold = cold_svc.query("d", query_src, limits).unwrap();
+        assert_eq!(after_view.engine, "view-scan");
+        assert_eq!(*after_view.rows, *after_cold.rows, "stale view answer");
+
+        let stats = view_svc.stats();
+        assert!(
+            stats.view_answered_queries >= 2,
+            "STATS never counted the view path"
+        );
+
+        last_speedup = cold.as_secs_f64() / viewed.as_secs_f64().max(1e-9);
+        println!(
+            "  {:>8} {:>10} {:>12} {:>12} {:>8.1}x",
+            n_tuples,
+            cold_resp.rows.len(),
+            fmt_duration(viewed),
+            fmt_duration(cold),
+            last_speedup
+        );
+        rows_json.push(format!(
+            "        {{\"tuples\": {n_tuples}, \"answers\": {}, \"view_secs\": {:.6}, \
+             \"cold_secs\": {:.6}, \"speedup\": {:.2}}}",
+            cold_resp.rows.len(),
+            viewed.as_secs_f64(),
+            cold.as_secs_f64(),
+            last_speedup
+        ));
+
+        view_svc.unsubscribe(sub.id);
+        view_svc.shutdown();
+        cold_svc.shutdown();
+    }
+
+    let pass = last_speedup >= 10.0;
+    println!(
+        "\n  speedup at the largest size: {last_speedup:.1}x  \
+         (acceptance bar: >= 10x: {})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E18\",\n  \"family\": \"chain alpha-renamed \
+         view\",\n  \"points\": [\n{}\n  ],\n  \"largest_speedup\": \
+         {last_speedup:.2},\n  \"bar_10x\": {pass}\n}}\n",
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_rewrite.json", &json) {
+        Ok(()) => println!("  wrote BENCH_rewrite.json"),
+        Err(e) => println!("  could not write BENCH_rewrite.json: {e}"),
     }
 }

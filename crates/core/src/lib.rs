@@ -47,8 +47,8 @@ pub use count_planner::{
 };
 pub use datalog::{evaluate_datalog, plan_datalog, DatalogPlan};
 pub use planner::{
-    decide, evaluate, evaluate_with_fallback, is_nonempty, plan, EngineChoice, FallbackAttempt,
-    FallbackOutcome, Plan, PlannerOptions,
+    decide, evaluate, evaluate_with_fallback, is_nonempty, plan, view_scan, EngineChoice,
+    FallbackAttempt, FallbackOutcome, Plan, PlannerOptions,
 };
 
 pub use pq_analyze as analyze;

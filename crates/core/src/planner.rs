@@ -65,6 +65,20 @@ pub enum EngineChoice {
     Hypertree(HypertreeDecomposition),
     /// Naive `n^q` backtracking (wide cyclic queries and comparisons).
     Naive,
+    /// Answer from a registered view's maintained relation (`PQA801`/
+    /// `PQA802`): project the listed view columns under the query's head
+    /// attributes. Degradation chain by construction: when the database
+    /// has no relation under the view's name at execution time, the
+    /// embedded `fallback` — the choice the planner would have made
+    /// without the view — runs instead.
+    ViewScan {
+        /// Name of the registered view whose relation answers the query.
+        view: String,
+        /// Column indices into the view relation, in query-head order.
+        projection: Vec<usize>,
+        /// The normal engine choice, used when the view relation is absent.
+        fallback: Box<EngineChoice>,
+    },
 }
 
 /// The engine label a hypertree plan advertises; widths within the default
@@ -156,6 +170,21 @@ pub fn plan(q: &ConjunctiveQuery, opts: &PlannerOptions) -> Plan {
         _ if analysis.effective(q).atoms.len() <= 1 => 1,
         _ => opts.max_parallelism.max(1),
     };
+    // A view match (PQA801/PQA802) wraps the normal choice: scan the
+    // maintained view relation when it is present, degrade to the choice
+    // above when it is not. Parallelism keeps the fallback's degree — the
+    // scan itself is O(|view|) and needs none.
+    let (engine, choice) = match &analysis.view_match {
+        Some(m) => (
+            "view-scan",
+            EngineChoice::ViewScan {
+                view: m.view.clone(),
+                projection: m.projection.clone(),
+                fallback: Box::new(choice),
+            },
+        ),
+        None => (engine, choice),
+    };
     Plan {
         classification,
         engine,
@@ -180,6 +209,131 @@ fn empty_head(q: &ConjunctiveQuery) -> Result<Relation> {
     Relation::new(pq_engine::binding::head_attrs(&q.head_terms)).map_err(EngineError::Data)
 }
 
+/// Project the maintained view relation onto the query's head attributes —
+/// the `O(|view|)` scan that replaces evaluation for `PQA801`/`PQA802`
+/// matches. The output relation carries the *query's* head attributes, so
+/// it is byte-identical to what direct evaluation would return.
+pub fn view_scan(q: &ConjunctiveQuery, view: &Relation, projection: &[usize]) -> Result<Relation> {
+    let mut out = empty_head(q)?;
+    for t in view.iter() {
+        out.insert(Tuple::new(projection.iter().map(|&j| t[j].clone())))?;
+    }
+    Ok(out)
+}
+
+/// Serial execution of one engine choice; `ViewScan` recurses into its
+/// fallback when the view relation is absent from `db`.
+fn execute_choice(choice: &EngineChoice, q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
+    match choice {
+        EngineChoice::Yannakakis => yannakakis::evaluate(q, db),
+        EngineChoice::ColorCoding(cc) => colorcoding::evaluate(q, db, cc),
+        EngineChoice::ConstantEmpty => empty_head(q),
+        EngineChoice::Hypertree(d) => {
+            hypertree::evaluate_decomposed(q, db, d, &ExecutionContext::unlimited())
+        }
+        EngineChoice::Naive => naive::evaluate(q, db),
+        EngineChoice::ViewScan {
+            view,
+            projection,
+            fallback,
+        } => match db.relation(view) {
+            Ok(rel) => view_scan(q, rel, projection),
+            Err(_) => execute_choice(fallback, q, db),
+        },
+    }
+}
+
+fn execute_choice_governed(
+    choice: &EngineChoice,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    ctx: &ExecutionContext,
+) -> Result<Relation> {
+    match choice {
+        EngineChoice::Yannakakis => yannakakis::evaluate_governed(q, db, ctx),
+        EngineChoice::ColorCoding(cc) => colorcoding::evaluate_governed(q, db, cc, ctx),
+        EngineChoice::ConstantEmpty => empty_head(q),
+        EngineChoice::Hypertree(d) => hypertree::evaluate_decomposed(q, db, d, ctx),
+        EngineChoice::Naive => naive::evaluate_governed(q, db, ctx),
+        EngineChoice::ViewScan {
+            view,
+            projection,
+            fallback,
+        } => match db.relation(view) {
+            Ok(rel) => view_scan(q, rel, projection),
+            Err(_) => execute_choice_governed(fallback, q, db, ctx),
+        },
+    }
+}
+
+fn is_nonempty_choice(choice: &EngineChoice, q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+    match choice {
+        EngineChoice::Yannakakis => yannakakis::is_nonempty(q, db),
+        EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty(q, db, cc),
+        EngineChoice::ConstantEmpty => Ok(false),
+        EngineChoice::Hypertree(d) => {
+            hypertree::is_nonempty_decomposed(q, db, d, &ExecutionContext::unlimited())
+        }
+        EngineChoice::Naive => naive::is_nonempty(q, db),
+        EngineChoice::ViewScan { view, fallback, .. } => match db.relation(view) {
+            // A projection is nonempty iff its source is.
+            Ok(rel) => Ok(!rel.is_empty()),
+            Err(_) => is_nonempty_choice(fallback, q, db),
+        },
+    }
+}
+
+fn execute_choice_parallel(
+    choice: &EngineChoice,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<Relation> {
+    match choice {
+        EngineChoice::Yannakakis => {
+            yannakakis::evaluate_parallel(q, db, Default::default(), shared, pool)
+        }
+        EngineChoice::ColorCoding(cc) => colorcoding::evaluate_parallel(q, db, cc, shared, pool),
+        EngineChoice::ConstantEmpty => empty_head(q),
+        EngineChoice::Hypertree(d) => {
+            hypertree::evaluate_decomposed_parallel(q, db, d, shared, pool)
+        }
+        EngineChoice::Naive => naive::evaluate_parallel(q, db, shared, pool),
+        EngineChoice::ViewScan {
+            view,
+            projection,
+            fallback,
+        } => match db.relation(view) {
+            // The scan is linear in the view; no fan-out to parallelize.
+            Ok(rel) => view_scan(q, rel, projection),
+            Err(_) => execute_choice_parallel(fallback, q, db, shared, pool),
+        },
+    }
+}
+
+fn is_nonempty_choice_parallel(
+    choice: &EngineChoice,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    shared: &SharedContext,
+    pool: &Pool,
+) -> Result<bool> {
+    match choice {
+        EngineChoice::Yannakakis => yannakakis::is_nonempty_parallel(q, db, shared, pool),
+        EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty_parallel(q, db, cc, shared, pool),
+        EngineChoice::ConstantEmpty => Ok(false),
+        EngineChoice::Hypertree(d) => {
+            hypertree::is_nonempty_decomposed_parallel(q, db, d, shared, pool)
+        }
+        EngineChoice::Naive => naive::is_nonempty_parallel(q, db, shared, pool),
+        EngineChoice::ViewScan { view, fallback, .. } => match db.relation(view) {
+            Ok(rel) => Ok(!rel.is_empty()),
+            Err(_) => is_nonempty_choice_parallel(fallback, q, db, shared, pool),
+        },
+    }
+}
+
 impl Plan {
     /// Execute this plan's committed engine on `(q, db)` without
     /// reclassifying. `q` must be the query the plan was built from (or one
@@ -187,16 +341,7 @@ impl Plan {
     /// the choice, so handing it a structurally different query runs the
     /// wrong engine, not a wrong answer).
     pub fn execute(&self, q: &ConjunctiveQuery, db: &Database) -> Result<Relation> {
-        let q = self.analysis.effective(q);
-        match &self.choice {
-            EngineChoice::Yannakakis => yannakakis::evaluate(q, db),
-            EngineChoice::ColorCoding(cc) => colorcoding::evaluate(q, db, cc),
-            EngineChoice::ConstantEmpty => empty_head(q),
-            EngineChoice::Hypertree(d) => {
-                hypertree::evaluate_decomposed(q, db, d, &ExecutionContext::unlimited())
-            }
-            EngineChoice::Naive => naive::evaluate(q, db),
-        }
+        execute_choice(&self.choice, self.analysis.effective(q), db)
     }
 
     /// The base relations this plan reads when executed on `q`: the body
@@ -228,28 +373,12 @@ impl Plan {
         db: &Database,
         ctx: &ExecutionContext,
     ) -> Result<Relation> {
-        let q = self.analysis.effective(q);
-        match &self.choice {
-            EngineChoice::Yannakakis => yannakakis::evaluate_governed(q, db, ctx),
-            EngineChoice::ColorCoding(cc) => colorcoding::evaluate_governed(q, db, cc, ctx),
-            EngineChoice::ConstantEmpty => empty_head(q),
-            EngineChoice::Hypertree(d) => hypertree::evaluate_decomposed(q, db, d, ctx),
-            EngineChoice::Naive => naive::evaluate_governed(q, db, ctx),
-        }
+        execute_choice_governed(&self.choice, self.analysis.effective(q), db, ctx)
     }
 
     /// Emptiness of `Q(d)` with the committed engine, without reclassifying.
     pub fn is_nonempty(&self, q: &ConjunctiveQuery, db: &Database) -> Result<bool> {
-        let q = self.analysis.effective(q);
-        match &self.choice {
-            EngineChoice::Yannakakis => yannakakis::is_nonempty(q, db),
-            EngineChoice::ColorCoding(cc) => colorcoding::is_nonempty(q, db, cc),
-            EngineChoice::ConstantEmpty => Ok(false),
-            EngineChoice::Hypertree(d) => {
-                hypertree::is_nonempty_decomposed(q, db, d, &ExecutionContext::unlimited())
-            }
-            EngineChoice::Naive => naive::is_nonempty(q, db),
-        }
+        is_nonempty_choice(&self.choice, self.analysis.effective(q), db)
     }
 
     /// [`Plan::execute_governed`] with the committed engine's intra-query
@@ -263,20 +392,7 @@ impl Plan {
         shared: &SharedContext,
         pool: &Pool,
     ) -> Result<Relation> {
-        let q = self.analysis.effective(q);
-        match &self.choice {
-            EngineChoice::Yannakakis => {
-                yannakakis::evaluate_parallel(q, db, Default::default(), shared, pool)
-            }
-            EngineChoice::ColorCoding(cc) => {
-                colorcoding::evaluate_parallel(q, db, cc, shared, pool)
-            }
-            EngineChoice::ConstantEmpty => empty_head(q),
-            EngineChoice::Hypertree(d) => {
-                hypertree::evaluate_decomposed_parallel(q, db, d, shared, pool)
-            }
-            EngineChoice::Naive => naive::evaluate_parallel(q, db, shared, pool),
-        }
+        execute_choice_parallel(&self.choice, self.analysis.effective(q), db, shared, pool)
     }
 
     /// Emptiness with the committed engine's parallel path; see
@@ -288,18 +404,7 @@ impl Plan {
         shared: &SharedContext,
         pool: &Pool,
     ) -> Result<bool> {
-        let q = self.analysis.effective(q);
-        match &self.choice {
-            EngineChoice::Yannakakis => yannakakis::is_nonempty_parallel(q, db, shared, pool),
-            EngineChoice::ColorCoding(cc) => {
-                colorcoding::is_nonempty_parallel(q, db, cc, shared, pool)
-            }
-            EngineChoice::ConstantEmpty => Ok(false),
-            EngineChoice::Hypertree(d) => {
-                hypertree::is_nonempty_decomposed_parallel(q, db, d, shared, pool)
-            }
-            EngineChoice::Naive => naive::is_nonempty_parallel(q, db, shared, pool),
-        }
+        is_nonempty_choice_parallel(&self.choice, self.analysis.effective(q), db, shared, pool)
     }
 }
 
@@ -789,6 +894,84 @@ mod tests {
         let q2 = parse_cq("G(x) :- R(x, y), x < y, y < x.").unwrap();
         let p2 = plan(&q2, &opts);
         assert!(p2.mentioned_relations(&q2).is_empty());
+    }
+
+    fn view_opts(views: Vec<(&str, &str)>) -> PlannerOptions {
+        PlannerOptions {
+            analysis: AnalyzeOptions {
+                views: views
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), parse_cq(v).unwrap()))
+                    .collect(),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn view_scan_answers_equivalent_queries_from_the_materialized_relation() {
+        let opts = view_opts(vec![("rs", "V(a, c) :- R(a, b), S(b, c).")]);
+        let q = parse_cq("G(x, z) :- R(x, y), S(y, z).").unwrap();
+        let p = plan(&q, &opts);
+        assert_eq!(p.engine, "view-scan");
+        let EngineChoice::ViewScan { ref fallback, .. } = p.choice else {
+            panic!("expected a view-scan choice, got {:?}", p.choice);
+        };
+        assert_eq!(**fallback, EngineChoice::Yannakakis);
+
+        // Materialize the view into the database under its name: the scan
+        // must return exactly what direct evaluation returns — attributes
+        // included (the query's head names, not the view's).
+        let mut d = db();
+        let view_q = parse_cq("V(a, c) :- R(a, b), S(b, c).").unwrap();
+        let materialized = naive::evaluate(&view_q, &d).unwrap();
+        d.set_relation("rs".to_string(), materialized);
+        let direct = naive::evaluate(&q, &d).unwrap();
+        assert_eq!(p.execute(&q, &d).unwrap(), direct);
+        assert_eq!(p.is_nonempty(&q, &d).unwrap(), !direct.is_empty());
+        let pool = Pool::new(2);
+        let shared = ExecutionContext::unlimited().into_shared();
+        assert_eq!(p.execute_parallel(&q, &d, &shared, &pool).unwrap(), direct);
+        let ctx = ExecutionContext::unlimited();
+        assert_eq!(p.execute_governed(&q, &d, &ctx).unwrap(), direct);
+    }
+
+    #[test]
+    fn view_scan_projects_contained_queries() {
+        let opts = view_opts(vec![("rs", "V(a, c) :- R(a, b), S(b, c).")]);
+        let q = parse_cq("G(z) :- R(x, y), S(y, z).").unwrap();
+        let p = plan(&q, &opts);
+        let EngineChoice::ViewScan { ref projection, .. } = p.choice else {
+            panic!("expected a view-scan choice, got {:?}", p.choice);
+        };
+        assert_eq!(projection, &vec![1]);
+        let mut d = db();
+        let view_q = parse_cq("V(a, c) :- R(a, b), S(b, c).").unwrap();
+        let materialized = naive::evaluate(&view_q, &d).unwrap();
+        d.set_relation("rs".to_string(), materialized);
+        assert_eq!(p.execute(&q, &d).unwrap(), naive::evaluate(&q, &d).unwrap());
+    }
+
+    #[test]
+    fn view_scan_degrades_to_the_fallback_without_the_relation() {
+        let opts = view_opts(vec![("rs", "V(a, c) :- R(a, b), S(b, c).")]);
+        let q = parse_cq("G(x, z) :- R(x, y), S(y, z).").unwrap();
+        let p = plan(&q, &opts);
+        assert_eq!(p.engine, "view-scan");
+        // No `rs` relation in the database: the fallback engine answers.
+        let d = db();
+        assert_eq!(p.execute(&q, &d).unwrap(), naive::evaluate(&q, &d).unwrap());
+        assert!(p.is_nonempty(&q, &d).unwrap());
+    }
+
+    #[test]
+    fn unrelated_views_leave_plans_unchanged() {
+        let opts = view_opts(vec![("t", "V(a) :- T(a, b).")]);
+        let q = parse_cq("G(x, z) :- R(x, y), S(y, z).").unwrap();
+        let p = plan(&q, &opts);
+        assert_eq!(p.engine, "yannakakis");
+        assert_eq!(p.choice, EngineChoice::Yannakakis);
     }
 
     #[test]

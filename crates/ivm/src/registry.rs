@@ -116,6 +116,35 @@ pub enum ViewQuery {
     Program(DatalogProgram),
 }
 
+/// Are two view-defining CQs equivalent (same answers on every database)?
+/// Pure pairs get the full Chandra–Merlin test; impure pairs compare by
+/// canonical form with the head name neutralized (the head name is not
+/// part of the answer semantics) — sound and conservative.
+fn cq_equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    if a.head_terms.len() != b.head_terms.len() {
+        return false;
+    }
+    if a.is_pure() && b.is_pure() {
+        return pq_engine::containment::equivalent(a, b).unwrap_or(false);
+    }
+    let mut ca = a.clone();
+    let mut cb = b.clone();
+    ca.head_name = "V".into();
+    cb.head_name = "V".into();
+    pq_query::canonical_form(&ca) == pq_query::canonical_form(&cb)
+}
+
+/// Are two view definitions equivalent? CQ pairs use [`cq_equivalent`];
+/// Datalog programs compare by rendered text (exact dedup only — program
+/// equivalence is undecidable in general).
+fn views_equivalent(a: &ViewQuery, b: &ViewQuery) -> bool {
+    match (a, b) {
+        (ViewQuery::Cq(a), ViewQuery::Cq(b)) => cq_equivalent(a, b),
+        (ViewQuery::Program(a), ViewQuery::Program(b)) => a.to_string() == b.to_string(),
+        _ => false,
+    }
+}
+
 /// Is the program genuinely recursive (an IDB SCC of size > 1, or a
 /// self-loop)? Nonrecursive programs get the cheaper counting plan.
 fn is_recursive(p: &DatalogProgram) -> bool {
@@ -267,6 +296,55 @@ impl ViewRegistry {
         self.views
             .insert(name.clone(), RegisteredView { name, query, plan });
         Ok(answer)
+    }
+
+    /// Register a view, unless an equivalent one already exists — in that
+    /// case return the existing view's name and answer instead of
+    /// maintaining a second copy of the same query. Equivalence is the
+    /// Chandra–Merlin test for pure CQ pairs, canonical-form equality for
+    /// impure CQs, and textual equality for Datalog programs.
+    ///
+    /// # Errors
+    /// As [`ViewRegistry::register`] — in particular, a *non-equivalent*
+    /// query under an already-taken name is still an error.
+    pub fn register_or_reuse(
+        &mut self,
+        name: impl Into<String>,
+        query: ViewQuery,
+        db: &Database,
+        ctx: &ExecutionContext,
+    ) -> Result<(String, Arc<Relation>)> {
+        if let Some(existing) = self.find_equivalent(&query) {
+            let existing = existing.to_string();
+            let answer = self.answer(&existing).expect("found view has an answer");
+            return Ok((existing, answer));
+        }
+        let name = name.into();
+        let answer = self.register(name.clone(), query, db, ctx)?;
+        Ok((name, answer))
+    }
+
+    /// The name of a registered view whose defining query is equivalent to
+    /// `query`, when one exists (name order — deterministic).
+    pub fn find_equivalent(&self, query: &ViewQuery) -> Option<&str> {
+        self.views
+            .values()
+            .find(|v| views_equivalent(&v.query, query))
+            .map(|v| v.name.as_str())
+    }
+
+    /// Every registered CQ-shaped view as `(name, defining query)`, in
+    /// name order — the shape list the semantic-rewrite pass consumes.
+    /// Program views are excluded: the containment pass is defined for
+    /// conjunctive queries.
+    pub fn cq_shapes(&self) -> Vec<(String, ConjunctiveQuery)> {
+        self.views
+            .values()
+            .filter_map(|v| match &v.query {
+                ViewQuery::Cq(cq) => Some((v.name.clone(), cq.clone())),
+                ViewQuery::Program(_) => None,
+            })
+            .collect()
     }
 
     /// The current answer of `name`, when registered.
@@ -706,6 +784,79 @@ mod tests {
         assert!(reg.deregister("v"));
         assert!(!reg.deregister("v"));
         assert!(reg.answer("v").is_none());
+    }
+
+    #[test]
+    fn equivalent_views_are_reused_not_duplicated() {
+        use pq_query::{atom, Term};
+        let db = join_db();
+        let mut reg = ViewRegistry::new();
+        let (name, first) = reg
+            .register_or_reuse("v", ViewQuery::Cq(join_cq()), &db, &unlimited())
+            .unwrap();
+        assert_eq!(name, "v");
+        // Alpha-renamed copy under a different name: reused, not copied.
+        let renamed = ConjunctiveQuery::new(
+            "W",
+            [Term::var("u"), Term::var("w")],
+            [atom!("R"; var "u", var "t"), atom!("S"; var "t", var "w")],
+        );
+        let (name, answer) = reg
+            .register_or_reuse("w", ViewQuery::Cq(renamed), &db, &unlimited())
+            .unwrap();
+        assert_eq!(name, "v");
+        assert!(Arc::ptr_eq(&first, &answer));
+        assert_eq!(reg.len(), 1);
+        // A core-equivalent copy (redundant atom folds away) is reused too.
+        let folded = ConjunctiveQuery::new(
+            "V",
+            [Term::var("x"), Term::var("z")],
+            [
+                atom!("R"; var "x", var "y"),
+                atom!("S"; var "y", var "z"),
+                atom!("R"; var "x", var "y2"),
+            ],
+        );
+        assert_eq!(
+            reg.register_or_reuse("v2", ViewQuery::Cq(folded), &db, &unlimited())
+                .unwrap()
+                .0,
+            "v"
+        );
+        // A genuinely different query registers under its own name.
+        let other = ConjunctiveQuery::new(
+            "V",
+            [Term::var("x"), Term::var("y")],
+            [atom!("R"; var "x", var "y")],
+        );
+        let (name, _) = reg
+            .register_or_reuse("r", ViewQuery::Cq(other), &db, &unlimited())
+            .unwrap();
+        assert_eq!(name, "r");
+        assert_eq!(reg.len(), 2);
+        // find_equivalent answers the shape lookup directly.
+        assert_eq!(reg.find_equivalent(&ViewQuery::Cq(join_cq())), Some("v"));
+        // The shape list carries both CQ views.
+        let shapes = reg.cq_shapes();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes[0].0, "r");
+        assert_eq!(shapes[1].0, "v");
+    }
+
+    #[test]
+    fn equivalent_program_views_are_reused_textually() {
+        let mut db = join_db();
+        db.add_table("E", ["a", "b"], [tuple![0, 1]]).unwrap();
+        let mut reg = ViewRegistry::new();
+        let (name, _) = reg
+            .register_or_reuse("tc", ViewQuery::Program(tc_program()), &db, &unlimited())
+            .unwrap();
+        assert_eq!(name, "tc");
+        let (name, _) = reg
+            .register_or_reuse("tc2", ViewQuery::Program(tc_program()), &db, &unlimited())
+            .unwrap();
+        assert_eq!(name, "tc", "identical program reuses the first view");
+        assert_eq!(reg.len(), 1);
     }
 
     #[test]

@@ -124,6 +124,14 @@ pub struct ServiceMetrics {
     /// Maintenance passes where a view's delta plan exhausted its budget
     /// (or otherwise failed) and fell back to a full recompute.
     pub ivm_maintain_fallbacks: AtomicU64,
+    /// Queries answered by scanning/projecting a registered view's
+    /// maintained relation instead of evaluating (`PQA801`/`PQA802`
+    /// matches at query time).
+    pub view_answered_queries: AtomicU64,
+    /// Result-cache hits served under a semantic (equivalence-class core)
+    /// key that differs from the query's literal canonical form — sharing
+    /// only the `PQA803` re-keying makes possible.
+    pub semantic_cache_hits: AtomicU64,
     /// End-to-end query latencies (successful queries only).
     pub latency: LatencyHistogram,
     /// End-to-end `@count` request latencies (successful only; these
@@ -181,6 +189,8 @@ impl ServiceMetrics {
             subscriptions_active: self.subscriptions_active.load(Ordering::Relaxed),
             deltas_pushed: self.deltas_pushed.load(Ordering::Relaxed),
             ivm_maintain_fallbacks: self.ivm_maintain_fallbacks.load(Ordering::Relaxed),
+            view_answered_queries: self.view_answered_queries.load(Ordering::Relaxed),
+            semantic_cache_hits: self.semantic_cache_hits.load(Ordering::Relaxed),
             exec_threads: 0,
             exec_tasks_run: 0,
             exec_peak_active: 0,
@@ -244,6 +254,11 @@ pub struct MetricsSnapshot {
     pub deltas_pushed: u64,
     /// Maintenance passes that fell back to a full recompute.
     pub ivm_maintain_fallbacks: u64,
+    /// Queries answered from a registered view's maintained relation.
+    pub view_answered_queries: u64,
+    /// Result-cache hits that only the semantic (equivalence-class core)
+    /// re-keying made possible.
+    pub semantic_cache_hits: u64,
     /// Intra-query exec-pool size (the `intra_query_threads` knob; filled
     /// in by [`crate::QueryService::stats`], 0 in a bare
     /// [`ServiceMetrics::snapshot`]).
@@ -308,6 +323,8 @@ impl MetricsSnapshot {
             format!("subscriptions_active {}", self.subscriptions_active),
             format!("deltas_pushed {}", self.deltas_pushed),
             format!("ivm_maintain_fallbacks {}", self.ivm_maintain_fallbacks),
+            format!("view_answered_queries {}", self.view_answered_queries),
+            format!("semantic_cache_hits {}", self.semantic_cache_hits),
             format!("exec_threads {}", self.exec_threads),
             format!("exec_tasks_run {}", self.exec_tasks_run),
             format!("exec_peak_active {}", self.exec_peak_active),

@@ -470,6 +470,10 @@ pub fn render_explain_response(e: &Explanation) -> Vec<String> {
     lines.push(format!("plan_cached {}", e.plan_was_cached));
     lines.push(format!("result_cached {}", e.result_is_cached));
     lines.push(format!("answer_source {}", e.answer_source));
+    if let Some(v) = &e.answered_from_view {
+        lines.push(format!("answered-from view {v}"));
+    }
+    lines.push(format!("equivalence-class {:016x}", e.equivalence_class));
     if e.provably_empty {
         lines.push("provably_empty true".to_string());
     }

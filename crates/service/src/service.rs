@@ -51,7 +51,8 @@ use std::time::{Duration, Instant};
 
 use pq_core::hypergraph::HypertreeDecomposition;
 use pq_core::{
-    count_relation, plan, plan_count, CountChoice, CountPlan, EngineChoice, Plan, PlannerOptions,
+    count_relation, plan, plan_count, view_scan, CountChoice, CountPlan, EngineChoice, Plan,
+    PlannerOptions,
 };
 use pq_count::QueryCount;
 use pq_data::{loader, DataError, Database, Relation, Tuple};
@@ -243,10 +244,20 @@ pub struct Explanation {
     /// Is the answer against the named database currently cached?
     pub result_is_cached: bool,
     /// Where an execution right now would get its answer from:
-    /// `"result-cache"` (nothing runs), `"plan-cache"` (evaluation runs on
-    /// the cached plan), or `"cold"` (full parse + analyze + plan +
-    /// evaluate). This is what tells an operator *why* a query was fast.
+    /// `"result-cache"` (nothing runs), `"view-scan"` (a registered view's
+    /// maintained relation is scanned/projected), `"plan-cache"`
+    /// (evaluation runs on the cached plan), or `"cold"` (full parse +
+    /// analyze + plan + evaluate). This is what tells an operator *why* a
+    /// query was fast.
     pub answer_source: &'static str,
+    /// The registered view that answers this query by scan or projection
+    /// (`PQA801`/`PQA802` against the named database's live view
+    /// registry), when one matches.
+    pub answered_from_view: Option<String>,
+    /// Fingerprint of the equivalence-class canonical core — the `PQA803`
+    /// semantic cache key under which this query's results are stored,
+    /// shared by every query with the same minimized core.
+    pub equivalence_class: u64,
     /// Is the query provably empty on every database (evaluation skipped)?
     pub provably_empty: bool,
     /// Display form of the minimized core when minimization shrank the
@@ -379,12 +390,24 @@ pub struct PlannedQuery {
     /// The base relations the plan reads ([`Plan::mentioned_relations`]),
     /// sorted — the relations whose epochs key this query's cached results.
     pub mentions: Vec<String>,
+    /// Canonical form of the minimized core — the `PQA803`
+    /// equivalence-class (semantic) cache key. Equals
+    /// [`PlannedQuery::canonical`] when minimization changed nothing;
+    /// when it differs, every query whose core is alpha-equivalent shares
+    /// one result-cache entry under this key.
+    pub semantic: Arc<str>,
+    /// Structural fingerprint of the minimized core (the wire
+    /// `equivalence-class` identifier; a hash of `semantic`, so it is
+    /// *not* used alone as a cache key).
+    pub semantic_fingerprint: u64,
 }
 
-/// `(canonical query form, db name, generation, mentions fingerprint)`.
-/// The canonical form — not its fingerprint — keys results, so even a
-/// 64-bit hash collision between distinct queries only costs a miss, never
-/// a wrong answer. The last component hashes the per-relation epochs of
+/// `(semantic query form, db name, generation, mentions fingerprint)`.
+/// The semantic form — the canonical rendering of the query's minimized
+/// core, not its fingerprint — keys results, so even a 64-bit hash
+/// collision between distinct queries only costs a miss, never a wrong
+/// answer, while queries that minimize to alpha-equivalent cores share
+/// one entry (the `PQA803` re-keying). The last component hashes the per-relation epochs of
 /// the relations the plan actually reads (see [`mentions_fingerprint`]):
 /// within one generation the epoch vector is monotone and never repeats
 /// (see [`Catalog::update`]), so a changed relation changes the key, while
@@ -432,7 +455,7 @@ fn governor_ctx(limits: RequestLimits, cancel: &CancellationToken) -> ExecutionC
 
 fn result_key(planned: &PlannedQuery, snap: &DbSnapshot) -> ResultKey {
     (
-        Arc::clone(&planned.canonical),
+        Arc::clone(&planned.semantic),
         snap.name.clone(),
         snap.generation,
         mentions_fingerprint(&snap.db, &planned.mentions),
@@ -935,16 +958,21 @@ impl QueryService {
             (ViewQuery::Cq(planned.query.clone()), Some(planned), counted)
         };
         let id = views.next_sub;
-        let view_name = format!("sub-{id}");
+        let proposed = format!("sub-{id}");
         let limits = self.inner.config.default_limits;
         let ctx = governor_ctx(limits, &self.inner.cancel);
-        let rows = views
+        // Deduplicate: a view equivalent to an already-registered one is
+        // reused (its maintained answer is shared), not materialized and
+        // maintained twice.
+        let (view_name, rows) = views
             .registries
             .entry(snap.name.clone())
             .or_default()
-            .register(&view_name, query, &snap.db, &ctx)?;
+            .register_or_reuse(proposed.clone(), query, &snap.db, &ctx)?;
         views.next_sub += 1;
-        ServiceMetrics::bump(&self.inner.metrics.views_registered);
+        if view_name == proposed {
+            ServiceMetrics::bump(&self.inner.metrics.views_registered);
+        }
         ServiceMetrics::bump(&self.inner.metrics.subscriptions_active);
         // Prime the result cache: the freshly materialized answer is exactly
         // what a QUERY for the same text would produce.
@@ -996,15 +1024,75 @@ impl QueryService {
             return false;
         };
         ServiceMetrics::dec(&self.inner.metrics.subscriptions_active);
-        if let Some(registry) = views.registries.get_mut(&sub.db) {
-            if registry.deregister(&sub.view) {
-                ServiceMetrics::dec(&self.inner.metrics.views_registered);
-            }
-            if registry.is_empty() {
-                views.registries.remove(&sub.db);
+        // Deduplicated subscriptions share one registered view: only
+        // deregister it when no other live subscription still reads it.
+        let shared = views
+            .subs
+            .values()
+            .any(|s| s.db == sub.db && s.view == sub.view);
+        if !shared {
+            if let Some(registry) = views.registries.get_mut(&sub.db) {
+                if registry.deregister(&sub.view) {
+                    ServiceMetrics::dec(&self.inner.metrics.views_registered);
+                }
+                if registry.is_empty() {
+                    views.registries.remove(&sub.db);
+                }
             }
         }
         true
+    }
+
+    /// Find the registered view (if any) on `db_name` that answers
+    /// `planned` by scan or projection — the `PQA801`/`PQA802` match run
+    /// against the database's *live* view registry (the plan cache is
+    /// shared across databases, so view matching cannot be baked into the
+    /// plan).
+    fn view_match(&self, planned: &PlannedQuery, db_name: &str) -> Option<pq_analyze::ViewMatch> {
+        let views = self.inner.views.lock().expect("views poisoned");
+        let registry = views.registries.get(db_name)?;
+        let shapes = registry.cq_shapes();
+        if shapes.is_empty() {
+            return None;
+        }
+        let q = planned.plan.analysis.effective(&planned.query);
+        let limit = self.inner.config.planner.analysis.containment_atom_limit;
+        pq_analyze::match_against_views(q, &shapes, limit)
+    }
+
+    /// The name of the view that would answer `planned` on `db_name`
+    /// right now (for `EXPLAIN`'s `answered-from view` line).
+    fn view_match_name(&self, planned: &PlannedQuery, db_name: &str) -> Option<String> {
+        self.view_match(planned, db_name).map(|m| m.view)
+    }
+
+    /// Answer `planned` from a registered view's maintained relation:
+    /// match against the database's CQ-shaped views and project the
+    /// maintained answer onto the query's head (an `O(|view|)` scan — no
+    /// join evaluation). Returns the answer plus a snapshot taken under
+    /// the views lock: maintenance runs under that lock, so the maintained
+    /// relation reflects exactly the snapshot's epochs and the result is
+    /// safe to cache under the snapshot's key.
+    fn view_answer(
+        &self,
+        planned: &PlannedQuery,
+        db_name: &str,
+    ) -> Option<(Arc<Relation>, DbSnapshot)> {
+        let views = self.inner.views.lock().expect("views poisoned");
+        let registry = views.registries.get(db_name)?;
+        let shapes = registry.cq_shapes();
+        if shapes.is_empty() {
+            return None;
+        }
+        let q = planned.plan.analysis.effective(&planned.query);
+        let limit = self.inner.config.planner.analysis.containment_atom_limit;
+        let m = pq_analyze::match_against_views(q, &shapes, limit)?;
+        let answer = registry.answer(&m.view)?;
+        let snap = self.inner.catalog.snapshot(db_name).ok()?;
+        // Rebuild under the query's own head attributes even for exact
+        // matches, so the response is byte-identical to direct evaluation.
+        let rows = view_scan(q, &answer, &m.projection).ok()?;
+        Some((Arc::new(rows), snap))
     }
 
     /// Run the maintenance plans of every view on `snap`'s database against
@@ -1209,12 +1297,22 @@ impl QueryService {
         ServiceMetrics::bump(&self.inner.metrics.plan_misses);
         let plan = plan(&query, &self.inner.config.planner);
         let mentions = plan.mentioned_relations(&query);
+        // The semantic key: canonical form of the minimized core. When the
+        // analyzer shrank the query, results are cached under the *core*'s
+        // rendering, so the redundant original and its core (and any other
+        // query minimizing to the same core) share one entry.
+        let (semantic, semantic_fingerprint) = match &plan.analysis.rewritten {
+            Some(core) => (Arc::from(canonical_form(core)), core.fingerprint()),
+            None => (Arc::clone(&key), query.fingerprint()),
+        };
         let planned = Arc::new(PlannedQuery {
             fingerprint: query.fingerprint(),
             plan,
             canonical: Arc::clone(&key),
             query,
             mentions,
+            semantic,
+            semantic_fingerprint,
         });
         self.inner.plan_cache.insert(key, Arc::clone(&planned));
         Ok((planned, false))
@@ -1262,6 +1360,7 @@ impl QueryService {
         // Peek without polluting hit/miss statistics? The cache counts every
         // probe; EXPLAIN is rare enough that honesty is fine.
         let result_is_cached = self.inner.result_cache.get(&key).is_some();
+        let answered_from_view = self.view_match_name(&planned, db_name);
         let c = &planned.plan.classification;
         let a = &planned.plan.analysis;
         let mut diagnostics: Vec<String> = a.diagnostics.iter().map(ToString::to_string).collect();
@@ -1285,11 +1384,15 @@ impl QueryService {
             result_is_cached,
             answer_source: if result_is_cached {
                 "result-cache"
+            } else if answered_from_view.is_some() {
+                "view-scan"
             } else if plan_was_cached {
                 "plan-cache"
             } else {
                 "cold"
             },
+            answered_from_view,
+            equivalence_class: planned.semantic_fingerprint,
             provably_empty: a.provably_empty(),
             minimized: a.rewritten.as_ref().map(ToString::to_string),
             diagnostics,
@@ -1437,6 +1540,12 @@ impl QueryService {
             let key = result_key(&planned, &snap);
             if let Some(rows) = self.inner.result_cache.get(&key) {
                 ServiceMetrics::bump(&m.result_hits);
+                if planned.semantic != planned.canonical {
+                    // The hit was keyed by the minimized core, not the
+                    // literal text — sharing only the PQA803 re-keying
+                    // makes possible.
+                    ServiceMetrics::bump(&m.semantic_cache_hits);
+                }
                 return Ok(QueryResponse {
                     rows,
                     engine: planned.plan.engine,
@@ -1447,6 +1556,26 @@ impl QueryService {
                 });
             }
             ServiceMetrics::bump(&m.result_misses);
+            // Before evaluating: can a registered view's maintained
+            // relation answer this query by scan/projection (PQA801/802)?
+            if let Some((rows, vsnap)) = self.view_answer(&planned, db_name) {
+                ServiceMetrics::bump(&m.view_answered_queries);
+                self.inner
+                    .result_cache
+                    .insert(result_key(&planned, &vsnap), Arc::clone(&rows));
+                return Ok(QueryResponse {
+                    rows,
+                    engine: "view-scan",
+                    cache: if plan_hit {
+                        CacheOutcome::PlanHit
+                    } else {
+                        CacheOutcome::Miss
+                    },
+                    generation: vsnap.generation,
+                    epoch: vsnap.epoch,
+                    latency: start.elapsed(),
+                });
+            }
             let rows = self.admit_and_run(
                 JobWork::Evaluate(Arc::clone(&planned)),
                 snap.clone(),
@@ -2388,6 +2517,162 @@ mod tests {
         assert_eq!(update.added.len(), 40);
         assert_eq!(svc.answer_rows("d", sub.id).unwrap().len(), 41);
         assert_eq!(svc.stats().ivm_maintain_fallbacks, 1);
+    }
+
+    // ---- semantic re-keying & view-based answering (PQA8xx) ----
+
+    #[test]
+    fn semantic_key_shares_result_cache_across_equivalent_cores() {
+        let svc = service();
+        // The core caches first...
+        let core = svc
+            .query("d", "G(a) :- R(a, b).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(core.cache, CacheOutcome::Miss);
+        // ...and a redundant query minimizing to the same core is a
+        // result-cache hit without evaluating: distinct canonical forms,
+        // one semantic key.
+        let redundant = svc
+            .query("d", "G(x) :- R(x, y), R(x, y2).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(redundant.cache, CacheOutcome::ResultHit);
+        assert_eq!(redundant.rows, core.rows);
+        assert_eq!(svc.cache_sizes().0, 2, "two distinct plan-cache entries");
+        let s = svc.stats();
+        assert_eq!(s.result_hits, 1);
+        assert_eq!(s.semantic_cache_hits, 1, "the hit crossed canonical forms");
+    }
+
+    #[test]
+    fn semantic_key_still_honors_relation_epochs() {
+        // The semantic re-keying composes with the epoch fingerprint: a
+        // mutation of a mentioned relation must still evict, even when the
+        // probing query differs textually from the one that cached.
+        let svc = service();
+        svc.query("d", "G(a) :- R(a, b).", RequestLimits::default())
+            .unwrap();
+        svc.insert_rows("d", "R", vec![tuple![7, 8]]).unwrap();
+        let after = svc
+            .query("d", "G(x) :- R(x, y), R(x, y2).", RequestLimits::default())
+            .unwrap();
+        assert_ne!(after.cache, CacheOutcome::ResultHit, "stale epoch served");
+        assert_eq!(after.rows.len(), 3);
+    }
+
+    #[test]
+    fn view_scan_answers_a_head_reordered_query() {
+        let svc = service();
+        let sub = svc.subscribe("d", "V(x, y) :- R(x, y).").unwrap();
+        // Head-reordered: a different canonical form (so no result-cache
+        // hit from the subscription priming), answered as the column
+        // projection of the maintained view (PQA802).
+        let resp = svc
+            .query("d", "G(y, x) :- R(x, y).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(resp.engine, "view-scan");
+        assert_eq!(resp.rows.attrs(), ["y", "x"], "query's own head attrs");
+        assert_eq!(
+            resp.rows.canonical_rows(),
+            vec![tuple![2, 1], tuple![3, 2]],
+            "columns swapped relative to R"
+        );
+        assert_eq!(svc.stats().view_answered_queries, 1);
+        // The view answer was cached: the same text is now a result hit.
+        let warm = svc
+            .query("d", "G(y, x) :- R(x, y).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(warm.cache, CacheOutcome::ResultHit);
+        // After a relevant mutation the view is maintained and the next
+        // query is served from the *updated* view, not a stale cache line.
+        svc.insert_rows("d", "R", vec![tuple![8, 9]]).unwrap();
+        let update = sub.updates.try_recv().unwrap();
+        assert_eq!(update.added, vec![tuple![8, 9]]);
+        let after = svc
+            .query("d", "G(y, x) :- R(x, y).", RequestLimits::default())
+            .unwrap();
+        assert_eq!(after.engine, "view-scan");
+        assert!(after.rows.canonical_rows().contains(&tuple![9, 8]));
+        assert_eq!(svc.stats().view_answered_queries, 2);
+    }
+
+    #[test]
+    fn view_answers_agree_with_cold_evaluation_across_mutations() {
+        // The rewrite-correctness oracle at the service level: a query
+        // answered via a registered view must match what a view-less
+        // service computes cold, across INSERT/DELETE batches.
+        let with_views = service();
+        let cold = service();
+        with_views
+            .subscribe("d", "V(x, c) :- R(x, y), S(y, c).")
+            .unwrap();
+        let q = "G(c, x) :- R(x, y), S(y, c).";
+        let batches: [(&str, &str, Vec<Tuple>); 4] = [
+            ("ins", "R", vec![tuple![9, 2], tuple![4, 3]]),
+            ("del", "R", vec![tuple![1, 2]]),
+            ("ins", "S", vec![tuple![3, 11]]),
+            ("del", "S", vec![tuple![2, 9]]),
+        ];
+        for (op, rel, rows) in batches {
+            for svc in [&with_views, &cold] {
+                if op == "ins" {
+                    svc.insert_rows("d", rel, rows.clone()).unwrap();
+                } else {
+                    svc.delete_rows("d", rel, rows.clone()).unwrap();
+                }
+            }
+            let a = with_views.query("d", q, RequestLimits::default()).unwrap();
+            let b = cold.query("d", q, RequestLimits::default()).unwrap();
+            assert_eq!(a.rows.attrs(), b.rows.attrs());
+            assert_eq!(a.rows.canonical_rows(), b.rows.canonical_rows());
+            assert_eq!(a.engine, "view-scan");
+        }
+        assert_eq!(with_views.stats().view_answered_queries, 4);
+        assert_eq!(cold.stats().view_answered_queries, 0);
+    }
+
+    #[test]
+    fn subscriptions_reuse_equivalent_views() {
+        let svc = service();
+        let s1 = svc.subscribe("d", "G(x) :- R(x, y).").unwrap();
+        // Alpha-renamed with a different head name: the same view.
+        let s2 = svc.subscribe("d", "H(a) :- R(a, b).").unwrap();
+        assert_eq!(s1.rows, s2.rows);
+        let st = svc.stats();
+        assert_eq!(st.views_registered, 1, "one materialization, shared");
+        assert_eq!(st.subscriptions_active, 2);
+        // Both subscribers see every delta of the shared view.
+        svc.insert_rows("d", "R", vec![tuple![7, 8]]).unwrap();
+        assert_eq!(s1.updates.try_recv().unwrap().added, vec![tuple![7]]);
+        assert_eq!(s2.updates.try_recv().unwrap().added, vec![tuple![7]]);
+        // Unsubscribing one keeps the view alive for the other...
+        assert!(svc.unsubscribe(s1.id));
+        assert_eq!(svc.stats().views_registered, 1);
+        svc.insert_rows("d", "R", vec![tuple![20, 21]]).unwrap();
+        assert_eq!(s2.updates.try_recv().unwrap().added, vec![tuple![20]]);
+        // ...and the last unsubscribe deregisters it.
+        assert!(svc.unsubscribe(s2.id));
+        let st = svc.stats();
+        assert_eq!(st.views_registered, 0);
+        assert_eq!(st.subscriptions_active, 0);
+    }
+
+    #[test]
+    fn explain_reports_view_answering_and_the_equivalence_class() {
+        let svc = service();
+        let before = svc.explain("d", "G(y, x) :- R(x, y).").unwrap();
+        assert!(before.answered_from_view.is_none());
+        svc.subscribe("d", "V(x, y) :- R(x, y).").unwrap();
+        let e = svc.explain("d", "G(y, x) :- R(x, y).").unwrap();
+        assert_eq!(e.answered_from_view.as_deref(), Some("sub-0"));
+        assert_eq!(e.answer_source, "view-scan");
+        assert!(!e.result_is_cached);
+        // The equivalence class identifies the minimized core: a redundant
+        // variant shares it while its literal fingerprint differs.
+        let a = svc.explain("d", "G(a) :- R(a, b).").unwrap();
+        let b = svc.explain("d", "G(x) :- R(x, y), R(x, y2).").unwrap();
+        assert_eq!(a.equivalence_class, b.equivalence_class);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.fingerprint, a.equivalence_class, "core of a core");
     }
 
     #[test]

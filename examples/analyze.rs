@@ -20,19 +20,33 @@ use pq_query::{parse_cq, parse_datalog};
 /// `tests/analyze_golden.rs`: `## <src>` then one line per diagnostic, the
 /// minimized core when one exists, and the final verdict. An `@count `
 /// prefix runs the counting-tractability pass (`PQA7xx`) on the query, the
-/// way the wire flag does.
+/// way the wire flag does; a `@view <view-cq> | <query>` row registers the
+/// view under the name `v` and runs the containment pass (`PQA8xx`)
+/// against it, the way the service matches queries against a database's
+/// live view registry.
 pub fn report(src: &str) -> String {
     let mut out = format!("## {src}\n");
-    let (src, opts) = match src.strip_prefix("@count ") {
-        Some(rest) => (
-            rest.trim(),
-            AnalyzeOptions {
-                counting: true,
-                ..AnalyzeOptions::default()
-            },
-        ),
-        None => (src, AnalyzeOptions::default()),
-    };
+    let mut opts = AnalyzeOptions::default();
+    let mut src = src;
+    if let Some(rest) = src.strip_prefix("@view ") {
+        let Some((view_src, q_src)) = rest.split_once('|') else {
+            out.push_str("parse error: `@view` rows need `<view-cq> | <query>`\n");
+            return out;
+        };
+        match parse_cq(view_src.trim()) {
+            Ok(v) => {
+                opts.views = vec![("v".to_string(), v)];
+                src = q_src.trim();
+            }
+            Err(e) => {
+                out.push_str(&format!("parse error: {e}\n"));
+                return out;
+            }
+        }
+    } else if let Some(rest) = src.strip_prefix("@count ") {
+        opts.counting = true;
+        src = rest.trim();
+    }
     match parse_cq(src) {
         Err(e) => out.push_str(&format!("parse error: {e}\n")),
         Ok(q) => {

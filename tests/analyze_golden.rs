@@ -20,18 +20,31 @@ use pq_query::{parse_cq, parse_datalog};
 
 fn report(src: &str) -> String {
     let mut out = format!("## {src}\n");
-    // `@count ` rows run the counting-tractability pass (PQA7xx), the way
-    // the wire flag does — same handling as `examples/analyze.rs`.
-    let (src, opts) = match src.strip_prefix("@count ") {
-        Some(rest) => (
-            rest.trim(),
-            AnalyzeOptions {
-                counting: true,
-                ..AnalyzeOptions::default()
-            },
-        ),
-        None => (src, AnalyzeOptions::default()),
-    };
+    // `@count ` rows run the counting-tractability pass (PQA7xx) and
+    // `@view <view-cq> | <query>` rows run the containment pass (PQA8xx)
+    // against a view registered as `v` — same handling as
+    // `examples/analyze.rs`.
+    let mut opts = AnalyzeOptions::default();
+    let mut src = src;
+    if let Some(rest) = src.strip_prefix("@view ") {
+        let Some((view_src, q_src)) = rest.split_once('|') else {
+            out.push_str("parse error: `@view` rows need `<view-cq> | <query>`\n");
+            return out;
+        };
+        match parse_cq(view_src.trim()) {
+            Ok(v) => {
+                opts.views = vec![("v".to_string(), v)];
+                src = q_src.trim();
+            }
+            Err(e) => {
+                out.push_str(&format!("parse error: {e}\n"));
+                return out;
+            }
+        }
+    } else if let Some(rest) = src.strip_prefix("@count ") {
+        opts.counting = true;
+        src = rest.trim();
+    }
     match parse_cq(src) {
         Err(e) => out.push_str(&format!("parse error: {e}\n")),
         Ok(q) => {
@@ -175,7 +188,8 @@ fn corpus_exercises_every_database_free_lint_code() {
     let rendered = render_corpus(&corpus);
     for code in [
         "PQA002", "PQA003", "PQA004", "PQA101", "PQA102", "PQA103", "PQA104", "PQA105", "PQA301",
-        "PQA302", "PQA401", "PQA402", "PQA601", "PQA602", "PQA701", "PQA702", "PQA703",
+        "PQA302", "PQA401", "PQA402", "PQA601", "PQA602", "PQA701", "PQA702", "PQA703", "PQA801",
+        "PQA802", "PQA803", "PQA804",
     ] {
         assert!(rendered.contains(code), "corpus never triggers {code}");
     }

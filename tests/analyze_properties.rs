@@ -14,12 +14,16 @@
 //!   random pure (often cyclic) queries, serial and at 1/4 exec threads;
 //! * hypertree decompositions of random hypergraphs satisfy the
 //!   Gottlob–Leone–Scarcello validity conditions (edge coverage, vertex
-//!   connectedness, cover ⊇ bag), exact or heuristic.
+//!   connectedness, cover ⊇ bag), exact or heuristic;
+//! * every `PQA801`/`PQA802` view-match verdict is sound: projecting the
+//!   view's answer through the reported columns reproduces direct
+//!   evaluation exactly (equivalence ⇒ byte-identical answer sets),
+//!   serially and against the parallel hypertree path at 1/4 exec threads.
 
 use proptest::prelude::*;
 
 use pq_analyze::{analyze, analyze_program, structure_of, AnalyzeOptions};
-use pq_data::{tuple, Database, Relation};
+use pq_data::{tuple, Database, Relation, Tuple};
 use pq_engine::datalog_eval::{self, Strategy as FixpointStrategy};
 use pq_engine::governor::ExecutionContext;
 use pq_engine::{hypertree, naive, EngineError};
@@ -285,6 +289,107 @@ proptest! {
             } else {
                 prop_assert!(d.width() >= 2);
             }
+        }
+    }
+
+    #[test]
+    fn view_match_verdicts_are_sound(
+        q in arb_pure_query(),
+        v in arb_pure_query(),
+        db in arb_db(),
+    ) {
+        // Register `v` as a view and analyze `q` against it. Whenever the
+        // containment pass claims a match, the claim is checked against
+        // the ground truth: π_{j̄}(V(d)) must equal Q(d) on the random
+        // database — byte-identical, under the query's own head
+        // attributes, exactly as the service's view-scan serves it.
+        let opts = AnalyzeOptions {
+            views: vec![("v".to_string(), v.clone())],
+            ..AnalyzeOptions::default()
+        };
+        let analysis = analyze(&q, &opts);
+        prop_assert!(
+            analysis.semantic_key.is_some(),
+            "PQA803 must produce a semantic key whenever views are registered"
+        );
+        if let Some(m) = &analysis.view_match {
+            let direct = naive::evaluate(&q, &db).unwrap();
+            let view_rows = naive::evaluate(&v, &db).unwrap();
+            let mut projected =
+                Relation::new(pq_engine::binding::head_attrs(&q.head_terms)).unwrap();
+            for t in view_rows.iter() {
+                projected
+                    .insert(Tuple::new(m.projection.iter().map(|&j| t[j].clone())))
+                    .unwrap();
+            }
+            prop_assert!(
+                projected == direct,
+                "view-scan differs from direct evaluation"
+            );
+            if m.exact {
+                prop_assert_eq!(view_rows.canonical_rows(), direct.canonical_rows());
+            }
+            // The parallel evaluation path must agree with the view-scan
+            // too (1 and 4 exec threads), where the engine supports `q`.
+            match hypertree::evaluate(&q, &db) {
+                Err(EngineError::Unsupported(_)) => {}
+                Err(e) => prop_assert!(false, "hypertree failed: {}", e),
+                Ok(_) => {
+                    for threads in [1usize, 4] {
+                        let pool = Pool::new(threads);
+                        let shared = ExecutionContext::unlimited().into_shared();
+                        let par = hypertree::evaluate_parallel(&q, &db, &shared, &pool).unwrap();
+                        prop_assert!(
+                            par == projected,
+                            "view-scan differs from parallel evaluation at {} threads",
+                            threads
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_renamed_views_are_matched_and_sound(q in arb_query(), db in arb_db()) {
+        // An alpha-renamed copy of `q` under another head name is the
+        // equivalence the pass must never miss (modulo minimization having
+        // replaced an impure query, where the conservative canonical-form
+        // comparison is allowed to pass): PQA801, and the view's answer is
+        // byte-for-byte the query's.
+        let rename = |t: &Term| match t.as_var() {
+            Some(name) => Term::var(format!("y{}", &name[1..])),
+            None => t.clone(),
+        };
+        let renamed = ConjunctiveQuery::new(
+            "V",
+            q.head_terms.iter().map(&rename),
+            q.atoms
+                .iter()
+                .map(|a| Atom::new(a.relation.clone(), a.terms.iter().map(&rename))),
+        )
+        .with_neqs(
+            q.neqs
+                .iter()
+                .map(|n| Neq::new(rename(&n.left), rename(&n.right))),
+        );
+        let opts = AnalyzeOptions {
+            views: vec![("v".to_string(), renamed.clone())],
+            ..AnalyzeOptions::default()
+        };
+        let analysis = analyze(&q, &opts);
+        if !analysis.provably_empty() && (q.is_pure() || analysis.rewritten.is_none()) {
+            prop_assert!(
+                analysis.view_match.is_some(),
+                "alpha-renamed copy not recognized as equivalent"
+            );
+        }
+        if let Some(m) = &analysis.view_match {
+            prop_assert!(m.exact, "a renamed copy can only match as equivalent");
+            prop_assert_eq!(
+                naive::evaluate(&renamed, &db).unwrap().canonical_rows(),
+                naive::evaluate(&q, &db).unwrap().canonical_rows()
+            );
         }
     }
 
